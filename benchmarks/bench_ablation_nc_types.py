@@ -1,0 +1,36 @@
+"""Ablation — the NC >= 2 core-type generalization.
+
+The paper describes how AID extends to platforms with more than two core
+types (per-type SF_j and k = NI / sum N_j * SF_j). This bench runs the
+schedule grid on a three-type platform and checks AID still wins.
+"""
+
+from repro.amp.presets import tri_type_platform
+from repro.experiments.harness import default_configs, run_grid
+from repro.workloads.registry import get_program
+
+from benchmarks.conftest import run_once
+
+PROGRAMS = ("EP", "streamcluster", "MG", "bodytrack")
+
+
+def run_sweep():
+    return run_grid(
+        tri_type_platform(),
+        programs=[get_program(p) for p in PROGRAMS],
+    )
+
+
+def test_ablation_three_core_types(benchmark):
+    grid = run_once(benchmark, run_sweep)
+    print()
+    print(grid.to_table())
+    norm = grid.normalized()
+    for prog, row in norm.items():
+        # AID-static must still beat static(BS) on a tri-type platform.
+        assert row["AID-static"] >= row["static(BS)"] * 0.98, prog
+        # And AID-dynamic must stay competitive with dynamic(BS).
+        assert row["AID-dynamic"] >= row["dynamic(BS)"] * 0.95, prog
+    # At least one program shows a clear AID win over static.
+    best = max(row["AID-static"] / row["static(BS)"] for row in norm.values())
+    assert best > 1.1

@@ -1,0 +1,50 @@
+"""Ablation — AID-dynamic's per-phase ratio resmoothing.
+
+After every AID phase, R is multiplied by SM = (mean small-thread phase
+time) / (mean big-thread phase time), so a ratio that over- or under-fed
+big cores corrects itself. This bench freezes R at the initially sampled
+SF and measures the cost across programs whose per-loop behaviour drifts.
+"""
+
+from repro.amp.presets import odroid_xu4
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.sched.aid_dynamic import AidDynamicSpec
+from repro.workloads.registry import get_program
+
+from benchmarks.conftest import run_once
+
+PROGRAMS = ("EP", "FT", "bodytrack", "leukocyte", "particlefilter")
+
+
+def run_sweep():
+    platform = odroid_xu4()
+    out = {}
+    for prog_name in PROGRAMS:
+        program = get_program(prog_name)
+        for smoothing in (True, False):
+            runner = ProgramRunner(
+                platform,
+                OmpEnv(schedule="aid_dynamic,1,5", affinity="BS"),
+                schedule_override=AidDynamicSpec(1, 5, smoothing=smoothing),
+            )
+            out[(prog_name, smoothing)] = runner.run(program).completion_time
+    return out
+
+
+def test_ablation_smoothing(benchmark):
+    times = run_once(benchmark, run_sweep)
+    print()
+    print("Ablation: AID-dynamic R resmoothing (completion time, ms)")
+    gains = []
+    for prog in PROGRAMS:
+        on = times[(prog, True)] * 1e3
+        off = times[(prog, False)] * 1e3
+        gains.append(off / on - 1)
+        print(
+            f"  {prog:16s} smoothing {on:8.2f}  frozen-R {off:8.2f}"
+            f"  ({off / on - 1:+.1%})"
+        )
+    # Smoothing must never hurt meaningfully, and help on average.
+    assert min(gains) > -0.04
+    assert sum(gains) / len(gains) > -0.01

@@ -1,0 +1,28 @@
+"""Extension — energy and EDP per scheduling policy (see
+repro.experiments.energy; not a paper figure, but the paper's motivating
+metric).
+
+Expected shape: AID methods deliver their speedups at roughly equal
+energy (same cores busy, less barrier spinning and less runtime
+overhead), so their energy-delay product drops markedly; dynamic's
+dispatch storms cost real joules on fine-grained programs.
+"""
+
+from repro.experiments import energy
+
+from benchmarks.conftest import run_once
+
+
+def test_energy_extension(benchmark):
+    result = run_once(benchmark, energy.run)
+    print()
+    print(energy.format_report(result))
+    base = "static(SB)"
+    for program in result.cells:
+        # AID-static never costs more than ~12% extra energy...
+        assert result.normalized_energy(program, "AID-static", base) < 1.12, program
+        # ...and clearly wins on EDP.
+        assert result.normalized_edp(program, "AID-static", base) < 0.90, program
+    # dynamic's dispatch overhead costs energy on the fine-grained programs.
+    for program in ("CG", "IS"):
+        assert result.normalized_energy(program, "dynamic(SB)", base) > 1.15

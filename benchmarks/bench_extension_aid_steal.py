@@ -1,0 +1,51 @@
+"""Extension — AID + work stealing (the Sec. 4.3 combination).
+
+Shape claims: AID-steal matches AID-hybrid on regular loops (both repair
+one-shot error, stealing is not worse), clearly beats plain AID-static
+on programs whose sampled SF misleads (drift/ramps), and touches the
+shared pool only O(threads) times per loop.
+"""
+
+from repro.amp.presets import odroid_xu4
+from repro.experiments.harness import ScheduleConfig, run_grid
+from repro.runtime.env import OmpEnv
+
+from benchmarks.conftest import run_once
+
+CONFIGS = (
+    ScheduleConfig("static(SB)", OmpEnv(schedule="static", affinity="SB")),
+    ScheduleConfig("AID-static", OmpEnv(schedule="aid_static", affinity="BS")),
+    ScheduleConfig("AID-hybrid", OmpEnv(schedule="aid_hybrid,80", affinity="BS")),
+    ScheduleConfig("AID-steal", OmpEnv(schedule="aid_steal,8", affinity="BS")),
+)
+
+
+def run_sweep():
+    return run_grid(odroid_xu4(), configs=CONFIGS)
+
+
+def test_extension_aid_steal(benchmark):
+    grid = run_once(benchmark, run_sweep)
+    print()
+    print(grid.to_table())
+    norm = grid.normalized("static(SB)")
+    wins = losses = 0
+    for program, row in norm.items():
+        ratio = row["AID-steal"] / row["AID-static"]
+        if ratio > 1.02:
+            wins += 1
+        if ratio < 0.95:
+            losses += 1
+    print(f"\nAID-steal vs AID-static: clearly better for {wins} programs,"
+          f" clearly worse for {losses}")
+    # Stealing repairs what the one-shot split gets wrong, and must not
+    # lose meaningfully anywhere.
+    assert wins >= 4
+    assert losses <= 1
+    # The headline repair case: EP's drifting costs (the Fig. 4 subject).
+    assert norm["EP"]["AID-steal"] > norm["EP"]["AID-static"] * 1.05
+    # And it stays within a few percent of AID-hybrid on average.
+    mean_vs_hybrid = sum(
+        row["AID-steal"] / row["AID-hybrid"] for row in norm.values()
+    ) / len(norm)
+    assert mean_vs_hybrid > 0.93

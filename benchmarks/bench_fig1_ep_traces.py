@@ -1,0 +1,22 @@
+"""Fig. 1 — EP under static with 4 threads: 2B-2S vs 4S traces.
+
+Paper claim: with the static schedule, running EP on two big + two small
+cores "delivers nearly the same performance than using four small
+cores", because the loop is bounded by the small-core threads while the
+big cores idle at the barrier.
+"""
+
+from repro.experiments import fig1
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_ep_traces(benchmark):
+    result = run_once(benchmark, fig1.run)
+    print()
+    print(fig1.format_report(result))
+    # Shape: 4S within ~35% of 2B-2S (paper: nearly identical), and big
+    # cores spend a large fraction of the loop waiting at the barrier.
+    ratio = result.time_4s / result.time_2b2s
+    assert 1.0 <= ratio <= 1.35
+    assert result.big_idle_fraction > 0.2

@@ -1,0 +1,28 @@
+"""Fig. 2 — per-loop big-to-small SF of BT and CG on both platforms.
+
+Paper claims: the SF varies greatly across loops of one application
+(ruling out one application-wide value); Platform A's profile differs
+substantially from Platform B's; loops run up to ~7.7x faster on a big
+core on Platform A while Platform B tops out around 2.3x.
+"""
+
+from repro.experiments import fig2
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_sf_profiles(benchmark):
+    result = run_once(benchmark, fig2.run)
+    print()
+    print(fig2.format_report(result))
+    plat_a = next(k for k in result.series if "Odroid" in k)
+    plat_b = next(k for k in result.series if "Xeon" in k)
+    # Platform A: high maxima (paper: up to 7.7x for these programs).
+    assert 4.0 <= result.max_sf(plat_a) <= 9.5
+    # Platform B: capped around the paper's 2.3x.
+    assert result.max_sf(plat_b) <= 2.4
+    # Variability across loops of one application, on both platforms.
+    for plat in (plat_a, plat_b):
+        for prog, points in result.series[plat].items():
+            sfs = [p.sf for p in points]
+            assert max(sfs) / min(sfs) > 1.3, (plat, prog)

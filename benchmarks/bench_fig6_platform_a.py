@@ -1,0 +1,56 @@
+"""Fig. 6 — normalized performance of all 21 programs on Platform A.
+
+Shape claims checked (from the paper's Sec. 5A discussion):
+
+* static(BS) >= static(SB) for programs with serial phases; big BS/SB
+  gaps for IS, blackscholes, bfs, bptree (master-on-big acceleration);
+* particlefilter inverts: static(BS) < static(SB) (its ramped loop gives
+  the BS-mapped big cores the cheap front iterations);
+* dynamic fails for fine-grained programs (CG, IS, bfs, nw close to or
+  below baseline under SB) but wins big for uneven ones (FT, leukocyte,
+  lavamd, particlefilter);
+* AID-static and AID-hybrid beat static(BS) across the board (except the
+  particlefilter pathology, which they inherit);
+* AID-dynamic is within a few percent of dynamic(BS) where dynamic is
+  good, and clearly better where dynamic's overhead hurts.
+"""
+
+import pytest
+
+
+def test_fig6_platform_a(benchmark, fig67_grids):
+    grid = benchmark.pedantic(lambda: fig67_grids.platform_a, rounds=1, iterations=1)
+    print()
+    print("Fig. 6 — " + grid.to_table())
+    norm = grid.normalized()
+
+    # Master-on-big acceleration where serial phases matter.
+    for prog in ("IS", "blackscholes", "bfs", "bptree", "hotspot3D"):
+        assert norm[prog]["static(BS)"] > 1.25, prog
+
+    # The particlefilter inversion.
+    assert norm["particlefilter"]["static(BS)"] < 0.8
+
+    # dynamic's failure cases (overhead-bound under SB).
+    for prog in ("CG", "IS", "bfs", "nw"):
+        assert norm[prog]["dynamic(SB)"] < 1.10, prog
+
+    # dynamic's wins (uneven iteration costs).
+    for prog in ("FT", "leukocyte", "lavamd", "particlefilter"):
+        assert norm[prog]["dynamic(BS)"] > 1.25, prog
+
+    # AID-static/hybrid as static replacements: never clearly worse than
+    # static(BS) except the documented particlefilter case.
+    for prog, row in norm.items():
+        if prog == "particlefilter":
+            continue
+        assert row["AID-static"] >= row["static(BS)"] * 0.95, prog
+        assert row["AID-hybrid"] >= row["static(BS)"] * 0.95, prog
+
+    # AID-dynamic as a dynamic replacement: no program loses more than a
+    # few percent, several gain substantially.
+    losses = [
+        row["AID-dynamic"] / row["dynamic(BS)"] - 1 for row in norm.values()
+    ]
+    assert min(losses) > -0.10
+    assert max(losses) > 0.10

@@ -1,0 +1,29 @@
+"""Sec. 5 (intro) — guided scheduling aggregates.
+
+Paper claims: guided increases completion time by 44% vs static and 65%
+vs dynamic on average, and never outperforms both for any program.
+
+Our clean work-conserving timing model reproduces the *ordering* claims
+— guided is clearly worse than dynamic on average and essentially never
+beats both — but not the +44%-worse-than-static magnitude, which in the
+paper's measurements likely stems from cache effects beyond our
+locality model (see EXPERIMENTS.md).
+"""
+
+from repro.experiments import guided
+
+from benchmarks.conftest import run_once
+
+
+def test_sec5_guided(benchmark):
+    result = run_once(benchmark, guided.run)
+    print()
+    print(guided.format_report(result))
+    for plat in result.mean_increase_vs_dynamic:
+        # Clearly worse than dynamic on average.
+        assert result.mean_increase_vs_dynamic[plat] > 0.04, plat
+        # Not better than static on average.
+        assert result.mean_increase_vs_static[plat] > -0.05, plat
+        # Beats both static and dynamic for at most one program
+        # (paper: none; ours: particlefilter ties within noise).
+        assert len(result.beats_both[plat]) <= 1, result.beats_both[plat]

@@ -1,0 +1,30 @@
+"""Sec. 5B — AID-hybrid percentage sensitivity.
+
+Paper claims: dynamic-friendly programs (FT, lavamd, leukocyte,
+particlefilter) prefer ~60%; AID-static-friendly programs
+(blackscholes) prefer 90% and above; 80% is a good platform-wide
+trade-off (used in Figs. 6/7).
+"""
+
+from repro.experiments import sec5b
+
+from benchmarks.conftest import run_once
+
+
+def test_sec5b_hybrid_percentage(benchmark):
+    result = run_once(benchmark, sec5b.run)
+    print()
+    print(sec5b.format_report(result))
+
+    # Dynamic-friendly programs peak at or below 80%.
+    for prog in sec5b.DYNAMIC_FRIENDLY:
+        assert result.best_percentage(prog) <= 80, prog
+
+    # Static-friendly programs peak at or above 80%.
+    for prog in ("blackscholes", "streamcluster"):
+        assert result.best_percentage(prog) >= 80, prog
+
+    # 80% is safe: no program loses more than ~12% vs its best setting.
+    for prog in result.times:
+        best = max(result.normalized(prog).values())
+        assert best <= 1.16, prog

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's experiment index), prints the reproduced rows/series
+next to the paper's values, and asserts the qualitative *shape* — who
+wins, by roughly what factor — rather than absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig67
+
+
+@pytest.fixture(scope="session")
+def fig67_grids():
+    """The Fig. 6 + Fig. 7 grids, shared by several benches."""
+    return fig67.run()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Energy and EDP per scheduling policy on the big.LITTLE platform.
+
+The reason asymmetric multicores exist is energy efficiency; this
+example closes the paper's motivation loop with the power model: it runs
+a few programs under every schedule and reports joules, average watts
+and the energy-delay product.
+
+Run::
+
+    python examples/energy_comparison.py [program ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import OmpEnv, ProgramRunner, get_program, odroid_xu4
+from repro.power import PowerModel, energy_delay_product
+
+CONFIGS = [
+    ("static", "SB"),
+    ("static", "BS"),
+    ("dynamic,1", "BS"),
+    ("aid_static", "BS"),
+    ("aid_hybrid,80", "BS"),
+    ("aid_dynamic,1,5", "BS"),
+]
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["streamcluster", "IS"]
+    platform = odroid_xu4()
+    power = PowerModel(platform)
+    for name in names:
+        program = get_program(name)
+        print(f"{program.name} on {platform.name}")
+        print(f"  {'schedule':<18s} {'time':>9s} {'energy':>9s}"
+              f" {'avg power':>10s} {'EDP':>11s}")
+        for schedule, affinity in CONFIGS:
+            runner = ProgramRunner(
+                platform, OmpEnv(schedule=schedule, affinity=affinity), trace=True
+            )
+            result = runner.run(program)
+            e = power.energy_of(result, list(runner.team.mapping.cpu_of_tid))
+            print(
+                f"  {schedule + '(' + affinity + ')':<18s}"
+                f" {result.completion_time * 1e3:8.2f}ms"
+                f" {e.total_j * 1e3:8.2f}mJ"
+                f" {e.average_power_w:9.2f}W"
+                f" {energy_delay_product(e) * 1e6:10.3f}uJs"
+            )
+        print()
+    print("AID's wins are nearly free in watts: the same cores stay busy,"
+          "\nbut with useful work instead of barrier spinning — so the"
+          "\nenergy-delay product drops almost quadratically with runtime.")
+
+
+if __name__ == "__main__":
+    main()

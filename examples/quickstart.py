@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under every schedule on both platforms.
+
+This is the library's 5-minute tour: build the paper's two AMP
+platforms, pick a workload, and compare the conventional OpenMP loop
+schedules against the three AID methods.
+
+Run::
+
+    python examples/quickstart.py [program]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import OmpEnv, ProgramRunner, get_program, odroid_xu4, xeon_emulated
+
+#: Schedule/affinity combinations of the paper's Figs. 6 and 7.
+CONFIGS = [
+    ("static", "SB"),
+    ("static", "BS"),
+    ("dynamic,1", "SB"),
+    ("dynamic,1", "BS"),
+    ("aid_static", "BS"),
+    ("aid_hybrid,80", "BS"),
+    ("aid_dynamic,1,5", "BS"),
+]
+
+
+def main() -> None:
+    program_name = sys.argv[1] if len(sys.argv) > 1 else "streamcluster"
+    program = get_program(program_name)
+    print(f"program: {program.name} ({program.suite}), "
+          f"{len(program.loops())} loops x {program.timesteps} timesteps\n")
+
+    for platform in (odroid_xu4(), xeon_emulated()):
+        print(platform.describe())
+        baseline = None
+        for schedule, affinity in CONFIGS:
+            runner = ProgramRunner(
+                platform, OmpEnv(schedule=schedule, affinity=affinity)
+            )
+            result = runner.run(program)
+            if baseline is None:
+                baseline = result.completion_time
+            norm = baseline / result.completion_time
+            bar = "#" * round(norm * 25)
+            print(
+                f"  {schedule + '(' + affinity + ')':22s}"
+                f" {result.completion_time * 1e3:9.2f} ms"
+                f"   x{norm:5.2f}  {bar}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

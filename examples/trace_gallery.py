@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Trace gallery: the paper's Paraver-style timelines in your terminal.
+
+Renders EP's single parallel loop under static, dynamic, AID-static and
+AID-hybrid on Platform A with 8 threads — visually reproducing Figs. 1
+and 4: static's idle big cores, and AID-hybrid's dynamic tail absorbing
+AID-static's residual imbalance.
+
+Run::
+
+    python examples/trace_gallery.py [width]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import OmpEnv, ProgramRunner, get_program, odroid_xu4, render_timeline
+
+SCHEDULES = ["static", "dynamic,1", "aid_static", "aid_hybrid,80"]
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    platform = odroid_xu4()
+    program = get_program("EP")
+    print("EP on Platform A, 8 threads (T0-T3 on big cores, T4-T7 on small)\n")
+    for schedule in SCHEDULES:
+        runner = ProgramRunner(
+            platform, OmpEnv(schedule=schedule, affinity="BS"), trace=True
+        )
+        result = runner.run(program)
+        print(f"--- {schedule}  ({result.completion_time * 1e3:.1f} ms) ---")
+        print(render_timeline(result.trace, width=width, show_legend=False))
+        print()
+    print("legend: '#' compute  'r' runtime overhead  '.' barrier wait  "
+          "'S' serial  ' ' idle")
+
+
+if __name__ == "__main__":
+    main()

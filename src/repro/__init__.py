@@ -1,0 +1,132 @@
+"""AID: Asymmetric Iteration Distribution for OpenMP loops on AMPs.
+
+A reproduction of Saez, Castro & Prieto-Matias, *"Enabling performance
+portability of data-parallel OpenMP applications on asymmetric multicore
+processors"* (ICPP 2020), as a self-contained Python library: a
+parametric AMP platform model, a libgomp-like runtime executed on a
+deterministic discrete-event simulator, the conventional OpenMP loop
+schedules plus the paper's three AID methods, synthetic models of the 21
+evaluated benchmarks, and harnesses regenerating every figure and table.
+
+Quickstart::
+
+    from repro import odroid_xu4, OmpEnv, ProgramRunner, get_program
+
+    env = OmpEnv(schedule="aid_hybrid,80", affinity="BS")
+    runner = ProgramRunner(odroid_xu4(), env)
+    result = runner.run(get_program("EP"))
+    print(result.completion_time)
+"""
+
+from repro._version import __version__
+from repro.amp import (
+    AffinityMapping,
+    Core,
+    CoreType,
+    LLCDomain,
+    Platform,
+    bs_mapping,
+    dual_speed_platform,
+    odroid_xu4,
+    sb_mapping,
+    tri_type_platform,
+    xeon_emulated,
+)
+from repro.errors import (
+    CompilerError,
+    ConfigError,
+    ExperimentError,
+    PlatformError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+    WorkShareError,
+)
+from repro.perfmodel import ContentionModel, KernelProfile, OverheadModel, PerfModel
+from repro.runtime import (
+    LoopExecutor,
+    LoopResult,
+    OmpEnv,
+    ProgramResult,
+    ProgramRunner,
+    Team,
+    WorkShare,
+)
+from repro.sched import (
+    AidDynamicSpec,
+    AidHybridSpec,
+    AidStaticSpec,
+    DynamicSpec,
+    GuidedSpec,
+    ScheduleSpec,
+    StaticSpec,
+    parse_schedule,
+)
+from repro.tracing import TraceRecorder, render_timeline
+from repro.workloads import (
+    LoopSpec,
+    Program,
+    SerialPhase,
+    all_programs,
+    get_program,
+    program_names,
+)
+
+__all__ = [
+    "__version__",
+    # platform
+    "CoreType",
+    "Core",
+    "LLCDomain",
+    "Platform",
+    "AffinityMapping",
+    "bs_mapping",
+    "sb_mapping",
+    "odroid_xu4",
+    "xeon_emulated",
+    "dual_speed_platform",
+    "tri_type_platform",
+    # perf model
+    "KernelProfile",
+    "PerfModel",
+    "ContentionModel",
+    "OverheadModel",
+    # runtime
+    "Team",
+    "WorkShare",
+    "LoopExecutor",
+    "LoopResult",
+    "ProgramRunner",
+    "ProgramResult",
+    "OmpEnv",
+    # schedules
+    "ScheduleSpec",
+    "StaticSpec",
+    "DynamicSpec",
+    "GuidedSpec",
+    "AidStaticSpec",
+    "AidHybridSpec",
+    "AidDynamicSpec",
+    "parse_schedule",
+    # workloads
+    "LoopSpec",
+    "SerialPhase",
+    "Program",
+    "get_program",
+    "all_programs",
+    "program_names",
+    # tracing
+    "TraceRecorder",
+    "render_timeline",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "PlatformError",
+    "SchedulerError",
+    "WorkShareError",
+    "SimulationError",
+    "WorkloadError",
+    "CompilerError",
+    "ExperimentError",
+]

@@ -1,0 +1,42 @@
+"""Asymmetric multicore platform (AMP) model.
+
+An AMP couples several *core types* sharing one ISA but differing in clock
+frequency, duty cycle, micro-architecture (in-order vs out-of-order) and
+cache hierarchy. This package describes such platforms structurally; the
+translation from platform + code characteristics to execution speed lives
+in :mod:`repro.perfmodel`.
+
+Two prebuilt platforms mirror the paper's testbeds:
+
+* :func:`odroid_xu4` — Platform A: ARM big.LITTLE, 4x Cortex-A15
+  (2.0 GHz, out-of-order, 2 MB shared L2) + 4x Cortex-A7 (1.5 GHz,
+  in-order, 512 KB shared L2).
+* :func:`xeon_emulated` — Platform B: 8-core Intel Xeon E5-2620 v4 with
+  4 "slow" cores at 1.2 GHz and 87.5% duty cycle and 4 "fast" cores at
+  2.1 GHz; a single 20 MB LLC shared by all cores.
+"""
+
+from repro.amp.core import Core, CoreType
+from repro.amp.cache import LLCDomain
+from repro.amp.platform import Platform
+from repro.amp.presets import (
+    dual_speed_platform,
+    odroid_xu4,
+    tri_type_platform,
+    xeon_emulated,
+)
+from repro.amp.topology import AffinityMapping, bs_mapping, sb_mapping
+
+__all__ = [
+    "Core",
+    "CoreType",
+    "LLCDomain",
+    "Platform",
+    "AffinityMapping",
+    "bs_mapping",
+    "sb_mapping",
+    "odroid_xu4",
+    "xeon_emulated",
+    "dual_speed_platform",
+    "tri_type_platform",
+]

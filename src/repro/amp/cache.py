@@ -1,0 +1,57 @@
+"""Last-level-cache domain description.
+
+Real big.LITTLE parts have one shared L2 per cluster (2 MB for the A15
+cluster, 512 KB for the A7 cluster on the Odroid-XU4); server parts have
+one large LLC shared by every core. The contention model in
+:mod:`repro.perfmodel.contention` uses these sizes to decide whether a
+loop's per-thread working set still fits in cache once several threads
+co-run — the mechanism behind the paper's blackscholes case study
+(Fig. 9c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class LLCDomain:
+    """A last-level cache shared by a group of cores.
+
+    Attributes:
+        index: domain number within the platform.
+        size_mb: capacity in MiB.
+        associativity: number of ways (descriptive only; the contention
+            model is capacity-based).
+        cpu_ids: CPU numbers of the cores sharing this cache.
+    """
+
+    index: int
+    size_mb: float
+    associativity: int
+    cpu_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise PlatformError("LLC size must be positive")
+        if self.associativity <= 0:
+            raise PlatformError("LLC associativity must be positive")
+        if not self.cpu_ids:
+            raise PlatformError("LLC domain must contain at least one core")
+        if len(set(self.cpu_ids)) != len(self.cpu_ids):
+            raise PlatformError("LLC domain lists a core twice")
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cpu_ids)
+
+    def share_for(self, active_threads: int) -> float:
+        """Cache capacity (MiB) available per thread with ``active_threads``
+        threads concurrently using this domain.
+
+        A fair-share capacity model: each active thread competes for an
+        equal slice. ``active_threads`` is clamped to at least 1.
+        """
+        return self.size_mb / max(1, active_threads)

@@ -1,0 +1,91 @@
+"""Core and core-type descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """Static description of one core type in an AMP.
+
+    Attributes:
+        name: human-readable type name (``"cortex-a15"``, ``"xeon-fast"``).
+        freq_ghz: nominal clock frequency in GHz.
+        duty_cycle: fraction of cycles the core is allowed to execute
+            (1.0 = full speed). The paper's Platform B throttles slow cores
+            to 87.5% duty cycle in addition to frequency scaling.
+        uarch_speedup: instruction-throughput multiplier of this
+            micro-architecture relative to a simple in-order baseline at
+            equal frequency, *for perfectly ILP-rich code*. In-order cores
+            use 1.0; a wide out-of-order core like the Cortex-A15 uses ~3-4.
+        cache_bw: relative data-delivery speed when the working set fits in
+            this type's last-level cache (baseline small core = 1.0).
+        dram_stream_bw: data-delivery speed for *streaming* (prefetchable,
+            high memory-level-parallelism) access patterns that miss to
+            DRAM. Bandwidth-bound, so nearly core-independent: this is why
+            streaming loops show SFs near 1 on every AMP.
+        dram_latency_bw: data-delivery speed for *latency-bound* (dependent,
+            low-MLP) access patterns that miss to DRAM. An out-of-order
+            core hides much of the miss latency; a small in-order core
+            stalls — the mechanism behind the extreme per-loop SFs the
+            paper measures on big.LITTLE (up to 8.9x).
+        runtime_call_speedup: how much faster this core executes the
+            OpenMP runtime's own bookkeeping code (scalar, branchy) than
+            the baseline small core.
+    """
+
+    name: str
+    freq_ghz: float
+    duty_cycle: float = 1.0
+    uarch_speedup: float = 1.0
+    cache_bw: float = 1.0
+    dram_stream_bw: float = 1.0
+    dram_latency_bw: float = 1.0
+    runtime_call_speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise PlatformError(f"core type {self.name!r}: freq_ghz must be > 0")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise PlatformError(
+                f"core type {self.name!r}: duty_cycle must be in (0, 1]"
+            )
+        for attr in (
+            "uarch_speedup",
+            "cache_bw",
+            "dram_stream_bw",
+            "dram_latency_bw",
+            "runtime_call_speedup",
+        ):
+            if getattr(self, attr) <= 0:
+                raise PlatformError(f"core type {self.name!r}: {attr} must be > 0")
+
+    @property
+    def effective_freq_ghz(self) -> float:
+        """Frequency after duty-cycle throttling."""
+        return self.freq_ghz * self.duty_cycle
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core: a numbered instance of a :class:`CoreType`.
+
+    Attributes:
+        cpu_id: OS-visible CPU number. On both paper platforms big cores
+            have CPU numbers 4-7 and small cores 0-3; presets follow that
+            convention.
+        core_type: the type this core instantiates.
+        llc_domain: index of the last-level-cache domain the core belongs
+            to (filled in by :class:`~repro.amp.platform.Platform`).
+    """
+
+    cpu_id: int
+    core_type: CoreType
+    llc_domain: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.cpu_id < 0:
+            raise PlatformError("cpu_id must be >= 0")

@@ -1,0 +1,208 @@
+"""The :class:`Platform` container tying cores, types and caches together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.amp.cache import LLCDomain
+from repro.amp.core import Core, CoreType
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A complete AMP description.
+
+    Core types are ordered **slowest first**: ``core_types[0]`` is the
+    baseline "small" type the paper measures speedup factors against
+    (SF of a loop = completion-time ratio vs the slowest type). This
+    mirrors the paper's NC-core-type generalization where type ``j = 1``
+    is the slowest.
+
+    Attributes:
+        name: platform label used in reports ("Platform A", ...).
+        core_types: all core types present, slowest first.
+        cores: the physical cores, in CPU-number order.
+        llc_domains: last-level-cache domains covering every core.
+        dram_gb: main-memory capacity (descriptive).
+        coherence_factor: relative cost of inter-core coherence traffic
+            (1.0 = big.LITTLE-style cross-cluster interconnect; a server
+            part with one inclusive LLC is far cheaper). Multiplies
+            kernel coherence penalties in the performance model.
+    """
+
+    name: str
+    core_types: tuple[CoreType, ...]
+    cores: tuple[Core, ...]
+    llc_domains: tuple[LLCDomain, ...]
+    dram_gb: float = 0.0
+    coherence_factor: float = 1.0
+    _type_index: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.core_types:
+            raise PlatformError("platform has no core types")
+        if not self.cores:
+            raise PlatformError("platform has no cores")
+        names = [t.name for t in self.core_types]
+        if len(set(names)) != len(names):
+            raise PlatformError("duplicate core type names")
+        cpu_ids = [c.cpu_id for c in self.cores]
+        if sorted(cpu_ids) != list(range(len(self.cores))):
+            raise PlatformError("cores must be numbered 0..N-1 exactly once")
+        if list(cpu_ids) != sorted(cpu_ids):
+            raise PlatformError("cores must be listed in CPU-number order")
+        covered: set[int] = set()
+        for dom in self.llc_domains:
+            overlap = covered.intersection(dom.cpu_ids)
+            if overlap:
+                raise PlatformError(f"cores {sorted(overlap)} in two LLC domains")
+            covered.update(dom.cpu_ids)
+        if covered != set(cpu_ids):
+            raise PlatformError("LLC domains do not cover every core exactly once")
+        for core in self.cores:
+            if core.core_type not in self.core_types:
+                raise PlatformError(
+                    f"core {core.cpu_id} has unknown type {core.core_type.name!r}"
+                )
+            if core.llc_domain < 0 or core.llc_domain >= len(self.llc_domains):
+                raise PlatformError(f"core {core.cpu_id} has invalid llc_domain")
+            if core.cpu_id not in self.llc_domains[core.llc_domain].cpu_ids:
+                raise PlatformError(
+                    f"core {core.cpu_id} not listed in its LLC domain"
+                )
+        object.__setattr__(
+            self,
+            "_type_index",
+            {t.name: i for i, t in enumerate(self.core_types)},
+        )
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def n_core_types(self) -> int:
+        return len(self.core_types)
+
+    def core(self, cpu_id: int) -> Core:
+        """The core with the given CPU number."""
+        try:
+            return self.cores[cpu_id]
+        except IndexError:
+            raise PlatformError(f"no CPU {cpu_id} on {self.name}") from None
+
+    def type_index(self, core_type: CoreType | str) -> int:
+        """Index of a core type (0 = slowest baseline type)."""
+        name = core_type if isinstance(core_type, str) else core_type.name
+        try:
+            return self._type_index[name]
+        except KeyError:
+            raise PlatformError(f"unknown core type {name!r} on {self.name}") from None
+
+    def cores_of_type(self, core_type: CoreType | str) -> tuple[Core, ...]:
+        """All cores of a given type, in CPU-number order."""
+        idx = self.type_index(core_type)
+        want = self.core_types[idx]
+        return tuple(c for c in self.cores if c.core_type == want)
+
+    def type_counts(self) -> tuple[int, ...]:
+        """Number of cores of each type, indexed like :attr:`core_types`."""
+        counts = [0] * self.n_core_types
+        for core in self.cores:
+            counts[self.type_index(core.core_type)] += 1
+        return tuple(counts)
+
+    def llc_of(self, cpu_id: int) -> LLCDomain:
+        """The LLC domain serving the given core."""
+        return self.llc_domains[self.core(cpu_id).llc_domain]
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every core is of the same type."""
+        return self.n_core_types == 1
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (mirrors the paper's Table 1)."""
+        lines = [f"Platform: {self.name}"]
+        for ct in self.core_types:
+            n = self.type_counts()[self.type_index(ct)]
+            lines.append(
+                f"  {n}x {ct.name}: {ct.freq_ghz:.2f} GHz"
+                + (f" @ {ct.duty_cycle:.1%} duty" if ct.duty_cycle < 1.0 else "")
+                + f", uarch x{ct.uarch_speedup:.1f}"
+            )
+        for dom in self.llc_domains:
+            lines.append(
+                f"  LLC#{dom.index}: {dom.size_mb:g} MB/{dom.associativity}-way, "
+                f"CPUs {list(dom.cpu_ids)}"
+            )
+        if self.dram_gb:
+            lines.append(f"  DRAM: {self.dram_gb:g} GB")
+        return "\n".join(lines)
+
+
+def build_platform(
+    name: str,
+    clusters: Sequence[tuple[CoreType, int, float, int]],
+    shared_llc: tuple[float, int] | None = None,
+    dram_gb: float = 0.0,
+    coherence_factor: float = 1.0,
+) -> Platform:
+    """Assemble a :class:`Platform` from per-type clusters.
+
+    Args:
+        name: platform label.
+        clusters: sequence of ``(core_type, count, llc_mb, llc_ways)``
+            entries ordered slowest type first. CPU numbers are assigned in
+            cluster order (so the slowest cluster gets the lowest CPU
+            numbers, matching the paper's "CPUs 0-3 are small" layout).
+            Per-cluster LLC sizes are ignored when ``shared_llc`` is given.
+        shared_llc: if not ``None``, a single ``(size_mb, ways)`` LLC shared
+            by all cores (Platform B style) instead of per-cluster caches.
+        dram_gb: main-memory capacity.
+    """
+    if not clusters:
+        raise PlatformError("need at least one cluster")
+    core_types = tuple(ct for ct, _, _, _ in clusters)
+    cores: list[Core] = []
+    domains: list[LLCDomain] = []
+    cpu = 0
+    for dom_idx, (ctype, count, llc_mb, llc_ways) in enumerate(clusters):
+        if count <= 0:
+            raise PlatformError(f"cluster {ctype.name!r} has no cores")
+        ids = tuple(range(cpu, cpu + count))
+        llc_index = 0 if shared_llc is not None else dom_idx
+        for cid in ids:
+            cores.append(Core(cpu_id=cid, core_type=ctype, llc_domain=llc_index))
+        if shared_llc is None:
+            domains.append(
+                LLCDomain(
+                    index=dom_idx,
+                    size_mb=llc_mb,
+                    associativity=llc_ways,
+                    cpu_ids=ids,
+                )
+            )
+        cpu += count
+    if shared_llc is not None:
+        size_mb, ways = shared_llc
+        domains = [
+            LLCDomain(
+                index=0,
+                size_mb=size_mb,
+                associativity=ways,
+                cpu_ids=tuple(range(cpu)),
+            )
+        ]
+    return Platform(
+        name=name,
+        core_types=core_types,
+        cores=tuple(cores),
+        llc_domains=tuple(domains),
+        dram_gb=dram_gb,
+        coherence_factor=coherence_factor,
+    )

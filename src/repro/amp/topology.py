@@ -1,0 +1,89 @@
+"""Thread-to-core affinity mappings.
+
+The paper evaluates two pinning conventions for a team of NT threads on an
+8-core AMP whose small cores are CPUs 0-3 and big cores CPUs 4-7:
+
+* **SB** — cores are populated in ascending CPU order by thread ID, so the
+  master thread (TID 0) lands on a *small* core.
+* **BS** — cores are populated in descending order, reserving big cores
+  for the lowest TIDs; the master thread runs on a *big* core, which
+  accelerates serial program phases. All AID variants assume BS: the
+  runtime's iteration-distribution math keys off "threads 0..N_B-1 are on
+  big cores" (Sec. 4.3), enforced in the paper via GOMP_AMP_AFFINITY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amp.platform import Platform
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class AffinityMapping:
+    """An explicit thread-to-core pinning.
+
+    Attributes:
+        name: label used in result tables ("SB", "BS", ...).
+        cpu_of_tid: ``cpu_of_tid[t]`` is the CPU number thread ``t`` is
+            pinned to.
+    """
+
+    name: str
+    cpu_of_tid: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cpu_of_tid:
+            raise PlatformError("affinity mapping binds no threads")
+        if len(set(self.cpu_of_tid)) != len(self.cpu_of_tid):
+            raise PlatformError(
+                "oversubscription: two threads pinned to the same core "
+                "(AID assumes at most one thread per core)"
+            )
+        if any(c < 0 for c in self.cpu_of_tid):
+            raise PlatformError("negative CPU number in affinity mapping")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.cpu_of_tid)
+
+    def validate_for(self, platform: Platform) -> None:
+        """Raise :class:`~repro.errors.PlatformError` if any pinned CPU
+        does not exist on ``platform``."""
+        for cpu in self.cpu_of_tid:
+            if cpu >= platform.n_cores:
+                raise PlatformError(
+                    f"mapping {self.name!r} pins a thread to CPU {cpu} but "
+                    f"{platform.name} only has {platform.n_cores} cores"
+                )
+
+
+def sb_mapping(platform: Platform, n_threads: int | None = None) -> AffinityMapping:
+    """Small-first mapping: thread t -> CPU t (ascending CPU numbers).
+
+    With the conventional "small cores have low CPU numbers" layout the
+    master thread ends up on a small core.
+    """
+    nt = platform.n_cores if n_threads is None else n_threads
+    if nt <= 0 or nt > platform.n_cores:
+        raise PlatformError(f"cannot map {nt} threads onto {platform.n_cores} cores")
+    return AffinityMapping(name="SB", cpu_of_tid=tuple(range(nt)))
+
+
+def bs_mapping(platform: Platform, n_threads: int | None = None) -> AffinityMapping:
+    """Big-first mapping: thread t -> CPU (N-1-t) (descending CPU numbers).
+
+    Reserves big cores for the lowest thread IDs; this is the convention
+    every AID variant assumes (paper Sec. 4.3).
+    """
+    nt = platform.n_cores if n_threads is None else n_threads
+    if nt <= 0 or nt > platform.n_cores:
+        raise PlatformError(f"cannot map {nt} threads onto {platform.n_cores} cores")
+    n = platform.n_cores
+    return AffinityMapping(name="BS", cpu_of_tid=tuple(n - 1 - t for t in range(nt)))
+
+
+def custom_mapping(name: str, cpus: list[int]) -> AffinityMapping:
+    """Arbitrary explicit mapping (thread t -> ``cpus[t]``)."""
+    return AffinityMapping(name=name, cpu_of_tid=tuple(cpus))

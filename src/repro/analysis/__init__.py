@@ -1,0 +1,27 @@
+"""Post-processing and validation utilities over execution results.
+
+* :mod:`repro.analysis.breakdown` — where did the time go? Per-loop and
+  whole-program decompositions (compute vs runtime overhead vs barrier
+  wait), dispatch accounting and imbalance summaries.
+* :mod:`repro.analysis.predict` — closed-form makespan predictions for
+  the simple schedules (static's critical path, the perfectly balanced
+  bound, dynamic's greedy bound). Used by the test suite to validate the
+  simulator against arithmetic, and handy for quick what-if estimates
+  without running it.
+"""
+
+from repro.analysis.breakdown import LoopBreakdown, ProgramBreakdown, breakdown
+from repro.analysis.predict import (
+    balanced_makespan,
+    greedy_list_bounds,
+    static_makespan,
+)
+
+__all__ = [
+    "breakdown",
+    "LoopBreakdown",
+    "ProgramBreakdown",
+    "static_makespan",
+    "balanced_makespan",
+    "greedy_list_bounds",
+]

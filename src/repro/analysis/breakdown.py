@@ -1,0 +1,111 @@
+"""Where-did-the-time-go decompositions of execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.runtime.program_runner import ProgramResult
+from repro.tracing.trace import ThreadState
+
+
+@dataclass
+class LoopBreakdown:
+    """Aggregated statistics for all invocations of one loop."""
+
+    loop_name: str
+    invocations: int = 0
+    total_time: float = 0.0
+    dispatches: int = 0
+    scheduler_calls: int = 0
+    mean_imbalance: float = 0.0
+    iterations: int = 0
+
+    @property
+    def dispatches_per_invocation(self) -> float:
+        return self.dispatches / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class ProgramBreakdown:
+    """Whole-run decomposition.
+
+    Trace-based fields (compute/runtime/barrier/idle seconds, summed over
+    threads) are zero when the run was executed without tracing.
+    """
+
+    program_name: str
+    schedule_name: str
+    completion_time: float
+    serial_time: float
+    loops: dict[str, LoopBreakdown] = field(default_factory=dict)
+    compute_s: float = 0.0
+    runtime_s: float = 0.0
+    barrier_s: float = 0.0
+    idle_s: float = 0.0
+
+    @property
+    def total_dispatches(self) -> int:
+        return sum(lb.dispatches for lb in self.loops.values())
+
+    @property
+    def runtime_overhead_fraction(self) -> float:
+        """Share of all thread-seconds spent inside the runtime system
+        (requires a trace)."""
+        busy = self.compute_s + self.runtime_s + self.barrier_s + self.idle_s
+        return self.runtime_s / busy if busy > 0 else 0.0
+
+    def hottest_loop(self) -> LoopBreakdown:
+        if not self.loops:
+            raise ExperimentError("program executed no loops")
+        return max(self.loops.values(), key=lambda lb: lb.total_time)
+
+    def to_table(self) -> str:
+        lines = [
+            f"{self.program_name} under {self.schedule_name}: "
+            f"{self.completion_time * 1e3:.2f} ms "
+            f"(serial {self.serial_time * 1e3:.2f} ms)",
+            f"{'loop':<20s} {'invocations':>11s} {'time':>10s} {'share':>7s}"
+            f" {'disp/inv':>9s} {'imbalance':>10s}",
+        ]
+        for lb in sorted(self.loops.values(), key=lambda x: -x.total_time):
+            lines.append(
+                f"{lb.loop_name:<20s} {lb.invocations:>11d}"
+                f" {lb.total_time * 1e3:>8.2f}ms"
+                f" {lb.total_time / self.completion_time:>7.1%}"
+                f" {lb.dispatches_per_invocation:>9.1f}"
+                f" {lb.mean_imbalance:>10.3f}"
+            )
+        if self.compute_s > 0:
+            lines.append(
+                f"thread-seconds: compute {self.compute_s:.4f}, runtime "
+                f"{self.runtime_s:.4f} ({self.runtime_overhead_fraction:.1%}),"
+                f" barrier {self.barrier_s:.4f}, idle {self.idle_s:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def breakdown(result: ProgramResult) -> ProgramBreakdown:
+    """Decompose a program run into per-loop and per-state statistics."""
+    out = ProgramBreakdown(
+        program_name=result.program_name,
+        schedule_name=result.schedule_name,
+        completion_time=result.completion_time,
+        serial_time=result.serial_time,
+    )
+    for lr in result.loop_results:
+        lb = out.loops.setdefault(lr.loop_name, LoopBreakdown(lr.loop_name))
+        lb.invocations += 1
+        lb.total_time += lr.duration
+        lb.dispatches += lr.dispatches
+        lb.scheduler_calls += lr.scheduler_calls
+        lb.iterations += sum(lr.iterations)
+        # Running mean of imbalance.
+        lb.mean_imbalance += (lr.imbalance - lb.mean_imbalance) / lb.invocations
+    if result.trace is not None:
+        for tid in result.trace.thread_ids():
+            out.compute_s += result.trace.time_in_state(tid, ThreadState.COMPUTE)
+            out.runtime_s += result.trace.time_in_state(tid, ThreadState.RUNTIME)
+            out.barrier_s += result.trace.time_in_state(tid, ThreadState.BARRIER)
+            out.idle_s += result.trace.time_in_state(tid, ThreadState.IDLE)
+    return out

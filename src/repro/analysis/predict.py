@@ -1,0 +1,86 @@
+"""Closed-form makespan predictions for simple scheduling policies.
+
+These are the textbook bounds the simulator must agree with in the
+noise-free, zero-overhead regime — the test suite checks exactly that —
+and they make back-of-envelope what-ifs possible without simulating:
+
+* :func:`static_makespan` — the even split's critical path: the slowest
+  (block, rate) pair.
+* :func:`balanced_makespan` — the work-conserving lower bound
+  ``sum(costs) / sum(rates)`` every asymmetry-aware policy chases.
+* :func:`greedy_list_bounds` — the classic list-scheduling sandwich for
+  dynamic self-scheduling with chunk c: the makespan lies between the
+  balanced bound and ``balanced + max_chunk_time`` (Graham-style bound
+  adapted to uniform-speed machines).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sched.static import static_block
+
+
+def _check(costs: Sequence[float], rates: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    costs_arr = np.asarray(costs, dtype=float)
+    rates_arr = np.asarray(rates, dtype=float)
+    if costs_arr.ndim != 1 or rates_arr.ndim != 1 or len(rates_arr) == 0:
+        raise ExperimentError("need 1-D costs and a non-empty rates vector")
+    if np.any(costs_arr < 0) or np.any(rates_arr <= 0):
+        raise ExperimentError("costs must be >= 0 and rates > 0")
+    return costs_arr, rates_arr
+
+
+def static_makespan(costs: Sequence[float], rates: Sequence[float]) -> float:
+    """Completion time of the block-static schedule.
+
+    Thread t executes its libgomp block at its own rate; the loop ends
+    when the slowest thread finishes. On an AMP this is dominated by a
+    small-core thread — the Fig. 1 pathology, as arithmetic.
+    """
+    costs_arr, rates_arr = _check(costs, rates)
+    nt = len(rates_arr)
+    prefix = np.concatenate(([0.0], np.cumsum(costs_arr)))
+    worst = 0.0
+    for tid in range(nt):
+        lo, hi = static_block(len(costs_arr), nt, tid)
+        worst = max(worst, float(prefix[hi] - prefix[lo]) / rates_arr[tid])
+    return worst
+
+
+def balanced_makespan(costs: Sequence[float], rates: Sequence[float]) -> float:
+    """The work-conserving lower bound: all cores busy until the end.
+
+    ``sum(costs) / sum(rates)`` — what AID-static achieves exactly on
+    uniform loops when its sampled SF is exact, and what every schedule
+    is ultimately measured against.
+    """
+    costs_arr, rates_arr = _check(costs, rates)
+    return float(costs_arr.sum()) / float(rates_arr.sum())
+
+
+def greedy_list_bounds(
+    costs: Sequence[float], rates: Sequence[float], chunk: int = 1
+) -> tuple[float, float]:
+    """Lower/upper bounds on dynamic(chunk)'s zero-overhead makespan.
+
+    Dynamic self-scheduling is greedy list scheduling of ``ceil(n/c)``
+    chunk-jobs on related machines: it can never beat the balanced bound,
+    and it can never lose more than one maximal chunk on the slowest
+    machine past it (no machine idles while work remains).
+    """
+    costs_arr, rates_arr = _check(costs, rates)
+    if chunk <= 0:
+        raise ExperimentError("chunk must be positive")
+    lower = balanced_makespan(costs_arr, rates_arr)
+    n = len(costs_arr)
+    if n == 0:
+        return (0.0, 0.0)
+    chunk_sums = [
+        float(costs_arr[i : i + chunk].sum()) for i in range(0, n, chunk)
+    ]
+    max_chunk_time = max(chunk_sums) / float(rates_arr.min())
+    return (lower, lower + max_chunk_time)

@@ -1,0 +1,31 @@
+"""Compiler model: how GCC lowers OpenMP loops (paper Sec. 4.1).
+
+Vanilla GCC removes all loop-related runtime API calls for loops without
+a ``schedule`` clause, inlining an even static distribution straight into
+the executable — so no runtime system, however clever, can redistribute
+those iterations. The paper's one-line compiler change flips the default
+schedule from ``static`` to ``runtime``, which re-introduces
+``GOMP_loop_runtime_start/next`` calls and lets the runtime intervene in
+*every* parallel loop of a recompiled, otherwise unmodified application.
+
+This package reproduces that mechanism over our program IR: two
+"compilers" (vanilla / modified) lower each loop to an
+:class:`LoweringKind`, and :func:`undefined_symbols` reproduces the
+``nm -u`` demonstration from the paper.
+"""
+
+from repro.compiler.lowering import (
+    CompiledLoop,
+    CompiledProgram,
+    LoweringKind,
+    compile_program,
+)
+from repro.compiler.symbols import undefined_symbols
+
+__all__ = [
+    "LoweringKind",
+    "CompiledLoop",
+    "CompiledProgram",
+    "compile_program",
+    "undefined_symbols",
+]

@@ -1,0 +1,105 @@
+"""Lowering of OpenMP loops by the vanilla and modified compilers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+from repro.sched.base import ScheduleSpec
+from repro.sched.registry import parse_schedule
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program
+
+
+class LoweringKind(enum.Enum):
+    """How a parallel loop's iteration distribution is realized."""
+
+    #: Even static split inlined into the executable; zero runtime calls.
+    #: What vanilla GCC emits for clause-less loops.
+    INLINE_STATIC = "inline-static"
+
+    #: ``schedule(runtime)``: the runtime reads OMP_SCHEDULE and applies
+    #: the chosen method. What the modified compiler emits for clause-less
+    #: loops.
+    RUNTIME = "runtime"
+
+    #: The source carried an explicit ``schedule(...)`` clause; the
+    #: runtime applies exactly that method regardless of OMP_SCHEDULE.
+    CLAUSE = "clause"
+
+
+@dataclass(frozen=True)
+class CompiledLoop:
+    """One loop after lowering.
+
+    Attributes:
+        loop: the source loop.
+        kind: chosen lowering.
+        clause_spec: parsed schedule for :attr:`LoweringKind.CLAUSE`
+            loops, ``None`` otherwise.
+    """
+
+    loop: LoopSpec
+    kind: LoweringKind
+    clause_spec: ScheduleSpec | None = None
+
+    @property
+    def makes_runtime_calls(self) -> bool:
+        """Whether the generated code invokes GOMP loop API functions."""
+        return self.kind is not LoweringKind.INLINE_STATIC
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A program plus the lowering decision for each of its loops."""
+
+    program: Program
+    compiler: str  # "gcc-8.3-vanilla" or "gcc-8.3-aid"
+    lowered: dict[str, CompiledLoop]
+
+    def lowering_of(self, loop: LoopSpec) -> CompiledLoop:
+        try:
+            return self.lowered[loop.name]
+        except KeyError:
+            raise CompilerError(
+                f"loop {loop.name!r} was not part of the compiled program"
+            ) from None
+
+    @property
+    def runtime_controllable_fraction(self) -> float:
+        """Fraction of loops whose scheduling the runtime can influence.
+
+        ~0 for vanilla-compiled clause-less programs, 1.0 for the same
+        programs built with the modified compiler — the paper's point.
+        """
+        loops = list(self.lowered.values())
+        if not loops:
+            return 0.0
+        controllable = sum(1 for cl in loops if cl.kind is LoweringKind.RUNTIME)
+        return controllable / len(loops)
+
+
+def compile_program(program: Program, modified: bool) -> CompiledProgram:
+    """Lower every loop of ``program`` with one of the two compilers.
+
+    Args:
+        program: the program skeleton.
+        modified: ``False`` = vanilla GCC (clause-less loops become
+            INLINE_STATIC); ``True`` = the paper's patched GCC
+            (clause-less loops become RUNTIME).
+    """
+    lowered: dict[str, CompiledLoop] = {}
+    for loop in program.loops():
+        if loop.schedule_clause is not None:
+            spec = parse_schedule(loop.schedule_clause)
+            lowered[loop.name] = CompiledLoop(loop, LoweringKind.CLAUSE, spec)
+        elif modified:
+            lowered[loop.name] = CompiledLoop(loop, LoweringKind.RUNTIME)
+        else:
+            lowered[loop.name] = CompiledLoop(loop, LoweringKind.INLINE_STATIC)
+    return CompiledProgram(
+        program=program,
+        compiler="gcc-8.3-aid" if modified else "gcc-8.3-vanilla",
+        lowered=lowered,
+    )

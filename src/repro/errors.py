@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (bad schedule string, chunk <= 0, ...)."""
+
+
+class PlatformError(ReproError):
+    """Inconsistent platform description (no cores, unknown core type, ...)."""
+
+
+class SchedulerError(ReproError):
+    """A loop scheduler was driven through an invalid state transition."""
+
+
+class WorkShareError(ReproError):
+    """Invalid operation on a work-share structure (e.g. negative range)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload description (empty loop, negative cost, ...)."""
+
+
+class CompilerError(ReproError):
+    """Invalid program IR handed to the compiler model."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was given inconsistent parameters."""

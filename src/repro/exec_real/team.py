@@ -1,0 +1,158 @@
+"""A ``threading``-based OpenMP-style team driving the shared schedulers."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.amp.platform import Platform
+from repro.amp.presets import dual_speed_platform
+from repro.amp.topology import bs_mapping
+from repro.errors import ConfigError, SchedulerError
+from repro.runtime.context import LoopContext
+from repro.runtime.team import Team
+from repro.sched.base import ScheduleSpec
+
+
+@dataclass
+class RealLoopStats:
+    """Outcome of one real-thread parallel loop.
+
+    Attributes:
+        n_iterations: the loop's trip count.
+        iterations_per_thread: how many iterations each worker executed.
+        dispatches: successful pool removals.
+        wall_time: elapsed seconds.
+        ranges: every assigned range as ``(tid, lo, hi)``.
+        errors: exceptions raised inside workers (re-raised by default).
+    """
+
+    n_iterations: int
+    iterations_per_thread: list[int]
+    dispatches: int
+    wall_time: float
+    ranges: list[tuple[int, int, int]] = field(default_factory=list)
+    errors: list[BaseException] = field(default_factory=list)
+
+
+class ThreadTeam:
+    """A reusable team of worker threads executing parallel loops.
+
+    Args:
+        n_threads: team size (>= 1).
+        platform: optional AMP description; used only to give schedulers
+            a thread->core-type map (AID distributes by it). Defaults to
+            a synthetic two-type AMP with half "big" threads, so AID
+            methods exercise their asymmetric paths even on a laptop.
+    """
+
+    def __init__(self, n_threads: int, platform: Platform | None = None) -> None:
+        if n_threads <= 0:
+            raise ConfigError("n_threads must be positive")
+        if platform is None:
+            n_big = max(1, n_threads // 2)
+            n_small = max(1, n_threads - n_big)
+            platform = dual_speed_platform(n_small, n_big, big_speedup=2.0)
+        if n_threads > platform.n_cores:
+            raise ConfigError(
+                f"{n_threads} threads oversubscribe {platform.n_cores} cores"
+            )
+        self.n_threads = n_threads
+        self.team = Team(platform, bs_mapping(platform, n_threads))
+
+    def parallel_for(
+        self,
+        n_iterations: int,
+        body: Callable[[int, int, int], None],
+        spec: ScheduleSpec,
+        default_chunk: int = 1,
+        offline_sf: dict[int, float] | None = None,
+    ) -> RealLoopStats:
+        """Execute ``body(tid, lo, hi)`` over ``[0, n_iterations)``.
+
+        The scheduler decides the ranges exactly as in the simulator;
+        each worker loops on ``next_range`` until the pool drains. Worker
+        exceptions abort the loop and are re-raised.
+        """
+        if n_iterations < 0:
+            raise ConfigError("negative trip count")
+        # RLock: scheduler state machines hold the context lock while the
+        # work-share atomics (protected by the same lock) are invoked.
+        lock = threading.RLock()
+        ctx = LoopContext(
+            team=self.team,
+            n_iterations=n_iterations,
+            default_chunk=default_chunk,
+            lock=lock,
+            offline_sf=offline_sf,
+        )
+        scheduler = spec.create(ctx)
+        iterations = [0] * self.n_threads
+        ranges: list[tuple[int, int, int]] = []
+        ranges_lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                while True:
+                    if errors:
+                        return
+                    got = scheduler.next_range(tid, time.perf_counter())
+                    if got is None:
+                        return
+                    lo, hi = got
+                    body(tid, lo, hi)
+                    iterations[tid] += hi - lo
+                    with ranges_lock:
+                        ranges.append((tid, lo, hi))
+            except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                errors.append(exc)
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(tid,), name=f"omp-worker-{tid}")
+            for tid in range(self.n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+
+        if errors:
+            raise errors[0]
+        executed = sum(iterations)
+        if executed != n_iterations:
+            raise SchedulerError(
+                f"schedule {spec.name!r} executed {executed} of "
+                f"{n_iterations} iterations under real threads"
+            )
+        return RealLoopStats(
+            n_iterations=n_iterations,
+            iterations_per_thread=iterations,
+            dispatches=ctx.workshare.dispatch_count,
+            wall_time=wall,
+            ranges=ranges,
+        )
+
+
+def parallel_map(
+    func: Callable[[int], Any],
+    n_items: int,
+    spec: ScheduleSpec,
+    n_threads: int = 4,
+    platform: Platform | None = None,
+) -> list[Any]:
+    """Map ``func`` over ``range(n_items)`` under a schedule; returns the
+    results in index order."""
+    results: list[Any] = [None] * n_items
+    team = ThreadTeam(n_threads, platform)
+
+    def body(tid: int, lo: int, hi: int) -> None:
+        for i in range(lo, hi):
+            results[i] = func(i)
+
+    team.parallel_for(n_items, body, spec)
+    return results

@@ -1,0 +1,56 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+One module per artifact (see DESIGN.md's experiment index):
+
+* :mod:`repro.experiments.fig1` — EP traces under static, 2B-2S vs 4S.
+* :mod:`repro.experiments.fig2` — per-loop SF profiles of BT and CG.
+* :mod:`repro.experiments.sec41` — the nm-symbol compiler demonstration.
+* :mod:`repro.experiments.fig4` — EP traces under AID-static/AID-hybrid.
+* :mod:`repro.experiments.fig67` — the full normalized-performance grids
+  (Fig. 6: Platform A, Fig. 7: Platform B).
+* :mod:`repro.experiments.table2` — mean/gmean AID gains.
+* :mod:`repro.experiments.guided` — the Sec. 5 guided-schedule numbers.
+* :mod:`repro.experiments.fig8` — chunk-sensitivity study.
+* :mod:`repro.experiments.sec5b` — AID-hybrid percentage sensitivity.
+* :mod:`repro.experiments.fig9` — offline-SF accuracy study incl. the
+  blackscholes contention case.
+
+Extensions beyond the paper's evaluation:
+
+* :mod:`repro.experiments.energy` — energy/EDP per schedule (the
+  paper's motivating metric, closed with the power model).
+* :mod:`repro.experiments.multiapp` — co-located applications under OS
+  partitioning with the Sec. 4.3 shared-page coordination.
+
+All build on :mod:`repro.experiments.harness`, the shared grid runner.
+"""
+
+from repro.experiments.harness import (
+    ScheduleConfig,
+    GridResult,
+    default_configs,
+    offline_sf_tables,
+    run_grid,
+    run_one,
+)
+
+__all__ = [
+    "ScheduleConfig",
+    "GridResult",
+    "default_configs",
+    "run_grid",
+    "run_one",
+    "offline_sf_tables",
+    "fig1",
+    "fig2",
+    "sec41",
+    "fig4",
+    "fig67",
+    "table2",
+    "guided",
+    "fig8",
+    "sec5b",
+    "fig9",
+    "energy",
+    "multiapp",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any or all paper artifacts.
+
+Usage::
+
+    aid-experiments list
+    aid-experiments fig1 fig4
+    aid-experiments all
+    python -m repro.experiments.cli table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    energy,
+    fig1,
+    fig2,
+    fig4,
+    fig67,
+    fig8,
+    fig9,
+    guided,
+    multiapp,
+    sec41,
+    sec5b,
+    table2,
+)
+
+#: name -> (module with run()/format_report(), description)
+EXPERIMENTS = {
+    "fig1": (fig1, "EP traces under static, 2B-2S vs 4S"),
+    "fig2": (fig2, "per-loop SF profiles of BT and CG"),
+    "sec41": (sec41, "compiler change: nm symbols + static overhead"),
+    "fig4": (fig4, "EP traces under AID-static / AID-hybrid"),
+    "fig67": (fig67, "normalized-performance grids (Platforms A and B)"),
+    "table2": (table2, "mean/gmean AID gains"),
+    "guided": (guided, "guided-schedule aggregate numbers"),
+    "fig8": (fig8, "chunk-sensitivity study"),
+    "sec5b": (sec5b, "AID-hybrid percentage sensitivity"),
+    "fig9": (fig9, "offline-SF accuracy study (incl. blackscholes)"),
+    # Extensions beyond the paper's evaluation:
+    "energy": (energy, "extension: energy/EDP per schedule"),
+    "multiapp": (multiapp, "extension: co-located applications (Sec. 4.3)"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="aid-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=["all"],
+        help="experiment names (see 'list'), or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    args = parser.parse_args(argv)
+
+    names = args.names or ["all"]
+    if names == ["list"]:
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:<8s} {desc}")
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        module, desc = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        result = module.run(seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(f"{'=' * 72}\n{name}: {desc}  [{elapsed:.1f}s]\n{'=' * 72}")
+        print(module.format_report(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Extension experiment — energy and EDP per scheduling policy.
+
+Not a paper figure: the paper motivates AMPs with energy efficiency but
+evaluates only performance. This experiment closes the loop with the
+power model of :mod:`repro.power`: for each program and schedule we
+report energy and energy-delay product normalized to static(SB).
+
+Expected shape: the AID methods finish sooner at near-identical average
+power (the same cores are busy, just with useful work instead of barrier
+spinning), so they cut both energy and — quadratically — EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.amp.presets import odroid_xu4
+from repro.experiments.harness import ScheduleConfig, default_configs
+from repro.power.metrics import energy_delay_product
+from repro.power.model import EnergyBreakdown, PowerModel
+from repro.runtime.program_runner import ProgramRunner
+from repro.workloads.registry import all_programs
+
+DEFAULT_PROGRAMS = ("EP", "CG", "IS", "streamcluster", "hotspot3D", "FT")
+
+
+@dataclass
+class EnergyResult:
+    platform_name: str
+    # per program: label -> (time_s, energy)
+    cells: dict[str, dict[str, tuple[float, EnergyBreakdown]]] = field(
+        default_factory=dict
+    )
+
+    def normalized_energy(self, program: str, label: str, baseline: str) -> float:
+        return (
+            self.cells[program][label][1].total_j
+            / self.cells[program][baseline][1].total_j
+        )
+
+    def normalized_edp(self, program: str, label: str, baseline: str) -> float:
+        return energy_delay_product(
+            self.cells[program][label][1]
+        ) / energy_delay_product(self.cells[program][baseline][1])
+
+
+def run(
+    platform: Platform | None = None,
+    programs: tuple[str, ...] = DEFAULT_PROGRAMS,
+    seed: int = 0,
+) -> EnergyResult:
+    platform = platform if platform is not None else odroid_xu4()
+    power = PowerModel(platform)
+    result = EnergyResult(platform_name=platform.name)
+    wanted = {p.name for p in all_programs()} & set(programs)
+    for program in all_programs():
+        if program.name not in wanted:
+            continue
+        row: dict[str, tuple[float, EnergyBreakdown]] = {}
+        for config in default_configs():
+            runner = ProgramRunner(
+                platform, config.env, root_seed=seed, trace=True
+            )
+            run_result = runner.run(program)
+            energy = power.energy_of(
+                run_result, list(runner.team.mapping.cpu_of_tid)
+            )
+            row[config.label] = (run_result.completion_time, energy)
+        result.cells[program.name] = row
+    return result
+
+
+def format_report(result: EnergyResult, baseline: str = "static(SB)") -> str:
+    labels = list(next(iter(result.cells.values())).keys())
+    lines = [
+        f"Energy extension — [{result.platform_name}]",
+        "normalized energy (top) and EDP (bottom) vs "
+        f"{baseline}; lower is better",
+        "program".ljust(16) + "".join(f"{label:>14s}" for label in labels),
+    ]
+    for program, row in result.cells.items():
+        e_cells = "".join(
+            f"{result.normalized_energy(program, label, baseline):>14.3f}"
+            for label in labels
+        )
+        d_cells = "".join(
+            f"{result.normalized_edp(program, label, baseline):>14.3f}"
+            for label in labels
+        )
+        lines.append(f"{program:<16s}{e_cells}")
+        lines.append(f"{'  (EDP)':<16s}{d_cells}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,118 @@
+"""Fig. 2 — per-loop big-to-small speedup factors of BT and CG.
+
+Reproduces the paper's offline SF measurement protocol: each parallel
+loop is run single-threaded on a big core and on a small core, and the
+SF is the ratio of the completion times. The figure's message — SFs vary
+greatly across loops of one application, and the profile of Platform A
+looks nothing like Platform B's — is what rules out one application-wide
+speedup factor and motivates per-loop online estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.perfmodel.speed import PerfModel
+from repro.sim.rng import RngStreams
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program
+from repro.workloads.registry import get_program
+
+
+@dataclass
+class LoopSfPoint:
+    """One point of the Fig. 2 series."""
+
+    index: int          # loop-invocation number in program order (x axis)
+    loop_name: str
+    sf: float           # measured big/small completion-time ratio (y axis)
+
+
+@dataclass
+class Fig2Result:
+    """Per-platform, per-program SF series."""
+
+    series: dict[str, dict[str, list[LoopSfPoint]]] = field(default_factory=dict)
+    # series[platform_name][program_name] -> points
+
+    def max_sf(self, platform_name: str) -> float:
+        return max(
+            p.sf
+            for prog in self.series[platform_name].values()
+            for p in prog
+        )
+
+
+def measure_loop_sf(
+    platform: Platform, program: Program, loop: LoopSpec, invocation: int, seed: int
+) -> float:
+    """Single-thread completion-time ratio small/big for one invocation.
+
+    Simulates the paper's protocol exactly: the same iteration costs are
+    executed solo on one big and one small core; SF = t_small / t_big.
+    """
+    perf = PerfModel(platform)
+    costs = loop.costs(RngStreams(seed), program.name, invocation)
+    total = float(costs.sum())
+    slow_cpu = platform.cores_of_type(platform.core_types[0])[0].cpu_id
+    fast_cpu = platform.cores_of_type(platform.core_types[-1])[0].cpu_id
+    t_small = total / perf.solo_rate(slow_cpu, loop.kernel)
+    t_big = total / perf.solo_rate(fast_cpu, loop.kernel)
+    # Real offline measurements carry run-to-run noise (OS jitter, DVFS
+    # transients); model it as a few percent, deterministically seeded.
+    noise = RngStreams(seed).get(
+        "sf-measure", platform.name, program.name, loop.name, invocation
+    ).normal(1.0, 0.025, size=2)
+    return (t_small * max(0.9, noise[0])) / (t_big * max(0.9, noise[1]))
+
+
+def run(
+    platforms: tuple[Platform, ...] | None = None,
+    programs: tuple[str, ...] = ("BT", "CG"),
+    n_loops: int = 30,
+    seed: int = 0,
+) -> Fig2Result:
+    """SF of the first ``n_loops`` loop invocations of each program."""
+    if platforms is None:
+        platforms = (odroid_xu4(), xeon_emulated())
+    result = Fig2Result()
+    for platform in platforms:
+        per_prog: dict[str, list[LoopSfPoint]] = {}
+        for name in programs:
+            program = get_program(name)
+            points: list[LoopSfPoint] = []
+            for phase, invocation in program.schedule():
+                if not isinstance(phase, LoopSpec):
+                    continue
+                if len(points) >= n_loops:
+                    break
+                sf = measure_loop_sf(platform, program, phase, invocation, seed)
+                points.append(LoopSfPoint(len(points) + 1, phase.name, sf))
+            per_prog[name] = points
+        result.series[platform.name] = per_prog
+    return result
+
+
+def format_report(result: Fig2Result) -> str:
+    """Fig. 2 as text: one bar row per loop invocation."""
+    lines = ["Fig. 2 — big-to-small relative performance, first 30 loops"]
+    for platform_name, progs in result.series.items():
+        lines.append(f"\n[{platform_name}] (max SF {result.max_sf(platform_name):.1f})")
+        for prog_name, points in progs.items():
+            lines.append(f"  {prog_name}:")
+            for p in points:
+                bar = "#" * max(1, round(p.sf * 8))
+                lines.append(
+                    f"    {p.index:2d} {p.loop_name:<18s} {p.sf:5.2f} {bar}"
+                )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

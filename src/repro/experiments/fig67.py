@@ -1,0 +1,44 @@
+"""Figs. 6 and 7 — full normalized-performance grids on both platforms.
+
+All 21 programs x the seven scheduling configurations of the paper's
+Sec. 5A (static/dynamic under both pinning conventions, plus the three
+AID variants with default parameters), normalized to static(SB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.experiments.harness import GridResult, run_grid
+
+
+@dataclass
+class Fig67Result:
+    platform_a: GridResult
+    platform_b: GridResult
+
+
+def run(seed: int = 0, programs=None) -> Fig67Result:
+    """Run both grids (Fig. 6: Platform A, Fig. 7: Platform B)."""
+    return Fig67Result(
+        platform_a=run_grid(odroid_xu4(), programs=programs, root_seed=seed),
+        platform_b=run_grid(xeon_emulated(), programs=programs, root_seed=seed),
+    )
+
+
+def format_report(result: Fig67Result) -> str:
+    return (
+        "Fig. 6 — "
+        + result.platform_a.to_table()
+        + "\n\nFig. 7 — "
+        + result.platform_b.to_table()
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,132 @@
+"""Fig. 9 — impact of SF-estimation inaccuracies.
+
+Compares AID-static against AID-static(offline-SF), which skips the
+sampling phase and distributes using per-loop SFs gathered offline from
+single-threaded runs (the Sec. 2 protocol). Two findings reproduce:
+
+* (a, b) for most static-friendly applications the sampled SF is good
+  enough — AID-static lands within a few percent of the offline-SF
+  variant on both platforms;
+* (c) blackscholes on Platform A inverts: offline SFs are measured
+  without cache contention, but with four threads per cluster the
+  per-thread LLC share shrinks below the working set, the real SF
+  collapses, and distributing by the (too large) offline SF overloads
+  the big-core threads. AID-static's online sampling sees the contended
+  reality and wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.experiments.harness import ScheduleConfig, offline_sf_tables, run_one
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+#: Applications where AID-static/AID-hybrid are competitive with
+#: AID-dynamic (the paper's Fig. 9a/9b selection criterion).
+STATIC_FRIENDLY = (
+    "EP",
+    "CG",
+    "IS",
+    "MG",
+    "SP",
+    "blackscholes",
+    "streamcluster",
+    "bfs",
+    "hotspot3D",
+    "kmeans",
+    "backprop",
+    "sradv2",
+)
+
+
+@dataclass
+class Fig9Result:
+    # per platform: program -> (t_online, t_offline)
+    times: dict[str, dict[str, tuple[float, float]]] = field(default_factory=dict)
+    # Fig. 9c: blackscholes per-invocation estimated SF vs offline SF (A)
+    estimated_sf_series: list[float] = field(default_factory=list)
+    offline_sf_value: float = 0.0
+
+    def gain_of_online(self, platform_name: str, program: str) -> float:
+        """AID-static's gain over the offline-SF variant (positive means
+        online sampling wins)."""
+        t_on, t_off = self.times[platform_name][program]
+        return t_off / t_on - 1.0
+
+
+def run(
+    platforms: tuple[Platform, ...] | None = None,
+    programs: tuple[str, ...] = STATIC_FRIENDLY,
+    seed: int = 0,
+) -> Fig9Result:
+    if platforms is None:
+        platforms = (odroid_xu4(), xeon_emulated())
+    result = Fig9Result()
+    online_cfg = ScheduleConfig(
+        "AID-static", OmpEnv(schedule="aid_static", affinity="BS")
+    )
+    for platform in platforms:
+        rows: dict[str, tuple[float, float]] = {}
+        for name in programs:
+            program = get_program(name)
+            r_online = run_one(platform, program, online_cfg, root_seed=seed)
+            runner_off = _offline_runner(platform, program, seed)
+            r_offline = runner_off.run(program)
+            rows[name] = (r_online.completion_time, r_offline.completion_time)
+            if name == "blackscholes" and platform.n_core_types == 2:
+                series = r_online.estimated_sf_series("bs.price")
+                if series and not result.estimated_sf_series:
+                    result.estimated_sf_series = [sf[1] for sf in series]
+                    result.offline_sf_value = offline_sf_tables(
+                        platform, program
+                    )["bs.price"][1]
+        result.times[platform.name] = rows
+    return result
+
+
+def _offline_runner(platform: Platform, program, seed: int):
+    """A runner applying the AID-static(offline-SF) variant: sampling
+    omitted, distribution driven by the per-loop offline tables."""
+    from repro.runtime.program_runner import ProgramRunner
+    from repro.sched.aid_static import AidStaticSpec
+
+    return ProgramRunner(
+        platform,
+        OmpEnv(schedule="aid_static", affinity="BS"),
+        root_seed=seed,
+        offline_sf_tables=offline_sf_tables(platform, program),
+        schedule_override=AidStaticSpec(use_offline_sf=True),
+    )
+
+
+def format_report(result: Fig9Result) -> str:
+    lines = ["Fig. 9 — AID-static vs AID-static(offline-SF)"]
+    for platform_name, rows in result.times.items():
+        lines.append(f"\n[{platform_name}] (positive = online sampling wins)")
+        for program, (t_on, t_off) in rows.items():
+            gain = t_off / t_on - 1.0
+            lines.append(
+                f"  {program:<16s} online {t_on:.4f} s,"
+                f" offline-SF {t_off:.4f} s, online gain {gain:+.1%}"
+            )
+    if result.estimated_sf_series:
+        lines += [
+            "",
+            "Fig. 9c — blackscholes on Platform A:",
+            f"  offline-gathered SF: {result.offline_sf_value:.2f}",
+            "  estimated SF per invocation: "
+            + ", ".join(f"{sf:.2f}" for sf in result.estimated_sf_series),
+        ]
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

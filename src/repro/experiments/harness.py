@@ -1,0 +1,193 @@
+"""Shared experiment harness: schedule grids over programs and platforms.
+
+The paper's evaluation protocol: run every program under every
+loop-scheduling configuration with 8 threads (one per core), report
+completion time normalized to static(SB). Runs in the simulator are
+deterministic, so no warm-up/repetition protocol is needed — one run per
+cell *is* the geometric mean of the paper's four timed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.amp.platform import Platform
+from repro.errors import ExperimentError
+from repro.metrics.stats import normalized_performance
+from repro.perfmodel.contention import ContentionModel
+from repro.perfmodel.overhead import OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramResult, ProgramRunner
+from repro.workloads.program import Program
+from repro.workloads.registry import all_programs
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """One column of a Fig. 6/7-style grid.
+
+    Attributes:
+        label: display label, e.g. ``"static(SB)"`` or ``"AID-hybrid"``.
+        env: runtime environment realizing it.
+    """
+
+    label: str
+    env: OmpEnv
+
+
+def default_configs() -> tuple[ScheduleConfig, ...]:
+    """The seven configurations of the paper's Figs. 6 and 7.
+
+    Default chunks throughout, as in the paper's Sec. 5A: dynamic uses
+    chunk 1, AID methods sample with (minor) chunk 1, AID-hybrid uses
+    80%, AID-dynamic uses Major chunk 5.
+    """
+    return (
+        ScheduleConfig("static(SB)", OmpEnv(schedule="static", affinity="SB")),
+        ScheduleConfig("static(BS)", OmpEnv(schedule="static", affinity="BS")),
+        ScheduleConfig("dynamic(SB)", OmpEnv(schedule="dynamic,1", affinity="SB")),
+        ScheduleConfig("dynamic(BS)", OmpEnv(schedule="dynamic,1", affinity="BS")),
+        ScheduleConfig("AID-static", OmpEnv(schedule="aid_static", affinity="BS")),
+        ScheduleConfig(
+            "AID-hybrid", OmpEnv(schedule="aid_hybrid,80", affinity="BS")
+        ),
+        ScheduleConfig(
+            "AID-dynamic", OmpEnv(schedule="aid_dynamic,1,5", affinity="BS")
+        ),
+    )
+
+
+#: Baseline column used for normalization, as in the paper.
+BASELINE_LABEL = "static(SB)"
+
+
+def offline_sf_tables(
+    platform: Platform, program: Program
+) -> dict[str, dict[int, float]]:
+    """Per-loop offline SF tables for a program on a platform.
+
+    Reproduces the paper's offline measurement protocol (Sec. 2): run the
+    loop single-threaded on each core type and take completion-time
+    ratios against the slowest type — i.e. solo rates without co-runner
+    contention. Used by the AID-static(offline-SF) variant of Fig. 9.
+    """
+    perf = PerfModel(platform)
+    tables: dict[str, dict[int, float]] = {}
+    for loop in program.loops():
+        tables[loop.name] = {
+            j: perf.speedup_factor(loop.kernel, platform.core_types[j])
+            for j in range(platform.n_core_types)
+        }
+    return tables
+
+
+def run_one(
+    platform: Platform,
+    program: Program,
+    config: ScheduleConfig,
+    root_seed: int = 0,
+    overhead: OverheadModel | None = None,
+    contention: ContentionModel | None = None,
+    trace: bool = False,
+) -> ProgramResult:
+    """Run one (program, configuration) cell."""
+    needs_offline = config.env.schedule_spec().needs_offline_sf
+    runner = ProgramRunner(
+        platform,
+        config.env,
+        overhead=overhead,
+        contention=contention,
+        root_seed=root_seed,
+        trace=trace,
+        offline_sf_tables=(
+            offline_sf_tables(platform, program) if needs_offline else None
+        ),
+    )
+    return runner.run(program)
+
+
+@dataclass
+class GridResult:
+    """Completion times for programs x configurations on one platform."""
+
+    platform_name: str
+    config_labels: tuple[str, ...]
+    times: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def time(self, program: str, label: str) -> float:
+        try:
+            return self.times[program][label]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for ({program!r}, {label!r}) on {self.platform_name}"
+            ) from None
+
+    def normalized(
+        self, baseline: str = BASELINE_LABEL
+    ) -> dict[str, dict[str, float]]:
+        """Per-program normalized performance vs a baseline column
+        (higher is better; baseline = 1.0) — the y-axis of Figs. 6/7."""
+        out: dict[str, dict[str, float]] = {}
+        for program, row in self.times.items():
+            base = row[baseline]
+            out[program] = {
+                label: normalized_performance(base, t) for label, t in row.items()
+            }
+        return out
+
+    def column(self, label: str) -> dict[str, float]:
+        """One configuration's completion time per program."""
+        return {program: row[label] for program, row in self.times.items()}
+
+    def to_table(self, baseline: str = BASELINE_LABEL, digits: int = 3) -> str:
+        """Human-readable normalized-performance table."""
+        norm = self.normalized(baseline)
+        width = max(len(p) for p in norm) + 2
+        head = "program".ljust(width) + "".join(
+            f"{label:>14s}" for label in self.config_labels
+        )
+        lines = [f"[{self.platform_name}] normalized performance vs {baseline}", head]
+        for program in norm:
+            row = norm[program]
+            lines.append(
+                program.ljust(width)
+                + "".join(
+                    f"{row[label]:>14.{digits}f}" for label in self.config_labels
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_grid(
+    platform: Platform,
+    programs: Iterable[Program] | None = None,
+    configs: Sequence[ScheduleConfig] | None = None,
+    root_seed: int = 0,
+    overhead: OverheadModel | None = None,
+    contention: ContentionModel | None = None,
+) -> GridResult:
+    """Run a full programs x configurations grid on one platform."""
+    programs = tuple(programs) if programs is not None else all_programs()
+    configs = tuple(configs) if configs is not None else default_configs()
+    if not programs or not configs:
+        raise ExperimentError("empty grid")
+    grid = GridResult(
+        platform_name=platform.name,
+        config_labels=tuple(c.label for c in configs),
+    )
+    for program in programs:
+        row: dict[str, float] = {}
+        for config in configs:
+            result = run_one(
+                platform,
+                program,
+                config,
+                root_seed=root_seed,
+                overhead=overhead,
+                contention=contention,
+            )
+            row[config.label] = result.completion_time
+        grid.times[program.name] = row
+    return grid

@@ -1,0 +1,37 @@
+"""Real numerical kernels for the real-thread executor and examples.
+
+The discrete-event simulator models *timing*; these are actual numpy
+implementations of representative loop bodies from the benchmark suites
+(Black-Scholes pricing, EP Gaussian pairs, CG sparse mat-vec, stencil
+sweeps, SRAD, BFS, k-means), used to:
+
+* drive the real-`threading` executor (:mod:`repro.exec_real`) with
+  genuine work, validating scheduler functional correctness under real
+  concurrency, and
+* give the examples something real to compute.
+
+They are **not** used by the performance experiments: Python's GIL makes
+thread-level timing unrepresentative (documented in DESIGN.md).
+"""
+
+from repro.kernels.blackscholes import black_scholes_price
+from repro.kernels.ep import ep_gaussian_pairs
+from repro.kernels.cg import make_sparse_system, spmv_rows
+from repro.kernels.stencil import hotspot_step, jacobi_step
+from repro.kernels.srad import srad_coefficients
+from repro.kernels.graph import bfs_levels, make_random_graph
+from repro.kernels.kmeans import assign_clusters, kmeans_step
+
+__all__ = [
+    "black_scholes_price",
+    "ep_gaussian_pairs",
+    "make_sparse_system",
+    "spmv_rows",
+    "hotspot_step",
+    "jacobi_step",
+    "srad_coefficients",
+    "make_random_graph",
+    "bfs_levels",
+    "assign_clusters",
+    "kmeans_step",
+]

@@ -1,0 +1,44 @@
+"""Black-Scholes European option pricing (the PARSEC kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtr
+
+
+def black_scholes_price(
+    spot: np.ndarray,
+    strike: np.ndarray,
+    rate: float,
+    volatility: np.ndarray,
+    maturity: np.ndarray,
+    call: bool = True,
+) -> np.ndarray:
+    """Price European options under Black-Scholes.
+
+    Vectorized over option arrays; the real-thread examples slice the
+    arrays per loop iteration to mimic PARSEC's per-option loop.
+
+    Args:
+        spot: spot prices S.
+        strike: strike prices K.
+        rate: risk-free rate r.
+        volatility: implied volatilities sigma (> 0).
+        maturity: times to maturity T in years (> 0).
+        call: price calls (True) or puts (False).
+    """
+    spot = np.asarray(spot, dtype=np.float64)
+    strike = np.asarray(strike, dtype=np.float64)
+    volatility = np.asarray(volatility, dtype=np.float64)
+    maturity = np.asarray(maturity, dtype=np.float64)
+    if np.any(volatility <= 0) or np.any(maturity <= 0):
+        raise ValueError("volatility and maturity must be positive")
+    sqrt_t = np.sqrt(maturity)
+    d1 = (
+        np.log(spot / strike) + (rate + 0.5 * volatility**2) * maturity
+    ) / (volatility * sqrt_t)
+    d2 = d1 - volatility * sqrt_t
+    discount = np.exp(-rate * maturity)
+    if call:
+        return spot * ndtr(d1) - strike * discount * ndtr(d2)
+    return strike * discount * ndtr(-d2) - spot * ndtr(-d1)

@@ -1,0 +1,35 @@
+"""NAS CG: sparse matrix-vector kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def make_sparse_system(
+    n: int, density: float = 0.02, seed: int = 0
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """A random symmetric positive-definite CSR matrix and RHS vector.
+
+    CG's loops iterate over the rows of such a matrix; row lengths vary,
+    which is exactly the mild cost unevenness the CG workload model uses.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    a = sparse.random(n, n, density=density, random_state=rng, format="csr")
+    a = (a + a.T) * 0.5
+    a = a + sparse.identity(n, format="csr") * (n * density)
+    b = rng.standard_normal(n)
+    return a.tocsr(), b
+
+
+def spmv_rows(
+    matrix: sparse.csr_matrix, x: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Multiply rows [lo, hi) of a CSR matrix with x — one loop chunk."""
+    if not 0 <= lo <= hi <= matrix.shape[0]:
+        raise ValueError(f"row range [{lo}, {hi}) out of bounds")
+    return matrix[lo:hi] @ x

@@ -1,0 +1,45 @@
+"""Graph kernels (Rodinia bfs style), built on networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def make_random_graph(n_nodes: int, avg_degree: float = 4.0, seed: int = 0):
+    """A connected random graph, the bfs workload's input."""
+    if n_nodes <= 1:
+        raise ValueError("need at least two nodes")
+    p = min(1.0, avg_degree / max(1, n_nodes - 1))
+    g = nx.gnp_random_graph(n_nodes, p, seed=seed)
+    # Stitch components together so BFS reaches everything.
+    components = [list(c) for c in nx.connected_components(g)]
+    rng = np.random.default_rng(seed)
+    for a, b in zip(components, components[1:]):
+        g.add_edge(int(rng.choice(a)), int(rng.choice(b)))
+    return g
+
+
+def bfs_levels(graph, source: int = 0) -> dict[int, int]:
+    """BFS level of every node — the quantity Rodinia's bfs computes.
+
+    The frontier expansion (processing the nodes of one level) is the
+    parallel loop; this reference implementation is used to validate the
+    chunk-parallel version in the examples.
+    """
+    if source not in graph:
+        raise ValueError(f"source {source} not in graph")
+    return dict(nx.single_source_shortest_path_length(graph, source))
+
+
+def expand_frontier(graph, frontier: list[int], visited: set[int]) -> list[int]:
+    """One parallelizable frontier expansion: neighbours of ``frontier``
+    not yet visited (duplicates removed, deterministic order)."""
+    seen: set[int] = set()
+    out: list[int] = []
+    for node in frontier:
+        for nb in graph.neighbors(node):
+            if nb not in visited and nb not in seen:
+                seen.add(nb)
+                out.append(nb)
+    return out

@@ -1,0 +1,35 @@
+"""k-means assignment and update steps (Rodinia kmeans style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assign_clusters(
+    points: np.ndarray, centers: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Nearest-center assignment for points [lo, hi) — one loop chunk."""
+    if points.ndim != 2 or centers.ndim != 2:
+        raise ValueError("points and centers must be 2-D")
+    if points.shape[1] != centers.shape[1]:
+        raise ValueError("dimension mismatch between points and centers")
+    chunk = points[lo:hi]
+    d = ((chunk[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(d, axis=1)
+
+
+def kmeans_step(
+    points: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One full k-means iteration (assignment + center update).
+
+    The serial reduction between parallel assignment loops in the kmeans
+    workload model corresponds to the center update here.
+    """
+    labels = assign_clusters(points, centers, 0, len(points))
+    new_centers = centers.copy()
+    for k in range(len(centers)):
+        members = points[labels == k]
+        if len(members):
+            new_centers[k] = members.mean(axis=0)
+    return labels, new_centers

@@ -1,0 +1,38 @@
+"""SRAD (speckle-reducing anisotropic diffusion) coefficient kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def srad_coefficients(
+    image: np.ndarray, lo: int, hi: int, q0_squared: float = 0.05
+) -> np.ndarray:
+    """Diffusion coefficients for rows [lo, hi) of an image (SRAD v1/v2).
+
+    Implements the classic instantaneous-coefficient-of-variation form:
+    directional gradients -> normalized q statistic -> clamped diffusion
+    coefficient in [0, 1].
+    """
+    if image.ndim != 2:
+        raise ValueError("image must be 2-D")
+    if np.any(image <= 0):
+        raise ValueError("SRAD expects a strictly positive image")
+    n = image.shape[0]
+    lo = max(0, lo)
+    hi = min(n, hi)
+    rows = image[lo:hi]
+    up = image[np.maximum(np.arange(lo, hi) - 1, 0)]
+    down = image[np.minimum(np.arange(lo, hi) + 1, n - 1)]
+    left = np.roll(rows, 1, axis=1)
+    right = np.roll(rows, -1, axis=1)
+    grad2 = (
+        (up - rows) ** 2 + (down - rows) ** 2
+        + (left - rows) ** 2 + (right - rows) ** 2
+    ) / rows**2
+    laplacian = (up + down + left + right - 4 * rows) / rows
+    num = 0.5 * grad2 - 0.0625 * laplacian**2
+    den = (1.0 + 0.25 * laplacian) ** 2
+    q_squared = num / np.maximum(den, 1e-12)
+    coeff = 1.0 / (1.0 + (q_squared - q0_squared) / (q0_squared * (1 + q0_squared)))
+    return np.clip(coeff, 0.0, 1.0)

@@ -1,0 +1,41 @@
+"""Stencil sweeps (hotspot3D / MG style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jacobi_step(grid: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """One 5-point Jacobi relaxation over rows [lo, hi) of a 2-D grid.
+
+    Returns the updated rows (the caller stitches them into the output
+    grid — chunk-parallel, as the OpenMP loop would).
+    """
+    if grid.ndim != 2:
+        raise ValueError("grid must be 2-D")
+    n = grid.shape[0]
+    lo_c, hi_c = max(lo, 1), min(hi, n - 1)
+    if hi_c <= lo_c:
+        return grid[lo:hi].copy()
+    center = grid[lo_c:hi_c, 1:-1]
+    north = grid[lo_c - 1 : hi_c - 1, 1:-1]
+    south = grid[lo_c + 1 : hi_c + 1, 1:-1]
+    west = grid[lo_c:hi_c, :-2]
+    east = grid[lo_c:hi_c, 2:]
+    out = grid[lo:hi].copy()
+    out[lo_c - lo : hi_c - lo, 1:-1] = 0.2 * (center + north + south + west + east)
+    return out
+
+
+def hotspot_step(
+    temp: np.ndarray, power: np.ndarray, lo: int, hi: int, cap: float = 0.5
+) -> np.ndarray:
+    """One hotspot thermal-update over rows [lo, hi).
+
+    Simplified 2-D version of Rodinia's hotspot: diffusion plus a power
+    term, per grid cell.
+    """
+    if temp.shape != power.shape:
+        raise ValueError("temp and power must have the same shape")
+    diffused = jacobi_step(temp, lo, hi)
+    return diffused + cap * power[lo:hi]

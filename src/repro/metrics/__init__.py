@@ -1,0 +1,18 @@
+"""Result metrics and aggregation used by the experiment harnesses."""
+
+from repro.metrics.stats import (
+    geometric_mean,
+    normalized_performance,
+    relative_gain,
+    summarize_gains,
+)
+from repro.metrics.imbalance import load_imbalance, thread_utilization
+
+__all__ = [
+    "geometric_mean",
+    "normalized_performance",
+    "relative_gain",
+    "summarize_gains",
+    "load_imbalance",
+    "thread_utilization",
+]

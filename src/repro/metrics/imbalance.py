@@ -1,0 +1,32 @@
+"""Load-imbalance metrics over loop executions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.runtime.executor import LoopResult
+
+
+def load_imbalance(result: LoopResult) -> float:
+    """Relative imbalance of one loop execution: (max - min)/max of
+    per-thread busy time; 0 is perfectly balanced."""
+    return result.imbalance
+
+
+def thread_utilization(result: LoopResult) -> list[float]:
+    """Per-thread busy fraction of the loop's wall time.
+
+    1.0 for the thread that finished last; lower values expose barrier
+    wait (the idle big cores of the paper's Fig. 1a)."""
+    span = result.duration
+    if span <= 0:
+        raise ExperimentError("loop has zero duration")
+    return [(t - result.start_time) / span for t in result.finish_times]
+
+
+def mean_imbalance(results: Sequence[LoopResult]) -> float:
+    """Average imbalance across many loop executions."""
+    if not results:
+        raise ExperimentError("no loop results")
+    return sum(r.imbalance for r in results) / len(results)

@@ -1,0 +1,71 @@
+"""Performance statistics, following the paper's reporting conventions.
+
+The paper reports *normalized performance* — baseline completion time
+divided by a scheme's completion time, so higher is better and the
+baseline (static(SB) in Figs. 6/7) sits at 1.0 — and summarizes each AID
+variant against the method it replaces with the arithmetic mean and the
+geometric mean of per-program relative gains (Table 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ExperimentError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ExperimentError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_performance(baseline_time: float, time: float) -> float:
+    """Performance relative to a baseline (1.0 = baseline, 2.0 = twice as
+    fast)."""
+    if baseline_time <= 0 or time <= 0:
+        raise ExperimentError("completion times must be positive")
+    return baseline_time / time
+
+
+def relative_gain(reference_time: float, time: float) -> float:
+    """Relative performance improvement over a reference, as a fraction.
+
+    +0.15 means the scheme is 15% faster than the reference (i.e. the
+    paper's "AID-static vs static(BS): 14.98%" style numbers); negative
+    means slower.
+    """
+    if reference_time <= 0 or time <= 0:
+        raise ExperimentError("completion times must be positive")
+    return reference_time / time - 1.0
+
+
+def summarize_gains(
+    times: Mapping[str, float], reference: Mapping[str, float]
+) -> dict[str, float]:
+    """Mean and geometric-mean relative gain across programs (Table 2).
+
+    Args:
+        times: per-program completion times of the evaluated scheme.
+        reference: per-program completion times of the reference scheme;
+            must cover the same programs.
+
+    Returns:
+        ``{"mean": ..., "gmean": ...}`` as fractions (0.15 = +15%).
+        The gmean is computed over the per-program speedup ratios then
+        converted back to a gain, matching the paper's Table 2.
+    """
+    if set(times) != set(reference):
+        raise ExperimentError(
+            "evaluated and reference schemes cover different program sets"
+        )
+    if not times:
+        raise ExperimentError("no programs to summarize")
+    ratios = [reference[name] / times[name] for name in times]
+    mean_gain = sum(r - 1.0 for r in ratios) / len(ratios)
+    gmean_gain = geometric_mean(ratios) - 1.0
+    return {"mean": mean_gain, "gmean": gmean_gain}

@@ -1,0 +1,49 @@
+"""Multi-application scenarios: the OS side (paper Sec. 4.3).
+
+The paper evaluates single-application runs but lays out how AID should
+work when several parallel applications share an AMP: the OS (or a
+system-software layer) drives thread-to-core assignments, populates big
+cores low-TID-first, and exposes the current allocation to each
+application's runtime through a shared memory page so the AID
+distributions always use the *current* N_B/N_S — plus migration
+notifications that let the runtime readjust at the next loop.
+
+This package builds that substrate:
+
+* :mod:`repro.osched.allocation` — per-application CPU allocations and
+  piecewise-constant allocation timelines (the OS's decisions over time);
+* :mod:`repro.osched.policies` — partitioning policies (cluster split,
+  asymmetry-aware fair mix, priority-weighted);
+* :mod:`repro.osched.info_page` — the OS<->runtime shared page: the
+  runtime reads its allocation at every loop start, exactly as Sec. 4.3
+  prescribes ("without explicit CPU bindings... a shared memory region
+  could be used to efficiently exchange information");
+* :mod:`repro.osched.multiapp` — space-shared co-location of multiple
+  programs with cross-application LLC contention, and
+* :mod:`repro.osched.metrics` — system throughput (STP), average
+  normalized turnaround time (ANTT) and unfairness.
+"""
+
+from repro.osched.allocation import Allocation, AllocationTimeline
+from repro.osched.info_page import AmpInfoPage
+from repro.osched.metrics import antt, stp, unfairness
+from repro.osched.multiapp import ColocationResult, run_colocated
+from repro.osched.policies import (
+    cluster_split,
+    fair_mixed,
+    priority_weighted,
+)
+
+__all__ = [
+    "Allocation",
+    "AllocationTimeline",
+    "AmpInfoPage",
+    "cluster_split",
+    "fair_mixed",
+    "priority_weighted",
+    "run_colocated",
+    "ColocationResult",
+    "stp",
+    "antt",
+    "unfairness",
+]

@@ -1,0 +1,109 @@
+"""Per-application CPU allocations and allocation timelines."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """CPUs assigned to each co-located application at one instant.
+
+    Attributes:
+        cpus_of_app: ``cpus_of_app[i]`` — the CPU numbers application i
+            may use. Disjoint across applications (space sharing without
+            oversubscription, the regime the paper's Sec. 4.3 targets).
+    """
+
+    cpus_of_app: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for i, cpus in enumerate(self.cpus_of_app):
+            if not cpus:
+                raise ConfigError(f"application {i} was allocated no cores")
+            overlap = seen.intersection(cpus)
+            if overlap:
+                raise ConfigError(
+                    f"cores {sorted(overlap)} allocated to two applications"
+                )
+            seen.update(cpus)
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.cpus_of_app)
+
+    def cpus(self, app: int) -> tuple[int, ...]:
+        return self.cpus_of_app[app]
+
+    def others(self, app: int) -> tuple[int, ...]:
+        """CPUs occupied by every application except ``app`` (the
+        background this app's threads contend with)."""
+        out: list[int] = []
+        for i, cpus in enumerate(self.cpus_of_app):
+            if i != app:
+                out.extend(cpus)
+        return tuple(sorted(out))
+
+    def validate_for(self, platform: Platform) -> None:
+        for cpus in self.cpus_of_app:
+            for cpu in cpus:
+                if not 0 <= cpu < platform.n_cores:
+                    raise ConfigError(
+                        f"allocated CPU {cpu} does not exist on {platform.name}"
+                    )
+
+    def big_core_count(self, platform: Platform, app: int) -> int:
+        """Cores of the fastest type in this app's allocation (the N_B
+        the runtime needs from the OS per Sec. 4.3)."""
+        fastest = platform.core_types[-1]
+        return sum(
+            1 for cpu in self.cpus(app)
+            if platform.core(cpu).core_type == fastest
+        )
+
+
+@dataclass
+class AllocationTimeline:
+    """Piecewise-constant allocations over time — the OS's decisions.
+
+    Built from ``(start_time, Allocation)`` breakpoints; the allocation
+    at time t is the one whose start time is the largest <= t. The first
+    breakpoint must be at t = 0.
+    """
+
+    breakpoints: list[tuple[float, Allocation]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.breakpoints:
+            raise ConfigError("timeline needs at least one allocation")
+        times = [t for t, _ in self.breakpoints]
+        if times != sorted(times):
+            raise ConfigError("timeline breakpoints must be time-ordered")
+        if times[0] != 0.0:
+            raise ConfigError("timeline must start at t=0")
+        n_apps = {a.n_apps for _, a in self.breakpoints}
+        if len(n_apps) != 1:
+            raise ConfigError("every breakpoint must cover the same applications")
+
+    @classmethod
+    def constant(cls, allocation: Allocation) -> "AllocationTimeline":
+        return cls(breakpoints=[(0.0, allocation)])
+
+    @property
+    def n_apps(self) -> int:
+        return self.breakpoints[0][1].n_apps
+
+    def at(self, t: float) -> Allocation:
+        """The allocation in force at time ``t``."""
+        times = [bt for bt, _ in self.breakpoints]
+        idx = bisect.bisect_right(times, t) - 1
+        return self.breakpoints[max(0, idx)][1]
+
+    def change_times(self) -> list[float]:
+        """Times at which the allocation changes (excluding t=0)."""
+        return [t for t, _ in self.breakpoints[1:]]

@@ -1,0 +1,84 @@
+"""The OS <-> runtime shared information page (paper Sec. 4.3).
+
+The paper's coordination design needs three OS-side provisions; this
+page models all of them for one application:
+
+1. *"the OS scheduler should allow the runtime system to know how many
+   threads of the application are mapped to big cores at all times"* —
+   :meth:`AmpInfoPage.read` returns the current CPU set (and therefore
+   N_B/N_S) without any "system call";
+2. *"in populating big cores, the OS scheduler should favor threads with
+   lower TIDs"* — the page hands out CPU lists sorted fastest-first, so
+   building a team from them preserves the BS convention AID assumes;
+3. *"the runtime system would also greatly benefit from notifications
+   when an application thread is migrated between cores of different
+   types"* — :meth:`AmpInfoPage.read` bumps a generation counter whenever
+   the allocation changed since the previous read, which the runtime can
+   treat as the migration signal and re-derive its distribution at the
+   next loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.errors import ConfigError
+from repro.osched.allocation import AllocationTimeline
+
+
+@dataclass
+class PageSnapshot:
+    """What the runtime sees on one read."""
+
+    cpus: tuple[int, ...]
+    n_big: int
+    generation: int
+    changed: bool
+
+
+@dataclass
+class AmpInfoPage:
+    """One application's view of the OS's allocation decisions.
+
+    Args:
+        platform: the AMP.
+        timeline: the OS's allocation decisions over time.
+        app: this application's index within the timeline.
+    """
+
+    platform: Platform
+    timeline: AllocationTimeline
+    app: int
+    _last_cpus: tuple[int, ...] | None = field(default=None, repr=False)
+    _generation: int = field(default=0, repr=False)
+    reads: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.app < self.timeline.n_apps:
+            raise ConfigError(
+                f"application index {self.app} outside timeline "
+                f"({self.timeline.n_apps} applications)"
+            )
+        for _, alloc in self.timeline.breakpoints:
+            alloc.validate_for(self.platform)
+
+    def read(self, now: float) -> PageSnapshot:
+        """The runtime's loop-start peek at the shared page."""
+        alloc = self.timeline.at(now)
+        cpus = alloc.cpus(self.app)
+        changed = self._last_cpus is not None and cpus != self._last_cpus
+        if changed:
+            self._generation += 1
+        self._last_cpus = cpus
+        self.reads += 1
+        return PageSnapshot(
+            cpus=cpus,
+            n_big=alloc.big_core_count(self.platform, self.app),
+            generation=self._generation,
+            changed=changed,
+        )
+
+    def background_at(self, now: float) -> tuple[int, ...]:
+        """CPUs occupied by the co-located applications at time ``now``."""
+        return self.timeline.at(now).others(self.app)

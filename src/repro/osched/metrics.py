@@ -1,0 +1,38 @@
+"""Standard multi-programming metrics over co-location results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+def _check(solo: Sequence[float], shared: Sequence[float]) -> None:
+    if len(solo) != len(shared) or not solo:
+        raise ExperimentError("need matching, non-empty solo/shared times")
+    if any(t <= 0 for t in list(solo) + list(shared)):
+        raise ExperimentError("completion times must be positive")
+
+
+def stp(solo: Sequence[float], shared: Sequence[float]) -> float:
+    """System throughput: sum of per-application speedups vs solo.
+
+    N perfectly isolated applications on N private machines would score
+    N; space-sharing one machine scores between ~1 and N.
+    """
+    _check(solo, shared)
+    return sum(s / sh for s, sh in zip(solo, shared))
+
+
+def antt(solo: Sequence[float], shared: Sequence[float]) -> float:
+    """Average normalized turnaround time: mean per-app slowdown vs solo
+    (>= 1, lower is better)."""
+    _check(solo, shared)
+    return sum(sh / s for s, sh in zip(solo, shared)) / len(solo)
+
+
+def unfairness(solo: Sequence[float], shared: Sequence[float]) -> float:
+    """Max-over-min of per-application slowdowns (1.0 = perfectly fair)."""
+    _check(solo, shared)
+    slowdowns = [sh / s for s, sh in zip(solo, shared)]
+    return max(slowdowns) / min(slowdowns)

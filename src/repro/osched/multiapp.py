@@ -1,0 +1,116 @@
+"""Space-shared co-location of multiple OpenMP programs.
+
+Each application runs on its own CPU partition (no oversubscription —
+the regime the paper's footnote 3 and Sec. 4.3 assume), with two
+couplings to its neighbours:
+
+* **shared-cache/bandwidth contention** — the co-located applications'
+  CPUs count as active LLC co-runners in the performance model, and
+* **allocation changes over time** — each application's runtime reads
+  the Sec. 4.3 shared page at every loop start, so OS reallocations take
+  effect at the next work-sharing construct.
+
+Co-located applications otherwise progress independently (their virtual
+timelines do not synchronize); this approximates all neighbours as
+continuously active, which is accurate while the co-runners' durations
+overlap — the standard rate-based co-location approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.amp.platform import Platform
+from repro.errors import ConfigError
+from repro.osched.allocation import Allocation, AllocationTimeline
+from repro.osched.info_page import AmpInfoPage
+from repro.osched.metrics import antt, stp, unfairness
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramResult, ProgramRunner
+from repro.workloads.program import Program
+
+
+@dataclass
+class ColocationResult:
+    """Outcome of one co-location experiment."""
+
+    program_names: tuple[str, ...]
+    schedule: str
+    solo_times: list[float]
+    shared_times: list[float]
+    results: list[ProgramResult] = field(default_factory=list)
+
+    @property
+    def stp(self) -> float:
+        return stp(self.solo_times, self.shared_times)
+
+    @property
+    def antt(self) -> float:
+        return antt(self.solo_times, self.shared_times)
+
+    @property
+    def unfairness(self) -> float:
+        return unfairness(self.solo_times, self.shared_times)
+
+    def summary(self) -> str:
+        apps = ", ".join(
+            f"{name}: {t * 1e3:.1f}ms (solo {s * 1e3:.1f}ms)"
+            for name, t, s in zip(
+                self.program_names, self.shared_times, self.solo_times
+            )
+        )
+        return (
+            f"[{self.schedule}] {apps} | STP {self.stp:.2f},"
+            f" ANTT {self.antt:.2f}, unfairness {self.unfairness:.2f}"
+        )
+
+
+def run_colocated(
+    platform: Platform,
+    programs: Sequence[Program],
+    timeline: AllocationTimeline | Allocation,
+    schedule: str = "aid_static",
+    seed: int = 0,
+) -> ColocationResult:
+    """Co-run ``programs`` space-shared under one scheduling policy.
+
+    Args:
+        platform: the AMP.
+        programs: one program per application slot in the allocation.
+        timeline: the OS's allocation decisions (a bare
+            :class:`Allocation` is treated as constant over time).
+        schedule: OMP_SCHEDULE applied inside every application.
+        seed: workload seed (per-application streams are decorrelated by
+            app index).
+    """
+    if isinstance(timeline, Allocation):
+        timeline = AllocationTimeline.constant(timeline)
+    if len(programs) != timeline.n_apps:
+        raise ConfigError(
+            f"{len(programs)} programs for {timeline.n_apps} application slots"
+        )
+    env = OmpEnv(schedule=schedule, affinity="BS")
+    shared_times: list[float] = []
+    results: list[ProgramResult] = []
+    for app, program in enumerate(programs):
+        page = AmpInfoPage(platform, timeline, app=app)
+        runner = ProgramRunner(
+            platform, env, root_seed=seed + app, info_page=page
+        )
+        result = runner.run(program)
+        shared_times.append(result.completion_time)
+        results.append(result)
+    solo_times = [
+        ProgramRunner(platform, env, root_seed=seed + app)
+        .run(program)
+        .completion_time
+        for app, program in enumerate(programs)
+    ]
+    return ColocationResult(
+        program_names=tuple(p.name for p in programs),
+        schedule=schedule,
+        solo_times=solo_times,
+        shared_times=shared_times,
+        results=results,
+    )

@@ -1,0 +1,112 @@
+"""OS partitioning policies for co-located parallel applications.
+
+All policies space-share (no core is shared), never oversubscribe, and
+order each application's CPUs descending so the runtime's BS convention
+(low TIDs on big cores — what every AID variant assumes) holds inside
+each partition.
+"""
+
+from __future__ import annotations
+
+from repro.amp.platform import Platform
+from repro.errors import ConfigError
+from repro.osched.allocation import Allocation
+
+
+def _split_round_robin(items: list[int], n_apps: int) -> list[list[int]]:
+    out: list[list[int]] = [[] for _ in range(n_apps)]
+    for i, item in enumerate(items):
+        out[i % n_apps].append(item)
+    return out
+
+
+def cluster_split(platform: Platform, n_apps: int = 2) -> Allocation:
+    """Whole core types per application: app 0 gets the fastest cluster,
+    app 1 the next, round-robin.
+
+    The naive partition (each app sees a *symmetric* machine, so plain
+    static scheduling is fine) — but throughput and fairness suffer: the
+    small-cluster apps crawl.
+    """
+    if n_apps <= 0:
+        raise ConfigError("need at least one application")
+    if n_apps > platform.n_core_types:
+        raise ConfigError(
+            f"cluster split supports at most {platform.n_core_types} "
+            f"applications on {platform.name}"
+        )
+    buckets: list[list[int]] = [[] for _ in range(n_apps)]
+    # Fastest types to app 0 first.
+    for idx, ctype in enumerate(reversed(platform.core_types)):
+        app = idx % n_apps
+        buckets[app].extend(
+            c.cpu_id for c in platform.cores_of_type(ctype)
+        )
+    return Allocation(
+        cpus_of_app=tuple(tuple(sorted(b, reverse=True)) for b in buckets)
+    )
+
+
+def fair_mixed(platform: Platform, n_apps: int = 2) -> Allocation:
+    """Asymmetry-aware fair share: every application receives an equal
+    slice of *each* core type (2 big + 2 small each on the paper's
+    platforms with two applications).
+
+    Every app sees a miniature AMP — which is exactly where AID keeps
+    paying off under co-location.
+    """
+    if n_apps <= 0:
+        raise ConfigError("need at least one application")
+    buckets: list[list[int]] = [[] for _ in range(n_apps)]
+    for ctype in platform.core_types:
+        cpus = [c.cpu_id for c in platform.cores_of_type(ctype)]
+        if len(cpus) < n_apps:
+            raise ConfigError(
+                f"cannot give {n_apps} applications a share of "
+                f"{ctype.name} ({len(cpus)} cores)"
+            )
+        for app, share in enumerate(_split_round_robin(cpus, n_apps)):
+            buckets[app].extend(share)
+    return Allocation(
+        cpus_of_app=tuple(tuple(sorted(b, reverse=True)) for b in buckets)
+    )
+
+
+def priority_weighted(
+    platform: Platform, big_shares: tuple[int, ...]
+) -> Allocation:
+    """Explicit big-core shares per application; small cores are split
+    evenly. ``big_shares`` must sum to the platform's big-core count.
+
+    This is the knob an asymmetry-aware OS turns over time — reallocating
+    big cores toward the application that currently benefits most — and
+    the kind of decision the Sec. 4.3 shared page communicates to the
+    runtimes.
+    """
+    fastest = platform.core_types[-1]
+    big = [c.cpu_id for c in platform.cores_of_type(fastest)]
+    if sum(big_shares) != len(big):
+        raise ConfigError(
+            f"big-core shares {big_shares} must sum to {len(big)}"
+        )
+    if any(s < 0 for s in big_shares):
+        raise ConfigError("big-core shares must be >= 0")
+    n_apps = len(big_shares)
+    small = [
+        c.cpu_id
+        for ctype in platform.core_types[:-1]
+        for c in platform.cores_of_type(ctype)
+    ]
+    buckets: list[list[int]] = [[] for _ in range(n_apps)]
+    cursor = 0
+    for app, share in enumerate(big_shares):
+        buckets[app].extend(big[cursor : cursor + share])
+        cursor += share
+    for app, share in enumerate(_split_round_robin(small, n_apps)):
+        buckets[app].extend(share)
+    for app, bucket in enumerate(buckets):
+        if not bucket:
+            raise ConfigError(f"application {app} ended up with no cores")
+    return Allocation(
+        cpus_of_app=tuple(tuple(sorted(b, reverse=True)) for b in buckets)
+    )

@@ -1,0 +1,29 @@
+"""Performance model: platform + code characteristics -> execution speed.
+
+This package answers the one question the paper's schedulers care about:
+*how much faster does this loop run on a big core than on a small one?*
+(the speedup factor, SF). Rather than hard-coding per-loop SF tables, we
+derive the SF from a roofline-style blend of each loop body's
+:class:`KernelProfile` (instruction-level parallelism, compute/memory
+balance, working-set size) and the :class:`~repro.amp.core.CoreType`
+attributes (frequency, duty cycle, micro-architecture width, cache and
+DRAM delivery speeds). The same kernel profile therefore yields
+*different* SFs on different platforms — exactly the effect behind the
+paper's Fig. 2 — and SFs that degrade under LLC contention when several
+threads co-run — the effect behind Fig. 9c.
+"""
+
+from repro.perfmodel.kernel import KernelProfile
+from repro.perfmodel.speed import PerfModel, cpu_speed, mem_speed
+from repro.perfmodel.contention import ContentionModel, llc_share
+from repro.perfmodel.overhead import OverheadModel
+
+__all__ = [
+    "KernelProfile",
+    "PerfModel",
+    "cpu_speed",
+    "mem_speed",
+    "ContentionModel",
+    "llc_share",
+    "OverheadModel",
+]

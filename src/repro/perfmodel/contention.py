@@ -1,0 +1,89 @@
+"""Shared-cache contention model.
+
+The paper's Fig. 9c case study: blackscholes' offline-measured SF (from
+single-threaded runs) is far higher than the SF the loop actually
+achieves with 8 co-running threads, because the per-core-type shared LLC
+on big.LITTLE is large enough for one thread's working set but not for
+four. We model this with a fair-share capacity rule: a thread's data is
+served at cache speed only while its (pressure-adjusted) working set fits
+in its LLC domain's capacity divided by the number of co-running threads
+in that domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.amp.cache import LLCDomain
+from repro.amp.platform import Platform
+from repro.perfmodel.kernel import KernelProfile
+
+
+def llc_share(domain: LLCDomain, active_threads: int) -> float:
+    """Per-thread LLC capacity (MiB) with ``active_threads`` co-runners."""
+    return domain.share_for(active_threads)
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Decides cache fit (and thus memory tier) per thread.
+
+    Attributes:
+        enabled: with ``False`` every working set is treated as if the
+            thread ran alone (used to emulate the *offline* single-thread
+            SF measurements of Sec. 2 / Fig. 9).
+        smoothing: width of the transition between "fits" and "thrashes".
+            0 gives a hard step; a small positive value interpolates the
+            memory speed between cache and DRAM tiers across
+            ``[share, share*(1+smoothing)]``, avoiding knife-edge
+            behaviour in sweeps.
+    """
+
+    enabled: bool = True
+    smoothing: float = 0.25
+
+    def cache_fit_fraction(
+        self,
+        kernel: KernelProfile,
+        domain: LLCDomain,
+        active_threads: int,
+    ) -> float:
+        """Fraction of the kernel's data served at cache speed, in [0, 1].
+
+        1.0 -> fully cache-resident, 0.0 -> fully DRAM-bound.
+        """
+        if kernel.working_set_mb == 0.0:
+            return 1.0
+        threads = active_threads if self.enabled else 1
+        share = llc_share(domain, threads)
+        demand = kernel.working_set_mb * (
+            kernel.cache_pressure if (self.enabled and threads > 1) else 1.0
+        )
+        if demand <= share:
+            return 1.0
+        if self.smoothing <= 0.0:
+            return 0.0
+        upper = share * (1.0 + self.smoothing)
+        if demand >= upper:
+            return 0.0
+        return (upper - demand) / (upper - share)
+
+    def active_threads_in_domain(
+        self,
+        platform: Platform,
+        domain_index: int,
+        cpu_of_tid: Mapping[int, int] | tuple[int, ...],
+    ) -> int:
+        """Count the team's threads pinned inside LLC domain ``domain_index``.
+
+        ``cpu_of_tid`` maps thread IDs to CPU numbers (any mapping or
+        sequence indexable by TID works).
+        """
+        cpus = (
+            cpu_of_tid.values()
+            if isinstance(cpu_of_tid, Mapping)
+            else tuple(cpu_of_tid)
+        )
+        dom_cpus = set(platform.llc_domains[domain_index].cpu_ids)
+        return sum(1 for c in cpus if c in dom_cpus)

@@ -1,0 +1,125 @@
+"""Cross-invocation data-locality model.
+
+The benchmark programs are iterative: the same parallel loop runs every
+timestep over the same data. Under static scheduling thread *t* touches
+the *same* iterations every invocation, so its slice of the data stays
+resident in its cluster's cache; dynamic and guided hand out different
+ranges every time ("the non-predictive behavior of this approach tends
+to degrade data locality" — Ayguadé et al., quoted by the paper), so a
+thread keeps faulting in data some other core touched last. AID-static
+re-derives nearly identical per-thread blocks each invocation and so
+retains most of static's locality — one of the reasons it beats dynamic
+on uniform loops beyond mere dispatch-overhead savings.
+
+We model it at segment granularity: each loop's iteration space is split
+into segments; after every invocation each segment records which thread
+executed it. During the next invocation, the portion of a range whose
+segments the executing thread does *not* already own runs slower by
+``penalty x memory_weight`` (compute-bound kernels do not care where
+their data sits; streaming kernels re-fetch everything anyway, so the
+penalty is also scaled down by how cacheable the working set is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.perfmodel.kernel import KernelProfile
+
+
+@dataclass
+class LoopOwnership:
+    """Which thread touched each iteration segment last, for one loop."""
+
+    n_iterations: int
+    segment_size: int
+    owner: np.ndarray  # int16, -1 = never executed
+    invocations_seen: int = 0
+
+    @classmethod
+    def fresh(cls, n_iterations: int, segments: int) -> "LoopOwnership":
+        seg = max(1, n_iterations // max(1, segments))
+        n_seg = (n_iterations + seg - 1) // seg
+        return cls(
+            n_iterations=n_iterations,
+            segment_size=seg,
+            owner=np.full(n_seg, -1, dtype=np.int16),
+        )
+
+    def warm_fraction(self, tid: int, lo: int, hi: int) -> float:
+        """Fraction of [lo, hi) whose segments thread ``tid`` owns."""
+        if hi <= lo:
+            return 1.0
+        s0 = lo // self.segment_size
+        s1 = (hi - 1) // self.segment_size + 1
+        segs = self.owner[s0:s1]
+        if len(segs) == 0:
+            return 1.0
+        return float(np.count_nonzero(segs == tid)) / len(segs)
+
+    def update(self, ranges: list[tuple[int, int, int]]) -> None:
+        """Record one invocation's assignment: ``(tid, lo, hi)`` tuples."""
+        for tid, lo, hi in ranges:
+            if hi <= lo:
+                continue
+            s0 = lo // self.segment_size
+            s1 = (hi - 1) // self.segment_size + 1
+            self.owner[s0:s1] = tid
+        self.invocations_seen += 1
+
+
+@dataclass(frozen=True)
+class LocalityModel:
+    """Converts cold (non-owned) iteration ranges into a slowdown.
+
+    Attributes:
+        penalty: maximum relative slowdown for a fully cold range of a
+            fully memory-bound kernel (0.35 = 35% slower).
+        segments: target segment count per loop (granularity of the
+            ownership map).
+        enabled: turn the model off entirely (ablation).
+    """
+
+    penalty: float = 0.35
+    segments: int = 256
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.penalty < 0.0:
+            raise ConfigError("locality penalty must be >= 0")
+        if self.segments <= 0:
+            raise ConfigError("segment count must be positive")
+
+    def fresh_ownership(self, n_iterations: int) -> LoopOwnership:
+        return LoopOwnership.fresh(n_iterations, self.segments)
+
+    def slowdown(
+        self,
+        kernel: KernelProfile,
+        ownership: LoopOwnership | None,
+        tid: int,
+        lo: int,
+        hi: int,
+    ) -> float:
+        """Multiplier (>= 1) on the execution time of range [lo, hi).
+
+        The first invocation of a loop is charged nothing (everyone
+        starts cold; the paper likewise discards the first run of each
+        program). Streaming kernels (mlp ~ 1, huge working sets) re-fetch
+        from DRAM regardless of ownership, so the penalty scales with
+        how much the kernel actually reuses cached data.
+        """
+        if (
+            not self.enabled
+            or ownership is None
+            or ownership.invocations_seen == 0
+        ):
+            return 1.0
+        cold = 1.0 - ownership.warm_fraction(tid, lo, hi)
+        if cold <= 0.0:
+            return 1.0
+        reuse = kernel.memory_weight * (1.0 - 0.5 * kernel.mlp)
+        return 1.0 + self.penalty * reuse * cold

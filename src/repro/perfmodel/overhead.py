@@ -1,0 +1,134 @@
+"""Runtime-system overhead model.
+
+The paper's central tension: dynamic scheduling balances load on AMPs but
+each shared-pool removal costs a runtime API call, and for fine-grained
+loops (IS, CG, blackscholes) that overhead *negates* the asymmetry
+benefit — slowdowns of up to 1.93x on Platform A and 2.86x on Platform B.
+The AID methods win precisely by making fewer, larger removals.
+
+We charge a fixed amount of "runtime work" per event and convert it to
+seconds using the executing core's speed on runtime-style code (scalar,
+branchy — big cores help, but much less than on FP loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amp.core import CoreType
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Costs of runtime-system operations, in seconds on the baseline core.
+
+    Each cost is divided by the executing core type's
+    ``runtime_call_speedup`` (big cores run the runtime's scalar code
+    somewhat faster).
+
+    Attributes:
+        dispatch_cost: one ``GOMP_loop_*_next()`` call — the fetch-and-add
+            pool removal plus function-call and cache-line-ping overhead.
+            Default 1.5 microseconds, in line with published
+            fine-grained-loop measurements of libgomp's dynamic schedule
+            on small ARM cores.
+        loop_start_cost: one ``GOMP_loop_*_start()`` call per thread.
+        barrier_cost: per-thread cost of the implicit end-of-loop barrier.
+        timestamp_cost: one clock_gettime via vsyscall; this is what the
+            AID sampling phase adds on top of plain dynamic (the paper
+            stresses it is cheap).
+        atomic_contention: extra cost per dispatch per additional thread
+            in the team, modeling fetch-and-add cache-line contention
+            (0 disables).
+        atomic_service: *serialized* portion of each pool removal — the
+            fetch-and-add itself plus the cache-line transfer, which only
+            one core can perform at a time. When the team's aggregate
+            dispatch rate approaches ``1/atomic_service`` the work-share
+            line saturates and threads queue on it; this is what turns
+            dynamic(1) on a fine-grained loop from "some overhead" into
+            the 2-3x collapses the paper measures, and what large AID
+            removals avoid. Not scaled by core speed (the line transfer
+            is an uncore/interconnect cost).
+        wake_stagger: per-CPU-number delay with which the barrier release
+            wakes threads into the next work-share (futex wake chains walk
+            cores in index order, so low-numbered — i.e. *small* — cores
+            reach the pool first). Irrelevant for static/dynamic/AID, but
+            fatal for guided: the earliest arrivals receive the largest
+            chunks, and a small core saddled with a huge early chunk is a
+            straggler no other thread can relieve — the main reason guided
+            never beats both static and dynamic on AMPs (paper Sec. 5).
+        wake_jitter: maximum additional random wake delay per thread per
+            loop (OS noise). Randomizes pool-arrival order between
+            invocations, which is what makes dynamic/guided assignments
+            non-repeatable run to run — and hence cold for the locality
+            model — exactly as on real hardware.
+    """
+
+    dispatch_cost: float = 1.0e-6
+    loop_start_cost: float = 1.0e-6
+    barrier_cost: float = 2.0e-6
+    timestamp_cost: float = 0.05e-6
+    atomic_contention: float = 0.02e-6
+    atomic_service: float = 0.95e-6
+    wake_stagger: float = 0.5e-6
+    wake_jitter: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dispatch_cost",
+            "loop_start_cost",
+            "barrier_cost",
+            "timestamp_cost",
+            "atomic_contention",
+            "atomic_service",
+            "wake_stagger",
+            "wake_jitter",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"overhead {name} must be >= 0")
+
+    def dispatch(self, core_type: CoreType, n_threads: int = 1) -> float:
+        """Seconds charged for one pool removal on ``core_type``."""
+        base = self.dispatch_cost + self.atomic_contention * max(0, n_threads - 1)
+        return base / core_type.runtime_call_speedup
+
+    def loop_start(self, core_type: CoreType) -> float:
+        """Seconds charged for the per-thread loop-start call."""
+        return self.loop_start_cost / core_type.runtime_call_speedup
+
+    def barrier(self, core_type: CoreType, n_threads: int = 1) -> float:
+        """Seconds charged for the implicit barrier at loop end."""
+        return self.barrier_cost / core_type.runtime_call_speedup
+
+    def timestamp(self, core_type: CoreType) -> float:
+        """Seconds charged for one sampling-phase timestamp."""
+        return self.timestamp_cost / core_type.runtime_call_speedup
+
+    def scaled(self, factor: float) -> "OverheadModel":
+        """A copy with every cost multiplied by ``factor`` (for ablations)."""
+        if factor < 0.0:
+            raise ConfigError("overhead scale factor must be >= 0")
+        return OverheadModel(
+            dispatch_cost=self.dispatch_cost * factor,
+            loop_start_cost=self.loop_start_cost * factor,
+            barrier_cost=self.barrier_cost * factor,
+            timestamp_cost=self.timestamp_cost * factor,
+            atomic_contention=self.atomic_contention * factor,
+            atomic_service=self.atomic_service * factor,
+            wake_stagger=self.wake_stagger * factor,
+            wake_jitter=self.wake_jitter * factor,
+        )
+
+
+#: Overhead model with every cost zeroed (ideal runtime, for ablations).
+ZERO_OVERHEAD = OverheadModel(
+    dispatch_cost=0.0,
+    loop_start_cost=0.0,
+    barrier_cost=0.0,
+    timestamp_cost=0.0,
+    atomic_contention=0.0,
+    atomic_service=0.0,
+    wake_stagger=0.0,
+    wake_jitter=0.0,
+)

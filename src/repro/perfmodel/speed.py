@@ -1,0 +1,169 @@
+"""Execution-rate computation and speedup factors.
+
+Rates follow a two-component roofline blend. For a core ``c`` and kernel
+``K``:
+
+* instruction throughput
+  ``cpu = f_eff(c) * (1 + (uarch_speedup(c) - 1) * ilp(K))``
+  — frequency helps everything; a wide out-of-order pipeline only helps
+  code with ILP to exploit;
+* data delivery
+  ``mem = fit * cache_bw(c) + (1 - fit) * dram(c, K)`` where ``fit`` is
+  the cache-fit fraction from the contention model and ``dram(c, K) =
+  mlp(K) * dram_stream_bw(c) + (1 - mlp(K)) * dram_latency_bw(c)``
+  distinguishes bandwidth-bound streaming misses (similar on every core)
+  from latency-bound dependent misses (crippling on in-order cores);
+* combined rate (harmonic blend, i.e. time components add)
+  ``rate = 1 / (w/cpu + (1-w)/mem)``  with ``w = compute_weight(K)``.
+
+One *work unit* of iteration cost takes ``1 / rate`` seconds. Rates are
+relative — only ratios between cores matter — so the paper's speedup
+factor of a loop on core type *j* is simply ``rate_j / rate_slowest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.amp.core import Core, CoreType
+from repro.amp.platform import Platform
+from repro.errors import PlatformError
+from repro.perfmodel.contention import ContentionModel
+from repro.perfmodel.kernel import KernelProfile
+
+
+def cpu_speed(core_type: CoreType, kernel: KernelProfile) -> float:
+    """Instruction-throughput component of a core's speed for a kernel."""
+    width_gain = 1.0 + (core_type.uarch_speedup - 1.0) * kernel.ilp
+    return core_type.effective_freq_ghz * width_gain
+
+
+def mem_speed(
+    core_type: CoreType, kernel: KernelProfile, cache_fit_fraction: float
+) -> float:
+    """Data-delivery component, interpolating cache and DRAM tiers.
+
+    The DRAM tier blends streaming and latency-bound delivery according
+    to the kernel's memory-level parallelism.
+    """
+    f = cache_fit_fraction
+    dram = (
+        kernel.mlp * core_type.dram_stream_bw
+        + (1.0 - kernel.mlp) * core_type.dram_latency_bw
+    )
+    return f * core_type.cache_bw + (1.0 - f) * dram
+
+
+def blended_rate(
+    core_type: CoreType,
+    kernel: KernelProfile,
+    cache_fit_fraction: float,
+    coherence: float = 0.0,
+) -> float:
+    """Harmonic blend of compute and memory components.
+
+    ``coherence`` is an additive inverse-speed term on the data path
+    (ping-ponging shared lines costs the same absolute time on every
+    core, so it compresses big-to-small ratios).
+    """
+    cpu = cpu_speed(core_type, kernel)
+    w = kernel.compute_weight
+    if w >= 1.0:
+        return cpu
+    mem = mem_speed(core_type, kernel, cache_fit_fraction)
+    if coherence > 0.0:
+        mem = 1.0 / (1.0 / mem + coherence)
+    return 1.0 / (w / cpu + (1.0 - w) / mem)
+
+
+@dataclass
+class PerfModel:
+    """Per-platform oracle for execution rates and speedup factors.
+
+    Args:
+        platform: the AMP being modeled.
+        contention: cache-contention model (pass
+            ``ContentionModel(enabled=False)`` for single-thread /
+            offline-style rates).
+    """
+
+    platform: Platform
+    contention: ContentionModel = field(default_factory=ContentionModel)
+
+    def rate(
+        self,
+        cpu_id: int,
+        kernel: KernelProfile,
+        cpu_of_tid: Sequence[int] = (),
+    ) -> float:
+        """Work units per second for ``kernel`` on core ``cpu_id``.
+
+        Args:
+            cpu_id: the executing core.
+            cpu_of_tid: CPU pinning of the whole team (used to count LLC
+                co-runners). Empty means the thread runs alone.
+        """
+        core = self.platform.core(cpu_id)
+        domain = self.platform.llc_domains[core.llc_domain]
+        team = tuple(cpu_of_tid) or (cpu_id,)
+        active = self.contention.active_threads_in_domain(
+            self.platform, core.llc_domain, team
+        )
+        fit = self.contention.cache_fit_fraction(kernel, domain, max(1, active))
+        coherence = 0.0
+        if kernel.coherence_penalty > 0.0 and len(team) > 1:
+            co_runners = (len(team) - 1) / max(1, self.platform.n_cores - 1)
+            coherence = (
+                kernel.coherence_penalty
+                * self.platform.coherence_factor
+                * co_runners
+            )
+        return blended_rate(core.core_type, kernel, fit, coherence)
+
+    def solo_rate(self, cpu_id: int, kernel: KernelProfile) -> float:
+        """Rate when the thread runs alone on the platform (offline mode)."""
+        core = self.platform.core(cpu_id)
+        domain = self.platform.llc_domains[core.llc_domain]
+        solo = ContentionModel(enabled=False)
+        fit = solo.cache_fit_fraction(kernel, domain, 1)
+        return blended_rate(core.core_type, kernel, fit)
+
+    def speedup_factor(
+        self,
+        kernel: KernelProfile,
+        core_type: CoreType | str | None = None,
+        cpu_of_tid: Sequence[int] = (),
+    ) -> float:
+        """Speedup of ``core_type`` over the slowest type for this kernel.
+
+        With an empty ``cpu_of_tid`` this reproduces the paper's *offline*
+        SF measurement (single-threaded big vs small run, Sec. 2);
+        otherwise it is the *online* SF under the given team placement.
+        """
+        if core_type is None:
+            core_type = self.platform.core_types[-1]
+        fast_idx = self.platform.type_index(core_type)
+        slow_cpu = self._representative_cpu(0)
+        fast_cpu = self._representative_cpu(fast_idx)
+        if cpu_of_tid:
+            slow = self.rate(slow_cpu, kernel, cpu_of_tid)
+            fast = self.rate(fast_cpu, kernel, cpu_of_tid)
+        else:
+            slow = self.solo_rate(slow_cpu, kernel)
+            fast = self.solo_rate(fast_cpu, kernel)
+        return fast / slow
+
+    def _representative_cpu(self, type_index: int) -> int:
+        ctype = self.platform.core_types[type_index]
+        for core in self.platform.cores:
+            if core.core_type == ctype:
+                return core.cpu_id
+        raise PlatformError(
+            f"no core of type {ctype.name!r} on {self.platform.name}"
+        )  # pragma: no cover - Platform validation prevents this
+
+    def max_speedup_factor(self, kernels: Sequence[KernelProfile]) -> float:
+        """Largest offline SF across a set of kernels (paper: 8.9x on A,
+        2.3x on B)."""
+        return max(self.speedup_factor(k) for k in kernels)

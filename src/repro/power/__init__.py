@@ -1,0 +1,23 @@
+"""Energy and power modeling for AMP executions.
+
+The paper's opening motivation is *energy efficiency*: asymmetric
+designs couple power-hungry big cores with frugal small ones. This
+package closes that loop for the reproduction: per-core-type power
+parameters (calibrated to published big.LITTLE measurements), energy
+accounting over simulated executions, and the derived metrics
+(energy-delay product, energy per unit of work) used to compare
+scheduling policies — a natural extension experiment the paper's
+conclusions invite.
+"""
+
+from repro.power.model import CorePower, PlatformPower, PowerModel, EnergyBreakdown
+from repro.power.metrics import energy_delay_product, normalized_energy
+
+__all__ = [
+    "CorePower",
+    "PlatformPower",
+    "PowerModel",
+    "EnergyBreakdown",
+    "energy_delay_product",
+    "normalized_energy",
+]

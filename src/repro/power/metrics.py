@@ -1,0 +1,35 @@
+"""Derived energy metrics for scheduler comparisons."""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.power.model import EnergyBreakdown
+
+
+def energy_delay_product(energy: EnergyBreakdown) -> float:
+    """EDP in joule-seconds: the standard efficiency/performance blend.
+
+    Lower is better; a scheduler that halves completion time at equal
+    energy halves the EDP.
+    """
+    return energy.total_j * energy.wall_s
+
+
+def normalized_energy(
+    baseline: EnergyBreakdown, candidate: EnergyBreakdown
+) -> float:
+    """Candidate energy relative to a baseline (1.0 = equal, <1 = saves
+    energy)."""
+    if baseline.total_j <= 0:
+        raise ExperimentError("baseline consumed no energy")
+    return candidate.total_j / baseline.total_j
+
+
+def normalized_edp(
+    baseline: EnergyBreakdown, candidate: EnergyBreakdown
+) -> float:
+    """Candidate EDP relative to a baseline (lower is better)."""
+    base = energy_delay_product(baseline)
+    if base <= 0:
+        raise ExperimentError("baseline has zero EDP")
+    return energy_delay_product(candidate) / base

@@ -1,0 +1,206 @@
+"""Per-core power parameters and whole-run energy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.amp.platform import Platform
+from repro.errors import ConfigError, ExperimentError
+from repro.runtime.program_runner import ProgramResult
+from repro.tracing.trace import ThreadState
+
+
+@dataclass(frozen=True)
+class CorePower:
+    """Power draw of one core type, in watts.
+
+    Attributes:
+        active_w: power while executing instructions at full tilt.
+        idle_w: power while clock-gated at a barrier or between phases
+            (cores are not power-gated mid-application; big.LITTLE
+            cluster shutdown latencies are far above loop time scales).
+    """
+
+    active_w: float
+    idle_w: float
+
+    def __post_init__(self) -> None:
+        if self.active_w <= 0:
+            raise ConfigError("active power must be > 0")
+        if not 0 <= self.idle_w <= self.active_w:
+            raise ConfigError("idle power must be in [0, active]")
+
+
+#: Ballpark figures for the Odroid-XU4 from published measurements:
+#: an A15 at 2 GHz draws roughly 1.5-2 W per core under FP load, an A7
+#: at 1.5 GHz well under half a watt.
+ODROID_POWER: Mapping[str, CorePower] = {
+    "cortex-a7": CorePower(active_w=0.35, idle_w=0.05),
+    "cortex-a15": CorePower(active_w=1.75, idle_w=0.25),
+}
+
+#: Per-core figures for the throttled/nominal Broadwell cores of
+#: Platform B (package power divided across cores).
+XEON_POWER: Mapping[str, CorePower] = {
+    "xeon-slow": CorePower(active_w=4.0, idle_w=1.2),
+    "xeon-fast": CorePower(active_w=10.0, idle_w=1.5),
+}
+
+
+@dataclass(frozen=True)
+class PlatformPower:
+    """Power table for a platform: core-type name -> :class:`CorePower`."""
+
+    per_type: Mapping[str, CorePower]
+    uncore_w: float = 0.0  # memory/interconnect floor, drawn for the whole run
+
+    def __post_init__(self) -> None:
+        if self.uncore_w < 0:
+            raise ConfigError("uncore power must be >= 0")
+
+    def for_type(self, name: str) -> CorePower:
+        try:
+            return self.per_type[name]
+        except KeyError:
+            raise ConfigError(f"no power data for core type {name!r}") from None
+
+    @classmethod
+    def odroid_xu4(cls) -> "PlatformPower":
+        return cls(per_type=dict(ODROID_POWER), uncore_w=1.0)
+
+    @classmethod
+    def xeon_emulated(cls) -> "PlatformPower":
+        return cls(per_type=dict(XEON_POWER), uncore_w=15.0)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one program run, in joules.
+
+    Attributes:
+        active_j: energy spent executing instructions (compute, runtime
+            calls, serial phases).
+        idle_j: energy of cores idling/spinning at barriers and during
+            serial phases.
+        uncore_j: platform floor over the run's wall time.
+    """
+
+    active_j: float
+    idle_j: float
+    uncore_j: float
+    wall_s: float
+    per_type_active_j: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.idle_j + self.uncore_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.wall_s <= 0:
+            raise ExperimentError("run has no duration")
+        return self.total_j / self.wall_s
+
+
+#: Trace states during which a core draws active power.
+_ACTIVE_STATES = (ThreadState.COMPUTE, ThreadState.RUNTIME, ThreadState.SERIAL)
+
+
+class PowerModel:
+    """Turns executions into energy numbers for one platform.
+
+    Works from a full trace when available (exact state accounting) or
+    from the per-loop results otherwise (busy-until-finish
+    approximation).
+
+    Args:
+        platform: the AMP.
+        power: power table; defaults chosen by platform name when
+            recognizable.
+    """
+
+    def __init__(self, platform: Platform, power: PlatformPower | None = None):
+        self.platform = platform
+        if power is None:
+            if "Odroid" in platform.name:
+                power = PlatformPower.odroid_xu4()
+            elif "Xeon" in platform.name:
+                power = PlatformPower.xeon_emulated()
+            else:
+                raise ConfigError(
+                    f"no default power table for {platform.name!r}; pass one"
+                )
+        self.power = power
+        # Validate coverage eagerly.
+        for ct in platform.core_types:
+            self.power.for_type(ct.name)
+
+    # -- accounting -----------------------------------------------------------
+
+    def energy_of(
+        self, result: ProgramResult, cpu_of_tid: Mapping[int, int] | list[int]
+    ) -> EnergyBreakdown:
+        """Energy of a program run.
+
+        Args:
+            result: the run (ideally executed with ``trace=True``).
+            cpu_of_tid: the team's pinning (``runner.team.mapping.cpu_of_tid``).
+        """
+        wall = result.completion_time
+        if wall <= 0:
+            raise ExperimentError("run has no duration")
+        cpus = list(cpu_of_tid.values()) if isinstance(cpu_of_tid, Mapping) else list(cpu_of_tid)
+        type_of_tid = [
+            self.platform.core(cpu).core_type.name for cpu in cpus
+        ]
+        active_per_tid = (
+            self._active_from_trace(result)
+            if result.trace is not None
+            else self._active_from_loops(result, len(cpus))
+        )
+        active_j = 0.0
+        idle_j = 0.0
+        per_type: dict[str, float] = {}
+        for tid, busy in enumerate(active_per_tid):
+            cp = self.power.for_type(type_of_tid[tid])
+            busy = min(busy, wall)
+            a = busy * cp.active_w
+            active_j += a
+            idle_j += (wall - busy) * cp.idle_w
+            per_type[type_of_tid[tid]] = per_type.get(type_of_tid[tid], 0.0) + a
+        # Cores of the platform not used by the team idle for the run.
+        used = set(cpus)
+        for core in self.platform.cores:
+            if core.cpu_id not in used:
+                cp = self.power.for_type(core.core_type.name)
+                idle_j += wall * cp.idle_w
+        return EnergyBreakdown(
+            active_j=active_j,
+            idle_j=idle_j,
+            uncore_j=wall * self.power.uncore_w,
+            wall_s=wall,
+            per_type_active_j=per_type,
+        )
+
+    def _active_from_trace(self, result: ProgramResult) -> list[float]:
+        trace = result.trace
+        assert trace is not None
+        tids = trace.thread_ids()
+        out = [0.0] * (max(tids) + 1 if tids else 0)
+        for tid in tids:
+            out[tid] = sum(
+                trace.time_in_state(tid, state) for state in _ACTIVE_STATES
+            )
+        return out
+
+    def _active_from_loops(self, result: ProgramResult, nt: int) -> list[float]:
+        """Approximation without a trace: each thread is active from loop
+        start until its own finish; the master is additionally active for
+        the serial time."""
+        out = [0.0] * nt
+        for lr in result.loop_results:
+            for tid in range(min(nt, len(lr.finish_times))):
+                out[tid] += max(0.0, lr.finish_times[tid] - lr.start_time)
+        out[0] += result.serial_time
+        return out

@@ -1,0 +1,32 @@
+"""OpenMP-like runtime system (the libgomp analogue).
+
+Structures mirror GNU libgomp's work-sharing implementation, which the
+paper modifies: a :class:`WorkShare` holds the shared iteration pool
+(``next``/``end`` fields consumed with fetch-and-add), a :class:`Team`
+binds worker threads to cores, and :class:`LoopExecutor` drives one
+parallel loop on the discrete-event simulator, charging runtime-call
+overheads and recording traces. :class:`ProgramRunner` strings serial
+phases and parallel loops into whole-application executions.
+"""
+
+from repro.runtime.atomics import AtomicCounter, AtomicFloat
+from repro.runtime.workshare import WorkShare
+from repro.runtime.team import Team
+from repro.runtime.context import LoopContext, ThreadView
+from repro.runtime.executor import LoopExecutor, LoopResult
+from repro.runtime.program_runner import ProgramResult, ProgramRunner
+from repro.runtime.env import OmpEnv
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicFloat",
+    "WorkShare",
+    "Team",
+    "LoopContext",
+    "ThreadView",
+    "LoopExecutor",
+    "LoopResult",
+    "ProgramRunner",
+    "ProgramResult",
+    "OmpEnv",
+]

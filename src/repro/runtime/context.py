@@ -1,0 +1,125 @@
+"""Per-loop execution context handed to schedulers.
+
+A :class:`LoopContext` is created by the executor for each parallel-loop
+execution. It owns the :class:`~repro.runtime.workshare.WorkShare` pool
+and exposes exactly the information the paper's schedulers consume: team
+shape (thread counts per core type), the default chunk, optional offline
+SF values, and a way to charge sampling-phase timestamp costs to a
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, ContextManager, Mapping
+
+from repro.errors import ConfigError
+from repro.runtime.team import Team
+from repro.runtime.workshare import WorkShare
+
+
+@dataclass(frozen=True)
+class ThreadView:
+    """What a scheduler may know about one worker thread."""
+
+    tid: int
+    cpu_id: int
+    type_index: int
+
+
+class LoopContext:
+    """Shared state for one execution of one parallel loop.
+
+    Args:
+        team: the executing thread team.
+        n_iterations: loop trip count.
+        default_chunk: chunk used when a scheduler needs one and none was
+            configured (libgomp uses 1 for dynamic).
+        lock: lock protecting shared scheduler state under real threads;
+            ``None`` in the simulator.
+        offline_sf: optional per-core-type offline speedup factors for
+            this loop, indexed by type (entry 0, the slowest type, should
+            be 1.0). Used by the AID-static(offline-SF) variant of Fig. 9.
+        charge_timestamp: callback ``(tid) -> None`` charging one
+            clock-read overhead to the thread; wired by the executor.
+    """
+
+    def __init__(
+        self,
+        team: Team,
+        n_iterations: int,
+        default_chunk: int = 1,
+        lock: threading.Lock | None = None,
+        offline_sf: Mapping[int, float] | None = None,
+        charge_timestamp: Callable[[int], None] | None = None,
+    ) -> None:
+        if n_iterations < 0:
+            raise ConfigError(f"negative trip count {n_iterations}")
+        if default_chunk <= 0:
+            raise ConfigError(f"default chunk must be positive, got {default_chunk}")
+        self.team = team
+        self.n_iterations = int(n_iterations)
+        self.default_chunk = int(default_chunk)
+        self._lock = lock
+        self.offline_sf = dict(offline_sf) if offline_sf is not None else None
+        self._charge_timestamp = charge_timestamp
+        self.workshare = WorkShare(0, n_iterations, lock)
+        self.threads = tuple(
+            ThreadView(
+                tid=t,
+                cpu_id=team.cpu_of(t),
+                type_index=team.type_index_of(t),
+            )
+            for t in range(team.n_threads)
+        )
+
+    # -- team shape ---------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        return self.team.n_threads
+
+    @property
+    def n_types(self) -> int:
+        return self.team.n_types
+
+    def type_of(self, tid: int) -> int:
+        return self.threads[tid].type_index
+
+    def type_counts(self) -> tuple[int, ...]:
+        return self.team.type_counts()
+
+    # -- concurrency --------------------------------------------------------
+
+    @property
+    def lock(self) -> ContextManager[object]:
+        """Guard for scheduler shared state (no-op in the simulator)."""
+        return nullcontext() if self._lock is None else self._lock
+
+    def make_lock(self) -> threading.Lock | None:
+        """The raw lock (or None) for building atomics with the same
+        protection domain as this context."""
+        return self._lock
+
+    # -- overhead hooks -------------------------------------------------------
+
+    def charge_timestamp(self, tid: int) -> None:
+        """Charge one timestamp-read cost to thread ``tid`` (AID sampling)."""
+        if self._charge_timestamp is not None:
+            self._charge_timestamp(tid)
+
+    def offline_sf_for_type(self, type_index: int) -> float:
+        """Offline SF for a core type; raises if none was supplied."""
+        if self.offline_sf is None:
+            raise ConfigError(
+                "scheduler requires offline SF values but none were supplied "
+                "for this loop"
+            )
+        try:
+            return float(self.offline_sf[type_index])
+        except KeyError:
+            raise ConfigError(
+                f"offline SF table has no entry for core type {type_index}"
+            ) from None

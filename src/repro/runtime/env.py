@@ -1,0 +1,84 @@
+"""Environment-variable front end (OMP_SCHEDULE, GOMP_AMP_AFFINITY, ...).
+
+The paper's whole point is activating AID *without touching application
+code*: applications are recompiled once, then the user selects the
+method per run through environment variables. :class:`OmpEnv` models the
+variables the modified libgomp reads at startup:
+
+* ``OMP_SCHEDULE`` — the schedule applied to every ``schedule(runtime)``
+  loop; accepts the extended strings of
+  :func:`repro.sched.registry.parse_schedule` (``"aid_hybrid,80"`` ...).
+* ``OMP_NUM_THREADS`` — team size (default: all cores).
+* ``GOMP_AMP_AFFINITY`` — ``"BS"`` (big cores first, the AID convention)
+  or ``"SB"`` (small first); exactly the two pinning conventions of the
+  paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.amp.platform import Platform
+from repro.amp.topology import AffinityMapping, bs_mapping, sb_mapping
+from repro.errors import ConfigError
+from repro.sched.base import ScheduleSpec
+from repro.sched.registry import parse_schedule
+
+
+@dataclass(frozen=True)
+class OmpEnv:
+    """A parsed runtime environment.
+
+    Attributes:
+        schedule: the OMP_SCHEDULE string (applied to runtime-scheduled
+            loops).
+        num_threads: team size; ``None`` means one thread per core.
+        affinity: "BS" or "SB".
+    """
+
+    schedule: str = "static"
+    num_threads: int | None = None
+    affinity: str = "BS"
+
+    def __post_init__(self) -> None:
+        if self.affinity not in ("BS", "SB"):
+            raise ConfigError(
+                f"GOMP_AMP_AFFINITY must be 'BS' or 'SB', got {self.affinity!r}"
+            )
+        if self.num_threads is not None and self.num_threads <= 0:
+            raise ConfigError("OMP_NUM_THREADS must be positive")
+        # Validate eagerly so a bad schedule string fails at env creation,
+        # like libgomp does at program startup.
+        parse_schedule(self.schedule)
+
+    @classmethod
+    def from_vars(cls, env: Mapping[str, str]) -> "OmpEnv":
+        """Build from a dict of environment variables (unknown keys are
+        ignored, like a real environment)."""
+        nt = env.get("OMP_NUM_THREADS")
+        return cls(
+            schedule=env.get("OMP_SCHEDULE", "static"),
+            num_threads=int(nt) if nt is not None else None,
+            affinity=env.get("GOMP_AMP_AFFINITY", "BS"),
+        )
+
+    def schedule_spec(self) -> ScheduleSpec:
+        """The parsed OMP_SCHEDULE."""
+        return parse_schedule(self.schedule)
+
+    def team_size(self, platform: Platform) -> int:
+        nt = platform.n_cores if self.num_threads is None else self.num_threads
+        if nt > platform.n_cores:
+            raise ConfigError(
+                f"OMP_NUM_THREADS={nt} oversubscribes {platform.n_cores} cores; "
+                "AID assumes at most one thread per core"
+            )
+        return nt
+
+    def mapping(self, platform: Platform) -> AffinityMapping:
+        """The affinity mapping this environment induces."""
+        nt = self.team_size(platform)
+        if self.affinity == "BS":
+            return bs_mapping(platform, nt)
+        return sb_mapping(platform, nt)

@@ -1,0 +1,333 @@
+"""Discrete-event execution of one parallel loop.
+
+The executor is the meeting point of every substrate: it takes a
+:class:`~repro.runtime.team.Team` (threads pinned on an AMP), a
+per-iteration cost vector, a :class:`~repro.perfmodel.speed.PerfModel`
+(work units -> seconds per core) and a
+:class:`~repro.sched.base.ScheduleSpec`, and plays out the loop on the
+discrete-event simulator:
+
+* each worker thread alternates *dispatch* (one scheduler call, charged
+  as runtime overhead) and *compute* (executing the returned iteration
+  range at its core's rate);
+* AID sampling timestamps charged through the loop context are added to
+  the thread's next compute block;
+* everything is optionally recorded into a trace.
+
+Event ordering is exactly the semantics that matter to the paper: the
+thread that finishes its chunk first reaches the shared pool first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perfmodel.locality import LocalityModel, LoopOwnership
+from repro.perfmodel.overhead import OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.context import LoopContext
+from repro.runtime.team import Team
+from repro.sched.base import LoopScheduler, ScheduleSpec
+from repro.sched.static import static_block
+from repro.tracing.trace import ThreadState, TraceRecorder
+from repro.workloads.loopspec import LoopSpec
+
+#: Safety bound on events per loop execution (dispatches are at most one
+#: per iteration plus per-thread bookkeeping; anything past this is a
+#: livelocked policy).
+_EVENT_BUDGET_SLACK = 64
+
+
+@dataclass
+class LoopResult:
+    """Outcome of one parallel-loop execution.
+
+    Attributes:
+        loop_name: the executed loop.
+        start_time: when all threads entered the loop.
+        end_time: when the last thread finished its share (barrier cost
+            not yet included — the program runner adds it).
+        finish_times: per-TID completion times.
+        iterations: per-TID executed iteration counts.
+        dispatches: successful pool removals (0 for inline static).
+        scheduler_calls: total scheduler invocations, including the final
+            empty-handed ones.
+        estimated_sf: per-core-type SF the scheduler sampled, if any.
+        ranges: every assigned iteration range as ``(tid, lo, hi)``, in
+            assignment order — the raw distribution, used by the locality
+            model and by analyses/tests.
+    """
+
+    loop_name: str
+    start_time: float
+    end_time: float
+    finish_times: list[float]
+    iterations: list[int]
+    dispatches: int
+    scheduler_calls: int
+    estimated_sf: dict[int, float] | None = None
+    ranges: list[tuple[int, int, int]] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def imbalance(self) -> float:
+        """Relative load imbalance: (max - min) / max of thread busy time.
+
+        0 = perfectly balanced. Computed over finish times relative to
+        the loop start.
+        """
+        busy = [t - self.start_time for t in self.finish_times]
+        peak = max(busy)
+        return 0.0 if peak <= 0 else (peak - min(busy)) / peak
+
+
+class LoopExecutor:
+    """Executes parallel loops for one (team, models) configuration.
+
+    Args:
+        team: threads pinned onto the platform.
+        perf: performance model for the platform.
+        overhead: runtime-call cost model.
+        recorder: optional trace recorder.
+    """
+
+    def __init__(
+        self,
+        team: Team,
+        perf: PerfModel,
+        overhead: OverheadModel | None = None,
+        recorder: TraceRecorder | None = None,
+        locality: LocalityModel | None = None,
+        background_cpus: tuple[int, ...] = (),
+    ) -> None:
+        self.team = team
+        self.perf = perf
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self.recorder = recorder
+        self.locality = locality if locality is not None else LocalityModel()
+        #: CPUs occupied by *other* applications co-located on the
+        #: platform (Sec. 4.3 scenarios); they count as LLC co-runners.
+        self.background_cpus = tuple(background_cpus)
+
+    # -- rates -----------------------------------------------------------------
+
+    def rates_for(self, loop: LoopSpec) -> list[float]:
+        """Per-TID execution rate (work units/second) for this loop,
+        under the team's full co-running contention (including any
+        co-located applications' threads)."""
+        cpus = tuple(self.team.mapping.cpu_of_tid) + self.background_cpus
+        return [
+            self.perf.rate(self.team.cpu_of(tid), loop.kernel, cpus)
+            for tid in range(self.team.n_threads)
+        ]
+
+    # -- inline static (vanilla-compiler) path ------------------------------------
+
+    def run_inline_static(
+        self,
+        loop: LoopSpec,
+        costs: np.ndarray,
+        start_time: float = 0.0,
+        ownership: LoopOwnership | None = None,
+    ) -> LoopResult:
+        """Run the loop as vanilla GCC lowers clause-less loops: an even
+        split baked into the code, zero runtime calls."""
+        nt = self.team.n_threads
+        prefix = np.concatenate(([0.0], np.cumsum(costs)))
+        rates = self.rates_for(loop)
+        finish = [start_time] * nt
+        iters = [0] * nt
+        ranges: list[tuple[int, int, int]] = []
+        for tid in range(nt):
+            lo, hi = static_block(len(costs), nt, tid)
+            work = float(prefix[hi] - prefix[lo])
+            slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
+            finish[tid] = start_time + slowdown * work / rates[tid]
+            iters[tid] = hi - lo
+            if hi > lo:
+                ranges.append((tid, lo, hi))
+            if self.recorder is not None and hi > lo:
+                self.recorder.record(
+                    tid, ThreadState.COMPUTE, start_time, finish[tid], loop.name
+                )
+        return LoopResult(
+            loop_name=loop.name,
+            start_time=start_time,
+            end_time=max(finish),
+            finish_times=finish,
+            iterations=iters,
+            dispatches=0,
+            scheduler_calls=0,
+            ranges=ranges,
+        )
+
+    # -- runtime-scheduled path ------------------------------------------------------
+
+    def run(
+        self,
+        loop: LoopSpec,
+        costs: np.ndarray,
+        spec: ScheduleSpec,
+        start_time: float = 0.0,
+        offline_sf: Mapping[int, float] | None = None,
+        default_chunk: int = 1,
+        ownership: LoopOwnership | None = None,
+        rng: np.random.Generator | None = None,
+        start_times: Sequence[float] | None = None,
+    ) -> LoopResult:
+        """Run the loop under a schedule through the runtime system.
+
+        ``rng`` drives the per-thread wake jitter (OS noise); pass a
+        stream seeded per invocation for reproducible-yet-varying
+        arrival orders, or ``None`` for none.
+
+        ``start_times`` gives each thread its own entry time into the
+        work-sharing construct — how threads arrive after a preceding
+        ``nowait`` loop. Defaults to everyone entering at ``start_time``.
+        """
+        from repro.sim.events import Simulator
+        from repro.sim.clock import VirtualClock
+
+        if len(costs) != loop.n_iterations:
+            raise SimulationError(
+                f"cost vector length {len(costs)} != trip count {loop.n_iterations}"
+            )
+        if spec.requires_bs_mapping:
+            self.team.assert_bs_convention()
+
+        nt = self.team.n_threads
+        if start_times is not None:
+            if len(start_times) != nt:
+                raise SimulationError(
+                    f"{len(start_times)} start times for {nt} threads"
+                )
+            start_time = min(start_times)
+        entry = (
+            list(start_times) if start_times is not None else [start_time] * nt
+        )
+        prefix = np.concatenate(([0.0], np.cumsum(costs)))
+        rates = self.rates_for(loop)
+        core_types = [self.team.core_type_of(tid) for tid in range(nt)]
+
+        pending_overhead = [0.0] * nt
+
+        def charge_timestamp(tid: int) -> None:
+            pending_overhead[tid] += self.overhead.timestamp(core_types[tid])
+
+        ctx = LoopContext(
+            team=self.team,
+            n_iterations=loop.n_iterations,
+            default_chunk=default_chunk,
+            lock=None,
+            offline_sf=offline_sf,
+            charge_timestamp=charge_timestamp,
+        )
+        scheduler: LoopScheduler = spec.create(ctx)
+
+        sim = Simulator(VirtualClock(start_time))
+        finish = list(entry)
+        iters = [0] * nt
+        calls = [0] * nt
+        # The work-share cache line is a serialization point: each
+        # fetch-and-add occupies it for atomic_service seconds, and a
+        # thread arriving while it is busy queues behind it.
+        pool_free_at = [start_time]
+        svc = self.overhead.atomic_service
+        assigned: list[tuple[int, int, int]] = []
+
+        def thread_step(tid: int) -> None:
+            now = sim.now
+            dispatch_cost = self.overhead.dispatch(core_types[tid], nt)
+            takes_before = ctx.workshare.dispatch_count
+            got = scheduler.next_range(tid, now)
+            calls[tid] += 1
+            extra = pending_overhead[tid]
+            pending_overhead[tid] = 0.0
+            overhead_dt = dispatch_cost + extra
+            if svc > 0.0:
+                # Serialize only genuine pool accesses: successful
+                # removals, plus the final fetch-and-add that finds the
+                # pool empty. Policies serving thread-local ranges (e.g.
+                # AID-steal) never queue on the work-share line.
+                takes = ctx.workshare.dispatch_count - takes_before
+                if got is None:
+                    takes += 1
+                if takes > 0:
+                    begin = max(now, pool_free_at[0])
+                    pool_free_at[0] = begin + takes * svc
+                    overhead_dt += (begin - now) + takes * svc
+            if got is None:
+                end = now + overhead_dt
+                finish[tid] = end
+                if self.recorder is not None:
+                    self.recorder.record(
+                        tid, ThreadState.RUNTIME, now, end, loop.name
+                    )
+                return
+            lo, hi = got
+            assigned.append((tid, lo, hi))
+            scheduler.note_execution_start(tid, now + overhead_dt)
+            work = float(prefix[hi] - prefix[lo])
+            slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
+            compute_dt = slowdown * work / rates[tid]
+            iters[tid] += hi - lo
+            t_overhead_end = now + overhead_dt
+            t_done = t_overhead_end + compute_dt
+            if self.recorder is not None:
+                self.recorder.record(
+                    tid, ThreadState.RUNTIME, now, t_overhead_end, loop.name
+                )
+                self.recorder.record(
+                    tid, ThreadState.COMPUTE, t_overhead_end, t_done, loop.name
+                )
+            sim.at(t_done, lambda: thread_step(tid), tag=f"t{tid}")
+
+        # Every thread pays the loop-start call, then begins dispatching.
+        # The barrier release wakes cores in CPU-number order, so threads
+        # on low-numbered (small) cores reach the pool slightly earlier —
+        # harmless for most schedules, decisive for guided's large early
+        # chunks.
+        jitter = (
+            rng.uniform(0.0, self.overhead.wake_jitter, size=nt)
+            if rng is not None and self.overhead.wake_jitter > 0.0
+            else np.zeros(nt)
+        )
+        for tid in range(nt):
+            wake = self.overhead.wake_stagger * self.team.cpu_of(tid) + jitter[tid]
+            t_begin = entry[tid] + wake + self.overhead.loop_start(core_types[tid])
+            if self.recorder is not None:
+                self.recorder.record(
+                    tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name
+                )
+            sim.at(t_begin, (lambda t: lambda: thread_step(t))(tid), tag=f"t{tid}")
+
+        budget = (loop.n_iterations + nt * _EVENT_BUDGET_SLACK) * 2
+        sim.run(max_events=budget)
+
+        total_iters = sum(iters)
+        if total_iters != loop.n_iterations:
+            raise SimulationError(
+                f"schedule {spec.name!r} executed {total_iters} of "
+                f"{loop.n_iterations} iterations in loop {loop.name!r}"
+            )
+
+        return LoopResult(
+            loop_name=loop.name,
+            start_time=start_time,
+            end_time=max(finish),
+            finish_times=finish,
+            iterations=iters,
+            dispatches=ctx.workshare.dispatch_count,
+            scheduler_calls=sum(calls),
+            estimated_sf=scheduler.estimated_sf(),
+            ranges=assigned,
+            extra={"scheduler": scheduler},
+        )

@@ -1,0 +1,98 @@
+"""Thread teams: worker threads bound to cores of an AMP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amp.platform import Platform
+from repro.amp.topology import AffinityMapping
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class Team:
+    """An OpenMP thread team pinned onto a platform.
+
+    The paper's runtime binds threads to cores for the whole run (to avoid
+    OS migrations) and AID additionally *assumes* the BS convention —
+    threads ``0..N_B-1`` on big cores (Sec. 4.3). A :class:`Team` is just
+    the platform + an explicit :class:`~repro.amp.topology.AffinityMapping`
+    plus the derived lookups every scheduler needs.
+
+    Attributes:
+        platform: the AMP the team runs on.
+        mapping: thread-to-core pinning.
+    """
+
+    platform: Platform
+    mapping: AffinityMapping
+    _type_of_tid: tuple[int, ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        self.mapping.validate_for(self.platform)
+        types = tuple(
+            self.platform.type_index(self.platform.core(cpu).core_type)
+            for cpu in self.mapping.cpu_of_tid
+        )
+        object.__setattr__(self, "_type_of_tid", types)
+
+    @property
+    def n_threads(self) -> int:
+        return self.mapping.n_threads
+
+    @property
+    def n_types(self) -> int:
+        return self.platform.n_core_types
+
+    def cpu_of(self, tid: int) -> int:
+        """CPU number thread ``tid`` is pinned to."""
+        return self.mapping.cpu_of_tid[tid]
+
+    def core_type_of(self, tid: int):
+        """The :class:`~repro.amp.core.CoreType` under thread ``tid``."""
+        return self.platform.core(self.cpu_of(tid)).core_type
+
+    def type_index_of(self, tid: int) -> int:
+        """Core-type index (0 = slowest) under thread ``tid``."""
+        return self._type_of_tid[tid]
+
+    def type_counts(self) -> tuple[int, ...]:
+        """Thread count per core type; index 0 is the slowest type.
+
+        For a two-type AMP this is ``(N_S, N_B)`` in the paper's notation.
+        """
+        counts = [0] * self.n_types
+        for t in self._type_of_tid:
+            counts[t] += 1
+        return tuple(counts)
+
+    def threads_of_type(self, type_index: int) -> tuple[int, ...]:
+        """TIDs pinned to cores of the given type."""
+        return tuple(
+            tid for tid, t in enumerate(self._type_of_tid) if t == type_index
+        )
+
+    @property
+    def n_big(self) -> int:
+        """Threads on the *fastest* core type (paper's N_B on 2-type AMPs)."""
+        return self.type_counts()[-1]
+
+    @property
+    def n_small(self) -> int:
+        """Threads on the slowest core type (paper's N_S on 2-type AMPs)."""
+        return self.type_counts()[0]
+
+    def assert_bs_convention(self) -> None:
+        """Verify the AID mapping convention: TIDs sorted by descending
+        core-type index (fast types first).
+
+        All AID variants distribute iterations assuming threads with low
+        TIDs sit on big cores; calling this catches mis-pinned teams the
+        way GOMP_AMP_AFFINITY does in the paper's implementation.
+        """
+        types = self._type_of_tid
+        if any(types[i] < types[i + 1] for i in range(len(types) - 1)):
+            raise PlatformError(
+                "AID requires the BS mapping convention (low TIDs on big "
+                f"cores); got per-TID type indices {types}"
+            )

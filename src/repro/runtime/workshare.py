@@ -1,0 +1,99 @@
+"""The work-share structure: libgomp's shared iteration pool.
+
+For each parallel loop libgomp keeps a ``work_share`` structure whose
+``next`` field is the first unassigned iteration and whose ``end`` field
+is one past the last iteration. Threads steal chunks by atomically
+incrementing ``next`` with fetch-and-add and clamping the result against
+``end`` (paper Sec. 4.2). :class:`WorkShare` reproduces exactly that,
+plus a dispatch counter used for overhead accounting in experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import WorkShareError
+from repro.runtime.atomics import AtomicCounter
+
+
+class WorkShare:
+    """Shared iteration pool for one parallel-loop execution.
+
+    Iterations are the half-open range ``[start, end)``.
+
+    Args:
+        start: first iteration index.
+        end: one past the last iteration index.
+        lock: pass a ``threading.Lock`` when threads are real; ``None``
+            in the discrete-event simulator.
+    """
+
+    def __init__(
+        self, start: int, end: int, lock: threading.Lock | None = None
+    ) -> None:
+        if end < start:
+            raise WorkShareError(f"invalid iteration range [{start}, {end})")
+        self.start = int(start)
+        self.end = int(end)
+        self._next = AtomicCounter(start, lock)
+        self._dispatches = AtomicCounter(0, lock)
+
+    # -- pool state --------------------------------------------------------
+
+    @property
+    def n_iterations(self) -> int:
+        """Total iterations in the loop."""
+        return self.end - self.start
+
+    @property
+    def next_iteration(self) -> int:
+        """First not-yet-assigned iteration (advisory read)."""
+        return min(self._next.value, self.end)
+
+    @property
+    def remaining(self) -> int:
+        """Iterations still in the pool (advisory read; may be stale under
+        real threads, exactly like reading ``next``/``end`` in libgomp)."""
+        return max(0, self.end - self._next.value)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next.value >= self.end
+
+    @property
+    def dispatch_count(self) -> int:
+        """Number of successful pool removals so far."""
+        return self._dispatches.value
+
+    # -- removal -----------------------------------------------------------
+
+    def take(self, n: int) -> tuple[int, int] | None:
+        """Atomically remove up to ``n`` iterations from the pool.
+
+        This is ``gomp_iter_dynamic_next``'s core: fetch-and-add on
+        ``next`` then clamp against ``end``.
+
+        Returns:
+            The removed half-open range ``(lo, hi)``, or ``None`` when the
+            pool was already empty. The range may be shorter than ``n`` if
+            fewer iterations remained.
+        """
+        if n <= 0:
+            raise WorkShareError(f"chunk size must be positive, got {n}")
+        lo = self._next.fetch_add(n)
+        if lo >= self.end:
+            return None
+        hi = min(lo + n, self.end)
+        self._dispatches.add_fetch(1)
+        return (lo, hi)
+
+    def take_all(self) -> tuple[int, int] | None:
+        """Remove everything left in the pool (used by endgame paths)."""
+        size = self.end - self.start
+        return self.take(size) if size > 0 else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkShare([{self.start}, {self.end}), "
+            f"next={self._next.value}, dispatches={self.dispatch_count})"
+        )

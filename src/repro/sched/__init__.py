@@ -1,0 +1,66 @@
+"""Loop-scheduling policies: OpenMP's conventional methods plus AID.
+
+Conventional (OpenMP 4.5):
+
+* :class:`StaticSpec` — even upfront split, no runtime interaction.
+* :class:`DynamicSpec` — fetch-and-add chunk stealing from a shared pool.
+* :class:`GuidedSpec` — dynamic with a decreasing chunk.
+
+The paper's contribution (Asymmetric Iteration Distribution):
+
+* :class:`AidStaticSpec` — sampling phase estimates the loop's big-to-
+  small speedup factor (SF) online, then hands each thread one final
+  allotment proportional to its core's relative speed (Fig. 3).
+* :class:`AidHybridSpec` — AID-static on a percentage of the iterations,
+  plain dynamic on the tail to mop up residual imbalance.
+* :class:`AidDynamicSpec` — repeated AID phases with a continuously
+  resmoothed progress ratio R and a dynamic endgame (Fig. 5).
+
+Extension (the paper's Sec. 6 future work):
+
+* :class:`AidAutoSpec` — classifies each loop during the sampling phase
+  (within-type cost variation) and picks the one-shot or phased strategy
+  per loop automatically.
+* :class:`AidStealSpec` — AID-static's SF-proportional split feeding
+  per-thread local ranges, repaired by steal-half work stealing (the
+  Sec. 4.3 work-stealing combination).
+
+Every policy implements the same two-level protocol: an immutable
+:class:`ScheduleSpec` describes configuration, and its :meth:`create`
+builds a fresh :class:`LoopScheduler` per loop execution whose
+``next_range(tid, now)`` is the analogue of ``GOMP_loop_*_next``.
+"""
+
+from repro.sched.base import LoopScheduler, ScheduleSpec
+from repro.sched.static import StaticScheduler, StaticSpec
+from repro.sched.dynamic import DynamicScheduler, DynamicSpec
+from repro.sched.guided import GuidedScheduler, GuidedSpec
+from repro.sched.aid_static import AidStaticScheduler, AidStaticSpec
+from repro.sched.aid_hybrid import AidHybridScheduler, AidHybridSpec
+from repro.sched.aid_auto import AidAutoScheduler, AidAutoSpec
+from repro.sched.aid_dynamic import AidDynamicScheduler, AidDynamicSpec
+from repro.sched.aid_steal import AidStealScheduler, AidStealSpec
+from repro.sched.registry import available_schedules, parse_schedule
+
+__all__ = [
+    "ScheduleSpec",
+    "LoopScheduler",
+    "StaticSpec",
+    "StaticScheduler",
+    "DynamicSpec",
+    "DynamicScheduler",
+    "GuidedSpec",
+    "GuidedScheduler",
+    "AidStaticSpec",
+    "AidStaticScheduler",
+    "AidHybridSpec",
+    "AidHybridScheduler",
+    "AidDynamicSpec",
+    "AidDynamicScheduler",
+    "AidAutoSpec",
+    "AidAutoScheduler",
+    "AidStealSpec",
+    "AidStealScheduler",
+    "parse_schedule",
+    "available_schedules",
+]

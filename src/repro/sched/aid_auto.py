@@ -1,0 +1,284 @@
+"""AID-auto: per-loop selection between the AID variants (extension).
+
+The paper's conclusions sketch this as future work: "further benefits
+can be obtained on AMPs by applying AID-static or AID-hybrid to loops
+where iterations have the same amount of work, and AID-dynamic to the
+remaining loops", ideally decided automatically. AID-auto implements the
+decision *inside the sampling phase the AID methods already run*:
+
+* every thread samples one minor chunk, timed as usual;
+* besides the across-type means (the SF), the *within-type* coefficient
+  of variation of the sampled durations is computed — threads on
+  identical cores timing identical-cost iterations differ only by cost
+  irregularity, so the within-type CV is a core-speed-independent
+  regularity signal;
+* regular loops (CV below a threshold) get the AID-hybrid treatment: a
+  one-shot asymmetric distribution of most iterations plus a small
+  dynamic tail;
+* irregular loops are handed to a full AID-dynamic phase engine, seeded
+  with the already-sampled SF (no second sampling phase).
+
+The result is one schedule string ("aid_auto") that tracks the better of
+AID-hybrid/AID-dynamic per loop without user annotations — exactly the
+deployment story the paper's future work asks for.
+
+Known limitation: the probe measures *local* regularity at the loop's
+start. A loop whose cost drifts globally but is smooth locally (the
+particlefilter ramp) classifies as regular and inherits the one-shot
+path's weakness there — the reason the paper points to compile-time
+loop analysis [44] as the complementary signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched import aid_common as ac
+from repro.sched.aid_dynamic import AidDynamicScheduler
+from repro.sched.base import LoopScheduler, ScheduleSpec
+
+#: Per-thread states before the mode decision.
+MODE_PENDING = "MODE_PENDING"
+
+
+class AidAutoScheduler(LoopScheduler):
+    """Sampling-driven selection between one-shot and phased AID.
+
+    Args:
+        ctx: loop context.
+        minor_chunk: sampling/wait/tail chunk (the paper's ``m``).
+        major_chunk: Major chunk for the dynamic path (the paper's ``M``).
+        cv_threshold: within-type coefficient-of-variation boundary
+            between "regular" (one-shot path) and "irregular" (phased
+            path) loops.
+        static_percentage: share of NI distributed one-shot on the
+            regular path (the AID-hybrid percentage).
+    """
+
+    def __init__(
+        self,
+        ctx: LoopContext,
+        minor_chunk: int = 1,
+        major_chunk: int = 5,
+        cv_threshold: float = 0.22,
+        static_percentage: float = 85.0,
+    ) -> None:
+        super().__init__(ctx)
+        if minor_chunk <= 0:
+            raise ConfigError("minor chunk must be positive")
+        if major_chunk < minor_chunk:
+            raise ConfigError("Major chunk must be >= minor chunk")
+        if cv_threshold < 0:
+            raise ConfigError("cv threshold must be >= 0")
+        if not 0.0 < static_percentage <= 100.0:
+            raise ConfigError("static percentage must be in (0, 100]")
+        self.m = minor_chunk
+        self.M = major_chunk
+        self.cv_threshold = cv_threshold
+        self.static_fraction = static_percentage / 100.0
+        nt = ctx.n_threads
+        self.state = [ac.START] * nt
+        self.delta = [0] * nt
+        self.assign_time = [0.0] * nt
+        self._timing = [False] * nt
+        self.samples: list[list[float]] = [[] for _ in range(ctx.n_types)]
+        self.completed = 0
+        self.sf: dict[int, float] | None = None
+        self.measured_cv: float | None = None
+        #: Chosen mode: None until sampling completes, then "static"
+        #: (one-shot + tail) or "dynamic" (delegated phase engine).
+        self.mode: str | None = None
+        self.targets: list[int] | None = None
+        self._inner: AidDynamicScheduler | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    def estimated_sf(self) -> dict[int, float] | None:
+        return self.sf
+
+    def note_execution_start(self, tid: int, t: float) -> None:
+        if self._timing[tid]:
+            self.assign_time[tid] = t
+            self._timing[tid] = False
+        if self._inner is not None:
+            self._inner.note_execution_start(tid, t)
+
+    # -- the GOMP_loop_next analogue --------------------------------------------
+
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        with self.ctx.lock:
+            return self._next_locked(tid, now)
+
+    def _next_locked(self, tid: int, now: float) -> tuple[int, int] | None:
+        if self.mode == "dynamic":
+            assert self._inner is not None
+            return self._inner._next_locked(tid, now)
+
+        ws = self.ctx.workshare
+        state = self.state[tid]
+
+        if state == ac.START:
+            got = ws.take(self.m)
+            if got is None:
+                self.state[tid] = ac.DONE
+                return None
+            self.state[tid] = ac.SAMPLING
+            self.assign_time[tid] = now  # refined by note_execution_start
+            self._timing[tid] = True
+            self.ctx.charge_timestamp(tid)
+            self.delta[tid] += got[1] - got[0]
+            return got
+
+        if state == ac.SAMPLING:
+            self.ctx.charge_timestamp(tid)
+            self.samples[self.ctx.type_of(tid)].append(
+                now - self.assign_time[tid]
+            )
+            self.completed += 1
+            if self.completed == self.ctx.n_threads and self.mode is None:
+                self._decide(tid, now)
+                if self.mode == "dynamic":
+                    assert self._inner is not None
+                    return self._inner._next_locked(tid, now)
+            if self.mode == "static":
+                return self._enter_one_shot(tid)
+            return self._wait_steal(tid)
+
+        if state == ac.SAMPLING_WAIT:
+            if self.mode == "static":
+                return self._enter_one_shot(tid)
+            return self._wait_steal(tid)
+
+        if state in (ac.AID, ac.DRAIN):
+            self.state[tid] = ac.DRAIN
+            got = ws.take(self.m)
+            if got is None:
+                self.state[tid] = ac.DONE
+                return None
+            return got
+
+        return None  # DONE
+
+    # -- the decision ------------------------------------------------------------
+
+    def _decide(self, tid: int, now: float) -> None:
+        """Classify the loop and commit to a mode (runs in exactly one
+        thread: the last sampler)."""
+        means = [
+            sum(s) / len(s) if s else 0.0 for s in self.samples
+        ]
+        base = means[0]
+        self.sf = {
+            j: (base / m if base > 0 and m > 0 else 1.0)
+            for j, m in enumerate(means)
+        }
+        self.sf[0] = 1.0
+        self.measured_cv = max(
+            (self._cv(s) for s in self.samples if len(s) >= 2), default=0.0
+        )
+        if self.measured_cv <= self.cv_threshold:
+            self.mode = "static"
+            ni_aid = int(self.static_fraction * self.ctx.n_iterations)
+            self.targets = ac.aid_targets(
+                ni_aid, self.sf, self.ctx.type_counts()
+            )
+        else:
+            self.mode = "dynamic"
+            inner = AidDynamicScheduler(
+                self.ctx, minor_chunk=self.m, major_chunk=self.M
+            )
+            # Seed the phase engine with the sampling we already did:
+            # every thread skips straight to the first AID phase.
+            inner.sf = dict(self.sf)
+            inner.R = [
+                inner._clamp(self.sf[j]) for j in range(self.ctx.n_types)
+            ]
+            inner.phase = 1
+            for t in range(self.ctx.n_threads):
+                inner.state[t] = (
+                    ac.DONE if self.state[t] == ac.DONE else ac.SAMPLING_WAIT
+                )
+            inner.active = sum(
+                1 for t in range(self.ctx.n_threads) if inner.state[t] != ac.DONE
+            )
+            self._inner = inner
+
+    @staticmethod
+    def _cv(samples: list[float]) -> float:
+        mean = sum(samples) / len(samples)
+        if mean <= 0.0:
+            return 0.0
+        var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        return math.sqrt(var) / mean
+
+    # -- one-shot path -------------------------------------------------------------
+
+    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+        got = self.ctx.workshare.take(self.m)
+        if got is None:
+            self.state[tid] = ac.DONE
+            return None
+        self.state[tid] = ac.SAMPLING_WAIT
+        self.delta[tid] += got[1] - got[0]
+        return got
+
+    def _enter_one_shot(self, tid: int) -> tuple[int, int] | None:
+        assert self.targets is not None
+        need = self.targets[self.ctx.type_of(tid)] - self.delta[tid]
+        self.state[tid] = ac.AID
+        if need <= 0:
+            return self._next_locked(tid, 0.0)
+        got = self.ctx.workshare.take(need)
+        if got is None:
+            self.state[tid] = ac.DONE
+            return None
+        self.delta[tid] += got[1] - got[0]
+        return got
+
+
+@dataclass(frozen=True)
+class AidAutoSpec(ScheduleSpec):
+    """AID-auto configuration (extension scheduler, Sec. 6 future work).
+
+    Attributes:
+        minor_chunk: sampling/wait/tail chunk.
+        major_chunk: Major chunk for the dynamic path.
+        cv_threshold: regularity boundary (within-type CV of sampled
+            durations).
+        static_percentage: one-shot share on the regular path.
+    """
+
+    minor_chunk: int = 1
+    major_chunk: int = 5
+    cv_threshold: float = 0.22
+    static_percentage: float = 85.0
+
+    def __post_init__(self) -> None:
+        if self.minor_chunk <= 0:
+            raise ConfigError("minor chunk must be positive")
+        if self.major_chunk < self.minor_chunk:
+            raise ConfigError("Major chunk must be >= minor chunk")
+        if self.cv_threshold < 0:
+            raise ConfigError("cv threshold must be >= 0")
+        if not 0.0 < self.static_percentage <= 100.0:
+            raise ConfigError("static percentage must be in (0, 100]")
+
+    @property
+    def name(self) -> str:
+        return f"aid_auto,{self.minor_chunk},{self.major_chunk}"
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        return True
+
+    def create(self, ctx: LoopContext) -> AidAutoScheduler:
+        return AidAutoScheduler(
+            ctx,
+            minor_chunk=self.minor_chunk,
+            major_chunk=self.major_chunk,
+            cv_threshold=self.cv_threshold,
+            static_percentage=self.static_percentage,
+        )

@@ -1,0 +1,125 @@
+"""Machinery shared by the three AID scheduling variants.
+
+All AID methods start with a *sampling phase*: each worker thread runs
+one chunk of iterations while the runtime timestamps it, and the loop's
+speedup factor (SF) per core type is approximated as
+
+    SF_j = (mean sampling time on the slowest type) /
+           (mean sampling time on type j)
+
+maintained scalably with one atomic time-sum counter per core type plus
+an atomic completed-threads counter (paper Sec. 4.2, footnote 2). From
+the SF the target distribution follows: with N_j threads on type j and
+NI iterations to distribute,
+
+    k = NI / sum_j (N_j * SF_j)
+
+and a thread on type j should execute ``SF_j * k`` iterations in total
+(``k`` on the slowest type, since SF_0 = 1). This is the paper's NC-type
+generalization; for two types it reduces to ``k = NI / (N_B*SF + N_S)``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import SchedulerError
+from repro.runtime.atomics import AtomicCounter, AtomicFloat
+from repro.runtime.context import LoopContext
+
+#: Per-thread scheduler states (paper Figs. 3 and 5).
+START = "START"
+SAMPLING = "SAMPLING"
+SAMPLING_WAIT = "SAMPLING_WAIT"
+AID = "AID"
+AID_WAIT = "AID_WAIT"
+DRAIN = "DRAIN"
+DONE = "DONE"
+
+
+class SamplingState:
+    """Lock-free sampling bookkeeping shared by a team.
+
+    One time-sum accumulator per core type plus a completion counter;
+    exactly the counters footnote 2 of the paper describes.
+    """
+
+    def __init__(
+        self, n_types: int, lock: threading.Lock | None = None
+    ) -> None:
+        self.time_sums = [AtomicFloat(0.0, lock) for _ in range(n_types)]
+        self.sample_counts = [AtomicCounter(0, lock) for _ in range(n_types)]
+        self.completed = AtomicCounter(0, lock)
+
+    def record(self, type_index: int, duration: float) -> int:
+        """Log one thread's sampling-phase duration.
+
+        Returns the number of threads that have completed sampling after
+        this record (the caller compares it against the team size to
+        detect "I am the last sampler").
+        """
+        if duration < 0.0:
+            raise SchedulerError(f"negative sampling duration {duration!r}")
+        self.time_sums[type_index].add(duration)
+        self.sample_counts[type_index].add_fetch(1)
+        return self.completed.add_fetch(1)
+
+    def mean_times(self) -> list[float]:
+        """Mean sampling duration per core type (0.0 where unsampled)."""
+        out = []
+        for s, c in zip(self.time_sums, self.sample_counts):
+            n = c.value
+            out.append(s.value / n if n else 0.0)
+        return out
+
+    def sf_per_type(self) -> dict[int, float]:
+        """Estimated SF per core type, relative to the slowest type.
+
+        Types with no samples, or degenerate zero timings, fall back to
+        SF = 1 (no asymmetry information — distribute evenly).
+        """
+        means = self.mean_times()
+        base = means[0]
+        sf: dict[int, float] = {}
+        for j, m in enumerate(means):
+            if base > 0.0 and m > 0.0:
+                sf[j] = base / m
+            else:
+                sf[j] = 1.0
+        sf[0] = 1.0
+        return sf
+
+
+def offline_sf_table(ctx: LoopContext) -> dict[int, float]:
+    """The offline SF table for this loop, normalized so type 0 is 1."""
+    sf = {j: ctx.offline_sf_for_type(j) for j in range(ctx.n_types)}
+    base = sf[0]
+    if base <= 0.0:
+        raise SchedulerError("offline SF for the slowest type must be > 0")
+    return {j: v / base for j, v in sf.items()}
+
+
+def aid_targets(
+    n_iterations: int,
+    sf_per_type: dict[int, float],
+    type_counts: tuple[int, ...],
+) -> list[int]:
+    """Per-core-type target iteration totals under AID distribution.
+
+    Computes ``k = NI / sum_j N_j*SF_j`` and rounds each ``SF_j * k`` to
+    the nearest integer. Rounding residue (at most a handful of
+    iterations) is left in the pool; the drain phase mops it up.
+
+    Returns:
+        ``targets[j]`` — iterations *each* thread on type j should
+        execute in total.
+    """
+    denom = sum(
+        type_counts[j] * sf_per_type.get(j, 1.0) for j in range(len(type_counts))
+    )
+    if denom <= 0.0:
+        raise SchedulerError("AID target computation with no threads")
+    k = n_iterations / denom
+    return [
+        int(round(sf_per_type.get(j, 1.0) * k)) for j in range(len(type_counts))
+    ]

@@ -1,0 +1,288 @@
+"""AID-dynamic: repeated asymmetric phases with a self-correcting ratio.
+
+The paper's replacement for dynamic scheduling on AMPs (Fig. 5). Two
+user chunks exist: minor ``m`` (sampling/wait steals, and the endgame)
+and Major ``M >= m``. After the initial sampling phase — identical to
+AID-static's — the loop proceeds in *AID phases*: per phase, each
+small-core thread removes ``M`` iterations from the pool and each thread
+on core type j removes ``R_j * M``, where ``R_j`` starts at the sampled
+``SF_j`` and is resmoothed after every phase:
+
+    R_j <- R_j * SM_j,   SM_j = mean small-thread phase time /
+                                mean type-j thread phase time
+
+so a ratio that over- or under-fed big cores corrects itself. Threads
+that finish their phase allotment while others are still working steal
+``m``-sized pieces (the AID_WAIT state), and — the optimization noted
+under Fig. 5 — as soon as the pool drops to ``M * NT`` iterations the
+whole team switches to plain dynamic(m), which removes the end-of-loop
+imbalance that makes conventional dynamic so chunk-sensitive (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched import aid_common as ac
+from repro.sched.base import LoopScheduler, ScheduleSpec
+
+#: Additional per-thread state: the team switched to the dynamic endgame.
+ENDGAME = "ENDGAME"
+
+#: Bounds keeping the resmoothed ratio physically plausible.
+R_MIN = 0.25
+R_MAX = 128.0
+
+
+class AidDynamicScheduler(LoopScheduler):
+    """Per-loop state machine for AID-dynamic.
+
+    Args:
+        ctx: loop context.
+        minor_chunk: the paper's ``m`` — sampling, wait and endgame chunk.
+        major_chunk: the paper's ``M`` — small-core allotment per AID
+            phase (big cores get ``R * M``).
+        endgame: enable the switch to dynamic(m) when the pool drops to
+            ``M * n_threads`` (on by default; off for the ablation bench).
+        smoothing: enable per-phase resmoothing of R (on by default; off
+            keeps R fixed at the sampled SF, for the ablation bench).
+    """
+
+    def __init__(
+        self,
+        ctx: LoopContext,
+        minor_chunk: int = 1,
+        major_chunk: int = 5,
+        endgame: bool = True,
+        smoothing: bool = True,
+    ) -> None:
+        super().__init__(ctx)
+        if minor_chunk <= 0:
+            raise ConfigError("minor chunk must be positive")
+        if major_chunk < minor_chunk:
+            raise ConfigError(
+                f"Major chunk ({major_chunk}) must be >= minor chunk ({minor_chunk})"
+            )
+        self.m = minor_chunk
+        self.M = major_chunk
+        self.endgame_enabled = endgame
+        self.smoothing_enabled = smoothing
+        nt = ctx.n_threads
+        self.state = [ac.START] * nt
+        self.assign_time = [0.0] * nt
+        self._timing = [False] * nt
+        self.thread_phase = [0] * nt
+        self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
+        self.R: list[float] | None = None  # per-type ratio; None until sampled
+        self.sf: dict[int, float] | None = None
+        self.phase = 0
+        self.phase_joined = 0
+        self.phase_pending = 0
+        self.phase_sums = [0.0] * ctx.n_types
+        self.phase_counts = [0] * ctx.n_types
+        self.active = nt
+        self.in_endgame = False
+        self.phases_run = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def estimated_sf(self) -> dict[int, float] | None:
+        return self.sf
+
+    def current_ratio(self) -> list[float] | None:
+        """The per-type ratio R currently in force (None before sampling)."""
+        return None if self.R is None else list(self.R)
+
+    def note_execution_start(self, tid: int, t: float) -> None:
+        if self._timing[tid]:
+            self.assign_time[tid] = t
+            self._timing[tid] = False
+
+    # -- the GOMP_loop_next analogue --------------------------------------------
+
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        with self.ctx.lock:
+            return self._next_locked(tid, now)
+
+    def _next_locked(self, tid: int, now: float) -> tuple[int, int] | None:
+        state = self.state[tid]
+
+        if state == ac.START:
+            got = self.ctx.workshare.take(self.m)
+            if got is None:
+                return self._retire(tid)
+            self.state[tid] = ac.SAMPLING
+            self.assign_time[tid] = now  # refined by note_execution_start
+            self._timing[tid] = True
+            self.ctx.charge_timestamp(tid)
+            return got
+
+        if state == ac.SAMPLING:
+            self.ctx.charge_timestamp(tid)
+            duration = now - self.assign_time[tid]
+            done = self.sampling.record(self.ctx.type_of(tid), duration)
+            if done == self.ctx.n_threads and self.R is None:
+                self.sf = self.sampling.sf_per_type()
+                self.R = [
+                    self._clamp(self.sf[j]) for j in range(self.ctx.n_types)
+                ]
+                self.phase = 1
+            return self._dispatch(tid, now)
+
+        if state == ac.SAMPLING_WAIT:
+            return self._dispatch(tid, now)
+
+        if state == ac.AID:
+            # Phase allotment completed: log its duration for resmoothing.
+            self.ctx.charge_timestamp(tid)
+            duration = now - self.assign_time[tid]
+            jtype = self.ctx.type_of(tid)
+            self.phase_sums[jtype] += duration
+            self.phase_counts[jtype] += 1
+            self.phase_pending -= 1
+            self._maybe_finalize_phase()
+            return self._dispatch(tid, now)
+
+        if state == ac.AID_WAIT:
+            return self._dispatch(tid, now)
+
+        if state == ENDGAME:
+            got = self.ctx.workshare.take(self.m)
+            if got is None:
+                return self._retire(tid)
+            return got
+
+        return None  # DONE
+
+    # -- dispatch decisions -------------------------------------------------------
+
+    def _dispatch(self, tid: int, now: float) -> tuple[int, int] | None:
+        """Pick the next assignment for a thread that just became idle."""
+        self._maybe_endgame()
+        if self.in_endgame:
+            self.state[tid] = ENDGAME
+            got = self.ctx.workshare.take(self.m)
+            if got is None:
+                return self._retire(tid)
+            return got
+        if self.R is None:
+            # Sampling not finished team-wide: wait-steal minor chunks.
+            got = self.ctx.workshare.take(self.m)
+            if got is None:
+                return self._retire(tid)
+            self.state[tid] = ac.SAMPLING_WAIT
+            return got
+        if self.thread_phase[tid] < self.phase:
+            return self._join_phase(tid, now)
+        # Phase already joined and completed; wait for stragglers.
+        got = self.ctx.workshare.take(self.m)
+        if got is None:
+            return self._retire(tid)
+        self.state[tid] = ac.AID_WAIT
+        return got
+
+    def _join_phase(self, tid: int, now: float) -> tuple[int, int] | None:
+        assert self.R is not None
+        jtype = self.ctx.type_of(tid)
+        allotment = max(1, int(round(self.R[jtype] * self.M)))
+        got = self.ctx.workshare.take(allotment)
+        if got is None:
+            return self._retire(tid)
+        self.thread_phase[tid] = self.phase
+        self.phase_joined += 1
+        self.phase_pending += 1
+        self.state[tid] = ac.AID
+        self.assign_time[tid] = now  # refined by note_execution_start
+        self._timing[tid] = True
+        self.ctx.charge_timestamp(tid)
+        return got
+
+    # -- phase lifecycle -----------------------------------------------------------
+
+    def _maybe_finalize_phase(self) -> None:
+        """Advance to the next AID phase once every active thread has
+        joined and completed the current one."""
+        if self.phase_joined < self.active or self.phase_pending > 0:
+            return
+        if self.smoothing_enabled and self.R is not None:
+            base_n = self.phase_counts[0]
+            base_mean = self.phase_sums[0] / base_n if base_n else 0.0
+            for j in range(1, self.ctx.n_types):
+                n = self.phase_counts[j]
+                mean = self.phase_sums[j] / n if n else 0.0
+                if base_mean > 0.0 and mean > 0.0:
+                    sm = base_mean / mean
+                    self.R[j] = self._clamp(self.R[j] * sm)
+        self.phases_run += 1
+        self.phase += 1
+        self.phase_joined = 0
+        self.phase_pending = 0
+        self.phase_sums = [0.0] * self.ctx.n_types
+        self.phase_counts = [0] * self.ctx.n_types
+
+    def _maybe_endgame(self) -> None:
+        if self.in_endgame or not self.endgame_enabled:
+            return
+        threshold = self.M * self.ctx.n_threads
+        if self.ctx.workshare.remaining <= threshold:
+            self.in_endgame = True
+
+    def _retire(self, tid: int) -> None:
+        """Pool drained for this thread: leave the loop."""
+        if self.state[tid] != ac.DONE:
+            self.state[tid] = ac.DONE
+            self.active -= 1
+            self._maybe_finalize_phase()
+        return None
+
+    @staticmethod
+    def _clamp(r: float) -> float:
+        return min(R_MAX, max(R_MIN, r))
+
+
+@dataclass(frozen=True)
+class AidDynamicSpec(ScheduleSpec):
+    """AID-dynamic configuration.
+
+    Attributes:
+        minor_chunk: the paper's ``m`` (default 1, as in the evaluation).
+        major_chunk: the paper's ``M`` (default 5, as in Figs. 6/7).
+        endgame: keep the switch-to-dynamic(m) optimization enabled.
+        smoothing: keep per-phase R resmoothing enabled.
+    """
+
+    minor_chunk: int = 1
+    major_chunk: int = 5
+    endgame: bool = True
+    smoothing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.minor_chunk <= 0:
+            raise ConfigError("minor chunk must be positive")
+        if self.major_chunk < self.minor_chunk:
+            raise ConfigError("Major chunk must be >= minor chunk")
+
+    @property
+    def name(self) -> str:
+        base = f"aid_dynamic,{self.minor_chunk},{self.major_chunk}"
+        tags = []
+        if not self.endgame:
+            tags.append("no-endgame")
+        if not self.smoothing:
+            tags.append("no-smoothing")
+        return base + (f"({'+'.join(tags)})" if tags else "")
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        return True
+
+    def create(self, ctx: LoopContext) -> AidDynamicScheduler:
+        return AidDynamicScheduler(
+            ctx,
+            minor_chunk=self.minor_chunk,
+            major_chunk=self.major_chunk,
+            endgame=self.endgame,
+            smoothing=self.smoothing,
+        )

@@ -1,0 +1,106 @@
+"""AID-hybrid: AID-static on a fraction of the loop, dynamic on the tail.
+
+AID-static relies on the sampled SF being representative of the whole
+loop; when iteration costs drift (the paper's EP trace, Fig. 4a), the
+one-shot distribution leaves residual imbalance. AID-hybrid distributes
+only ``percentage``% of NI asymmetrically and schedules the remaining
+iterations with plain dynamic, letting early finishers absorb the error
+at the end of the loop (Fig. 4b) at the price of some extra dispatches.
+
+The paper's sensitivity study (Sec. 5B) found 80% a safe default:
+dynamic-friendly applications prefer ~60%, AID-static-friendly ones 90%+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched.aid_static import AidStaticScheduler
+from repro.sched.base import ScheduleSpec
+
+
+class AidHybridScheduler(AidStaticScheduler):
+    """AID-static state machine with scaled targets and a dynamic tail.
+
+    Implementation-wise this *is* :class:`AidStaticScheduler` with
+    ``aid_fraction < 1``: targets are computed over ``pct * NI``
+    iterations, and the drain phase — which for AID-static only mops
+    rounding residue — becomes a genuine dynamic schedule over the
+    remaining ``(1 - pct) * NI`` iterations.
+    """
+
+    def __init__(
+        self,
+        ctx: LoopContext,
+        percentage: float,
+        sampling_chunk: int = 1,
+        dynamic_chunk: int | None = None,
+        use_offline_sf: bool = False,
+    ) -> None:
+        if not 0.0 < percentage <= 100.0:
+            raise ConfigError(
+                f"AID-hybrid percentage must be in (0, 100], got {percentage}"
+            )
+        super().__init__(
+            ctx,
+            sampling_chunk=sampling_chunk,
+            use_offline_sf=use_offline_sf,
+            aid_fraction=percentage / 100.0,
+            tail_chunk=dynamic_chunk if dynamic_chunk is not None else ctx.default_chunk,
+        )
+        self.percentage = percentage
+
+
+@dataclass(frozen=True)
+class AidHybridSpec(ScheduleSpec):
+    """AID-hybrid configuration.
+
+    Attributes:
+        percentage: share of NI distributed asymmetrically (paper: 80).
+        sampling_chunk: sampling/wait-phase chunk (paper default: 1).
+        dynamic_chunk: chunk for the dynamic tail; ``None`` uses the
+            loop's default chunk (libgomp default: 1, matching the
+            paper's "same default chunk as dynamic").
+        use_offline_sf: feed offline SF tables instead of sampling.
+    """
+
+    percentage: float = 80.0
+    sampling_chunk: int = 1
+    dynamic_chunk: int | None = None
+    use_offline_sf: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentage <= 100.0:
+            raise ConfigError(
+                f"AID-hybrid percentage must be in (0, 100], got {self.percentage}"
+            )
+        if self.sampling_chunk <= 0:
+            raise ConfigError("sampling chunk must be positive")
+        if self.dynamic_chunk is not None and self.dynamic_chunk <= 0:
+            raise ConfigError("dynamic chunk must be positive")
+
+    @property
+    def name(self) -> str:
+        pct = f"{self.percentage:g}"
+        if self.use_offline_sf:
+            return f"aid_hybrid,{pct}(offline-SF)"
+        return f"aid_hybrid,{pct}"
+
+    @property
+    def needs_offline_sf(self) -> bool:
+        return self.use_offline_sf
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        return True
+
+    def create(self, ctx: LoopContext) -> AidHybridScheduler:
+        return AidHybridScheduler(
+            ctx,
+            percentage=self.percentage,
+            sampling_chunk=self.sampling_chunk,
+            dynamic_chunk=self.dynamic_chunk,
+            use_offline_sf=self.use_offline_sf,
+        )

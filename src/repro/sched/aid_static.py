@@ -1,0 +1,207 @@
+"""AID-static: asymmetric one-shot distribution driven by online sampling.
+
+The paper's Fig. 3 state machine, ported structurally:
+
+* ``START -> SAMPLING``: the thread's first pool access removes the
+  sampling chunk; two timestamps bracket its execution.
+* ``SAMPLING -> AID`` (last thread to finish sampling): computes SF and
+  ``k`` from the shared time sums and publishes them.
+* ``SAMPLING -> SAMPLING_WAIT`` (everyone else): keep stealing
+  chunk-sized pieces until SF/k are published.
+* ``* -> AID``: one final allotment of ``target(type) - delta_i``
+  iterations, where ``delta_i`` is what thread *i* already executed.
+
+After its AID allotment a thread drains any rounding residue left in the
+pool in chunk-sized steals and then leaves the loop. The implementation
+is lock-free in the same sense as the paper's: the pool and the sampling
+counters are atomics; SF/k are computed by exactly one thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched import aid_common as ac
+from repro.sched.base import LoopScheduler, ScheduleSpec
+
+
+class AidStaticScheduler(LoopScheduler):
+    """Per-loop state machine for AID-static.
+
+    Args:
+        ctx: loop context.
+        sampling_chunk: iterations per sampling/wait steal (paper uses 1).
+        use_offline_sf: skip sampling and distribute straight from
+            ``ctx.offline_sf`` — the AID-static(offline-SF) variant used
+            in the Fig. 9 accuracy study.
+        aid_fraction: fraction of NI distributed asymmetrically (1.0 for
+            AID-static; AID-hybrid subclasses with < 1.0).
+        tail_chunk: chunk for post-AID stealing (rounding residue for
+            AID-static, the dynamic tail for AID-hybrid).
+    """
+
+    def __init__(
+        self,
+        ctx: LoopContext,
+        sampling_chunk: int = 1,
+        use_offline_sf: bool = False,
+        aid_fraction: float = 1.0,
+        tail_chunk: int | None = None,
+    ) -> None:
+        super().__init__(ctx)
+        if sampling_chunk <= 0:
+            raise ConfigError("sampling chunk must be positive")
+        if not 0.0 < aid_fraction <= 1.0:
+            raise ConfigError("aid_fraction must be in (0, 1]")
+        self.sampling_chunk = sampling_chunk
+        self.use_offline_sf = use_offline_sf
+        self.aid_fraction = aid_fraction
+        self.tail_chunk = tail_chunk if tail_chunk is not None else sampling_chunk
+        nt = ctx.n_threads
+        self.state = [ac.START] * nt
+        self.delta = [0] * nt  # iterations executed before the AID allotment
+        self.assign_time = [0.0] * nt
+        self._timing = [False] * nt
+        self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
+        self.sf: dict[int, float] | None = None
+        self.targets: list[int] | None = None
+        if use_offline_sf:
+            self._publish_targets(ac.offline_sf_table(ctx))
+
+    # -- shared-state helpers ------------------------------------------------
+
+    def _publish_targets(self, sf: dict[int, float]) -> None:
+        """Compute and publish per-type targets (done by one thread)."""
+        ni_aid = int(self.aid_fraction * self.ctx.n_iterations)
+        self.targets = ac.aid_targets(ni_aid, sf, self.ctx.type_counts())
+        self.sf = sf
+
+    def estimated_sf(self) -> dict[int, float] | None:
+        # Only report SFs actually *estimated* online; the offline-SF
+        # variant distributes from supplied tables without sampling.
+        return None if self.use_offline_sf else self.sf
+
+    def note_execution_start(self, tid: int, t: float) -> None:
+        if self._timing[tid]:
+            self.assign_time[tid] = t
+            self._timing[tid] = False
+
+    # -- the GOMP_loop_next analogue ------------------------------------------
+
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        with self.ctx.lock:
+            return self._next_locked(tid, now)
+
+    def _next_locked(self, tid: int, now: float) -> tuple[int, int] | None:
+        ws = self.ctx.workshare
+        state = self.state[tid]
+
+        if state == ac.START:
+            if self.targets is not None:
+                # Offline-SF variant: no sampling phase at all.
+                return self._enter_aid(tid)
+            got = ws.take(self.sampling_chunk)
+            if got is None:
+                self.state[tid] = ac.DONE
+                return None
+            self.state[tid] = ac.SAMPLING
+            self.assign_time[tid] = now  # refined by note_execution_start
+            self._timing[tid] = True
+            self.ctx.charge_timestamp(tid)
+            self.delta[tid] += got[1] - got[0]
+            return got
+
+        if state == ac.SAMPLING:
+            # The sampling chunk just completed: log its duration.
+            self.ctx.charge_timestamp(tid)
+            duration = now - self.assign_time[tid]
+            done = self.sampling.record(self.ctx.type_of(tid), duration)
+            if done == self.ctx.n_threads and self.targets is None:
+                # Last sampler computes SF and k (exactly one thread).
+                self._publish_targets(self.sampling.sf_per_type())
+            if self.targets is not None:
+                return self._enter_aid(tid)
+            return self._wait_steal(tid)
+
+        if state == ac.SAMPLING_WAIT:
+            if self.targets is not None:
+                return self._enter_aid(tid)
+            return self._wait_steal(tid)
+
+        if state in (ac.AID, ac.DRAIN):
+            # AID allotment (or a drain steal) completed; mop up residue.
+            self.state[tid] = ac.DRAIN
+            got = ws.take(self.tail_chunk)
+            if got is None:
+                self.state[tid] = ac.DONE
+                return None
+            return got
+
+        return None  # DONE
+
+    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+        got = self.ctx.workshare.take(self.sampling_chunk)
+        if got is None:
+            self.state[tid] = ac.DONE
+            return None
+        self.state[tid] = ac.SAMPLING_WAIT
+        self.delta[tid] += got[1] - got[0]
+        return got
+
+    def _enter_aid(self, tid: int) -> tuple[int, int] | None:
+        assert self.targets is not None
+        target = self.targets[self.ctx.type_of(tid)]
+        need = target - self.delta[tid]
+        self.state[tid] = ac.AID
+        if need <= 0:
+            # Already over target (e.g. many wait steals): go drain.
+            return self._next_locked(tid, 0.0)
+        got = self.ctx.workshare.take(need)
+        if got is None:
+            self.state[tid] = ac.DONE
+            return None
+        self.delta[tid] += got[1] - got[0]
+        return got
+
+
+@dataclass(frozen=True)
+class AidStaticSpec(ScheduleSpec):
+    """AID-static configuration.
+
+    Attributes:
+        sampling_chunk: sampling/wait-phase chunk (paper default: 1).
+        use_offline_sf: build the AID-static(offline-SF) variant; loops
+            must then carry offline SF tables (see
+            :attr:`~repro.sched.base.ScheduleSpec.needs_offline_sf`).
+    """
+
+    sampling_chunk: int = 1
+    use_offline_sf: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sampling_chunk <= 0:
+            raise ConfigError("sampling chunk must be positive")
+
+    @property
+    def name(self) -> str:
+        base = "aid_static"
+        if self.sampling_chunk != 1:
+            base += f",{self.sampling_chunk}"
+        return base + ("(offline-SF)" if self.use_offline_sf else "")
+
+    @property
+    def needs_offline_sf(self) -> bool:
+        return self.use_offline_sf
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        return True
+
+    def create(self, ctx: LoopContext) -> AidStaticScheduler:
+        return AidStaticScheduler(
+            ctx,
+            sampling_chunk=self.sampling_chunk,
+            use_offline_sf=self.use_offline_sf,
+        )

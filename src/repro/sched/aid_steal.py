@@ -1,0 +1,244 @@
+"""AID-steal: asymmetric distribution + work stealing (extension).
+
+The paper's Sec. 4.3 sketches this as the natural next step: "possibly
+by combining our work-sharing version of AID, with work-stealing
+techniques [4, 27]". AID-steal does exactly that:
+
+* the sampling phase and the SF-proportional split are AID-static's —
+  after sampling, the remaining iterations are partitioned into one
+  contiguous *local range* per thread, sized ``SF_j * k``;
+* each thread then serves itself from the front of its own range in
+  ``serve_chunk``-sized pieces — local work needs no shared-pool atomics
+  at all;
+* a thread whose range runs dry *steals the back half* of the richest
+  thread's remaining range (classic steal-half victim policy), so
+  SF-estimation error or cost drift is repaired continuously instead of
+  at a dynamic tail.
+
+Compared to AID-hybrid, the repair mechanism is proportional (half of
+whatever is left) rather than a fixed percentage chosen up front, and
+contention concentrates on the (rare) steals instead of a per-chunk
+shared pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched import aid_common as ac
+from repro.sched.base import LoopScheduler, ScheduleSpec
+
+#: Thread state once local ranges exist.
+SERVING = "SERVING"
+
+
+class AidStealScheduler(LoopScheduler):
+    """AID-static's split feeding per-thread ranges with steal-half.
+
+    Args:
+        ctx: loop context.
+        sampling_chunk: sampling/wait chunk (the AID-static default, 1).
+        serve_chunk: iterations a thread takes from its own range per
+            dispatch. Larger values mean fewer dispatches but coarser
+            stealable leftovers.
+        min_steal: do not bother stealing ranges smaller than this.
+        use_offline_sf: skip sampling, split by the offline SF table.
+    """
+
+    def __init__(
+        self,
+        ctx: LoopContext,
+        sampling_chunk: int = 1,
+        serve_chunk: int = 8,
+        min_steal: int = 2,
+        use_offline_sf: bool = False,
+    ) -> None:
+        super().__init__(ctx)
+        if sampling_chunk <= 0:
+            raise ConfigError("sampling chunk must be positive")
+        if serve_chunk <= 0:
+            raise ConfigError("serve chunk must be positive")
+        if min_steal <= 0:
+            raise ConfigError("min_steal must be positive")
+        self.sampling_chunk = sampling_chunk
+        self.serve_chunk = serve_chunk
+        self.min_steal = min_steal
+        self.use_offline_sf = use_offline_sf
+        nt = ctx.n_threads
+        self.state = [ac.START] * nt
+        self.delta = [0] * nt
+        self.assign_time = [0.0] * nt
+        self._timing = [False] * nt
+        self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
+        self.sf: dict[int, float] | None = None
+        #: Per-thread local range [lo, hi); (0, 0) when empty.
+        self.local: list[tuple[int, int]] | None = None
+        self.steals = 0
+        if use_offline_sf:
+            self._partition(ac.offline_sf_table(ctx))
+
+    # -- introspection -------------------------------------------------------
+
+    def estimated_sf(self) -> dict[int, float] | None:
+        return None if self.use_offline_sf else self.sf
+
+    def note_execution_start(self, tid: int, t: float) -> None:
+        if self._timing[tid]:
+            self.assign_time[tid] = t
+            self._timing[tid] = False
+
+    # -- setup -----------------------------------------------------------------
+
+    def _partition(self, sf: dict[int, float]) -> None:
+        """Split everything left in the pool into per-thread ranges,
+        proportional to the per-type SF (one pool access total)."""
+        self.sf = sf
+        got = self.ctx.workshare.take_all()
+        lo, hi = got if got is not None else (0, 0)
+        remaining = hi - lo
+        weights = [
+            sf.get(self.ctx.type_of(t), 1.0) for t in range(self.ctx.n_threads)
+        ]
+        total = sum(weights)
+        self.local = []
+        cursor = lo
+        for t, w in enumerate(weights):
+            if t == self.ctx.n_threads - 1:
+                share = hi - cursor  # last thread absorbs rounding
+            else:
+                share = int(round(remaining * w / total))
+                share = min(share, hi - cursor)
+            self.local.append((cursor, cursor + share))
+            cursor += share
+
+    # -- the GOMP_loop_next analogue ------------------------------------------
+
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        with self.ctx.lock:
+            return self._next_locked(tid, now)
+
+    def _next_locked(self, tid: int, now: float) -> tuple[int, int] | None:
+        state = self.state[tid]
+
+        if self.local is not None and state in (
+            ac.START,
+            SERVING,
+            ac.SAMPLING_WAIT,
+        ):
+            return self._serve(tid)
+
+        if state == ac.START:
+            got = self.ctx.workshare.take(self.sampling_chunk)
+            if got is None:
+                self.state[tid] = ac.DONE
+                return None
+            self.state[tid] = ac.SAMPLING
+            self.assign_time[tid] = now  # refined by note_execution_start
+            self._timing[tid] = True
+            self.ctx.charge_timestamp(tid)
+            return got
+
+        if state == ac.SAMPLING:
+            self.ctx.charge_timestamp(tid)
+            done = self.sampling.record(
+                self.ctx.type_of(tid), now - self.assign_time[tid]
+            )
+            if done == self.ctx.n_threads and self.local is None:
+                self._partition(self.sampling.sf_per_type())
+            if self.local is not None:
+                return self._serve(tid)
+            return self._wait_steal(tid)
+
+        if state == ac.SAMPLING_WAIT:
+            return self._wait_steal(tid)
+
+        return None  # DONE
+
+    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+        got = self.ctx.workshare.take(self.sampling_chunk)
+        if got is None:
+            self.state[tid] = ac.DONE
+            return None
+        self.state[tid] = ac.SAMPLING_WAIT
+        return got
+
+    # -- serving and stealing -----------------------------------------------------
+
+    def _serve(self, tid: int) -> tuple[int, int] | None:
+        assert self.local is not None
+        self.state[tid] = SERVING
+        lo, hi = self.local[tid]
+        if hi <= lo and not self._steal_into(tid):
+            self.state[tid] = ac.DONE
+            return None
+        lo, hi = self.local[tid]
+        cut = min(hi, lo + self.serve_chunk)
+        self.local[tid] = (cut, hi)
+        return (lo, cut)
+
+    def _steal_into(self, thief: int) -> bool:
+        """Move the back half of the richest thread's range to the thief."""
+        assert self.local is not None
+        victim = -1
+        best = 0
+        for t, (lo, hi) in enumerate(self.local):
+            if t != thief and hi - lo > best:
+                best = hi - lo
+                victim = t
+        if victim < 0 or best < self.min_steal:
+            return False
+        lo, hi = self.local[victim]
+        mid = lo + (hi - lo + 1) // 2  # thief takes the back half
+        self.local[victim] = (lo, mid)
+        self.local[thief] = (mid, hi)
+        self.steals += 1
+        return True
+
+
+@dataclass(frozen=True)
+class AidStealSpec(ScheduleSpec):
+    """AID-steal configuration (extension scheduler, Sec. 4.3).
+
+    Attributes:
+        sampling_chunk: sampling/wait chunk.
+        serve_chunk: local-serve granularity.
+        min_steal: smallest range worth stealing.
+        use_offline_sf: split by offline SF tables instead of sampling.
+    """
+
+    sampling_chunk: int = 1
+    serve_chunk: int = 8
+    min_steal: int = 2
+    use_offline_sf: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sampling_chunk <= 0:
+            raise ConfigError("sampling chunk must be positive")
+        if self.serve_chunk <= 0:
+            raise ConfigError("serve chunk must be positive")
+        if self.min_steal <= 0:
+            raise ConfigError("min_steal must be positive")
+
+    @property
+    def name(self) -> str:
+        base = f"aid_steal,{self.serve_chunk}"
+        return base + ("(offline-SF)" if self.use_offline_sf else "")
+
+    @property
+    def needs_offline_sf(self) -> bool:
+        return self.use_offline_sf
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        return True
+
+    def create(self, ctx: LoopContext) -> AidStealScheduler:
+        return AidStealScheduler(
+            ctx,
+            sampling_chunk=self.sampling_chunk,
+            serve_chunk=self.serve_chunk,
+            min_steal=self.min_steal,
+            use_offline_sf=self.use_offline_sf,
+        )

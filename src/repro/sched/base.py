@@ -1,0 +1,91 @@
+"""Scheduler protocol shared by all loop-scheduling policies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.runtime.context import LoopContext
+
+
+class LoopScheduler(abc.ABC):
+    """Per-loop-execution scheduling state machine.
+
+    The executor calls :meth:`next_range` from a worker thread whenever
+    that thread needs more work — the analogue of libgomp's
+    ``GOMP_loop_<sched>_next()``. Every call costs one runtime-dispatch
+    overhead (the executor charges it); a policy that wants to be cheap
+    must therefore hand out larger ranges, which is the entire design
+    space the paper explores.
+
+    Implementations must be safe to drive from real threads when all
+    shared mutations happen under ``ctx.lock`` / the context's atomics.
+    """
+
+    def __init__(self, ctx: LoopContext) -> None:
+        self.ctx = ctx
+
+    @abc.abstractmethod
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        """Assign the next iteration range to thread ``tid``.
+
+        Args:
+            tid: calling thread's ID within the team.
+            now: current time in seconds (virtual in the simulator, wall
+                clock in the real executor). AID policies use successive
+                ``now`` values to time sampling phases.
+
+        Returns:
+            A half-open iteration range ``(lo, hi)``, or ``None`` when the
+            thread is done with this loop.
+        """
+
+    def note_execution_start(self, tid: int, t: float) -> None:
+        """Called by the executor when thread ``tid`` actually starts
+        executing its just-assigned range (i.e. after dispatch overhead
+        and pool-queueing).
+
+        The AID sampling phases bracket the *chunk execution* with
+        timestamps (paper Sec. 4.2), so their duration measurements must
+        start here, not at the dispatch call — otherwise contention on
+        the work-share line (similar in absolute time on every core)
+        would systematically flatten the estimated SF.
+        """
+
+    # -- optional introspection (overridden by AID policies) ----------------
+
+    def estimated_sf(self) -> dict[int, float] | None:
+        """Per-core-type SF this policy estimated online, if any.
+
+        Keys are core-type indices; entry 0 is 1.0 by construction.
+        Non-sampling policies return ``None``.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class ScheduleSpec(abc.ABC):
+    """Immutable configuration of a scheduling policy.
+
+    A spec is shared across loops and runs; :meth:`create` builds the
+    mutable per-loop state machine.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Canonical name, e.g. ``"dynamic,4"`` or ``"aid_hybrid,80"``."""
+
+    @abc.abstractmethod
+    def create(self, ctx: LoopContext) -> LoopScheduler:
+        """Build a fresh scheduler for one loop execution."""
+
+    @property
+    def needs_offline_sf(self) -> bool:
+        """True when :meth:`create` requires ``ctx.offline_sf``."""
+        return False
+
+    @property
+    def requires_bs_mapping(self) -> bool:
+        """True for AID policies, which assume low TIDs sit on big cores."""
+        return False

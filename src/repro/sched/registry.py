@@ -1,0 +1,144 @@
+"""OMP_SCHEDULE-style parsing of schedule strings.
+
+The paper activates its methods without touching application code: the
+modified compiler lowers every clause-less loop to ``schedule(runtime)``
+and the user picks the actual method through environment variables. This
+module is that front end — a schedule string becomes a
+:class:`~repro.sched.base.ScheduleSpec`:
+
+    "static"             -> StaticSpec()
+    "static,16"          -> StaticSpec(chunk=16)
+    "dynamic"            -> DynamicSpec(chunk=1)
+    "dynamic,4"          -> DynamicSpec(chunk=4)
+    "guided,2"           -> GuidedSpec(chunk=2)
+    "aid_static"         -> AidStaticSpec()
+    "aid_static,2"       -> AidStaticSpec(sampling_chunk=2)
+    "aid_hybrid"         -> AidHybridSpec(percentage=80)
+    "aid_hybrid,60"      -> AidHybridSpec(percentage=60)
+    "aid_dynamic"        -> AidDynamicSpec(minor_chunk=1, major_chunk=5)
+    "aid_dynamic,2,20"   -> AidDynamicSpec(minor_chunk=2, major_chunk=20)
+    "aid_auto"           -> AidAutoSpec()               (extension)
+    "aid_auto,2,20"      -> AidAutoSpec(minor_chunk=2, major_chunk=20)
+    "aid_steal"          -> AidStealSpec()              (extension)
+    "aid_steal,16"       -> AidStealSpec(serve_chunk=16)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sched.aid_auto import AidAutoSpec
+from repro.sched.aid_dynamic import AidDynamicSpec
+from repro.sched.aid_hybrid import AidHybridSpec
+from repro.sched.aid_static import AidStaticSpec
+from repro.sched.aid_steal import AidStealSpec
+from repro.sched.base import ScheduleSpec
+from repro.sched.dynamic import DynamicSpec
+from repro.sched.guided import GuidedSpec
+from repro.sched.static import StaticSpec
+
+
+def available_schedules() -> tuple[str, ...]:
+    """Names accepted by :func:`parse_schedule`."""
+    return (
+        "static",
+        "dynamic",
+        "guided",
+        "aid_static",
+        "aid_hybrid",
+        "aid_dynamic",
+        "aid_auto",
+        "aid_steal",
+    )
+
+
+def _int_arg(kind: str, text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigError(f"{kind}: expected an integer, got {text!r}") from None
+    return value
+
+
+def _float_arg(kind: str, text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ConfigError(f"{kind}: expected a number, got {text!r}") from None
+    return value
+
+
+def parse_schedule(text: str) -> ScheduleSpec:
+    """Parse an ``OMP_SCHEDULE``-style string into a schedule spec.
+
+    Raises:
+        ConfigError: unknown schedule name, wrong arity, or bad values.
+    """
+    parts = [p.strip() for p in text.strip().split(",")]
+    if not parts or not parts[0]:
+        raise ConfigError("empty schedule string")
+    kind, args = parts[0].lower(), parts[1:]
+
+    if kind == "static":
+        if len(args) == 0:
+            return StaticSpec()
+        if len(args) == 1:
+            return StaticSpec(chunk=_int_arg(kind, args[0]))
+    elif kind == "dynamic":
+        if len(args) == 0:
+            return DynamicSpec()
+        if len(args) == 1:
+            return DynamicSpec(chunk=_int_arg(kind, args[0]))
+    elif kind == "guided":
+        if len(args) == 0:
+            return GuidedSpec()
+        if len(args) == 1:
+            return GuidedSpec(chunk=_int_arg(kind, args[0]))
+    elif kind == "aid_static":
+        if len(args) == 0:
+            return AidStaticSpec()
+        if len(args) == 1:
+            return AidStaticSpec(sampling_chunk=_int_arg(kind, args[0]))
+    elif kind == "aid_hybrid":
+        if len(args) == 0:
+            return AidHybridSpec()
+        if len(args) == 1:
+            return AidHybridSpec(percentage=_float_arg(kind, args[0]))
+        if len(args) == 2:
+            return AidHybridSpec(
+                percentage=_float_arg(kind, args[0]),
+                dynamic_chunk=_int_arg(kind, args[1]),
+            )
+    elif kind == "aid_dynamic":
+        if len(args) == 0:
+            return AidDynamicSpec()
+        if len(args) == 2:
+            return AidDynamicSpec(
+                minor_chunk=_int_arg(kind, args[0]),
+                major_chunk=_int_arg(kind, args[1]),
+            )
+        if len(args) == 1:
+            raise ConfigError(
+                "aid_dynamic takes zero or two arguments: 'aid_dynamic[,m,M]'"
+            )
+    elif kind == "aid_steal":
+        if len(args) == 0:
+            return AidStealSpec()
+        if len(args) == 1:
+            return AidStealSpec(serve_chunk=_int_arg(kind, args[0]))
+    elif kind == "aid_auto":
+        if len(args) == 0:
+            return AidAutoSpec()
+        if len(args) == 2:
+            return AidAutoSpec(
+                minor_chunk=_int_arg(kind, args[0]),
+                major_chunk=_int_arg(kind, args[1]),
+            )
+        if len(args) == 1:
+            raise ConfigError(
+                "aid_auto takes zero or two arguments: 'aid_auto[,m,M]'"
+            )
+    else:
+        raise ConfigError(
+            f"unknown schedule {kind!r}; valid: {', '.join(available_schedules())}"
+        )
+    raise ConfigError(f"wrong number of arguments for schedule {kind!r}: {text!r}")

@@ -1,0 +1,81 @@
+"""OpenMP static scheduling: even upfront distribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.context import LoopContext
+from repro.sched.base import LoopScheduler, ScheduleSpec
+
+
+def static_block(n_iterations: int, n_threads: int, tid: int) -> tuple[int, int]:
+    """The contiguous block thread ``tid`` owns under block-static
+    scheduling (no chunk clause).
+
+    Matches libgomp: the first ``n % NT`` threads get ``ceil(n/NT)``
+    iterations, the rest get ``floor(n/NT)``.
+    """
+    q, r = divmod(n_iterations, n_threads)
+    if tid < r:
+        lo = tid * (q + 1)
+        return (lo, lo + q + 1)
+    lo = r * (q + 1) + (tid - r) * q
+    return (lo, lo + q)
+
+
+class StaticScheduler(LoopScheduler):
+    """Each thread receives its whole block on the first call.
+
+    With a chunk clause (``schedule(static, c)``) iterations are instead
+    dealt round-robin in chunks of ``c`` — thread t owns chunks
+    ``t, t+NT, t+2*NT, ...`` — and each call returns the thread's next
+    owned chunk. Either way the assignment is fully determined upfront;
+    no shared pool is touched.
+    """
+
+    def __init__(self, ctx: LoopContext, chunk: int | None = None) -> None:
+        super().__init__(ctx)
+        self.chunk = chunk
+        self._block_done = [False] * ctx.n_threads
+        self._next_chunk_index = [tid for tid in range(ctx.n_threads)]
+
+    def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
+        n = self.ctx.n_iterations
+        nt = self.ctx.n_threads
+        if self.chunk is None:
+            if self._block_done[tid]:
+                return None
+            self._block_done[tid] = True
+            lo, hi = static_block(n, nt, tid)
+            return (lo, hi) if hi > lo else None
+        # Round-robin chunked static.
+        idx = self._next_chunk_index[tid]
+        lo = idx * self.chunk
+        if lo >= n:
+            return None
+        self._next_chunk_index[tid] = idx + nt
+        return (lo, min(lo + self.chunk, n))
+
+
+@dataclass(frozen=True)
+class StaticSpec(ScheduleSpec):
+    """``schedule(static)`` / ``schedule(static, chunk)``.
+
+    Attributes:
+        chunk: ``None`` for the block distribution (the OpenMP default);
+            a positive integer for round-robin chunks.
+    """
+
+    chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk is not None and self.chunk <= 0:
+            raise ConfigError(f"static chunk must be positive, got {self.chunk}")
+
+    @property
+    def name(self) -> str:
+        return "static" if self.chunk is None else f"static,{self.chunk}"
+
+    def create(self, ctx: LoopContext) -> StaticScheduler:
+        return StaticScheduler(ctx, self.chunk)

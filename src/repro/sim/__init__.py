@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation core.
+
+This package provides the timing substrate on which the OpenMP-like runtime
+executes: a virtual clock, an event queue with deterministic tie-breaking,
+and reproducible per-component random streams.
+
+The simulator is intentionally minimal — parallel-loop execution only needs
+"thread becomes ready at time t" events — but it is written as a
+general-purpose DES so the runtime layer stays independent of scheduling
+policy internals.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.rng import RngStreams, stable_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "VirtualClock",
+    "RngStreams",
+    "stable_seed",
+]

@@ -1,0 +1,46 @@
+"""Virtual time source for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonically non-decreasing virtual clock.
+
+    Time is a float measured in seconds of simulated execution. The clock
+    only moves forward; attempting to rewind it raises
+    :class:`~repro.errors.SimulationError`, which catches event-ordering
+    bugs early.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to absolute time ``t`` (must not be in the past)."""
+        if t < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now!r} to {t!r}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds (must be >= 0)."""
+        if dt < 0.0:
+            raise SimulationError(f"cannot advance clock by negative delta {dt!r}")
+        self._now += float(dt)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now!r})"

@@ -1,0 +1,165 @@
+"""Event queue with deterministic tie-breaking.
+
+Events that fire at the same virtual time are delivered in insertion order
+(FIFO). This matters for reproducibility: the AID schedulers' behaviour
+depends on which thread reaches the shared iteration pool first, so ties
+must be broken identically on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled simulator event.
+
+    Attributes:
+        time: absolute virtual time at which the event fires.
+        seq: insertion sequence number, used to break time ties.
+        action: zero-argument callable executed when the event fires.
+        tag: optional label used for debugging and trace correlation.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.time, self.seq)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by ``(time, seq)``.
+
+    Cancellation is supported by marking entries dead rather than removing
+    them from the heap (the standard heapq idiom).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._dead: set[int] = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < 0.0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        seq = next(self._counter)
+        ev = Event(time=time, seq=seq, action=action, tag=tag)
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Mark a previously pushed event as cancelled.
+
+        Cancelling an event twice, or cancelling an already-fired event,
+        raises :class:`~repro.errors.SimulationError`.
+        """
+        if event.seq in self._dead:
+            raise SimulationError(f"event {event!r} already cancelled")
+        self._dead.add(event.seq)
+        self._live -= 1
+        if self._live < 0:
+            raise SimulationError("cancelled more events than were scheduled")
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            _, seq, ev = heapq.heappop(self._heap)
+            if seq in self._dead:
+                self._dead.discard(seq)
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping."""
+        while self._heap:
+            time, seq, _ = self._heap[0]
+            if seq in self._dead:
+                heapq.heappop(self._heap)
+                self._dead.discard(seq)
+                continue
+            return time
+        return None
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` against a :class:`VirtualClock`.
+
+    This is a convenience wrapper used by the runtime layer; nothing in it
+    is scheduling-policy specific.
+    """
+
+    def __init__(self, clock: Any = None) -> None:
+        from repro.sim.clock import VirtualClock
+
+        self.clock = clock if clock is not None else VirtualClock()
+        self.queue = EventQueue()
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def steps(self) -> int:
+        """Number of events executed so far."""
+        return self._steps
+
+    def at(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time!r} < {self.clock.now!r})"
+            )
+        return self.queue.push(time, action, tag)
+
+    def after(self, delay: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.queue.push(self.clock.now + delay, action, tag)
+
+    def run(self, max_events: int = 0) -> int:
+        """Run events until the queue drains.
+
+        Args:
+            max_events: safety bound; 0 means unbounded. Exceeding the bound
+                raises :class:`~repro.errors.SimulationError` (it normally
+                indicates a livelocked scheduling policy).
+
+        Returns:
+            The number of events executed during this call.
+        """
+        executed = 0
+        while True:
+            ev = self.queue.pop()
+            if ev is None:
+                return executed
+            self.clock.advance_to(ev.time)
+            ev.action()
+            executed += 1
+            self._steps += 1
+            if max_events and executed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a livelocked scheduler"
+                )

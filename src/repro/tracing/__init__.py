@@ -1,0 +1,19 @@
+"""Execution tracing (the Paraver-style views of Figs. 1 and 4).
+
+The discrete-event executor can record one interval per thread state
+change; :class:`TraceRecorder` stores them, :mod:`repro.tracing.paraver`
+exports them to a Paraver-like CSV, and :mod:`repro.tracing.ascii_art`
+renders them as terminal timelines for the trace-based figures.
+"""
+
+from repro.tracing.trace import Interval, ThreadState, TraceRecorder
+from repro.tracing.ascii_art import render_timeline
+from repro.tracing.paraver import export_paraver_csv
+
+__all__ = [
+    "ThreadState",
+    "Interval",
+    "TraceRecorder",
+    "render_timeline",
+    "export_paraver_csv",
+]

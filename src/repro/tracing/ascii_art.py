@@ -1,0 +1,79 @@
+"""Terminal rendering of traces (our stand-in for the Paraver GUI)."""
+
+from __future__ import annotations
+
+from repro.tracing.trace import ThreadState, TraceRecorder
+
+#: One character per state, chosen to read at a glance in a timeline.
+STATE_CHARS = {
+    ThreadState.SERIAL: "S",
+    ThreadState.COMPUTE: "#",
+    ThreadState.RUNTIME: "r",
+    ThreadState.BARRIER: ".",
+    ThreadState.IDLE: " ",
+}
+
+LEGEND = (
+    "legend: '#' compute   'r' runtime overhead   '.' barrier wait   "
+    "'S' serial   ' ' idle"
+)
+
+
+def render_timeline(
+    trace: TraceRecorder,
+    width: int = 100,
+    t0: float | None = None,
+    t1: float | None = None,
+    show_legend: bool = True,
+) -> str:
+    """Render a trace as one fixed-width text row per thread.
+
+    Each column is a time bucket of ``(t1 - t0) / width`` seconds showing
+    the state the thread spent the *most* time in during that bucket —
+    the same visual idea as the paper's Fig. 1/4 Paraver timelines.
+
+    Args:
+        trace: recorded intervals.
+        width: characters per row.
+        t0: window start (defaults to the trace's earliest timestamp).
+        t1: window end (defaults to the trace's latest timestamp).
+        show_legend: append the state legend.
+    """
+    tids = trace.thread_ids()
+    if not tids:
+        return "(empty trace)"
+    lo = trace.t_begin if t0 is None else t0
+    hi = trace.t_end if t1 is None else t1
+    if hi <= lo:
+        return "(empty time window)"
+    bucket = (hi - lo) / width
+    lines = []
+    for tid in tids:
+        # Accumulate per-bucket state occupancy, then pick the max.
+        occupancy = [dict() for _ in range(width)]
+        for iv in trace.for_thread(tid):
+            a, b = max(iv.t0, lo), min(iv.t1, hi)
+            if b <= a:
+                continue
+            first = int((a - lo) / bucket)
+            last = min(width - 1, int((b - lo) / bucket))
+            for col in range(first, last + 1):
+                c0 = lo + col * bucket
+                c1 = c0 + bucket
+                overlap = min(b, c1) - max(a, c0)
+                if overlap > 0:
+                    occ = occupancy[col]
+                    occ[iv.state] = occ.get(iv.state, 0.0) + overlap
+        row = []
+        for occ in occupancy:
+            if not occ:
+                row.append(" ")
+            else:
+                state = max(occ.items(), key=lambda kv: kv[1])[0]
+                row.append(STATE_CHARS[state])
+        lines.append(f"T{tid:<2d} |{''.join(row)}|")
+    header = f"time window: [{lo:.6f}, {hi:.6f}] s, {bucket * 1e3:.3f} ms/char"
+    out = [header, *lines]
+    if show_legend:
+        out.append(LEGEND)
+    return "\n".join(out)

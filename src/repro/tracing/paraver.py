@@ -1,0 +1,44 @@
+"""Paraver-like CSV export of traces.
+
+Real Paraver uses a binary .prv format; we export the semantic content —
+one state record per interval — as CSV so the traces can be inspected
+with standard tools or re-plotted.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.tracing.trace import TraceRecorder
+
+#: Column order of the export.
+FIELDS = ("thread", "state", "t_start", "t_end", "duration", "label")
+
+
+def export_paraver_csv(trace: TraceRecorder, path: str | Path | None = None) -> str:
+    """Serialize a trace to CSV.
+
+    Args:
+        trace: recorded intervals.
+        path: optional file to write; the CSV text is returned either way.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(FIELDS)
+    for iv in sorted(trace.intervals, key=lambda iv: (iv.t0, iv.tid)):
+        writer.writerow(
+            [
+                iv.tid,
+                iv.state.value,
+                f"{iv.t0:.9f}",
+                f"{iv.t1:.9f}",
+                f"{iv.duration:.9f}",
+                iv.label,
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,103 @@
+"""Per-thread state-interval recording."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+class ThreadState(enum.Enum):
+    """What a worker thread is doing during an interval.
+
+    Mirrors the color legend of the paper's Paraver traces: useful
+    computation, runtime-system overhead, barrier wait, serial sections.
+    """
+
+    SERIAL = "serial"          # master executing a sequential phase
+    COMPUTE = "compute"        # executing loop iterations
+    RUNTIME = "runtime"        # inside a runtime API call (dispatch etc.)
+    BARRIER = "barrier"        # waiting at the implicit end-of-loop barrier
+    IDLE = "idle"              # parked while the master runs serial code
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous stretch of a thread in one state."""
+
+    tid: int
+    state: ThreadState
+    t0: float
+    t1: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise SimulationError(
+                f"interval ends before it starts: [{self.t0}, {self.t1}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class TraceRecorder:
+    """Collects intervals; pass one to the executor to enable tracing.
+
+    Attributes:
+        intervals: recorded intervals in recording order (per thread they
+            are naturally time-ordered because the DES drives each thread
+            forward monotonically).
+    """
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(
+        self, tid: int, state: ThreadState, t0: float, t1: float, label: str = ""
+    ) -> None:
+        """Record one interval; zero-length intervals are dropped."""
+        if t1 > t0:
+            self.intervals.append(Interval(tid, state, t0, t1, label))
+
+    def for_thread(self, tid: int) -> list[Interval]:
+        """This thread's intervals, time-ordered."""
+        out = [iv for iv in self.intervals if iv.tid == tid]
+        out.sort(key=lambda iv: (iv.t0, iv.t1))
+        return out
+
+    def thread_ids(self) -> list[int]:
+        return sorted({iv.tid for iv in self.intervals})
+
+    @property
+    def t_end(self) -> float:
+        """Latest recorded timestamp (0.0 when empty)."""
+        return max((iv.t1 for iv in self.intervals), default=0.0)
+
+    @property
+    def t_begin(self) -> float:
+        """Earliest recorded timestamp (0.0 when empty)."""
+        return min((iv.t0 for iv in self.intervals), default=0.0)
+
+    def time_in_state(self, tid: int, state: ThreadState) -> float:
+        """Total seconds thread ``tid`` spent in ``state``."""
+        return sum(
+            iv.duration for iv in self.intervals if iv.tid == tid and iv.state == state
+        )
+
+    def validate_non_overlapping(self) -> None:
+        """Assert that no thread has overlapping intervals.
+
+        Used by tests: a thread is in exactly one state at a time, so any
+        overlap indicates an executor bug.
+        """
+        for tid in self.thread_ids():
+            ivs = self.for_thread(tid)
+            for a, b in zip(ivs, ivs[1:]):
+                if b.t0 < a.t1 - 1e-12:
+                    raise SimulationError(
+                        f"thread {tid}: intervals overlap "
+                        f"([{a.t0}, {a.t1}] {a.state} then [{b.t0}, {b.t1}] {b.state})"
+                    )

@@ -1,0 +1,45 @@
+"""Workload models: synthetic analogues of the paper's 21 benchmarks.
+
+A benchmark program is modeled as its performance-relevant skeleton:
+
+* a sequence of *serial phases* (initialization, inter-loop glue — what
+  limits programs like bptree) executed by the master thread, and
+* *parallel loops*, each with a trip count, a per-iteration cost profile
+  (uniform, jittered, ramped, heavy-tailed, ...) and a
+  :class:`~repro.perfmodel.kernel.KernelProfile` that determines the
+  loop's platform-dependent speedup factor.
+
+The numerical output of the original kernels is irrelevant to loop
+scheduling, so it is not modeled here (real numpy kernels live in
+:mod:`repro.kernels` for the real-thread executor). What *is* modeled,
+per program, is everything the paper's evaluation hinges on: loop
+granularity, cost uniformity, serial fraction, working-set sizes and
+compute/memory character.
+"""
+
+from repro.workloads.costmodels import (
+    BimodalCost,
+    CostModel,
+    JitteredCost,
+    LognormalCost,
+    RampCost,
+    UniformCost,
+)
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program, SerialPhase
+from repro.workloads.registry import all_programs, get_program, program_names
+
+__all__ = [
+    "CostModel",
+    "UniformCost",
+    "JitteredCost",
+    "RampCost",
+    "LognormalCost",
+    "BimodalCost",
+    "LoopSpec",
+    "SerialPhase",
+    "Program",
+    "all_programs",
+    "get_program",
+    "program_names",
+]

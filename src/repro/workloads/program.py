@@ -1,0 +1,108 @@
+"""Whole-program skeletons: serial phases + parallel loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import WorkloadError
+from repro.perfmodel.kernel import KernelProfile
+from repro.workloads.loopspec import LoopSpec
+
+
+@dataclass(frozen=True)
+class SerialPhase:
+    """A sequential program phase executed by the master thread.
+
+    Worker threads sit idle during it — which is exactly why the paper's
+    BS mapping (master on a big core) wins big for programs dominated by
+    initialization, like bptree.
+    """
+
+    name: str
+    work: float
+    kernel: KernelProfile
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise WorkloadError(f"serial phase {self.name!r}: work must be >= 0")
+
+
+Phase = Union[SerialPhase, LoopSpec]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A benchmark program's performance skeleton.
+
+    Execution order: every phase in ``setup`` once, then every phase in
+    ``body`` repeated ``timesteps`` times (the iterative solvers in NAS
+    and the Rodinia stencils all have this shape; single-loop programs
+    like EP use ``timesteps=1``).
+
+    Attributes:
+        name: program name ("EP", "blackscholes", ...).
+        suite: originating suite ("NAS", "PARSEC", "Rodinia").
+        setup: one-time phases (typically a serial initialization).
+        body: per-timestep phases.
+        timesteps: body repetitions.
+    """
+
+    name: str
+    suite: str
+    setup: tuple[Phase, ...] = ()
+    body: tuple[Phase, ...] = ()
+    timesteps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 0:
+            raise WorkloadError(f"{self.name}: timesteps must be >= 0")
+        if not self.setup and not self.body:
+            raise WorkloadError(f"{self.name}: program has no phases")
+        names = [p.name for p in self.setup + self.body]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"{self.name}: duplicate phase names")
+
+    def schedule(self) -> Iterator[tuple[Phase, int]]:
+        """Yield ``(phase, invocation_index)`` in execution order.
+
+        The invocation index counts how many times *that phase* has run
+        so far (setup phases always get 0), which seeds per-invocation
+        cost noise.
+        """
+        for phase in self.setup:
+            yield phase, 0
+        for step in range(self.timesteps):
+            for phase in self.body:
+                yield phase, step
+
+    def loops(self) -> tuple[LoopSpec, ...]:
+        """The distinct parallel loops, in first-execution order."""
+        return tuple(p for p in self.setup + self.body if isinstance(p, LoopSpec))
+
+    def serial_phases(self) -> tuple[SerialPhase, ...]:
+        """The distinct serial phases, in first-execution order."""
+        return tuple(
+            p for p in self.setup + self.body if isinstance(p, SerialPhase)
+        )
+
+    @property
+    def n_loop_invocations(self) -> int:
+        """Total parallel-loop executions across the whole run."""
+        per_step = sum(1 for p in self.body if isinstance(p, LoopSpec))
+        once = sum(1 for p in self.setup if isinstance(p, LoopSpec))
+        return once + per_step * self.timesteps
+
+    @property
+    def serial_work(self) -> float:
+        """Total nominal serial work units."""
+        once = sum(p.work for p in self.setup if isinstance(p, SerialPhase))
+        per_step = sum(p.work for p in self.body if isinstance(p, SerialPhase))
+        return once + per_step * self.timesteps
+
+    @property
+    def parallel_work(self) -> float:
+        """Total nominal parallel work units."""
+        once = sum(p.total_work for p in self.setup if isinstance(p, LoopSpec))
+        per_step = sum(p.total_work for p in self.body if isinstance(p, LoopSpec))
+        return once + per_step * self.timesteps

@@ -1,0 +1,34 @@
+"""Registry of all 21 benchmark programs."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.program import Program
+
+
+def all_programs() -> tuple[Program, ...]:
+    """All 21 programs in suite order (NAS, PARSEC, Rodinia) — the set
+    the paper's Figs. 6 and 7 evaluate."""
+    from repro.workloads.suites import nas_programs, parsec_programs, rodinia_programs
+
+    return nas_programs() + parsec_programs() + rodinia_programs()
+
+
+def program_names() -> tuple[str, ...]:
+    """Names of all registered programs."""
+    return tuple(p.name for p in all_programs())
+
+
+def get_program(name: str) -> Program:
+    """Look up one program by (case-insensitive) name.
+
+    Raises:
+        WorkloadError: unknown program name.
+    """
+    wanted = name.lower()
+    for program in all_programs():
+        if program.name.lower() == wanted:
+            return program
+    raise WorkloadError(
+        f"unknown program {name!r}; available: {', '.join(program_names())}"
+    )

@@ -1,0 +1,24 @@
+"""Benchmark suites: synthetic models of the paper's 21 programs.
+
+* :mod:`repro.workloads.suites.nas` — NAS Parallel Benchmarks (class-B
+  style): BT, CG, EP, FT, IS, MG, SP.
+* :mod:`repro.workloads.suites.parsec` — PARSEC 3 (native-style inputs):
+  blackscholes, bodytrack, streamcluster.
+* :mod:`repro.workloads.suites.rodinia` — Rodinia (enlarged inputs, as
+  the paper does): backprop, bfs, bptree, hotspot3D, kmeans, lavamd,
+  leukocyte, nw, particlefilter, sradv1, sradv2.
+
+Each model encodes the program's scheduling-relevant skeleton — loop
+granularity, cost regularity, serial fraction, kernel character — chosen
+to reproduce the qualitative behaviour the paper reports for that
+program (see each docstring). Trip counts and repetition counts are
+scaled down so a full evaluation grid simulates in seconds; scheduling
+behaviour depends on the *ratios* (iteration cost vs dispatch overhead,
+serial vs parallel fraction), which are preserved.
+"""
+
+from repro.workloads.suites.nas import nas_programs
+from repro.workloads.suites.parsec import parsec_programs
+from repro.workloads.suites.rodinia import rodinia_programs
+
+__all__ = ["nas_programs", "parsec_programs", "rodinia_programs"]

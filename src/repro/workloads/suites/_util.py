@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark-suite definitions."""
+
+from __future__ import annotations
+
+from repro.perfmodel.kernel import KernelProfile
+
+#: Granularity classes: per-iteration cost in work units. At a baseline
+#: small-core rate of ~1-1.8 work units/second-equivalent these yield
+#: per-iteration times from ~1.5 us (where a 1.5 us dispatch overhead is
+#: ruinous) to ~2 ms (where it vanishes) — the axis the paper's
+#: dynamic-vs-AID trade-off lives on.
+ULTRA_FINE = 5.5e-6
+FINE = 8e-6
+MEDIUM = 40e-6
+COARSE = 400e-6
+VERY_COARSE = 2.5e-3
+
+
+def kp(
+    name: str,
+    compute: float,
+    ilp: float,
+    ws_mb: float = 0.05,
+    pressure: float = 1.0,
+    mlp: float = 0.7,
+    coherence: float = 0.0,
+) -> KernelProfile:
+    """Shorthand kernel-profile constructor used across the suites."""
+    return KernelProfile(
+        name=name,
+        compute_weight=compute,
+        ilp=ilp,
+        working_set_mb=ws_mb,
+        cache_pressure=pressure,
+        mlp=mlp,
+        coherence_penalty=coherence,
+    )
+
+
+#: Kernel used for serial phases that are plain scalar setup code
+#: (pointer chasing, parsing): accelerated ~2.5x by a big core.
+SERIAL_SETUP = kp("serial-setup", compute=0.7, ilp=0.25, ws_mb=4.0, mlp=0.5)
+
+#: Serial phases that are compute-dense (e.g. data generation).
+SERIAL_COMPUTE = kp("serial-compute", compute=0.95, ilp=0.45, ws_mb=0.05)

@@ -1,0 +1,105 @@
+"""PARSEC 3 OpenMP programs (native-style inputs): blackscholes,
+bodytrack, streamcluster."""
+
+from __future__ import annotations
+
+from repro.workloads.costmodels import BimodalCost, JitteredCost, UniformCost
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program, SerialPhase
+from repro.workloads.suites._util import (
+    FINE,
+    MEDIUM,
+    SERIAL_SETUP,
+    kp,
+)
+
+
+def blackscholes() -> Program:
+    """blackscholes — option pricing: a long serial parse/setup phase
+    followed by a uniform fine-grained pricing loop.
+
+    Three paper behaviours live here:
+
+    * the serial phase makes static(BS) far better than static(SB)
+      (master-on-big acceleration, up to ~2.2x for this group);
+    * the fine grain makes dynamic(1) overhead-bound;
+    * the per-thread option block (~0.6 MiB) fits the A15's 2 MB L2 when
+      run alone but *not* once four threads share it, so the
+      offline-measured SF wildly overestimates the online one — the
+      Fig. 9c case study where AID-static(offline-SF) *loses* to plain
+      AID-static on Platform A. (The paper measures a 3.6x jump in LLC
+      MPKI from 1 to 8 threads.)
+    """
+    price = kp("bs-price", compute=0.35, ilp=0.12, ws_mb=0.60, pressure=1.3, mlp=0.25,
+               coherence=2.5)
+    loop = LoopSpec(
+        name="bs.price",
+        n_iterations=2048,
+        cost=JitteredCost(FINE, 0.12),
+        kernel=price,
+    )
+    return Program(
+        name="blackscholes",
+        suite="PARSEC",
+        setup=(SerialPhase("bs.parse", work=55e-3, kernel=SERIAL_SETUP),),
+        body=(loop,),
+        timesteps=5,
+    )
+
+
+def bodytrack() -> Program:
+    """bodytrack — particle-filter body tracking: per-particle weighting
+    whose cost is strongly data-dependent (bimodal: most particles are
+    cheap, some hit expensive edge maps).
+
+    Inherent load imbalance even on symmetric machines, so dynamic helps,
+    and the paper reports one of AID-static's larger wins (+29.7% over
+    static(BS)) because the asymmetry-induced imbalance compounds the
+    inherent one.
+    """
+    weight = kp("bt-weight", compute=0.75, ilp=0.15, ws_mb=0.30)
+    update = kp("bt-update", compute=0.40, ilp=0.05, ws_mb=3.0, mlp=0.90)
+    loops = (
+        LoopSpec("bodytrack.weights", 768,
+                 BimodalCost(low_work=MEDIUM, high_work=4 * MEDIUM,
+                             high_fraction=0.25),
+                 weight),
+        LoopSpec("bodytrack.update", 768, JitteredCost(FINE, 0.15), update),
+    )
+    return Program(
+        name="bodytrack",
+        suite="PARSEC",
+        setup=(SerialPhase("bodytrack.load", work=12e-3, kernel=SERIAL_SETUP),),
+        body=loops,
+        timesteps=6,
+    )
+
+
+def streamcluster() -> Program:
+    """streamcluster — online clustering: the paper's best case for the
+    AID-static family (+30.7% AID-static, +56% AID-hybrid over
+    static(BS), +11% AID-dynamic over dynamic on Platform A).
+
+    Distance evaluations are uniform, ILP-rich and repeated over many
+    pgain passes, so: static loses the full asymmetry gap, dynamic pays a
+    dispatch per fine chunk every pass, and a sampled one-shot
+    distribution is nearly ideal.
+    """
+    dist = kp("sc-dist", compute=0.90, ilp=0.18, ws_mb=0.10)
+    gain = kp("sc-gain", compute=0.80, ilp=0.15, ws_mb=0.10)
+    loops = (
+        LoopSpec("sc.dist", 1536, JitteredCost(MEDIUM, 0.20), dist),
+        LoopSpec("sc.pgain", 1024, JitteredCost(MEDIUM, 0.20), gain),
+    )
+    return Program(
+        name="streamcluster",
+        suite="PARSEC",
+        setup=(SerialPhase("sc.read", work=3e-3, kernel=SERIAL_SETUP),),
+        body=loops,
+        timesteps=8,
+    )
+
+
+def parsec_programs() -> tuple[Program, ...]:
+    """The three PARSEC models."""
+    return (blackscholes(), bodytrack(), streamcluster())

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amp.presets import (
+    dual_speed_platform,
+    odroid_xu4,
+    tri_type_platform,
+    xeon_emulated,
+)
+from repro.amp.topology import bs_mapping, sb_mapping
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.team import Team
+
+
+@pytest.fixture
+def platform_a():
+    return odroid_xu4()
+
+
+@pytest.fixture
+def platform_b():
+    return xeon_emulated()
+
+
+@pytest.fixture
+def flat2x():
+    """A 2+2 AMP whose big cores are exactly 2x faster for all code —
+    analytic expectations are exact on it."""
+    return dual_speed_platform(n_small=2, n_big=2, big_speedup=2.0)
+
+
+@pytest.fixture
+def flat2x_team(flat2x):
+    return Team(flat2x, bs_mapping(flat2x))
+
+
+@pytest.fixture
+def tri_platform():
+    return tri_type_platform()
+
+
+@pytest.fixture
+def team_a_bs(platform_a):
+    return Team(platform_a, bs_mapping(platform_a))
+
+
+@pytest.fixture
+def team_a_sb(platform_a):
+    return Team(platform_a, sb_mapping(platform_a))
+
+
+@pytest.fixture
+def zero_overhead():
+    return ZERO_OVERHEAD
+
+
+@pytest.fixture
+def default_overhead():
+    return OverheadModel()
+
+
+@pytest.fixture
+def perf_a(platform_a):
+    return PerfModel(platform_a)

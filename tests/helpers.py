@@ -1,0 +1,68 @@
+"""Test helpers: compact drivers around the loop executor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amp.platform import Platform
+from repro.amp.topology import bs_mapping
+from repro.perfmodel.kernel import KernelProfile
+from repro.perfmodel.locality import LocalityModel
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.executor import LoopExecutor, LoopResult
+from repro.runtime.team import Team
+from repro.sched.base import ScheduleSpec
+from repro.workloads.costmodels import UniformCost
+from repro.workloads.loopspec import LoopSpec
+
+#: A bland kernel: compute-ish, tiny working set, identical everywhere.
+PLAIN_KERNEL = KernelProfile(
+    name="test-plain", compute_weight=1.0, ilp=0.0, working_set_mb=0.0
+)
+
+
+def make_loop(n_iterations: int, work: float = 1e-4, kernel=PLAIN_KERNEL) -> LoopSpec:
+    return LoopSpec(
+        name=f"test.loop{n_iterations}",
+        n_iterations=n_iterations,
+        cost=UniformCost(work),
+        kernel=kernel,
+    )
+
+
+def run_loop(
+    platform: Platform,
+    spec: ScheduleSpec,
+    n_iterations: int = 256,
+    costs: np.ndarray | None = None,
+    work: float = 1e-4,
+    overhead: OverheadModel | None = None,
+    n_threads: int | None = None,
+    offline_sf=None,
+    kernel=PLAIN_KERNEL,
+) -> LoopResult:
+    """Run one loop on the simulator and return its result."""
+    team = Team(platform, bs_mapping(platform, n_threads))
+    loop = make_loop(n_iterations, work, kernel)
+    if costs is None:
+        costs = np.full(n_iterations, work)
+    executor = LoopExecutor(
+        team,
+        PerfModel(platform),
+        overhead if overhead is not None else ZERO_OVERHEAD,
+        locality=LocalityModel(enabled=False),
+    )
+    return executor.run(loop, costs, spec, offline_sf=offline_sf)
+
+
+def assert_valid_partition(result: LoopResult, n_iterations: int) -> None:
+    """Every iteration executed exactly once — the core invariant."""
+    seen = np.zeros(n_iterations, dtype=int)
+    for _tid, lo, hi in result.ranges:
+        assert 0 <= lo < hi <= n_iterations
+        seen[lo:hi] += 1
+    assert seen.min() == 1 and seen.max() == 1, (
+        f"iterations executed {seen.min()}..{seen.max()} times"
+    )
+    assert sum(result.iterations) == n_iterations

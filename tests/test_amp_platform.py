@@ -1,0 +1,143 @@
+"""Unit tests for core types, platforms and presets."""
+
+import pytest
+
+from repro.amp.cache import LLCDomain
+from repro.amp.core import Core, CoreType
+from repro.amp.platform import Platform, build_platform
+from repro.amp.presets import (
+    CORTEX_A7,
+    CORTEX_A15,
+    dual_speed_platform,
+    odroid_xu4,
+    tri_type_platform,
+    xeon_emulated,
+)
+from repro.errors import PlatformError
+
+
+class TestCoreType:
+    def test_effective_frequency_applies_duty_cycle(self):
+        ct = CoreType(name="t", freq_ghz=2.0, duty_cycle=0.5)
+        assert ct.effective_freq_ghz == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"freq_ghz": 0.0},
+            {"freq_ghz": -1.0},
+            {"freq_ghz": 1.0, "duty_cycle": 0.0},
+            {"freq_ghz": 1.0, "duty_cycle": 1.5},
+            {"freq_ghz": 1.0, "uarch_speedup": 0.0},
+            {"freq_ghz": 1.0, "cache_bw": -1.0},
+            {"freq_ghz": 1.0, "dram_stream_bw": 0.0},
+            {"freq_ghz": 1.0, "dram_latency_bw": 0.0},
+            {"freq_ghz": 1.0, "runtime_call_speedup": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(PlatformError):
+            CoreType(name="bad", **kwargs)
+
+
+class TestLLCDomain:
+    def test_share_is_fair(self):
+        dom = LLCDomain(index=0, size_mb=2.0, associativity=16, cpu_ids=(0, 1))
+        assert dom.share_for(4) == 0.5
+        assert dom.share_for(1) == 2.0
+        assert dom.share_for(0) == 2.0  # clamped
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            LLCDomain(index=0, size_mb=0, associativity=8, cpu_ids=(0,))
+        with pytest.raises(PlatformError):
+            LLCDomain(index=0, size_mb=1, associativity=0, cpu_ids=(0,))
+        with pytest.raises(PlatformError):
+            LLCDomain(index=0, size_mb=1, associativity=8, cpu_ids=())
+        with pytest.raises(PlatformError):
+            LLCDomain(index=0, size_mb=1, associativity=8, cpu_ids=(0, 0))
+
+
+class TestPlatformValidation:
+    def test_core_numbering_must_be_dense(self):
+        small = CoreType(name="s", freq_ghz=1.0)
+        with pytest.raises(PlatformError):
+            Platform(
+                name="bad",
+                core_types=(small,),
+                cores=(Core(0, small, 0), Core(2, small, 0)),
+                llc_domains=(
+                    LLCDomain(index=0, size_mb=1, associativity=8, cpu_ids=(0, 2)),
+                ),
+            )
+
+    def test_llc_must_cover_all_cores(self):
+        small = CoreType(name="s", freq_ghz=1.0)
+        with pytest.raises(PlatformError):
+            Platform(
+                name="bad",
+                core_types=(small,),
+                cores=(Core(0, small, 0), Core(1, small, 0)),
+                llc_domains=(
+                    LLCDomain(index=0, size_mb=1, associativity=8, cpu_ids=(0,)),
+                ),
+            )
+
+    def test_build_platform_rejects_empty(self):
+        with pytest.raises(PlatformError):
+            build_platform("empty", [])
+
+
+class TestPresets:
+    def test_platform_a_layout(self):
+        p = odroid_xu4()
+        assert p.n_cores == 8
+        assert p.n_core_types == 2
+        # Paper convention: CPUs 0-3 small, 4-7 big.
+        assert p.core(0).core_type == CORTEX_A7
+        assert p.core(7).core_type == CORTEX_A15
+        assert p.type_counts() == (4, 4)
+        # Per-cluster LLCs: 512 KB (A7) and 2 MB (A15), as in Table 1.
+        assert p.llc_of(0).size_mb == 0.5
+        assert p.llc_of(4).size_mb == 2.0
+
+    def test_platform_b_shared_llc(self):
+        p = xeon_emulated()
+        assert p.n_cores == 8
+        assert len(p.llc_domains) == 1
+        assert p.llc_domains[0].size_mb == 20.0
+        assert p.llc_of(0) is p.llc_of(7)
+
+    def test_platform_b_effective_frequency_ratio(self):
+        p = xeon_emulated()
+        slow, fast = p.core_types
+        # 2.1 GHz full duty vs 1.2 GHz at 87.5% -> exactly 2x.
+        assert fast.effective_freq_ghz / slow.effective_freq_ghz == pytest.approx(2.0)
+
+    def test_core_types_ordered_slowest_first(self):
+        for p in (odroid_xu4(), xeon_emulated(), tri_type_platform()):
+            freqs = [ct.effective_freq_ghz for ct in p.core_types]
+            assert freqs == sorted(freqs)
+
+    def test_dual_speed_is_flat(self):
+        p = dual_speed_platform(2, 2, big_speedup=3.0)
+        small, big = p.core_types
+        assert big.freq_ghz / small.freq_ghz == pytest.approx(3.0)
+        assert big.cache_bw / small.cache_bw == pytest.approx(3.0)
+
+    def test_tri_type_has_three_types(self):
+        p = tri_type_platform()
+        assert p.n_core_types == 3
+        assert p.n_cores == 6
+
+    def test_queries(self):
+        p = odroid_xu4()
+        assert len(p.cores_of_type("cortex-a15")) == 4
+        assert p.type_index("cortex-a7") == 0
+        assert p.type_index(CORTEX_A15) == 1
+        with pytest.raises(PlatformError):
+            p.type_index("epyc")
+        with pytest.raises(PlatformError):
+            p.core(99)
+        assert not p.is_symmetric
+        assert "Odroid" in p.describe()

@@ -1,0 +1,60 @@
+"""Unit tests for affinity mappings (SB/BS conventions)."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4
+from repro.amp.topology import AffinityMapping, bs_mapping, custom_mapping, sb_mapping
+from repro.errors import PlatformError
+
+
+def test_sb_puts_master_on_small_core():
+    p = odroid_xu4()
+    m = sb_mapping(p)
+    assert m.name == "SB"
+    assert m.cpu_of_tid[0] == 0  # CPU 0 is a small core
+    assert p.core(m.cpu_of_tid[0]).core_type.name == "cortex-a7"
+
+
+def test_bs_puts_master_on_big_core():
+    p = odroid_xu4()
+    m = bs_mapping(p)
+    assert m.name == "BS"
+    assert p.core(m.cpu_of_tid[0]).core_type.name == "cortex-a15"
+    # Lowest TIDs on big cores, descending CPU numbers.
+    assert m.cpu_of_tid == (7, 6, 5, 4, 3, 2, 1, 0)
+
+
+def test_partial_team_sizes():
+    p = odroid_xu4()
+    assert sb_mapping(p, 4).cpu_of_tid == (0, 1, 2, 3)
+    assert bs_mapping(p, 4).cpu_of_tid == (7, 6, 5, 4)
+
+
+def test_too_many_threads_rejected():
+    p = odroid_xu4()
+    with pytest.raises(PlatformError):
+        sb_mapping(p, 9)
+    with pytest.raises(PlatformError):
+        bs_mapping(p, 0)
+
+
+def test_oversubscription_rejected():
+    with pytest.raises(PlatformError):
+        AffinityMapping(name="dup", cpu_of_tid=(0, 0))
+
+
+def test_negative_cpu_rejected():
+    with pytest.raises(PlatformError):
+        AffinityMapping(name="neg", cpu_of_tid=(-1,))
+
+
+def test_empty_mapping_rejected():
+    with pytest.raises(PlatformError):
+        AffinityMapping(name="none", cpu_of_tid=())
+
+
+def test_validate_for_checks_cpu_range():
+    p = odroid_xu4()
+    m = custom_mapping("weird", [0, 12])
+    with pytest.raises(PlatformError):
+        m.validate_for(p)

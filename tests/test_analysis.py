@@ -1,0 +1,141 @@
+"""Tests for the analysis package — including simulator-vs-arithmetic
+validation (the simulator must agree with closed-form predictions in the
+noise-free, zero-overhead regime)."""
+
+import numpy as np
+import pytest
+
+from repro.amp.presets import dual_speed_platform, odroid_xu4
+from repro.analysis import (
+    balanced_makespan,
+    breakdown,
+    greedy_list_bounds,
+    static_makespan,
+)
+from repro.errors import ExperimentError
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.sched.aid_static import AidStaticSpec
+from repro.sched.dynamic import DynamicSpec
+from repro.sched.static import StaticSpec
+from repro.workloads.registry import get_program
+
+from tests.helpers import run_loop
+
+RATES_FLAT2X = [2.0, 2.0, 1.0, 1.0]  # BS order on the flat 2+2 platform
+
+
+class TestPredictions:
+    def test_static_makespan_formula(self):
+        costs = np.ones(400)
+        # 100 iterations per thread; slowest threads run at rate 1.
+        assert static_makespan(costs, RATES_FLAT2X) == pytest.approx(100.0)
+
+    def test_balanced_makespan_formula(self):
+        costs = np.ones(600)
+        assert balanced_makespan(costs, RATES_FLAT2X) == pytest.approx(100.0)
+
+    def test_greedy_bounds_order(self):
+        costs = np.random.default_rng(0).lognormal(0, 1, 500)
+        lo, hi = greedy_list_bounds(costs, RATES_FLAT2X, chunk=4)
+        assert lo <= hi
+        assert lo == pytest.approx(balanced_makespan(costs, RATES_FLAT2X))
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            static_makespan([1.0], [])
+        with pytest.raises(ExperimentError):
+            balanced_makespan([-1.0], [1.0])
+        with pytest.raises(ExperimentError):
+            greedy_list_bounds([1.0], [1.0], chunk=0)
+
+
+class TestSimulatorMatchesArithmetic:
+    """Zero-overhead simulator runs must land exactly on the formulas."""
+
+    def test_static_matches_formula(self, flat2x):
+        costs = np.full(400, 2.5e-4)
+        result = run_loop(flat2x, StaticSpec(), n_iterations=400, costs=costs)
+        assert result.duration == pytest.approx(
+            static_makespan(costs, RATES_FLAT2X), rel=1e-9
+        )
+
+    def test_dynamic_within_greedy_bounds(self, flat2x):
+        rng = np.random.default_rng(1)
+        costs = rng.lognormal(-9, 0.8, 700)
+        result = run_loop(flat2x, DynamicSpec(4), n_iterations=700, costs=costs)
+        lo, hi = greedy_list_bounds(costs, RATES_FLAT2X, chunk=4)
+        assert lo - 1e-12 <= result.duration <= hi + 1e-12
+
+    def test_aid_static_near_balanced_bound(self, flat2x):
+        costs = np.full(800, 2.5e-4)
+        result = run_loop(
+            flat2x,
+            AidStaticSpec(use_offline_sf=True),
+            n_iterations=800,
+            costs=costs,
+            offline_sf={0: 1.0, 1: 2.0},
+        )
+        bound = balanced_makespan(costs, RATES_FLAT2X)
+        assert result.duration == pytest.approx(bound, rel=0.01)
+
+    def test_no_schedule_beats_balanced_bound(self, flat2x):
+        rng = np.random.default_rng(2)
+        costs = rng.uniform(0.5, 1.5, 500) * 1e-4
+        bound = balanced_makespan(costs, RATES_FLAT2X)
+        for spec in (StaticSpec(), DynamicSpec(1), AidStaticSpec()):
+            result = run_loop(flat2x, spec, n_iterations=500, costs=costs)
+            assert result.duration >= bound - 1e-12, spec.name
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def result(self):
+        runner = ProgramRunner(
+            odroid_xu4(), OmpEnv(schedule="dynamic,1", affinity="BS"), trace=True
+        )
+        return runner.run(get_program("CG"))
+
+    def test_per_loop_aggregation(self, result):
+        bd = breakdown(result)
+        assert set(bd.loops) == {"cg.spmv", "cg.dot", "cg.axpy1", "cg.axpy2"}
+        spmv = bd.loops["cg.spmv"]
+        assert spmv.invocations == 8
+        assert spmv.iterations == 8 * 2048
+        assert spmv.dispatches_per_invocation > 0
+
+    def test_state_accounting(self, result):
+        bd = breakdown(result)
+        assert bd.compute_s > 0
+        assert bd.runtime_s > 0
+        assert 0 < bd.runtime_overhead_fraction < 1
+        # dynamic(1) on CG: the runtime share is substantial (the paper's
+        # overhead story).
+        assert bd.runtime_overhead_fraction > 0.1
+
+    def test_hottest_loop_and_table(self, result):
+        bd = breakdown(result)
+        assert bd.hottest_loop().loop_name in bd.loops
+        table = bd.to_table()
+        assert "cg.spmv" in table and "disp/inv" in table
+
+    def test_aid_static_much_lower_runtime_share(self):
+        runner = ProgramRunner(
+            odroid_xu4(), OmpEnv(schedule="aid_static", affinity="BS"), trace=True
+        )
+        bd_aid = breakdown(runner.run(get_program("CG")))
+        runner_dyn = ProgramRunner(
+            odroid_xu4(), OmpEnv(schedule="dynamic,1", affinity="BS"), trace=True
+        )
+        bd_dyn = breakdown(runner_dyn.run(get_program("CG")))
+        assert (
+            bd_aid.runtime_overhead_fraction
+            < bd_dyn.runtime_overhead_fraction / 2
+        )
+
+    def test_empty_program_guard(self):
+        from repro.analysis.breakdown import ProgramBreakdown
+
+        bd = ProgramBreakdown("x", "s", 1.0, 0.0)
+        with pytest.raises(ExperimentError):
+            bd.hottest_loop()

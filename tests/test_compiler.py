@@ -1,0 +1,93 @@
+"""Unit tests for the compiler model (Sec. 4.1)."""
+
+import pytest
+
+from repro.compiler.lowering import LoweringKind, compile_program
+from repro.compiler.symbols import nm_output, undefined_symbols
+from repro.errors import CompilerError
+from repro.perfmodel.kernel import KernelProfile
+from repro.sched.dynamic import DynamicSpec
+from repro.workloads.costmodels import UniformCost
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program
+from repro.workloads.registry import get_program
+
+KERNEL = KernelProfile(name="k", compute_weight=1.0, ilp=0.0, working_set_mb=0.0)
+
+
+def program_with_clause():
+    return Program(
+        name="mixed",
+        suite="test",
+        body=(
+            LoopSpec("plain", 10, UniformCost(1e-5), KERNEL),
+            LoopSpec(
+                "clause", 10, UniformCost(1e-5), KERNEL, schedule_clause="dynamic,4"
+            ),
+        ),
+        timesteps=1,
+    )
+
+
+def test_vanilla_inlines_clause_less_loops():
+    compiled = compile_program(get_program("BT"), modified=False)
+    for cl in compiled.lowered.values():
+        assert cl.kind is LoweringKind.INLINE_STATIC
+        assert not cl.makes_runtime_calls
+    assert compiled.runtime_controllable_fraction == 0.0
+    assert compiled.compiler == "gcc-8.3-vanilla"
+
+
+def test_modified_defaults_to_runtime():
+    compiled = compile_program(get_program("BT"), modified=True)
+    for cl in compiled.lowered.values():
+        assert cl.kind is LoweringKind.RUNTIME
+        assert cl.makes_runtime_calls
+    assert compiled.runtime_controllable_fraction == 1.0
+
+
+def test_clause_preserved_by_both_compilers():
+    for modified in (False, True):
+        compiled = compile_program(program_with_clause(), modified=modified)
+        cl = compiled.lowered["clause"]
+        assert cl.kind is LoweringKind.CLAUSE
+        assert cl.clause_spec == DynamicSpec(chunk=4)
+
+
+def test_unknown_loop_lookup_raises():
+    compiled = compile_program(get_program("EP"), modified=True)
+    stray = LoopSpec("stray", 5, UniformCost(1e-5), KERNEL)
+    with pytest.raises(CompilerError):
+        compiled.lowering_of(stray)
+
+
+class TestSymbols:
+    def test_vanilla_symbols_match_paper_listing(self):
+        """Paper Sec. 4.1: vanilla bt.B references only barrier+parallel."""
+        compiled = compile_program(get_program("BT"), modified=False)
+        assert undefined_symbols(compiled) == [
+            "GOMP_barrier@GOMP_1.0",
+            "GOMP_parallel@GOMP_4.0",
+        ]
+
+    def test_modified_symbols_match_paper_listing(self):
+        compiled = compile_program(get_program("BT"), modified=True)
+        assert undefined_symbols(compiled) == [
+            "GOMP_barrier@GOMP_1.0",
+            "GOMP_loop_end@GOMP_1.0",
+            "GOMP_loop_end_nowait@GOMP_1.0",
+            "GOMP_loop_runtime_next@GOMP_1.0",
+            "GOMP_loop_runtime_start@GOMP_1.0",
+            "GOMP_parallel@GOMP_4.0",
+        ]
+
+    def test_clause_loops_emit_their_own_family(self):
+        compiled = compile_program(program_with_clause(), modified=False)
+        syms = undefined_symbols(compiled)
+        assert "GOMP_loop_dynamic_next@GOMP_1.0" in syms
+        assert "GOMP_loop_dynamic_start@GOMP_1.0" in syms
+
+    def test_nm_output_format(self):
+        compiled = compile_program(get_program("EP"), modified=True)
+        text = nm_output(compiled)
+        assert all(line.strip().startswith("U ") for line in text.splitlines())

@@ -1,0 +1,65 @@
+"""Property-based fuzz of the schedulers under *real* threads.
+
+Smaller scale than the simulator fuzz (real threads are slow), but this
+is the test that would catch a race in the scheduler state machines:
+every policy, random team sizes and trip counts, genuine interleavings.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec_real import ThreadTeam
+from repro.sched import (
+    AidAutoSpec,
+    AidStealSpec,
+    AidDynamicSpec,
+    AidHybridSpec,
+    AidStaticSpec,
+    DynamicSpec,
+    GuidedSpec,
+    StaticSpec,
+)
+
+real_specs = st.one_of(
+    st.just(StaticSpec()),
+    st.integers(1, 16).map(lambda c: StaticSpec(chunk=c)),
+    st.integers(1, 16).map(lambda c: DynamicSpec(chunk=c)),
+    st.integers(1, 8).map(lambda c: GuidedSpec(chunk=c)),
+    st.just(AidStaticSpec()),
+    st.floats(20.0, 100.0).map(lambda p: AidHybridSpec(percentage=p)),
+    st.tuples(st.integers(1, 4), st.integers(0, 12)).map(
+        lambda mm: AidDynamicSpec(mm[0], mm[0] + mm[1])
+    ),
+    st.just(AidAutoSpec()),
+    st.integers(1, 16).map(lambda c: AidStealSpec(serve_chunk=c)),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    spec=real_specs,
+    n_threads=st.integers(1, 6),
+    n_iterations=st.integers(0, 400),
+)
+def test_real_threads_execute_exactly_once(spec, n_threads, n_iterations):
+    team = ThreadTeam(n_threads)
+    counter = np.zeros(max(1, n_iterations), dtype=np.int64)
+
+    def body(tid: int, lo: int, hi: int) -> None:
+        # Plain += is not atomic across threads, but ranges are disjoint
+        # by the invariant under test, so no slot is written twice.
+        counter[lo:hi] += 1
+
+    stats = team.parallel_for(n_iterations, body, spec)
+    assert sum(stats.iterations_per_thread) == n_iterations
+    if n_iterations:
+        assert counter[:n_iterations].sum() == n_iterations
+        assert counter[:n_iterations].max() <= 1
+    # Ranges reported must partition the space as well.
+    seen = np.zeros(max(1, n_iterations), dtype=np.int64)
+    for _tid, lo, hi in stats.ranges:
+        seen[lo:hi] += 1
+    if n_iterations:
+        assert seen[:n_iterations].min() == 1
+        assert seen[:n_iterations].max() == 1

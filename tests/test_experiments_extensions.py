@@ -1,0 +1,78 @@
+"""Tests for the extension experiment modules (energy, multiapp) and the
+Fig. 6/7/Table 2 modules on reduced program sets."""
+
+import pytest
+
+from repro.experiments import energy, fig67, multiapp, table2
+from repro.workloads.registry import get_program
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return energy.run(programs=("IS", "streamcluster"))
+
+    def test_cells_complete(self, result):
+        assert set(result.cells) == {"IS", "streamcluster"}
+        for row in result.cells.values():
+            assert len(row) == 7
+            for t, e in row.values():
+                assert t > 0 and e.total_j > 0
+
+    def test_baseline_normalizes_to_one(self, result):
+        for program in result.cells:
+            assert result.normalized_energy(
+                program, "static(SB)", "static(SB)"
+            ) == pytest.approx(1.0)
+
+    def test_aid_wins_edp(self, result):
+        for program in result.cells:
+            assert result.normalized_edp(program, "AID-static", "static(SB)") < 0.95
+
+    def test_report_renders(self, result):
+        text = energy.format_report(result)
+        assert "EDP" in text and "IS" in text
+
+
+class TestMultiAppExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return multiapp.run(programs=("streamcluster", "MG"))
+
+    def test_all_policy_schedule_cells(self, result):
+        policies = {p for p, _ in result.cells}
+        schedules = {s for _, s in result.cells}
+        assert policies == {"cluster-split", "fair-mixed", "priority(3,1)"}
+        assert schedules == {"static", "aid_static", "aid_dynamic,1,5"}
+
+    def test_fairness_ordering(self, result):
+        fair = result.cells[("fair-mixed", "aid_static")]
+        split = result.cells[("cluster-split", "aid_static")]
+        assert fair.unfairness < split.unfairness
+
+    def test_realloc_present(self, result):
+        assert result.realloc is not None
+        assert all(t > 0 for t in result.realloc.shared_times)
+
+    def test_report_renders(self, result):
+        text = multiapp.format_report(result)
+        assert "STP" in text and "realloc" in text
+
+
+class TestReducedGrids:
+    def test_fig67_on_subset(self):
+        programs = [get_program("EP"), get_program("IS")]
+        result = fig67.run(programs=programs)
+        assert set(result.platform_a.times) == {"EP", "IS"}
+        assert set(result.platform_b.times) == {"EP", "IS"}
+        report = fig67.format_report(result)
+        assert "Fig. 6" in report and "Fig. 7" in report
+
+    def test_table2_from_precomputed_grids(self):
+        programs = [get_program("EP"), get_program("streamcluster")]
+        grids = fig67.run(programs=programs)
+        result = table2.run(fig67=grids)
+        assert set(result.gains) == {"Platform A", "Platform B"}
+        for rows in result.gains.values():
+            assert len(rows) == 3
+        assert "paper mean" in table2.format_report(result)

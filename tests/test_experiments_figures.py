@@ -1,0 +1,180 @@
+"""Per-figure experiment tests: each harness runs and reproduces the
+paper's qualitative claim (scaled-down where needed for speed)."""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig4, fig8, fig9, guided, sec41, sec5b
+from repro.workloads.registry import get_program
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run()
+
+    def test_2b2s_close_to_4s(self, result):
+        """The motivating claim: adding 2 big cores to 2 small ones barely
+        beats 4 small ones under static scheduling."""
+        ratio = result.time_4s / result.time_2b2s
+        assert 1.0 <= ratio <= 1.35
+
+    def test_big_cores_idle_at_barrier(self, result):
+        assert result.big_idle_fraction > 0.2
+
+    def test_report_renders(self, result):
+        text = fig1.format_report(result)
+        assert "2B-2S" in text and "#" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(n_loops=12)
+
+    def test_platform_names_present(self, result):
+        assert len(result.series) == 2
+
+    def test_sf_varies_across_loops(self, result):
+        for platform_name, progs in result.series.items():
+            for prog, points in progs.items():
+                sfs = [p.sf for p in points]
+                assert max(sfs) / min(sfs) > 1.2, (platform_name, prog)
+
+    def test_platform_a_reaches_high_sf(self, result):
+        a = next(k for k in result.series if "Odroid" in k)
+        assert result.max_sf(a) > 3.0
+
+    def test_platform_b_capped(self, result):
+        b = next(k for k in result.series if "Xeon" in k)
+        assert result.max_sf(b) <= 2.4
+
+    def test_report_renders(self, result):
+        assert "CG" in fig2.format_report(result)
+
+
+class TestSec41:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sec41.run()
+
+    def test_vanilla_has_no_loop_symbols(self, result):
+        assert not any("loop" in s for s in result.vanilla_symbols)
+
+    def test_modified_gains_runtime_symbols(self, result):
+        assert any("loop_runtime_next" in s for s in result.modified_symbols)
+        assert result.modified_controllable == 1.0
+
+    def test_static_overhead_not_noticeable(self, result):
+        """Paper: recompiled binaries under OMP_SCHEDULE=static show no
+        apparent overhead."""
+        assert abs(result.static_overhead) < 0.02
+
+    def test_report_renders(self, result):
+        assert "nm -u" in sec41.format_report(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run()
+
+    def test_hybrid_beats_aid_static_on_ep(self, result):
+        """Paper: AID-hybrid(80) improves EP by ~10.5% over AID-static."""
+        assert 0.03 <= result.hybrid_gain <= 0.20
+
+    def test_report_renders(self, result):
+        assert "AID-hybrid" in fig4.format_report(result)
+
+
+class TestGuided:
+    @pytest.fixture(scope="class")
+    def result(self):
+        programs = [get_program(n) for n in ("EP", "CG", "FT", "streamcluster")]
+        return guided.run(programs=programs)
+
+    def test_guided_worse_than_dynamic_on_average(self, result):
+        for plat, inc in result.mean_increase_vs_dynamic.items():
+            assert inc > 0.0, plat
+
+    def test_guided_rarely_beats_both(self, result):
+        for plat, winners in result.beats_both.items():
+            assert len(winners) <= 1, (plat, winners)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(programs=("FT", "streamcluster", "hotspot3D"))
+
+    def test_aid_dynamic_best_chunk_competitive(self, result):
+        """Paper: comparing best chunk settings, AID-dynamic beats dynamic
+        by 5.5% on average (up to 21.9%); at minimum it must not lose."""
+        assert result.mean_best_gain > -0.02
+
+    def test_dynamic_chunk_sensitivity_visible(self, result):
+        for program, row in result.normalized.items():
+            dyn = [row[f"dynamic/{c}"] for c in fig8.DYNAMIC_CHUNKS]
+            assert max(dyn) / min(dyn) > 1.02, program
+
+    def test_report_renders(self, result):
+        assert "best-chunk" in fig8.format_report(result)
+
+
+class TestSec5b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sec5b.run(
+            programs=("FT", "leukocyte", "blackscholes", "streamcluster"),
+            percentages=(50, 60, 80, 95, 100),
+        )
+
+    def test_dynamic_friendly_prefer_lower_percentages(self, result):
+        """Paper: FT/leukocyte-type programs peak around 60%."""
+        for prog in ("FT", "leukocyte"):
+            assert result.best_percentage(prog) <= 80
+
+    def test_static_friendly_prefer_higher_percentages(self, result):
+        """Paper: blackscholes-type programs peak at 90%+."""
+        assert result.best_percentage("blackscholes") >= 80
+
+    def test_eighty_percent_is_a_safe_default(self, result):
+        """No program loses more than ~10% by using 80% instead of its
+        best setting."""
+        for prog in result.times:
+            norm = result.normalized(prog)
+            best = max(norm.values())
+            assert best <= 1.16, (prog, norm)
+
+    def test_report_renders(self, result):
+        assert "%" in sec5b.format_report(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(programs=("EP", "streamcluster", "blackscholes", "MG"))
+
+    def test_online_within_few_percent_generally(self, result):
+        """Paper: AID-static performs within ~3% of offline-SF for most
+        programs (we allow a slightly wider band)."""
+        for platform_name, rows in result.times.items():
+            for program, (t_on, t_off) in rows.items():
+                if program == "blackscholes":
+                    continue
+                assert abs(t_off / t_on - 1.0) < 0.10, (platform_name, program)
+
+    def test_blackscholes_online_wins_on_platform_a(self, result):
+        """Paper Fig. 9: offline SFs mispredict under LLC contention on
+        big.LITTLE, so online sampling wins for blackscholes on A."""
+        a = next(k for k in result.times if "Odroid" in k)
+        assert result.gain_of_online(a, "blackscholes") > 0.02
+
+    def test_blackscholes_estimated_sf_below_offline(self, result):
+        assert result.estimated_sf_series
+        assert all(
+            sf < result.offline_sf_value * 0.85
+            for sf in result.estimated_sf_series
+        )
+
+    def test_report_renders(self, result):
+        assert "Fig. 9c" in fig9.format_report(result)

@@ -1,0 +1,90 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    BASELINE_LABEL,
+    ScheduleConfig,
+    default_configs,
+    offline_sf_tables,
+    run_grid,
+    run_one,
+)
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return run_grid(
+        odroid_xu4(),
+        programs=[get_program("EP"), get_program("streamcluster")],
+    )
+
+
+def test_default_configs_match_paper_columns():
+    labels = [c.label for c in default_configs()]
+    assert labels == [
+        "static(SB)",
+        "static(BS)",
+        "dynamic(SB)",
+        "dynamic(BS)",
+        "AID-static",
+        "AID-hybrid",
+        "AID-dynamic",
+    ]
+    assert BASELINE_LABEL == "static(SB)"
+
+
+def test_grid_shape(small_grid):
+    assert set(small_grid.times) == {"EP", "streamcluster"}
+    for row in small_grid.times.values():
+        assert len(row) == 7
+        assert all(t > 0 for t in row.values())
+
+
+def test_normalization_baseline_is_one(small_grid):
+    norm = small_grid.normalized()
+    for program in norm:
+        assert norm[program]["static(SB)"] == pytest.approx(1.0)
+
+
+def test_column_extraction(small_grid):
+    col = small_grid.column("AID-static")
+    assert set(col) == {"EP", "streamcluster"}
+
+
+def test_missing_cell_raises(small_grid):
+    with pytest.raises(ExperimentError):
+        small_grid.time("EP", "fifo")
+    with pytest.raises(ExperimentError):
+        small_grid.time("doom", "AID-static")
+
+
+def test_to_table_renders(small_grid):
+    text = small_grid.to_table()
+    assert "EP" in text and "AID-hybrid" in text
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ExperimentError):
+        run_grid(odroid_xu4(), programs=[], configs=None)
+
+
+def test_run_one_deterministic():
+    cfg = ScheduleConfig("d", OmpEnv(schedule="dynamic,1", affinity="BS"))
+    p = get_program("EP")
+    a = run_one(odroid_xu4(), p, cfg, root_seed=1).completion_time
+    b = run_one(odroid_xu4(), p, cfg, root_seed=1).completion_time
+    assert a == b
+
+
+def test_offline_sf_tables_cover_all_loops():
+    p = get_program("CG")
+    tables = offline_sf_tables(odroid_xu4(), p)
+    assert set(tables) == {l.name for l in p.loops()}
+    for table in tables.values():
+        assert table[0] == pytest.approx(1.0)
+        assert table[1] >= 1.0

@@ -1,0 +1,215 @@
+"""Tests for the real numpy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    assign_clusters,
+    bfs_levels,
+    black_scholes_price,
+    ep_gaussian_pairs,
+    hotspot_step,
+    jacobi_step,
+    kmeans_step,
+    make_random_graph,
+    make_sparse_system,
+    spmv_rows,
+    srad_coefficients,
+)
+from repro.kernels.graph import expand_frontier
+
+
+class TestBlackScholes:
+    def test_known_value(self):
+        # Textbook case: S=100, K=100, r=5%, sigma=20%, T=1 -> C ~ 10.45.
+        price = black_scholes_price(
+            np.array([100.0]), np.array([100.0]), 0.05,
+            np.array([0.2]), np.array([1.0]),
+        )
+        assert price[0] == pytest.approx(10.4506, abs=1e-3)
+
+    def test_put_call_parity(self):
+        s, k, r, v, t = (
+            np.array([105.0]), np.array([95.0]), 0.03,
+            np.array([0.25]), np.array([0.5]),
+        )
+        call = black_scholes_price(s, k, r, v, t, call=True)
+        put = black_scholes_price(s, k, r, v, t, call=False)
+        parity = call - put
+        assert parity[0] == pytest.approx(
+            s[0] - k[0] * np.exp(-r * t[0]), abs=1e-9
+        )
+
+    def test_vectorized(self):
+        n = 1000
+        rng = np.random.default_rng(0)
+        prices = black_scholes_price(
+            rng.uniform(50, 150, n), rng.uniform(50, 150, n), 0.02,
+            rng.uniform(0.1, 0.6, n), rng.uniform(0.1, 2.0, n),
+        )
+        assert prices.shape == (n,)
+        assert np.all(prices >= 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            black_scholes_price(
+                np.array([100.0]), np.array([100.0]), 0.05,
+                np.array([-0.1]), np.array([1.0]),
+            )
+
+
+class TestEP:
+    def test_deterministic(self):
+        a = ep_gaussian_pairs(10_000, seed=1)
+        b = ep_gaussian_pairs(10_000, seed=1)
+        assert a[0] == b[0]
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_acceptance_rate_near_pi_over_4(self):
+        accepted, _ = ep_gaussian_pairs(200_000, seed=0)
+        assert accepted / 200_000 == pytest.approx(np.pi / 4, abs=0.01)
+
+    def test_counts_sum_to_accepted(self):
+        accepted, counts = ep_gaussian_pairs(50_000, seed=3)
+        assert counts.sum() == accepted
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ep_gaussian_pairs(0, seed=0)
+
+
+class TestCG:
+    def test_spmv_chunks_compose(self):
+        a, b = make_sparse_system(200, density=0.05, seed=1)
+        x = np.linspace(0, 1, 200)
+        full = a @ x
+        parts = np.concatenate(
+            [spmv_rows(a, x, lo, lo + 50) for lo in range(0, 200, 50)]
+        )
+        np.testing.assert_allclose(parts, full)
+
+    def test_matrix_is_spd_ish(self):
+        a, _ = make_sparse_system(100, seed=0)
+        dense = a.toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        eigmin = np.linalg.eigvalsh(dense).min()
+        assert eigmin > 0
+
+    def test_bad_row_range(self):
+        a, _ = make_sparse_system(10)
+        with pytest.raises(ValueError):
+            spmv_rows(a, np.zeros(10), 5, 20)
+
+
+class TestStencils:
+    def test_jacobi_fixed_point(self):
+        grid = np.ones((16, 16))
+        out = jacobi_step(grid, 0, 16)
+        np.testing.assert_allclose(out, grid)
+
+    def test_jacobi_chunks_compose(self):
+        rng = np.random.default_rng(0)
+        grid = rng.random((32, 32))
+        full = jacobi_step(grid, 0, 32)
+        parts = np.vstack([jacobi_step(grid, lo, lo + 8) for lo in range(0, 32, 8)])
+        np.testing.assert_allclose(parts, full)
+
+    def test_hotspot_adds_power(self):
+        temp = np.zeros((8, 8))
+        power = np.ones((8, 8))
+        out = hotspot_step(temp, power, 0, 8, cap=0.5)
+        np.testing.assert_allclose(out, 0.5 * np.ones((8, 8)))
+
+    def test_hotspot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hotspot_step(np.zeros((4, 4)), np.zeros((5, 5)), 0, 4)
+
+
+class TestSrad:
+    def test_coefficients_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0.5, 2.0, (32, 32))
+        c = srad_coefficients(img, 0, 32)
+        assert c.shape == (32, 32)
+        assert np.all(c >= 0) and np.all(c <= 1)
+
+    def test_uniform_image_diffuses_freely(self):
+        img = np.full((16, 16), 3.0)
+        c = srad_coefficients(img, 0, 16)
+        assert np.all(c > 0.9)  # no edges -> strong diffusion
+
+    def test_rejects_nonpositive_image(self):
+        with pytest.raises(ValueError):
+            srad_coefficients(np.zeros((4, 4)), 0, 4)
+
+
+class TestGraph:
+    def test_graph_connected(self):
+        import networkx as nx
+
+        g = make_random_graph(200, avg_degree=3.0, seed=2)
+        assert nx.is_connected(g)
+
+    def test_bfs_levels_cover_graph(self):
+        g = make_random_graph(100, seed=1)
+        levels = bfs_levels(g, 0)
+        assert set(levels) == set(g.nodes)
+        assert levels[0] == 0
+
+    def test_frontier_expansion_matches_reference(self):
+        g = make_random_graph(150, seed=5)
+        ref = bfs_levels(g, 0)
+        visited = {0}
+        frontier = [0]
+        level = 0
+        while frontier:
+            for node in frontier:
+                assert ref[node] == level
+            nxt = expand_frontier(g, frontier, visited)
+            visited.update(nxt)
+            frontier = nxt
+            level += 1
+        assert visited == set(g.nodes)
+
+    def test_bad_source(self):
+        g = make_random_graph(10)
+        with pytest.raises(ValueError):
+            bfs_levels(g, 99)
+
+
+class TestKmeans:
+    def test_assignment_is_nearest(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0], [0.2, 0.1]])
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        labels = assign_clusters(points, centers, 0, 3)
+        np.testing.assert_array_equal(labels, [0, 1, 0])
+
+    def test_chunks_compose(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((100, 3))
+        centers = rng.random((5, 3))
+        full = assign_clusters(points, centers, 0, 100)
+        parts = np.concatenate(
+            [assign_clusters(points, centers, lo, lo + 25) for lo in range(0, 100, 25)]
+        )
+        np.testing.assert_array_equal(parts, full)
+
+    def test_step_reduces_inertia(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack(
+            [rng.normal(0, 0.2, (50, 2)), rng.normal(3, 0.2, (50, 2))]
+        )
+        centers = np.array([[1.0, 1.0], [2.0, 2.0]])
+
+        def inertia(c, labels):
+            return sum(
+                np.sum((points[labels == k] - c[k]) ** 2) for k in range(len(c))
+            )
+
+        labels0, centers1 = kmeans_step(points, centers)
+        labels1, _ = kmeans_step(points, centers1)
+        assert inertia(centers1, labels1) <= inertia(centers, labels0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            assign_clusters(np.zeros((5, 2)), np.zeros((2, 3)), 0, 5)

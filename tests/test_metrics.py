@@ -1,0 +1,94 @@
+"""Unit tests for metrics and aggregation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.imbalance import load_imbalance, mean_imbalance, thread_utilization
+from repro.metrics.stats import (
+    geometric_mean,
+    normalized_performance,
+    relative_gain,
+    summarize_gains,
+)
+from repro.runtime.executor import LoopResult
+
+
+def make_result(finishes, start=0.0):
+    return LoopResult(
+        loop_name="l",
+        start_time=start,
+        end_time=max(finishes),
+        finish_times=list(finishes),
+        iterations=[1] * len(finishes),
+        dispatches=0,
+        scheduler_calls=0,
+    )
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_bad_input(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalized_performance(self):
+        assert normalized_performance(2.0, 1.0) == 2.0  # twice as fast
+        assert normalized_performance(2.0, 4.0) == 0.5
+
+    def test_relative_gain(self):
+        assert relative_gain(1.15, 1.0) == pytest.approx(0.15)
+        assert relative_gain(1.0, 1.25) == pytest.approx(-0.2)
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalized_performance(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            relative_gain(1.0, -1.0)
+
+    def test_summarize_gains_matches_paper_convention(self):
+        times = {"a": 1.0, "b": 2.0}
+        ref = {"a": 1.2, "b": 2.2}
+        out = summarize_gains(times, ref)
+        mean = ((1.2 / 1.0 - 1) + (2.2 / 2.0 - 1)) / 2
+        gmean = ((1.2 / 1.0) * (2.2 / 2.0)) ** 0.5 - 1
+        assert out["mean"] == pytest.approx(mean)
+        assert out["gmean"] == pytest.approx(gmean)
+        assert out["gmean"] <= out["mean"]
+
+    def test_summarize_gains_program_mismatch(self):
+        with pytest.raises(ExperimentError):
+            summarize_gains({"a": 1.0}, {"b": 1.0})
+        with pytest.raises(ExperimentError):
+            summarize_gains({}, {})
+
+
+class TestImbalance:
+    def test_balanced_loop(self):
+        r = make_result([1.0, 1.0, 1.0])
+        assert load_imbalance(r) == 0.0
+        assert thread_utilization(r) == [1.0, 1.0, 1.0]
+
+    def test_imbalanced_loop(self):
+        r = make_result([0.5, 1.0])
+        assert load_imbalance(r) == pytest.approx(0.5)
+        assert thread_utilization(r) == [0.5, 1.0]
+
+    def test_start_offset_handled(self):
+        r = make_result([2.5, 3.0], start=2.0)
+        assert load_imbalance(r) == pytest.approx(0.5)
+
+    def test_mean_imbalance(self):
+        rs = [make_result([0.5, 1.0]), make_result([1.0, 1.0])]
+        assert mean_imbalance(rs) == pytest.approx(0.25)
+        with pytest.raises(ExperimentError):
+            mean_imbalance([])
+
+    def test_zero_duration_rejected(self):
+        r = make_result([0.0, 0.0])
+        with pytest.raises(ExperimentError):
+            thread_utilization(r)

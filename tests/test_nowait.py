@@ -1,0 +1,155 @@
+"""Tests for nowait work-sharing semantics.
+
+A ``nowait`` loop skips the implicit barrier: each thread flows into the
+next work-sharing construct as soon as its own share is done — the
+``GOMP_loop_end_nowait`` path whose symbol the compiler model emits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amp.presets import dual_speed_platform, odroid_xu4
+from repro.errors import SimulationError
+from repro.perfmodel.kernel import KernelProfile
+from repro.perfmodel.overhead import ZERO_OVERHEAD
+from repro.perfmodel.speed import PerfModel
+from repro.perfmodel.locality import LocalityModel
+from repro.amp.topology import bs_mapping
+from repro.runtime.env import OmpEnv
+from repro.runtime.executor import LoopExecutor
+from repro.runtime.program_runner import ProgramRunner
+from repro.runtime.team import Team
+from repro.sched.dynamic import DynamicSpec
+from repro.workloads.costmodels import RampCost, UniformCost
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program
+
+K = KernelProfile(name="k", compute_weight=1.0, ilp=0.0, working_set_mb=0.0)
+
+
+def make_executor(platform):
+    team = Team(platform, bs_mapping(platform))
+    return LoopExecutor(
+        team,
+        PerfModel(platform),
+        ZERO_OVERHEAD,
+        locality=LocalityModel(enabled=False),
+    )
+
+
+class TestExecutorStartTimes:
+    def test_staggered_entries_respected(self, flat2x):
+        ex = make_executor(flat2x)
+        loop = LoopSpec("l", 40, UniformCost(1e-4), K)
+        costs = np.full(40, 1e-4)
+        entries = [0.0, 0.005, 0.01, 0.015]
+        result = ex.run(loop, costs, DynamicSpec(1), start_times=entries)
+        # No thread can finish before it even entered.
+        for tid, entry in enumerate(entries):
+            assert result.finish_times[tid] >= entry
+        assert result.start_time == 0.0
+
+    def test_wrong_length_rejected(self, flat2x):
+        ex = make_executor(flat2x)
+        loop = LoopSpec("l", 10, UniformCost(1e-4), K)
+        with pytest.raises(SimulationError):
+            ex.run(
+                loop, np.full(10, 1e-4), DynamicSpec(1), start_times=[0.0, 1.0]
+            )
+
+    def test_late_threads_may_get_nothing(self, flat2x):
+        """If the pool drains before a very late thread arrives, it simply
+        finds the pool empty — and must still terminate."""
+        ex = make_executor(flat2x)
+        loop = LoopSpec("l", 20, UniformCost(1e-5), K)
+        result = ex.run(
+            loop,
+            np.full(20, 1e-5),
+            DynamicSpec(1),
+            start_times=[0.0, 0.0, 0.0, 10.0],
+        )
+        assert sum(result.iterations) == 20
+        assert result.iterations[3] == 0
+
+
+def chain_program(nowait: bool):
+    """Two complementary ramped loops: threads that finish loop A early
+    get the expensive front of loop B — nowait overlap pays."""
+    return Program(
+        name=f"chain-{nowait}",
+        suite="test",
+        body=(
+            LoopSpec("a", 400, RampCost(2e-4, 0.5e-4), K, nowait=nowait),
+            LoopSpec("b", 400, RampCost(2e-4, 0.5e-4), K),
+        ),
+        timesteps=3,
+    )
+
+
+class TestNowaitChaining:
+    def test_iterations_conserved(self, flat2x):
+        runner = ProgramRunner(flat2x, OmpEnv(schedule="dynamic,1", affinity="BS"))
+        result = runner.run(chain_program(nowait=True))
+        for lr in result.loop_results:
+            assert sum(lr.iterations) == 400
+
+    def test_nowait_never_slower_than_barrier(self, flat2x):
+        env = OmpEnv(schedule="static", affinity="BS")
+        with_barrier = ProgramRunner(flat2x, env).run(chain_program(False))
+        without = ProgramRunner(flat2x, env).run(chain_program(True))
+        assert without.completion_time <= with_barrier.completion_time
+
+    def test_nowait_overlaps_imbalance(self, flat2x):
+        """Under static on an AMP, loop A's big-core threads finish early;
+        with nowait they bite into loop B meanwhile."""
+        env = OmpEnv(schedule="dynamic,1", affinity="BS")
+        with_barrier = ProgramRunner(flat2x, env).run(chain_program(False))
+        without = ProgramRunner(flat2x, env).run(chain_program(True))
+        # At minimum the saved barrier costs show up; with dynamic
+        # stealing across the seam the gain is real.
+        assert without.completion_time < with_barrier.completion_time
+
+    def test_trace_remains_consistent(self, flat2x):
+        runner = ProgramRunner(
+            flat2x, OmpEnv(schedule="dynamic,1", affinity="BS"), trace=True
+        )
+        result = runner.run(chain_program(True))
+        result.trace.validate_non_overlapping()
+
+    def test_trailing_nowait_joins_at_program_end(self, flat2x):
+        program = Program(
+            name="tail",
+            suite="test",
+            body=(LoopSpec("only", 100, RampCost(2e-4, 0.5e-4), K, nowait=True),),
+            timesteps=1,
+        )
+        runner = ProgramRunner(flat2x, OmpEnv(schedule="static", affinity="BS"))
+        result = runner.run(program)
+        assert result.completion_time == pytest.approx(
+            max(result.loop_results[0].finish_times)
+        )
+
+    def test_serial_phase_joins_first(self, flat2x):
+        from repro.workloads.program import SerialPhase
+
+        program = Program(
+            name="join",
+            suite="test",
+            body=(
+                LoopSpec("a", 100, RampCost(2e-4, 0.5e-4), K, nowait=True),
+                SerialPhase("glue", 1e-3, K),
+            ),
+            timesteps=2,
+        )
+        runner = ProgramRunner(flat2x, OmpEnv(schedule="static", affinity="BS"))
+        result = runner.run(program)  # must not crash; serial joins the team
+        assert result.serial_time > 0
+
+    def test_aid_schedules_work_across_nowait(self, platform_a):
+        for schedule in ("aid_static", "aid_dynamic,1,5", "aid_auto"):
+            runner = ProgramRunner(
+                platform_a, OmpEnv(schedule=schedule, affinity="BS")
+            )
+            result = runner.run(chain_program(True))
+            for lr in result.loop_results:
+                assert sum(lr.iterations) == 400

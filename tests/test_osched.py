@@ -1,0 +1,214 @@
+"""Tests for the multi-application OS substrate (paper Sec. 4.3)."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4, tri_type_platform
+from repro.errors import ConfigError, ExperimentError
+from repro.osched.allocation import Allocation, AllocationTimeline
+from repro.osched.info_page import AmpInfoPage
+from repro.osched.metrics import antt, stp, unfairness
+from repro.osched.multiapp import run_colocated
+from repro.osched.policies import cluster_split, fair_mixed, priority_weighted
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.workloads.registry import get_program
+
+
+class TestAllocation:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ConfigError):
+            Allocation(cpus_of_app=((0, 1), (1, 2)))
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(ConfigError):
+            Allocation(cpus_of_app=((0, 1), ()))
+
+    def test_others(self):
+        alloc = Allocation(cpus_of_app=((7, 6), (3, 2, 1)))
+        assert alloc.others(0) == (1, 2, 3)
+        assert alloc.others(1) == (6, 7)
+
+    def test_big_core_count(self):
+        p = odroid_xu4()
+        alloc = Allocation(cpus_of_app=((7, 6, 1, 0), (5, 4, 3, 2)))
+        assert alloc.big_core_count(p, 0) == 2
+        assert alloc.big_core_count(p, 1) == 2
+
+    def test_validate_for(self):
+        p = odroid_xu4()
+        with pytest.raises(ConfigError):
+            Allocation(cpus_of_app=((9,),)).validate_for(p)
+
+
+class TestTimeline:
+    def test_constant(self):
+        alloc = Allocation(cpus_of_app=((0, 1),))
+        tl = AllocationTimeline.constant(alloc)
+        assert tl.at(0.0) is alloc
+        assert tl.at(99.0) is alloc
+        assert tl.change_times() == []
+
+    def test_piecewise(self):
+        a0 = Allocation(cpus_of_app=((0, 1), (2, 3)))
+        a1 = Allocation(cpus_of_app=((0,), (1, 2, 3)))
+        tl = AllocationTimeline(breakpoints=[(0.0, a0), (1.0, a1)])
+        assert tl.at(0.5) is a0
+        assert tl.at(1.0) is a1
+        assert tl.at(5.0) is a1
+        assert tl.change_times() == [1.0]
+
+    def test_validation(self):
+        a = Allocation(cpus_of_app=((0,),))
+        with pytest.raises(ConfigError):
+            AllocationTimeline(breakpoints=[])
+        with pytest.raises(ConfigError):
+            AllocationTimeline(breakpoints=[(1.0, a)])  # must start at 0
+        b = Allocation(cpus_of_app=((0,), (1,)))
+        with pytest.raises(ConfigError):
+            AllocationTimeline(breakpoints=[(0.0, a), (1.0, b)])  # app count
+
+
+class TestPolicies:
+    def test_cluster_split_gives_whole_types(self):
+        p = odroid_xu4()
+        alloc = cluster_split(p, 2)
+        # App 0: the big cluster; app 1: the small cluster.
+        assert set(alloc.cpus(0)) == {4, 5, 6, 7}
+        assert set(alloc.cpus(1)) == {0, 1, 2, 3}
+
+    def test_fair_mixed_shares_each_type(self):
+        p = odroid_xu4()
+        alloc = fair_mixed(p, 2)
+        for app in (0, 1):
+            assert alloc.big_core_count(p, app) == 2
+            assert len(alloc.cpus(app)) == 4
+            # Descending CPU order -> BS convention inside the partition.
+            assert list(alloc.cpus(app)) == sorted(alloc.cpus(app), reverse=True)
+
+    def test_fair_mixed_on_three_types(self):
+        p = tri_type_platform()
+        alloc = fair_mixed(p, 2)
+        for app in (0, 1):
+            assert len(alloc.cpus(app)) == 3
+
+    def test_priority_weighted(self):
+        p = odroid_xu4()
+        alloc = priority_weighted(p, (3, 1))
+        assert alloc.big_core_count(p, 0) == 3
+        assert alloc.big_core_count(p, 1) == 1
+        with pytest.raises(ConfigError):
+            priority_weighted(p, (3, 3))  # sums to 6 != 4
+
+    def test_too_many_apps_rejected(self):
+        p = odroid_xu4()
+        with pytest.raises(ConfigError):
+            cluster_split(p, 3)
+        with pytest.raises(ConfigError):
+            fair_mixed(p, 5)
+
+
+class TestInfoPage:
+    def test_read_reports_allocation_and_changes(self):
+        p = odroid_xu4()
+        tl = AllocationTimeline(
+            breakpoints=[
+                (0.0, fair_mixed(p)),
+                (0.5, priority_weighted(p, (3, 1))),
+            ]
+        )
+        page = AmpInfoPage(p, tl, app=0)
+        s0 = page.read(0.0)
+        assert s0.n_big == 2 and not s0.changed and s0.generation == 0
+        s1 = page.read(0.1)
+        assert not s1.changed  # same allocation
+        s2 = page.read(0.7)
+        assert s2.changed and s2.generation == 1 and s2.n_big == 3
+        assert page.reads == 3
+
+    def test_background(self):
+        p = odroid_xu4()
+        page = AmpInfoPage(p, AllocationTimeline.constant(fair_mixed(p)), app=0)
+        bg = page.background_at(0.0)
+        assert set(bg).isdisjoint(page.read(0.0).cpus)
+        assert len(bg) == 4
+
+    def test_bad_app_index(self):
+        p = odroid_xu4()
+        with pytest.raises(ConfigError):
+            AmpInfoPage(p, AllocationTimeline.constant(fair_mixed(p)), app=7)
+
+
+class TestMetrics:
+    def test_values(self):
+        assert stp([1.0, 1.0], [2.0, 2.0]) == pytest.approx(1.0)
+        assert antt([1.0, 1.0], [2.0, 4.0]) == pytest.approx(3.0)
+        assert unfairness([1.0, 1.0], [2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            stp([], [])
+        with pytest.raises(ExperimentError):
+            antt([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            unfairness([0.0], [1.0])
+
+
+class TestColocatedRuns:
+    @pytest.fixture(scope="class")
+    def programs(self):
+        return [get_program("streamcluster"), get_program("MG")]
+
+    def test_runs_and_metrics(self, programs):
+        p = odroid_xu4()
+        result = run_colocated(p, programs, fair_mixed(p), schedule="aid_static")
+        assert len(result.shared_times) == 2
+        assert all(t > 0 for t in result.shared_times)
+        # Space sharing can't beat solo times on half the cores.
+        for solo, shared in zip(result.solo_times, result.shared_times):
+            assert shared > solo
+        assert 0.5 < result.stp < 2.0
+        assert result.antt > 1.0
+        assert "STP" in result.summary()
+
+    def test_fair_mixed_fairer_than_cluster_split(self, programs):
+        p = odroid_xu4()
+        fair = run_colocated(p, programs, fair_mixed(p), schedule="aid_static")
+        split = run_colocated(p, programs, cluster_split(p), schedule="aid_static")
+        assert fair.unfairness < split.unfairness
+
+    def test_aid_helps_on_asymmetric_partitions(self, programs):
+        """Every application's partition under fair_mixed is a miniature
+        AMP, so AID keeps beating static under co-location."""
+        p = odroid_xu4()
+        static = run_colocated(p, programs, fair_mixed(p), schedule="static")
+        aid = run_colocated(p, programs, fair_mixed(p), schedule="aid_static")
+        assert sum(aid.shared_times) < sum(static.shared_times)
+
+    def test_reallocation_mid_run(self, programs):
+        """An allocation change lands at the next loop boundary; the AID
+        distribution follows the new N_B (the Sec. 4.3 notification)."""
+        p = odroid_xu4()
+        tl = AllocationTimeline(
+            breakpoints=[
+                (0.0, fair_mixed(p)),
+                (0.01, priority_weighted(p, (3, 1))),
+            ]
+        )
+        result = run_colocated(p, programs, tl, schedule="aid_static")
+        assert all(t > 0 for t in result.shared_times)
+        # App 0's later loops used 5 threads (3 big + 2 small).
+        team_sizes = {
+            len(lr.finish_times) for lr in result.results[0].loop_results
+        }
+        assert 4 in team_sizes and 5 in team_sizes
+
+    def test_program_count_must_match(self, programs):
+        p = odroid_xu4()
+        with pytest.raises(ConfigError):
+            run_colocated(p, programs[:1], fair_mixed(p, 2))
+
+    def test_deterministic(self, programs):
+        p = odroid_xu4()
+        a = run_colocated(p, programs, fair_mixed(p), schedule="aid_dynamic,1,5")
+        b = run_colocated(p, programs, fair_mixed(p), schedule="aid_dynamic,1,5")
+        assert a.shared_times == b.shared_times

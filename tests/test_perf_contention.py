@@ -1,0 +1,80 @@
+"""Unit tests for the LLC-contention model."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4
+from repro.perfmodel.contention import ContentionModel, llc_share
+from repro.perfmodel.kernel import KernelProfile
+
+
+def kernel(ws=0.5, pressure=1.0):
+    return KernelProfile(
+        name="k",
+        compute_weight=0.5,
+        ilp=0.5,
+        working_set_mb=ws,
+        cache_pressure=pressure,
+    )
+
+
+@pytest.fixture
+def big_llc():
+    return odroid_xu4().llc_domains[1]  # 2 MB, CPUs 4-7
+
+
+def test_llc_share_divides_capacity(big_llc):
+    assert llc_share(big_llc, 1) == 2.0
+    assert llc_share(big_llc, 4) == 0.5
+
+
+def test_zero_working_set_always_fits(big_llc):
+    model = ContentionModel()
+    assert model.cache_fit_fraction(kernel(ws=0.0), big_llc, 8) == 1.0
+
+
+def test_solo_fit(big_llc):
+    model = ContentionModel()
+    assert model.cache_fit_fraction(kernel(ws=1.5), big_llc, 1) == 1.0
+
+
+def test_shared_misfit(big_llc):
+    model = ContentionModel(smoothing=0.0)
+    # 4 threads -> 0.5 MB share; 1.5 MB working set thrashes.
+    assert model.cache_fit_fraction(kernel(ws=1.5), big_llc, 4) == 0.0
+
+
+def test_smoothing_interpolates(big_llc):
+    model = ContentionModel(smoothing=0.25)
+    # share = 0.5; transition band [0.5, 0.625].
+    f_mid = model.cache_fit_fraction(kernel(ws=0.5625), big_llc, 4)
+    assert 0.0 < f_mid < 1.0
+    assert model.cache_fit_fraction(kernel(ws=0.5), big_llc, 4) == 1.0
+    assert model.cache_fit_fraction(kernel(ws=0.7), big_llc, 4) == 0.0
+
+
+def test_pressure_inflates_demand_only_when_shared(big_llc):
+    model = ContentionModel(smoothing=0.0)
+    k = kernel(ws=1.8, pressure=1.5)
+    # Solo: pressure not applied, 1.8 <= 2.0 fits.
+    assert model.cache_fit_fraction(k, big_llc, 1) == 1.0
+    # Two threads: share 1.0, demand 2.7 -> thrash.
+    assert model.cache_fit_fraction(k, big_llc, 2) == 0.0
+
+
+def test_disabled_model_acts_solo(big_llc):
+    model = ContentionModel(enabled=False)
+    assert model.cache_fit_fraction(kernel(ws=1.5), big_llc, 8) == 1.0
+
+
+def test_active_threads_in_domain():
+    p = odroid_xu4()
+    model = ContentionModel()
+    # BS mapping of 8 threads: 4 in each cluster.
+    cpus = (7, 6, 5, 4, 3, 2, 1, 0)
+    assert model.active_threads_in_domain(p, 0, cpus) == 4
+    assert model.active_threads_in_domain(p, 1, cpus) == 4
+    # Only big cores used:
+    assert model.active_threads_in_domain(p, 0, (7, 6)) == 0
+    assert model.active_threads_in_domain(p, 1, (7, 6)) == 2
+    # Mapping form also accepted.
+    assert model.active_threads_in_domain(p, 1, {0: 7, 1: 6}) == 2

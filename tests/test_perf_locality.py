@@ -1,0 +1,95 @@
+"""Unit tests for the cross-invocation locality model."""
+
+import pytest
+
+from repro.perfmodel.kernel import KernelProfile
+from repro.perfmodel.locality import LocalityModel, LoopOwnership
+
+
+def mem_kernel(mlp=0.0):
+    return KernelProfile(
+        name="mem", compute_weight=0.0, ilp=0.0, working_set_mb=1.0, mlp=mlp
+    )
+
+
+COMPUTE = KernelProfile(name="cpu", compute_weight=1.0, ilp=0.5, working_set_mb=0.0)
+
+
+def test_fresh_ownership_unowned():
+    own = LoopOwnership.fresh(1000, 100)
+    assert own.warm_fraction(0, 0, 1000) == 0.0
+    assert own.invocations_seen == 0
+
+
+def test_update_then_warm():
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(3, 0, 50), (4, 50, 100)])
+    assert own.warm_fraction(3, 0, 50) == 1.0
+    assert own.warm_fraction(4, 0, 50) == 0.0
+    assert own.warm_fraction(3, 0, 100) == pytest.approx(0.5)
+    assert own.invocations_seen == 1
+
+
+def test_first_invocation_free():
+    model = LocalityModel(penalty=0.5)
+    own = LoopOwnership.fresh(100, 10)
+    assert model.slowdown(mem_kernel(), own, 0, 0, 100) == 1.0
+
+
+def test_cold_range_slowed_after_first_invocation():
+    model = LocalityModel(penalty=0.5)
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(1, 0, 100)])
+    # Thread 0 touches data thread 1 owned: fully cold, mlp=0 kernel.
+    assert model.slowdown(mem_kernel(mlp=0.0), own, 0, 0, 100) == pytest.approx(1.5)
+    # The owner itself runs at full speed.
+    assert model.slowdown(mem_kernel(), own, 1, 0, 100) == 1.0
+
+
+def test_compute_bound_kernel_immune():
+    model = LocalityModel(penalty=0.5)
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(1, 0, 100)])
+    assert model.slowdown(COMPUTE, own, 0, 0, 100) == 1.0
+
+
+def test_streaming_kernel_half_penalty():
+    model = LocalityModel(penalty=0.4)
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(1, 0, 100)])
+    full = model.slowdown(mem_kernel(mlp=0.0), own, 0, 0, 100)
+    stream = model.slowdown(mem_kernel(mlp=1.0), own, 0, 0, 100)
+    assert stream - 1.0 == pytest.approx((full - 1.0) / 2)
+
+
+def test_disabled_model_is_free():
+    model = LocalityModel(enabled=False)
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(1, 0, 100)])
+    assert model.slowdown(mem_kernel(), own, 0, 0, 100) == 1.0
+
+
+def test_partial_warmth_interpolates():
+    model = LocalityModel(penalty=1.0)
+    own = LoopOwnership.fresh(100, 10)
+    own.update([(0, 0, 50), (1, 50, 100)])
+    s = model.slowdown(mem_kernel(mlp=0.0), own, 0, 0, 100)
+    assert 1.0 < s < 2.0
+
+
+def test_static_repeat_stays_warm():
+    """The key property: a schedule that repeats identical ranges pays
+    nothing after the first invocation."""
+    model = LocalityModel(penalty=0.5)
+    own = LoopOwnership.fresh(128, 16)
+    ranges = [(t, t * 32, (t + 1) * 32) for t in range(4)]
+    own.update(ranges)
+    for t, lo, hi in ranges:
+        assert model.slowdown(mem_kernel(), own, t, lo, hi) == 1.0
+
+
+def test_segment_rounding_never_crashes():
+    own = LoopOwnership.fresh(7, 100)  # more segments requested than iters
+    own.update([(0, 0, 7)])
+    assert own.warm_fraction(0, 0, 7) == 1.0
+    assert own.warm_fraction(0, 3, 3) == 1.0  # empty range counts warm

@@ -1,0 +1,61 @@
+"""Unit tests for the runtime-overhead model."""
+
+import pytest
+
+from repro.amp.presets import CORTEX_A7, CORTEX_A15
+from repro.errors import ConfigError
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+
+
+def test_defaults_are_positive():
+    m = OverheadModel()
+    assert m.dispatch(CORTEX_A7) > 0
+    assert m.loop_start(CORTEX_A7) > 0
+    assert m.barrier(CORTEX_A7) > 0
+    assert m.timestamp(CORTEX_A7) > 0
+
+
+def test_big_cores_dispatch_faster():
+    m = OverheadModel()
+    assert m.dispatch(CORTEX_A15) < m.dispatch(CORTEX_A7)
+    # Exactly by the runtime_call_speedup ratio.
+    assert m.dispatch(CORTEX_A7) / m.dispatch(CORTEX_A15) == pytest.approx(
+        CORTEX_A15.runtime_call_speedup / CORTEX_A7.runtime_call_speedup
+    )
+
+
+def test_atomic_contention_grows_with_team():
+    m = OverheadModel(atomic_contention=0.1e-6)
+    assert m.dispatch(CORTEX_A7, n_threads=8) > m.dispatch(CORTEX_A7, n_threads=1)
+
+
+def test_timestamp_is_much_cheaper_than_dispatch():
+    """The paper stresses the sampling phase is cheap: vsyscall clock
+    reads, no syscalls."""
+    m = OverheadModel()
+    assert m.timestamp(CORTEX_A7) < m.dispatch(CORTEX_A7) / 5
+
+
+def test_scaled():
+    m = OverheadModel().scaled(2.0)
+    assert m.dispatch_cost == pytest.approx(OverheadModel().dispatch_cost * 2)
+    assert m.atomic_service == pytest.approx(OverheadModel().atomic_service * 2)
+    assert m.wake_jitter == pytest.approx(OverheadModel().wake_jitter * 2)
+
+
+def test_scaled_rejects_negative():
+    with pytest.raises(ConfigError):
+        OverheadModel().scaled(-1.0)
+
+
+def test_zero_overhead_is_all_zero():
+    assert ZERO_OVERHEAD.dispatch(CORTEX_A7, 8) == 0.0
+    assert ZERO_OVERHEAD.barrier(CORTEX_A7) == 0.0
+    assert ZERO_OVERHEAD.atomic_service == 0.0
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ConfigError):
+        OverheadModel(dispatch_cost=-1e-9)
+    with pytest.raises(ConfigError):
+        OverheadModel(atomic_service=-1e-9)

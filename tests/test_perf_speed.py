@@ -1,0 +1,125 @@
+"""Unit tests for the performance model (rates and speedup factors)."""
+
+import pytest
+
+from repro.amp.presets import dual_speed_platform, odroid_xu4, xeon_emulated
+from repro.amp.topology import bs_mapping
+from repro.perfmodel.contention import ContentionModel
+from repro.perfmodel.kernel import CACHE_CLIFF, COMPUTE_BOUND, STREAMING, KernelProfile
+from repro.perfmodel.speed import PerfModel, blended_rate, cpu_speed, mem_speed
+
+
+def kp(**kw):
+    defaults = dict(name="k", compute_weight=0.5, ilp=0.5, working_set_mb=0.05)
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+class TestComponents:
+    def test_cpu_speed_scales_with_frequency(self):
+        a = cpu_speed(odroid_xu4().core_types[0], kp(ilp=0.0, compute_weight=1.0))
+        assert a == pytest.approx(1.5)  # A7 at 1.5 GHz, no ILP gain
+
+    def test_uarch_only_helps_ilp_rich_code(self):
+        big = odroid_xu4().core_types[1]
+        no_ilp = cpu_speed(big, kp(ilp=0.0))
+        full_ilp = cpu_speed(big, kp(ilp=1.0))
+        assert no_ilp == pytest.approx(big.effective_freq_ghz)
+        assert full_ilp == pytest.approx(
+            big.effective_freq_ghz * big.uarch_speedup
+        )
+
+    def test_mem_speed_interpolates_tiers(self):
+        small = odroid_xu4().core_types[0]
+        k = kp(mlp=1.0)
+        cached = mem_speed(small, k, 1.0)
+        dram = mem_speed(small, k, 0.0)
+        half = mem_speed(small, k, 0.5)
+        assert cached == pytest.approx(small.cache_bw)
+        assert dram == pytest.approx(small.dram_stream_bw)
+        assert half == pytest.approx((cached + dram) / 2)
+
+    def test_mlp_selects_dram_tier(self):
+        small = odroid_xu4().core_types[0]
+        streaming = mem_speed(small, kp(mlp=1.0), 0.0)
+        chasing = mem_speed(small, kp(mlp=0.0), 0.0)
+        assert streaming == pytest.approx(small.dram_stream_bw)
+        assert chasing == pytest.approx(small.dram_latency_bw)
+        assert chasing < streaming  # in-order core stalls on misses
+
+    def test_pure_compute_ignores_memory(self):
+        ct = odroid_xu4().core_types[1]
+        k = kp(compute_weight=1.0, ilp=0.5)
+        assert blended_rate(ct, k, 0.0) == blended_rate(ct, k, 1.0)
+
+
+class TestSpeedupFactors:
+    def test_flat_platform_sf_is_exact(self):
+        p = dual_speed_platform(2, 2, big_speedup=2.5)
+        perf = PerfModel(p)
+        for kernel in (COMPUTE_BOUND, STREAMING, kp()):
+            assert perf.speedup_factor(kernel) == pytest.approx(2.5)
+
+    def test_platform_a_sf_range_matches_paper(self):
+        """Paper: per-loop SFs on Platform A span ~1 to 8.9x; the maxima
+        come from cache-capacity cliffs, not raw compute."""
+        perf = PerfModel(odroid_xu4())
+        low = perf.speedup_factor(STREAMING)
+        compute = perf.speedup_factor(COMPUTE_BOUND)
+        cliff = perf.speedup_factor(CACHE_CLIFF)
+        assert 1.0 <= low <= 1.6
+        assert 4.0 <= compute <= 6.5
+        assert 7.0 <= cliff <= 9.5
+
+    def test_platform_b_sf_capped_near_paper_max(self):
+        """Paper: max SF on Platform B is ~2.3x."""
+        perf = PerfModel(xeon_emulated())
+        high = perf.speedup_factor(COMPUTE_BOUND)
+        low = perf.speedup_factor(STREAMING)
+        assert 2.0 <= high <= 2.4
+        assert 1.0 <= low <= 1.3
+
+    def test_sf_of_slowest_type_is_one(self):
+        p = odroid_xu4()
+        perf = PerfModel(p)
+        assert perf.speedup_factor(kp(), p.core_types[0]) == pytest.approx(1.0)
+
+    def test_online_sf_sees_contention(self):
+        """A kernel that fits the A15 L2 solo but not with 4 co-runners
+        loses SF online — the blackscholes mechanism."""
+        p = odroid_xu4()
+        perf = PerfModel(p)
+        kernel = kp(working_set_mb=0.8, mlp=0.3, compute_weight=0.4)
+        offline = perf.speedup_factor(kernel)
+        online = perf.speedup_factor(
+            kernel, cpu_of_tid=tuple(bs_mapping(p).cpu_of_tid)
+        )
+        assert online < offline
+
+    def test_max_speedup_factor(self):
+        perf = PerfModel(odroid_xu4())
+        kernels = [STREAMING, COMPUTE_BOUND, CACHE_CLIFF]
+        assert perf.max_speedup_factor(kernels) == pytest.approx(
+            perf.speedup_factor(CACHE_CLIFF)
+        )
+
+
+class TestRates:
+    def test_rate_positive_everywhere(self, platform_a):
+        perf = PerfModel(platform_a)
+        for cpu in range(platform_a.n_cores):
+            assert perf.rate(cpu, kp()) > 0
+
+    def test_solo_rate_ignores_contention(self, platform_a):
+        perf = PerfModel(platform_a)
+        kernel = kp(working_set_mb=0.4)
+        cpus = tuple(bs_mapping(platform_a).cpu_of_tid)
+        assert perf.solo_rate(0, kernel) >= perf.rate(0, kernel, cpus)
+
+    def test_contention_disabled_equals_solo(self, platform_a):
+        perf = PerfModel(platform_a, ContentionModel(enabled=False))
+        kernel = kp(working_set_mb=0.4)
+        cpus = tuple(bs_mapping(platform_a).cpu_of_tid)
+        assert perf.rate(0, kernel, cpus) == pytest.approx(
+            perf.solo_rate(0, kernel)
+        )

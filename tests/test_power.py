@@ -1,0 +1,140 @@
+"""Unit tests for the power/energy model."""
+
+import pytest
+
+from repro.amp.presets import dual_speed_platform, odroid_xu4
+from repro.errors import ConfigError, ExperimentError
+from repro.power.metrics import (
+    energy_delay_product,
+    normalized_edp,
+    normalized_energy,
+)
+from repro.power.model import CorePower, EnergyBreakdown, PlatformPower, PowerModel
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.workloads.registry import get_program
+
+
+class TestCorePower:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CorePower(active_w=0.0, idle_w=0.0)
+        with pytest.raises(ConfigError):
+            CorePower(active_w=1.0, idle_w=2.0)
+        with pytest.raises(ConfigError):
+            CorePower(active_w=1.0, idle_w=-0.1)
+
+
+class TestPlatformPower:
+    def test_presets_cover_their_platforms(self):
+        PowerModel(odroid_xu4())  # does not raise
+
+    def test_missing_type_rejected(self):
+        p = dual_speed_platform(2, 2)
+        with pytest.raises(ConfigError):
+            PowerModel(p)  # no default table for synthetic platforms
+        with pytest.raises(ConfigError):
+            PowerModel(p, PlatformPower(per_type={}))
+
+    def test_custom_table_accepted(self):
+        p = dual_speed_platform(2, 2)
+        table = PlatformPower(
+            per_type={
+                "synth-small": CorePower(1.0, 0.1),
+                "synth-big": CorePower(3.0, 0.3),
+            }
+        )
+        PowerModel(p, table)
+
+
+@pytest.fixture(scope="module")
+def ep_run():
+    platform = odroid_xu4()
+    runner = ProgramRunner(
+        platform, OmpEnv(schedule="aid_static", affinity="BS"), trace=True
+    )
+    result = runner.run(get_program("EP"))
+    return platform, runner, result
+
+
+class TestEnergyAccounting:
+    def test_breakdown_positive_and_consistent(self, ep_run):
+        platform, runner, result = ep_run
+        model = PowerModel(platform)
+        e = model.energy_of(result, list(runner.team.mapping.cpu_of_tid))
+        assert e.active_j > 0
+        assert e.idle_j >= 0
+        assert e.uncore_j > 0
+        assert e.total_j == pytest.approx(e.active_j + e.idle_j + e.uncore_j)
+        assert e.wall_s == pytest.approx(result.completion_time)
+
+    def test_average_power_bounded_by_platform_max(self, ep_run):
+        platform, runner, result = ep_run
+        model = PowerModel(platform)
+        e = model.energy_of(result, list(runner.team.mapping.cpu_of_tid))
+        max_w = (
+            sum(
+                model.power.for_type(c.core_type.name).active_w
+                for c in platform.cores
+            )
+            + model.power.uncore_w
+        )
+        assert 0 < e.average_power_w <= max_w
+
+    def test_big_cores_dominate_active_energy(self, ep_run):
+        platform, runner, result = ep_run
+        model = PowerModel(platform)
+        e = model.energy_of(result, list(runner.team.mapping.cpu_of_tid))
+        assert e.per_type_active_j["cortex-a15"] > e.per_type_active_j["cortex-a7"]
+
+    def test_traceless_approximation_close_to_trace(self):
+        platform = odroid_xu4()
+        env = OmpEnv(schedule="aid_static", affinity="BS")
+        with_trace = ProgramRunner(platform, env, trace=True).run(get_program("EP"))
+        without = ProgramRunner(platform, env, trace=False).run(get_program("EP"))
+        model = PowerModel(platform)
+        cpus = list(range(7, -1, -1))
+        e1 = model.energy_of(with_trace, cpus)
+        e2 = model.energy_of(without, cpus)
+        assert e2.total_j == pytest.approx(e1.total_j, rel=0.15)
+
+    def test_full_team_wins_on_edp(self):
+        """Using all 8 cores beats 4 big cores on energy-delay product:
+        the small cores add little power but real throughput."""
+        platform = odroid_xu4()
+        model = PowerModel(platform)
+        full = ProgramRunner(
+            platform, OmpEnv(schedule="aid_static", affinity="BS"), trace=True
+        )
+        half = ProgramRunner(
+            platform,
+            OmpEnv(schedule="aid_static", affinity="BS", num_threads=4),
+            trace=True,
+        )
+        prog = get_program("streamcluster")
+        e_full = model.energy_of(full.run(prog), list(full.team.mapping.cpu_of_tid))
+        e_half = model.energy_of(half.run(prog), list(half.team.mapping.cpu_of_tid))
+        assert energy_delay_product(e_full) < energy_delay_product(e_half)
+
+
+class TestMetrics:
+    def breakdown(self, j, s):
+        return EnergyBreakdown(active_j=j, idle_j=0.0, uncore_j=0.0, wall_s=s)
+
+    def test_edp(self):
+        assert energy_delay_product(self.breakdown(10.0, 2.0)) == 20.0
+
+    def test_normalized(self):
+        base = self.breakdown(10.0, 2.0)
+        cand = self.breakdown(5.0, 1.0)
+        assert normalized_energy(base, cand) == 0.5
+        assert normalized_edp(base, cand) == 0.25
+
+    def test_zero_baseline_rejected(self):
+        zero = EnergyBreakdown(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            normalized_energy(zero, zero)
+        with pytest.raises(ExperimentError):
+            normalized_edp(zero, zero)
+        with pytest.raises(ExperimentError):
+            EnergyBreakdown(1.0, 0.0, 0.0, 0.0).average_power_w

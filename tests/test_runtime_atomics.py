@@ -1,0 +1,70 @@
+"""Unit tests for the atomic primitives (sim + real-thread paths)."""
+
+import threading
+
+from repro.runtime.atomics import AtomicCounter, AtomicFloat
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_old_value(self):
+        c = AtomicCounter(10)
+        assert c.fetch_add(5) == 10
+        assert c.value == 15
+
+    def test_add_fetch_returns_new_value(self):
+        c = AtomicCounter(10)
+        assert c.add_fetch(5) == 15
+
+    def test_negative_delta(self):
+        c = AtomicCounter(10)
+        c.fetch_add(-3)
+        assert c.value == 7
+
+    def test_store(self):
+        c = AtomicCounter()
+        c.store(42)
+        assert c.value == 42
+
+    def test_threaded_increments_do_not_lose_updates(self):
+        lock = threading.Lock()
+        c = AtomicCounter(0, lock)
+        n, per = 8, 2000
+
+        def bump():
+            for _ in range(per):
+                c.fetch_add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per
+
+
+class TestAtomicFloat:
+    def test_add_returns_new_value(self):
+        f = AtomicFloat(1.5)
+        assert f.add(0.5) == 2.0
+        assert f.value == 2.0
+
+    def test_store(self):
+        f = AtomicFloat()
+        f.store(3.25)
+        assert f.value == 3.25
+
+    def test_threaded_accumulation(self):
+        lock = threading.Lock()
+        f = AtomicFloat(0.0, lock)
+        n, per = 4, 1000
+
+        def bump():
+            for _ in range(per):
+                f.add(0.25)
+
+        threads = [threading.Thread(target=bump) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert f.value == n * per * 0.25

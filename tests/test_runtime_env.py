@@ -1,0 +1,87 @@
+"""Unit tests for the environment-variable front end."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.env import OmpEnv
+from repro.sched import (
+    AidDynamicSpec,
+    AidHybridSpec,
+    AidStaticSpec,
+    DynamicSpec,
+    StaticSpec,
+)
+
+
+def test_defaults():
+    env = OmpEnv()
+    assert env.schedule == "static"
+    assert env.affinity == "BS"
+    assert isinstance(env.schedule_spec(), StaticSpec)
+
+
+def test_bad_schedule_fails_eagerly():
+    with pytest.raises(ConfigError):
+        OmpEnv(schedule="fifo")
+
+
+def test_bad_affinity_rejected():
+    with pytest.raises(ConfigError):
+        OmpEnv(affinity="ZZ")
+
+
+def test_bad_thread_count_rejected():
+    with pytest.raises(ConfigError):
+        OmpEnv(num_threads=0)
+
+
+def test_from_vars_parses_environment():
+    env = OmpEnv.from_vars(
+        {
+            "OMP_SCHEDULE": "aid_dynamic,2,10",
+            "OMP_NUM_THREADS": "6",
+            "GOMP_AMP_AFFINITY": "SB",
+            "PATH": "/usr/bin",  # unknown keys ignored
+        }
+    )
+    assert env.num_threads == 6
+    assert env.affinity == "SB"
+    spec = env.schedule_spec()
+    assert isinstance(spec, AidDynamicSpec)
+    assert (spec.minor_chunk, spec.major_chunk) == (2, 10)
+
+
+def test_from_vars_defaults():
+    env = OmpEnv.from_vars({})
+    assert env.schedule == "static"
+    assert env.num_threads is None
+    assert env.affinity == "BS"
+
+
+def test_team_size_defaults_to_all_cores(platform_a):
+    assert OmpEnv().team_size(platform_a) == 8
+    assert OmpEnv(num_threads=5).team_size(platform_a) == 5
+
+
+def test_oversubscription_rejected(platform_a):
+    with pytest.raises(ConfigError):
+        OmpEnv(num_threads=16).team_size(platform_a)
+
+
+def test_mapping_matches_affinity(platform_a):
+    bs = OmpEnv(affinity="BS").mapping(platform_a)
+    sb = OmpEnv(affinity="SB").mapping(platform_a)
+    assert bs.cpu_of_tid[0] == 7
+    assert sb.cpu_of_tid[0] == 0
+
+
+@pytest.mark.parametrize(
+    "text,kind",
+    [
+        ("aid_static", AidStaticSpec),
+        ("aid_hybrid,60", AidHybridSpec),
+        ("dynamic,8", DynamicSpec),
+    ],
+)
+def test_schedule_spec_kinds(text, kind):
+    assert isinstance(OmpEnv(schedule=text).schedule_spec(), kind)

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event loop executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfmodel.locality import LocalityModel
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.executor import LoopExecutor
+from repro.sched.dynamic import DynamicSpec
+from repro.sched.static import StaticSpec
+from repro.tracing.trace import ThreadState, TraceRecorder
+
+from tests.helpers import PLAIN_KERNEL, make_loop, run_loop
+
+
+def make_executor(platform, **kw):
+    from repro.amp.topology import bs_mapping
+    from repro.runtime.team import Team
+
+    team = Team(platform, bs_mapping(platform))
+    kw.setdefault("overhead", ZERO_OVERHEAD)
+    kw.setdefault("locality", LocalityModel(enabled=False))
+    return LoopExecutor(team, PerfModel(platform), **kw)
+
+
+class TestInlineStatic:
+    def test_timing_is_exact_on_flat_platform(self, flat2x):
+        ex = make_executor(flat2x)
+        loop = make_loop(400, work=1e-4)
+        costs = np.full(400, 1e-4)
+        result = ex.run_inline_static(loop, costs)
+        # Each thread gets 100 iterations; big rate 2, small rate 1.
+        assert result.finish_times[0] == pytest.approx(100 * 1e-4 / 2)
+        assert result.finish_times[3] == pytest.approx(100 * 1e-4 / 1)
+        assert result.end_time == pytest.approx(0.01)
+        assert result.dispatches == 0
+
+    def test_start_time_offsets(self, flat2x):
+        ex = make_executor(flat2x)
+        loop = make_loop(40)
+        costs = np.full(40, 1e-4)
+        r0 = ex.run_inline_static(loop, costs, start_time=0.0)
+        r1 = ex.run_inline_static(loop, costs, start_time=5.0)
+        assert r1.end_time == pytest.approx(r0.end_time + 5.0)
+
+
+class TestRuntimeScheduledRun:
+    def test_cost_vector_length_checked(self, flat2x):
+        ex = make_executor(flat2x)
+        loop = make_loop(100)
+        with pytest.raises(SimulationError):
+            ex.run(loop, np.ones(99), StaticSpec())
+
+    def test_dynamic_timing_flat_zero_overhead(self, flat2x):
+        """With zero overhead and chunk 1, dynamic approaches the ideal
+        makespan NI*c / sum(rates)."""
+        result = run_loop(flat2x, DynamicSpec(1), n_iterations=1200, work=1e-4)
+        ideal = 1200 * 1e-4 / 6.0
+        assert result.end_time == pytest.approx(ideal, rel=0.02)
+
+    def test_overhead_accounted(self, flat2x):
+        overhead = OverheadModel(
+            dispatch_cost=1e-6,
+            loop_start_cost=0.0,
+            barrier_cost=0.0,
+            timestamp_cost=0.0,
+            atomic_contention=0.0,
+            atomic_service=0.0,
+            wake_stagger=0.0,
+            wake_jitter=0.0,
+        )
+        with_oh = run_loop(
+            flat2x, DynamicSpec(1), n_iterations=500, work=1e-4, overhead=overhead
+        )
+        without = run_loop(
+            flat2x, DynamicSpec(1), n_iterations=500, work=1e-4
+        )
+        assert with_oh.end_time > without.end_time
+        assert with_oh.scheduler_calls >= 500 + 4
+
+    def test_atomic_serialization_bounds_throughput(self, flat2x):
+        """When per-iteration time is far below the atomic service time,
+        the loop cannot complete faster than NI * service."""
+        svc = 1e-6
+        overhead = OverheadModel(
+            dispatch_cost=0.0,
+            loop_start_cost=0.0,
+            barrier_cost=0.0,
+            timestamp_cost=0.0,
+            atomic_contention=0.0,
+            atomic_service=svc,
+            wake_stagger=0.0,
+            wake_jitter=0.0,
+        )
+        n = 1000
+        result = run_loop(
+            flat2x, DynamicSpec(1), n_iterations=n, work=1e-9, overhead=overhead
+        )
+        assert result.end_time >= n * svc * 0.99
+
+    def test_mismatched_iterations_detected(self, flat2x):
+        """A scheduler that loses iterations must be caught."""
+        from repro.sched.base import LoopScheduler, ScheduleSpec
+        from dataclasses import dataclass
+
+        class LossyScheduler(LoopScheduler):
+            def next_range(self, tid, now):
+                # Take chunks but claim only half of each range.
+                got = self.ctx.workshare.take(10)
+                if got is None:
+                    return None
+                lo, hi = got
+                return (lo, lo + (hi - lo) // 2) if hi - lo > 1 else got
+
+        @dataclass(frozen=True)
+        class LossySpec(ScheduleSpec):
+            @property
+            def name(self):
+                return "lossy"
+
+            def create(self, ctx):
+                return LossyScheduler(ctx)
+
+        ex = make_executor(flat2x)
+        loop = make_loop(100)
+        with pytest.raises(SimulationError):
+            ex.run(loop, np.full(100, 1e-4), LossySpec())
+
+    def test_trace_recording(self, flat2x):
+        from repro.amp.topology import bs_mapping
+        from repro.runtime.team import Team
+
+        recorder = TraceRecorder()
+        team = Team(flat2x, bs_mapping(flat2x))
+        ex = LoopExecutor(
+            team,
+            PerfModel(flat2x),
+            OverheadModel(),
+            recorder=recorder,
+            locality=LocalityModel(enabled=False),
+        )
+        loop = make_loop(64)
+        ex.run(loop, np.full(64, 1e-4), DynamicSpec(4))
+        recorder.validate_non_overlapping()
+        assert recorder.thread_ids() == [0, 1, 2, 3]
+        assert recorder.time_in_state(0, ThreadState.COMPUTE) > 0
+        assert recorder.time_in_state(0, ThreadState.RUNTIME) > 0
+
+    def test_wake_jitter_reproducible(self, flat2x):
+        ex = make_executor(flat2x, overhead=OverheadModel())
+        loop = make_loop(200)
+        costs = np.full(200, 1e-5)
+        r1 = ex.run(loop, costs, DynamicSpec(1), rng=np.random.default_rng(5))
+        r2 = ex.run(loop, costs, DynamicSpec(1), rng=np.random.default_rng(5))
+        r3 = ex.run(loop, costs, DynamicSpec(1), rng=np.random.default_rng(6))
+        assert r1.end_time == r2.end_time
+        assert r1.ranges == r2.ranges
+        assert r1.ranges != r3.ranges  # different arrival order
+
+    def test_rates_reflect_team_contention(self, platform_a):
+        ex = make_executor(platform_a)
+        small_ws = make_loop(10, kernel=PLAIN_KERNEL)
+        rates = ex.rates_for(small_ws)
+        assert len(rates) == 8
+        # BS: threads 0-3 on big cores are faster.
+        assert min(rates[:4]) > max(rates[4:])

@@ -1,0 +1,165 @@
+"""Unit tests for whole-program execution."""
+
+import pytest
+
+from repro.compiler.lowering import compile_program
+from repro.errors import ConfigError
+from repro.perfmodel.kernel import KernelProfile
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.sched.aid_static import AidStaticSpec
+from repro.workloads.costmodels import UniformCost
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program, SerialPhase
+
+KERNEL = KernelProfile(name="k", compute_weight=1.0, ilp=0.0, working_set_mb=0.0)
+SERIAL_KERNEL = KernelProfile(
+    name="sk", compute_weight=1.0, ilp=0.0, working_set_mb=0.0
+)
+
+
+def tiny_program(timesteps=2, serial_work=1e-3):
+    return Program(
+        name="tiny",
+        suite="test",
+        setup=(SerialPhase("init", work=serial_work, kernel=SERIAL_KERNEL),),
+        body=(
+            LoopSpec("loop_a", 64, UniformCost(1e-4), KERNEL),
+            SerialPhase("glue", work=serial_work / 10, kernel=SERIAL_KERNEL),
+            LoopSpec("loop_b", 32, UniformCost(2e-4), KERNEL),
+        ),
+        timesteps=timesteps,
+    )
+
+
+def test_runs_all_phases(flat2x):
+    runner = ProgramRunner(flat2x, OmpEnv(schedule="dynamic,1", affinity="BS"))
+    result = runner.run(tiny_program(timesteps=3))
+    assert result.completion_time > 0
+    assert len(result.loop_results) == 6  # 2 loops x 3 timesteps
+    assert result.serial_time > 0
+    names = [r.loop_name for r in result.loop_results]
+    assert names == ["loop_a", "loop_b"] * 3
+
+
+def test_deterministic(flat2x):
+    env = OmpEnv(schedule="aid_dynamic,1,5", affinity="BS")
+    t1 = ProgramRunner(flat2x, env, root_seed=3).run(tiny_program())
+    t2 = ProgramRunner(flat2x, env, root_seed=3).run(tiny_program())
+    assert t1.completion_time == t2.completion_time
+
+
+def test_seed_changes_results(flat2x):
+    env = OmpEnv(schedule="dynamic,1", affinity="BS")
+    t1 = ProgramRunner(flat2x, env, root_seed=1).run(tiny_program())
+    t2 = ProgramRunner(flat2x, env, root_seed=2).run(tiny_program())
+    # Same workload costs (UniformCost) but different wake jitter; the
+    # completion time may coincide, the assignments should not.
+    r1 = t1.loop_results[0].ranges
+    r2 = t2.loop_results[0].ranges
+    assert r1 != r2
+
+
+def test_serial_phase_faster_with_bs_master(platform_a):
+    slow = ProgramRunner(
+        platform_a, OmpEnv(schedule="static", affinity="SB")
+    ).run(tiny_program(serial_work=50e-3))
+    fast = ProgramRunner(
+        platform_a, OmpEnv(schedule="static", affinity="BS")
+    ).run(tiny_program(serial_work=50e-3))
+    assert fast.completion_time < slow.completion_time
+
+
+def test_aid_requires_bs(platform_a):
+    with pytest.raises(ConfigError):
+        ProgramRunner(platform_a, OmpEnv(schedule="aid_static", affinity="SB"))
+
+
+def test_vanilla_compiled_program_ignores_omp_schedule(flat2x):
+    """Vanilla lowering inlines static: the runtime cannot intervene, so
+    OMP_SCHEDULE has no effect — the Sec. 4.1 motivation."""
+    program = tiny_program()
+    vanilla = compile_program(program, modified=False)
+    t_static = ProgramRunner(
+        flat2x, OmpEnv(schedule="static", affinity="BS")
+    ).run(vanilla)
+    t_dynamic = ProgramRunner(
+        flat2x, OmpEnv(schedule="dynamic,1", affinity="BS")
+    ).run(vanilla)
+    assert t_static.completion_time == pytest.approx(t_dynamic.completion_time)
+    assert t_static.total_dispatches == 0
+
+
+def test_modified_compiled_program_obeys_omp_schedule(flat2x):
+    program = tiny_program()
+    modified = compile_program(program, modified=True)
+    t_dynamic = ProgramRunner(
+        flat2x, OmpEnv(schedule="dynamic,1", affinity="BS")
+    ).run(modified)
+    assert t_dynamic.total_dispatches > 0
+
+
+def test_schedule_clause_overrides_runtime_schedule(flat2x):
+    """A loop with an explicit clause keeps its schedule regardless of
+    OMP_SCHEDULE."""
+    program = Program(
+        name="clause",
+        suite="test",
+        body=(
+            LoopSpec(
+                "forced_dynamic",
+                64,
+                UniformCost(1e-4),
+                KERNEL,
+                schedule_clause="dynamic,2",
+            ),
+        ),
+        timesteps=1,
+    )
+    result = ProgramRunner(
+        flat2x, OmpEnv(schedule="static", affinity="BS")
+    ).run(program)
+    assert result.loop_results[0].dispatches >= 64 // 2
+
+
+def test_schedule_override(flat2x):
+    """schedule_override replaces the parsed OMP_SCHEDULE spec."""
+    runner = ProgramRunner(
+        flat2x,
+        OmpEnv(schedule="aid_static", affinity="BS"),
+        offline_sf_tables={"loop_a": {0: 1.0, 1: 2.0}, "loop_b": {0: 1.0, 1: 2.0}},
+        schedule_override=AidStaticSpec(use_offline_sf=True),
+    )
+    result = runner.run(tiny_program())
+    # Offline-SF variant samples nothing, so no SF estimates are logged.
+    assert all(r.estimated_sf is None for r in result.loop_results)
+
+
+def test_offline_sf_missing_table_raises(flat2x):
+    runner = ProgramRunner(
+        flat2x,
+        OmpEnv(schedule="aid_static", affinity="BS"),
+        offline_sf_tables={"loop_a": {0: 1.0, 1: 2.0}},  # loop_b missing
+        schedule_override=AidStaticSpec(use_offline_sf=True),
+    )
+    with pytest.raises(ConfigError):
+        runner.run(tiny_program())
+
+
+def test_trace_covers_whole_run(flat2x):
+    runner = ProgramRunner(
+        flat2x, OmpEnv(schedule="dynamic,1", affinity="BS"), trace=True
+    )
+    result = runner.run(tiny_program())
+    assert result.trace is not None
+    result.trace.validate_non_overlapping()
+    assert result.trace.t_end == pytest.approx(result.completion_time)
+
+
+def test_estimated_sf_series(flat2x):
+    runner = ProgramRunner(flat2x, OmpEnv(schedule="aid_static", affinity="BS"))
+    result = runner.run(tiny_program(timesteps=3))
+    series = result.estimated_sf_series("loop_a")
+    assert len(series) == 3
+    for sf in series:
+        assert sf[1] == pytest.approx(2.0, rel=0.2)

@@ -1,0 +1,67 @@
+"""Unit tests for teams and the BS convention check."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4, tri_type_platform
+from repro.amp.topology import bs_mapping, custom_mapping, sb_mapping
+from repro.errors import PlatformError
+from repro.runtime.team import Team
+
+
+def test_bs_team_shape(team_a_bs):
+    assert team_a_bs.n_threads == 8
+    assert team_a_bs.n_types == 2
+    assert team_a_bs.n_big == 4
+    assert team_a_bs.n_small == 4
+    # BS: threads 0-3 on big cores (type index 1).
+    assert [team_a_bs.type_index_of(t) for t in range(8)] == [1] * 4 + [0] * 4
+    assert team_a_bs.threads_of_type(1) == (0, 1, 2, 3)
+    assert team_a_bs.threads_of_type(0) == (4, 5, 6, 7)
+
+
+def test_sb_team_shape(team_a_sb):
+    assert [team_a_sb.type_index_of(t) for t in range(8)] == [0] * 4 + [1] * 4
+
+
+def test_type_counts_two_types(team_a_bs):
+    assert team_a_bs.type_counts() == (4, 4)
+
+
+def test_core_type_of(team_a_bs):
+    assert team_a_bs.core_type_of(0).name == "cortex-a15"
+    assert team_a_bs.core_type_of(7).name == "cortex-a7"
+
+
+def test_bs_convention_accepts_bs(team_a_bs):
+    team_a_bs.assert_bs_convention()  # no raise
+
+
+def test_bs_convention_rejects_sb(team_a_sb):
+    with pytest.raises(PlatformError):
+        team_a_sb.assert_bs_convention()
+
+
+def test_bs_convention_rejects_interleaved():
+    p = odroid_xu4()
+    team = Team(p, custom_mapping("mix", [7, 0, 6, 1]))
+    with pytest.raises(PlatformError):
+        team.assert_bs_convention()
+
+
+def test_partial_team():
+    p = odroid_xu4()
+    team = Team(p, bs_mapping(p, 3))
+    assert team.n_threads == 3
+    assert team.type_counts() == (0, 3)
+    team.assert_bs_convention()
+
+
+def test_tri_type_team():
+    p = tri_type_platform()
+    team = Team(p, bs_mapping(p))
+    assert team.n_types == 3
+    assert team.type_counts() == (2, 2, 2)
+    # BS on a tri-type platform: types descend with TID.
+    types = [team.type_index_of(t) for t in range(6)]
+    assert types == [2, 2, 1, 1, 0, 0]
+    team.assert_bs_convention()

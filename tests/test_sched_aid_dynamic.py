@@ -1,0 +1,127 @@
+"""Unit tests for AID-dynamic (the Fig. 5 state machine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel.overhead import OverheadModel
+from repro.sched.aid_dynamic import AidDynamicSpec
+from repro.sched.dynamic import DynamicSpec
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+def test_name_and_validation():
+    assert AidDynamicSpec().name == "aid_dynamic,1,5"
+    assert AidDynamicSpec(2, 20).name == "aid_dynamic,2,20"
+    assert "no-endgame" in AidDynamicSpec(endgame=False).name
+    assert "no-smoothing" in AidDynamicSpec(smoothing=False).name
+    assert AidDynamicSpec().requires_bs_mapping
+    with pytest.raises(ConfigError):
+        AidDynamicSpec(minor_chunk=0)
+    with pytest.raises(ConfigError):
+        AidDynamicSpec(minor_chunk=4, major_chunk=2)  # M must be >= m
+
+
+def test_partitions_iterations(platform_a):
+    for m, M in ((1, 5), (1, 10), (2, 20), (5, 5)):
+        result = run_loop(
+            platform_a, AidDynamicSpec(m, M), n_iterations=1111
+        )
+        assert_valid_partition(result, 1111)
+
+
+def test_tiny_loops_terminate(flat2x):
+    for n in (1, 3, 7, 8, 9):
+        result = run_loop(flat2x, AidDynamicSpec(1, 5), n_iterations=n)
+        assert sum(result.iterations) == n
+
+
+def test_fewer_dispatches_than_dynamic(flat2x):
+    """The design goal: big-core threads remove R*M iterations at once,
+    so the pool is touched far less often than with dynamic(m)."""
+    aid = run_loop(flat2x, AidDynamicSpec(1, 5), n_iterations=2000)
+    dyn = run_loop(flat2x, DynamicSpec(1), n_iterations=2000)
+    assert aid.dispatches < dyn.dispatches / 2
+
+
+def test_big_core_threads_take_more(flat2x):
+    result = run_loop(flat2x, AidDynamicSpec(1, 5), n_iterations=2000)
+    big = sum(result.iterations[:2])
+    small = sum(result.iterations[2:])
+    assert big / small == pytest.approx(2.0, rel=0.25)
+
+
+def test_phase_allotments_follow_ratio(flat2x):
+    """During AID phases big threads should receive ~R*M-sized ranges."""
+    result = run_loop(flat2x, AidDynamicSpec(1, 10), n_iterations=4000)
+    big_ranges = [hi - lo for tid, lo, hi in result.ranges if tid in (0, 1)]
+    # Ignore the m-sized sampling/wait steals; the large allotments
+    # should cluster around R*M = 2*10.
+    large = [s for s in big_ranges if s > 10]
+    assert large, "big threads never received an AID allotment"
+    assert np.median(large) == pytest.approx(20, rel=0.3)
+
+
+def test_ratio_converges_on_flat_platform(flat2x):
+    result = run_loop(flat2x, AidDynamicSpec(1, 5), n_iterations=4000)
+    sched = result.extra["scheduler"]
+    ratio = sched.current_ratio()
+    assert ratio is not None
+    assert ratio[1] == pytest.approx(2.0, rel=0.25)
+    assert sched.phases_run >= 2
+
+
+def test_endgame_switch_reduces_tail_imbalance(flat2x):
+    """Fig. 5's optimization: with large M and no endgame, one thread can
+    drain the pool and leave others idle; the switch to dynamic(m)
+    removes that."""
+    n = 800
+    with_endgame = run_loop(
+        flat2x, AidDynamicSpec(1, 50, endgame=True), n_iterations=n
+    )
+    without = run_loop(
+        flat2x, AidDynamicSpec(1, 50, endgame=False), n_iterations=n
+    )
+    assert with_endgame.end_time <= without.end_time * 1.001
+
+
+def test_less_chunk_sensitive_than_dynamic(flat2x):
+    """Fig. 8's message, in miniature: growing the Major chunk hurts
+    AID-dynamic far less than growing dynamic's chunk hurts dynamic."""
+    n = 1000
+    overhead = OverheadModel()
+    work = 1e-4  # coarse enough that dispatch overhead is negligible
+
+    def span(spec):
+        return run_loop(
+            flat2x, spec, n_iterations=n, work=work, overhead=overhead
+        ).end_time
+
+    # Sensitivity = how much worse the large-chunk setting is than the
+    # small-chunk one. Large dynamic chunks cause end-of-loop imbalance;
+    # AID-dynamic's endgame removes exactly that failure mode.
+    dyn_spread = span(DynamicSpec(100)) / span(DynamicSpec(1))
+    aid_spread = span(AidDynamicSpec(2, 100)) / span(AidDynamicSpec(1, 5))
+    assert dyn_spread > 1.03
+    assert aid_spread < dyn_spread
+
+
+def test_smoothing_tracks_changing_costs(flat2x):
+    """With drifting costs the resmoothed R should track reality better
+    than a frozen R (no worse completion, usually better)."""
+    n = 3000
+    costs = np.linspace(0.5, 2.0, n) * 1e-4
+    smooth = run_loop(
+        flat2x, AidDynamicSpec(1, 10, smoothing=True), n_iterations=n, costs=costs
+    )
+    frozen = run_loop(
+        flat2x, AidDynamicSpec(1, 10, smoothing=False), n_iterations=n, costs=costs
+    )
+    assert smooth.end_time <= frozen.end_time * 1.05
+
+
+def test_three_core_types(tri_platform):
+    result = run_loop(tri_platform, AidDynamicSpec(1, 5), n_iterations=1500)
+    assert_valid_partition(result, 1500)
+    assert min(result.iterations[0:2]) > max(result.iterations[4:6])

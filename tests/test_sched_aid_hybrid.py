@@ -1,0 +1,79 @@
+"""Unit tests for AID-hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.aid_hybrid import AidHybridSpec
+from repro.sched.aid_static import AidStaticSpec
+
+from tests.helpers import assert_valid_partition, make_loop, run_loop
+
+
+def test_name_and_validation():
+    assert AidHybridSpec().name == "aid_hybrid,80"
+    assert AidHybridSpec(percentage=62.5).name == "aid_hybrid,62.5"
+    assert AidHybridSpec().requires_bs_mapping
+    with pytest.raises(ConfigError):
+        AidHybridSpec(percentage=0)
+    with pytest.raises(ConfigError):
+        AidHybridSpec(percentage=101)
+    with pytest.raises(ConfigError):
+        AidHybridSpec(dynamic_chunk=0)
+
+
+def test_partitions_iterations(platform_a):
+    for pct in (50, 80, 100):
+        result = run_loop(
+            platform_a, AidHybridSpec(percentage=pct), n_iterations=777
+        )
+        assert_valid_partition(result, 777)
+
+
+def test_dynamic_tail_size(flat2x):
+    """With pct%, about (100-pct)% of NI is scheduled in chunk-sized
+    dynamic steals after the AID allotments."""
+    result = run_loop(
+        flat2x, AidHybridSpec(percentage=50, dynamic_chunk=1), n_iterations=1000
+    )
+    # AID targets cover ~500 iterations; the rest are chunk-1 steals, so
+    # the dispatch count is dominated by the ~500-iteration tail.
+    assert 400 <= result.dispatches <= 650
+
+
+def test_hundred_percent_behaves_like_aid_static(flat2x):
+    hybrid = run_loop(flat2x, AidHybridSpec(percentage=100), n_iterations=600)
+    aid = run_loop(flat2x, AidStaticSpec(), n_iterations=600)
+    assert hybrid.end_time == pytest.approx(aid.end_time, rel=1e-9)
+    assert hybrid.iterations == aid.iterations
+
+
+def test_hybrid_fixes_drifting_costs(flat2x):
+    """The Fig. 4 effect: when the sampled SF is not representative of
+    the whole loop, the dynamic tail absorbs the residual imbalance."""
+    n = 1200
+    # Strong downward drift: sampling sees expensive iterations first.
+    costs = np.linspace(2.0, 0.5, n) * 1e-4
+    aid = run_loop(flat2x, AidStaticSpec(), n_iterations=n, costs=costs)
+    hybrid = run_loop(
+        flat2x, AidHybridSpec(percentage=70), n_iterations=n, costs=costs
+    )
+    assert hybrid.end_time < aid.end_time
+    assert hybrid.imbalance < aid.imbalance
+
+
+def test_lower_percentage_more_dynamic_behaviour(flat2x):
+    r60 = run_loop(flat2x, AidHybridSpec(percentage=60), n_iterations=1000)
+    r95 = run_loop(flat2x, AidHybridSpec(percentage=95), n_iterations=1000)
+    assert r60.dispatches > r95.dispatches
+
+
+def test_offline_variant(flat2x):
+    result = run_loop(
+        flat2x,
+        AidHybridSpec(percentage=80, use_offline_sf=True),
+        n_iterations=500,
+        offline_sf={0: 1.0, 1: 2.0},
+    )
+    assert_valid_partition(result, 500)
+    assert AidHybridSpec(use_offline_sf=True).needs_offline_sf

@@ -1,0 +1,145 @@
+"""Unit tests for AID-static (the Fig. 3 state machine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel.overhead import ZERO_OVERHEAD
+from repro.sched.aid_static import AidStaticSpec
+from repro.sched.static import StaticSpec
+from repro.sched import aid_common as ac
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+def test_name_and_validation():
+    assert AidStaticSpec().name == "aid_static"
+    assert AidStaticSpec(use_offline_sf=True).name == "aid_static(offline-SF)"
+    assert AidStaticSpec().requires_bs_mapping
+    assert AidStaticSpec(use_offline_sf=True).needs_offline_sf
+    with pytest.raises(ConfigError):
+        AidStaticSpec(sampling_chunk=0)
+
+
+def test_partitions_iterations(platform_a):
+    for n in (8, 100, 1024):
+        result = run_loop(platform_a, AidStaticSpec(), n_iterations=n)
+        assert_valid_partition(result, n)
+
+
+def test_distribution_proportional_to_speed_on_flat_platform(flat2x):
+    """On a flat-2x AMP with uniform costs, each big-core thread should
+    end up with ~2x the iterations of a small-core thread: the paper's
+    SF*k / k split with SF = 2."""
+    result = run_loop(flat2x, AidStaticSpec(), n_iterations=600)
+    big = result.iterations[:2]
+    small = result.iterations[2:]
+    for b in big:
+        for s in small:
+            assert b / s == pytest.approx(2.0, rel=0.15)
+
+
+def test_balances_far_better_than_static(flat2x):
+    static = run_loop(flat2x, StaticSpec(), n_iterations=600)
+    aid = run_loop(flat2x, AidStaticSpec(), n_iterations=600)
+    assert aid.end_time < static.end_time
+    assert aid.imbalance < static.imbalance / 2
+
+
+def test_few_dispatches(flat2x):
+    """AID-static's selling point vs dynamic: a handful of pool removals
+    per thread (sampling + wait steals + one final allotment)."""
+    result = run_loop(flat2x, AidStaticSpec(), n_iterations=2000)
+    assert result.dispatches < 2000 / 10
+
+
+def test_estimates_sf_on_flat_platform(flat2x):
+    result = run_loop(flat2x, AidStaticSpec(), n_iterations=600)
+    sf = result.estimated_sf
+    assert sf is not None
+    assert sf[0] == 1.0
+    assert sf[1] == pytest.approx(2.0, rel=0.1)
+
+
+def test_sampled_sf_close_to_model_sf_on_platform_a(platform_a):
+    from repro.perfmodel.speed import PerfModel
+    from repro.amp.topology import bs_mapping
+    from tests.helpers import PLAIN_KERNEL
+
+    result = run_loop(platform_a, AidStaticSpec(), n_iterations=1000)
+    perf = PerfModel(platform_a)
+    cpus = tuple(bs_mapping(platform_a).cpu_of_tid)
+    expected = perf.speedup_factor(
+        PLAIN_KERNEL, platform_a.core_types[1], cpu_of_tid=cpus
+    )
+    assert result.estimated_sf[1] == pytest.approx(expected, rel=0.1)
+
+
+def test_offline_sf_variant_skips_sampling(flat2x):
+    result = run_loop(
+        flat2x,
+        AidStaticSpec(use_offline_sf=True),
+        n_iterations=600,
+        offline_sf={0: 1.0, 1: 2.0},
+    )
+    assert_valid_partition(result, 600)
+    # One allotment per thread (+ drain attempts); far fewer than with
+    # sampling and waiting.
+    assert result.dispatches <= 2 * 4
+    big, small = result.iterations[0], result.iterations[-1]
+    assert big / small == pytest.approx(2.0, rel=0.05)
+
+
+def test_offline_sf_missing_table_raises(flat2x):
+    with pytest.raises(ConfigError):
+        run_loop(
+            flat2x,
+            AidStaticSpec(use_offline_sf=True),
+            n_iterations=100,
+            offline_sf=None,
+        )
+
+
+def test_tiny_loop_terminates(flat2x):
+    """Pool drains during sampling: every thread must still retire."""
+    for n in (1, 2, 3, 4):
+        result = run_loop(flat2x, AidStaticSpec(), n_iterations=n)
+        assert sum(result.iterations) == n
+
+
+def test_sampling_chunk_respected(flat2x):
+    result = run_loop(flat2x, AidStaticSpec(sampling_chunk=4), n_iterations=400)
+    # The first range of each thread (its sampling chunk) has size 4.
+    first_range_by_tid = {}
+    for tid, lo, hi in result.ranges:
+        first_range_by_tid.setdefault(tid, hi - lo)
+    assert all(size == 4 for size in first_range_by_tid.values())
+
+
+def test_nc_three_core_types(tri_platform):
+    """The paper's NC >= 2 generalization: k = NI / sum(N_j * SF_j)."""
+    result = run_loop(tri_platform, AidStaticSpec(), n_iterations=900)
+    assert_valid_partition(result, 900)
+    # Iterations ordered by core speed: big threads (0-1) > medium (2-3)
+    # > little (4-5).
+    assert min(result.iterations[0:2]) > max(result.iterations[2:4])
+    assert min(result.iterations[2:4]) > max(result.iterations[4:6])
+
+
+class TestAidTargets:
+    def test_two_type_formula_matches_paper(self):
+        # NI = N_B*SF*k + N_S*k  =>  k = NI/(N_B*SF + N_S)
+        targets = ac.aid_targets(1200, {0: 1.0, 1: 2.0}, (4, 4))
+        k = 1200 / (4 * 2.0 + 4)
+        assert targets[0] == round(k)
+        assert targets[1] == round(2.0 * k)
+
+    def test_totals_close_to_ni(self):
+        for ni in (100, 999, 4096):
+            targets = ac.aid_targets(ni, {0: 1.0, 1: 3.3}, (4, 4))
+            total = 4 * targets[0] + 4 * targets[1]
+            assert abs(total - ni) <= 8  # rounding residue only
+
+    def test_symmetric_team_gets_even_split(self):
+        targets = ac.aid_targets(800, {0: 1.0}, (8,))
+        assert targets == [100]

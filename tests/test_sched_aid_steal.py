@@ -1,0 +1,108 @@
+"""Unit tests for AID-steal (work-sharing + work-stealing extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import parse_schedule
+from repro.sched.aid_static import AidStaticSpec
+from repro.sched.aid_steal import AidStealSpec
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+def test_name_and_validation():
+    assert AidStealSpec().name == "aid_steal,8"
+    assert AidStealSpec(serve_chunk=16).name == "aid_steal,16"
+    assert AidStealSpec(use_offline_sf=True).name == "aid_steal,8(offline-SF)"
+    assert AidStealSpec().requires_bs_mapping
+    assert AidStealSpec(use_offline_sf=True).needs_offline_sf
+    for bad in (
+        dict(sampling_chunk=0),
+        dict(serve_chunk=0),
+        dict(min_steal=0),
+    ):
+        with pytest.raises(ConfigError):
+            AidStealSpec(**bad)
+
+
+def test_registry():
+    assert parse_schedule("aid_steal") == AidStealSpec()
+    assert parse_schedule("aid_steal,16") == AidStealSpec(serve_chunk=16)
+
+
+def test_partitions_iterations(platform_a):
+    rng = np.random.default_rng(0)
+    for costs in (None, rng.lognormal(-9, 0.8, 913)):
+        result = run_loop(platform_a, AidStealSpec(), n_iterations=913, costs=costs)
+        assert_valid_partition(result, 913)
+
+
+def test_tiny_loops_terminate(flat2x):
+    for n in (1, 2, 7, 8, 9, 17):
+        result = run_loop(flat2x, AidStealSpec(), n_iterations=n)
+        assert sum(result.iterations) == n
+
+
+def test_single_pool_access_after_sampling(flat2x):
+    """AID-steal's signature: sampling chunks + one take_all; local
+    serving touches no shared pool."""
+    result = run_loop(flat2x, AidStealSpec(), n_iterations=2000)
+    # 4 sampling takes + a few wait steals + one take_all.
+    assert result.dispatches <= 2 * 4 + 1
+
+
+def test_no_steals_needed_on_uniform_flat(flat2x):
+    result = run_loop(flat2x, AidStealSpec(), n_iterations=1000)
+    assert result.extra["scheduler"].steals == 0
+    big = sum(result.iterations[:2])
+    small = sum(result.iterations[2:])
+    assert big / small == pytest.approx(2.0, rel=0.1)
+
+
+def test_stealing_repairs_drift(flat2x):
+    """Descending costs make the sampled SF unrepresentative; steal-half
+    repairs it where AID-static straggles (the Sec. 4.3 promise)."""
+    costs = np.linspace(2.0, 0.5, 1200) * 1e-4
+    aid = run_loop(flat2x, AidStaticSpec(), n_iterations=1200, costs=costs)
+    steal = run_loop(flat2x, AidStealSpec(), n_iterations=1200, costs=costs)
+    assert steal.extra["scheduler"].steals > 0
+    assert steal.end_time < aid.end_time
+    assert steal.imbalance < aid.imbalance / 3
+
+
+def test_offline_variant(flat2x):
+    result = run_loop(
+        flat2x,
+        AidStealSpec(use_offline_sf=True),
+        n_iterations=600,
+        offline_sf={0: 1.0, 1: 2.0},
+    )
+    assert_valid_partition(result, 600)
+    assert result.dispatches == 1  # take_all only: no sampling at all
+    assert result.estimated_sf is None
+
+
+def test_serve_chunk_controls_dispatch_count(flat2x):
+    fine = run_loop(flat2x, AidStealSpec(serve_chunk=2), n_iterations=1000)
+    coarse = run_loop(flat2x, AidStealSpec(serve_chunk=64), n_iterations=1000)
+    assert coarse.scheduler_calls < fine.scheduler_calls
+
+
+def test_three_core_types(tri_platform):
+    result = run_loop(tri_platform, AidStealSpec(), n_iterations=900)
+    assert_valid_partition(result, 900)
+    assert min(result.iterations[0:2]) > max(result.iterations[4:6])
+
+
+def test_real_threads():
+    from repro.exec_real import ThreadTeam
+
+    team = ThreadTeam(4)
+    counter = np.zeros(1500, dtype=np.int64)
+
+    def body(tid, lo, hi):
+        counter[lo:hi] += 1
+
+    team.parallel_for(1500, body, AidStealSpec())
+    assert counter.sum() == 1500 and counter.max() == 1

@@ -1,0 +1,86 @@
+"""Unit tests for dynamic scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel.overhead import OverheadModel, ZERO_OVERHEAD
+from repro.sched.dynamic import DynamicSpec
+from repro.sched.static import StaticSpec
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+def test_name_and_validation():
+    assert DynamicSpec().name == "dynamic,1"
+    assert DynamicSpec(chunk=4).name == "dynamic,4"
+    with pytest.raises(ConfigError):
+        DynamicSpec(chunk=0)
+
+
+def test_partitions_iterations(platform_a):
+    for chunk in (1, 3, 16, 1000):
+        result = run_loop(
+            platform_a, DynamicSpec(chunk), n_iterations=257
+        )
+        assert_valid_partition(result, 257)
+
+
+def test_chunk_sizes_respected(platform_a):
+    result = run_loop(platform_a, DynamicSpec(8), n_iterations=100)
+    sizes = [hi - lo for _, lo, hi in result.ranges]
+    assert all(s == 8 for s in sizes[:-1])
+    assert sizes[-1] == 100 % 8 or sizes[-1] == 8
+
+
+def test_dispatch_count(platform_a):
+    result = run_loop(platform_a, DynamicSpec(1), n_iterations=128)
+    assert result.dispatches == 128
+
+
+def test_big_cores_automatically_take_more(flat2x):
+    """The paper's core observation about dynamic on AMPs: faster cores
+    come back to the pool more often and absorb more iterations."""
+    result = run_loop(flat2x, DynamicSpec(1), n_iterations=600)
+    big = sum(result.iterations[:2])
+    small = sum(result.iterations[2:])
+    # 2x speedup -> big cores should take about 2/3 of the work.
+    assert big / small == pytest.approx(2.0, rel=0.15)
+
+
+def test_dynamic_balances_better_than_static_on_amp(flat2x):
+    static = run_loop(flat2x, StaticSpec(), n_iterations=600)
+    dynamic = run_loop(flat2x, DynamicSpec(1), n_iterations=600)
+    assert dynamic.end_time < static.end_time
+    assert dynamic.imbalance < static.imbalance
+
+
+def test_overhead_makes_fine_grained_dynamic_lose(flat2x):
+    """The paper's counter-observation: when iteration cost approaches
+    dispatch cost, dynamic's overhead negates its balance."""
+    overhead = OverheadModel()
+    work = overhead.dispatch_cost  # 1 us of work per iteration
+    static = run_loop(
+        flat2x, StaticSpec(), n_iterations=2000, work=work, overhead=overhead
+    )
+    dynamic = run_loop(
+        flat2x, DynamicSpec(1), n_iterations=2000, work=work, overhead=overhead
+    )
+    assert dynamic.end_time > static.end_time
+
+
+def test_larger_chunks_reduce_dispatches_but_risk_imbalance(flat2x):
+    fine = run_loop(flat2x, DynamicSpec(1), n_iterations=512)
+    coarse = run_loop(flat2x, DynamicSpec(128), n_iterations=512)
+    assert coarse.dispatches < fine.dispatches
+    assert coarse.imbalance > fine.imbalance
+
+
+def test_uneven_costs_absorbed(platform_a):
+    rng = np.random.default_rng(0)
+    costs = rng.lognormal(-9.5, 1.0, size=300)
+    result = run_loop(
+        platform_a, DynamicSpec(1), n_iterations=300, costs=costs
+    )
+    assert_valid_partition(result, 300)
+    assert result.imbalance < 0.2

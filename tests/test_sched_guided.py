@@ -1,0 +1,71 @@
+"""Unit tests for guided scheduling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.guided import GuidedSpec
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+def test_name_and_validation():
+    assert GuidedSpec().name == "guided,1"
+    assert GuidedSpec(chunk=8).name == "guided,8"
+    with pytest.raises(ConfigError):
+        GuidedSpec(chunk=-1)
+
+
+def test_partitions_iterations(platform_a):
+    for chunk in (1, 4, 32):
+        result = run_loop(platform_a, GuidedSpec(chunk), n_iterations=513)
+        assert_valid_partition(result, 513)
+
+
+def test_chunks_decrease(platform_a):
+    result = run_loop(platform_a, GuidedSpec(1), n_iterations=800)
+    sizes = [hi - lo for _, lo, hi in result.ranges]
+    # First grab is remaining/NT = 100; later grabs shrink.
+    assert sizes[0] == 100
+    assert sizes[0] == max(sizes)
+    assert sizes[-1] <= sizes[0]
+
+
+def test_minimum_chunk_respected(platform_a):
+    result = run_loop(platform_a, GuidedSpec(16), n_iterations=640)
+    sizes = [hi - lo for _, lo, hi in result.ranges]
+    # All but the final (clamped) grab are at least the minimum chunk.
+    assert all(s >= 16 for s in sizes[:-1])
+
+
+def test_far_fewer_dispatches_than_dynamic(platform_a):
+    from repro.sched.dynamic import DynamicSpec
+
+    guided = run_loop(platform_a, GuidedSpec(1), n_iterations=1000)
+    dynamic = run_loop(platform_a, DynamicSpec(1), n_iterations=1000)
+    assert guided.dispatches < dynamic.dispatches / 5
+
+
+def test_small_core_with_large_early_chunk_straggles(flat2x):
+    """The AMP pathology: whoever arrives first gets remaining/NT
+    iterations; if that is a small core, it becomes the critical path."""
+    from repro.perfmodel.overhead import OverheadModel
+
+    # Wake order is by CPU number -> small cores (CPUs 0-1) first.
+    overhead = OverheadModel(
+        dispatch_cost=0.0,
+        loop_start_cost=0.0,
+        barrier_cost=0.0,
+        timestamp_cost=0.0,
+        atomic_contention=0.0,
+        atomic_service=0.0,
+        wake_stagger=1e-6,
+        wake_jitter=0.0,
+    )
+    result = run_loop(
+        flat2x, GuidedSpec(1), n_iterations=400, overhead=overhead
+    )
+    # flat2x BS: threads 2-3 are the small-core threads; one of them must
+    # have grabbed the largest (first) chunk.
+    first_tid = result.ranges[0][0]
+    assert first_tid in (2, 3)
+    assert result.finish_times[first_tid] == max(result.finish_times)

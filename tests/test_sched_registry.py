@@ -1,0 +1,81 @@
+"""Unit tests for OMP_SCHEDULE-string parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import (
+    AidDynamicSpec,
+    AidHybridSpec,
+    AidStaticSpec,
+    DynamicSpec,
+    GuidedSpec,
+    StaticSpec,
+    available_schedules,
+    parse_schedule,
+)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("static", StaticSpec()),
+        ("static,16", StaticSpec(chunk=16)),
+        ("dynamic", DynamicSpec(chunk=1)),
+        ("dynamic,4", DynamicSpec(chunk=4)),
+        ("guided", GuidedSpec(chunk=1)),
+        ("guided,2", GuidedSpec(chunk=2)),
+        ("aid_static", AidStaticSpec()),
+        ("aid_static,2", AidStaticSpec(sampling_chunk=2)),
+        ("aid_hybrid", AidHybridSpec(percentage=80)),
+        ("aid_hybrid,60", AidHybridSpec(percentage=60)),
+        ("aid_hybrid,60,4", AidHybridSpec(percentage=60, dynamic_chunk=4)),
+        ("aid_dynamic", AidDynamicSpec(minor_chunk=1, major_chunk=5)),
+        ("aid_dynamic,2,20", AidDynamicSpec(minor_chunk=2, major_chunk=20)),
+    ],
+)
+def test_parse(text, expected):
+    assert parse_schedule(text) == expected
+
+
+def test_whitespace_and_case_tolerated():
+    assert parse_schedule("  DYNAMIC , 4 ") == DynamicSpec(chunk=4)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "fifo",
+        "static,1,2",
+        "dynamic,x",
+        "dynamic,0",
+        "aid_dynamic,5",  # needs zero or two args
+        "aid_dynamic,5,1",  # M < m
+        "aid_hybrid,0",
+        "aid_hybrid,150",
+        "guided,1,2",
+    ],
+)
+def test_invalid_rejected(text):
+    with pytest.raises(ConfigError):
+        parse_schedule(text)
+
+
+def test_available_schedules_all_parse():
+    for name in available_schedules():
+        assert parse_schedule(name) is not None
+
+
+def test_spec_names_round_trip():
+    """A spec's canonical name parses back to an equal spec."""
+    specs = [
+        StaticSpec(),
+        StaticSpec(chunk=3),
+        DynamicSpec(7),
+        GuidedSpec(2),
+        AidStaticSpec(sampling_chunk=2),
+        AidHybridSpec(percentage=70),
+        AidDynamicSpec(2, 9),
+    ]
+    for spec in specs:
+        assert parse_schedule(spec.name) == spec

@@ -1,0 +1,79 @@
+"""Unit tests for static scheduling (block and round-robin)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.static import StaticSpec, static_block
+
+from tests.helpers import assert_valid_partition, run_loop
+
+
+class TestStaticBlock:
+    def test_even_split(self):
+        blocks = [static_block(100, 4, t) for t in range(4)]
+        assert blocks == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_remainder_goes_to_first_threads(self):
+        # libgomp: first n % NT threads get one extra iteration.
+        blocks = [static_block(10, 4, t) for t in range(4)]
+        sizes = [hi - lo for lo, hi in blocks]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_partition_is_contiguous_and_complete(self):
+        for n, nt in [(1, 1), (7, 3), (100, 8), (5, 8)]:
+            blocks = [static_block(n, nt, t) for t in range(nt)]
+            cursor = 0
+            for lo, hi in blocks:
+                assert lo == cursor
+                cursor = hi
+            assert cursor == n
+
+    def test_more_threads_than_iterations(self):
+        blocks = [static_block(3, 8, t) for t in range(8)]
+        sizes = [hi - lo for lo, hi in blocks]
+        assert sizes == [1, 1, 1, 0, 0, 0, 0, 0]
+
+
+class TestStaticSpec:
+    def test_name(self):
+        assert StaticSpec().name == "static"
+        assert StaticSpec(chunk=16).name == "static,16"
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ConfigError):
+            StaticSpec(chunk=0)
+
+    def test_block_execution_partitions(self, platform_a):
+        result = run_loop(platform_a, StaticSpec(), n_iterations=100)
+        assert_valid_partition(result, 100)
+        # Block static: exactly one range per thread with work.
+        assert len(result.ranges) == 8
+
+    def test_chunked_execution_partitions(self, platform_a):
+        result = run_loop(platform_a, StaticSpec(chunk=7), n_iterations=100)
+        assert_valid_partition(result, 100)
+
+    def test_chunked_round_robin_ownership(self, platform_a):
+        result = run_loop(platform_a, StaticSpec(chunk=5), n_iterations=200)
+        for tid, lo, hi in result.ranges:
+            assert (lo // 5) % 8 == tid
+            assert hi - lo <= 5
+
+    def test_static_makes_no_pool_dispatches(self, platform_a):
+        result = run_loop(platform_a, StaticSpec(), n_iterations=64)
+        assert result.dispatches == 0
+
+    def test_big_cores_finish_first_on_amp(self, platform_a, flat2x):
+        """The Fig. 1 effect: under an even split big-core threads reach
+        the barrier long before small-core threads."""
+        result = run_loop(flat2x, StaticSpec(), n_iterations=400)
+        # BS: threads 0-1 big, threads 2-3 small, 2x speed difference.
+        big = max(result.finish_times[:2])
+        small = min(result.finish_times[2:])
+        assert big < small
+        assert result.imbalance > 0.4
+
+    def test_single_thread_gets_everything(self, platform_a):
+        result = run_loop(platform_a, StaticSpec(), n_iterations=50, n_threads=1)
+        assert result.iterations == [50]

@@ -1,0 +1,56 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(2.5).now == 2.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        VirtualClock(-0.1)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance_to(1.5) == 1.5
+    assert clock.now == 1.5
+
+
+def test_advance_to_same_time_allowed():
+    clock = VirtualClock(3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.999)
+
+
+def test_advance_by_accumulates():
+    clock = VirtualClock()
+    clock.advance_by(1.0)
+    clock.advance_by(0.25)
+    assert clock.now == 1.25
+
+
+def test_advance_by_zero_allowed():
+    clock = VirtualClock(1.0)
+    clock.advance_by(0.0)
+    assert clock.now == 1.0
+
+
+def test_advance_by_negative_rejected():
+    clock = VirtualClock(1.0)
+    with pytest.raises(SimulationError):
+        clock.advance_by(-1e-9)

@@ -1,0 +1,127 @@
+"""Unit tests for the event queue and simulator driver."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue, Simulator
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.pop() is None
+    assert q.peek_time() is None
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append("c"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(2.0, lambda: fired.append("b"))
+    while (ev := q.pop()) is not None:
+        ev.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    fired = []
+    for name in "abcde":
+        q.push(1.0, lambda n=name: fired.append(n))
+    while (ev := q.pop()) is not None:
+        ev.action()
+    assert fired == list("abcde")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(-1.0, lambda: None)
+
+
+def test_cancel_removes_event():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None, tag="keep")
+    q.cancel(ev)
+    assert len(q) == 1
+    popped = q.pop()
+    assert popped is not None and popped.tag == "keep"
+
+
+def test_double_cancel_rejected():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.cancel(ev)
+    with pytest.raises(SimulationError):
+        q.cancel(ev)
+
+
+def test_peek_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    q.cancel(ev)
+    assert q.peek_time() == 5.0
+
+
+def test_simulator_advances_clock():
+    sim = Simulator(VirtualClock())
+    times = []
+    sim.at(1.0, lambda: times.append(sim.now))
+    sim.at(2.5, lambda: times.append(sim.now))
+    executed = sim.run()
+    assert executed == 2
+    assert times == [1.0, 2.5]
+    assert sim.now == 2.5
+
+
+def test_simulator_after_is_relative():
+    sim = Simulator(VirtualClock(10.0))
+    out = []
+    sim.after(0.5, lambda: out.append(sim.now))
+    sim.run()
+    assert out == [10.5]
+
+
+def test_simulator_rejects_past_events():
+    sim = Simulator(VirtualClock(5.0))
+    with pytest.raises(SimulationError):
+        sim.at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_simulator_events_can_schedule_events():
+    sim = Simulator(VirtualClock())
+    hits = []
+
+    def recurse(depth: int) -> None:
+        hits.append(sim.now)
+        if depth:
+            sim.after(1.0, lambda: recurse(depth - 1))
+
+    sim.at(0.0, lambda: recurse(3))
+    sim.run()
+    assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_simulator_event_budget():
+    sim = Simulator(VirtualClock())
+
+    def forever() -> None:
+        sim.after(1.0, forever)
+
+    sim.at(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_simulator_counts_steps():
+    sim = Simulator(VirtualClock())
+    for t in range(5):
+        sim.at(float(t), lambda: None)
+    sim.run()
+    assert sim.steps == 5

@@ -1,0 +1,110 @@
+"""Unit tests for tracing, rendering and Paraver export."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tracing.ascii_art import render_timeline
+from repro.tracing.paraver import export_paraver_csv
+from repro.tracing.trace import Interval, ThreadState, TraceRecorder
+
+
+def demo_trace():
+    tr = TraceRecorder()
+    tr.record(0, ThreadState.SERIAL, 0.0, 1.0, "init")
+    tr.record(1, ThreadState.IDLE, 0.0, 1.0, "init")
+    tr.record(0, ThreadState.COMPUTE, 1.0, 3.0, "loop")
+    tr.record(1, ThreadState.COMPUTE, 1.0, 2.0, "loop")
+    tr.record(1, ThreadState.BARRIER, 2.0, 3.0, "loop")
+    return tr
+
+
+def test_interval_validation():
+    with pytest.raises(SimulationError):
+        Interval(0, ThreadState.COMPUTE, 2.0, 1.0)
+
+
+def test_zero_length_intervals_dropped():
+    tr = TraceRecorder()
+    tr.record(0, ThreadState.COMPUTE, 1.0, 1.0)
+    assert tr.intervals == []
+
+
+def test_time_bounds():
+    tr = demo_trace()
+    assert tr.t_begin == 0.0
+    assert tr.t_end == 3.0
+    assert TraceRecorder().t_end == 0.0
+
+
+def test_time_in_state():
+    tr = demo_trace()
+    assert tr.time_in_state(0, ThreadState.COMPUTE) == 2.0
+    assert tr.time_in_state(1, ThreadState.BARRIER) == 1.0
+    assert tr.time_in_state(1, ThreadState.SERIAL) == 0.0
+
+
+def test_validate_non_overlapping_passes():
+    demo_trace().validate_non_overlapping()
+
+
+def test_validate_non_overlapping_catches_overlap():
+    tr = TraceRecorder()
+    tr.record(0, ThreadState.COMPUTE, 0.0, 2.0)
+    tr.record(0, ThreadState.BARRIER, 1.5, 3.0)
+    with pytest.raises(SimulationError):
+        tr.validate_non_overlapping()
+
+
+def test_render_timeline_shapes():
+    tr = demo_trace()
+    text = render_timeline(tr, width=30)
+    lines = text.splitlines()
+    rows = [l for l in lines if l.startswith("T")]
+    assert len(rows) == 2
+    # Each row body is exactly `width` characters between the pipes.
+    for row in rows:
+        body = row.split("|")[1]
+        assert len(body) == 30
+    assert "legend" in text
+
+
+def test_render_timeline_state_characters():
+    tr = demo_trace()
+    text = render_timeline(tr, width=30, show_legend=False)
+    t0_row = next(l for l in text.splitlines() if l.startswith("T0"))
+    assert "S" in t0_row  # serial phase visible
+    assert "#" in t0_row  # compute visible
+    t1_row = next(l for l in text.splitlines() if l.startswith("T1"))
+    assert "." in t1_row  # barrier wait visible
+
+
+def test_render_empty_trace():
+    assert "empty" in render_timeline(TraceRecorder())
+
+
+def test_render_window():
+    tr = demo_trace()
+    text = render_timeline(tr, width=10, t0=2.5, t1=3.0, show_legend=False)
+    t0_row = next(l for l in text.splitlines() if l.startswith("T0"))
+    body = t0_row.split("|")[1]
+    assert set(body) == {"#"}  # only compute in that window for T0
+
+
+def test_paraver_export_roundtrip(tmp_path):
+    tr = demo_trace()
+    path = tmp_path / "trace.csv"
+    text = export_paraver_csv(tr, path)
+    assert path.read_text() == text
+    lines = text.strip().splitlines()
+    assert lines[0] == "thread,state,t_start,t_end,duration,label"
+    assert len(lines) == 1 + len(tr.intervals)
+    assert any("serial" in l for l in lines)
+
+
+def test_paraver_export_sorted_by_time():
+    tr = TraceRecorder()
+    tr.record(0, ThreadState.COMPUTE, 5.0, 6.0)
+    tr.record(0, ThreadState.COMPUTE, 1.0, 2.0)
+    lines = export_paraver_csv(tr).strip().splitlines()[1:]
+    starts = [float(l.split(",")[2]) for l in lines]
+    assert starts == sorted(starts)

@@ -1,0 +1,126 @@
+"""Unit tests for per-iteration cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.costmodels import (
+    BimodalCost,
+    JitteredCost,
+    LognormalCost,
+    RampCost,
+    UniformCost,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestUniformCost:
+    def test_all_equal(self):
+        costs = UniformCost(2.5).generate(10, rng())
+        assert np.all(costs == 2.5)
+
+    def test_mean(self):
+        assert UniformCost(3.0).mean_cost() == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformCost(-1.0)
+
+
+class TestJitteredCost:
+    def test_bounds(self):
+        m = JitteredCost(1.0, jitter=0.1)
+        costs = m.generate(1000, rng())
+        assert np.all(costs >= 0.9) and np.all(costs <= 1.1)
+
+    def test_mean_approx(self):
+        costs = JitteredCost(2.0, jitter=0.2).generate(20000, rng())
+        assert costs.mean() == pytest.approx(2.0, rel=0.01)
+
+    def test_drift_tilts_costs(self):
+        costs = JitteredCost(1.0, jitter=0.0, drift=0.5).generate(100, rng())
+        assert costs[-1] > costs[0]
+        assert costs[-1] / costs[0] == pytest.approx(
+            (1 + 0.25) / (1 - 0.25), rel=1e-6
+        )
+
+    def test_negative_drift(self):
+        costs = JitteredCost(1.0, jitter=0.0, drift=-0.5).generate(100, rng())
+        assert costs[0] > costs[-1]
+
+    def test_drift_preserves_mean(self):
+        costs = JitteredCost(1.0, jitter=0.0, drift=0.4).generate(101, rng())
+        assert costs.mean() == pytest.approx(1.0, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            JitteredCost(1.0, jitter=1.0)
+        with pytest.raises(WorkloadError):
+            JitteredCost(1.0, drift=2.5)
+
+
+class TestRampCost:
+    def test_linear(self):
+        costs = RampCost(1.0, 3.0).generate(3, rng())
+        np.testing.assert_allclose(costs, [1.0, 2.0, 3.0])
+
+    def test_single_iteration_uses_mean(self):
+        costs = RampCost(1.0, 3.0).generate(1, rng())
+        assert costs[0] == 2.0
+
+    def test_descending(self):
+        costs = RampCost(5.0, 1.0).generate(10, rng())
+        assert np.all(np.diff(costs) < 0)
+
+    def test_mean(self):
+        assert RampCost(1.0, 3.0).mean_cost() == 2.0
+
+
+class TestLognormalCost:
+    def test_mean_matches_target(self):
+        costs = LognormalCost(2.0, sigma=0.8).generate(200_000, rng())
+        assert costs.mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_heavy_tail(self):
+        costs = LognormalCost(1.0, sigma=1.0).generate(100_000, rng())
+        assert costs.max() > 5 * costs.mean()
+
+    def test_zero_mean_gives_zero(self):
+        costs = LognormalCost(0.0).generate(10, rng())
+        assert np.all(costs == 0.0)
+
+    def test_all_positive(self):
+        costs = LognormalCost(1.0, sigma=0.5).generate(1000, rng())
+        assert np.all(costs > 0)
+
+
+class TestBimodalCost:
+    def test_two_levels_only(self):
+        costs = BimodalCost(1.0, 4.0, 0.3).generate(1000, rng())
+        assert set(np.unique(costs)) == {1.0, 4.0}
+
+    def test_fraction_approx(self):
+        costs = BimodalCost(1.0, 4.0, 0.3).generate(100_000, rng())
+        frac = (costs == 4.0).mean()
+        assert frac == pytest.approx(0.3, abs=0.01)
+
+    def test_mean(self):
+        assert BimodalCost(1.0, 4.0, 0.25).mean_cost() == pytest.approx(1.75)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BimodalCost(1.0, 2.0, 1.5)
+
+
+def test_generation_is_deterministic_per_seed():
+    for model in (
+        JitteredCost(1.0, 0.2),
+        LognormalCost(1.0, 0.7),
+        BimodalCost(1.0, 3.0, 0.4),
+    ):
+        a = model.generate(100, np.random.default_rng(42))
+        b = model.generate(100, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,76 @@
+"""Unit tests for Program/LoopSpec/SerialPhase structure."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.perfmodel.kernel import KernelProfile
+from repro.workloads.costmodels import UniformCost
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import Program, SerialPhase
+
+K = KernelProfile(name="k", compute_weight=1.0, ilp=0.0, working_set_mb=0.0)
+
+
+def loop(name, n=10, work=1.0):
+    return LoopSpec(name, n, UniformCost(work), K)
+
+
+def test_loopspec_rejects_empty():
+    with pytest.raises(WorkloadError):
+        LoopSpec("empty", 0, UniformCost(1.0), K)
+
+
+def test_loopspec_total_work():
+    assert loop("l", n=10, work=2.0).total_work == 20.0
+
+
+def test_serial_phase_rejects_negative_work():
+    with pytest.raises(WorkloadError):
+        SerialPhase("s", work=-1.0, kernel=K)
+
+
+def test_program_needs_phases():
+    with pytest.raises(WorkloadError):
+        Program(name="none", suite="t")
+
+
+def test_program_rejects_duplicate_phase_names():
+    with pytest.raises(WorkloadError):
+        Program(name="dup", suite="t", body=(loop("x"), loop("x")))
+
+
+def test_program_rejects_negative_timesteps():
+    with pytest.raises(WorkloadError):
+        Program(name="neg", suite="t", body=(loop("x"),), timesteps=-1)
+
+
+def test_schedule_invocation_indices():
+    p = Program(
+        name="p",
+        suite="t",
+        setup=(loop("setup_loop"),),
+        body=(loop("a"), loop("b")),
+        timesteps=3,
+    )
+    entries = [(ph.name, inv) for ph, inv in p.schedule()]
+    assert entries == [
+        ("setup_loop", 0),
+        ("a", 0), ("b", 0),
+        ("a", 1), ("b", 1),
+        ("a", 2), ("b", 2),
+    ]
+    assert p.n_loop_invocations == 7
+
+
+def test_work_accounting():
+    p = Program(
+        name="p",
+        suite="t",
+        setup=(SerialPhase("init", 5.0, K),),
+        body=(loop("a", n=10, work=1.0), SerialPhase("glue", 1.0, K)),
+        timesteps=4,
+    )
+    assert p.serial_work == 5.0 + 4 * 1.0
+    assert p.parallel_work == 4 * 10.0
+    assert len(p.loops()) == 1
+    assert len(p.serial_phases()) == 2

@@ -1,0 +1,143 @@
+"""Tests over the 21 benchmark models (structure, registry, SF ranges)."""
+
+import numpy as np
+import pytest
+
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.errors import WorkloadError
+from repro.perfmodel.speed import PerfModel
+from repro.sim.rng import RngStreams
+from repro.workloads.loopspec import LoopSpec
+from repro.workloads.program import SerialPhase
+from repro.workloads.registry import all_programs, get_program, program_names
+
+
+def test_exactly_21_programs():
+    """The paper evaluates 21 benchmarks (7 NAS + 3 PARSEC + 11 Rodinia)."""
+    programs = all_programs()
+    assert len(programs) == 21
+    by_suite = {}
+    for p in programs:
+        by_suite.setdefault(p.suite, []).append(p.name)
+    assert len(by_suite["NAS"]) == 7
+    assert len(by_suite["PARSEC"]) == 3
+    assert len(by_suite["Rodinia"]) == 11
+
+
+def test_names_unique():
+    names = program_names()
+    assert len(set(names)) == len(names)
+
+
+def test_get_program_case_insensitive():
+    assert get_program("ep").name == "EP"
+    assert get_program("BLACKSCHOLES").name == "blackscholes"
+
+
+def test_get_program_unknown():
+    with pytest.raises(WorkloadError):
+        get_program("doom")
+
+
+def test_paper_named_programs_present():
+    for name in [
+        "BT", "CG", "EP", "FT", "IS", "MG", "SP",
+        "blackscholes", "bodytrack", "streamcluster",
+        "bfs", "bptree", "hotspot3D", "lavamd", "leukocyte",
+        "particlefilter", "sradv1", "sradv2",
+    ]:
+        get_program(name)
+
+
+def test_every_program_has_parallel_work():
+    for p in all_programs():
+        assert p.loops(), f"{p.name} has no parallel loops"
+        assert p.parallel_work > 0
+
+
+def test_costs_are_deterministic_and_positive():
+    streams = RngStreams(0)
+    for p in all_programs():
+        for loop in p.loops():
+            c1 = loop.costs(streams, p.name, 0)
+            c2 = loop.costs(streams, p.name, 0)
+            np.testing.assert_array_equal(c1, c2)
+            assert np.all(c1 >= 0)
+            assert len(c1) == loop.n_iterations
+
+
+def test_invocations_differ_for_stochastic_models():
+    streams = RngStreams(0)
+    ft = get_program("FT")
+    loop = next(l for l in ft.loops() if l.name == "ft.fft_xy")
+    c0 = loop.costs(streams, ft.name, 0)
+    c1 = loop.costs(streams, ft.name, 1)
+    assert not np.array_equal(c0, c1)
+
+
+def test_ep_is_single_loop_program():
+    ep = get_program("EP")
+    assert len(ep.loops()) == 1
+    assert ep.timesteps == 1
+
+
+def test_bptree_is_serial_dominated():
+    """Paper: b+tree's init takes the vast majority of the execution."""
+    bpt = get_program("bptree")
+    assert bpt.serial_work > 2 * bpt.parallel_work
+
+
+def test_particlefilter_has_ascending_ramp():
+    """Paper: pf's final iterations are heavier than the first."""
+    pf = get_program("particlefilter")
+    loop = next(l for l in pf.loops() if "likelihood" in l.name)
+    costs = loop.costs(RngStreams(0), pf.name, 0)
+    assert costs[-1] > 2 * costs[0]
+
+
+def test_schedule_order_setup_then_body():
+    p = get_program("CG")
+    phases = list(p.schedule())
+    assert isinstance(phases[0][0], SerialPhase)
+    loop_phases = [ph for ph, _ in phases if isinstance(ph, LoopSpec)]
+    assert len(loop_phases) == p.n_loop_invocations
+
+
+def test_platform_a_offline_sf_spread():
+    """Fig. 2's premise: per-loop SFs vary widely on Platform A, with a
+    maximum in the high single digits."""
+    perf = PerfModel(odroid_xu4())
+    sfs = [
+        perf.speedup_factor(loop.kernel)
+        for p in all_programs()
+        for loop in p.loops()
+    ]
+    assert min(sfs) < 1.6
+    assert 5.5 <= max(sfs) <= 9.5
+    assert np.std(sfs) > 0.5
+
+
+def test_platform_b_offline_sf_capped():
+    """Paper: Platform B SFs top out around 2.3x."""
+    perf = PerfModel(xeon_emulated())
+    sfs = [
+        perf.speedup_factor(loop.kernel)
+        for p in all_programs()
+        for loop in p.loops()
+    ]
+    assert max(sfs) <= 2.4
+    assert min(sfs) >= 1.0
+
+
+def test_per_platform_profiles_differ():
+    """Fig. 2's second premise: the SF profile of a program on A looks
+    nothing like on B."""
+    perf_a = PerfModel(odroid_xu4())
+    perf_b = PerfModel(xeon_emulated())
+    bt = get_program("BT")
+    sf_a = [perf_a.speedup_factor(l.kernel) for l in bt.loops()]
+    sf_b = [perf_b.speedup_factor(l.kernel) for l in bt.loops()]
+    # Not simply proportional: correlation of ranks may differ; check the
+    # ratio is not constant.
+    ratios = [a / b for a, b in zip(sf_a, sf_b)]
+    assert max(ratios) / min(ratios) > 1.3

@@ -1,0 +1,16 @@
+"""Calibration helper: per-loop offline/online SF on both platforms."""
+from repro.amp import odroid_xu4, xeon_emulated, bs_mapping
+from repro.perfmodel import PerfModel
+from repro.workloads import all_programs
+
+for plat in (odroid_xu4(), xeon_emulated()):
+    perf = PerfModel(plat)
+    cpus = tuple(bs_mapping(plat).cpu_of_tid)
+    print(f"== {plat.name} ==")
+    for prog in all_programs():
+        parts = []
+        for loop in prog.loops():
+            off = perf.speedup_factor(loop.kernel)
+            on = perf.speedup_factor(loop.kernel, cpu_of_tid=cpus)
+            parts.append(f"{loop.name}: off={off:.2f} on={on:.2f}")
+        print(f"  {prog.name:16s} " + " | ".join(parts))

@@ -1,0 +1,13 @@
+import sys, time
+from repro.experiments.harness import run_grid
+from repro.amp import odroid_xu4, xeon_emulated
+from repro.metrics.stats import summarize_gains
+
+for plat in (odroid_xu4(), xeon_emulated()):
+    t0 = time.perf_counter()
+    g = run_grid(plat)
+    print(g.to_table())
+    for new, ref in [("AID-static","static(BS)"),("AID-hybrid","static(BS)"),("AID-dynamic","dynamic(BS)")]:
+        s = summarize_gains(g.column(new), g.column(ref))
+        print(f"  {new} vs {ref}: mean {s['mean']*100:.1f}%  gmean {s['gmean']*100:.1f}%")
+    print(f"  ({time.perf_counter()-t0:.1f}s)\n")
