@@ -15,11 +15,11 @@ Shape claims checked (from the paper's Sec. 5A discussion):
   good, and clearly better where dynamic's overhead hurts.
 """
 
-import pytest
+from benchmarks.conftest import run_once
 
 
 def test_fig6_platform_a(benchmark, fig67_grids):
-    grid = benchmark.pedantic(lambda: fig67_grids.platform_a, rounds=1, iterations=1)
+    grid = run_once(benchmark, lambda: fig67_grids.platform_a)
     print()
     print("Fig. 6 — " + grid.to_table())
     norm = grid.normalized()

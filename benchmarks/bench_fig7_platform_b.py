@@ -8,8 +8,11 @@ overhead reduction therefore pays off more than on Platform A.
 """
 
 
+from benchmarks.conftest import run_once
+
+
 def test_fig7_platform_b(benchmark, fig67_grids):
-    grid = benchmark.pedantic(lambda: fig67_grids.platform_b, rounds=1, iterations=1)
+    grid = run_once(benchmark, lambda: fig67_grids.platform_b)
     print()
     print("Fig. 7 — " + grid.to_table())
     norm = grid.normalized()

@@ -8,13 +8,27 @@ wins, by roughly what factor — rather than absolute numbers.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Benches routed through :func:`run_once` additionally drop a
+machine-readable ``BENCH_<name>.json`` next to the repo root (or into
+``$BENCH_RESULTS_DIR``): per (scheme, platform) the completion time and
+the normalized performance, in the canonical payload format of
+:mod:`repro.obs.snapshot` — the same ``normalized_performance`` the
+figures use, so the JSON can never disagree with the printed tables.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import fig67
+from repro.experiments.fig67 import Fig67Result
+from repro.experiments.harness import GridResult
+from repro.obs.snapshot import grid_payload
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +37,54 @@ def fig67_grids():
     return fig67.run()
 
 
+def payload_for(result) -> dict | None:
+    """Machine-readable payload for a bench result, if one is derivable.
+
+    Grids map to the canonical (scheme, platform, completion time,
+    normalized performance) rows; unknown result types return None and
+    no JSON is written.
+    """
+    if isinstance(result, GridResult):
+        return {"grids": [grid_payload(result)]}
+    if isinstance(result, Fig67Result):
+        return {
+            "grids": [
+                grid_payload(result.platform_a),
+                grid_payload(result.platform_b),
+            ]
+        }
+    return None
+
+
+def bench_results_dir() -> Path:
+    """Where BENCH_*.json files land (repo root unless overridden)."""
+    override = os.environ.get("BENCH_RESULTS_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's payload as ``BENCH_<name>.json``."""
+    doc = {"schema": "repro.bench/v1", "bench": name, **payload}
+    out = bench_results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    When the result maps to a known payload shape, also emit
+    ``BENCH_<name>.json`` (name = the test's name sans ``test_``).
+    """
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    payload = payload_for(result)
+    if payload is not None:
+        name = benchmark.name.removeprefix("test_")
+        write_bench_json(name, payload)
+    return result

@@ -7,14 +7,25 @@ schedules against the three AID methods.
 
 Run::
 
-    python examples/quickstart.py [program]
+    python examples/quickstart.py [program] [--obs [DIR]]
+
+With ``--obs``, the AID-hybrid run on Platform A additionally writes the
+observability artifacts into DIR (default ``obs_out/``): a metrics
+snapshot (``metrics.json``), the scheduler decision log
+(``decisions.jsonl``) and a Chrome trace (``trace.json`` — open it at
+chrome://tracing or https://ui.perfetto.dev). Summarize the snapshot
+with ``python -m repro.obs.report DIR/metrics.json``.
 """
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 from repro import OmpEnv, ProgramRunner, get_program, odroid_xu4, xeon_emulated
+from repro.obs import Observability
+from repro.obs.chrome_trace import export_chrome_trace
+from repro.obs.snapshot import completion_payload, write_snapshot
 
 #: Schedule/affinity combinations of the paper's Figs. 6 and 7.
 CONFIGS = [
@@ -27,9 +38,36 @@ CONFIGS = [
     ("aid_dynamic,1,5", "BS"),
 ]
 
+#: The configuration whose run emits the --obs artifacts.
+OBS_CONFIG = ("aid_hybrid,80", "BS")
+
+
+def write_obs_artifacts(
+    out_dir: Path, obs: Observability, runner: ProgramRunner, meta: dict
+) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    write_snapshot(out_dir / "metrics.json", obs, meta=meta)
+    obs.decisions.write_jsonl(out_dir / "decisions.jsonl")
+    if runner.recorder is not None:
+        trace_json = export_chrome_trace(
+            runner.recorder, decisions=obs.decisions.records
+        )
+        (out_dir / "trace.json").write_text(trace_json, encoding="utf-8")
+    print(f"  [obs] artifacts written to {out_dir}/ "
+          "(metrics.json, decisions.jsonl, trace.json)")
+
 
 def main() -> None:
-    program_name = sys.argv[1] if len(sys.argv) > 1 else "streamcluster"
+    argv = [a for a in sys.argv[1:]]
+    obs_dir: Path | None = None
+    if "--obs" in argv:
+        i = argv.index("--obs")
+        argv.pop(i)
+        if i < len(argv) and not argv[i].startswith("-"):
+            obs_dir = Path(argv.pop(i))
+        else:
+            obs_dir = Path("obs_out")
+    program_name = argv[0] if argv else "streamcluster"
     program = get_program(program_name)
     print(f"program: {program.name} ({program.suite}), "
           f"{len(program.loops())} loops x {program.timesteps} timesteps\n")
@@ -37,20 +75,39 @@ def main() -> None:
     for platform in (odroid_xu4(), xeon_emulated()):
         print(platform.describe())
         baseline = None
+        first_platform = platform.name.startswith("Platform A")
         for schedule, affinity in CONFIGS:
+            emit_obs = (
+                obs_dir is not None
+                and first_platform
+                and (schedule, affinity) == OBS_CONFIG
+            )
+            obs = Observability() if emit_obs else None
             runner = ProgramRunner(
-                platform, OmpEnv(schedule=schedule, affinity=affinity)
+                platform,
+                OmpEnv(schedule=schedule, affinity=affinity),
+                trace=emit_obs,
+                obs=obs,
             )
             result = runner.run(program)
             if baseline is None:
                 baseline = result.completion_time
-            norm = baseline / result.completion_time
+            row = completion_payload(
+                f"{schedule}({affinity})",
+                platform.name,
+                result.completion_time,
+                baseline,
+            )
+            norm = row["normalized_performance"]
             bar = "#" * round(norm * 25)
             print(
-                f"  {schedule + '(' + affinity + ')':22s}"
+                f"  {row['scheme']:22s}"
                 f" {result.completion_time * 1e3:9.2f} ms"
                 f"   x{norm:5.2f}  {bar}"
             )
+            if emit_obs:
+                assert obs is not None
+                write_obs_artifacts(obs_dir, obs, runner, meta=row)
         print()
 
 

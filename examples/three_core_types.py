@@ -15,6 +15,7 @@ Run::
 from __future__ import annotations
 
 from repro import OmpEnv, ProgramRunner, get_program, tri_type_platform
+from repro.obs.snapshot import completion_payload
 
 
 def main() -> None:
@@ -31,9 +32,12 @@ def main() -> None:
     base = results["static"].completion_time
     print(f"{'schedule':<18s} {'time':>10s} {'norm. perf':>11s}")
     for schedule, result in results.items():
+        row = completion_payload(
+            schedule, platform.name, result.completion_time, base
+        )
         print(
             f"{schedule:<18s} {result.completion_time * 1e3:9.2f}ms"
-            f" {base / result.completion_time:>11.3f}"
+            f" {row['normalized_performance']:>11.3f}"
         )
 
     aid = results["aid_static"]

@@ -42,3 +42,8 @@ class CompilerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was given inconsistent parameters."""
+
+
+class ObsError(ReproError):
+    """Invalid use of the observability layer (bad metric kind, malformed
+    decision record, unreadable snapshot)."""

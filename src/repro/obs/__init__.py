@@ -1,0 +1,101 @@
+"""Unified observability layer: metrics, decision log, exporters.
+
+The paper's evidence is observational — Paraver traces (Figs. 1/4),
+per-loop SF profiles (Fig. 2), runtime-overhead breakdowns — and this
+package makes the reproduction observable the same way, as a first-class
+layer over ``sim``/``runtime``/``sched``:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms fed by instrumentation hooks in the runtime
+  (dispatches, fetch-and-add pool removals, barrier waits, runtime-call
+  overhead seconds, keyed by loop and thread);
+* :class:`~repro.obs.decisions.DecisionLog` — one structured record per
+  scheduler decision (sampled mean times, SF estimates, chunk targets);
+* :mod:`~repro.obs.chrome_trace` — ``chrome://tracing`` / Perfetto
+  export of the execution timeline with decision annotations;
+* :mod:`~repro.obs.snapshot` — deterministic JSON snapshot of all of the
+  above, read by ``python -m repro.obs.report``.
+
+Everything hangs off one :class:`Observability` bundle. The default
+everywhere is :data:`NULL_OBS` (the null sink): hooks collapse to a
+single ``enabled`` check and simulated results are bit-identical to an
+uninstrumented build. Enable by passing a fresh ``Observability()`` to
+:class:`~repro.runtime.program_runner.ProgramRunner` or
+:class:`~repro.runtime.executor.LoopExecutor`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.decisions import (
+    DecisionEmitter,
+    DecisionLog,
+    NullDecisionLog,
+    sf_as_json,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    POW2_BUCKETS,
+)
+from repro.obs.snapshot import (
+    build_snapshot,
+    grid_payload,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.obs.chrome_trace import export_chrome_trace, to_trace_events
+
+
+class Observability:
+    """Bundle of one metrics registry + one decision log.
+
+    Attributes:
+        registry: the metrics sink.
+        decisions: the scheduler decision log.
+        enabled: False only for the null bundle; hot paths check this
+            before doing any metric computation.
+    """
+
+    __slots__ = ("registry", "decisions", "enabled")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        decisions: DecisionLog | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.decisions = decisions if decisions is not None else DecisionLog()
+        self.enabled = self.registry.enabled and self.decisions.enabled
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A null bundle: every hook is a no-op."""
+        return cls(NullRegistry(), NullDecisionLog())
+
+
+#: Shared null bundle — the default sink throughout the runtime.
+NULL_OBS = Observability.disabled()
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "POW2_BUCKETS",
+    "DecisionLog",
+    "NullDecisionLog",
+    "DecisionEmitter",
+    "sf_as_json",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "grid_payload",
+    "export_chrome_trace",
+    "to_trace_events",
+]

@@ -1,0 +1,143 @@
+"""Structured scheduler decision log.
+
+The paper validates the AID schedulers *observationally*: Fig. 2 plots
+per-loop SF profiles, Fig. 4 shows how each dispatch decision plays out
+in a trace. The decision log makes those figures reproducible from a
+single run artifact: every AID scheduler appends one record per decision
+point — sampling-chunk grants, SF publication, AID allotments, phase
+joins/resmoothing, endgame switches — carrying the sampled per-type mean
+times, the SF estimate in force, and the chunk target chosen.
+
+Records are plain dicts with a small required core::
+
+    {"seq": 0, "t": 1.5e-4, "loop": "ep.main", "scheduler": "aid_static",
+     "tid": 3, "event": "aid_allotment", ...}
+
+plus event-specific fields (``sf``, ``mean_times``, ``targets``,
+``chunk_target``, ``range``, ...). Everything is JSON-serializable; SF
+dicts use stringified core-type indices as keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ObsError
+
+#: Fields present on every record, in schema order.
+REQUIRED_FIELDS = ("seq", "t", "loop", "scheduler", "tid", "event")
+
+#: Log format identifier written by :meth:`DecisionLog.to_jsonl` consumers.
+SCHEMA = "repro.obs.decisions/v1"
+
+
+class DecisionLog:
+    """Append-only list of scheduler decision records."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def record(self, *, loop: str, scheduler: str, tid: int, t: float,
+               event: str, **fields: object) -> None:
+        """Append one decision record (``seq`` is assigned here)."""
+        rec: dict = {
+            "seq": len(self.records),
+            "t": float(t),
+            "loop": loop,
+            "scheduler": scheduler,
+            "tid": int(tid),
+            "event": event,
+        }
+        rec.update(fields)
+        self.records.append(rec)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.records)
+
+    def for_loop(self, loop: str) -> list[dict]:
+        return [r for r in self.records if r["loop"] == loop]
+
+    def events(self, event: str) -> list[dict]:
+        return [r for r in self.records if r["event"] == event]
+
+    def validate(self) -> None:
+        """Check the schema core of every record (tests call this)."""
+        for i, rec in enumerate(self.records):
+            missing = [f for f in REQUIRED_FIELDS if f not in rec]
+            if missing:
+                raise ObsError(f"decision record {i} missing fields {missing}")
+            if rec["seq"] != i:
+                raise ObsError(
+                    f"decision record {i} has out-of-order seq {rec['seq']}"
+                )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, deterministic key order."""
+        return "".join(
+            json.dumps(rec, sort_keys=True) + "\n" for rec in self.records
+        )
+
+    def write_jsonl(self, path: str | Path) -> str:
+        text = self.to_jsonl()
+        Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @staticmethod
+    def load_jsonl(path: str | Path) -> list[dict]:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        return [json.loads(line) for line in lines if line.strip()]
+
+
+class NullDecisionLog(DecisionLog):
+    """Discards everything; the default when observability is off."""
+
+    enabled = False
+
+    def record(self, **fields: object) -> None:  # type: ignore[override]
+        pass
+
+
+class DecisionEmitter:
+    """Per-scheduler-instance handle binding loop and scheduler names.
+
+    Schedulers guard field construction with the ``on`` attribute so the
+    disabled path costs a single attribute check per decision point::
+
+        if self.dec.on:
+            self.dec.emit(tid, now, "publish_targets", sf=sf_as_json(sf))
+    """
+
+    __slots__ = ("on", "_log", "_loop", "_scheduler")
+
+    def __init__(self, obs, loop_name: str, scheduler_name: str) -> None:
+        self.on = bool(obs.enabled)
+        self._log = obs.decisions
+        self._loop = loop_name
+        self._scheduler = scheduler_name
+
+    def emit(self, tid: int, t: float, event: str, **fields: object) -> None:
+        if self.on:
+            self._log.record(
+                loop=self._loop,
+                scheduler=self._scheduler,
+                tid=tid,
+                t=t,
+                event=event,
+                **fields,
+            )
+
+
+def sf_as_json(sf: dict[int, float] | None) -> dict[str, float] | None:
+    """SF tables keyed by int type index -> JSON-friendly string keys."""
+    return None if sf is None else {str(j): float(v) for j, v in sf.items()}

@@ -1,0 +1,253 @@
+"""Runtime metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the quantitative half of the observability layer (the
+qualitative half is :mod:`repro.obs.decisions`). Instruments follow the
+conventions the paper's own measurement methodology implies:
+
+* **counters** only go up (dispatch counts, seconds of runtime overhead);
+* **gauges** hold the latest value of something (team shape, last loop
+  imbalance);
+* **histograms** bucket a distribution against *fixed* upper bounds
+  chosen at creation time (granted chunk sizes), so two runs that observe
+  the same values produce byte-identical snapshots.
+
+Instruments are keyed by ``(name, labels)``; asking for the same key
+twice returns the same instrument, so call sites never need to cache.
+The :class:`NullRegistry` subclass hands out shared no-op instruments —
+the default everywhere in the runtime, so uninstrumented runs pay only
+an attribute check per hook.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Mapping, Sequence
+
+from repro.errors import ObsError
+
+#: Canonical label key: sorted (key, stringified value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets: powers of two covering chunk sizes from a
+#: single iteration up to the largest AID allotments seen in practice.
+POW2_BUCKETS = tuple(float(2**i) for i in range(13))  # 1 .. 4096
+
+
+def label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical, hashable, deterministic form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters never decrease)."""
+        if amount < 0:
+            raise ObsError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style export).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    An observation lands in the first bucket whose bound is >= value.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: LabelKey, buckets: Sequence[float]
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObsError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": [
+                {"le": le, "count": c}
+                for le, c in zip(list(self.bounds) + ["+Inf"], self.counts)
+            ],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments, keyed by (name, labels).
+
+    The same metric name must always be used with the same instrument
+    kind; mixing kinds is a programming error and raises
+    :class:`~repro.errors.ObsError`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], object] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = POW2_BUCKETS, **labels: object
+    ) -> Histogram:
+        key = (name, label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = Histogram(name, key[1], buckets)
+            self._metrics[key] = inst
+        elif not isinstance(inst, Histogram):
+            raise ObsError(
+                f"metric {name!r} already registered as a {inst.kind}"
+            )
+        return inst
+
+    def _get(self, cls, name: str, labels: Mapping[str, object]):
+        key = (name, label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = cls(name, key[1])
+            self._metrics[key] = inst
+        elif not isinstance(inst, cls):
+            raise ObsError(
+                f"metric {name!r} already registered as a {inst.kind}"
+            )
+        return inst
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge (test & report convenience)."""
+        inst = self._metrics.get((name, label_key(labels)))
+        if inst is None:
+            raise ObsError(f"no metric {name!r} with labels {labels!r}")
+        if isinstance(inst, Histogram):
+            raise ObsError(f"{name!r} is a histogram; read its buckets")
+        return inst.value
+
+    def snapshot(self) -> dict:
+        """Deterministic, JSON-ready dump of every instrument.
+
+        Instruments are sorted by (name, labels), so two registries fed
+        the same observations serialize identically regardless of
+        creation order.
+        """
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        for (_, _), inst in sorted(self._metrics.items()):
+            out[inst.kind + "s"].append(inst.as_dict())
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-overhead sink: every accessor returns a shared no-op.
+
+    ``enabled`` is False so hot paths can skip metric *computation*
+    entirely (building label dicts, iterating ranges) with one check.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=POW2_BUCKETS, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}

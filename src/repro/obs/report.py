@@ -1,0 +1,183 @@
+"""Observability report CLI: summarize a metrics snapshot.
+
+Usage::
+
+    python -m repro.obs.report SNAPSHOT.json [--threads] [--loop NAME]
+
+Prints, per loop: dispatch counts, scheduler calls, runtime-overhead
+percentage, compute-time imbalance across threads, and — when the
+snapshot carries a scheduler decision log — the SF-estimate convergence
+(first vs last published estimate per core type). ``--threads`` adds the
+per-thread drill-down behind each loop row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Mapping
+
+from repro.errors import ObsError
+from repro.obs.snapshot import load_snapshot
+
+#: Decision events that publish an SF estimate (one per AID variant).
+_SF_EVENTS = ("publish_targets", "publish_ratio", "decide", "partition")
+
+
+def _index(metrics: Mapping[str, list]) -> dict[tuple, float]:
+    """(name, sorted label items) -> value, for counters and gauges."""
+    out: dict[tuple, float] = {}
+    for kind in ("counters", "gauges"):
+        for m in metrics.get(kind, []):
+            key = (m["name"], tuple(sorted(m["labels"].items())))
+            out[key] = m["value"]
+    return out
+
+
+def _loops(idx: Mapping[tuple, float]) -> list[str]:
+    loops = set()
+    for (name, labels) in idx:
+        if name in ("dispatches_total", "compute_seconds_total"):
+            loops.update(v for k, v in labels if k == "loop")
+    return sorted(loops)
+
+
+def _per_loop(idx: Mapping[tuple, float], loop: str) -> dict:
+    """Aggregate one loop's per-tid counters."""
+    tids: set[str] = set()
+    per_tid: dict[str, dict[str, float]] = {}
+    for (name, labels), value in idx.items():
+        d = dict(labels)
+        if d.get("loop") != loop or "tid" not in d:
+            continue
+        tids.add(d["tid"])
+        per_tid.setdefault(d["tid"], {})[name] = value
+
+    def total(metric: str) -> float:
+        return sum(per_tid[t].get(metric, 0.0) for t in tids)
+
+    overhead = total("runtime_overhead_seconds_total")
+    compute = total("compute_seconds_total")
+    barrier = total("barrier_wait_seconds_total")
+    busy_total = overhead + compute + barrier
+    busy_per_tid = [
+        per_tid[t].get("compute_seconds_total", 0.0)
+        + per_tid[t].get("runtime_overhead_seconds_total", 0.0)
+        for t in sorted(tids, key=lambda s: int(s))
+    ]
+    peak = max(busy_per_tid, default=0.0)
+    return {
+        "loop": loop,
+        "invocations": idx.get(
+            ("loop_invocations_total", (("loop", loop),)), 0.0
+        ),
+        "dispatches": total("dispatches_total"),
+        "sched_calls": total("sched_calls_total"),
+        "iterations": total("iterations_total"),
+        "overhead_s": overhead,
+        "compute_s": compute,
+        "barrier_s": barrier,
+        "overhead_pct": 100.0 * overhead / busy_total if busy_total else 0.0,
+        "imbalance": (peak - min(busy_per_tid)) / peak if peak > 0 else 0.0,
+        "per_tid": {t: per_tid[t] for t in sorted(tids, key=lambda s: int(s))},
+    }
+
+
+def _sf_convergence(decisions: Iterable[Mapping]) -> dict[str, dict]:
+    """Per loop: first/last published SF estimate and publication count."""
+    out: dict[str, dict] = {}
+    for rec in decisions:
+        if rec.get("event") not in _SF_EVENTS or rec.get("sf") is None:
+            continue
+        entry = out.setdefault(
+            rec["loop"], {"count": 0, "first_sf": rec["sf"], "last_sf": rec["sf"]}
+        )
+        entry["count"] += 1
+        entry["last_sf"] = rec["sf"]
+    return out
+
+
+def _fmt_sf(sf: Mapping[str, float]) -> str:
+    return " ".join(f"{j}:{v:.2f}" for j, v in sorted(sf.items()))
+
+
+def summarize(snapshot: Mapping, threads: bool = False, loop: str | None = None) -> str:
+    """Render the report text for a loaded snapshot."""
+    idx = _index(snapshot.get("metrics", {}))
+    lines: list[str] = []
+    meta = snapshot.get("meta", {})
+    if meta:
+        lines.append(
+            "run: " + "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        )
+        lines.append("")
+
+    loops = [loop] if loop is not None else _loops(idx)
+    header = (
+        f"{'loop':<24s}{'invoc':>7s}{'disp':>9s}{'calls':>9s}{'iters':>10s}"
+        f"{'ovh%':>7s}{'imbal':>8s}{'compute_s':>12s}{'barrier_s':>11s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in loops:
+        row = _per_loop(idx, name)
+        lines.append(
+            f"{row['loop']:<24s}{row['invocations']:>7.0f}{row['dispatches']:>9.0f}"
+            f"{row['sched_calls']:>9.0f}{row['iterations']:>10.0f}"
+            f"{row['overhead_pct']:>6.1f}%{row['imbalance']:>8.3f}"
+            f"{row['compute_s']:>12.6f}{row['barrier_s']:>11.6f}"
+        )
+        if threads:
+            for tid, vals in row["per_tid"].items():
+                lines.append(
+                    f"    tid {tid:>3s}  disp={vals.get('dispatches_total', 0):>6.0f}"
+                    f"  calls={vals.get('sched_calls_total', 0):>6.0f}"
+                    f"  iters={vals.get('iterations_total', 0):>8.0f}"
+                    f"  ovh={vals.get('runtime_overhead_seconds_total', 0):.6f}s"
+                    f"  compute={vals.get('compute_seconds_total', 0):.6f}s"
+                    f"  barrier={vals.get('barrier_wait_seconds_total', 0):.6f}s"
+                )
+
+    conv = _sf_convergence(snapshot.get("decisions", []))
+    if conv:
+        lines.append("")
+        lines.append("SF convergence (per-type estimate, first -> last publication)")
+        for name in sorted(conv):
+            if loop is not None and name != loop:
+                continue
+            c = conv[name]
+            lines.append(
+                f"  {name:<22s} n={c['count']:<4d}"
+                f" {_fmt_sf(c['first_sf'])}  ->  {_fmt_sf(c['last_sf'])}"
+            )
+    n_dec = len(snapshot.get("decisions", []))
+    lines.append("")
+    lines.append(f"decision records: {n_dec}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro.obs metrics snapshot.",
+    )
+    parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    parser.add_argument(
+        "--threads", action="store_true", help="per-thread drill-down"
+    )
+    parser.add_argument("--loop", default=None, help="restrict to one loop")
+    args = parser.parse_args(argv)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(summarize(snapshot, threads=args.threads, loop=args.loop))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

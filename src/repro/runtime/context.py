@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, ContextManager, Mapping
 
 from repro.errors import ConfigError
+from repro.obs import NULL_OBS, Observability
 from repro.runtime.team import Team
 from repro.runtime.workshare import WorkShare
 
@@ -44,6 +45,10 @@ class LoopContext:
             be 1.0). Used by the AID-static(offline-SF) variant of Fig. 9.
         charge_timestamp: callback ``(tid) -> None`` charging one
             clock-read overhead to the thread; wired by the executor.
+        obs: observability bundle; schedulers emit decision records
+            through it. Defaults to the null sink.
+        loop_name: the executed loop's name, stamped onto decision
+            records and metric labels.
     """
 
     def __init__(
@@ -54,6 +59,8 @@ class LoopContext:
         lock: threading.Lock | None = None,
         offline_sf: Mapping[int, float] | None = None,
         charge_timestamp: Callable[[int], None] | None = None,
+        obs: Observability | None = None,
+        loop_name: str = "",
     ) -> None:
         if n_iterations < 0:
             raise ConfigError(f"negative trip count {n_iterations}")
@@ -65,6 +72,8 @@ class LoopContext:
         self._lock = lock
         self.offline_sf = dict(offline_sf) if offline_sf is not None else None
         self._charge_timestamp = charge_timestamp
+        self.obs = obs if obs is not None else NULL_OBS
+        self.loop_name = loop_name
         self.workshare = WorkShare(0, n_iterations, lock)
         self.threads = tuple(
             ThreadView(

@@ -26,6 +26,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import NULL_OBS, Observability
 from repro.perfmodel.locality import LocalityModel, LoopOwnership
 from repro.perfmodel.overhead import OverheadModel
 from repro.perfmodel.speed import PerfModel
@@ -97,6 +98,9 @@ class LoopExecutor:
         perf: performance model for the platform.
         overhead: runtime-call cost model.
         recorder: optional trace recorder.
+        obs: observability bundle receiving per-loop counters and the
+            scheduler decision log; defaults to the null sink (hooks are
+            a single flag check, simulated results are unchanged).
     """
 
     def __init__(
@@ -107,11 +111,13 @@ class LoopExecutor:
         recorder: TraceRecorder | None = None,
         locality: LocalityModel | None = None,
         background_cpus: tuple[int, ...] = (),
+        obs: Observability | None = None,
     ) -> None:
         self.team = team
         self.perf = perf
         self.overhead = overhead if overhead is not None else OverheadModel()
         self.recorder = recorder
+        self.obs = obs if obs is not None else NULL_OBS
         self.locality = locality if locality is not None else LocalityModel()
         #: CPUs occupied by *other* applications co-located on the
         #: platform (Sec. 4.3 scenarios); they count as LLC co-runners.
@@ -158,7 +164,7 @@ class LoopExecutor:
                 self.recorder.record(
                     tid, ThreadState.COMPUTE, start_time, finish[tid], loop.name
                 )
-        return LoopResult(
+        result = LoopResult(
             loop_name=loop.name,
             start_time=start_time,
             end_time=max(finish),
@@ -168,6 +174,21 @@ class LoopExecutor:
             scheduler_calls=0,
             ranges=ranges,
         )
+        if self.obs.enabled:
+            reg = self.obs.registry
+            reg.counter("loop_invocations_total", loop=loop.name).inc()
+            for tid in range(nt):
+                reg.counter("iterations_total", loop=loop.name, tid=tid).inc(
+                    iters[tid]
+                )
+                reg.counter("compute_seconds_total", loop=loop.name, tid=tid).inc(
+                    finish[tid] - start_time
+                )
+            reg.gauge("loop_last_duration_seconds", loop=loop.name).set(
+                result.duration
+            )
+            reg.gauge("loop_last_imbalance", loop=loop.name).set(result.imbalance)
+        return result
 
     # -- runtime-scheduled path ------------------------------------------------------
 
@@ -229,6 +250,8 @@ class LoopExecutor:
             lock=None,
             offline_sf=offline_sf,
             charge_timestamp=charge_timestamp,
+            obs=self.obs,
+            loop_name=loop.name,
         )
         scheduler: LoopScheduler = spec.create(ctx)
 
@@ -242,6 +265,12 @@ class LoopExecutor:
         pool_free_at = [start_time]
         svc = self.overhead.atomic_service
         assigned: list[tuple[int, int, int]] = []
+        # Per-tid time accounting for the metrics registry; two float
+        # adds per dispatch, published once at loop end — skipped
+        # entirely when obs is off so the hot path stays unchanged.
+        track_obs = self.obs.enabled
+        overhead_acc = [0.0] * nt
+        compute_acc = [0.0] * nt
 
         def thread_step(tid: int) -> None:
             now = sim.now
@@ -264,6 +293,8 @@ class LoopExecutor:
                     begin = max(now, pool_free_at[0])
                     pool_free_at[0] = begin + takes * svc
                     overhead_dt += (begin - now) + takes * svc
+            if track_obs:
+                overhead_acc[tid] += overhead_dt
             if got is None:
                 end = now + overhead_dt
                 finish[tid] = end
@@ -278,6 +309,8 @@ class LoopExecutor:
             work = float(prefix[hi] - prefix[lo])
             slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
             compute_dt = slowdown * work / rates[tid]
+            if track_obs:
+                compute_acc[tid] += compute_dt
             iters[tid] += hi - lo
             t_overhead_end = now + overhead_dt
             t_done = t_overhead_end + compute_dt
@@ -303,6 +336,8 @@ class LoopExecutor:
         for tid in range(nt):
             wake = self.overhead.wake_stagger * self.team.cpu_of(tid) + jitter[tid]
             t_begin = entry[tid] + wake + self.overhead.loop_start(core_types[tid])
+            if track_obs:
+                overhead_acc[tid] += t_begin - entry[tid]
             if self.recorder is not None:
                 self.recorder.record(
                     tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name
@@ -319,7 +354,7 @@ class LoopExecutor:
                 f"{loop.n_iterations} iterations in loop {loop.name!r}"
             )
 
-        return LoopResult(
+        result = LoopResult(
             loop_name=loop.name,
             start_time=start_time,
             end_time=max(finish),
@@ -331,3 +366,54 @@ class LoopExecutor:
             ranges=assigned,
             extra={"scheduler": scheduler},
         )
+        if self.obs.enabled:
+            self._publish_loop_metrics(
+                loop, ctx, result, calls, overhead_acc, compute_acc
+            )
+        return result
+
+    def _publish_loop_metrics(
+        self,
+        loop: LoopSpec,
+        ctx: LoopContext,
+        result: LoopResult,
+        calls: Sequence[int],
+        overhead_acc: Sequence[float],
+        compute_acc: Sequence[float],
+    ) -> None:
+        """Fold one runtime-scheduled loop execution into the registry.
+
+        Counter semantics across repeated invocations of the same loop
+        are additive; the two gauges keep the *last* invocation's shape.
+        """
+        reg = self.obs.registry
+        name = loop.name
+        nt = self.team.n_threads
+        reg.counter("loop_invocations_total", loop=name).inc()
+        reg.counter("workshare_take_attempts_total", loop=name).inc(
+            ctx.workshare.attempt_count
+        )
+        reg.counter("workshare_take_empty_total", loop=name).inc(
+            ctx.workshare.empty_take_count
+        )
+        dispatches_by_tid = [0] * nt
+        chunks = reg.histogram("chunk_size_iterations", loop=name)
+        for tid, lo, hi in result.ranges:
+            dispatches_by_tid[tid] += 1
+            chunks.observe(hi - lo)
+        for tid in range(nt):
+            reg.counter("dispatches_total", loop=name, tid=tid).inc(
+                dispatches_by_tid[tid]
+            )
+            reg.counter("sched_calls_total", loop=name, tid=tid).inc(calls[tid])
+            reg.counter("iterations_total", loop=name, tid=tid).inc(
+                result.iterations[tid]
+            )
+            reg.counter(
+                "runtime_overhead_seconds_total", loop=name, tid=tid
+            ).inc(overhead_acc[tid])
+            reg.counter("compute_seconds_total", loop=name, tid=tid).inc(
+                compute_acc[tid]
+            )
+        reg.gauge("loop_last_duration_seconds", loop=name).set(result.duration)
+        reg.gauge("loop_last_imbalance", loop=name).set(result.imbalance)

@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.compiler.lowering import CompiledProgram, LoweringKind, compile_program
 from repro.errors import ConfigError
+from repro.obs import NULL_OBS, Observability
 from repro.perfmodel.contention import ContentionModel
 from repro.perfmodel.locality import LocalityModel
 from repro.perfmodel.overhead import OverheadModel
@@ -89,6 +90,10 @@ class ProgramRunner:
             pinning env.num_threads cores itself), builds the team over
             those CPUs in the BS convention, and treats the co-located
             applications' CPUs as LLC contention background.
+        obs: observability bundle; when given, every loop execution feeds
+            the metrics registry and the AID schedulers append to the
+            decision log. Defaults to the null sink (no overhead, results
+            bit-identical to an uninstrumented run).
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class ProgramRunner:
         schedule_override=None,
         locality: LocalityModel | None = None,
         info_page=None,
+        obs: Observability | None = None,
     ) -> None:
         self.platform = platform
         self.env = env if env is not None else OmpEnv()
@@ -112,6 +118,7 @@ class ProgramRunner:
         )
         self.streams = RngStreams(root_seed)
         self.recorder = TraceRecorder() if trace else None
+        self.obs = obs if obs is not None else NULL_OBS
         self.offline_sf_tables = (
             {k: dict(v) for k, v in offline_sf_tables.items()}
             if offline_sf_tables
@@ -127,12 +134,14 @@ class ProgramRunner:
             self.team = Team(platform, self.env.mapping(platform))
             self.executor = LoopExecutor(
                 self.team, self.perf, self.overhead, self.recorder,
-                locality=self.locality,
+                locality=self.locality, obs=self.obs,
             )
         else:
             # Multi-application mode: the OS page decides the CPUs; build
             # the initial team from its t=0 allocation.
             self.team, self.executor = self._team_for(0.0)
+        if self.obs.enabled:
+            self.team.publish_metrics(self.obs.registry)
         spec = self._runtime_spec()
         if spec.requires_bs_mapping and self.env.affinity != "BS":
             raise ConfigError(
@@ -162,6 +171,7 @@ class ProgramRunner:
                 self.recorder,
                 locality=self.locality,
                 background_cpus=background,
+                obs=self.obs,
             )
             self._executor_cache[key] = cached
         return cached.team, cached
@@ -181,6 +191,10 @@ class ProgramRunner:
         master_cpu = self.team.cpu_of(0)
         rate = self.perf.solo_rate(master_cpu, phase.kernel)
         end = now + phase.work / rate
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "serial_seconds_total", phase=phase.name
+            ).inc(end - now)
         if self.recorder is not None:
             self.recorder.record(0, ThreadState.SERIAL, now, end, phase.name)
             for tid in range(1, self.team.n_threads):
@@ -270,6 +284,14 @@ class ProgramRunner:
             self.team.core_type_of(0), self.team.n_threads
         )
         after = result.end_time + barrier_dt
+        if self.obs.enabled:
+            reg = self.obs.registry
+            reg.counter("barriers_total", loop=loop.name).inc()
+            for tid in range(self.team.n_threads):
+                # Wait = idle until the last thread arrives + release cost.
+                reg.counter(
+                    "barrier_wait_seconds_total", loop=loop.name, tid=tid
+                ).inc(after - result.finish_times[tid])
         if self.recorder is not None:
             for tid in range(self.team.n_threads):
                 self.recorder.record(
@@ -310,6 +332,12 @@ class ProgramRunner:
                 loop_results.append(result)
         if ready is not None:
             now = max(now, max(ready))
+        if self.obs.enabled:
+            self.obs.registry.gauge(
+                "program_last_completion_seconds",
+                program=compiled.program.name,
+                schedule=self._runtime_spec().name,
+            ).set(now)
         return ProgramResult(
             program_name=compiled.program.name,
             schedule_name=f"{self.env.schedule}({self.env.affinity})",

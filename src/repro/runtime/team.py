@@ -82,6 +82,25 @@ class Team:
         """Threads on the slowest core type (paper's N_S on 2-type AMPs)."""
         return self.type_counts()[0]
 
+    def publish_metrics(self, registry) -> None:
+        """Record this team's shape as gauges in a metrics registry.
+
+        Emits ``team_size`` plus one ``team_threads{type=...}`` gauge per
+        core type, labelled with the type's name — the context every
+        per-loop metric is read against (e.g. imbalance on a 4+4
+        big.LITTLE means something different than on 6+2).
+        """
+        registry.gauge("team_size", mapping=self.mapping.name).set(
+            self.n_threads
+        )
+        counts = self.type_counts()
+        for j, n in enumerate(counts):
+            registry.gauge(
+                "team_threads",
+                type=self.platform.core_types[j].name,
+                type_index=j,
+            ).set(n)
+
     def assert_bs_convention(self) -> None:
         """Verify the AID mapping convention: TIDs sorted by descending
         core-type index (fast types first).

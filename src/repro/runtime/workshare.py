@@ -37,6 +37,10 @@ class WorkShare:
         self.end = int(end)
         self._next = AtomicCounter(start, lock)
         self._dispatches = AtomicCounter(0, lock)
+        # Empty-handed takes are counted separately (cold branch: once
+        # per thread per loop) so the successful-take hot path pays no
+        # extra atomic; attempt_count derives from the two.
+        self._empty_takes = AtomicCounter(0, lock)
 
     # -- pool state --------------------------------------------------------
 
@@ -65,6 +69,19 @@ class WorkShare:
         """Number of successful pool removals so far."""
         return self._dispatches.value
 
+    @property
+    def attempt_count(self) -> int:
+        """Fetch-and-add executions on ``next``, including the final
+        empty-handed ones (the quantity the overhead model serializes on
+        the work-share cache line; exported as
+        ``workshare_take_attempts_total``)."""
+        return self._dispatches.value + self._empty_takes.value
+
+    @property
+    def empty_take_count(self) -> int:
+        """Fetch-and-adds that found the pool already drained."""
+        return self._empty_takes.value
+
     # -- removal -----------------------------------------------------------
 
     def take(self, n: int) -> tuple[int, int] | None:
@@ -82,6 +99,7 @@ class WorkShare:
             raise WorkShareError(f"chunk size must be positive, got {n}")
         lo = self._next.fetch_add(n)
         if lo >= self.end:
+            self._empty_takes.add_fetch(1)
             return None
         hi = min(lo + n, self.end)
         self._dispatches.add_fetch(1)

@@ -58,6 +58,9 @@ class AidAutoScheduler(LoopScheduler):
             regular path (the AID-hybrid percentage).
     """
 
+    #: Name stamped on decision-log records.
+    scheduler_label = "aid_auto"
+
     def __init__(
         self,
         ctx: LoopContext,
@@ -93,6 +96,7 @@ class AidAutoScheduler(LoopScheduler):
         self.mode: str | None = None
         self.targets: list[int] | None = None
         self._inner: AidDynamicScheduler | None = None
+        self.dec = ac.decision_emitter(ctx, self.scheduler_label)
 
     # -- introspection -------------------------------------------------------
 
@@ -130,27 +134,39 @@ class AidAutoScheduler(LoopScheduler):
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
             self.delta[tid] += got[1] - got[0]
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_start",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
 
         if state == ac.SAMPLING:
             self.ctx.charge_timestamp(tid)
-            self.samples[self.ctx.type_of(tid)].append(
-                now - self.assign_time[tid]
-            )
+            duration = now - self.assign_time[tid]
+            self.samples[self.ctx.type_of(tid)].append(duration)
             self.completed += 1
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_complete",
+                    duration=duration, completed=self.completed,
+                    mean_times=[
+                        sum(s) / len(s) if s else 0.0 for s in self.samples
+                    ],
+                )
             if self.completed == self.ctx.n_threads and self.mode is None:
                 self._decide(tid, now)
                 if self.mode == "dynamic":
                     assert self._inner is not None
                     return self._inner._next_locked(tid, now)
             if self.mode == "static":
-                return self._enter_one_shot(tid)
-            return self._wait_steal(tid)
+                return self._enter_one_shot(tid, now)
+            return self._wait_steal(tid, now)
 
         if state == ac.SAMPLING_WAIT:
             if self.mode == "static":
-                return self._enter_one_shot(tid)
-            return self._wait_steal(tid)
+                return self._enter_one_shot(tid, now)
+            return self._wait_steal(tid, now)
 
         if state in (ac.AID, ac.DRAIN):
             self.state[tid] = ac.DRAIN
@@ -158,6 +174,11 @@ class AidAutoScheduler(LoopScheduler):
             if got is None:
                 self.state[tid] = ac.DONE
                 return None
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "drain_steal",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
 
         return None  # DONE
@@ -185,6 +206,14 @@ class AidAutoScheduler(LoopScheduler):
             self.targets = ac.aid_targets(
                 ni_aid, self.sf, self.ctx.type_counts()
             )
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "decide",
+                    mode=self.mode, cv=self.measured_cv,
+                    cv_threshold=self.cv_threshold,
+                    sf=ac.sf_as_json(self.sf),
+                    mean_times=means, targets=list(self.targets),
+                )
         else:
             self.mode = "dynamic"
             inner = AidDynamicScheduler(
@@ -205,6 +234,14 @@ class AidAutoScheduler(LoopScheduler):
                 1 for t in range(self.ctx.n_threads) if inner.state[t] != ac.DONE
             )
             self._inner = inner
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "decide",
+                    mode=self.mode, cv=self.measured_cv,
+                    cv_threshold=self.cv_threshold,
+                    sf=ac.sf_as_json(self.sf),
+                    mean_times=means, ratio=list(inner.R),
+                )
 
     @staticmethod
     def _cv(samples: list[float]) -> float:
@@ -216,26 +253,38 @@ class AidAutoScheduler(LoopScheduler):
 
     # -- one-shot path -------------------------------------------------------------
 
-    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+    def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.m)
         if got is None:
             self.state[tid] = ac.DONE
             return None
         self.state[tid] = ac.SAMPLING_WAIT
         self.delta[tid] += got[1] - got[0]
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "wait_steal",
+                chunk_target=self.m, range=list(got),
+            )
         return got
 
-    def _enter_one_shot(self, tid: int) -> tuple[int, int] | None:
+    def _enter_one_shot(self, tid: int, now: float) -> tuple[int, int] | None:
         assert self.targets is not None
-        need = self.targets[self.ctx.type_of(tid)] - self.delta[tid]
+        target = self.targets[self.ctx.type_of(tid)]
+        need = target - self.delta[tid]
         self.state[tid] = ac.AID
         if need <= 0:
-            return self._next_locked(tid, 0.0)
+            return self._next_locked(tid, now)
         got = self.ctx.workshare.take(need)
         if got is None:
             self.state[tid] = ac.DONE
             return None
         self.delta[tid] += got[1] - got[0]
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "aid_allotment",
+                target=target, chunk_target=need, range=list(got),
+                sf=ac.sf_as_json(self.sf),
+            )
         return got
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 
 from repro.errors import SchedulerError
+from repro.obs.decisions import DecisionEmitter, sf_as_json
 from repro.runtime.atomics import AtomicCounter, AtomicFloat
 from repro.runtime.context import LoopContext
 
@@ -88,6 +89,43 @@ class SamplingState:
                 sf[j] = 1.0
         sf[0] = 1.0
         return sf
+
+
+def decision_emitter(ctx: LoopContext, scheduler_name: str) -> DecisionEmitter:
+    """Build the decision-log emitter every AID variant installs.
+
+    The emitter binds the loop and scheduler names once; the per-decision
+    hot path is a single ``emitter.on`` check when observability is off.
+    """
+    return DecisionEmitter(ctx.obs, ctx.loop_name, scheduler_name)
+
+
+def emit_sf_publication(
+    dec: DecisionEmitter,
+    tid: int,
+    now: float,
+    event: str,
+    sf: dict[int, float],
+    sampling: SamplingState | None = None,
+    **fields: object,
+) -> None:
+    """Log the moment a scheduler publishes an SF-derived distribution.
+
+    This is the record that makes Fig. 2 (per-loop SF profiles) and the
+    Fig. 9c convergence series reproducible from one run artifact: the
+    sampled per-type mean times, the SF estimate derived from them, and
+    whatever distribution parameters the variant attaches (``targets``,
+    ``ratio``, ``mode``...).
+    """
+    if dec.on:
+        dec.emit(
+            tid,
+            now,
+            event,
+            sf=sf_as_json(sf),
+            mean_times=None if sampling is None else sampling.mean_times(),
+            **fields,
+        )
 
 
 def offline_sf_table(ctx: LoopContext) -> dict[int, float]:

@@ -50,6 +50,9 @@ class AidDynamicScheduler(LoopScheduler):
             keeps R fixed at the sampled SF, for the ablation bench).
     """
 
+    #: Name stamped on decision-log records.
+    scheduler_label = "aid_dynamic"
+
     def __init__(
         self,
         ctx: LoopContext,
@@ -85,6 +88,7 @@ class AidDynamicScheduler(LoopScheduler):
         self.active = nt
         self.in_endgame = False
         self.phases_run = 0
+        self.dec = ac.decision_emitter(ctx, self.scheduler_label)
 
     # -- introspection ---------------------------------------------------------
 
@@ -117,18 +121,33 @@ class AidDynamicScheduler(LoopScheduler):
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_start",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
 
         if state == ac.SAMPLING:
             self.ctx.charge_timestamp(tid)
             duration = now - self.assign_time[tid]
             done = self.sampling.record(self.ctx.type_of(tid), duration)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_complete",
+                    duration=duration, completed=done,
+                    mean_times=self.sampling.mean_times(),
+                )
             if done == self.ctx.n_threads and self.R is None:
                 self.sf = self.sampling.sf_per_type()
                 self.R = [
                     self._clamp(self.sf[j]) for j in range(self.ctx.n_types)
                 ]
                 self.phase = 1
+                ac.emit_sf_publication(
+                    self.dec, tid, now, "publish_ratio", self.sf,
+                    sampling=self.sampling, ratio=list(self.R),
+                )
             return self._dispatch(tid, now)
 
         if state == ac.SAMPLING_WAIT:
@@ -142,7 +161,7 @@ class AidDynamicScheduler(LoopScheduler):
             self.phase_sums[jtype] += duration
             self.phase_counts[jtype] += 1
             self.phase_pending -= 1
-            self._maybe_finalize_phase()
+            self._maybe_finalize_phase(tid, now)
             return self._dispatch(tid, now)
 
         if state == ac.AID_WAIT:
@@ -152,6 +171,11 @@ class AidDynamicScheduler(LoopScheduler):
             got = self.ctx.workshare.take(self.m)
             if got is None:
                 return self._retire(tid)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "endgame_steal",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
 
         return None  # DONE
@@ -160,12 +184,17 @@ class AidDynamicScheduler(LoopScheduler):
 
     def _dispatch(self, tid: int, now: float) -> tuple[int, int] | None:
         """Pick the next assignment for a thread that just became idle."""
-        self._maybe_endgame()
+        self._maybe_endgame(tid, now)
         if self.in_endgame:
             self.state[tid] = ENDGAME
             got = self.ctx.workshare.take(self.m)
             if got is None:
                 return self._retire(tid)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "endgame_steal",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
         if self.R is None:
             # Sampling not finished team-wide: wait-steal minor chunks.
@@ -173,6 +202,11 @@ class AidDynamicScheduler(LoopScheduler):
             if got is None:
                 return self._retire(tid)
             self.state[tid] = ac.SAMPLING_WAIT
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "wait_steal",
+                    chunk_target=self.m, range=list(got),
+                )
             return got
         if self.thread_phase[tid] < self.phase:
             return self._join_phase(tid, now)
@@ -181,6 +215,11 @@ class AidDynamicScheduler(LoopScheduler):
         if got is None:
             return self._retire(tid)
         self.state[tid] = ac.AID_WAIT
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "wait_steal",
+                chunk_target=self.m, range=list(got),
+            )
         return got
 
     def _join_phase(self, tid: int, now: float) -> tuple[int, int] | None:
@@ -197,11 +236,17 @@ class AidDynamicScheduler(LoopScheduler):
         self.assign_time[tid] = now  # refined by note_execution_start
         self._timing[tid] = True
         self.ctx.charge_timestamp(tid)
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "phase_join",
+                phase=self.phase, chunk_target=allotment, range=list(got),
+                ratio=self.R[jtype], sf=ac.sf_as_json(self.sf),
+            )
         return got
 
     # -- phase lifecycle -----------------------------------------------------------
 
-    def _maybe_finalize_phase(self) -> None:
+    def _maybe_finalize_phase(self, tid: int = -1, now: float = 0.0) -> None:
         """Advance to the next AID phase once every active thread has
         joined and completed the current one."""
         if self.phase_joined < self.active or self.phase_pending > 0:
@@ -215,6 +260,12 @@ class AidDynamicScheduler(LoopScheduler):
                 if base_mean > 0.0 and mean > 0.0:
                     sm = base_mean / mean
                     self.R[j] = self._clamp(self.R[j] * sm)
+        if self.dec.on and self.R is not None:
+            self.dec.emit(
+                tid, now, "phase_complete",
+                phase=self.phase, ratio=list(self.R),
+                smoothing=self.smoothing_enabled,
+            )
         self.phases_run += 1
         self.phase += 1
         self.phase_joined = 0
@@ -222,12 +273,18 @@ class AidDynamicScheduler(LoopScheduler):
         self.phase_sums = [0.0] * self.ctx.n_types
         self.phase_counts = [0] * self.ctx.n_types
 
-    def _maybe_endgame(self) -> None:
+    def _maybe_endgame(self, tid: int = -1, now: float = 0.0) -> None:
         if self.in_endgame or not self.endgame_enabled:
             return
         threshold = self.M * self.ctx.n_threads
         if self.ctx.workshare.remaining <= threshold:
             self.in_endgame = True
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "endgame",
+                    remaining=self.ctx.workshare.remaining,
+                    threshold=threshold,
+                )
 
     def _retire(self, tid: int) -> None:
         """Pool drained for this thread: leave the loop."""

@@ -31,6 +31,8 @@ class AidHybridScheduler(AidStaticScheduler):
     remaining ``(1 - pct) * NI`` iterations.
     """
 
+    scheduler_label = "aid_hybrid"
+
     def __init__(
         self,
         ctx: LoopContext,

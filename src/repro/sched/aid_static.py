@@ -42,6 +42,9 @@ class AidStaticScheduler(LoopScheduler):
             AID-static, the dynamic tail for AID-hybrid).
     """
 
+    #: Name stamped on decision-log records (subclasses override).
+    scheduler_label = "aid_static"
+
     def __init__(
         self,
         ctx: LoopContext,
@@ -67,16 +70,30 @@ class AidStaticScheduler(LoopScheduler):
         self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
         self.sf: dict[int, float] | None = None
         self.targets: list[int] | None = None
+        self.dec = ac.decision_emitter(ctx, self.scheduler_label)
         if use_offline_sf:
-            self._publish_targets(ac.offline_sf_table(ctx))
+            # Published at loop setup, before any thread runs: tid -1, t 0.
+            self._publish_targets(ac.offline_sf_table(ctx), tid=-1, now=0.0)
 
     # -- shared-state helpers ------------------------------------------------
 
-    def _publish_targets(self, sf: dict[int, float]) -> None:
+    def _publish_targets(
+        self, sf: dict[int, float], tid: int, now: float
+    ) -> None:
         """Compute and publish per-type targets (done by one thread)."""
         ni_aid = int(self.aid_fraction * self.ctx.n_iterations)
         self.targets = ac.aid_targets(ni_aid, sf, self.ctx.type_counts())
         self.sf = sf
+        ac.emit_sf_publication(
+            self.dec,
+            tid,
+            now,
+            "publish_targets",
+            sf,
+            sampling=None if self.use_offline_sf else self.sampling,
+            targets=list(self.targets),
+            aid_fraction=self.aid_fraction,
+        )
 
     def estimated_sf(self) -> dict[int, float] | None:
         # Only report SFs actually *estimated* online; the offline-SF
@@ -101,7 +118,7 @@ class AidStaticScheduler(LoopScheduler):
         if state == ac.START:
             if self.targets is not None:
                 # Offline-SF variant: no sampling phase at all.
-                return self._enter_aid(tid)
+                return self._enter_aid(tid, now)
             got = ws.take(self.sampling_chunk)
             if got is None:
                 self.state[tid] = ac.DONE
@@ -111,6 +128,11 @@ class AidStaticScheduler(LoopScheduler):
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
             self.delta[tid] += got[1] - got[0]
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_start",
+                    chunk_target=self.sampling_chunk, range=list(got),
+                )
             return got
 
         if state == ac.SAMPLING:
@@ -118,17 +140,23 @@ class AidStaticScheduler(LoopScheduler):
             self.ctx.charge_timestamp(tid)
             duration = now - self.assign_time[tid]
             done = self.sampling.record(self.ctx.type_of(tid), duration)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_complete",
+                    duration=duration, completed=done,
+                    mean_times=self.sampling.mean_times(),
+                )
             if done == self.ctx.n_threads and self.targets is None:
                 # Last sampler computes SF and k (exactly one thread).
-                self._publish_targets(self.sampling.sf_per_type())
+                self._publish_targets(self.sampling.sf_per_type(), tid, now)
             if self.targets is not None:
-                return self._enter_aid(tid)
-            return self._wait_steal(tid)
+                return self._enter_aid(tid, now)
+            return self._wait_steal(tid, now)
 
         if state == ac.SAMPLING_WAIT:
             if self.targets is not None:
-                return self._enter_aid(tid)
-            return self._wait_steal(tid)
+                return self._enter_aid(tid, now)
+            return self._wait_steal(tid, now)
 
         if state in (ac.AID, ac.DRAIN):
             # AID allotment (or a drain steal) completed; mop up residue.
@@ -137,32 +165,48 @@ class AidStaticScheduler(LoopScheduler):
             if got is None:
                 self.state[tid] = ac.DONE
                 return None
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "drain_steal",
+                    chunk_target=self.tail_chunk, range=list(got),
+                )
             return got
 
         return None  # DONE
 
-    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+    def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.sampling_chunk)
         if got is None:
             self.state[tid] = ac.DONE
             return None
         self.state[tid] = ac.SAMPLING_WAIT
         self.delta[tid] += got[1] - got[0]
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "wait_steal",
+                chunk_target=self.sampling_chunk, range=list(got),
+            )
         return got
 
-    def _enter_aid(self, tid: int) -> tuple[int, int] | None:
+    def _enter_aid(self, tid: int, now: float) -> tuple[int, int] | None:
         assert self.targets is not None
         target = self.targets[self.ctx.type_of(tid)]
         need = target - self.delta[tid]
         self.state[tid] = ac.AID
         if need <= 0:
             # Already over target (e.g. many wait steals): go drain.
-            return self._next_locked(tid, 0.0)
+            return self._next_locked(tid, now)
         got = self.ctx.workshare.take(need)
         if got is None:
             self.state[tid] = ac.DONE
             return None
         self.delta[tid] += got[1] - got[0]
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "aid_allotment",
+                target=target, chunk_target=need, range=list(got),
+                sf=ac.sf_as_json(self.sf),
+            )
         return got
 
 

@@ -47,6 +47,9 @@ class AidStealScheduler(LoopScheduler):
         use_offline_sf: skip sampling, split by the offline SF table.
     """
 
+    #: Name stamped on decision-log records.
+    scheduler_label = "aid_steal"
+
     def __init__(
         self,
         ctx: LoopContext,
@@ -76,8 +79,10 @@ class AidStealScheduler(LoopScheduler):
         #: Per-thread local range [lo, hi); (0, 0) when empty.
         self.local: list[tuple[int, int]] | None = None
         self.steals = 0
+        self.dec = ac.decision_emitter(ctx, self.scheduler_label)
         if use_offline_sf:
-            self._partition(ac.offline_sf_table(ctx))
+            # Partitioned at loop setup, before any thread runs.
+            self._partition(ac.offline_sf_table(ctx), tid=-1, now=0.0)
 
     # -- introspection -------------------------------------------------------
 
@@ -91,7 +96,9 @@ class AidStealScheduler(LoopScheduler):
 
     # -- setup -----------------------------------------------------------------
 
-    def _partition(self, sf: dict[int, float]) -> None:
+    def _partition(
+        self, sf: dict[int, float], tid: int, now: float
+    ) -> None:
         """Split everything left in the pool into per-thread ranges,
         proportional to the per-type SF (one pool access total)."""
         self.sf = sf
@@ -112,6 +119,15 @@ class AidStealScheduler(LoopScheduler):
                 share = min(share, hi - cursor)
             self.local.append((cursor, cursor + share))
             cursor += share
+        ac.emit_sf_publication(
+            self.dec,
+            tid,
+            now,
+            "partition",
+            sf,
+            sampling=None if self.use_offline_sf else self.sampling,
+            ranges=[list(r) for r in self.local],
+        )
 
     # -- the GOMP_loop_next analogue ------------------------------------------
 
@@ -127,7 +143,7 @@ class AidStealScheduler(LoopScheduler):
             SERVING,
             ac.SAMPLING_WAIT,
         ):
-            return self._serve(tid)
+            return self._serve(tid, now)
 
         if state == ac.START:
             got = self.ctx.workshare.take(self.sampling_chunk)
@@ -138,39 +154,54 @@ class AidStealScheduler(LoopScheduler):
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_start",
+                    chunk_target=self.sampling_chunk, range=list(got),
+                )
             return got
 
         if state == ac.SAMPLING:
             self.ctx.charge_timestamp(tid)
-            done = self.sampling.record(
-                self.ctx.type_of(tid), now - self.assign_time[tid]
-            )
+            duration = now - self.assign_time[tid]
+            done = self.sampling.record(self.ctx.type_of(tid), duration)
+            if self.dec.on:
+                self.dec.emit(
+                    tid, now, "sample_complete",
+                    duration=duration, completed=done,
+                    mean_times=self.sampling.mean_times(),
+                )
             if done == self.ctx.n_threads and self.local is None:
-                self._partition(self.sampling.sf_per_type())
+                self._partition(self.sampling.sf_per_type(), tid, now)
             if self.local is not None:
-                return self._serve(tid)
-            return self._wait_steal(tid)
+                return self._serve(tid, now)
+            return self._wait_steal(tid, now)
 
         if state == ac.SAMPLING_WAIT:
-            return self._wait_steal(tid)
+            return self._wait_steal(tid, now)
 
         return None  # DONE
 
-    def _wait_steal(self, tid: int) -> tuple[int, int] | None:
+    def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.sampling_chunk)
         if got is None:
             self.state[tid] = ac.DONE
             return None
         self.state[tid] = ac.SAMPLING_WAIT
+        if self.dec.on:
+            self.dec.emit(
+                tid, now, "wait_steal",
+                chunk_target=self.sampling_chunk, range=list(got),
+            )
         return got
 
     # -- serving and stealing -----------------------------------------------------
 
-    def _serve(self, tid: int) -> tuple[int, int] | None:
+    def _serve(self, tid: int, now: float) -> tuple[int, int] | None:
         assert self.local is not None
         self.state[tid] = SERVING
         lo, hi = self.local[tid]
-        if hi <= lo and not self._steal_into(tid):
+        if hi <= lo and not self._steal_into(tid, now):
             self.state[tid] = ac.DONE
             return None
         lo, hi = self.local[tid]
@@ -178,7 +209,7 @@ class AidStealScheduler(LoopScheduler):
         self.local[tid] = (cut, hi)
         return (lo, cut)
 
-    def _steal_into(self, thief: int) -> bool:
+    def _steal_into(self, thief: int, now: float) -> bool:
         """Move the back half of the richest thread's range to the thief."""
         assert self.local is not None
         victim = -1
@@ -194,6 +225,12 @@ class AidStealScheduler(LoopScheduler):
         self.local[victim] = (lo, mid)
         self.local[thief] = (mid, hi)
         self.steals += 1
+        if self.dec.on:
+            self.dec.emit(
+                thief, now, "steal",
+                victim=victim, range=[mid, hi], victim_left=[lo, mid],
+                steals=self.steals,
+            )
         return True
 
 

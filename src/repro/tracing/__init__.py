@@ -6,13 +6,15 @@ exports them to a Paraver-like CSV, and :mod:`repro.tracing.ascii_art`
 renders them as terminal timelines for the trace-based figures.
 """
 
-from repro.tracing.trace import Interval, ThreadState, TraceRecorder
+from repro.tracing.trace import Gap, Interval, ThreadState, Timeline, TraceRecorder
 from repro.tracing.ascii_art import render_timeline
 from repro.tracing.paraver import export_paraver_csv
 
 __all__ = [
     "ThreadState",
     "Interval",
+    "Gap",
+    "Timeline",
     "TraceRecorder",
     "render_timeline",
     "export_paraver_csv",

@@ -1,4 +1,13 @@
-"""Per-thread state-interval recording."""
+"""Per-thread state-interval recording.
+
+Two objects split the job: :class:`TraceRecorder` is the write side the
+executor appends to, and :class:`Timeline` is the read side every
+consumer (Paraver CSV, ASCII art, the Chrome-trace exporter, analyses)
+queries. A recorder's :meth:`~TraceRecorder.timeline` hands out the
+current intervals as a :class:`Timeline`; the timeline additionally
+validates physical consistency (a thread is in exactly one state at a
+time) and exposes the *uncovered* stretches via :meth:`Timeline.gaps`.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,9 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+
+#: Times closer than this are considered equal (DES float arithmetic).
+_TIME_EPS = 1e-12
 
 
 class ThreadState(enum.Enum):
@@ -43,24 +55,30 @@ class Interval:
         return self.t1 - self.t0
 
 
+@dataclass(frozen=True)
+class Gap:
+    """A stretch of a thread's timeline covered by no interval."""
+
+    tid: int
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
 @dataclass
-class TraceRecorder:
-    """Collects intervals; pass one to the executor to enable tracing.
+class Timeline:
+    """Read-side view over a set of recorded intervals.
 
     Attributes:
-        intervals: recorded intervals in recording order (per thread they
-            are naturally time-ordered because the DES drives each thread
+        intervals: the intervals, in recording order (per thread they are
+            naturally time-ordered because the DES drives each thread
             forward monotonically).
     """
 
     intervals: list[Interval] = field(default_factory=list)
-
-    def record(
-        self, tid: int, state: ThreadState, t0: float, t1: float, label: str = ""
-    ) -> None:
-        """Record one interval; zero-length intervals are dropped."""
-        if t1 > t0:
-            self.intervals.append(Interval(tid, state, t0, t1, label))
 
     def for_thread(self, tid: int) -> list[Interval]:
         """This thread's intervals, time-ordered."""
@@ -84,20 +102,101 @@ class TraceRecorder:
     def time_in_state(self, tid: int, state: ThreadState) -> float:
         """Total seconds thread ``tid`` spent in ``state``."""
         return sum(
-            iv.duration for iv in self.intervals if iv.tid == tid and iv.state == state
+            iv.duration
+            for iv in self.intervals
+            if iv.tid == tid and iv.state == state
         )
 
-    def validate_non_overlapping(self) -> None:
-        """Assert that no thread has overlapping intervals.
+    def validate(self) -> None:
+        """Reject overlapping intervals for the same tid.
 
-        Used by tests: a thread is in exactly one state at a time, so any
-        overlap indicates an executor bug.
+        A thread is in exactly one state at a time, so any overlap
+        indicates an executor bug (or a hand-built timeline that never
+        happened).
         """
         for tid in self.thread_ids():
             ivs = self.for_thread(tid)
             for a, b in zip(ivs, ivs[1:]):
-                if b.t0 < a.t1 - 1e-12:
+                if b.t0 < a.t1 - _TIME_EPS:
                     raise SimulationError(
                         f"thread {tid}: intervals overlap "
                         f"([{a.t0}, {a.t1}] {a.state} then [{b.t0}, {b.t1}] {b.state})"
                     )
+
+    def gaps(self, tid: int | None = None, min_duration: float = _TIME_EPS) -> list[Gap]:
+        """Uncovered stretches between consecutive intervals of a thread.
+
+        A gap is a hole *inside* a thread's own recorded span — time
+        between the end of one interval and the start of the next that no
+        interval covers. Gaps are how lost time shows up when an
+        instrumentation point is missing (the executor's timelines are
+        gap-free by construction; tests assert that).
+
+        Args:
+            tid: restrict to one thread (default: all threads).
+            min_duration: ignore holes at or below this size (float noise).
+
+        Returns:
+            Gaps sorted by (tid, start time).
+        """
+        tids = [tid] if tid is not None else self.thread_ids()
+        out: list[Gap] = []
+        for t in tids:
+            ivs = self.for_thread(t)
+            covered_until = None
+            for iv in ivs:
+                if covered_until is not None and iv.t0 - covered_until > min_duration:
+                    out.append(Gap(t, covered_until, iv.t0))
+                covered_until = (
+                    iv.t1 if covered_until is None else max(covered_until, iv.t1)
+                )
+        return out
+
+
+@dataclass
+class TraceRecorder:
+    """Collects intervals; pass one to the executor to enable tracing.
+
+    Attributes:
+        intervals: recorded intervals in recording order.
+    """
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(
+        self, tid: int, state: ThreadState, t0: float, t1: float, label: str = ""
+    ) -> None:
+        """Record one interval; zero-length intervals are dropped."""
+        if t1 > t0:
+            self.intervals.append(Interval(tid, state, t0, t1, label))
+
+    def timeline(self) -> Timeline:
+        """The recorded intervals as a read-side :class:`Timeline`."""
+        return Timeline(self.intervals)
+
+    # -- read-side conveniences (delegate to the timeline view) -------------
+
+    def for_thread(self, tid: int) -> list[Interval]:
+        """This thread's intervals, time-ordered."""
+        return self.timeline().for_thread(tid)
+
+    def thread_ids(self) -> list[int]:
+        return self.timeline().thread_ids()
+
+    @property
+    def t_end(self) -> float:
+        """Latest recorded timestamp (0.0 when empty)."""
+        return self.timeline().t_end
+
+    @property
+    def t_begin(self) -> float:
+        """Earliest recorded timestamp (0.0 when empty)."""
+        return self.timeline().t_begin
+
+    def time_in_state(self, tid: int, state: ThreadState) -> float:
+        """Total seconds thread ``tid`` spent in ``state``."""
+        return self.timeline().time_in_state(tid, state)
+
+    def validate_non_overlapping(self) -> None:
+        """Assert that no thread has overlapping intervals."""
+        self.timeline().validate()

@@ -41,6 +41,8 @@ def run_loop(
     n_threads: int | None = None,
     offline_sf=None,
     kernel=PLAIN_KERNEL,
+    trace=None,
+    obs=None,
 ) -> LoopResult:
     """Run one loop on the simulator and return its result."""
     team = Team(platform, bs_mapping(platform, n_threads))
@@ -51,7 +53,9 @@ def run_loop(
         team,
         PerfModel(platform),
         overhead if overhead is not None else ZERO_OVERHEAD,
+        recorder=trace,
         locality=LocalityModel(enabled=False),
+        obs=obs,
     )
     return executor.run(loop, costs, spec, offline_sf=offline_sf)
 

@@ -1,0 +1,177 @@
+"""Exporter tests: Chrome trace round-trip, snapshot determinism,
+zero-perturbation of the null sink, and the report CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.amp.presets import dual_speed_platform
+from repro.errors import ObsError
+from repro.obs import Observability
+from repro.obs.chrome_trace import export_chrome_trace, to_trace_events
+from repro.obs.report import main as report_main
+from repro.obs.snapshot import (
+    SCHEMA,
+    build_snapshot,
+    completion_payload,
+    load_snapshot,
+    to_json,
+    write_snapshot,
+)
+from repro.sched.aid_hybrid import AidHybridSpec
+from repro.tracing.trace import ThreadState, TraceRecorder
+
+from tests.helpers import run_loop
+
+PLATFORM = dual_speed_platform(2, 4, big_speedup=3.0)
+
+
+def seeded_run(seed=13, n_iterations=400, obs=None, trace=None):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(5e-5, 2e-4, n_iterations)
+    return run_loop(
+        PLATFORM,
+        AidHybridSpec(),
+        n_iterations=n_iterations,
+        costs=costs,
+        obs=obs,
+        trace=trace,
+    )
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_round_trip_parses_and_has_complete_events(self):
+        obs = Observability()
+        tr = TraceRecorder()
+        seeded_run(obs=obs, trace=tr)
+        text = export_chrome_trace(tr, decisions=obs.decisions.records)
+        doc = json.loads(text)  # byte-for-byte valid JSON
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert xs and metas and instants
+        for e in xs:
+            assert e["dur"] >= 0 and e["ts"] >= 0
+            assert e["pid"] == 1
+        # Complete events are time-sorted, as the viewers expect.
+        assert [e["ts"] for e in xs] == sorted(e["ts"] for e in xs)
+
+    def test_decision_instants_carry_args(self):
+        obs = Observability()
+        tr = TraceRecorder()
+        seeded_run(obs=obs, trace=tr)
+        events = to_trace_events(tr, decisions=obs.decisions.records)
+        pubs = [
+            e for e in events
+            if e["ph"] == "i" and e["name"].endswith("publish_targets")
+        ]
+        assert len(pubs) == 1
+        assert pubs[0]["cat"] == "decision"
+        assert "sf" in pubs[0]["args"]
+        assert "t" not in pubs[0]["args"]  # core fields not duplicated
+
+    def test_trace_times_are_microseconds(self):
+        tr = TraceRecorder()
+        tr.record(0, ThreadState.COMPUTE, 0.5, 1.0)
+        (event,) = [
+            e for e in to_trace_events(tr) if e["ph"] == "X"
+        ]
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+
+    def test_export_accepts_timeline_too(self):
+        tr = TraceRecorder()
+        tr.record(0, ThreadState.COMPUTE, 0.0, 1.0)
+        assert json.loads(export_chrome_trace(tr.timeline())) == json.loads(
+            export_chrome_trace(tr)
+        )
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_write_and_load_round_trip(self, tmp_path):
+        obs = Observability()
+        seeded_run(obs=obs)
+        path = tmp_path / "metrics.json"
+        text = write_snapshot(path, obs, meta={"note": "test"})
+        doc = load_snapshot(path)
+        assert doc["schema"] == SCHEMA
+        assert doc["meta"] == {"note": "test"}
+        assert to_json(doc) == text
+        assert doc["metrics"]["counters"]
+        assert doc["decisions"] == obs.decisions.records
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something/else"}')
+        with pytest.raises(ObsError, match="snapshot"):
+            load_snapshot(path)
+
+    def test_two_identical_seeded_runs_snapshot_identically(self):
+        texts = []
+        for _ in range(2):
+            obs = Observability()
+            seeded_run(seed=29, obs=obs)
+            texts.append(to_json(build_snapshot(obs, meta={"seed": 29})))
+        assert texts[0] == texts[1]  # byte-identical
+
+    def test_different_seeds_snapshot_differently(self):
+        texts = []
+        for seed in (29, 31):
+            obs = Observability()
+            seeded_run(seed=seed, obs=obs)
+            texts.append(to_json(build_snapshot(obs)))
+        assert texts[0] != texts[1]
+
+    def test_completion_payload_matches_stats(self):
+        from repro.metrics.stats import normalized_performance
+
+        row = completion_payload("dynamic(BS)", "Platform A", 0.5, 1.0)
+        assert row["normalized_performance"] == normalized_performance(1.0, 0.5)
+        assert row["scheme"] == "dynamic(BS)"
+        assert row["completion_time"] == 0.5
+
+
+# -- null sink perturbs nothing ---------------------------------------------
+
+
+class TestNullSinkNeutrality:
+    def test_instrumented_run_matches_uninstrumented_bitwise(self):
+        plain = seeded_run(seed=17)
+        observed = seeded_run(seed=17, obs=Observability())
+        disabled = seeded_run(seed=17, obs=Observability.disabled())
+        for other in (observed, disabled):
+            assert other.finish_times == plain.finish_times  # exact floats
+            assert other.iterations == plain.iterations
+            assert other.ranges == plain.ranges
+
+
+# -- report CLI --------------------------------------------------------------
+
+
+class TestReportCli:
+    def test_report_smoke(self, tmp_path, capsys):
+        obs = Observability()
+        seeded_run(obs=obs)
+        path = tmp_path / "metrics.json"
+        write_snapshot(path, obs, meta={"scheme": "aid_hybrid,80"})
+        assert report_main([str(path), "--threads"]) == 0
+        out = capsys.readouterr().out
+        assert "test.loop400" in out
+        assert "tid" in out
+        assert "SF convergence" in out
+
+    def test_report_loop_filter(self, tmp_path, capsys):
+        obs = Observability()
+        seeded_run(obs=obs)
+        path = tmp_path / "metrics.json"
+        write_snapshot(path, obs)
+        assert report_main([str(path), "--loop", "test.loop400"]) == 0
+        assert "test.loop400" in capsys.readouterr().out

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.tracing.ascii_art import render_timeline
 from repro.tracing.paraver import export_paraver_csv
-from repro.tracing.trace import Interval, ThreadState, TraceRecorder
+from repro.tracing.trace import Interval, ThreadState, Timeline, TraceRecorder
 
 
 def demo_trace():
@@ -108,3 +108,116 @@ def test_paraver_export_sorted_by_time():
     lines = export_paraver_csv(tr).strip().splitlines()[1:]
     starts = [float(l.split(",")[2]) for l in lines]
     assert starts == sorted(starts)
+
+
+# -- Timeline: validation and gap analysis ----------------------------------
+
+
+class TestTimeline:
+    def test_recorder_hands_out_timeline(self):
+        tr = demo_trace()
+        tl = tr.timeline()
+        assert isinstance(tl, Timeline)
+        assert tl.intervals == tr.intervals
+        assert tl.thread_ids() == [0, 1]
+        assert tl.t_begin == 0.0
+        assert tl.t_end == 3.0
+
+    def test_validate_accepts_contiguous(self):
+        demo_trace().timeline().validate()
+
+    def test_validate_accepts_shared_endpoint(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 1.0),
+            Interval(0, ThreadState.BARRIER, 1.0, 2.0),
+        ])
+        tl.validate()  # touching endpoints are not an overlap
+
+    def test_validate_rejects_overlap(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 2.0),
+            Interval(0, ThreadState.RUNTIME, 1.5, 3.0),
+        ])
+        with pytest.raises(SimulationError, match="overlap"):
+            tl.validate()
+
+    def test_validate_overlap_detected_out_of_recording_order(self):
+        tl = Timeline([
+            Interval(0, ThreadState.RUNTIME, 1.5, 3.0),
+            Interval(0, ThreadState.COMPUTE, 0.0, 2.0),
+        ])
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+    def test_overlap_on_different_threads_is_fine(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 2.0),
+            Interval(1, ThreadState.COMPUTE, 0.0, 2.0),
+        ])
+        tl.validate()
+
+    def test_recorder_validate_delegates(self):
+        tr = TraceRecorder()
+        tr.record(0, ThreadState.COMPUTE, 0.0, 2.0)
+        tr.record(0, ThreadState.RUNTIME, 1.0, 3.0)
+        with pytest.raises(SimulationError):
+            tr.validate_non_overlapping()
+
+    def test_gaps_none_when_contiguous(self):
+        assert demo_trace().timeline().gaps() == []
+
+    def test_gaps_found_and_sorted(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 1.0),
+            Interval(0, ThreadState.COMPUTE, 2.0, 3.0),
+            Interval(1, ThreadState.COMPUTE, 0.0, 0.5),
+            Interval(1, ThreadState.COMPUTE, 1.5, 2.0),
+        ])
+        gaps = tl.gaps()
+        assert [(g.tid, g.t0, g.t1) for g in gaps] == [
+            (0, 1.0, 2.0),
+            (1, 0.5, 1.5),
+        ]
+        assert gaps[0].duration == pytest.approx(1.0)
+
+    def test_gaps_single_thread_filter(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 1.0),
+            Interval(0, ThreadState.COMPUTE, 2.0, 3.0),
+            Interval(1, ThreadState.COMPUTE, 0.0, 0.5),
+            Interval(1, ThreadState.COMPUTE, 1.5, 2.0),
+        ])
+        assert [g.tid for g in tl.gaps(tid=1)] == [1]
+
+    def test_gaps_min_duration_filters_float_noise(self):
+        tl = Timeline([
+            Interval(0, ThreadState.COMPUTE, 0.0, 1.0),
+            Interval(0, ThreadState.COMPUTE, 1.0 + 1e-15, 2.0),
+        ])
+        assert tl.gaps() == []
+        assert len(tl.gaps(min_duration=1e-16)) == 1
+
+    def test_gaps_no_hole_before_span_or_after(self):
+        # Gaps are holes *inside* a thread's span, not leading idle time.
+        tl = Timeline([Interval(0, ThreadState.COMPUTE, 5.0, 6.0)])
+        assert tl.gaps() == []
+
+    def test_executor_timeline_is_gap_free_and_valid(self):
+        import numpy as np
+
+        from repro.amp.presets import dual_speed_platform
+        from repro.sched.aid_dynamic import AidDynamicSpec
+
+        from tests.helpers import run_loop
+
+        tr = TraceRecorder()
+        run_loop(
+            dual_speed_platform(2, 2, big_speedup=2.0),
+            AidDynamicSpec(),
+            n_iterations=200,
+            costs=np.full(200, 1e-4),
+            trace=tr,
+        )
+        tl = tr.timeline()
+        tl.validate()
+        assert tl.gaps(min_duration=1e-9) == []
