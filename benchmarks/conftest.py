@@ -15,6 +15,14 @@ machine-readable ``BENCH_<name>.json`` next to the repo root (or into
 the normalized performance, in the canonical payload format of
 :mod:`repro.obs.snapshot` — the same ``normalized_performance`` the
 figures use, so the JSON can never disagree with the printed tables.
+
+The shared Fig. 6/7 grids run through :mod:`repro.fleet`: cells are
+cached content-addressed under ``.fleet-cache/`` (or
+``$FLEET_CACHE_DIR``), so a warm rerun of the figure benches skips all
+simulation work, and ``FLEET_JOBS=N`` fans the cold run out over N
+worker processes. ``FLEET_NO_CACHE=1`` forces recomputation. Cached or
+parallel, the grids are cell-for-cell identical to serial runs — the
+simulator is deterministic.
 """
 
 from __future__ import annotations
@@ -28,13 +36,24 @@ import pytest
 from repro.experiments import fig67
 from repro.experiments.fig67 import Fig67Result
 from repro.experiments.harness import GridResult
+from repro.fleet import FleetProgress, ResultCache
 from repro.obs.snapshot import grid_payload
 
 
 @pytest.fixture(scope="session")
-def fig67_grids():
+def fleet_progress():
+    """Fleet counters for the whole bench session (cache hits etc.)."""
+    return FleetProgress()
+
+
+@pytest.fixture(scope="session")
+def fig67_grids(fleet_progress):
     """The Fig. 6 + Fig. 7 grids, shared by several benches."""
-    return fig67.run()
+    jobs = int(os.environ.get("FLEET_JOBS", "1") or "1")
+    cache = None if os.environ.get("FLEET_NO_CACHE") else ResultCache()
+    result = fig67.run(jobs=jobs, cache=cache, progress=fleet_progress)
+    print("\n" + fleet_progress.format_summary())
+    return result
 
 
 def payload_for(result) -> dict | None:

@@ -7,7 +7,7 @@ schedules against the three AID methods.
 
 Run::
 
-    python examples/quickstart.py [program] [--obs [DIR]]
+    python examples/quickstart.py [program] [--obs [DIR]] [--jobs N]
 
 With ``--obs``, the AID-hybrid run on Platform A additionally writes the
 observability artifacts into DIR (default ``obs_out/``): a metrics
@@ -15,6 +15,14 @@ snapshot (``metrics.json``), the scheduler decision log
 (``decisions.jsonl``) and a Chrome trace (``trace.json`` — open it at
 chrome://tracing or https://ui.perfetto.dev). Summarize the snapshot
 with ``python -m repro.obs.report DIR/metrics.json``.
+
+With ``--jobs N``, the same grids regenerate through the
+:mod:`repro.fleet` orchestration engine instead: cells fan out over N
+worker processes and land in the content-addressed result cache
+(``.fleet-cache/`` or ``$FLEET_CACHE_DIR``), so a second invocation is
+pure cache hits. A cached-vs-computed summary is printed at the end —
+the numbers themselves are identical either way, because the simulator
+is deterministic.
 """
 
 from __future__ import annotations
@@ -57,9 +65,54 @@ def write_obs_artifacts(
           "(metrics.json, decisions.jsonl, trace.json)")
 
 
+def run_fleet(program, jobs: int) -> None:
+    """Regenerate both per-program grids through the fleet."""
+    from repro.experiments.harness import ScheduleConfig, run_grid
+    from repro.fleet import FleetProgress, ResultCache
+
+    configs = [
+        ScheduleConfig(f"{schedule}({affinity})",
+                       OmpEnv(schedule=schedule, affinity=affinity))
+        for schedule, affinity in CONFIGS
+    ]
+    cache = ResultCache()
+    progress = FleetProgress()
+    for platform in (odroid_xu4(), xeon_emulated()):
+        print(platform.describe())
+        grid = run_grid(
+            platform,
+            programs=[program],
+            configs=configs,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+        )
+        row = grid.times[program.name]
+        baseline = row[configs[0].label]
+        for label, t in row.items():
+            norm = baseline / t
+            bar = "#" * round(norm * 25)
+            print(f"  {label:22s} {t * 1e3:9.2f} ms   x{norm:5.2f}  {bar}")
+        print()
+    s = progress.summary()
+    print(
+        f"fleet: {s['jobs_submitted']} cells — {s['cache_hits']} cached, "
+        f"{s['jobs_computed']} computed ({jobs} worker(s); cache at "
+        f"{cache.root}/)"
+    )
+    if s["cache_hits"] == s["jobs_submitted"]:
+        print("everything came from cache — delete the cache dir or change "
+              "the seed to recompute")
+
+
 def main() -> None:
     argv = [a for a in sys.argv[1:]]
     obs_dir: Path | None = None
+    jobs: int | None = None
+    if "--jobs" in argv:
+        i = argv.index("--jobs")
+        argv.pop(i)
+        jobs = int(argv.pop(i)) if i < len(argv) else 2
     if "--obs" in argv:
         i = argv.index("--obs")
         argv.pop(i)
@@ -71,6 +124,10 @@ def main() -> None:
     program = get_program(program_name)
     print(f"program: {program.name} ({program.suite}), "
           f"{len(program.loops())} loops x {program.timesteps} timesteps\n")
+
+    if jobs is not None:
+        run_fleet(program, jobs)
+        return
 
     for platform in (odroid_xu4(), xeon_emulated()):
         print(platform.describe())

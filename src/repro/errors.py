@@ -47,3 +47,8 @@ class ExperimentError(ReproError):
 class ObsError(ReproError):
     """Invalid use of the observability layer (bad metric kind, malformed
     decision record, unreadable snapshot)."""
+
+
+class FleetError(ReproError):
+    """The experiment-orchestration fleet failed (undigestable job spec,
+    exhausted retries, malformed cache entry or result payload)."""

@@ -46,6 +46,9 @@ EXPERIMENTS = {
     "multiapp": (multiapp, "extension: co-located applications (Sec. 4.3)"),
 }
 
+#: Experiments whose run() accepts the fleet's ``jobs`` fan-out knob.
+SUPPORTS_JOBS = frozenset({"fig67", "table2", "fig8", "fig9"})
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -59,6 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment names (see 'list'), or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fleet worker processes for the grid experiments "
+        f"({', '.join(sorted(SUPPORTS_JOBS))}); default 1 runs serially "
+        "in-process, exactly as before",
+    )
     args = parser.parse_args(argv)
 
     names = args.names or ["all"]
@@ -76,7 +87,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         module, desc = EXPERIMENTS[name]
         t0 = time.perf_counter()
-        result = module.run(seed=args.seed)
+        if name in SUPPORTS_JOBS and args.jobs != 1:
+            result = module.run(seed=args.seed, jobs=args.jobs)
+        else:
+            result = module.run(seed=args.seed)
         elapsed = time.perf_counter() - t0
         print(f"{'=' * 72}\n{name}: {desc}  [{elapsed:.1f}s]\n{'=' * 72}")
         print(module.format_report(result))

@@ -19,11 +19,28 @@ class Fig67Result:
     platform_b: GridResult
 
 
-def run(seed: int = 0, programs=None) -> Fig67Result:
-    """Run both grids (Fig. 6: Platform A, Fig. 7: Platform B)."""
+def run(
+    seed: int = 0,
+    programs=None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    timeout=None,
+    progress=None,
+) -> Fig67Result:
+    """Run both grids (Fig. 6: Platform A, Fig. 7: Platform B).
+
+    ``jobs``/``cache``/``timeout``/``progress`` route the cells through
+    the :mod:`repro.fleet` pool; results are identical to serial runs.
+    """
+    fleet = dict(jobs=jobs, cache=cache, timeout=timeout, progress=progress)
     return Fig67Result(
-        platform_a=run_grid(odroid_xu4(), programs=programs, root_seed=seed),
-        platform_b=run_grid(xeon_emulated(), programs=programs, root_seed=seed),
+        platform_a=run_grid(
+            odroid_xu4(), programs=programs, root_seed=seed, **fleet
+        ),
+        platform_b=run_grid(
+            xeon_emulated(), programs=programs, root_seed=seed, **fleet
+        ),
     )
 
 

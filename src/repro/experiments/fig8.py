@@ -79,6 +79,11 @@ def run(
     platform: Platform | None = None,
     programs: tuple[str, ...] = DYNAMIC_FRIENDLY,
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    cache=None,
+    timeout=None,
+    progress=None,
 ) -> Fig8Result:
     platform = platform if platform is not None else odroid_xu4()
     grid = run_grid(
@@ -86,6 +91,10 @@ def run(
         programs=[get_program(p) for p in programs],
         configs=_configs(),
         root_seed=seed,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        progress=progress,
     )
     norm = grid.normalized("static(SB)")
     best_gain = {}

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.amp.platform import Platform
 from repro.amp.presets import odroid_xu4, xeon_emulated
-from repro.experiments.harness import ScheduleConfig, offline_sf_tables, run_one
+from repro.experiments.harness import offline_sf_tables
+from repro.fleet import FleetConfig, JobSpec, require_ok, run_jobs
 from repro.runtime.env import OmpEnv
 from repro.workloads.registry import get_program
 
@@ -62,45 +63,74 @@ def run(
     platforms: tuple[Platform, ...] | None = None,
     programs: tuple[str, ...] = STATIC_FRIENDLY,
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    cache=None,
+    timeout=None,
+    progress=None,
 ) -> Fig9Result:
     if platforms is None:
         platforms = (odroid_xu4(), xeon_emulated())
     result = Fig9Result()
-    online_cfg = ScheduleConfig(
-        "AID-static", OmpEnv(schedule="aid_static", affinity="BS")
+    online_env = OmpEnv(schedule="aid_static", affinity="BS")
+    specs: list[JobSpec] = []
+    for platform in platforms:
+        for name in programs:
+            program = get_program(name)
+            # Fig. 9c wants blackscholes' per-invocation SF estimates on
+            # the first (big.LITTLE) platform; the capture request is
+            # part of the job's identity.
+            capture = (
+                "bs.price"
+                if name == "blackscholes" and platform.n_core_types == 2
+                else None
+            )
+            specs.append(
+                JobSpec(
+                    program=program,
+                    platform=platform,
+                    env=online_env,
+                    root_seed=seed,
+                    capture_sf_loop=capture,
+                    label="AID-static",
+                )
+            )
+            specs.append(
+                JobSpec(
+                    program=program,
+                    platform=platform,
+                    env=online_env,
+                    root_seed=seed,
+                    use_offline_sf=True,
+                    label="AID-static(offline-SF)",
+                )
+            )
+    outcomes = require_ok(
+        run_jobs(
+            specs,
+            FleetConfig(jobs=jobs, timeout=timeout),
+            cache=cache,
+            progress=progress,
+        )
     )
+    it = iter(outcomes)
     for platform in platforms:
         rows: dict[str, tuple[float, float]] = {}
         for name in programs:
-            program = get_program(name)
-            r_online = run_one(platform, program, online_cfg, root_seed=seed)
-            runner_off = _offline_runner(platform, program, seed)
-            r_offline = runner_off.run(program)
-            rows[name] = (r_online.completion_time, r_offline.completion_time)
-            if name == "blackscholes" and platform.n_core_types == 2:
-                series = r_online.estimated_sf_series("bs.price")
-                if series and not result.estimated_sf_series:
-                    result.estimated_sf_series = [sf[1] for sf in series]
-                    result.offline_sf_value = offline_sf_tables(
-                        platform, program
-                    )["bs.price"][1]
+            r_online = next(it).result
+            r_offline = next(it).result
+            rows[name] = (
+                r_online.completion_time,
+                r_offline.completion_time,
+            )
+            series = r_online.sf_series_dicts()
+            if series and not result.estimated_sf_series:
+                result.estimated_sf_series = [sf[1] for sf in series]
+                result.offline_sf_value = offline_sf_tables(
+                    platform, get_program(name)
+                )["bs.price"][1]
         result.times[platform.name] = rows
     return result
-
-
-def _offline_runner(platform: Platform, program, seed: int):
-    """A runner applying the AID-static(offline-SF) variant: sampling
-    omitted, distribution driven by the per-loop offline tables."""
-    from repro.runtime.program_runner import ProgramRunner
-    from repro.sched.aid_static import AidStaticSpec
-
-    return ProgramRunner(
-        platform,
-        OmpEnv(schedule="aid_static", affinity="BS"),
-        root_seed=seed,
-        offline_sf_tables=offline_sf_tables(platform, program),
-        schedule_override=AidStaticSpec(use_offline_sf=True),
-    )
 
 
 def format_report(result: Fig9Result) -> str:

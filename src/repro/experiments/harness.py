@@ -10,10 +10,19 @@ cell *is* the geometric mean of the paper's four timed runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from repro.amp.platform import Platform
 from repro.errors import ExperimentError
+from repro.fleet import (
+    FleetConfig,
+    FleetProgress,
+    JobSpec,
+    ResultCache,
+    require_ok,
+    run_jobs,
+)
 from repro.metrics.stats import normalized_performance
 from repro.perfmodel.contention import ContentionModel
 from repro.perfmodel.overhead import OverheadModel
@@ -141,6 +150,36 @@ class GridResult:
         """One configuration's completion time per program."""
         return {program: row[label] for program, row in self.times.items()}
 
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "GridResult":
+        """Rehydrate a grid from :func:`repro.obs.snapshot.grid_payload`.
+
+        Exact inverse of the payload (including row and column order, via
+        its ``program_order``/``schemes`` lists), so a cached fleet
+        result renders the very same tables as the run that produced it.
+        """
+        try:
+            labels = tuple(str(s) for s in payload["schemes"])
+            programs = payload["programs"]
+            order = payload.get("program_order")
+            names = [str(n) for n in order] if order is not None else sorted(
+                programs
+            )
+            grid = cls(
+                platform_name=str(payload["platform"]), config_labels=labels
+            )
+            for name in names:
+                by_label = {
+                    row["scheme"]: float(row["completion_time"])
+                    for row in programs[name]
+                }
+                grid.times[name] = {label: by_label[label] for label in labels}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed grid payload: {exc!r}"
+            ) from exc
+        return grid
+
     def to_table(self, baseline: str = BASELINE_LABEL, digits: int = 3) -> str:
         """Human-readable normalized-performance table."""
         norm = self.normalized(baseline)
@@ -160,6 +199,30 @@ class GridResult:
         return "\n".join(lines)
 
 
+def grid_specs(
+    platform: Platform,
+    programs: Sequence[Program],
+    configs: Sequence[ScheduleConfig],
+    root_seed: int = 0,
+    overhead: OverheadModel | None = None,
+    contention: ContentionModel | None = None,
+) -> list[JobSpec]:
+    """The grid's cells as fleet jobs, row-major (program, then config)."""
+    return [
+        JobSpec(
+            program=program,
+            platform=platform,
+            env=config.env,
+            root_seed=root_seed,
+            overhead=overhead,
+            contention=contention,
+            label=config.label,
+        )
+        for program in programs
+        for config in configs
+    ]
+
+
 def run_grid(
     platform: Platform,
     programs: Iterable[Program] | None = None,
@@ -167,8 +230,24 @@ def run_grid(
     root_seed: int = 0,
     overhead: OverheadModel | None = None,
     contention: ContentionModel | None = None,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    progress: FleetProgress | None = None,
 ) -> GridResult:
-    """Run a full programs x configurations grid on one platform."""
+    """Run a full programs x configurations grid on one platform.
+
+    With the defaults this runs every cell serially in-process, exactly
+    as it always has. ``jobs > 1`` fans the cells out over the
+    :mod:`repro.fleet` process pool, and ``cache`` (a
+    :class:`~repro.fleet.cache.ResultCache` or a directory path) makes
+    unchanged cells instant hits across reruns; either way the simulator
+    is deterministic, so the resulting grid is cell-for-cell identical
+    to a serial run. ``timeout``/``retries`` set the fleet's per-job
+    failure policy and ``progress`` collects fleet counters and events.
+    """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
     if not programs or not configs:
@@ -177,17 +256,39 @@ def run_grid(
         platform_name=platform.name,
         config_labels=tuple(c.label for c in configs),
     )
+    if jobs <= 1 and cache is None and progress is None:
+        # The historical serial path: no pool, no cache I/O, no events.
+        for program in programs:
+            row: dict[str, float] = {}
+            for config in configs:
+                result = run_one(
+                    platform,
+                    program,
+                    config,
+                    root_seed=root_seed,
+                    overhead=overhead,
+                    contention=contention,
+                )
+                row[config.label] = result.completion_time
+            grid.times[program.name] = row
+        return grid
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    specs = grid_specs(
+        platform, programs, configs, root_seed, overhead, contention
+    )
+    outcomes = require_ok(
+        run_jobs(
+            specs,
+            FleetConfig(jobs=jobs, timeout=timeout, retries=retries),
+            cache=cache,
+            progress=progress,
+        )
+    )
+    it = iter(outcomes)
     for program in programs:
-        row: dict[str, float] = {}
-        for config in configs:
-            result = run_one(
-                platform,
-                program,
-                config,
-                root_seed=root_seed,
-                overhead=overhead,
-                contention=contention,
-            )
-            row[config.label] = result.completion_time
-        grid.times[program.name] = row
+        grid.times[program.name] = {
+            config.label: next(it).result.completion_time
+            for config in configs
+        }
     return grid

@@ -47,9 +47,23 @@ def summarize_grid(grid: GridResult) -> dict[tuple[str, str], dict[str, float]]:
     }
 
 
-def run(seed: int = 0, fig67: Fig67Result | None = None) -> Table2Result:
-    """Aggregate Table 2 from the Fig. 6/7 grids (re-running if needed)."""
-    fig67 = fig67 if fig67 is not None else run_fig67(seed=seed)
+def run(
+    seed: int = 0,
+    fig67: Fig67Result | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    timeout=None,
+    progress=None,
+) -> Table2Result:
+    """Aggregate Table 2 from the Fig. 6/7 grids (re-running if needed).
+
+    The fleet knobs are forwarded to the Fig. 6/7 grids, so a Table 2
+    regeneration right after a fleet-cached Fig. 6/7 run costs nothing.
+    """
+    fig67 = fig67 if fig67 is not None else run_fig67(
+        seed=seed, jobs=jobs, cache=cache, timeout=timeout, progress=progress
+    )
     return Table2Result(
         gains={
             "Platform A": summarize_grid(fig67.platform_a),

@@ -1,0 +1,50 @@
+"""``repro.fleet`` — parallel experiment orchestration with caching.
+
+The paper's evaluation is a large grid (21 programs x 7 schedules x 2
+platforms, plus sweeps), and every cell is an independent deterministic
+simulation — embarrassingly parallel work with wildly heterogeneous cell
+costs. This subsystem turns the serial
+:func:`repro.experiments.harness.run_grid` loop into a fleet:
+
+* :mod:`~repro.fleet.jobs` — frozen :class:`JobSpec` work units with a
+  stable salted content digest;
+* :mod:`~repro.fleet.cache` — a content-addressed on-disk
+  :class:`ResultCache`, so unchanged cells are instant hits across
+  bench reruns and CI;
+* :mod:`~repro.fleet.pool` — :func:`run_jobs`: process-pool execution
+  with LPT (longest-first) dispatch, per-job timeouts, bounded retry
+  with backoff, broken-pool recovery, and graceful degradation to
+  inline serial execution;
+* :mod:`~repro.fleet.progress` — :class:`FleetProgress` counters and a
+  per-job event log riding the standard observability registry;
+* ``python -m repro.fleet`` — CLI running any registered grid
+  (see :mod:`~repro.fleet.cli`).
+
+The simulator is deterministic, so fleet results are cell-for-cell
+identical to the serial harness — parallelism and caching change wall
+time, never numbers.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.jobs import CODE_SALT, JobResult, JobSpec
+from repro.fleet.pool import (
+    FleetConfig,
+    FleetOutcome,
+    require_ok,
+    run_jobs,
+)
+from repro.fleet.progress import FleetProgress
+
+__all__ = [
+    "CODE_SALT",
+    "JobSpec",
+    "JobResult",
+    "ResultCache",
+    "FleetConfig",
+    "FleetOutcome",
+    "FleetProgress",
+    "run_jobs",
+    "require_ok",
+]

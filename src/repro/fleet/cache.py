@@ -1,0 +1,149 @@
+"""Content-addressed on-disk result store for fleet jobs.
+
+Layout (under ``.fleet-cache/`` or ``$FLEET_CACHE_DIR``)::
+
+    <root>/
+      aa/<64-hex-digest>.json     one JSON document per cached result
+      durations.json              coarse per-(program, schedule, platform)
+                                  wall-time estimates feeding LPT ordering
+
+Entries are keyed purely by the :class:`~repro.fleet.jobs.JobSpec`
+content digest, which already mixes in the code-version salt — a version
+bump changes every digest, so stale entries are simply never hit again
+(and take no correctness-critical invalidation logic). Unreadable,
+corrupt or schema-mismatched entries degrade to cache misses; a cache
+can always be deleted wholesale without losing anything but time.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a half-written entry behind, and all cache I/O happens in the
+coordinating parent process — worker processes only compute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.fleet.jobs import CODE_SALT, RESULT_SCHEMA, JobResult, JobSpec
+
+#: Cache entry document identifier.
+ENTRY_SCHEMA = "repro.fleet.cache-entry/v1"
+
+#: Default cache directory when neither an explicit root nor
+#: ``$FLEET_CACHE_DIR`` is given.
+DEFAULT_DIR = ".fleet-cache"
+
+
+class ResultCache:
+    """Digest-keyed store of :class:`~repro.fleet.jobs.JobResult`\\ s."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("FLEET_CACHE_DIR") or DEFAULT_DIR
+        self.root = Path(root)
+        self._durations: dict[str, float] | None = None
+
+    # -- result entries ----------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        """Where one digest's entry lives (two-level fan-out dir)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> JobResult | None:
+        """The cached result for a digest, or None on any kind of miss.
+
+        Corruption, schema drift and salt mismatch all read as misses:
+        the caller recomputes and overwrites.
+        """
+        path = self.path_for(digest)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != ENTRY_SCHEMA:
+            return None
+        if doc.get("salt") != CODE_SALT or doc.get("digest") != digest:
+            return None
+        try:
+            result = JobResult.from_payload(doc.get("result", {}))
+        except Exception:
+            return None
+        if result.digest != digest:
+            return None
+        return result
+
+    def put(self, result: JobResult) -> Path:
+        """Store one result atomically; returns the entry path."""
+        doc = {
+            "schema": ENTRY_SCHEMA,
+            "result_schema": RESULT_SCHEMA,
+            "salt": CODE_SALT,
+            "digest": result.digest,
+            "result": result.to_payload(),
+        }
+        path = self.path_for(result.digest)
+        self._write_atomic(path, json.dumps(doc, sort_keys=True, indent=2))
+        return path
+
+    # -- duration estimates (LPT ordering) ---------------------------------
+
+    @property
+    def durations_path(self) -> Path:
+        return self.root / "durations.json"
+
+    def _load_durations(self) -> dict[str, float]:
+        if self._durations is None:
+            try:
+                doc = json.loads(
+                    self.durations_path.read_text(encoding="utf-8")
+                )
+                self._durations = {
+                    str(k): float(v) for k, v in doc.items()
+                } if isinstance(doc, dict) else {}
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                self._durations = {}
+        return self._durations
+
+    def duration_estimate(self, spec: JobSpec) -> float | None:
+        """Last known wall time for jobs shaped like ``spec``, if any."""
+        return self._load_durations().get(spec.profile_key)
+
+    def note_duration(self, spec: JobSpec, duration: float) -> None:
+        """Update the duration estimate for a job shape (EWMA so one
+        noisy run does not dominate the LPT order)."""
+        durations = self._load_durations()
+        prev = durations.get(spec.profile_key)
+        durations[spec.profile_key] = (
+            duration if prev is None else 0.5 * prev + 0.5 * duration
+        )
+        self._write_atomic(
+            self.durations_path,
+            json.dumps(durations, sort_keys=True, indent=2),
+        )
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (and the duration table); returns the
+        number of result entries removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("??/*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+            self.durations_path.unlink(missing_ok=True)
+        self._durations = None
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)

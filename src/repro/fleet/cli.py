@@ -1,0 +1,174 @@
+"""``python -m repro.fleet`` — run registered experiment grids.
+
+Usage::
+
+    python -m repro.fleet list
+    python -m repro.fleet smoke --jobs 2
+    python -m repro.fleet fig6 fig7 --jobs 8 --timeout 120
+    python -m repro.fleet fig8 --no-cache --summary-json fleet.json
+
+Every invocation prints the regenerated grid table(s) plus a fleet
+summary line (submitted / cached / computed / retried / failed).
+``--summary-json`` additionally writes the counters as JSON — the CI
+smoke job asserts ``cache_hits >= 1`` on a warm rerun from exactly that
+file — and ``--events-jsonl`` dumps the per-job event log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fleet.cache import ResultCache
+from repro.fleet.progress import FleetProgress
+
+
+def _fig6_grid(seed: int):
+    from repro.amp.presets import odroid_xu4
+    from repro.experiments.harness import default_configs
+    from repro.workloads.registry import all_programs
+
+    return odroid_xu4(), all_programs(), default_configs()
+
+
+def _fig7_grid(seed: int):
+    from repro.amp.presets import xeon_emulated
+    from repro.experiments.harness import default_configs
+    from repro.workloads.registry import all_programs
+
+    return xeon_emulated(), all_programs(), default_configs()
+
+
+def _fig8_grid(seed: int):
+    from repro.amp.presets import odroid_xu4
+    from repro.experiments.fig8 import DYNAMIC_FRIENDLY, _configs
+    from repro.workloads.registry import get_program
+
+    return (
+        odroid_xu4(),
+        tuple(get_program(p) for p in DYNAMIC_FRIENDLY),
+        _configs(),
+    )
+
+
+def _smoke_grid(seed: int):
+    from repro.amp.presets import odroid_xu4
+    from repro.experiments.harness import default_configs
+    from repro.workloads.registry import get_program
+
+    return (
+        odroid_xu4(),
+        (get_program("EP"), get_program("streamcluster")),
+        default_configs()[:3] + default_configs()[4:5],
+    )
+
+
+#: name -> (grid builder, description). A builder returns the
+#: (platform, programs, configs) triple run_grid consumes.
+GRIDS = {
+    "fig6": (_fig6_grid, "Fig. 6 grid: 21 programs x 7 configs, Platform A"),
+    "fig7": (_fig7_grid, "Fig. 7 grid: 21 programs x 7 configs, Platform B"),
+    "fig8": (_fig8_grid, "Fig. 8 chunk-sensitivity grid, Platform A"),
+    "smoke": (_smoke_grid, "tiny 2-program x 4-config CI smoke grid"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Run registered experiment grids through the fleet.",
+    )
+    parser.add_argument(
+        "names", nargs="+",
+        help="grid names (see 'list'): " + ", ".join(GRIDS),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default $FLEET_CACHE_DIR or "
+        ".fleet-cache)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock deadline in seconds",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per job (default 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="write the fleet counter summary as JSON",
+    )
+    parser.add_argument(
+        "--events-jsonl", default=None, metavar="PATH",
+        help="write the per-job event log as JSONL",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names == ["list"]:
+        for name, (_, desc) in GRIDS.items():
+            print(f"{name:<8s} {desc}")
+        return 0
+    unknown = [n for n in args.names if n not in GRIDS]
+    if unknown:
+        print(f"unknown grids: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(GRIDS)}", file=sys.stderr)
+        return 2
+
+    # Imported here so `list` and argparse errors never pay for the
+    # experiment stack.
+    from repro.experiments.harness import run_grid
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = FleetProgress()
+    status = 0
+    for name in args.names:
+        builder, desc = GRIDS[name]
+        platform, programs, configs = builder(args.seed)
+        t0 = time.perf_counter()
+        try:
+            grid = run_grid(
+                platform,
+                programs=programs,
+                configs=configs,
+                root_seed=args.seed,
+                jobs=args.jobs,
+                cache=cache,
+                timeout=args.timeout,
+                retries=args.retries,
+                progress=progress,
+            )
+        except ReproError as exc:
+            print(f"{name}: FAILED: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        elapsed = time.perf_counter() - t0
+        print(f"{'=' * 72}\n{name}: {desc}  [{elapsed:.1f}s]\n{'=' * 72}")
+        print(grid.to_table())
+        print()
+    print(progress.format_summary())
+    if args.summary_json:
+        Path(args.summary_json).write_text(
+            json.dumps(progress.summary(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.events_jsonl:
+        progress.write_events_jsonl(args.events_jsonl)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

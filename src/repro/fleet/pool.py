@@ -1,0 +1,373 @@
+"""Fault-tolerant parallel execution of fleet jobs.
+
+The runner maps :class:`~repro.fleet.jobs.JobSpec`\\ s to
+:class:`~repro.fleet.jobs.JobResult`\\ s with, in order of preference:
+
+1. **cache hits** — resolved in the parent before anything is spawned;
+2. **a process pool** — ``ProcessPoolExecutor`` with at most
+   ``config.jobs`` workers, jobs dispatched longest-first (LPT, from the
+   cache's duration estimates — the same longest-job-first idea the
+   paper's AID schedulers apply to loop iterations, applied here to
+   whole simulations);
+3. **inline serial execution** — when ``jobs <= 1``, when processes are
+   disabled, or when the host cannot spawn processes at all.
+
+Failure semantics: a job attempt can fail by raising (any exception
+travels back through its future), by crashing its worker
+(``BrokenProcessPool`` — the pool is rebuilt), or by exceeding the
+per-job ``timeout`` (the pool is rebuilt, since a stuck worker cannot be
+cancelled). Each failed attempt is retried with exponential backoff up
+to ``config.retries`` times; jobs that exhaust their budget produce a
+``FleetOutcome`` with ``result=None`` and an error string rather than
+aborting the whole fleet — the caller decides whether missing cells are
+fatal. Jobs that merely shared a pool with a crashing neighbour are
+retried on the same terms (crash attribution inside a broken pool is
+unknowable), which is why the default retry budget is 2, not 1.
+
+Because the simulator is deterministic, a parallel fleet's results are
+cell-for-cell identical to serial execution; the test suite asserts
+exact equality, not tolerances.
+
+Fault injection (used by tests and the CI smoke job): setting
+``REPRO_FLEET_CRASH_ONCE=<digest-prefix>@<marker-file>`` makes the
+*first* worker that picks up a matching job hard-exit after touching the
+marker file; subsequent attempts find the marker and run normally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import FleetError
+from repro.fleet.cache import ResultCache
+from repro.fleet.jobs import JobResult, JobSpec
+from repro.fleet.progress import NULL_PROGRESS, FleetProgress
+
+#: Environment variable enabling crash-once fault injection.
+CRASH_ONCE_ENV = "REPRO_FLEET_CRASH_ONCE"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Execution policy for one fleet run.
+
+    Attributes:
+        jobs: maximum concurrent worker processes; <= 1 runs inline.
+        timeout: per-job wall-clock deadline in seconds (None = none).
+        retries: extra attempts after a failed first one.
+        backoff: base seconds slept before a retry, doubled per attempt.
+        use_processes: force (True) or forbid (False) worker processes;
+            None decides from ``jobs``.
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.05
+    use_processes: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise FleetError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise FleetError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise FleetError("retries must be >= 0")
+
+
+@dataclass
+class FleetOutcome:
+    """What happened to one submitted job, in submission order.
+
+    ``result`` is None only when every attempt failed; ``error`` then
+    holds the last failure reason.
+    """
+
+    spec: JobSpec
+    result: JobResult | None
+    cached: bool = False
+    attempts: int = 0
+    mode: str = "inline"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _maybe_inject_crash(spec: JobSpec) -> None:
+    """Honour ``REPRO_FLEET_CRASH_ONCE`` (worker processes only)."""
+    inject = os.environ.get(CRASH_ONCE_ENV)
+    if not inject:
+        return
+    prefix, _, marker = inject.partition("@")
+    if not marker or not prefix or not spec.key.startswith(prefix):
+        return
+    marker_path = Path(marker)
+    if marker_path.exists():
+        return
+    try:
+        marker_path.touch(exist_ok=False)
+    except OSError:
+        return
+    os._exit(23)  # simulate a hard worker crash (no cleanup, no excepthook)
+
+
+def _worker(spec: JobSpec) -> JobResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    _maybe_inject_crash(spec)
+    return spec.execute()
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    config: FleetConfig | None = None,
+    cache: ResultCache | None = None,
+    progress: FleetProgress | None = None,
+) -> list[FleetOutcome]:
+    """Execute jobs through cache/pool/inline; outcomes in input order."""
+    config = config if config is not None else FleetConfig()
+    progress = progress if progress is not None else NULL_PROGRESS
+    specs = list(specs)
+    outcomes: dict[int, FleetOutcome] = {}
+    pending: list[int] = []
+    for spec in specs:
+        progress.job_submitted(spec)
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec.key) if cache is not None else None
+        if hit is not None:
+            progress.cache_hit(spec)
+            outcomes[i] = FleetOutcome(
+                spec, hit, cached=True, attempts=0, mode="cache"
+            )
+            continue
+        if cache is not None:
+            progress.cache_miss(spec)
+        pending.append(i)
+    if pending:
+        if config.jobs > 1 and config.use_processes is not False:
+            _run_processes(specs, pending, outcomes, config, cache, progress)
+        else:
+            _run_inline(specs, pending, outcomes, config, cache, progress)
+    return [outcomes[i] for i in range(len(specs))]
+
+
+def require_ok(outcomes: Sequence[FleetOutcome]) -> list[FleetOutcome]:
+    """Raise :class:`FleetError` if any outcome failed; else pass through."""
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        details = "; ".join(
+            f"{o.spec.describe()}: {o.error}" for o in failed[:5]
+        )
+        more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+        raise FleetError(
+            f"{len(failed)} fleet job(s) failed after retries: {details}{more}"
+        )
+    return list(outcomes)
+
+
+# -- inline (serial) path --------------------------------------------------
+
+
+def _run_inline(specs, pending, outcomes, config, cache, progress) -> None:
+    for idx in pending:
+        spec = specs[idx]
+        attempts = 0
+        while True:
+            attempts += 1
+            progress.job_started(spec, mode="inline", attempt=attempts)
+            try:
+                result = spec.execute()
+            except Exception as exc:  # deterministic errors still get
+                reason = f"{type(exc).__name__}: {exc}"  # their retry budget
+                if attempts > config.retries:
+                    progress.job_failed(spec, reason)
+                    outcomes[idx] = FleetOutcome(
+                        spec, None, attempts=attempts, mode="inline",
+                        error=reason,
+                    )
+                    break
+                progress.job_retried(spec, attempt=attempts, reason=reason)
+                time.sleep(config.backoff * (2 ** (attempts - 1)))
+                continue
+            _record_success(
+                idx, spec, result, attempts, "inline", outcomes, cache,
+                progress,
+            )
+            break
+
+
+# -- process-pool path -----------------------------------------------------
+
+
+def _lpt_order(specs, pending, cache) -> list[int]:
+    """Longest-processing-time-first dispatch order.
+
+    Jobs with no duration estimate sort first (assume long until
+    measured): starting an unknown job late is the classic LPT failure
+    mode. Ties keep submission order for determinism.
+    """
+
+    def key(idx: int):
+        est = cache.duration_estimate(specs[idx]) if cache is not None else None
+        return (0 if est is None else 1, -(est or 0.0), idx)
+
+    return sorted(pending, key=key)
+
+
+def _make_pool(max_workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=max_workers)
+
+
+def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
+    queue: deque[int] = deque(_lpt_order(specs, pending, cache))
+    attempts: dict[int, int] = {i: 0 for i in pending}
+    max_workers = min(config.jobs, len(pending))
+    try:
+        executor = _make_pool(max_workers)
+    except (OSError, ValueError, ImportError) as exc:
+        progress.degraded(specs[pending[0]], f"no process pool: {exc}")
+        _run_inline(specs, pending, outcomes, config, cache, progress)
+        return
+
+    running: dict[Future, tuple[int, float]] = {}
+
+    def submit_ready() -> None:
+        while queue and len(running) < max_workers:
+            idx = queue.popleft()
+            spec = specs[idx]
+            progress.job_started(
+                spec, mode="process", attempt=attempts[idx] + 1
+            )
+            running[executor.submit(_worker, spec)] = (idx, time.monotonic())
+
+    def fail_or_requeue(idx: int, reason: str, *, requeue_front: bool) -> None:
+        """Charge one failed attempt and either requeue or give up."""
+        attempts[idx] += 1
+        spec = specs[idx]
+        if attempts[idx] > config.retries:
+            progress.job_failed(spec, reason)
+            outcomes[idx] = FleetOutcome(
+                spec, None, attempts=attempts[idx], mode="process",
+                error=reason,
+            )
+            return
+        progress.job_retried(spec, attempt=attempts[idx], reason=reason)
+        time.sleep(config.backoff * (2 ** (attempts[idx] - 1)))
+        if requeue_front:
+            queue.appendleft(idx)
+        else:
+            queue.append(idx)
+
+    def rebuild_pool() -> bool:
+        """Replace a broken/poisoned pool; False = fall back to inline."""
+        nonlocal executor
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        try:
+            executor = _make_pool(max_workers)
+            return True
+        except (OSError, ValueError) as exc:
+            remaining = list(queue)
+            queue.clear()
+            if remaining:
+                progress.degraded(
+                    specs[remaining[0]], f"pool rebuild failed: {exc}"
+                )
+                _run_inline(
+                    specs, remaining, outcomes, config, cache, progress
+                )
+            return False
+
+    try:
+        while queue or running:
+            submit_ready()
+            deadline_slack = None
+            if config.timeout is not None and running:
+                now = time.monotonic()
+                deadline_slack = max(
+                    0.0,
+                    min(
+                        t0 + config.timeout - now
+                        for (_, t0) in running.values()
+                    ),
+                )
+            done, _ = wait(
+                running, timeout=deadline_slack, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                idx, _t0 = running.pop(fut)
+                try:
+                    result = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    fail_or_requeue(
+                        idx, "worker process crashed (pool broken)",
+                        requeue_front=True,
+                    )
+                except Exception as exc:
+                    fail_or_requeue(
+                        idx, f"{type(exc).__name__}: {exc}",
+                        requeue_front=False,
+                    )
+                else:
+                    _record_success(
+                        idx, specs[idx], result, attempts[idx] + 1,
+                        "process", outcomes, cache, progress,
+                    )
+            if broken:
+                # Every in-flight sibling died with the pool: requeue them
+                # (their attempt is not charged — they did nothing wrong).
+                for fut, (idx, _t0) in list(running.items()):
+                    queue.appendleft(idx)
+                running.clear()
+                if not rebuild_pool():
+                    return
+                continue
+            if config.timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    (fut, idx)
+                    for fut, (idx, t0) in running.items()
+                    if now - t0 > config.timeout
+                ]
+                if expired:
+                    # A stuck worker cannot be cancelled; rebuild the pool
+                    # and requeue the innocent bystanders.
+                    for fut, idx in expired:
+                        running.pop(fut)
+                        progress.job_timeout(specs[idx], config.timeout)
+                        fail_or_requeue(
+                            idx,
+                            f"timed out after {config.timeout:g}s",
+                            requeue_front=False,
+                        )
+                    for fut, (idx, _t0) in list(running.items()):
+                        queue.appendleft(idx)
+                    running.clear()
+                    if not rebuild_pool():
+                        return
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _record_success(
+    idx, spec, result, attempts, mode, outcomes, cache, progress
+) -> None:
+    if cache is not None:
+        cache.put(result)
+        cache.note_duration(spec, result.duration)
+    progress.job_completed(spec, duration=result.duration, attempts=attempts)
+    outcomes[idx] = FleetOutcome(
+        spec, result, cached=False, attempts=attempts, mode=mode
+    )

@@ -1,0 +1,175 @@
+"""Fleet observability: counters and a per-job event log.
+
+:class:`FleetProgress` is the fleet's sibling of the runtime's
+:class:`~repro.obs.Observability` integration — in fact it *wraps* an
+``Observability`` bundle, so fleet counters land in the same metrics
+registry format, export through the same
+:func:`~repro.obs.snapshot.build_snapshot`, and read back with the same
+report tooling. On top of the counters it keeps an append-only per-job
+event log (submitted / cache-hit / started / retried / failed /
+completed), JSONL-writable like the scheduler decision log.
+
+Counters (all label-free, so summaries are single reads):
+
+* ``fleet_jobs_submitted`` — specs handed to the fleet;
+* ``fleet_cache_hits`` / ``fleet_cache_misses`` — cache resolution;
+* ``fleet_jobs_computed`` — jobs that actually ran a simulation;
+* ``fleet_retries`` — re-submissions after a crash/timeout/error;
+* ``fleet_timeouts`` — per-job deadline expiries;
+* ``fleet_failures`` — jobs abandoned after exhausting retries;
+* ``fleet_job_duration_seconds`` — histogram of compute wall times.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fleet.jobs import JobSpec
+from repro.obs import Observability
+
+#: Event-log format identifier.
+EVENTS_SCHEMA = "repro.fleet.events/v1"
+
+#: Wall-time histogram buckets (seconds): sim cells run milliseconds to
+#: minutes, so decades with a 3x midpoint resolve the useful range.
+DURATION_BUCKETS = (0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 60.0, 600.0)
+
+#: Counter names, in summary order.
+COUNTERS = (
+    "fleet_jobs_submitted",
+    "fleet_cache_hits",
+    "fleet_cache_misses",
+    "fleet_jobs_computed",
+    "fleet_retries",
+    "fleet_timeouts",
+    "fleet_failures",
+)
+
+
+class FleetProgress:
+    """Counters + per-job event log for one fleet run (or several)."""
+
+    def __init__(self, obs: Observability | None = None) -> None:
+        self.obs = obs if obs is not None else Observability()
+        self.events: list[dict] = []
+        # Pre-create every counter so summaries read zeros, not errors.
+        for name in COUNTERS:
+            self.obs.registry.counter(name)
+        self._duration_hist = self.obs.registry.histogram(
+            "fleet_job_duration_seconds", buckets=DURATION_BUCKETS
+        )
+
+    # -- hooks called by the pool ------------------------------------------
+
+    def job_submitted(self, spec: JobSpec) -> None:
+        self._count("fleet_jobs_submitted")
+        self._event("submitted", spec)
+
+    def cache_hit(self, spec: JobSpec) -> None:
+        self._count("fleet_cache_hits")
+        self._event("cache_hit", spec)
+
+    def cache_miss(self, spec: JobSpec) -> None:
+        self._count("fleet_cache_misses")
+        self._event("cache_miss", spec)
+
+    def job_started(self, spec: JobSpec, mode: str, attempt: int) -> None:
+        self._event("started", spec, mode=mode, attempt=attempt)
+
+    def job_retried(self, spec: JobSpec, attempt: int, reason: str) -> None:
+        self._count("fleet_retries")
+        self._event("retried", spec, attempt=attempt, reason=reason)
+
+    def job_timeout(self, spec: JobSpec, timeout: float) -> None:
+        self._count("fleet_timeouts")
+        self._event("timeout", spec, timeout=timeout)
+
+    def job_failed(self, spec: JobSpec, error: str) -> None:
+        self._count("fleet_failures")
+        self._event("failed", spec, error=error)
+
+    def job_completed(
+        self, spec: JobSpec, duration: float, attempts: int
+    ) -> None:
+        self._count("fleet_jobs_computed")
+        self._duration_hist.observe(duration)
+        self._event("completed", spec, duration=duration, attempts=attempts)
+
+    def degraded(self, spec: JobSpec, reason: str) -> None:
+        """The pool fell back to inline execution."""
+        self._event("degraded", spec, reason=reason)
+
+    # -- reading -----------------------------------------------------------
+
+    def count(self, name: str) -> float:
+        return self.obs.registry.value(name)
+
+    def summary(self) -> dict:
+        """One flat dict of every fleet counter (JSON-ready)."""
+        return {
+            "schema": "repro.fleet.summary/v1",
+            **{name.removeprefix("fleet_"): int(self.count(name))
+               for name in COUNTERS},
+        }
+
+    def format_summary(self) -> str:
+        s = self.summary()
+        return (
+            f"fleet: {s['jobs_submitted']} jobs — "
+            f"{s['cache_hits']} cached, {s['jobs_computed']} computed, "
+            f"{s['retries']} retried, {s['failures']} failed"
+        )
+
+    def write_events_jsonl(self, path: str | Path) -> Path:
+        """Dump the event log, one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for rec in self.events:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return path
+
+    # -- internals ---------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        self.obs.registry.counter(name).inc()
+
+    def _event(self, event: str, spec: JobSpec, **fields: object) -> None:
+        rec: dict = {
+            "seq": len(self.events),
+            "event": event,
+            "digest": spec.key,
+            "program": spec.program.name,
+            "label": spec.label or spec.env.schedule,
+            "platform": spec.platform.name,
+        }
+        rec.update(fields)
+        self.events.append(rec)
+
+
+#: Shared do-nothing sink: the default when callers pass no progress.
+class NullFleetProgress(FleetProgress):
+    """Every hook is a no-op; used when no progress sink is supplied."""
+
+    def __init__(self) -> None:  # noqa: D107 - no registry at all
+        self.obs = None  # type: ignore[assignment]
+        self.events = []
+
+    def _count(self, name: str) -> None:
+        pass
+
+    def _event(self, event: str, spec: JobSpec, **fields: object) -> None:
+        pass
+
+    def job_completed(self, spec, duration, attempts):  # type: ignore[override]
+        pass
+
+    def count(self, name: str) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {"schema": "repro.fleet.summary/v1"}
+
+
+NULL_PROGRESS = NullFleetProgress()

@@ -91,6 +91,12 @@ def completion_payload(
 def grid_payload(grid, baseline: str | None = None) -> dict:
     """Reporting payload for an experiments ``GridResult``.
 
+    The payload is a faithful round-trip format:
+    :meth:`repro.experiments.harness.GridResult.from_payload` is its
+    exact inverse. JSON serialization may sort object keys (ours does),
+    so cell *ordering* travels in the explicit ``program_order`` and
+    ``schemes`` lists rather than in dict insertion order.
+
     Args:
         grid: a :class:`repro.experiments.harness.GridResult`.
         baseline: baseline scheme label; defaults to the grid harness's
@@ -110,5 +116,6 @@ def grid_payload(grid, baseline: str | None = None) -> dict:
         "platform": grid.platform_name,
         "baseline": base,
         "schemes": list(grid.config_labels),
+        "program_order": list(grid.times),
         "programs": rows,
     }

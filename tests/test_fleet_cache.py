@@ -1,0 +1,98 @@
+"""Tests for the content-addressed fleet result cache."""
+
+from repro.amp.presets import odroid_xu4
+from repro.fleet import jobs as jobs_mod
+from repro.fleet.cache import ResultCache
+from repro.fleet.jobs import JobSpec
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+
+def make_spec(seed=0):
+    return JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", affinity="BS"),
+        root_seed=seed,
+    )
+
+
+def test_miss_then_put_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    assert cache.get(spec.key) is None
+    result = spec.execute()
+    path = cache.put(result)
+    assert path.is_file() and path.parent.parent == tmp_path
+    assert cache.get(spec.key) == result
+    assert len(cache) == 1
+
+
+def test_different_seed_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(make_spec(seed=0).execute())
+    assert cache.get(make_spec(seed=1).key) is None
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    cache.put(spec.execute())
+    cache.path_for(spec.key).write_text("{not json", encoding="utf-8")
+    assert cache.get(spec.key) is None
+
+
+def test_salt_change_invalidates(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    cache.put(spec.execute())
+    assert cache.get(spec.key) is not None
+    # A new code version changes every digest: old entries never hit.
+    monkeypatch.setattr(jobs_mod, "CODE_SALT", "v999/other-schema")
+    new_digest = spec.digest()
+    assert new_digest != spec.key
+    assert cache.get(new_digest) is None
+    # Defense in depth: even asking for the *old* digest misses, because
+    # the stored salt no longer matches the running code's salt.
+    monkeypatch.setattr("repro.fleet.cache.CODE_SALT", "v999/other-schema")
+    assert cache.get(spec.key) is None
+
+
+def test_env_var_selects_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("FLEET_CACHE_DIR", str(tmp_path / "env-cache"))
+    cache = ResultCache()
+    spec = make_spec()
+    cache.put(spec.execute())
+    assert (tmp_path / "env-cache").is_dir()
+    assert ResultCache().get(spec.key) is not None
+
+
+def test_duration_estimates_feed_lpt(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    assert cache.duration_estimate(spec) is None
+    cache.note_duration(spec, 2.0)
+    assert cache.duration_estimate(spec) == 2.0
+    cache.note_duration(spec, 1.0)  # EWMA, not last-write-wins
+    assert cache.duration_estimate(spec) == 1.5
+    # Seeds share a duration profile (same program/schedule/platform).
+    assert cache.duration_estimate(make_spec(seed=9)) == 1.5
+    # And a fresh cache object reads it back from disk.
+    assert ResultCache(tmp_path).duration_estimate(spec) == 1.5
+
+
+def test_atomic_writes_leave_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(make_spec().execute())
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    cache.put(spec.execute())
+    cache.note_duration(spec, 1.0)
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get(spec.key) is None
+    assert cache.duration_estimate(spec) is None

@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro.fleet`` CLI and the experiments CLI's
+``--jobs`` pass-through."""
+
+import json
+
+import pytest
+
+from repro.experiments import cli as experiments_cli
+from repro.fleet.cli import GRIDS, main
+
+
+def test_list_names_every_grid(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in GRIDS:
+        assert name in out
+
+
+def test_unknown_grid_fails(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown grids" in capsys.readouterr().err
+
+
+def test_smoke_grid_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    summary1 = tmp_path / "cold.json"
+    summary2 = tmp_path / "warm.json"
+    events = tmp_path / "events.jsonl"
+    assert main([
+        "smoke", "--jobs", "2", "--cache-dir", cache_dir,
+        "--summary-json", str(summary1),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "normalized performance" in out and "fleet:" in out
+    cold = json.loads(summary1.read_text(encoding="utf-8"))
+    assert cold["jobs_computed"] == cold["jobs_submitted"] > 0
+    assert cold["cache_hits"] == 0 and cold["failures"] == 0
+
+    assert main([
+        "smoke", "--jobs", "2", "--cache-dir", cache_dir,
+        "--summary-json", str(summary2), "--events-jsonl", str(events),
+    ]) == 0
+    warm = json.loads(summary2.read_text(encoding="utf-8"))
+    assert warm["cache_hits"] == warm["jobs_submitted"] > 0
+    assert warm["jobs_computed"] == 0
+    lines = events.read_text(encoding="utf-8").splitlines()
+    assert lines and all(
+        json.loads(line)["event"] in
+        ("submitted", "cache_hit", "cache_miss") for line in lines
+    )
+
+
+def test_no_cache_recomputes(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    summary = tmp_path / "s.json"
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    assert main([
+        "smoke", "--no-cache", "--cache-dir", cache_dir,
+        "--summary-json", str(summary),
+    ]) == 0
+    capsys.readouterr()
+    doc = json.loads(summary.read_text(encoding="utf-8"))
+    assert doc["cache_hits"] == 0 and doc["jobs_computed"] > 0
+
+
+def test_seed_changes_are_cache_misses(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    summary = tmp_path / "s.json"
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    assert main([
+        "smoke", "--seed", "1", "--cache-dir", cache_dir,
+        "--summary-json", str(summary),
+    ]) == 0
+    capsys.readouterr()
+    doc = json.loads(summary.read_text(encoding="utf-8"))
+    assert doc["cache_hits"] == 0
+
+
+@pytest.mark.parametrize("name", sorted(experiments_cli.SUPPORTS_JOBS))
+def test_experiments_cli_declares_fleet_grids(name):
+    assert name in experiments_cli.EXPERIMENTS
+
+
+class _StubExperiment:
+    """Records how the CLI called run(); renders a fixed report."""
+
+    def __init__(self):
+        self.calls = []
+
+    def run(self, seed=0, **kwargs):
+        self.calls.append({"seed": seed, **kwargs})
+        return "result"
+
+    def format_report(self, result):
+        return "stub-report"
+
+
+def test_experiments_cli_passes_jobs_to_fleet_grids(monkeypatch, capsys):
+    stub = _StubExperiment()
+    monkeypatch.setitem(
+        experiments_cli.EXPERIMENTS, "fig8", (stub, "stubbed")
+    )
+    assert experiments_cli.main(["fig8", "--jobs", "3"]) == 0
+    assert stub.calls[-1] == {"seed": 0, "jobs": 3}
+    # Default --jobs 1 keeps the historical call shape: no fleet kwargs.
+    assert experiments_cli.main(["fig8"]) == 0
+    assert stub.calls[-1] == {"seed": 0}
+    assert "stub-report" in capsys.readouterr().out
+
+
+def test_experiments_cli_never_passes_jobs_to_serial_experiments(
+    monkeypatch, capsys
+):
+    stub = _StubExperiment()
+    monkeypatch.setitem(
+        experiments_cli.EXPERIMENTS, "fig1", (stub, "stubbed")
+    )
+    assert experiments_cli.main(["fig1", "--jobs", "4"]) == 0
+    assert stub.calls[-1] == {"seed": 0}
+    capsys.readouterr()

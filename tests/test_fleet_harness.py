@@ -1,0 +1,121 @@
+"""Fleet <-> harness integration: the headline determinism property
+(parallel == serial, cell for cell), cache-backed reruns, and the
+GridResult <-> payload round-trip."""
+
+import json
+
+import pytest
+
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    GridResult,
+    ScheduleConfig,
+    default_configs,
+    run_grid,
+)
+from repro.fleet import FleetProgress, ResultCache
+from repro.obs.snapshot import grid_payload
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+#: The ISSUE's property grid: 4 programs x 4 configs, both platforms.
+PROGRAMS = ("EP", "IS", "kmeans", "backprop")
+CONFIGS = (
+    ScheduleConfig("static(SB)", OmpEnv(schedule="static", affinity="SB")),
+    ScheduleConfig("static(BS)", OmpEnv(schedule="static", affinity="BS")),
+    ScheduleConfig("AID-static", OmpEnv(schedule="aid_static", affinity="BS")),
+    ScheduleConfig("AID-hybrid", OmpEnv(schedule="aid_hybrid,80", affinity="BS")),
+)
+
+
+@pytest.mark.parametrize(
+    "platform_factory", [odroid_xu4, xeon_emulated], ids=["A", "B"]
+)
+def test_fleet_parallel_equals_serial_cell_for_cell(platform_factory):
+    platform = platform_factory()
+    programs = [get_program(p) for p in PROGRAMS]
+    serial = run_grid(platform, programs=programs, configs=CONFIGS)
+    parallel = run_grid(
+        platform, programs=programs, configs=CONFIGS, jobs=4
+    )
+    assert parallel.platform_name == serial.platform_name
+    assert parallel.config_labels == serial.config_labels
+    # Exact float equality, not approx: determinism is the contract.
+    assert parallel.times == serial.times
+    for program in PROGRAMS:
+        for cfg in CONFIGS:
+            assert parallel.time(program, cfg.label) == serial.time(
+                program, cfg.label
+            )
+
+
+def test_cached_rerun_is_identical_and_computes_nothing(tmp_path):
+    platform = odroid_xu4()
+    programs = [get_program(p) for p in PROGRAMS[:2]]
+    cache = ResultCache(tmp_path)
+    cold = run_grid(
+        platform, programs=programs, configs=CONFIGS[:2], cache=cache
+    )
+    progress = FleetProgress()
+    warm = run_grid(
+        platform,
+        programs=programs,
+        configs=CONFIGS[:2],
+        cache=cache,
+        progress=progress,
+    )
+    assert warm.times == cold.times
+    assert progress.count("fleet_cache_hits") == 4
+    assert progress.count("fleet_jobs_computed") == 0
+    # And the serial no-fleet path agrees too.
+    plain = run_grid(platform, programs=programs, configs=CONFIGS[:2])
+    assert plain.times == cold.times
+
+
+def test_grid_payload_round_trip_is_exact():
+    grid = run_grid(
+        odroid_xu4(),
+        programs=[get_program(p) for p in PROGRAMS[:2]],
+        configs=CONFIGS[:3],
+    )
+    # Through canonical JSON (sorted keys!) and back.
+    doc = json.loads(json.dumps(grid_payload(grid), sort_keys=True))
+    back = GridResult.from_payload(doc)
+    assert back.platform_name == grid.platform_name
+    assert back.config_labels == grid.config_labels
+    assert back.times == grid.times
+    # Ordering is part of the contract: identical rendered tables.
+    assert list(back.times) == list(grid.times)
+    for a, b in zip(back.times.values(), grid.times.values()):
+        assert list(a) == list(b)
+    assert back.to_table() == grid.to_table()
+    assert back.normalized() == grid.normalized()
+
+
+def test_from_payload_rejects_malformed():
+    with pytest.raises(ExperimentError):
+        GridResult.from_payload({"platform": "x"})
+    grid = run_grid(
+        odroid_xu4(),
+        programs=[get_program("EP")],
+        configs=CONFIGS[:2],
+    )
+    doc = grid_payload(grid)
+    doc["programs"]["EP"] = doc["programs"]["EP"][:1]  # drop a cell
+    with pytest.raises(ExperimentError):
+        GridResult.from_payload(doc)
+
+
+def test_default_configs_grid_via_fleet_matches_legacy(tmp_path):
+    """The exact Fig. 6/7 column set, fleet vs legacy serial loop."""
+    programs = [get_program("EP")]
+    legacy = run_grid(odroid_xu4(), programs=programs)
+    fleet = run_grid(
+        odroid_xu4(),
+        programs=programs,
+        configs=default_configs(),
+        jobs=2,
+        cache=ResultCache(tmp_path),
+    )
+    assert fleet.times == legacy.times

@@ -1,0 +1,83 @@
+"""Tests for fleet observability: counters, events, summaries, JSONL."""
+
+import json
+
+from repro.amp.presets import odroid_xu4
+from repro.fleet import FleetProgress, JobSpec
+from repro.fleet.progress import COUNTERS, NULL_PROGRESS
+from repro.obs import build_snapshot
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+
+def make_spec():
+    return JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", affinity="BS"),
+        label="static(BS)",
+    )
+
+
+def test_counters_start_at_zero():
+    progress = FleetProgress()
+    for name in COUNTERS:
+        assert progress.count(name) == 0
+    assert progress.summary()["jobs_submitted"] == 0
+
+
+def test_lifecycle_counts_and_events():
+    progress = FleetProgress()
+    spec = make_spec()
+    progress.job_submitted(spec)
+    progress.cache_miss(spec)
+    progress.job_started(spec, mode="process", attempt=1)
+    progress.job_retried(spec, attempt=1, reason="worker crashed")
+    progress.job_started(spec, mode="process", attempt=2)
+    progress.job_completed(spec, duration=0.25, attempts=2)
+    s = progress.summary()
+    assert s["jobs_submitted"] == 1
+    assert s["cache_misses"] == 1
+    assert s["retries"] == 1
+    assert s["jobs_computed"] == 1
+    assert s["failures"] == 0
+    events = [e["event"] for e in progress.events]
+    assert events == [
+        "submitted", "cache_miss", "started", "retried", "started",
+        "completed",
+    ]
+    assert all(e["digest"] == spec.key for e in progress.events)
+    assert [e["seq"] for e in progress.events] == list(range(len(events)))
+    assert "1 jobs" in progress.format_summary()
+
+
+def test_events_jsonl_round_trip(tmp_path):
+    progress = FleetProgress()
+    spec = make_spec()
+    progress.job_submitted(spec)
+    progress.job_failed(spec, "boom")
+    path = progress.write_events_jsonl(tmp_path / "events.jsonl")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[1]["event"] == "failed" and records[1]["error"] == "boom"
+
+
+def test_counters_ride_the_standard_obs_snapshot():
+    progress = FleetProgress()
+    progress.job_submitted(make_spec())
+    snap = build_snapshot(progress.obs, meta={"run": "fleet"})
+    names = {c["name"] for c in snap["metrics"]["counters"]}
+    assert "fleet_jobs_submitted" in names
+    assert "fleet_failures" in names
+    hists = {h["name"] for h in snap["metrics"]["histograms"]}
+    assert "fleet_job_duration_seconds" in hists
+
+
+def test_null_progress_is_inert():
+    spec = make_spec()
+    NULL_PROGRESS.job_submitted(spec)
+    NULL_PROGRESS.job_completed(spec, duration=1.0, attempts=1)
+    NULL_PROGRESS.degraded(spec, "reason")
+    assert NULL_PROGRESS.events == []
+    assert NULL_PROGRESS.count("fleet_jobs_submitted") == 0
