@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -37,7 +38,8 @@ from repro.experiments import fig67
 from repro.experiments.fig67 import Fig67Result
 from repro.experiments.harness import GridResult
 from repro.fleet import FleetProgress, ResultCache
-from repro.obs.snapshot import grid_payload
+from repro.obs import trajectory as obs_trajectory
+from repro.obs.snapshot import grid_payload, to_json
 
 
 @pytest.fixture(scope="session")
@@ -48,12 +50,41 @@ def fleet_progress():
 
 @pytest.fixture(scope="session")
 def fig67_grids(fleet_progress):
-    """The Fig. 6 + Fig. 7 grids, shared by several benches."""
+    """The Fig. 6 + Fig. 7 grids, shared by several benches.
+
+    Besides the grids themselves, the run leaves two observatory
+    artifacts next to the BENCH JSON: ``OBS_SNAPSHOT_fig67.json`` (the
+    merged fleet-level metrics snapshot — fleet counters plus every
+    cell's worker-side capture) and a trajectory record with the fleet
+    cache-hit rate and total runtime-overhead seconds.
+    """
     jobs = int(os.environ.get("FLEET_JOBS", "1") or "1")
     cache = None if os.environ.get("FLEET_NO_CACHE") else ResultCache()
+    t0 = time.perf_counter()
     result = fig67.run(jobs=jobs, cache=cache, progress=fleet_progress)
+    elapsed = time.perf_counter() - t0
     print("\n" + fleet_progress.format_summary())
+    out = bench_results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    snapshot = fleet_progress.obs_snapshot(meta={"grids": "fig67", "jobs": jobs})
+    (out / "OBS_SNAPSHOT_fig67.json").write_text(
+        to_json(snapshot), encoding="utf-8"
+    )
+    metrics = obs_trajectory.snapshot_metrics(snapshot)
+    metrics["wall_clock_seconds"] = elapsed
+    trajectory_store().append("fleet:fig67", metrics, meta={"jobs": jobs})
     return result
+
+
+def trajectory_store() -> obs_trajectory.TrajectoryStore:
+    """The bench session's run-over-run history (next to the BENCH
+    JSON unless ``$OBS_TRAJECTORY`` overrides the location)."""
+    override = os.environ.get(obs_trajectory.ENV_VAR)
+    if override:
+        return obs_trajectory.TrajectoryStore(override)
+    return obs_trajectory.TrajectoryStore(
+        bench_results_dir() / obs_trajectory.DEFAULT_FILENAME
+    )
 
 
 def payload_for(result) -> dict | None:
@@ -99,11 +130,20 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     When the result maps to a known payload shape, also emit
-    ``BENCH_<name>.json`` (name = the test's name sans ``test_``).
+    ``BENCH_<name>.json`` (name = the test's name sans ``test_``) and
+    append the run's headline numbers (speedup vs best-static per
+    platform, wall clock) to the trajectory history, so every bench run
+    grows the perf-regression observatory.
     """
+    t0 = time.perf_counter()
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
     payload = payload_for(result)
     if payload is not None:
         name = benchmark.name.removeprefix("test_")
         write_bench_json(name, payload)
+        metrics = obs_trajectory.bench_metrics(payload)
+        if metrics:
+            metrics["wall_clock_seconds"] = elapsed
+            trajectory_store().append(f"bench:{name}", metrics)
     return result

@@ -236,6 +236,7 @@ def run_grid(
     timeout: float | None = None,
     retries: int = 2,
     progress: FleetProgress | None = None,
+    obs_snapshot_path: str | Path | None = None,
 ) -> GridResult:
     """Run a full programs x configurations grid on one platform.
 
@@ -246,12 +247,19 @@ def run_grid(
     unchanged cells instant hits across reruns; either way the simulator
     is deterministic, so the resulting grid is cell-for-cell identical
     to a serial run. ``timeout``/``retries`` set the fleet's per-job
-    failure policy and ``progress`` collects fleet counters and events.
+    failure policy and ``progress`` collects fleet counters, events and
+    the merged per-job observability capture. ``obs_snapshot_path``
+    writes that merged fleet-level snapshot after the run (forcing the
+    fleet path, and a fresh :class:`FleetProgress` when none was given)
+    — serial and parallel runs of the same grid write byte-identical
+    snapshots modulo wall-clock fields.
     """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
     if not programs or not configs:
         raise ExperimentError("empty grid")
+    if obs_snapshot_path is not None and progress is None:
+        progress = FleetProgress()
     grid = GridResult(
         platform_name=platform.name,
         config_labels=tuple(c.label for c in configs),
@@ -291,4 +299,11 @@ def run_grid(
             config.label: next(it).result.completion_time
             for config in configs
         }
+    if obs_snapshot_path is not None:
+        from repro.obs.snapshot import to_json
+
+        Path(obs_snapshot_path).write_text(
+            to_json(progress.obs_snapshot(meta={"platform": platform.name})),
+            encoding="utf-8",
+        )
     return grid

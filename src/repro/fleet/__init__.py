@@ -16,13 +16,21 @@ costs. This subsystem turns the serial
   with backoff, broken-pool recovery, and graceful degradation to
   inline serial execution;
 * :mod:`~repro.fleet.progress` — :class:`FleetProgress` counters and a
-  per-job event log riding the standard observability registry;
+  per-job event log riding the standard observability registry, plus
+  the merged per-job observability capture: every worker runs its job
+  with a live ``Observability`` bundle, ships a compact snapshot home in
+  the :class:`JobResult`, and the pool folds them (in submission order)
+  into one fleet-level view — cached results replay their stored
+  snapshot, so warm runs report identical metrics;
 * ``python -m repro.fleet`` — CLI running any registered grid
-  (see :mod:`~repro.fleet.cli`).
+  (see :mod:`~repro.fleet.cli`), with ``--obs-snapshot`` /
+  ``--trajectory`` feeding the perf-regression observatory.
 
 The simulator is deterministic, so fleet results are cell-for-cell
 identical to the serial harness — parallelism and caching change wall
-time, never numbers.
+time, never numbers (and never metrics: the merged snapshot is
+byte-identical across ``jobs=1``/``jobs=N``/warm reruns, modulo
+wall-clock fields).
 """
 
 from __future__ import annotations
@@ -35,9 +43,10 @@ from repro.fleet.pool import (
     require_ok,
     run_jobs,
 )
-from repro.fleet.progress import FleetProgress
+from repro.fleet.progress import FleetProgress, NullFleetProgress
 
 __all__ = [
+    "NullFleetProgress",
     "CODE_SALT",
     "JobSpec",
     "JobResult",

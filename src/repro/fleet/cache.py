@@ -109,6 +109,11 @@ class ResultCache:
         """Last known wall time for jobs shaped like ``spec``, if any."""
         return self._load_durations().get(spec.profile_key)
 
+    def profile_estimates(self) -> dict[str, float]:
+        """The whole EWMA duration table, sorted by profile key — the
+        fleet publishes it as gauges so LPT dispatch is auditable."""
+        return dict(sorted(self._load_durations().items()))
+
     def note_duration(self, spec: JobSpec, duration: float) -> None:
         """Update the duration estimate for a job shape (EWMA so one
         noisy run does not dominate the LPT order)."""

@@ -12,6 +12,14 @@ summary line (submitted / cached / computed / retried / failed).
 ``--summary-json`` additionally writes the counters as JSON — the CI
 smoke job asserts ``cache_hits >= 1`` on a warm rerun from exactly that
 file — and ``--events-jsonl`` dumps the per-job event log.
+
+``--obs-snapshot PATH`` writes the merged fleet-level observability
+snapshot (fleet counters + every job's worker-side metrics + the
+combined decision summary); CI diffs the warm rerun's snapshot against
+the cold one with ``python -m repro.obs.report diff`` and fails on
+regressions. ``--trajectory PATH`` appends one run-over-run trend
+record (cache-hit rate, runtime-overhead seconds, wall clock) to the
+perf observatory history.
 """
 
 from __future__ import annotations
@@ -116,6 +124,14 @@ def main(argv: list[str] | None = None) -> int:
         "--events-jsonl", default=None, metavar="PATH",
         help="write the per-job event log as JSONL",
     )
+    parser.add_argument(
+        "--obs-snapshot", default=None, metavar="PATH",
+        help="write the merged fleet-level observability snapshot",
+    )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="append a run record to this trajectory JSONL history",
+    )
     args = parser.parse_args(argv)
 
     if args.names == ["list"]:
@@ -135,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = FleetProgress()
     status = 0
+    t_start = time.perf_counter()
     for name in args.names:
         builder, desc = GRIDS[name]
         platform, programs, configs = builder(args.seed)
@@ -167,6 +184,31 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.events_jsonl:
         progress.write_events_jsonl(args.events_jsonl)
+    if args.obs_snapshot or args.trajectory:
+        from repro.obs.snapshot import to_json
+        from repro.obs.trajectory import TrajectoryStore, snapshot_metrics
+
+        # "jobs" is volatile meta: comparable_snapshot strips it, so
+        # --jobs 1 and --jobs N runs stay byte-identical where required.
+        doc = progress.obs_snapshot(
+            meta={
+                "grids": "+".join(args.names),
+                "seed": args.seed,
+                "jobs": args.jobs,
+            }
+        )
+        if args.obs_snapshot:
+            Path(args.obs_snapshot).write_text(
+                to_json(doc), encoding="utf-8"
+            )
+        if args.trajectory:
+            metrics = snapshot_metrics(doc)
+            metrics["wall_clock_seconds"] = time.perf_counter() - t_start
+            TrajectoryStore(args.trajectory).append(
+                "fleet:" + "+".join(args.names),
+                metrics,
+                meta={"seed": args.seed, "jobs": args.jobs},
+            )
     return status
 
 

@@ -41,7 +41,8 @@ from repro.workloads.program import Program
 
 #: Result document format identifier (bump to invalidate cached results
 #: whose *shape* changed even if the simulation did not).
-RESULT_SCHEMA = "repro.fleet.result/v1"
+#: v2: results carry the per-job observability snapshot (``obs_json``).
+RESULT_SCHEMA = "repro.fleet.result/v2"
 
 #: Code-version salt mixed into every digest. Any release that changes
 #: simulated numbers bumps ``__version__`` and thereby every digest.
@@ -172,6 +173,8 @@ class JobSpec:
         # Imported lazily: experiments.harness routes its grids through
         # the fleet, so a top-level import would be a cycle.
         from repro.experiments.harness import offline_sf_tables
+        from repro.obs import Observability
+        from repro.obs.merge import job_snapshot_json
         from repro.runtime.program_runner import ProgramRunner
 
         schedule_override = None
@@ -181,12 +184,18 @@ class JobSpec:
 
             schedule_override = AidStaticSpec(use_offline_sf=True)
             needs_offline = True
+        # Every fleet job runs with a live observability bundle: the
+        # instrumentation never perturbs simulated numbers, and the
+        # compact snapshot rides home in the result (so cached replays
+        # report the very same metrics as the run that produced them).
+        obs = Observability()
         runner = ProgramRunner(
             self.platform,
             self.env,
             overhead=self.overhead,
             contention=self.contention,
             root_seed=self.root_seed,
+            obs=obs,
             offline_sf_tables=(
                 offline_sf_tables(self.platform, self.program)
                 if needs_offline
@@ -212,6 +221,7 @@ class JobSpec:
             total_dispatches=result.total_dispatches,
             duration=duration,
             sf_series=sf_series,
+            obs_json=job_snapshot_json(obs),
         )
 
 
@@ -236,6 +246,12 @@ class JobResult:
             however long the host took).
         sf_series: captured estimated-SF series, as sorted (core-type
             index, SF) pairs per invocation, or None.
+        obs_json: the per-job observability snapshot
+            (:func:`repro.obs.merge.job_snapshot_json`) as a canonical
+            JSON string — a string so results stay hashable, canonical
+            so snapshot equality is string equality. Everything in it is
+            simulated-time, so it *is* compared: a replayed cache entry
+            must report the same metrics as the run that produced it.
     """
 
     digest: str
@@ -246,6 +262,11 @@ class JobResult:
     total_dispatches: int
     duration: float = dataclasses.field(compare=False)
     sf_series: tuple[tuple[tuple[int, float], ...], ...] | None = None
+    obs_json: str | None = None
+
+    def obs_snapshot(self) -> dict | None:
+        """The per-job observability snapshot as a document, if any."""
+        return None if self.obs_json is None else json.loads(self.obs_json)
 
     def sf_series_dicts(self) -> list[dict[int, float]]:
         """The captured SF series in the runner's dict-per-invocation
@@ -260,12 +281,18 @@ class JobResult:
             doc["sf_series"] = [
                 [[j, sf] for j, sf in inv] for inv in self.sf_series
             ]
+        # Embed the obs snapshot as a document, not a nested JSON string:
+        # cache entries stay greppable and diffable.
+        doc.pop("obs_json", None)
+        if self.obs_json is not None:
+            doc["obs"] = json.loads(self.obs_json)
         return doc
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "JobResult":
         try:
             sf_series = payload.get("sf_series")
+            obs = payload.get("obs")
             return cls(
                 digest=str(payload["digest"]),
                 program=str(payload["program"]),
@@ -280,6 +307,13 @@ class JobResult:
                     else tuple(
                         tuple((int(j), float(sf)) for j, sf in inv)
                         for inv in sf_series
+                    )
+                ),
+                obs_json=(
+                    None
+                    if obs is None
+                    else json.dumps(
+                        obs, sort_keys=True, separators=(",", ":")
                     )
                 ),
             )

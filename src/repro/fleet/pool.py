@@ -156,7 +156,16 @@ def run_jobs(
             _run_processes(specs, pending, outcomes, config, cache, progress)
         else:
             _run_inline(specs, pending, outcomes, config, cache, progress)
-    return [outcomes[i] for i in range(len(specs))]
+    ordered = [outcomes[i] for i in range(len(specs))]
+    # Merge worker-side obs captures in submission order — never in
+    # completion order — so gauge last-wins resolution (and therefore the
+    # merged snapshot) is identical for jobs=1, jobs=N and cache replays.
+    for outcome in ordered:
+        if outcome.result is not None:
+            progress.job_obs(outcome.spec, outcome.result)
+    if cache is not None:
+        progress.record_duration_estimates(cache, specs)
+    return ordered
 
 
 def require_ok(outcomes: Sequence[FleetOutcome]) -> list[FleetOutcome]:

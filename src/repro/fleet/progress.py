@@ -1,4 +1,4 @@
-"""Fleet observability: counters and a per-job event log.
+"""Fleet observability: counters, a per-job event log, merged metrics.
 
 :class:`FleetProgress` is the fleet's sibling of the runtime's
 :class:`~repro.obs.Observability` integration — in fact it *wraps* an
@@ -7,7 +7,11 @@ registry format, export through the same
 :func:`~repro.obs.snapshot.build_snapshot`, and read back with the same
 report tooling. On top of the counters it keeps an append-only per-job
 event log (submitted / cache-hit / started / retried / failed /
-completed), JSONL-writable like the scheduler decision log.
+completed), JSONL-writable like the scheduler decision log, and a
+:class:`~repro.obs.merge.MergedSnapshot` folding every job's worker-side
+observability capture into the same registry — so one
+:meth:`FleetProgress.obs_snapshot` document carries both the fleet's own
+counters and the merged runtime metrics of every cell it ran.
 
 Counters (all label-free, so summaries are single reads):
 
@@ -17,16 +21,21 @@ Counters (all label-free, so summaries are single reads):
 * ``fleet_retries`` — re-submissions after a crash/timeout/error;
 * ``fleet_timeouts`` — per-job deadline expiries;
 * ``fleet_failures`` — jobs abandoned after exhausting retries;
-* ``fleet_job_duration_seconds`` — histogram of compute wall times.
+* ``fleet_job_duration_seconds`` — histogram of compute wall times;
+* ``fleet_duration_estimate_seconds`` — gauge per job profile: the
+  cache's EWMA wall-time estimate feeding LPT dispatch, published so
+  dispatch-order decisions are auditable from the report CLI.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable
 
-from repro.fleet.jobs import JobSpec
+from repro.fleet.jobs import JobResult, JobSpec
 from repro.obs import Observability
+from repro.obs.merge import MergedSnapshot
 
 #: Event-log format identifier.
 EVENTS_SCHEMA = "repro.fleet.events/v1"
@@ -59,6 +68,9 @@ class FleetProgress:
         self._duration_hist = self.obs.registry.histogram(
             "fleet_job_duration_seconds", buckets=DURATION_BUCKETS
         )
+        # Per-job worker captures merge into the same registry, so one
+        # snapshot carries fleet counters + merged runtime metrics.
+        self.merged = MergedSnapshot(registry=self.obs.registry)
 
     # -- hooks called by the pool ------------------------------------------
 
@@ -99,6 +111,42 @@ class FleetProgress:
     def degraded(self, spec: JobSpec, reason: str) -> None:
         """The pool fell back to inline execution."""
         self._event("degraded", spec, reason=reason)
+
+    # -- per-job observability capture -------------------------------------
+
+    def job_obs(self, spec: JobSpec, result: JobResult) -> None:
+        """Merge one job's worker-side obs capture into the fleet view.
+
+        The pool calls this for every successful outcome — computed or
+        replayed from cache — in *submission order*, which pins the
+        gauge last-wins semantics: serial and parallel runs of the same
+        grid merge identically.
+        """
+        snapshot = result.obs_snapshot()
+        if snapshot is None:
+            return
+        self.merged.add_job(
+            snapshot,
+            program=spec.program.name,
+            config=spec.label or spec.env.schedule,
+            platform=spec.platform.name,
+        )
+
+    def record_duration_estimates(self, cache, specs: Iterable[JobSpec]) -> None:
+        """Publish the cache's EWMA wall-time estimate per job profile
+        as ``fleet_duration_estimate_seconds`` gauges, making the LPT
+        dispatch order auditable from the obs report."""
+        estimates = cache.profile_estimates()
+        for profile in sorted({spec.profile_key for spec in specs}):
+            if profile in estimates:
+                self.obs.registry.gauge(
+                    "fleet_duration_estimate_seconds", profile=profile
+                ).set(estimates[profile])
+
+    def obs_snapshot(self, meta: dict | None = None) -> dict:
+        """The fleet-level snapshot document: fleet counters + merged
+        per-job metrics + the combined decision summary."""
+        return self.merged.to_snapshot(meta=meta)
 
     # -- reading -----------------------------------------------------------
 
@@ -164,6 +212,15 @@ class NullFleetProgress(FleetProgress):
 
     def job_completed(self, spec, duration, attempts):  # type: ignore[override]
         pass
+
+    def job_obs(self, spec, result):  # type: ignore[override]
+        pass
+
+    def record_duration_estimates(self, cache, specs):  # type: ignore[override]
+        pass
+
+    def obs_snapshot(self, meta=None):  # type: ignore[override]
+        return MergedSnapshot().to_snapshot(meta=meta)
 
     def count(self, name: str) -> float:
         return 0.0

@@ -47,6 +47,16 @@ from repro.obs.snapshot import (
     write_snapshot,
 )
 from repro.obs.chrome_trace import export_chrome_trace, to_trace_events
+from repro.obs.merge import (
+    MergedSnapshot,
+    comparable_snapshot,
+    job_snapshot,
+    job_snapshot_json,
+    merge,
+    summarize_decisions,
+)
+from repro.obs.diff import DiffThresholds, SnapshotDiff, diff_snapshots
+from repro.obs.trajectory import TrajectoryStore
 
 
 class Observability:
@@ -98,4 +108,14 @@ __all__ = [
     "grid_payload",
     "export_chrome_trace",
     "to_trace_events",
+    "MergedSnapshot",
+    "merge",
+    "job_snapshot",
+    "job_snapshot_json",
+    "summarize_decisions",
+    "comparable_snapshot",
+    "DiffThresholds",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "TrajectoryStore",
 ]

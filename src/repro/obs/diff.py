@@ -1,0 +1,336 @@
+"""Structured snapshot diffs and perf-regression detection.
+
+Compares two snapshot documents (:mod:`repro.obs.snapshot` /
+:class:`~repro.obs.merge.MergedSnapshot` output) metric by metric and
+classifies every difference:
+
+* **informational** — metrics expected to vary between valid runs:
+  wall-clock durations and the cache-resolution counters
+  (``fleet_cache_hits`` / ``fleet_cache_misses`` / ``fleet_jobs_computed``
+  flip wholesale between a cold run and its warm replay);
+* **cost** — counters that measure waste (``*overhead*`` seconds,
+  ``fleet_failures`` / ``fleet_timeouts`` / ``fleet_retries``): growing
+  beyond the ``cost_rel`` tolerance is a regression, shrinking is an
+  improvement;
+* **simulation** — everything else: the simulator is deterministic, so
+  any divergence beyond ``metric_rel`` is a regression;
+* **histograms** — compared by a normalized L1 bucket distance
+  (0 = identical shape, 1 = disjoint); beyond ``hist_dist`` is a
+  regression unless the histogram is wall-clock;
+* **decision summaries** — per-scheduler event counts
+  (:func:`~repro.obs.merge.summarize_decisions`); any divergence is a
+  regression under ``strict_decisions`` (the default), a mere change
+  otherwise.
+
+``python -m repro.obs.report diff A.json B.json [--fail-on-regression]``
+is the CLI face; CI gates warm-cache reruns on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.obs.merge import WALL_CLOCK_METRICS, summarize_decisions
+
+#: Counters whose value legitimately differs between valid runs of the
+#: same grid (cache temperature, worker wall time).
+INFORMATIONAL_METRICS = WALL_CLOCK_METRICS | frozenset(
+    {"fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed"}
+)
+
+#: Counters measuring waste: only *growth* is a regression.
+COST_METRICS = frozenset({"fleet_failures", "fleet_timeouts", "fleet_retries"})
+
+
+def is_informational(name: str) -> bool:
+    return name in INFORMATIONAL_METRICS
+
+
+def is_cost(name: str) -> bool:
+    return name in COST_METRICS or "overhead" in name
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Tolerances for regression classification.
+
+    Attributes:
+        metric_rel: max relative divergence for simulation metrics.
+        cost_rel: max relative *growth* for cost metrics.
+        hist_dist: max normalized L1 bucket distance for histograms.
+        strict_decisions: treat decision-summary divergence as a
+            regression (True) or a plain change (False).
+    """
+
+    metric_rel: float = 0.01
+    cost_rel: float = 0.10
+    hist_dist: float = 0.05
+    strict_decisions: bool = True
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One observed difference between the two snapshots."""
+
+    kind: str  # counter | gauge | histogram | decisions
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    before: float | None
+    after: float | None
+    severity: str  # info | change | regression
+    detail: str = ""
+
+    def describe(self) -> str:
+        labels = ",".join(f"{k}={v}" for k, v in self.labels)
+        target = f"{self.name}{{{labels}}}" if labels else self.name
+        before = "-" if self.before is None else f"{self.before:g}"
+        after = "-" if self.after is None else f"{self.after:g}"
+        tail = f"  ({self.detail})" if self.detail else ""
+        return (
+            f"{self.severity.upper():<10s} {self.kind:<9s} {target}: "
+            f"{before} -> {after}{tail}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "before": self.before,
+            "after": self.after,
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SnapshotDiff:
+    """All differences between two snapshots, plus compare stats."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+    compared: int = 0
+    identical: int = 0
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.severity == "regression"]
+
+    @property
+    def changes(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.severity == "change"]
+
+    @property
+    def infos(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.severity == "info"]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.diff/v1",
+            "compared": self.compared,
+            "identical": self.identical,
+            "regressions": len(self.regressions),
+            "changes": len(self.changes),
+            "informational": len(self.infos),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def format(self) -> str:
+        lines = []
+        for entry in sorted(
+            self.entries,
+            key=lambda e: (
+                {"regression": 0, "change": 1, "info": 2}[e.severity],
+                e.name,
+                e.labels,
+            ),
+        ):
+            lines.append(entry.describe())
+        lines.append(
+            f"{self.compared} metrics compared: {self.identical} identical, "
+            f"{len(self.infos)} informational, {len(self.changes)} changed, "
+            f"{len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _rel(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    return abs(b - a) / max(abs(a), abs(b), 1e-12)
+
+
+def _scalar_index(metrics: Mapping[str, list]) -> dict[tuple, tuple[str, float]]:
+    out: dict[tuple, tuple[str, float]] = {}
+    for kind, singular in (("counters", "counter"), ("gauges", "gauge")):
+        for m in metrics.get(kind, []):
+            key = (m["name"], tuple(sorted((str(k), str(v)) for k, v in m["labels"].items())))
+            out[key] = (singular, float(m["value"]))
+    return out
+
+
+def _hist_index(metrics: Mapping[str, list]) -> dict[tuple, Mapping]:
+    return {
+        (m["name"], tuple(sorted((str(k), str(v)) for k, v in m["labels"].items()))): m
+        for m in metrics.get("histograms", [])
+    }
+
+
+def histogram_distance(a: Mapping, b: Mapping) -> float:
+    """Normalized L1 distance between two bucket-count vectors.
+
+    Buckets are aligned by their ``le`` bound; a bound present in only
+    one histogram contributes its full count. 0 = identical shape,
+    1 = fully disjoint mass.
+    """
+    ca = {str(x["le"]): int(x["count"]) for x in a.get("buckets", [])}
+    cb = {str(x["le"]): int(x["count"]) for x in b.get("buckets", [])}
+    moved = sum(
+        abs(ca.get(le, 0) - cb.get(le, 0)) for le in set(ca) | set(cb)
+    )
+    total = max(int(a.get("count", 0)), int(b.get("count", 0)), 1)
+    # Disjoint mass shows up in two buckets (gone from one, arrived in
+    # the other), so halve the L1 sum to land on the documented [0, 1].
+    return moved / (2 * total)
+
+
+def _decision_summary_of(snapshot: Mapping) -> dict:
+    summary = snapshot.get("decision_summary")
+    if isinstance(summary, Mapping) and summary:
+        return dict(summary)
+    return summarize_decisions(snapshot.get("decisions", []) or [])
+
+
+def _diff_scalar(
+    entries: list[DiffEntry],
+    kind: str,
+    name: str,
+    labels: tuple,
+    before: float | None,
+    after: float | None,
+    thresholds: DiffThresholds,
+) -> None:
+    if is_informational(name):
+        entries.append(
+            DiffEntry(kind, name, labels, before, after, "info")
+        )
+        return
+    if before is None or after is None:
+        entries.append(
+            DiffEntry(
+                kind, name, labels, before, after, "regression",
+                "present in only one snapshot",
+            )
+        )
+        return
+    if is_cost(name):
+        if after > before:
+            growth = (
+                (after - before) / before if before > 0 else float("inf")
+            )
+        else:
+            growth = 0.0
+        grew = growth > thresholds.cost_rel
+        severity = "regression" if grew else (
+            "info" if after < before else "change"
+        )
+        detail = (
+            f"cost grew {100 * growth:.1f}%"
+            if grew
+            else ("cost shrank" if after < before else "within tolerance")
+        )
+        entries.append(
+            DiffEntry(kind, name, labels, before, after, severity, detail)
+        )
+        return
+    rel = _rel(before, after)
+    severity = "regression" if rel > thresholds.metric_rel else "change"
+    entries.append(
+        DiffEntry(
+            kind, name, labels, before, after, severity,
+            f"diverged {100 * rel:.2f}%",
+        )
+    )
+
+
+def diff_snapshots(
+    a: Mapping, b: Mapping, thresholds: DiffThresholds | None = None
+) -> SnapshotDiff:
+    """Compare snapshot ``a`` (baseline) against ``b`` (candidate)."""
+    thresholds = thresholds if thresholds is not None else DiffThresholds()
+    diff = SnapshotDiff()
+
+    scalars_a = _scalar_index(a.get("metrics", {}) or {})
+    scalars_b = _scalar_index(b.get("metrics", {}) or {})
+    for key in sorted(set(scalars_a) | set(scalars_b)):
+        name, labels = key
+        kind_a, val_a = scalars_a.get(key, (None, None))
+        kind_b, val_b = scalars_b.get(key, (None, None))
+        diff.compared += 1
+        if val_a == val_b:
+            diff.identical += 1
+            continue
+        _diff_scalar(
+            diff.entries, kind_b or kind_a or "counter", name, labels,
+            val_a, val_b, thresholds,
+        )
+
+    hists_a = _hist_index(a.get("metrics", {}) or {})
+    hists_b = _hist_index(b.get("metrics", {}) or {})
+    for key in sorted(set(hists_a) | set(hists_b)):
+        name, labels = key
+        diff.compared += 1
+        ha, hb = hists_a.get(key), hists_b.get(key)
+        if ha is None or hb is None:
+            severity = "info" if is_informational(name) else "regression"
+            diff.entries.append(
+                DiffEntry(
+                    "histogram", name, labels, None, None, severity,
+                    "present in only one snapshot",
+                )
+            )
+            continue
+        dist = histogram_distance(ha, hb)
+        if dist == 0.0 and float(ha.get("sum", 0)) == float(hb.get("sum", 0)):
+            diff.identical += 1
+            continue
+        if is_informational(name):
+            severity = "info"
+        elif dist > thresholds.hist_dist:
+            severity = "regression"
+        else:
+            severity = "change"
+        diff.entries.append(
+            DiffEntry(
+                "histogram", name, labels,
+                float(ha.get("sum", 0.0)), float(hb.get("sum", 0.0)),
+                severity, f"bucket distance {dist:.3f}",
+            )
+        )
+
+    dec_a = _decision_summary_of(a)
+    dec_b = _decision_summary_of(b)
+    schedulers = sorted(
+        set(dec_a.get("schedulers", {})) | set(dec_b.get("schedulers", {}))
+    )
+    for sched in schedulers:
+        ea = dec_a.get("schedulers", {}).get(sched, {})
+        eb = dec_b.get("schedulers", {}).get(sched, {})
+        diff.compared += 1
+        if ea == eb:
+            diff.identical += 1
+            continue
+        differing = sorted(
+            event
+            for event in set(ea.get("events", {})) | set(eb.get("events", {}))
+            if ea.get("events", {}).get(event) != eb.get("events", {}).get(event)
+        )
+        diff.entries.append(
+            DiffEntry(
+                "decisions", sched, (),
+                float(ea.get("total", 0)), float(eb.get("total", 0)),
+                "regression" if thresholds.strict_decisions else "change",
+                "events diverged: " + ", ".join(differing[:6]),
+            )
+        )
+    return diff

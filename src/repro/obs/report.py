@@ -1,24 +1,39 @@
-"""Observability report CLI: summarize a metrics snapshot.
+"""Observability report CLI: summarize, diff and trend snapshots.
 
 Usage::
 
     python -m repro.obs.report SNAPSHOT.json [--threads] [--loop NAME]
+    python -m repro.obs.report diff A.json B.json [--fail-on-regression]
+    python -m repro.obs.report trajectory [HISTORY.jsonl] [--source S]
 
-Prints, per loop: dispatch counts, scheduler calls, runtime-overhead
-percentage, compute-time imbalance across threads, and — when the
-snapshot carries a scheduler decision log — the SF-estimate convergence
-(first vs last published estimate per core type). ``--threads`` adds the
-per-thread drill-down behind each loop row.
+The default mode prints, per loop: dispatch counts, scheduler calls,
+runtime-overhead percentage, compute-time imbalance across threads, and
+— when the snapshot carries a scheduler decision log — the SF-estimate
+convergence (first vs last published estimate per core type).
+``--threads`` adds the per-thread drill-down behind each loop row.
+Snapshots merged from fleet runs additionally get a fleet section
+(counters, per-profile EWMA duration estimates) and the combined
+decision summary.
+
+``diff`` compares two snapshots with :mod:`repro.obs.diff` and, with
+``--fail-on-regression``, exits nonzero when any regression survives the
+thresholds — the CI gate for warm-cache reruns. ``trajectory`` renders
+the run-over-run history kept by :mod:`repro.obs.trajectory` as
+sparkline trend tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.errors import ObsError
+from repro.obs.diff import DiffThresholds, diff_snapshots
 from repro.obs.snapshot import load_snapshot
+from repro.obs.trajectory import TrajectoryStore, trend_table
 
 #: Decision events that publish an SF estimate (one per AID variant).
 _SF_EVENTS = ("publish_targets", "publish_ratio", "decide", "partition")
@@ -43,15 +58,26 @@ def _loops(idx: Mapping[tuple, float]) -> list[str]:
 
 
 def _per_loop(idx: Mapping[tuple, float], loop: str) -> dict:
-    """Aggregate one loop's per-tid counters."""
+    """Aggregate one loop's per-tid counters.
+
+    Values *sum* over any extra label dimensions (merged fleet
+    snapshots label every instrument with program/config/platform), so
+    the same code reports single-run and fleet-merged snapshots.
+    """
     tids: set[str] = set()
     per_tid: dict[str, dict[str, float]] = {}
+    invocations = 0.0
     for (name, labels), value in idx.items():
         d = dict(labels)
-        if d.get("loop") != loop or "tid" not in d:
+        if d.get("loop") != loop:
+            continue
+        if name == "loop_invocations_total":
+            invocations += value
+        if "tid" not in d:
             continue
         tids.add(d["tid"])
-        per_tid.setdefault(d["tid"], {})[name] = value
+        slot = per_tid.setdefault(d["tid"], {})
+        slot[name] = slot.get(name, 0.0) + value
 
     def total(metric: str) -> float:
         return sum(per_tid[t].get(metric, 0.0) for t in tids)
@@ -68,9 +94,7 @@ def _per_loop(idx: Mapping[tuple, float], loop: str) -> dict:
     peak = max(busy_per_tid, default=0.0)
     return {
         "loop": loop,
-        "invocations": idx.get(
-            ("loop_invocations_total", (("loop", loop),)), 0.0
-        ),
+        "invocations": invocations,
         "dispatches": total("dispatches_total"),
         "sched_calls": total("sched_calls_total"),
         "iterations": total("iterations_total"),
@@ -101,15 +125,94 @@ def _fmt_sf(sf: Mapping[str, float]) -> str:
     return " ".join(f"{j}:{v:.2f}" for j, v in sorted(sf.items()))
 
 
+#: Fleet counter names shown in the fleet section, in display order.
+_FLEET_COUNTERS = (
+    "fleet_jobs_submitted",
+    "fleet_cache_hits",
+    "fleet_cache_misses",
+    "fleet_jobs_computed",
+    "fleet_retries",
+    "fleet_timeouts",
+    "fleet_failures",
+)
+
+
+def _fleet_section(snapshot: Mapping, idx: Mapping[tuple, float]) -> list[str]:
+    """Fleet counters + per-profile EWMA duration estimates, if any."""
+    counts = {
+        name: idx.get((name, ())) for name in _FLEET_COUNTERS
+        if (name, ()) in idx
+    }
+    if not counts:
+        return []
+    lines = [
+        "fleet: " + "  ".join(
+            f"{name.removeprefix('fleet_')}={int(value)}"
+            for name, value in counts.items()
+        )
+    ]
+    merged_jobs = snapshot.get("merged_jobs")
+    if merged_jobs:
+        lines.append(f"merged per-job snapshots: {merged_jobs}")
+    estimates = sorted(
+        (dict(labels).get("profile", "?"), value)
+        for (name, labels), value in idx.items()
+        if name == "fleet_duration_estimate_seconds"
+    )
+    if estimates:
+        lines.append("duration estimates (EWMA wall-clock, drive LPT dispatch):")
+        for profile, value in estimates:
+            lines.append(f"  {profile:<44s}{value:>10.3f}s")
+    return lines
+
+
+def _decision_summary_section(snapshot: Mapping) -> list[str]:
+    summary = snapshot.get("decision_summary")
+    if not isinstance(summary, Mapping) or not summary.get("total"):
+        return []
+    lines = [
+        f"decision summary (merged): {summary['total']} records"
+    ]
+    for sched, entry in sorted((summary.get("schedulers") or {}).items()):
+        events = "  ".join(
+            f"{event}={n}"
+            for event, n in sorted((entry.get("events") or {}).items())
+        )
+        lines.append(f"  {sched:<14s} total={entry.get('total', 0):<7d} {events}")
+    return lines
+
+
 def summarize(snapshot: Mapping, threads: bool = False, loop: str | None = None) -> str:
     """Render the report text for a loaded snapshot."""
-    idx = _index(snapshot.get("metrics", {}))
+    metrics_doc = snapshot.get("metrics", {}) or {}
+    idx = _index(metrics_doc)
     lines: list[str] = []
     meta = snapshot.get("meta", {})
     if meta:
         lines.append(
             "run: " + "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
         )
+        lines.append("")
+
+    n_instruments = sum(
+        len(metrics_doc.get(kind, []))
+        for kind in ("counters", "gauges", "histograms")
+    )
+    if n_instruments == 0:
+        lines.append("no metrics recorded (was NULL_OBS used?)")
+        lines.append(
+            "hint: pass a live Observability() bundle to ProgramRunner, "
+            "or a FleetProgress to run_grid/run_jobs."
+        )
+        lines.append("")
+        lines.append(
+            f"decision records: {len(snapshot.get('decisions', []))}"
+        )
+        return "\n".join(lines)
+
+    fleet = _fleet_section(snapshot, idx)
+    if fleet:
+        lines.extend(fleet)
         lines.append("")
 
     loops = [loop] if loop is not None else _loops(idx)
@@ -150,16 +253,118 @@ def summarize(snapshot: Mapping, threads: bool = False, loop: str | None = None)
                 f"  {name:<22s} n={c['count']:<4d}"
                 f" {_fmt_sf(c['first_sf'])}  ->  {_fmt_sf(c['last_sf'])}"
             )
+    dec_summary = _decision_summary_section(snapshot)
+    if dec_summary:
+        lines.append("")
+        lines.extend(dec_summary)
     n_dec = len(snapshot.get("decisions", []))
     lines.append("")
     lines.append(f"decision records: {n_dec}")
     return "\n".join(lines)
 
 
+def _diff_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report diff",
+        description="Diff two repro.obs snapshots and flag regressions.",
+    )
+    parser.add_argument("baseline", help="baseline snapshot JSON")
+    parser.add_argument("candidate", help="candidate snapshot JSON")
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any regression survives the thresholds",
+    )
+    parser.add_argument(
+        "--metric-tol", type=float, default=DiffThresholds.metric_rel,
+        help="relative tolerance for simulation metrics (default %(default)s)",
+    )
+    parser.add_argument(
+        "--cost-tol", type=float, default=DiffThresholds.cost_rel,
+        help="relative growth tolerance for cost metrics (default %(default)s)",
+    )
+    parser.add_argument(
+        "--hist-tol", type=float, default=DiffThresholds.hist_dist,
+        help="histogram bucket-distance tolerance (default %(default)s)",
+    )
+    parser.add_argument(
+        "--lax-decisions", action="store_true",
+        help="treat decision-summary divergence as a change, not a regression",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the structured diff as JSON",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_snapshot(args.baseline)
+        candidate = load_snapshot(args.candidate)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_snapshots(
+        baseline,
+        candidate,
+        DiffThresholds(
+            metric_rel=args.metric_tol,
+            cost_rel=args.cost_tol,
+            hist_dist=args.hist_tol,
+            strict_decisions=not args.lax_decisions,
+        ),
+    )
+    try:
+        print(diff.format())
+    except BrokenPipeError:
+        pass
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(diff.to_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    if args.fail_on_regression and diff.regressions:
+        return 1
+    return 0
+
+
+def _trajectory_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report trajectory",
+        description="Render the run-over-run trajectory as trend tables.",
+    )
+    parser.add_argument(
+        "history", nargs="?", default=None,
+        help="trajectory JSONL (default $OBS_TRAJECTORY or "
+        "OBS_TRAJECTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--source", default=None, help="restrict to one record source"
+    )
+    parser.add_argument(
+        "--last", type=int, default=24,
+        help="sparkline width / points shown (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    store = TrajectoryStore(args.history)
+    records = store.records()
+    if not records:
+        print(f"no trajectory records in {store.path}")
+        return 0
+    try:
+        print(trend_table(records, source=args.source, last=args.last))
+    except BrokenPipeError:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
+    if argv and argv[0] == "trajectory":
+        return _trajectory_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarize a repro.obs metrics snapshot.",
+        description="Summarize a repro.obs metrics snapshot "
+        "(subcommands: diff, trajectory).",
     )
     parser.add_argument("snapshot", help="path to a snapshot JSON file")
     parser.add_argument(

@@ -1,0 +1,229 @@
+"""Run-over-run trend store: the perf-regression observatory.
+
+Every bench or fleet run can append one compact record — named scalar
+metrics such as speedup vs. best-static per platform, runtime-overhead
+seconds, fleet cache-hit rate, wall-clock seconds — to an append-only
+JSONL history (``OBS_TRAJECTORY.jsonl`` by default, ``$OBS_TRAJECTORY``
+to relocate). ``python -m repro.obs.report trajectory`` renders the
+history as sparkline trend tables, turning one-off snapshots into the
+run-over-run view the ROADMAP's regression tracking needs.
+
+Records are intentionally flat::
+
+    {"schema": "repro.obs.trajectory/v1", "seq": 4,
+     "source": "bench:fig6_platform_a",
+     "metrics": {"speedup_vs_best_static:odroid-xu4": 1.31, ...},
+     "meta": {...}}
+
+Derivation helpers turn the repo's existing artifacts into metrics:
+:func:`bench_metrics` reads a ``BENCH_*.json`` grid payload,
+:func:`snapshot_metrics` reads a (merged) obs snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ObsError
+
+#: Trajectory record format identifier.
+SCHEMA = "repro.obs.trajectory/v1"
+
+#: Default history file name (relative to the CWD unless overridden).
+DEFAULT_FILENAME = "OBS_TRAJECTORY.jsonl"
+
+#: Environment variable relocating the default history file.
+ENV_VAR = "OBS_TRAJECTORY"
+
+#: Eight-level sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+class TrajectoryStore:
+    """Append-only JSONL history of per-run metric records."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        if path is None:
+            path = os.environ.get(ENV_VAR) or DEFAULT_FILENAME
+        self.path = Path(path)
+
+    def append(
+        self,
+        source: str,
+        metrics: Mapping[str, float],
+        meta: Mapping[str, object] | None = None,
+    ) -> dict:
+        """Append one record; returns the record written."""
+        if not source:
+            raise ObsError("trajectory records need a non-empty source")
+        clean: dict[str, float] = {}
+        for name, value in sorted(metrics.items()):
+            value = float(value)
+            if not math.isfinite(value):
+                raise ObsError(
+                    f"trajectory metric {name!r} is not finite: {value!r}"
+                )
+            clean[str(name)] = value
+        if not clean:
+            raise ObsError("trajectory records need at least one metric")
+        rec = {
+            "schema": SCHEMA,
+            "seq": len(self.records()),
+            "source": str(source),
+            "metrics": clean,
+            "meta": dict(meta) if meta else {},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return rec
+
+    def records(self, source: str | None = None) -> list[dict]:
+        """All valid records, oldest first; corrupt lines are skipped."""
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        out = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(rec, dict) or rec.get("schema") != SCHEMA:
+                continue
+            if source is not None and rec.get("source") != source:
+                continue
+            out.append(rec)
+        return out
+
+    def series(self, source: str, metric: str) -> list[float]:
+        """One metric's values over time for one source."""
+        return [
+            float(rec["metrics"][metric])
+            for rec in self.records(source)
+            if metric in rec.get("metrics", {})
+        ]
+
+    def sources(self) -> list[str]:
+        return sorted({rec.get("source", "?") for rec in self.records()})
+
+
+def sparkline(values: Iterable[float], width: int = 24) -> str:
+    """Render a value series as unicode block glyphs (newest rightmost)."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK[3] * len(vals)
+    span = hi - lo
+    return "".join(
+        _SPARK[min(7, int(8 * (v - lo) / span))] for v in vals
+    )
+
+
+def trend_table(
+    records: Iterable[Mapping],
+    source: str | None = None,
+    last: int = 24,
+) -> str:
+    """Sparkline trend table over trajectory records, grouped by
+    (source, metric)."""
+    series: dict[tuple[str, str], list[float]] = {}
+    for rec in records:
+        src = str(rec.get("source", "?"))
+        if source is not None and src != source:
+            continue
+        for name, value in (rec.get("metrics") or {}).items():
+            series.setdefault((src, name), []).append(float(value))
+    if not series:
+        return "no trajectory records"
+    src_w = max(len(s) for s, _ in series) + 2
+    met_w = max(len(m) for _, m in series) + 2
+    header = (
+        f"{'source':<{src_w}s}{'metric':<{met_w}s}{'n':>4s}"
+        f"{'first':>12s}{'last':>12s}{'delta%':>9s}  trend"
+    )
+    lines = [header, "-" * len(header)]
+    for (src, name), vals in sorted(series.items()):
+        first, final = vals[0], vals[-1]
+        delta = 100.0 * (final - first) / abs(first) if first else 0.0
+        lines.append(
+            f"{src:<{src_w}s}{name:<{met_w}s}{len(vals):>4d}"
+            f"{first:>12.4f}{final:>12.4f}{delta:>+8.1f}%  "
+            f"{sparkline(vals, width=last)}"
+        )
+    return "\n".join(lines)
+
+
+# -- metric derivation from existing artifacts ------------------------------
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_metrics(payload: Mapping) -> dict[str, float]:
+    """Trend metrics from a ``BENCH_*.json`` grid payload.
+
+    Per grid: the geometric mean, across programs, of the best AID
+    scheme's normalized performance over the best static scheme's — the
+    paper's headline "portability dividend" number, tracked per
+    platform as ``speedup_vs_best_static:<platform>``.
+    """
+    out: dict[str, float] = {}
+    for grid in payload.get("grids", []) or []:
+        platform = str(grid.get("platform", "?"))
+        ratios: list[float] = []
+        for rows in (grid.get("programs") or {}).values():
+            best_static = 0.0
+            best_aid = 0.0
+            for row in rows:
+                perf = float(row.get("normalized_performance") or 0.0)
+                scheme = str(row.get("scheme", "")).lower()
+                if scheme.startswith("static"):
+                    best_static = max(best_static, perf)
+                elif scheme.startswith("aid"):
+                    best_aid = max(best_aid, perf)
+            if best_static > 0.0 and best_aid > 0.0:
+                ratios.append(best_aid / best_static)
+        if ratios:
+            out[f"speedup_vs_best_static:{platform}"] = _geomean(ratios)
+    return out
+
+
+def snapshot_metrics(snapshot: Mapping) -> dict[str, float]:
+    """Trend metrics from a (merged) obs snapshot document.
+
+    Sums the runtime-overhead seconds across every merged job, counts
+    decision records, and derives the fleet cache-hit rate when fleet
+    counters are present.
+    """
+    out: dict[str, float] = {}
+    counters = (snapshot.get("metrics") or {}).get("counters", [])
+    by_name: dict[str, float] = {}
+    for m in counters:
+        by_name[m["name"]] = by_name.get(m["name"], 0.0) + float(m["value"])
+    if "runtime_overhead_seconds_total" in by_name:
+        out["runtime_overhead_seconds"] = by_name[
+            "runtime_overhead_seconds_total"
+        ]
+    submitted = by_name.get("fleet_jobs_submitted", 0.0)
+    if submitted > 0:
+        out["fleet_cache_hit_rate"] = (
+            by_name.get("fleet_cache_hits", 0.0) / submitted
+        )
+    summary = snapshot.get("decision_summary")
+    if isinstance(summary, Mapping) and "total" in summary:
+        out["decision_records"] = float(summary["total"])
+    elif snapshot.get("decisions"):
+        out["decision_records"] = float(len(snapshot["decisions"]))
+    return out

@@ -50,6 +50,48 @@ def test_smoke_grid_cold_then_warm(tmp_path, capsys):
     )
 
 
+def test_obs_snapshot_and_trajectory_artifacts(tmp_path, capsys):
+    """--obs-snapshot / --trajectory write the observatory artifacts and
+    the cold-vs-warm diff gate passes, exactly as CI runs it."""
+    from repro.obs.report import main as report_main
+    from repro.obs.snapshot import load_snapshot
+    from repro.obs.trajectory import TrajectoryStore
+
+    cache_dir = str(tmp_path / "cache")
+    cold = tmp_path / "obs-cold.json"
+    warm = tmp_path / "obs-warm.json"
+    history = tmp_path / "trajectory.jsonl"
+    assert main([
+        "smoke", "--jobs", "2", "--cache-dir", cache_dir,
+        "--obs-snapshot", str(cold), "--trajectory", str(history),
+    ]) == 0
+    assert main([
+        "smoke", "--jobs", "2", "--cache-dir", cache_dir,
+        "--obs-snapshot", str(warm), "--trajectory", str(history),
+    ]) == 0
+    capsys.readouterr()
+
+    doc = load_snapshot(cold)
+    assert doc["merged_jobs"] > 0
+    assert doc["meta"]["grids"] == "smoke"
+    names = {c["name"] for c in doc["metrics"]["counters"]}
+    assert {"fleet_jobs_submitted", "dispatches_total"} <= names
+
+    # The CI gate: warm replay reports the metrics it computed cold.
+    assert report_main(
+        ["diff", str(cold), str(warm), "--fail-on-regression"]
+    ) == 0
+    capsys.readouterr()
+
+    records = TrajectoryStore(history).records()
+    assert len(records) == 2
+    assert all(r["source"] == "fleet:smoke" for r in records)
+    assert all("wall_clock_seconds" in r["metrics"] for r in records)
+    # Cold run: 0% cache hits; warm run: 100%.
+    rates = [r["metrics"]["fleet_cache_hit_rate"] for r in records]
+    assert rates == [0.0, 1.0]
+
+
 def test_no_cache_recomputes(tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     summary = tmp_path / "s.json"

@@ -1,6 +1,7 @@
 """Fleet <-> harness integration: the headline determinism property
-(parallel == serial, cell for cell), cache-backed reruns, and the
-GridResult <-> payload round-trip."""
+(parallel == serial, cell for cell), cache-backed reruns, the
+GridResult <-> payload round-trip, and the merged-observability
+acceptance property (jobs=1 == jobs=N snapshots, diff gates)."""
 
 import json
 
@@ -15,7 +16,10 @@ from repro.experiments.harness import (
     run_grid,
 )
 from repro.fleet import FleetProgress, ResultCache
-from repro.obs.snapshot import grid_payload
+from repro.obs.diff import diff_snapshots
+from repro.obs.merge import comparable_snapshot
+from repro.obs.report import main as report_main
+from repro.obs.snapshot import grid_payload, load_snapshot
 from repro.runtime.env import OmpEnv
 from repro.workloads.registry import get_program
 
@@ -105,6 +109,107 @@ def test_from_payload_rejects_malformed():
     doc["programs"]["EP"] = doc["programs"]["EP"][:1]  # drop a cell
     with pytest.raises(ExperimentError):
         GridResult.from_payload(doc)
+
+
+class TestMergedObservabilityAcceptance:
+    """The PR's acceptance property: a smoke-sized grid run with jobs=4
+    and jobs=1 produces byte-identical merged snapshots modulo
+    wall-clock fields, the diff reports zero regressions, and a doubled
+    runtime-overhead counter makes the CLI gate exit nonzero."""
+
+    PROGRAMS = ("EP", "IS")
+    GRID_CONFIGS = CONFIGS[:2] + CONFIGS[3:4]  # static x2 + AID-hybrid
+
+    def run_with(self, jobs):
+        progress = FleetProgress()
+        run_grid(
+            odroid_xu4(),
+            programs=[get_program(p) for p in self.PROGRAMS],
+            configs=self.GRID_CONFIGS,
+            jobs=jobs,
+            progress=progress,
+        )
+        return progress.obs_snapshot(meta={"grids": "smoke", "jobs": jobs})
+
+    def test_jobs4_and_jobs1_snapshots_byte_identical(self, tmp_path):
+        serial = comparable_snapshot(self.run_with(jobs=1))
+        parallel = comparable_snapshot(self.run_with(jobs=4))
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+        # And the structured diff agrees: nothing but wall-clock infos.
+        diff = diff_snapshots(self.run_with(jobs=1), self.run_with(jobs=4))
+        assert diff.regressions == []
+        assert diff.changes == []
+
+    def test_doubled_overhead_fails_the_cli_gate(self, tmp_path, capsys):
+        baseline = self.run_with(jobs=1)
+        perturbed = json.loads(json.dumps(baseline))
+        touched = 0
+        for c in perturbed["metrics"]["counters"]:
+            if c["name"] == "runtime_overhead_seconds_total":
+                c["value"] *= 2
+                touched += 1
+        assert touched > 0, "the grid must have recorded runtime overhead"
+        a = tmp_path / "baseline.json"
+        b = tmp_path / "perturbed.json"
+        a.write_text(json.dumps(baseline, sort_keys=True), encoding="utf-8")
+        b.write_text(json.dumps(perturbed, sort_keys=True), encoding="utf-8")
+        assert report_main(
+            ["diff", str(a), str(b), "--fail-on-regression"]
+        ) == 1
+        capsys.readouterr()
+        # The unperturbed pair passes the same gate.
+        b.write_text(json.dumps(baseline, sort_keys=True), encoding="utf-8")
+        assert report_main(
+            ["diff", str(a), str(b), "--fail-on-regression"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_warm_replay_diffs_clean_against_cold(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        programs = [get_program(p) for p in self.PROGRAMS]
+        cold_progress = FleetProgress()
+        run_grid(
+            odroid_xu4(), programs=programs, configs=self.GRID_CONFIGS,
+            cache=cache, progress=cold_progress,
+        )
+        warm_progress = FleetProgress()
+        run_grid(
+            odroid_xu4(), programs=programs, configs=self.GRID_CONFIGS,
+            cache=cache, progress=warm_progress,
+        )
+        a = tmp_path / "cold.json"
+        b = tmp_path / "warm.json"
+        a.write_text(
+            json.dumps(cold_progress.obs_snapshot(), sort_keys=True),
+            encoding="utf-8",
+        )
+        b.write_text(
+            json.dumps(warm_progress.obs_snapshot(), sort_keys=True),
+            encoding="utf-8",
+        )
+        # Cache-temperature counters flip wholesale; still no regression.
+        assert report_main(
+            ["diff", str(a), str(b), "--fail-on-regression"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_run_grid_writes_a_loadable_snapshot(self, tmp_path):
+        path = tmp_path / "obs.json"
+        run_grid(
+            odroid_xu4(),
+            programs=[get_program("EP")],
+            configs=self.GRID_CONFIGS[:2],
+            obs_snapshot_path=path,
+        )
+        doc = load_snapshot(path)
+        assert doc["merged_jobs"] == 2
+        assert doc["meta"]["platform"]
+        names = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "fleet_jobs_submitted" in names
+        assert "dispatches_total" in names
 
 
 def test_default_configs_grid_via_fleet_matches_legacy(tmp_path):

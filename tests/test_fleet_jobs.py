@@ -136,6 +136,37 @@ def test_job_result_round_trips_through_json():
     doc = json.loads(json.dumps(result.to_payload(), sort_keys=True))
     back = JobResult.from_payload(doc)
     assert back == result
+    # obs_json participates in equality, so the capture round-trips too.
+    assert back.obs_json == result.obs_json
+
+
+def test_execute_captures_worker_side_observability():
+    from repro.obs.merge import JOB_SCHEMA
+
+    result = spec_for(schedule="aid_hybrid,80").execute()
+    snap = result.obs_snapshot()
+    assert snap is not None and snap["schema"] == JOB_SCHEMA
+    names = {c["name"] for c in snap["metrics"]["counters"]}
+    assert "dispatches_total" in names
+    assert "runtime_overhead_seconds_total" in names
+    # AID schedulers decide; the digest travels, the raw records do not.
+    assert snap["decisions"]["total"] > 0
+    assert "aid_hybrid" in snap["decisions"]["schedulers"]
+
+
+def test_obs_capture_is_deterministic_across_executions():
+    a = spec_for(schedule="aid_static").execute()
+    b = spec_for(schedule="aid_static").execute()
+    assert a.obs_json == b.obs_json  # canonical string equality
+
+
+def test_payload_embeds_obs_as_a_document():
+    result = spec_for().execute()
+    doc = result.to_payload()
+    assert "obs_json" not in doc
+    assert isinstance(doc["obs"], dict)  # greppable, not a nested string
+    back = JobResult.from_payload(json.loads(json.dumps(doc)))
+    assert back.obs_json == result.obs_json
 
 
 def test_job_result_rejects_malformed_payload():

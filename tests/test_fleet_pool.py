@@ -1,5 +1,8 @@
 """Tests for the fault-tolerant fleet pool: parallel equality, crash
-recovery, retry exhaustion, LPT ordering, degradation."""
+recovery, retry exhaustion, LPT ordering, degradation, and the merged
+cross-process observability capture."""
+
+import json
 
 import pytest
 
@@ -15,8 +18,16 @@ from repro.fleet import (
     run_jobs,
 )
 from repro.fleet.pool import CRASH_ONCE_ENV, _lpt_order
+from repro.obs.merge import JOB_SCHEMA, comparable_snapshot
 from repro.runtime.env import OmpEnv
 from repro.workloads.registry import get_program
+
+
+def comparable_json(progress: FleetProgress) -> str:
+    """The merged snapshot minus wall-clock fields, as canonical JSON."""
+    return json.dumps(
+        comparable_snapshot(progress.obs_snapshot()), sort_keys=True
+    )
 
 
 @pytest.fixture()
@@ -48,8 +59,54 @@ def test_inline_matches_direct_execution(small_specs):
 def test_parallel_matches_inline(small_specs):
     serial = run_jobs(small_specs, FleetConfig(jobs=1))
     parallel = run_jobs(small_specs, FleetConfig(jobs=4))
+    # JobResult equality covers obs_json: the worker-side metric capture
+    # is part of the result, so this asserts metric equality too.
     assert [o.result for o in parallel] == [o.result for o in serial]
     assert all(o.mode == "process" for o in parallel)
+    for o in serial:
+        snap = o.result.obs_snapshot()
+        assert snap is not None and snap["schema"] == JOB_SCHEMA
+        assert snap["metrics"]["counters"]
+
+
+def test_inline_and_parallel_merge_identical_snapshots(small_specs):
+    """Satellite: the jobs=1 inline path feeds the passed progress the
+    same per-job captures as the pool path — merged snapshots are
+    byte-identical modulo wall-clock fields."""
+    inline = FleetProgress()
+    pooled = FleetProgress()
+    run_jobs(small_specs, FleetConfig(jobs=1), progress=inline)
+    run_jobs(small_specs, FleetConfig(jobs=4), progress=pooled)
+    assert inline.merged.jobs == pooled.merged.jobs == len(small_specs)
+    assert comparable_json(inline) == comparable_json(pooled)
+
+
+def test_cached_outcomes_replay_their_stored_snapshots(small_specs, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold_progress = FleetProgress()
+    cold = run_jobs(
+        small_specs, FleetConfig(jobs=2), cache=cache, progress=cold_progress
+    )
+    warm_progress = FleetProgress()
+    warm = run_jobs(
+        small_specs, FleetConfig(jobs=2), cache=cache, progress=warm_progress
+    )
+    # String equality of the canonical JSON: the cache round-trip is exact.
+    assert [o.result.obs_json for o in warm] == [
+        o.result.obs_json for o in cold
+    ]
+    # Fleet counters differ (hits vs misses) but the merged runtime
+    # metrics are label-for-label identical.
+    cold_doc = comparable_snapshot(cold_progress.obs_snapshot())
+    warm_doc = comparable_snapshot(warm_progress.obs_snapshot())
+    strip = {"fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed"}
+    for doc in (cold_doc, warm_doc):
+        doc["metrics"]["counters"] = [
+            c for c in doc["metrics"]["counters"] if c["name"] not in strip
+        ]
+    assert json.dumps(cold_doc, sort_keys=True) == json.dumps(
+        warm_doc, sort_keys=True
+    )
 
 
 def test_cache_hits_skip_execution(small_specs, tmp_path):

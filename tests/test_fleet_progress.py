@@ -1,11 +1,13 @@
-"""Tests for fleet observability: counters, events, summaries, JSONL."""
+"""Tests for fleet observability: counters, events, summaries, JSONL,
+and the per-job capture merge (job_obs / duration-estimate gauges)."""
 
 import json
 
 from repro.amp.presets import odroid_xu4
-from repro.fleet import FleetProgress, JobSpec
+from repro.fleet import FleetProgress, JobSpec, ResultCache
 from repro.fleet.progress import COUNTERS, NULL_PROGRESS
-from repro.obs import build_snapshot
+from repro.obs import Observability, build_snapshot
+from repro.obs.merge import job_snapshot_json
 from repro.runtime.env import OmpEnv
 from repro.workloads.registry import get_program
 
@@ -74,10 +76,88 @@ def test_counters_ride_the_standard_obs_snapshot():
     assert "fleet_job_duration_seconds" in hists
 
 
+def make_result(spec, dispatches=5):
+    """A JobResult carrying a small synthetic obs capture."""
+    from repro.fleet.jobs import JobResult
+
+    obs = Observability()
+    obs.registry.counter("dispatches_total", loop="L", tid=0).inc(dispatches)
+    obs.decisions.record(
+        loop="L", scheduler="aid_static", tid=0, t=0.0, event="publish_targets"
+    )
+    return JobResult(
+        digest=spec.key,
+        program=spec.program.name,
+        schedule=spec.env.schedule,
+        completion_time=1.0,
+        serial_time=0.1,
+        total_dispatches=dispatches,
+        duration=0.01,
+        obs_json=job_snapshot_json(obs),
+    )
+
+
+def test_job_obs_merges_capture_with_identity_labels():
+    progress = FleetProgress()
+    spec = make_spec()
+    progress.job_obs(spec, make_result(spec, dispatches=5))
+    assert progress.merged.jobs == 1
+    assert progress.obs.registry.value(
+        "dispatches_total",
+        loop="L", tid=0,
+        program="EP", config="static(BS)", platform=spec.platform.name,
+    ) == 5
+    doc = progress.obs_snapshot(meta={"run": "t"})
+    assert doc["merged_jobs"] == 1
+    assert doc["decision_summary"]["schedulers"]["aid_static"]["total"] == 1
+
+
+def test_job_obs_tolerates_results_without_a_capture():
+    from repro.fleet.jobs import JobResult
+
+    progress = FleetProgress()
+    spec = make_spec()
+    result = JobResult(
+        digest=spec.key, program="EP", schedule="static",
+        completion_time=1.0, serial_time=0.1, total_dispatches=3,
+        duration=0.01, obs_json=None,
+    )
+    progress.job_obs(spec, result)
+    assert progress.merged.jobs == 0
+
+
+def test_record_duration_estimates_publishes_gauges(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    cache.note_duration(spec, 0.5)
+    progress = FleetProgress()
+    progress.record_duration_estimates(cache, [spec])
+    assert progress.obs.registry.value(
+        "fleet_duration_estimate_seconds", profile=spec.profile_key
+    ) == 0.5
+    # Profiles the cache has never timed publish nothing.
+    other = JobSpec(
+        program=get_program("IS"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="dynamic,1", affinity="SB"),
+    )
+    progress.record_duration_estimates(cache, [other])
+    snap = progress.obs.registry.snapshot()
+    gauges = [
+        g for g in snap["gauges"]
+        if g["name"] == "fleet_duration_estimate_seconds"
+    ]
+    assert len(gauges) == 1
+
+
 def test_null_progress_is_inert():
     spec = make_spec()
     NULL_PROGRESS.job_submitted(spec)
     NULL_PROGRESS.job_completed(spec, duration=1.0, attempts=1)
     NULL_PROGRESS.degraded(spec, "reason")
+    NULL_PROGRESS.job_obs(spec, make_result(spec))
+    NULL_PROGRESS.record_duration_estimates(None, [spec])
     assert NULL_PROGRESS.events == []
     assert NULL_PROGRESS.count("fleet_jobs_submitted") == 0
+    doc = NULL_PROGRESS.obs_snapshot(meta={"x": 1})
+    assert doc["merged_jobs"] == 0 and doc["meta"] == {"x": 1}

@@ -1,0 +1,315 @@
+"""Tests for snapshot diffing and regression detection (repro.obs.diff)
+plus the ``python -m repro.obs.report diff`` CLI gate."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    DiffThresholds,
+    diff_snapshots,
+    histogram_distance,
+    is_cost,
+    is_informational,
+)
+from repro.obs.report import main as report_main
+from repro.obs.snapshot import SCHEMA
+
+
+def snapshot_doc(counters=(), gauges=(), histograms=(), decision_summary=None):
+    """A minimal snapshot document in the exported wire shape."""
+    doc = {
+        "schema": SCHEMA,
+        "meta": {},
+        "metrics": {
+            "counters": [
+                {"name": n, "labels": dict(labels), "value": v}
+                for n, labels, v in counters
+            ],
+            "gauges": [
+                {"name": n, "labels": dict(labels), "value": v}
+                for n, labels, v in gauges
+            ],
+            "histograms": list(histograms),
+        },
+        "decisions": [],
+    }
+    if decision_summary is not None:
+        doc["decision_summary"] = decision_summary
+    return doc
+
+
+def hist(name, counts, bounds=(1.0, 4.0), labels=()):
+    buckets = [
+        {"le": le, "count": c}
+        for le, c in zip(list(bounds) + ["+Inf"], counts)
+    ]
+    return {
+        "name": name,
+        "labels": dict(labels),
+        "buckets": buckets,
+        "sum": float(sum(counts)),
+        "count": int(sum(counts)),
+    }
+
+
+# -- classification ----------------------------------------------------------
+
+
+class TestClassification:
+    def test_cache_temperature_counters_are_informational(self):
+        for name in (
+            "fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed",
+            "fleet_job_duration_seconds", "fleet_duration_estimate_seconds",
+        ):
+            assert is_informational(name)
+        assert not is_informational("dispatches_total")
+
+    def test_overhead_and_failure_counters_are_cost(self):
+        for name in (
+            "runtime_overhead_seconds_total", "fleet_failures",
+            "fleet_timeouts", "fleet_retries",
+        ):
+            assert is_cost(name)
+        assert not is_cost("compute_seconds_total")
+
+
+# -- scalar diffs ------------------------------------------------------------
+
+
+class TestScalarDiffs:
+    def test_identical_snapshots_diff_clean(self):
+        doc = snapshot_doc(counters=[("dispatches_total", {"loop": "L"}, 7.0)])
+        diff = diff_snapshots(doc, doc)
+        assert diff.entries == []
+        assert diff.compared == 1 and diff.identical == 1
+
+    def test_simulation_divergence_is_a_regression(self):
+        a = snapshot_doc(counters=[("iterations_total", {}, 1000.0)])
+        b = snapshot_doc(counters=[("iterations_total", {}, 1100.0)])
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].name == "iterations_total"
+
+    def test_tiny_simulation_drift_is_a_change_not_a_regression(self):
+        a = snapshot_doc(counters=[("compute_seconds_total", {}, 1.000)])
+        b = snapshot_doc(counters=[("compute_seconds_total", {}, 1.001)])
+        diff = diff_snapshots(a, b, DiffThresholds(metric_rel=0.01))
+        assert diff.regressions == []
+        assert len(diff.changes) == 1
+
+    def test_doubled_overhead_counter_regresses(self):
+        a = snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 0.5)]
+        )
+        b = snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 1.0)]
+        )
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert "cost grew 100.0%" in diff.regressions[0].detail
+
+    def test_shrinking_cost_is_an_improvement_not_a_regression(self):
+        a = snapshot_doc(counters=[("fleet_retries", {}, 3.0)])
+        b = snapshot_doc(counters=[("fleet_retries", {}, 0.0)])
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+        assert len(diff.infos) == 1
+
+    def test_cost_growth_within_tolerance_is_a_change(self):
+        a = snapshot_doc(counters=[("fleet_retries", {}, 100.0)])
+        b = snapshot_doc(counters=[("fleet_retries", {}, 105.0)])
+        diff = diff_snapshots(a, b, DiffThresholds(cost_rel=0.10))
+        assert diff.regressions == []
+        assert len(diff.changes) == 1
+
+    def test_cold_vs_warm_cache_counters_stay_informational(self):
+        cold = snapshot_doc(counters=[
+            ("fleet_jobs_submitted", {}, 8.0),
+            ("fleet_cache_hits", {}, 0.0),
+            ("fleet_cache_misses", {}, 8.0),
+            ("fleet_jobs_computed", {}, 8.0),
+        ])
+        warm = snapshot_doc(counters=[
+            ("fleet_jobs_submitted", {}, 8.0),
+            ("fleet_cache_hits", {}, 8.0),
+            ("fleet_cache_misses", {}, 0.0),
+            ("fleet_jobs_computed", {}, 0.0),
+        ])
+        diff = diff_snapshots(cold, warm)
+        assert diff.regressions == [] and diff.changes == []
+        assert len(diff.infos) == 3  # hits, misses, computed flipped
+
+    def test_metric_in_only_one_snapshot_regresses(self):
+        a = snapshot_doc(counters=[("dispatches_total", {"loop": "L"}, 7.0)])
+        b = snapshot_doc()
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert "only one snapshot" in diff.regressions[0].detail
+
+    def test_same_name_different_labels_compared_separately(self):
+        a = snapshot_doc(counters=[
+            ("iterations_total", {"program": "EP"}, 10.0),
+            ("iterations_total", {"program": "IS"}, 20.0),
+        ])
+        b = snapshot_doc(counters=[
+            ("iterations_total", {"program": "EP"}, 10.0),
+            ("iterations_total", {"program": "IS"}, 25.0),
+        ])
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert dict(diff.regressions[0].labels) == {"program": "IS"}
+
+
+# -- histograms --------------------------------------------------------------
+
+
+class TestHistogramDiffs:
+    def test_distance_zero_for_identical(self):
+        h = hist("chunk_size_iterations", (3, 2, 1))
+        assert histogram_distance(h, h) == 0.0
+
+    def test_distance_one_for_disjoint(self):
+        a = hist("chunk_size_iterations", (6, 0, 0))
+        b = hist("chunk_size_iterations", (0, 0, 6))
+        assert histogram_distance(a, b) == pytest.approx(1.0)
+
+    def test_shifted_mass_beyond_tolerance_regresses(self):
+        a = snapshot_doc(histograms=[hist("chunk_size_iterations", (6, 0, 0))])
+        b = snapshot_doc(histograms=[hist("chunk_size_iterations", (0, 6, 0))])
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].kind == "histogram"
+
+    def test_wall_clock_histogram_divergence_is_informational(self):
+        a = snapshot_doc(
+            histograms=[hist("fleet_job_duration_seconds", (6, 0, 0))]
+        )
+        b = snapshot_doc(
+            histograms=[hist("fleet_job_duration_seconds", (0, 0, 6))]
+        )
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+        assert len(diff.infos) == 1
+
+
+# -- decision summaries ------------------------------------------------------
+
+
+class TestDecisionDiffs:
+    SUMMARY_A = {
+        "total": 4,
+        "schedulers": {
+            "aid_hybrid": {
+                "total": 4,
+                "events": {"sample_start": 2, "publish_targets": 2},
+            }
+        },
+        "loops": {"L": 4},
+    }
+    SUMMARY_B = {
+        "total": 5,
+        "schedulers": {
+            "aid_hybrid": {
+                "total": 5,
+                "events": {"sample_start": 3, "publish_targets": 2},
+            }
+        },
+        "loops": {"L": 5},
+    }
+
+    def test_divergence_is_strict_by_default(self):
+        a = snapshot_doc(decision_summary=self.SUMMARY_A)
+        b = snapshot_doc(decision_summary=self.SUMMARY_B)
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].kind == "decisions"
+        assert "sample_start" in diff.regressions[0].detail
+
+    def test_lax_decisions_downgrade_to_change(self):
+        a = snapshot_doc(decision_summary=self.SUMMARY_A)
+        b = snapshot_doc(decision_summary=self.SUMMARY_B)
+        diff = diff_snapshots(a, b, DiffThresholds(strict_decisions=False))
+        assert diff.regressions == []
+        assert len(diff.changes) == 1
+
+    def test_raw_decision_records_are_summarized_on_the_fly(self):
+        a = snapshot_doc()
+        a["decisions"] = [
+            {"scheduler": "aid_hybrid", "event": "sample_start", "loop": "L"}
+        ]
+        b = snapshot_doc(decision_summary={
+            "total": 1,
+            "schedulers": {
+                "aid_hybrid": {"total": 1, "events": {"sample_start": 1}}
+            },
+            "loops": {"L": 1},
+        })
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+
+
+# -- serialization and the CLI gate ------------------------------------------
+
+
+class TestDiffCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+        return str(path)
+
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        doc = snapshot_doc(counters=[("dispatches_total", {}, 7.0)])
+        a = self.write(tmp_path, "a.json", doc)
+        b = self.write(tmp_path, "b.json", doc)
+        assert report_main(["diff", a, b, "--fail-on-regression"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_doubled_overhead_fails_the_gate(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 0.5)]
+        ))
+        b = self.write(tmp_path, "b.json", snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 1.0)]
+        ))
+        assert report_main(["diff", a, b, "--fail-on-regression"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        # Without the flag the same diff merely reports.
+        assert report_main(["diff", a, b]) == 0
+        capsys.readouterr()
+
+    def test_tolerance_flags_reach_the_thresholds(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 1.0)]
+        ))
+        b = self.write(tmp_path, "b.json", snapshot_doc(
+            counters=[("runtime_overhead_seconds_total", {}, 2.0)]
+        ))
+        assert report_main(
+            ["diff", a, b, "--fail-on-regression", "--cost-tol", "2.0"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_json_output_is_structured(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", snapshot_doc(
+            counters=[("iterations_total", {}, 10.0)]
+        ))
+        b = self.write(tmp_path, "b.json", snapshot_doc(
+            counters=[("iterations_total", {}, 99.0)]
+        ))
+        out_path = tmp_path / "diff.json"
+        assert report_main(["diff", a, b, "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert doc["schema"] == "repro.obs.diff/v1"
+        assert doc["regressions"] == 1
+        assert doc["entries"][0]["name"] == "iterations_total"
+
+    def test_unreadable_snapshot_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9"}', encoding="utf-8")
+        good = self.write(tmp_path, "good.json", snapshot_doc())
+        assert report_main(["diff", str(bad), good]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -20,7 +20,7 @@ from repro.obs.snapshot import (
     write_snapshot,
 )
 from repro.sched.aid_hybrid import AidHybridSpec
-from repro.tracing.trace import ThreadState, TraceRecorder
+from repro.tracing.trace import Interval, ThreadState, Timeline, TraceRecorder
 
 from tests.helpers import run_loop
 
@@ -90,6 +90,71 @@ class TestChromeTrace:
         assert json.loads(export_chrome_trace(tr.timeline())) == json.loads(
             export_chrome_trace(tr)
         )
+
+
+class TestChromeTraceEdgeCases:
+    """Degenerate inputs must still export valid, viewer-loadable JSON."""
+
+    @staticmethod
+    def assert_non_overlapping(events):
+        """Per tid, complete events must not overlap in (ts, ts+dur)."""
+        by_tid: dict[int, list] = {}
+        for e in events:
+            if e["ph"] == "X":
+                by_tid.setdefault(e["tid"], []).append(e)
+        for tid, evs in by_tid.items():
+            evs.sort(key=lambda e: e["ts"])
+            for a, b in zip(evs, evs[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-6, (
+                    f"tid {tid}: events overlap"
+                )
+
+    def test_empty_timeline_exports_valid_json(self):
+        doc = json.loads(export_chrome_trace(Timeline()))
+        events = doc["traceEvents"]
+        assert [e["ph"] for e in events] == ["M"]  # just process_name
+        assert events[0]["args"] == {"name": "repro"}
+        assert not [e for e in events if e["ph"] in ("X", "i")]
+
+    def test_single_thread_timeline(self):
+        tl = Timeline(intervals=[
+            Interval(0, ThreadState.SERIAL, 0.0, 0.5),
+            Interval(0, ThreadState.COMPUTE, 0.5, 2.0),
+            Interval(0, ThreadState.BARRIER, 2.0, 2.25),
+        ])
+        doc = json.loads(export_chrome_trace(tl))
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        assert {e["tid"] for e in xs} == {0}
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert "worker-0" in names
+        self.assert_non_overlapping(events)
+
+    def test_decisions_only_export(self):
+        decisions = [
+            {"seq": 0, "t": 0.0, "tid": -1, "loop": "L",
+             "scheduler": "aid_static", "event": "publish_targets",
+             "sf": {"0": 1.0, "1": 1.7}},
+            {"seq": 1, "t": 0.002, "tid": 3, "loop": "L",
+             "scheduler": "aid_static", "event": "aid_allotment"},
+        ]
+        doc = json.loads(export_chrome_trace(Timeline(), decisions=decisions))
+        events = doc["traceEvents"]
+        assert not [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 2
+        # Pre-thread decisions (tid -1) are pinned to track 0.
+        assert instants[0]["tid"] == 0
+        assert instants[0]["name"] == "aid_static:publish_targets"
+        assert instants[1]["tid"] == 3
+
+    def test_real_run_timeline_has_no_overlaps_per_tid(self):
+        obs = Observability()
+        tr = TraceRecorder()
+        seeded_run(obs=obs, trace=tr)
+        events = to_trace_events(tr, decisions=obs.decisions.records)
+        self.assert_non_overlapping(events)
 
 
 # -- snapshots ---------------------------------------------------------------
@@ -175,3 +240,13 @@ class TestReportCli:
         write_snapshot(path, obs)
         assert report_main([str(path), "--loop", "test.loop400"]) == 0
         assert "test.loop400" in capsys.readouterr().out
+
+    def test_empty_snapshot_prints_null_obs_hint(self, tmp_path, capsys):
+        # An Observability that observed nothing — the signature of a
+        # run that accidentally used NULL_OBS.
+        path = tmp_path / "empty.json"
+        write_snapshot(path, Observability(), meta={"program": "EP"})
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no metrics recorded (was NULL_OBS used?)" in out
+        assert "hint:" in out

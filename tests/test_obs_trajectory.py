@@ -1,0 +1,203 @@
+"""Tests for the run-over-run trajectory store (repro.obs.trajectory):
+append/read semantics, corrupt-line tolerance, sparklines, metric
+derivation from BENCH payloads and snapshots, and the report CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.report import main as report_main
+from repro.obs.trajectory import (
+    SCHEMA,
+    TrajectoryStore,
+    bench_metrics,
+    snapshot_metrics,
+    sparkline,
+    trend_table,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TrajectoryStore(tmp_path / "history.jsonl")
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class TestStore:
+    def test_append_then_read_back(self, store):
+        rec = store.append(
+            "bench:fig6", {"speedup": 1.25}, meta={"jobs": 2}
+        )
+        assert rec["schema"] == SCHEMA and rec["seq"] == 0
+        (read,) = store.records()
+        assert read == rec
+        assert store.series("bench:fig6", "speedup") == [1.25]
+
+    def test_seq_increments_and_order_is_preserved(self, store):
+        for v in (1.0, 1.1, 0.9):
+            store.append("s", {"m": v})
+        recs = store.records()
+        assert [r["seq"] for r in recs] == [0, 1, 2]
+        assert store.series("s", "m") == [1.0, 1.1, 0.9]
+
+    def test_sources_are_kept_apart(self, store):
+        store.append("bench:a", {"m": 1.0})
+        store.append("fleet:b", {"m": 2.0})
+        assert store.sources() == ["bench:a", "fleet:b"]
+        assert store.series("bench:a", "m") == [1.0]
+        assert len(store.records("fleet:b")) == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert TrajectoryStore(tmp_path / "absent.jsonl").records() == []
+
+    def test_corrupt_and_foreign_lines_are_skipped(self, store):
+        store.append("s", {"m": 1.0})
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"schema": "other/v1", "source": "s"}\n')
+            fh.write("\n")
+        store.append("s", {"m": 2.0})
+        assert store.series("s", "m") == [1.0, 2.0]
+
+    def test_rejects_empty_or_non_finite_metrics(self, store):
+        with pytest.raises(ObsError, match="at least one metric"):
+            store.append("s", {})
+        with pytest.raises(ObsError, match="not finite"):
+            store.append("s", {"m": float("nan")})
+        with pytest.raises(ObsError, match="source"):
+            store.append("", {"m": 1.0})
+
+    def test_env_var_relocates_the_default(self, tmp_path, monkeypatch):
+        target = tmp_path / "elsewhere.jsonl"
+        monkeypatch.setenv("OBS_TRAJECTORY", str(target))
+        store = TrajectoryStore()
+        assert store.path == target
+
+
+# -- sparklines and trend tables ---------------------------------------------
+
+
+class TestRendering:
+    def test_sparkline_spans_the_glyph_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_series_is_mid_glyph(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_sparkline_clamps_to_width(self):
+        assert len(sparkline(range(100), width=24)) == 24
+
+    def test_sparkline_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_trend_table_groups_by_source_and_metric(self, store):
+        for v in (1.0, 1.2):
+            store.append("bench:a", {"speedup": v})
+        store.append("fleet:b", {"hit_rate": 0.5})
+        table = trend_table(store.records())
+        assert "bench:a" in table and "fleet:b" in table
+        assert "speedup" in table and "hit_rate" in table
+        assert "+20.0%" in table  # 1.0 -> 1.2
+
+    def test_trend_table_source_filter(self, store):
+        store.append("bench:a", {"m": 1.0})
+        store.append("fleet:b", {"m": 2.0})
+        table = trend_table(store.records(), source="bench:a")
+        assert "bench:a" in table and "fleet:b" not in table
+
+    def test_trend_table_empty(self):
+        assert trend_table([]) == "no trajectory records"
+
+
+# -- metric derivation -------------------------------------------------------
+
+
+class TestDerivation:
+    def grid(self, platform="Platform A", rows=None):
+        if rows is None:
+            rows = {
+                "EP": [
+                    {"scheme": "static(SB)", "normalized_performance": 1.0},
+                    {"scheme": "static(BS)", "normalized_performance": 0.8},
+                    {"scheme": "AID-hybrid", "normalized_performance": 1.3},
+                ],
+                "IS": [
+                    {"scheme": "static(SB)", "normalized_performance": 1.0},
+                    {"scheme": "AID-static", "normalized_performance": 1.2},
+                ],
+            }
+        return {"platform": platform, "programs": rows}
+
+    def test_bench_metrics_geomean_of_best_aid_over_best_static(self):
+        metrics = bench_metrics({"grids": [self.grid()]})
+        expected = (1.3 * 1.2) ** 0.5  # geomean of per-program ratios
+        assert metrics["speedup_vs_best_static:Platform A"] == pytest.approx(
+            expected
+        )
+
+    def test_bench_metrics_one_entry_per_platform(self):
+        payload = {
+            "grids": [self.grid("Platform A"), self.grid("Platform B")]
+        }
+        metrics = bench_metrics(payload)
+        assert set(metrics) == {
+            "speedup_vs_best_static:Platform A",
+            "speedup_vs_best_static:Platform B",
+        }
+
+    def test_bench_metrics_skip_grids_without_both_scheme_families(self):
+        rows = {"EP": [{"scheme": "dynamic(SB)", "normalized_performance": 1.0}]}
+        assert bench_metrics({"grids": [self.grid(rows=rows)]}) == {}
+
+    def test_snapshot_metrics_overhead_hit_rate_and_decisions(self):
+        snapshot = {
+            "metrics": {
+                "counters": [
+                    {"name": "runtime_overhead_seconds_total",
+                     "labels": {"tid": "0"}, "value": 0.25},
+                    {"name": "runtime_overhead_seconds_total",
+                     "labels": {"tid": "1"}, "value": 0.50},
+                    {"name": "fleet_jobs_submitted", "labels": {}, "value": 8},
+                    {"name": "fleet_cache_hits", "labels": {}, "value": 6},
+                ]
+            },
+            "decision_summary": {"total": 42},
+        }
+        metrics = snapshot_metrics(snapshot)
+        assert metrics["runtime_overhead_seconds"] == pytest.approx(0.75)
+        assert metrics["fleet_cache_hit_rate"] == pytest.approx(0.75)
+        assert metrics["decision_records"] == 42.0
+
+    def test_snapshot_metrics_on_empty_snapshot(self):
+        assert snapshot_metrics({"metrics": {"counters": []}}) == {}
+
+
+# -- report CLI --------------------------------------------------------------
+
+
+class TestTrajectoryCli:
+    def test_renders_trends(self, store, capsys):
+        store.append("bench:fig6", {"speedup": 1.1})
+        store.append("bench:fig6", {"speedup": 1.3})
+        assert report_main(["trajectory", str(store.path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench:fig6" in out and "speedup" in out
+
+    def test_source_filter(self, store, capsys):
+        store.append("bench:a", {"m": 1.0})
+        store.append("fleet:b", {"m": 2.0})
+        assert report_main(
+            ["trajectory", str(store.path), "--source", "fleet:b"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet:b" in out and "bench:a" not in out
+
+    def test_empty_history_exits_zero_with_a_note(self, tmp_path, capsys):
+        path = tmp_path / "none.jsonl"
+        assert report_main(["trajectory", str(path)]) == 0
+        assert "no trajectory records" in capsys.readouterr().out
