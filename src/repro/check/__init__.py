@@ -1,0 +1,82 @@
+"""Schedule-conformance oracle: invariants, differential checks, fuzzing.
+
+The paper's claims rest on the AID state machines (Figs. 3 and 5)
+faithfully mirroring libgomp's work-share semantics: every loop
+iteration dispatched exactly once, fetch-and-add chunk removal never
+racing past ``end``, barriers releasing only complete teams. The rest of
+the test suite asserts *outcomes* (speedups, byte-identical snapshots);
+this package machine-checks the *schedules themselves*:
+
+* :mod:`repro.check.recording` — the opt-in ``check=`` context the
+  runtime threads through :class:`~repro.runtime.workshare.WorkShare`,
+  the executor and the schedulers, so the oracle sees ground truth
+  (every fetch-and-add, every dispatched range, every state transition)
+  rather than state reconstructed from results;
+* :mod:`repro.check.invariants` — the invariant catalog (exact-once
+  execution, pool-pointer conformance, clock monotonicity, per-variant
+  AID properties, barrier completeness);
+* :mod:`repro.check.oracle` — runs the catalog over an observation and
+  renders violations, including a minimal ASCII schedule excerpt;
+* :mod:`repro.check.differential` — the same loop through all AID
+  variants plus a brute-force reference executor and the real-thread
+  executor, cross-checking completed-iteration sets, work conservation
+  and makespan sanity bounds;
+* :mod:`repro.check.generators` — seeded factories for loop specs,
+  platforms and overhead regimes, shared by unit tests and the fuzzer;
+* :mod:`repro.check.fuzz` — deterministic fuzzing with greedy shrinking
+  of failing cases to minimal reproducers;
+* :mod:`repro.check.mutants` — named fault injections CI uses to prove
+  the oracle actually catches scheduler bugs.
+
+CLI: ``python -m repro.check fuzz --cases N --seed S`` and
+``python -m repro.check verify <payload.json>`` (see docs/testing.md).
+"""
+
+from __future__ import annotations
+
+from repro.check.differential import (
+    DifferentialReport,
+    reference_schedule,
+    run_differential,
+)
+from repro.check.fuzz import FuzzResult, fuzz, run_case, shrink
+from repro.check.generators import (
+    FuzzCase,
+    generate_case,
+    make_loop,
+    preset_platform,
+    run_loop,
+)
+from repro.check.invariants import INVARIANTS, Violation
+from repro.check.mutants import MUTANTS, apply_mutant
+from repro.check.oracle import (
+    ConformanceReport,
+    verify_loop,
+    verify_payload,
+    verify_timeline,
+)
+from repro.check.recording import CheckContext
+
+__all__ = [
+    "CheckContext",
+    "ConformanceReport",
+    "DifferentialReport",
+    "FuzzCase",
+    "FuzzResult",
+    "INVARIANTS",
+    "MUTANTS",
+    "Violation",
+    "apply_mutant",
+    "fuzz",
+    "generate_case",
+    "make_loop",
+    "preset_platform",
+    "reference_schedule",
+    "run_case",
+    "run_differential",
+    "run_loop",
+    "shrink",
+    "verify_loop",
+    "verify_payload",
+    "verify_timeline",
+]

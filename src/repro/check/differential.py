@@ -1,0 +1,240 @@
+"""Differential validation: one loop, every AID variant, plus references.
+
+The same (loop, platform) instance runs through all five AID variants on
+the simulator, through the real-thread executor, and through a
+brute-force list-scheduling reference. Cross-checks:
+
+* each execution passes the invariant oracle (exact-once coverage is the
+  work-conservation check: every variant completes the identical
+  iteration set ``[0, NI)``);
+* simulated makespans respect analytic sanity bounds for zero-overhead
+  work-conserving schedules:
+
+      max(total/sum(rates), max_cost/max(rate))  <=  makespan
+      makespan  <=  total/min(rate)
+
+  — no schedule finishes faster than the critical path or perfect
+  rate-proportional balance, and none slower than "one slowest core does
+  everything";
+* the greedy reference makespan is reported alongside for context (it is
+  a heuristic, not a bound, so it is not asserted against).
+
+Differential runs use zero overhead and disabled locality so the bounds
+are tight and exact; the fuzzer covers the noisy regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amp.platform import Platform
+from repro.amp.topology import bs_mapping
+from repro.check.generators import (
+    DEFAULT_VARIANTS,
+    PLAIN_KERNEL,
+    preset_platform,
+    run_loop,
+)
+from repro.check.oracle import ConformanceReport, verify_loop
+from repro.check.recording import CheckContext
+from repro.errors import ReproError
+from repro.exec_real.team import ThreadTeam
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.team import Team
+from repro.sched.registry import parse_schedule
+from repro.sim.rng import stable_seed
+from repro.tracing.trace import TraceRecorder
+from repro.workloads.costmodels import CostModel, UniformCost
+
+#: Relative tolerance on the analytic makespan bounds (DES float noise).
+_REL_EPS = 1e-9
+
+
+def team_rates(platform: Platform, n_threads: int | None = None) -> list[float]:
+    """Per-TID execution rates for the plain kernel on a BS-mapped team."""
+    team = Team(platform, bs_mapping(platform, n_threads))
+    perf = PerfModel(platform)
+    cpus = tuple(team.mapping.cpu_of_tid)
+    return [
+        perf.rate(team.cpu_of(tid), PLAIN_KERNEL, cpus)
+        for tid in range(team.n_threads)
+    ]
+
+
+def makespan_bounds(
+    costs: np.ndarray, rates: list[float]
+) -> tuple[float, float]:
+    """``(lower, upper)`` for any zero-overhead work-conserving schedule."""
+    total = float(np.sum(costs))
+    lower = max(total / sum(rates), float(np.max(costs)) / max(rates))
+    upper = total / min(rates)
+    return lower, upper
+
+
+def reference_schedule(
+    costs: np.ndarray, rates: list[float]
+) -> dict:
+    """Brute-force list-scheduling reference executor.
+
+    Assigns each iteration, in index order, to the worker that would
+    finish it earliest — the textbook greedy on uniform machines. Not
+    optimal, but a transparent few-line executor that shares no code
+    with the runtime under test.
+
+    Returns:
+        dict with ``makespan``, per-tid ``finish_times`` and
+        ``iterations`` counts.
+    """
+    nt = len(rates)
+    avail = [0.0] * nt
+    iters = [0] * nt
+    for c in np.asarray(costs, dtype=float):
+        finish = [avail[t] + c / rates[t] for t in range(nt)]
+        tid = min(range(nt), key=lambda t: (finish[t], t))
+        avail[tid] = finish[tid]
+        iters[tid] += 1
+    return {
+        "makespan": max(avail),
+        "finish_times": avail,
+        "iterations": iters,
+    }
+
+
+@dataclass
+class DiffEntry:
+    """One executor run inside a differential comparison."""
+
+    variant: str
+    mode: str  # "sim" or "real"
+    makespan: float | None
+    report: ConformanceReport
+    bounds_ok: bool = True
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and self.bounds_ok and self.error is None
+
+
+@dataclass
+class DifferentialReport:
+    """Cross-variant comparison for one (loop, platform)."""
+
+    platform: str
+    n_iterations: int
+    bounds: tuple[float, float]
+    reference_makespan: float
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.entries)
+
+    def render(self) -> str:
+        lo, hi = self.bounds
+        lines = [
+            f"differential: platform={self.platform} ni={self.n_iterations} "
+            f"bounds=[{lo:.3e}, {hi:.3e}] reference={self.reference_makespan:.3e}"
+        ]
+        for e in self.entries:
+            span = "-" if e.makespan is None else f"{e.makespan:.3e}"
+            status = "ok" if e.ok else "FAIL"
+            lines.append(f"  {e.mode:4s} {e.variant:22s} makespan={span} {status}")
+            if not e.ok:
+                if e.error:
+                    lines.append(f"       error: {e.error}")
+                if not e.bounds_ok:
+                    lines.append("       makespan outside analytic bounds")
+                for v in e.report.violations:
+                    lines.append(f"       {v.render()}")
+        return "\n".join(lines)
+
+
+def run_differential(
+    platform: str | Platform = "odroid_xu4",
+    n_iterations: int = 128,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    cost: CostModel | None = None,
+    n_threads: int | None = None,
+    seed: int = 0,
+    include_real: bool = True,
+) -> DifferentialReport:
+    """Run one loop through every variant and cross-check the schedules.
+
+    ``cost`` defaults to uniform work; the cost vector is sampled once
+    (deterministically in ``seed``) and shared by every executor, so the
+    comparison is over schedules, not workloads.
+    """
+    plat = preset_platform(platform) if isinstance(platform, str) else platform
+    name = platform if isinstance(platform, str) else plat.name
+    model = cost if cost is not None else UniformCost(1e-4)
+    rng = np.random.default_rng(stable_seed("check.diff", seed))
+    costs = model.generate(n_iterations, rng)
+    rates = team_rates(plat, n_threads)
+    lower, upper = makespan_bounds(costs, rates)
+    ref = reference_schedule(costs, rates)
+
+    out = DifferentialReport(
+        platform=name,
+        n_iterations=n_iterations,
+        bounds=(lower, upper),
+        reference_makespan=ref["makespan"],
+    )
+    for variant in variants:
+        spec = parse_schedule(variant)
+        check = CheckContext()
+        trace = TraceRecorder()
+        makespan: float | None = None
+        error: str | None = None
+        try:
+            result = run_loop(
+                plat,
+                spec,
+                n_iterations=n_iterations,
+                costs=costs,
+                n_threads=n_threads,
+                trace=trace,
+                check=check,
+            )
+            makespan = result.duration
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            check.error = check.error or error
+        report = verify_loop(check, trace)
+        bounds_ok = makespan is None or (
+            makespan >= lower * (1.0 - _REL_EPS)
+            and makespan <= upper * (1.0 + _REL_EPS)
+        )
+        out.entries.append(
+            DiffEntry(variant, "sim", makespan, report, bounds_ok, error)
+        )
+        if include_real:
+            out.entries.append(
+                _run_real(plat, variant, n_iterations, n_threads)
+            )
+    return out
+
+
+def _run_real(
+    platform: Platform,
+    variant: str,
+    n_iterations: int,
+    n_threads: int | None,
+) -> DiffEntry:
+    """Same schedule through the real-thread executor (no-op bodies)."""
+    spec = parse_schedule(variant)
+    check = CheckContext()
+    nt = n_threads if n_threads is not None else platform.n_cores
+    error: str | None = None
+    try:
+        team = ThreadTeam(nt, platform)
+        team.parallel_for(
+            n_iterations, lambda tid, lo, hi: None, spec, check=check
+        )
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        check.error = check.error or error
+    report = verify_loop(check)
+    return DiffEntry(variant, "real", None, report, True, error)

@@ -1,0 +1,185 @@
+"""Deterministic schedule fuzzing with greedy shrinking.
+
+``fuzz(cases, seed)`` derives one :class:`~repro.check.generators.FuzzCase`
+per index from the seed (pure function — the same ``--cases/--seed``
+always replays the same executions), runs each through the simulator
+with a conformance recorder attached, and hands the observation to the
+oracle. A failing case is shrunk to a minimal reproducer by greedily
+re-running simplified variants (fewer iterations, smaller platform,
+uniform costs, zero overhead) until no simplification still fails.
+
+Runtime self-check aborts (the executor's own iteration-count assertion,
+work-share errors) are caught and folded into the report — the take log
+recorded up to the abort usually carries the actual evidence, e.g. the
+overlapping grants behind an iteration-count mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.check.generators import (
+    FuzzCase,
+    case_costs,
+    case_rng,
+    generate_case,
+    run_loop,
+    simplified,
+)
+from repro.check.mutants import apply_mutant
+from repro.check.oracle import ConformanceReport, verify_loop
+from repro.check.recording import CheckContext
+from repro.sim.rng import stable_seed
+from repro.tracing.trace import TraceRecorder
+
+
+@dataclass
+class CaseResult:
+    """One fuzz-case execution with its oracle verdict."""
+
+    case: FuzzCase
+    report: ConformanceReport
+    check: CheckContext
+    trace: TraceRecorder
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def render(self) -> str:
+        return (
+            f"case: {self.case.describe()}\n"
+            + self.report.render(self.trace)
+        )
+
+
+def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
+    """Execute one case under full observation and run the oracle."""
+    check = CheckContext()
+    trace = TraceRecorder()
+    with apply_mutant(mutant):
+        try:
+            run_loop(
+                case.build_platform(),
+                case.build_spec(),
+                n_iterations=case.n_iterations,
+                costs=case_costs(case),
+                overhead=case.overhead_model(),
+                n_threads=case.n_threads,
+                trace=trace,
+                check=check,
+                rng=case_rng(case),
+            )
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            check.error = f"{type(exc).__name__}: {exc}"
+    return CaseResult(case, verify_loop(check, trace), check, trace)
+
+
+def shrink(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool] | None = None,
+    mutant: str | None = None,
+    max_attempts: int = 200,
+) -> FuzzCase:
+    """Greedily minimize a failing case.
+
+    Repeatedly tries the simplification candidates from
+    :func:`repro.check.generators.simplified`, keeping the first that
+    still fails, until a fixpoint (no candidate fails) — rounds matter
+    because one shrink can unlock another (a smaller platform lowers the
+    iteration count a bug needs).
+    """
+    if fails is None:
+        fails = lambda c: not run_case(c, mutant=mutant).ok  # noqa: E731
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in simplified(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if fails(cand):
+                current = cand
+                improved = True
+                break
+    return current
+
+
+@dataclass
+class FuzzFailure:
+    """A failing case and its shrunk reproducer."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    result: CaseResult  # oracle verdict for the shrunk reproducer
+
+    def render(self) -> str:
+        lines = [f"original: {self.case.describe()}"]
+        if self.shrunk != self.case:
+            lines.append(f"shrunk:   {self.shrunk.describe()}")
+        lines.append(self.result.report.render(self.result.trace))
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    n_cases: int
+    seed: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+    mutant: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        tag = f" mutant={self.mutant}" if self.mutant else ""
+        if self.ok:
+            return (
+                f"fuzz: {self.n_cases} cases, seed {self.seed}{tag} — "
+                f"zero violations"
+            )
+        lines = [
+            f"fuzz: {self.n_cases} cases, seed {self.seed}{tag} — "
+            f"{len(self.failures)} failing case(s)"
+        ]
+        for i, f in enumerate(self.failures):
+            lines.append(f"--- failure {i} (replay with seed={f.case.seed}) ---")
+            lines.append(f.render())
+        return "\n".join(lines)
+
+
+def fuzz(
+    cases: int,
+    seed: int,
+    variants: tuple[str, ...] | None = None,
+    platforms: tuple[str, ...] | None = None,
+    mutant: str | None = None,
+    shrink_failures: bool = True,
+    max_failures: int = 5,
+    progress: Callable[[int, FuzzCase], None] | None = None,
+) -> FuzzResult:
+    """Run a fuzzing campaign; stops early after ``max_failures``.
+
+    Each case's sub-seed is ``stable_seed("fuzz", seed, index)`` — a
+    failure report's seed therefore replays that exact case standalone
+    via :func:`repro.check.generators.generate_case`.
+    """
+    out = FuzzResult(n_cases=cases, seed=seed, mutant=mutant)
+    for i in range(cases):
+        case = generate_case(stable_seed("fuzz", seed, i), variants, platforms)
+        if progress is not None:
+            progress(i, case)
+        result = run_case(case, mutant=mutant)
+        if result.ok:
+            continue
+        shrunk = shrink(case, mutant=mutant) if shrink_failures else case
+        out.failures.append(FuzzFailure(case, shrunk, run_case(shrunk, mutant=mutant)))
+        if len(out.failures) >= max_failures:
+            break
+    return out

@@ -1,0 +1,347 @@
+"""Seeded factories for loops, platforms and fuzz cases.
+
+One place builds every synthetic workload the conformance layer (and the
+unit-test suite, which imports from here via ``tests/helpers.py``) runs:
+loop specs over the repo's cost models, platform presets plus a
+parameterized synthetic AMP, and :class:`FuzzCase` — a fully
+value-typed, JSON-printable description of one fuzzer execution. Being
+value-typed is what makes shrinking trivial: a candidate reproducer is
+just a ``dataclasses.replace`` away.
+
+Everything is deterministic in explicit seeds through
+:func:`repro.sim.rng.stable_seed`; no call here touches global RNG
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.amp.platform import Platform
+from repro.amp.presets import (
+    dual_speed_platform,
+    odroid_xu4,
+    tri_type_platform,
+    xeon_emulated,
+)
+from repro.amp.topology import bs_mapping
+from repro.errors import ConfigError
+from repro.perfmodel.kernel import KernelProfile
+from repro.perfmodel.locality import LocalityModel
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+from repro.perfmodel.speed import PerfModel
+from repro.runtime.executor import LoopExecutor, LoopResult
+from repro.runtime.team import Team
+from repro.sched.base import ScheduleSpec
+from repro.sched.registry import parse_schedule
+from repro.sim.rng import stable_seed
+from repro.workloads.costmodels import (
+    BimodalCost,
+    CostModel,
+    JitteredCost,
+    LognormalCost,
+    RampCost,
+    UniformCost,
+)
+from repro.workloads.loopspec import LoopSpec
+
+#: A bland kernel: compute-ish, tiny working set, identical everywhere.
+PLAIN_KERNEL = KernelProfile(
+    name="test-plain", compute_weight=1.0, ilp=0.0, working_set_mb=0.0
+)
+
+#: The five AID variants the oracle acceptance run covers.
+DEFAULT_VARIANTS = (
+    "aid_static",
+    "aid_hybrid,80",
+    "aid_dynamic,1,5",
+    "aid_auto,1,5",
+    "aid_steal,8",
+)
+
+#: Platform presets by name (see :func:`preset_platform` for the
+#: ``dual:ns:nb[:speedup]`` synthetic family).
+_PRESETS = {
+    "odroid_xu4": odroid_xu4,
+    "xeon_emulated": xeon_emulated,
+    "tri": tri_type_platform,
+}
+
+
+def preset_platform(name: str) -> Platform:
+    """Build a platform from its fuzz-case string.
+
+    Accepts the preset names ``odroid_xu4``, ``xeon_emulated`` and
+    ``tri``, plus the synthetic family ``dual:<n_small>:<n_big>[:<speedup>]``
+    (flat-speedup two-type AMP — the shrinker's favourite target because
+    ``dual:1:1`` is the smallest platform any asymmetric bug can live on).
+    """
+    if name in _PRESETS:
+        return _PRESETS[name]()
+    if name.startswith("dual:"):
+        parts = name.split(":")[1:]
+        if len(parts) not in (2, 3):
+            raise ConfigError(f"bad synthetic platform spec {name!r}")
+        n_small, n_big = int(parts[0]), int(parts[1])
+        speedup = float(parts[2]) if len(parts) == 3 else 2.0
+        return dual_speed_platform(n_small, n_big, big_speedup=speedup)
+    raise ConfigError(
+        f"unknown platform {name!r}; valid: {sorted(_PRESETS)} or dual:ns:nb[:sp]"
+    )
+
+
+def make_loop(
+    n_iterations: int,
+    work: float = 1e-4,
+    kernel: KernelProfile = PLAIN_KERNEL,
+    cost: CostModel | None = None,
+    name: str | None = None,
+) -> LoopSpec:
+    """A loop spec with uniform (or caller-supplied) per-iteration cost."""
+    return LoopSpec(
+        name=name if name is not None else f"test.loop{n_iterations}",
+        n_iterations=n_iterations,
+        cost=cost if cost is not None else UniformCost(work),
+        kernel=kernel,
+    )
+
+
+def run_loop(
+    platform: Platform,
+    spec: ScheduleSpec,
+    n_iterations: int = 256,
+    costs: np.ndarray | None = None,
+    work: float = 1e-4,
+    overhead: OverheadModel | None = None,
+    n_threads: int | None = None,
+    offline_sf=None,
+    kernel: KernelProfile = PLAIN_KERNEL,
+    trace=None,
+    obs=None,
+    check=None,
+    rng: np.random.Generator | None = None,
+) -> LoopResult:
+    """Run one loop on the simulator and return its result.
+
+    The shared test/fuzz driver: BS-mapped team, flat locality, zero
+    overhead unless told otherwise, optional trace recorder and
+    conformance recorder.
+    """
+    team = Team(platform, bs_mapping(platform, n_threads))
+    loop = make_loop(n_iterations, work, kernel)
+    if costs is None:
+        costs = np.full(n_iterations, work)
+    executor = LoopExecutor(
+        team,
+        PerfModel(platform),
+        overhead if overhead is not None else ZERO_OVERHEAD,
+        recorder=trace,
+        locality=LocalityModel(enabled=False),
+        obs=obs,
+    )
+    return executor.run(
+        loop, costs, spec, offline_sf=offline_sf, check=check, rng=rng
+    )
+
+
+# -- fuzz cases ---------------------------------------------------------------
+
+#: Cost-model kinds a fuzz case may carry, with their parameter tuples.
+COST_KINDS = ("uniform", "jittered", "ramp", "lognormal", "bimodal")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined fuzzer execution.
+
+    Every field is a printable value type, so a failing case *is* its own
+    reproducer: feed the same ``FuzzCase`` back through
+    :func:`repro.check.fuzz.run_case` and the identical schedule plays
+    out.
+
+    Attributes:
+        seed: drives cost sampling and wake jitter (stable-hashed with
+            distinct stream tags; see :func:`case_costs`).
+        schedule: ``OMP_SCHEDULE``-style string (``aid_dynamic,1,5``...).
+        platform: platform string for :func:`preset_platform`.
+        n_iterations: loop trip count.
+        n_threads: team size; ``None`` uses every core.
+        cost: ``(kind, *params)`` tuple, kind from :data:`COST_KINDS`.
+        overhead_scale: multiplier on the default overhead model;
+            0 means :data:`~repro.perfmodel.overhead.ZERO_OVERHEAD`.
+    """
+
+    seed: int
+    schedule: str
+    platform: str
+    n_iterations: int
+    n_threads: int | None = None
+    cost: tuple = ("uniform", 1e-4)
+    overhead_scale: float = 1.0
+
+    def describe(self) -> str:
+        nt = "all" if self.n_threads is None else str(self.n_threads)
+        cost = ",".join(str(c) for c in self.cost)
+        return (
+            f"seed={self.seed} schedule={self.schedule} "
+            f"platform={self.platform} ni={self.n_iterations} nt={nt} "
+            f"cost={cost} ovh={self.overhead_scale:g}"
+        )
+
+    def cost_model(self) -> CostModel:
+        kind, *params = self.cost
+        if kind == "uniform":
+            return UniformCost(*params)
+        if kind == "jittered":
+            return JitteredCost(*params)
+        if kind == "ramp":
+            return RampCost(*params)
+        if kind == "lognormal":
+            return LognormalCost(*params)
+        if kind == "bimodal":
+            return BimodalCost(*params)
+        raise ConfigError(f"unknown cost kind {kind!r}")
+
+    def build_platform(self) -> Platform:
+        return preset_platform(self.platform)
+
+    def build_spec(self) -> ScheduleSpec:
+        return parse_schedule(self.schedule)
+
+    def overhead_model(self) -> OverheadModel:
+        if self.overhead_scale == 0.0:
+            return ZERO_OVERHEAD
+        return OverheadModel().scaled(self.overhead_scale)
+
+
+def case_costs(case: FuzzCase) -> np.ndarray:
+    """The case's per-iteration cost vector (deterministic in its seed)."""
+    rng = np.random.default_rng(stable_seed("check", case.seed, "costs"))
+    return case.cost_model().generate(case.n_iterations, rng)
+
+
+def case_rng(case: FuzzCase) -> np.random.Generator:
+    """The wake-jitter stream for one case execution."""
+    return np.random.default_rng(stable_seed("check", case.seed, "jitter"))
+
+
+def _gen_cost(rng: np.random.Generator) -> tuple:
+    kind = COST_KINDS[int(rng.integers(len(COST_KINDS)))]
+    w = float(rng.choice([1e-5, 1e-4, 1e-3]))
+    if kind == "uniform":
+        return (kind, w)
+    if kind == "jittered":
+        return (kind, w, float(rng.uniform(0.0, 0.4)), float(rng.uniform(-0.5, 0.5)))
+    if kind == "ramp":
+        return (kind, w, w * float(rng.uniform(1.0, 8.0)))
+    if kind == "lognormal":
+        return (kind, w, float(rng.uniform(0.2, 1.2)))
+    return (kind, w, w * float(rng.uniform(2.0, 16.0)), float(rng.uniform(0.05, 0.5)))
+
+
+def _gen_schedule(rng: np.random.Generator, variants) -> str:
+    base = variants[int(rng.integers(len(variants)))]
+    kind = base.split(",")[0]
+    # Re-roll the parameters so the pool covers the chunk space, not just
+    # the default configurations.
+    if kind == "aid_static":
+        return f"aid_static,{int(rng.integers(1, 4))}"
+    if kind == "aid_hybrid":
+        return f"aid_hybrid,{int(rng.choice([50, 60, 80, 90, 95]))}"
+    if kind in ("aid_dynamic", "aid_auto"):
+        m = int(rng.integers(1, 3))
+        big = m + int(rng.integers(0, 8))
+        return f"{kind},{m},{big}"
+    if kind == "aid_steal":
+        return f"aid_steal,{int(rng.choice([1, 2, 4, 8, 16]))}"
+    return base
+
+
+def generate_case(
+    seed: int,
+    variants: tuple[str, ...] | None = None,
+    platforms: tuple[str, ...] | None = None,
+) -> FuzzCase:
+    """Derive one fuzz case from a seed (pure function of its inputs).
+
+    ``variants`` restricts the schedule pool to the given base kinds
+    (parameters are still randomized); ``platforms`` restricts the
+    platform pool.
+    """
+    variants = tuple(variants) if variants else DEFAULT_VARIANTS
+    if platforms:
+        pool = tuple(platforms)
+    else:
+        pool = (
+            "odroid_xu4",
+            "xeon_emulated",
+            "tri",
+            "dual:2:2",
+            "dual:1:3:4",
+            "dual:3:1:1.5",
+        )
+    rng = np.random.default_rng(stable_seed("check.fuzz", seed))
+    platform_name = pool[int(rng.integers(len(pool)))]
+    platform = preset_platform(platform_name)
+    # Skew small: shrinking is cheap but starting small finds boundary
+    # bugs (NI < NT, NI == sampling takes) without any shrinking at all.
+    magnitude = int(rng.integers(0, 3))
+    ni = int(rng.integers(1, (8, 64, 512)[magnitude]))
+    n_threads: int | None = None
+    if platform.n_cores > 2 and rng.random() < 0.4:
+        n_threads = int(rng.integers(2, platform.n_cores + 1))
+    return FuzzCase(
+        seed=seed,
+        schedule=_gen_schedule(rng, variants),
+        platform=platform_name,
+        n_iterations=ni,
+        n_threads=n_threads,
+        cost=_gen_cost(rng),
+        overhead_scale=float(rng.choice([0.0, 0.5, 1.0, 3.0])),
+    )
+
+
+def _simplified_schedule(schedule: str) -> str | None:
+    """The minimal parameterization of a schedule's own kind, or ``None``
+    if the schedule already is minimal.
+
+    Matters for shrinking: AID-dynamic's endgame threshold ``M * NT``
+    scales the iteration count a chunk bug needs, so a reproducer only
+    gets small once ``m, M`` do.
+    """
+    kind = schedule.split(",")[0]
+    minimal = {
+        "aid_static": "aid_static",
+        "aid_hybrid": "aid_hybrid,80",
+        "aid_dynamic": "aid_dynamic,1,2",
+        "aid_auto": "aid_auto,1,2",
+        "aid_steal": "aid_steal,1",
+    }.get(kind, schedule)
+    return minimal if minimal != schedule else None
+
+
+def simplified(case: FuzzCase) -> list[FuzzCase]:
+    """Shrink candidates for a failing case, roughly most-aggressive
+    first (the shrinker tries them in order and keeps any that still
+    fails)."""
+    out: list[FuzzCase] = []
+    ni = case.n_iterations
+    for smaller in {1, 2, ni // 4, ni // 2, ni - 4, ni - 1}:
+        if 1 <= smaller < ni:
+            out.append(replace(case, n_iterations=smaller))
+    simpler_schedule = _simplified_schedule(case.schedule)
+    if simpler_schedule is not None:
+        out.append(replace(case, schedule=simpler_schedule))
+    if case.platform != "dual:1:1":
+        out.append(replace(case, platform="dual:1:1", n_threads=None))
+    if case.n_threads is not None:
+        out.append(replace(case, n_threads=None))
+        if case.n_threads > 2:
+            out.append(replace(case, n_threads=2))
+    if case.cost[0] != "uniform":
+        out.append(replace(case, cost=("uniform", 1e-4)))
+    if case.overhead_scale != 0.0:
+        out.append(replace(case, overhead_scale=0.0))
+    return out

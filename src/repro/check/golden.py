@@ -1,0 +1,138 @@
+"""Golden decision-log regression fixtures.
+
+One canonical run per AID variant — ``odroid_xu4()``, 64 iterations of a
+linear cost ramp, default overheads, no wake jitter — produces a
+deterministic scheduler decision log. The logs are committed under
+``tests/golden/`` as JSONL; the regression test replays the runs and
+compares byte-for-byte, so *any* change to a scheduler's decision
+sequence fails loudly with a rendered divergence instead of silently
+shifting Figs. 6/7-style results.
+
+Determinism notes: the ramp is a pure ``linspace`` (no RNG, so no
+numpy-version drift), the executor runs with ``rng=None`` (no wake
+jitter) and all arithmetic is plain IEEE doubles — the JSONL is
+reproducible across machines. Regenerate deliberately with::
+
+    python -m repro.check golden --update
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.check.generators import preset_platform, run_loop
+from repro.check.recording import CheckContext
+from repro.perfmodel.overhead import OverheadModel
+from repro.sched.registry import parse_schedule
+from repro.workloads.costmodels import RampCost
+
+#: file-stem -> schedule string. Keep in sync with tests/golden/*.jsonl.
+GOLDEN_VARIANTS: dict[str, str] = {
+    "aid_static": "aid_static",
+    "aid_hybrid_80": "aid_hybrid,80",
+    "aid_dynamic_1_5": "aid_dynamic,1,5",
+    "aid_auto_1_5": "aid_auto,1,5",
+    "aid_steal_8": "aid_steal,8",
+}
+
+#: Canonical workload: enough iterations for every variant to pass
+#: through its full state machine (sampling, publication, drain/phases/
+#: steals) on the 4+4 odroid preset, small enough to diff by eye.
+GOLDEN_N_ITERATIONS = 64
+_GOLDEN_COST = RampCost(5e-5, 2e-4)
+
+
+def run_golden(key: str) -> CheckContext:
+    """Execute one golden case and return its recorded observation."""
+    schedule = GOLDEN_VARIANTS[key]
+    platform = preset_platform("odroid_xu4")
+    costs = _GOLDEN_COST.generate(GOLDEN_N_ITERATIONS, rng=None)
+    check = CheckContext()
+    run_loop(
+        platform,
+        parse_schedule(schedule),
+        n_iterations=GOLDEN_N_ITERATIONS,
+        costs=costs,
+        overhead=OverheadModel(),
+        check=check,
+        rng=None,
+    )
+    return check
+
+
+def golden_jsonl(key: str) -> str:
+    """The canonical decision-log serialization for one variant."""
+    return run_golden(key).decisions.to_jsonl()
+
+
+def digest(text: str) -> str:
+    """Digest used to name a decision-log revision in messages."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def render_divergence(key: str, expected: str, actual: str) -> str:
+    """Oracle-style rendering of the first decision-log divergence."""
+    exp_lines = expected.splitlines()
+    act_lines = actual.splitlines()
+    idx = next(
+        (
+            i
+            for i, (a, b) in enumerate(zip(exp_lines, act_lines))
+            if a != b
+        ),
+        min(len(exp_lines), len(act_lines)),
+    )
+    lines = [
+        f"golden decision log for {key!r} diverged "
+        f"(expected digest {digest(expected)}, got {digest(actual)})",
+        f"first divergence at record {idx} "
+        f"({len(exp_lines)} expected records, {len(act_lines)} actual):",
+    ]
+    for label, src in (("expected", exp_lines), ("actual  ", act_lines)):
+        for i in range(max(0, idx - 1), min(len(src), idx + 2)):
+            rec = json.loads(src[i])
+            marker = ">>" if i == idx else "  "
+            lines.append(
+                f"{marker} {label} #{i}: tid={rec['tid']} t={rec['t']:.3e} "
+                f"{rec['event']}"
+                + (f" range={rec['range']}" if "range" in rec else "")
+            )
+    lines.append(
+        "if the schedule change is intentional, regenerate with: "
+        "python -m repro.check golden --update"
+    )
+    return "\n".join(lines)
+
+
+def check_golden(directory: str | Path) -> dict[str, str]:
+    """Compare every golden file against a fresh run.
+
+    Returns a map of diverging keys to rendered divergence reports
+    (empty = all match). Missing files count as divergences.
+    """
+    directory = Path(directory)
+    problems: dict[str, str] = {}
+    for key in GOLDEN_VARIANTS:
+        path = directory / f"{key}.jsonl"
+        actual = golden_jsonl(key)
+        if not path.exists():
+            problems[key] = f"golden file {path} missing; run --update"
+            continue
+        expected = path.read_text(encoding="utf-8")
+        if expected != actual:
+            problems[key] = render_divergence(key, expected, actual)
+    return problems
+
+
+def update_golden(directory: str | Path) -> list[str]:
+    """(Re)write every golden file; returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for key in GOLDEN_VARIANTS:
+        path = directory / f"{key}.jsonl"
+        path.write_text(golden_jsonl(key), encoding="utf-8")
+        written.append(str(path))
+    return written

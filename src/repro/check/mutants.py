@@ -1,0 +1,119 @@
+"""Named fault injections proving the oracle has teeth.
+
+A conformance oracle that never fires is indistinguishable from one
+that checks nothing. Each mutant here plants a realistic scheduler /
+work-share bug behind a context manager; CI runs the fuzzer under a
+mutant and asserts the oracle reports violations with a small shrunk
+reproducer (see the ``mutant`` subcommand of ``python -m repro.check``).
+
+Mutants patch at class level and always restore on exit, so they are
+safe to use inside a single test without leaking into others.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, ContextManager
+
+from repro.errors import ConfigError, WorkShareError
+from repro.runtime.workshare import WorkShare
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One named fault injection."""
+
+    name: str
+    description: str
+    apply: Callable[[], ContextManager[None]]
+
+
+@contextlib.contextmanager
+def _patched_take(broken):
+    original = WorkShare.take
+    WorkShare.take = broken
+    try:
+        yield
+    finally:
+        WorkShare.take = original
+
+
+def _under_advance():
+    """The classic chunk-decrement bug: the runtime hands out ``n``
+    iterations but only moves the shared pointer by ``n - 1``, so every
+    multi-iteration grant (AID-dynamic's phase allotments ``R*M`` being
+    the prime producer) overlaps the next thread's chunk."""
+
+    def broken(self, n):
+        if n <= 0:
+            raise WorkShareError(f"chunk size must be positive, got {n}")
+        lo = self._next.fetch_add(max(1, n - 1))
+        if lo >= self.end:
+            self._empty_takes.add_fetch(1)
+            if self._check is not None:
+                self._check.on_take(n, lo, None)
+            return None
+        hi = min(lo + n, self.end)
+        self._dispatches.add_fetch(1)
+        if self._check is not None:
+            self._check.on_take(n, lo, (lo, hi))
+        return (lo, hi)
+
+    return _patched_take(broken)
+
+
+def _no_clamp():
+    """Drop the clamp against ``end``: the final grant of a loop runs
+    past the last iteration (libgomp without the ``min`` in
+    ``gomp_iter_dynamic_next``)."""
+
+    def broken(self, n):
+        if n <= 0:
+            raise WorkShareError(f"chunk size must be positive, got {n}")
+        lo = self._next.fetch_add(n)
+        if lo >= self.end:
+            self._empty_takes.add_fetch(1)
+            if self._check is not None:
+                self._check.on_take(n, lo, None)
+            return None
+        hi = lo + n
+        self._dispatches.add_fetch(1)
+        if self._check is not None:
+            self._check.on_take(n, lo, (lo, hi))
+        return (lo, hi)
+
+    return _patched_take(broken)
+
+
+MUTANTS: dict[str, Mutant] = {
+    m.name: m
+    for m in (
+        Mutant(
+            "aid-dynamic-chunk-decrement",
+            "multi-iteration grants advance the pool pointer by n-1 "
+            "(breaks AID-dynamic's R*M phase allotments into overlapping "
+            "chunks)",
+            _under_advance,
+        ),
+        Mutant(
+            "workshare-no-clamp",
+            "the final grant is not clamped against end and runs past "
+            "the last iteration",
+            _no_clamp,
+        ),
+    )
+}
+
+
+def apply_mutant(name: str | None) -> ContextManager[None]:
+    """Context manager installing the named mutant (no-op for ``None``)."""
+    if name is None:
+        return contextlib.nullcontext()
+    try:
+        mutant = MUTANTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mutant {name!r}; valid: {sorted(MUTANTS)}"
+        ) from None
+    return mutant.apply()

@@ -1,0 +1,302 @@
+"""Run the invariant catalog and render what it finds.
+
+Three entry points:
+
+* :func:`verify_loop` — the main oracle: a recorded
+  :class:`~repro.check.recording.CheckContext` in, a
+  :class:`ConformanceReport` out.
+* :func:`verify_timeline` — trace-level checks (interval overlap,
+  barrier completeness) for runs recorded with a
+  :class:`~repro.tracing.trace.TraceRecorder`.
+* :func:`verify_payload` — structural validation of the repo's two
+  on-disk result formats (obs snapshots and experiment grid payloads),
+  the ``repro.check verify <file>`` backend.
+
+Reports render as text; when a trace is attached, a violation report
+includes a minimal ASCII schedule excerpt
+(:func:`repro.tracing.ascii_art.render_timeline`) so a failing fuzz case
+is readable without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.invariants import Violation, run_invariants
+from repro.check.recording import CheckContext
+from repro.tracing.ascii_art import render_timeline
+from repro.tracing.trace import ThreadState, Timeline, TraceRecorder
+
+#: Width of the ASCII schedule excerpt embedded in violation reports.
+_EXCERPT_WIDTH = 72
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one oracle run.
+
+    Attributes:
+        loop_name: the checked loop.
+        scheduler: active scheduler label (from the check context).
+        n_iterations: trip count, if the run got far enough to know it.
+        violations: everything the catalog flagged, in catalog order.
+        error: runtime self-check failure captured during execution
+            (e.g. the executor's iteration-count assertion), if any.
+        stats: event counts, for report headers and debugging.
+    """
+
+    loop_name: str = ""
+    scheduler: str = ""
+    n_iterations: int | None = None
+    violations: list[Violation] = field(default_factory=list)
+    error: str | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.error is None
+
+    def render(self, trace: TraceRecorder | Timeline | None = None) -> str:
+        """Human-readable report; pass the run's trace for an excerpt."""
+        head = (
+            f"conformance: loop={self.loop_name or '?'} "
+            f"scheduler={self.scheduler or '?'} "
+            f"ni={self.n_iterations} "
+            f"takes={self.stats.get('takes', 0)} "
+            f"dispatches={self.stats.get('dispatches', 0)} "
+            f"decisions={self.stats.get('decisions', 0)}"
+        )
+        if self.ok:
+            return f"{head}\nOK: all invariants hold"
+        lines = [head]
+        if self.error is not None:
+            lines.append(f"runtime abort: {self.error}")
+        lines += [v.render() for v in self.violations]
+        if trace is not None:
+            excerpt = render_timeline(
+                trace if isinstance(trace, TraceRecorder) else _as_recorder(trace),
+                width=_EXCERPT_WIDTH,
+            )
+            lines.append("schedule excerpt:")
+            lines.append(excerpt)
+        return "\n".join(lines)
+
+
+def _as_recorder(timeline: Timeline) -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.intervals = list(timeline.intervals)
+    return rec
+
+
+def verify_loop(
+    obs: CheckContext, trace: TraceRecorder | Timeline | None = None
+) -> ConformanceReport:
+    """Run the invariant catalog (plus timeline checks when a trace is
+    given) over one recorded loop execution."""
+    violations = run_invariants(obs)
+    if trace is not None:
+        violations.extend(verify_timeline(trace))
+    return ConformanceReport(
+        loop_name=obs.loop_name,
+        scheduler=obs.scheduler,
+        n_iterations=obs.n_iterations,
+        violations=violations,
+        error=obs.error,
+        stats={
+            "takes": len(obs.takes),
+            "dispatches": len(obs.dispatches),
+            "states": len(obs.states),
+            "decisions": len(obs.decisions),
+        },
+    )
+
+
+#: Tolerance for identical-time comparisons on DES floats.
+_TIME_EPS = 1e-9
+
+
+def verify_timeline(trace: TraceRecorder | Timeline) -> list[Violation]:
+    """Trace-level invariants: per-thread interval consistency and
+    barrier completeness.
+
+    * a thread is in exactly one state at a time (no overlapping
+      intervals) and its intervals are time-monotone;
+    * barriers release whole teams: for each loop that has barrier
+      intervals, every traced thread has one, and they all end at the
+      same release time.
+    """
+    timeline = trace.timeline() if isinstance(trace, TraceRecorder) else trace
+    out: list[Violation] = []
+    tids = timeline.thread_ids()
+    for tid in tids:
+        ivs = timeline.for_thread(tid)
+        for a, b in zip(ivs, ivs[1:]):
+            if b.t0 < a.t1 - _TIME_EPS:
+                out.append(
+                    Violation(
+                        "timeline-overlap",
+                        f"intervals overlap: [{a.t0:g}, {a.t1:g}] "
+                        f"{a.state.value} then [{b.t0:g}, {b.t1:g}] "
+                        f"{b.state.value}",
+                        tid=tid,
+                    )
+                )
+    barriers: dict[str, dict[int, float]] = {}
+    for iv in timeline.intervals:
+        if iv.state == ThreadState.BARRIER:
+            barriers.setdefault(iv.label, {})[iv.tid] = iv.t1
+    for loop, ends in sorted(barriers.items()):
+        missing = [t for t in tids if t not in ends]
+        if missing:
+            out.append(
+                Violation(
+                    "barrier-complete",
+                    f"loop {loop!r}: threads {missing} have no barrier "
+                    f"interval ({len(ends)} of {len(tids)} entered)",
+                )
+            )
+        release = max(ends.values())
+        stragglers = [
+            t for t, e in sorted(ends.items()) if release - e > _TIME_EPS
+        ]
+        if stragglers:
+            out.append(
+                Violation(
+                    "barrier-complete",
+                    f"loop {loop!r}: threads {stragglers} left the barrier "
+                    f"before the team release at t={release:g}",
+                )
+            )
+    return out
+
+
+# -- on-disk payload validation ----------------------------------------------
+
+
+def verify_payload(payload: dict) -> ConformanceReport:
+    """Structurally validate a result artifact.
+
+    Accepts the two formats the repo writes:
+
+    * obs snapshots (``schema == "repro.obs.snapshot/v1"``) — checks the
+      metrics/decisions structure, counter non-negativity and decision
+      seq ordering;
+    * experiment grid payloads (``programs``/``schemes`` keys, as built
+      by :func:`repro.obs.snapshot.grid_payload`) — checks row/scheme
+      consistency, positive completion times and the normalized-
+      performance definition.
+    """
+    report = ConformanceReport(loop_name="<payload>")
+    v = report.violations
+    if not isinstance(payload, dict):
+        v.append(Violation("payload-schema", "payload is not a JSON object"))
+        return report
+    if payload.get("schema") == "repro.obs.snapshot/v1":
+        report.scheduler = "snapshot"
+        _verify_snapshot(payload, v)
+    elif "programs" in payload and "schemes" in payload:
+        report.scheduler = "grid"
+        _verify_grid(payload, v)
+    else:
+        v.append(
+            Violation(
+                "payload-schema",
+                "unrecognized payload: expected an obs snapshot "
+                "(schema=repro.obs.snapshot/v1) or a grid payload "
+                "(programs/schemes keys)",
+            )
+        )
+    return report
+
+
+def _verify_snapshot(payload: dict, v: list[Violation]) -> None:
+    for key in ("metrics", "decisions"):
+        if key not in payload:
+            v.append(Violation("payload-schema", f"snapshot missing {key!r}"))
+            return
+    metrics = payload["metrics"]
+    if not isinstance(metrics, dict):
+        v.append(Violation("payload-schema", "metrics is not an object"))
+        return
+    for kind in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(kind), list):
+            v.append(
+                Violation("payload-schema", f"metrics.{kind} is not a list")
+            )
+            return
+    for m in metrics["counters"]:
+        if m.get("value", 0) < 0:
+            v.append(
+                Violation(
+                    "payload-counters",
+                    f"counter {m.get('name', '?')} is negative "
+                    f"({m.get('value')})",
+                )
+            )
+    decisions = payload["decisions"]
+    if not isinstance(decisions, list):
+        v.append(Violation("payload-schema", "decisions is not a list"))
+        return
+    for i, rec in enumerate(decisions):
+        missing = [
+            f
+            for f in ("seq", "t", "loop", "scheduler", "tid", "event")
+            if f not in rec
+        ]
+        if missing:
+            v.append(
+                Violation(
+                    "payload-decisions",
+                    f"decision record {i} missing fields {missing}",
+                    seq=i,
+                )
+            )
+        elif rec["seq"] != i:
+            v.append(
+                Violation(
+                    "payload-decisions",
+                    f"decision record {i} has out-of-order seq {rec['seq']}",
+                    seq=i,
+                )
+            )
+
+
+def _verify_grid(payload: dict, v: list[Violation]) -> None:
+    schemes = payload.get("schemes") or []
+    for program, rows in sorted(payload.get("programs", {}).items()):
+        labels = [r.get("scheme") for r in rows]
+        missing = [s for s in schemes if s not in labels]
+        if missing:
+            v.append(
+                Violation(
+                    "payload-grid",
+                    f"program {program!r} missing schemes {missing}",
+                )
+            )
+        base_row = next(
+            (r for r in rows if r.get("scheme") == payload.get("baseline")),
+            None,
+        )
+        for row in rows:
+            t = row.get("completion_time")
+            if not isinstance(t, (int, float)) or t <= 0:
+                v.append(
+                    Violation(
+                        "payload-grid",
+                        f"{program}/{row.get('scheme')}: non-positive "
+                        f"completion time {t!r}",
+                    )
+                )
+                continue
+            norm = row.get("normalized_performance")
+            if base_row is not None and isinstance(norm, (int, float)):
+                expected = base_row["completion_time"] / t
+                if abs(norm - expected) > 1e-9 * max(1.0, abs(expected)):
+                    v.append(
+                        Violation(
+                            "payload-grid",
+                            f"{program}/{row.get('scheme')}: "
+                            f"normalized_performance {norm} != "
+                            f"baseline/completion = {expected}",
+                        )
+                    )

@@ -69,24 +69,39 @@ class ThreadTeam:
         spec: ScheduleSpec,
         default_chunk: int = 1,
         offline_sf: dict[int, float] | None = None,
+        check=None,
     ) -> RealLoopStats:
         """Execute ``body(tid, lo, hi)`` over ``[0, n_iterations)``.
 
         The scheduler decides the ranges exactly as in the simulator;
         each worker loops on ``next_range`` until the pool drains. Worker
         exceptions abort the loop and are re-raised.
+
+        ``check`` is an opt-in conformance recorder
+        (:class:`repro.check.recording.CheckContext`). Its take log may
+        be appended out of serialization order under real threads; the
+        oracle sorts by the fetch-and-add's returned value.
         """
         if n_iterations < 0:
             raise ConfigError("negative trip count")
         # RLock: scheduler state machines hold the context lock while the
         # work-share atomics (protected by the same lock) are invoked.
         lock = threading.RLock()
+        if check is not None:
+            check.on_loop_begin(
+                loop_name=f"real-{spec.name}",
+                n_iterations=n_iterations,
+                spec_name=spec.name,
+            )
+            check.on_team(self.team.conformance_info())
         ctx = LoopContext(
             team=self.team,
             n_iterations=n_iterations,
             default_chunk=default_chunk,
             lock=lock,
             offline_sf=offline_sf,
+            loop_name=f"real-{spec.name}",
+            check=check,
         )
         scheduler = spec.create(ctx)
         iterations = [0] * self.n_threads
@@ -100,6 +115,12 @@ class ThreadTeam:
                     if errors:
                         return
                     got = scheduler.next_range(tid, time.perf_counter())
+                    if check is not None:
+                        # Serialize the append so event seq numbers stay
+                        # unique (list.append alone is safe, the seq
+                        # derivation inside on_dispatch is not).
+                        with ranges_lock:
+                            check.on_dispatch(tid, time.perf_counter(), got)
                     if got is None:
                         return
                     lo, hi = got
@@ -129,13 +150,16 @@ class ThreadTeam:
                 f"schedule {spec.name!r} executed {executed} of "
                 f"{n_iterations} iterations under real threads"
             )
-        return RealLoopStats(
+        stats = RealLoopStats(
             n_iterations=n_iterations,
             iterations_per_thread=iterations,
             dispatches=ctx.workshare.dispatch_count,
             wall_time=wall,
             ranges=ranges,
         )
+        if check is not None:
+            check.on_loop_end(stats)
+        return stats
 
 
 def parallel_map(

@@ -49,6 +49,11 @@ class LoopContext:
             through it. Defaults to the null sink.
         loop_name: the executed loop's name, stamped onto decision
             records and metric labels.
+        check: optional conformance recorder (a
+            :class:`repro.check.recording.CheckContext`). Threaded into
+            the work-share pool and read by the AID schedulers, which
+            mirror state transitions and decision records into it so the
+            oracle works from ground truth even with observability off.
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class LoopContext:
         charge_timestamp: Callable[[int], None] | None = None,
         obs: Observability | None = None,
         loop_name: str = "",
+        check=None,
     ) -> None:
         if n_iterations < 0:
             raise ConfigError(f"negative trip count {n_iterations}")
@@ -74,7 +80,8 @@ class LoopContext:
         self._charge_timestamp = charge_timestamp
         self.obs = obs if obs is not None else NULL_OBS
         self.loop_name = loop_name
-        self.workshare = WorkShare(0, n_iterations, lock)
+        self.check = check
+        self.workshare = WorkShare(0, n_iterations, lock, check=check)
         self.threads = tuple(
             ThreadView(
                 tid=t,

@@ -203,6 +203,7 @@ class LoopExecutor:
         ownership: LoopOwnership | None = None,
         rng: np.random.Generator | None = None,
         start_times: Sequence[float] | None = None,
+        check=None,
     ) -> LoopResult:
         """Run the loop under a schedule through the runtime system.
 
@@ -213,6 +214,10 @@ class LoopExecutor:
         ``start_times`` gives each thread its own entry time into the
         work-sharing construct — how threads arrive after a preceding
         ``nowait`` loop. Defaults to everyone entering at ``start_time``.
+
+        ``check`` is an opt-in conformance recorder
+        (:class:`repro.check.recording.CheckContext`); it observes the
+        run without altering any scheduling decision.
         """
         from repro.sim.events import Simulator
         from repro.sim.clock import VirtualClock
@@ -223,6 +228,13 @@ class LoopExecutor:
             )
         if spec.requires_bs_mapping:
             self.team.assert_bs_convention()
+        if check is not None:
+            check.on_loop_begin(
+                loop_name=loop.name,
+                n_iterations=loop.n_iterations,
+                spec_name=spec.name,
+            )
+            check.on_team(self.team.conformance_info())
 
         nt = self.team.n_threads
         if start_times is not None:
@@ -252,6 +264,7 @@ class LoopExecutor:
             charge_timestamp=charge_timestamp,
             obs=self.obs,
             loop_name=loop.name,
+            check=check,
         )
         scheduler: LoopScheduler = spec.create(ctx)
 
@@ -278,6 +291,8 @@ class LoopExecutor:
             takes_before = ctx.workshare.dispatch_count
             got = scheduler.next_range(tid, now)
             calls[tid] += 1
+            if check is not None:
+                check.on_dispatch(tid, now, got)
             extra = pending_overhead[tid]
             pending_overhead[tid] = 0.0
             overhead_dt = dispatch_cost + extra
@@ -366,6 +381,8 @@ class LoopExecutor:
             ranges=assigned,
             extra={"scheduler": scheduler},
         )
+        if check is not None:
+            check.on_loop_end(result)
         if self.obs.enabled:
             self._publish_loop_metrics(
                 loop, ctx, result, calls, overhead_acc, compute_acc

@@ -101,6 +101,26 @@ class Team:
                 type_index=j,
             ).set(n)
 
+    def conformance_info(self) -> dict:
+        """The team facts the schedule-conformance oracle reasons about.
+
+        Recorded into a ``check=`` context at loop start so invariant
+        checks (per-type AID targets, BS-convention-dependent
+        properties, barrier completeness) work from the pinning that was
+        actually in force, not one reconstructed from results.
+        """
+        types = self._type_of_tid
+        return {
+            "n_threads": self.n_threads,
+            "n_types": self.n_types,
+            "cpu_of_tid": list(self.mapping.cpu_of_tid),
+            "type_of_tid": list(types),
+            "type_counts": list(self.type_counts()),
+            "bs_convention": all(
+                types[i] >= types[i + 1] for i in range(len(types) - 1)
+            ),
+        }
+
     def assert_bs_convention(self) -> None:
         """Verify the AID mapping convention: TIDs sorted by descending
         core-type index (fast types first).

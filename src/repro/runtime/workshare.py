@@ -26,10 +26,19 @@ class WorkShare:
         end: one past the last iteration index.
         lock: pass a ``threading.Lock`` when threads are real; ``None``
             in the discrete-event simulator.
+        check: optional conformance recorder (a
+            :class:`repro.check.recording.CheckContext`); when set, every
+            fetch-and-add on ``next`` is reported with its pre-add value
+            and clamped result, so the schedule-conformance oracle sees
+            the pool's ground truth instead of reconstructed state.
     """
 
     def __init__(
-        self, start: int, end: int, lock: threading.Lock | None = None
+        self,
+        start: int,
+        end: int,
+        lock: threading.Lock | None = None,
+        check=None,
     ) -> None:
         if end < start:
             raise WorkShareError(f"invalid iteration range [{start}, {end})")
@@ -41,6 +50,7 @@ class WorkShare:
         # per thread per loop) so the successful-take hot path pays no
         # extra atomic; attempt_count derives from the two.
         self._empty_takes = AtomicCounter(0, lock)
+        self._check = check
 
     # -- pool state --------------------------------------------------------
 
@@ -100,9 +110,13 @@ class WorkShare:
         lo = self._next.fetch_add(n)
         if lo >= self.end:
             self._empty_takes.add_fetch(1)
+            if self._check is not None:
+                self._check.on_take(n, lo, None)
             return None
         hi = min(lo + n, self.end)
         self._dispatches.add_fetch(1)
+        if self._check is not None:
+            self._check.on_take(n, lo, (lo, hi))
         return (lo, hi)
 
     def take_all(self) -> tuple[int, int] | None:

@@ -127,9 +127,9 @@ class AidAutoScheduler(LoopScheduler):
         if state == ac.START:
             got = ws.take(self.m)
             if got is None:
-                self.state[tid] = ac.DONE
+                ac.set_state(self, tid, ac.DONE)
                 return None
-            self.state[tid] = ac.SAMPLING
+            ac.set_state(self, tid, ac.SAMPLING)
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
@@ -169,10 +169,10 @@ class AidAutoScheduler(LoopScheduler):
             return self._wait_steal(tid, now)
 
         if state in (ac.AID, ac.DRAIN):
-            self.state[tid] = ac.DRAIN
+            ac.set_state(self, tid, ac.DRAIN)
             got = ws.take(self.m)
             if got is None:
-                self.state[tid] = ac.DONE
+                ac.set_state(self, tid, ac.DONE)
                 return None
             if self.dec.on:
                 self.dec.emit(
@@ -227,8 +227,10 @@ class AidAutoScheduler(LoopScheduler):
             ]
             inner.phase = 1
             for t in range(self.ctx.n_threads):
-                inner.state[t] = (
-                    ac.DONE if self.state[t] == ac.DONE else ac.SAMPLING_WAIT
+                ac.set_state(
+                    inner,
+                    t,
+                    ac.DONE if self.state[t] == ac.DONE else ac.SAMPLING_WAIT,
                 )
             inner.active = sum(
                 1 for t in range(self.ctx.n_threads) if inner.state[t] != ac.DONE
@@ -256,9 +258,9 @@ class AidAutoScheduler(LoopScheduler):
     def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.m)
         if got is None:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
-        self.state[tid] = ac.SAMPLING_WAIT
+        ac.set_state(self, tid, ac.SAMPLING_WAIT)
         self.delta[tid] += got[1] - got[0]
         if self.dec.on:
             self.dec.emit(
@@ -271,12 +273,12 @@ class AidAutoScheduler(LoopScheduler):
         assert self.targets is not None
         target = self.targets[self.ctx.type_of(tid)]
         need = target - self.delta[tid]
-        self.state[tid] = ac.AID
+        ac.set_state(self, tid, ac.AID)
         if need <= 0:
             return self._next_locked(tid, now)
         got = self.ctx.workshare.take(need)
         if got is None:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
         self.delta[tid] += got[1] - got[0]
         if self.dec.on:

@@ -96,8 +96,29 @@ def decision_emitter(ctx: LoopContext, scheduler_name: str) -> DecisionEmitter:
 
     The emitter binds the loop and scheduler names once; the per-decision
     hot path is a single ``emitter.on`` check when observability is off.
+    When the context carries a conformance recorder (``ctx.check``), the
+    emitter is a tee that always writes the check log and additionally
+    forwards to observability when that is enabled — the oracle's view of
+    the decision stream never depends on obs configuration.
     """
+    check = getattr(ctx, "check", None)
+    if check is not None:
+        return check.emitter(ctx.loop_name, scheduler_name, ctx.obs)
     return DecisionEmitter(ctx.obs, ctx.loop_name, scheduler_name)
+
+
+def set_state(sched, tid: int, state: str) -> None:
+    """Transition thread ``tid``'s scheduler state, mirroring it into the
+    conformance recorder when one is attached.
+
+    All AID variants route their per-thread state writes through here so
+    the oracle checks the *actual* state-machine path (paper Figs. 3/5)
+    rather than one inferred from dispatch patterns.
+    """
+    sched.state[tid] = state
+    check = getattr(sched.ctx, "check", None)
+    if check is not None:
+        check.on_state(tid, state, getattr(sched, "scheduler_label", "?"))
 
 
 def emit_sf_publication(

@@ -117,7 +117,7 @@ class AidDynamicScheduler(LoopScheduler):
             got = self.ctx.workshare.take(self.m)
             if got is None:
                 return self._retire(tid)
-            self.state[tid] = ac.SAMPLING
+            ac.set_state(self, tid, ac.SAMPLING)
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
@@ -186,7 +186,7 @@ class AidDynamicScheduler(LoopScheduler):
         """Pick the next assignment for a thread that just became idle."""
         self._maybe_endgame(tid, now)
         if self.in_endgame:
-            self.state[tid] = ENDGAME
+            ac.set_state(self, tid, ENDGAME)
             got = self.ctx.workshare.take(self.m)
             if got is None:
                 return self._retire(tid)
@@ -201,7 +201,7 @@ class AidDynamicScheduler(LoopScheduler):
             got = self.ctx.workshare.take(self.m)
             if got is None:
                 return self._retire(tid)
-            self.state[tid] = ac.SAMPLING_WAIT
+            ac.set_state(self, tid, ac.SAMPLING_WAIT)
             if self.dec.on:
                 self.dec.emit(
                     tid, now, "wait_steal",
@@ -214,7 +214,7 @@ class AidDynamicScheduler(LoopScheduler):
         got = self.ctx.workshare.take(self.m)
         if got is None:
             return self._retire(tid)
-        self.state[tid] = ac.AID_WAIT
+        ac.set_state(self, tid, ac.AID_WAIT)
         if self.dec.on:
             self.dec.emit(
                 tid, now, "wait_steal",
@@ -232,7 +232,7 @@ class AidDynamicScheduler(LoopScheduler):
         self.thread_phase[tid] = self.phase
         self.phase_joined += 1
         self.phase_pending += 1
-        self.state[tid] = ac.AID
+        ac.set_state(self, tid, ac.AID)
         self.assign_time[tid] = now  # refined by note_execution_start
         self._timing[tid] = True
         self.ctx.charge_timestamp(tid)
@@ -289,7 +289,7 @@ class AidDynamicScheduler(LoopScheduler):
     def _retire(self, tid: int) -> None:
         """Pool drained for this thread: leave the loop."""
         if self.state[tid] != ac.DONE:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             self.active -= 1
             self._maybe_finalize_phase()
         return None

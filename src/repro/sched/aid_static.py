@@ -121,9 +121,9 @@ class AidStaticScheduler(LoopScheduler):
                 return self._enter_aid(tid, now)
             got = ws.take(self.sampling_chunk)
             if got is None:
-                self.state[tid] = ac.DONE
+                ac.set_state(self, tid, ac.DONE)
                 return None
-            self.state[tid] = ac.SAMPLING
+            ac.set_state(self, tid, ac.SAMPLING)
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
@@ -160,10 +160,10 @@ class AidStaticScheduler(LoopScheduler):
 
         if state in (ac.AID, ac.DRAIN):
             # AID allotment (or a drain steal) completed; mop up residue.
-            self.state[tid] = ac.DRAIN
+            ac.set_state(self, tid, ac.DRAIN)
             got = ws.take(self.tail_chunk)
             if got is None:
-                self.state[tid] = ac.DONE
+                ac.set_state(self, tid, ac.DONE)
                 return None
             if self.dec.on:
                 self.dec.emit(
@@ -177,9 +177,9 @@ class AidStaticScheduler(LoopScheduler):
     def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.sampling_chunk)
         if got is None:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
-        self.state[tid] = ac.SAMPLING_WAIT
+        ac.set_state(self, tid, ac.SAMPLING_WAIT)
         self.delta[tid] += got[1] - got[0]
         if self.dec.on:
             self.dec.emit(
@@ -192,13 +192,13 @@ class AidStaticScheduler(LoopScheduler):
         assert self.targets is not None
         target = self.targets[self.ctx.type_of(tid)]
         need = target - self.delta[tid]
-        self.state[tid] = ac.AID
+        ac.set_state(self, tid, ac.AID)
         if need <= 0:
             # Already over target (e.g. many wait steals): go drain.
             return self._next_locked(tid, now)
         got = self.ctx.workshare.take(need)
         if got is None:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
         self.delta[tid] += got[1] - got[0]
         if self.dec.on:

@@ -148,9 +148,9 @@ class AidStealScheduler(LoopScheduler):
         if state == ac.START:
             got = self.ctx.workshare.take(self.sampling_chunk)
             if got is None:
-                self.state[tid] = ac.DONE
+                ac.set_state(self, tid, ac.DONE)
                 return None
-            self.state[tid] = ac.SAMPLING
+            ac.set_state(self, tid, ac.SAMPLING)
             self.assign_time[tid] = now  # refined by note_execution_start
             self._timing[tid] = True
             self.ctx.charge_timestamp(tid)
@@ -185,9 +185,9 @@ class AidStealScheduler(LoopScheduler):
     def _wait_steal(self, tid: int, now: float) -> tuple[int, int] | None:
         got = self.ctx.workshare.take(self.sampling_chunk)
         if got is None:
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
-        self.state[tid] = ac.SAMPLING_WAIT
+        ac.set_state(self, tid, ac.SAMPLING_WAIT)
         if self.dec.on:
             self.dec.emit(
                 tid, now, "wait_steal",
@@ -199,10 +199,10 @@ class AidStealScheduler(LoopScheduler):
 
     def _serve(self, tid: int, now: float) -> tuple[int, int] | None:
         assert self.local is not None
-        self.state[tid] = SERVING
+        ac.set_state(self, tid, SERVING)
         lo, hi = self.local[tid]
         if hi <= lo and not self._steal_into(tid, now):
-            self.state[tid] = ac.DONE
+            ac.set_state(self, tid, ac.DONE)
             return None
         lo, hi = self.local[tid]
         cut = min(hi, lo + self.serve_chunk)

@@ -2,35 +2,32 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.amp.presets import (
-    dual_speed_platform,
-    odroid_xu4,
-    tri_type_platform,
-    xeon_emulated,
-)
 from repro.amp.topology import bs_mapping, sb_mapping
+from repro.check.generators import preset_platform
 from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
 from repro.perfmodel.speed import PerfModel
 from repro.runtime.team import Team
+from repro.sim.rng import stable_seed
 
 
 @pytest.fixture
 def platform_a():
-    return odroid_xu4()
+    return preset_platform("odroid_xu4")
 
 
 @pytest.fixture
 def platform_b():
-    return xeon_emulated()
+    return preset_platform("xeon_emulated")
 
 
 @pytest.fixture
 def flat2x():
     """A 2+2 AMP whose big cores are exactly 2x faster for all code —
     analytic expectations are exact on it."""
-    return dual_speed_platform(n_small=2, n_big=2, big_speedup=2.0)
+    return preset_platform("dual:2:2")
 
 
 @pytest.fixture
@@ -40,7 +37,7 @@ def flat2x_team(flat2x):
 
 @pytest.fixture
 def tri_platform():
-    return tri_type_platform()
+    return preset_platform("tri")
 
 
 @pytest.fixture
@@ -66,3 +63,24 @@ def default_overhead():
 @pytest.fixture
 def perf_a(platform_a):
     return PerfModel(platform_a)
+
+
+@pytest.fixture
+def rng(request):
+    """Seeded per-test RNG, announcing its seed for replay.
+
+    The seed is stable-hashed from the test's node id, so reruns of one
+    test are deterministic while distinct tests get distinct streams.
+    Override with ``REPRO_TEST_SEED=<n> pytest ...`` to replay a stream
+    in a different test; the print only surfaces in pytest's captured
+    output when the test fails.
+    """
+    import os
+
+    override = os.environ.get("REPRO_TEST_SEED")
+    if override is not None:
+        seed = int(override)
+    else:
+        seed = stable_seed("tests", request.node.nodeid)
+    print(f"rng fixture seed: {seed} (REPRO_TEST_SEED={seed} to replay)")
+    return np.random.default_rng(seed)

@@ -1,63 +1,21 @@
-"""Test helpers: compact drivers around the loop executor."""
+"""Test helpers: compact drivers around the loop executor.
+
+The loop/platform builders live in :mod:`repro.check.generators` — the
+conformance layer and the unit suite drive the exact same factories, so
+a fuzz counterexample replays byte-identically inside a unit test.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.amp.platform import Platform
-from repro.amp.topology import bs_mapping
-from repro.perfmodel.kernel import KernelProfile
-from repro.perfmodel.locality import LocalityModel
-from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
-from repro.perfmodel.speed import PerfModel
-from repro.runtime.executor import LoopExecutor, LoopResult
-from repro.runtime.team import Team
-from repro.sched.base import ScheduleSpec
-from repro.workloads.costmodels import UniformCost
-from repro.workloads.loopspec import LoopSpec
-
-#: A bland kernel: compute-ish, tiny working set, identical everywhere.
-PLAIN_KERNEL = KernelProfile(
-    name="test-plain", compute_weight=1.0, ilp=0.0, working_set_mb=0.0
+from repro.check.generators import (  # noqa: F401 — re-exported test API
+    PLAIN_KERNEL,
+    make_loop,
+    preset_platform,
+    run_loop,
 )
-
-
-def make_loop(n_iterations: int, work: float = 1e-4, kernel=PLAIN_KERNEL) -> LoopSpec:
-    return LoopSpec(
-        name=f"test.loop{n_iterations}",
-        n_iterations=n_iterations,
-        cost=UniformCost(work),
-        kernel=kernel,
-    )
-
-
-def run_loop(
-    platform: Platform,
-    spec: ScheduleSpec,
-    n_iterations: int = 256,
-    costs: np.ndarray | None = None,
-    work: float = 1e-4,
-    overhead: OverheadModel | None = None,
-    n_threads: int | None = None,
-    offline_sf=None,
-    kernel=PLAIN_KERNEL,
-    trace=None,
-    obs=None,
-) -> LoopResult:
-    """Run one loop on the simulator and return its result."""
-    team = Team(platform, bs_mapping(platform, n_threads))
-    loop = make_loop(n_iterations, work, kernel)
-    if costs is None:
-        costs = np.full(n_iterations, work)
-    executor = LoopExecutor(
-        team,
-        PerfModel(platform),
-        overhead if overhead is not None else ZERO_OVERHEAD,
-        recorder=trace,
-        locality=LocalityModel(enabled=False),
-        obs=obs,
-    )
-    return executor.run(loop, costs, spec, offline_sf=offline_sf)
+from repro.runtime.executor import LoopResult
 
 
 def assert_valid_partition(result: LoopResult, n_iterations: int) -> None:

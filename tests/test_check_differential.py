@@ -1,0 +1,80 @@
+"""Tests for the differential AID-validation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.differential import (
+    makespan_bounds,
+    reference_schedule,
+    run_differential,
+    team_rates,
+)
+from repro.check.generators import preset_platform
+
+
+class TestReferenceSchedule:
+    def test_single_worker_sums_costs(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        ref = reference_schedule(costs, [1.0])
+        assert ref["makespan"] == pytest.approx(6.0)
+        assert ref["iterations"] == [3]
+
+    def test_balanced_two_workers(self):
+        costs = np.ones(10)
+        ref = reference_schedule(costs, [1.0, 1.0])
+        assert ref["makespan"] == pytest.approx(5.0)
+        assert sorted(ref["iterations"]) == [5, 5]
+
+    def test_fast_worker_gets_more(self):
+        costs = np.ones(30)
+        ref = reference_schedule(costs, [1.0, 2.0])
+        assert ref["iterations"][1] > ref["iterations"][0]
+        assert sum(ref["iterations"]) == 30
+
+    def test_reference_respects_bounds(self):
+        rng = np.random.default_rng(11)
+        costs = rng.uniform(0.5, 2.0, size=64)
+        rates = [1.0, 1.5, 2.0]
+        lower, upper = makespan_bounds(costs, rates)
+        ref = reference_schedule(costs, rates)
+        assert lower <= ref["makespan"] <= upper
+
+
+class TestTeamRates:
+    def test_big_cores_rate_higher(self):
+        rates = team_rates(preset_platform("dual:2:2"))
+        assert max(rates) > min(rates)
+
+    def test_thread_count_respected(self):
+        assert len(team_rates(preset_platform("odroid_xu4"), 4)) == 4
+
+
+class TestRunDifferential:
+    def test_all_variants_agree_on_odroid(self):
+        report = run_differential(
+            platform="odroid_xu4", n_iterations=96, include_real=False
+        )
+        assert report.ok, report.render()
+        assert len(report.entries) == 5
+        for entry in report.entries:
+            assert entry.makespan is not None
+            lo, hi = report.bounds
+            assert lo <= entry.makespan <= hi
+
+    def test_real_executor_entries_pass_the_oracle(self):
+        report = run_differential(
+            platform="dual:2:2", n_iterations=64, include_real=True
+        )
+        assert report.ok, report.render()
+        modes = {e.mode for e in report.entries}
+        assert modes == {"sim", "real"}
+
+    def test_render_lists_every_entry(self):
+        report = run_differential(
+            platform="xeon_emulated", n_iterations=48, include_real=False
+        )
+        rendered = report.render()
+        for entry in report.entries:
+            assert entry.variant in rendered

@@ -1,0 +1,132 @@
+"""Tests for the deterministic fuzzer, shrinking and mutant detection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.check.fuzz import fuzz, run_case, shrink
+from repro.check.generators import FuzzCase, generate_case
+from repro.check.mutants import MUTANTS, apply_mutant
+from repro.errors import ConfigError
+
+
+class TestRunCase:
+    def test_clean_case_passes(self):
+        case = FuzzCase(
+            seed=1,
+            schedule="aid_dynamic,1,5",
+            platform="odroid_xu4",
+            n_iterations=64,
+        )
+        result = run_case(case)
+        assert result.ok, result.render()
+        assert result.report.n_iterations == 64
+
+    def test_case_replays_identically(self):
+        case = generate_case(99)
+        a = run_case(case)
+        b = run_case(case)
+        assert a.check.executed_ranges() == b.check.executed_ranges()
+        assert [r for r in a.check.decisions.records] == [
+            r for r in b.check.decisions.records
+        ]
+
+    def test_crash_is_folded_into_the_report(self):
+        case = FuzzCase(
+            seed=1,
+            schedule="aid_static,3",
+            platform="dual:1:1",
+            n_iterations=2,
+            overhead_scale=0.0,
+        )
+        result = run_case(case, mutant="workshare-no-clamp")
+        assert not result.ok
+        assert result.report.error is not None
+
+
+class TestFuzzCampaign:
+    def test_small_campaign_is_clean(self):
+        result = fuzz(25, 7)
+        assert result.ok, result.render()
+        assert "zero violations" in result.render()
+
+    def test_campaign_is_deterministic(self):
+        a = fuzz(10, 3)
+        b = fuzz(10, 3)
+        assert a.ok == b.ok and a.n_cases == b.n_cases
+
+    def test_max_failures_stops_early(self):
+        result = fuzz(
+            40,
+            1,
+            variants=("aid_dynamic",),
+            mutant="aid-dynamic-chunk-decrement",
+            shrink_failures=False,
+            max_failures=1,
+        )
+        assert len(result.failures) == 1
+
+
+class TestMutantDetection:
+    def test_chunk_decrement_mutant_detected_and_shrinks_small(self):
+        result = fuzz(
+            25,
+            1,
+            variants=("aid_dynamic",),
+            mutant="aid-dynamic-chunk-decrement",
+            max_failures=1,
+        )
+        assert not result.ok, "oracle failed to detect the planted bug"
+        failure = result.failures[0]
+        assert failure.shrunk.n_iterations <= 8, failure.render()
+        assert not run_case(
+            failure.shrunk, mutant="aid-dynamic-chunk-decrement"
+        ).ok
+
+    def test_no_clamp_mutant_detected(self):
+        result = fuzz(
+            25,
+            1,
+            variants=("aid_static", "aid_steal,8"),
+            mutant="workshare-no-clamp",
+            max_failures=1,
+        )
+        assert not result.ok
+        names = {
+            v.invariant
+            for v in result.failures[0].result.report.violations
+        }
+        assert "workshare-replay" in names
+
+    def test_mutants_restore_cleanly(self):
+        # After a mutant campaign the pristine runtime must fuzz clean.
+        fuzz(5, 1, mutant="workshare-no-clamp", shrink_failures=False)
+        assert fuzz(5, 1).ok
+
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ConfigError):
+            with apply_mutant("not-a-mutant"):
+                pass
+
+    def test_mutant_catalog_documented(self):
+        assert "aid-dynamic-chunk-decrement" in MUTANTS
+        for m in MUTANTS.values():
+            assert m.description
+
+
+class TestShrink:
+    def test_shrink_reaches_fixpoint(self):
+        case = generate_case(5)
+        # synthetic predicate: fails whenever ni >= 3
+        fails = lambda c: c.n_iterations >= 3  # noqa: E731
+        if not fails(case):
+            case = dataclasses.replace(case, n_iterations=50)
+        shrunk = shrink(case, fails=fails)
+        assert shrunk.n_iterations == 3
+        assert fails(shrunk)
+
+    def test_shrink_keeps_passing_case_unchanged(self):
+        case = generate_case(6)
+        assert shrink(case, fails=lambda c: False) == case

@@ -1,0 +1,117 @@
+"""Tests for the seeded fuzz-case and platform factories."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.check.generators import (
+    DEFAULT_VARIANTS,
+    FuzzCase,
+    case_costs,
+    generate_case,
+    preset_platform,
+    simplified,
+)
+from repro.errors import ConfigError
+from repro.sched.registry import parse_schedule
+
+
+class TestPresetPlatform:
+    @pytest.mark.parametrize("name", ["odroid_xu4", "xeon_emulated", "tri"])
+    def test_named_presets(self, name):
+        assert preset_platform(name).n_cores > 0
+
+    def test_dual_family(self):
+        p = preset_platform("dual:1:3:4")
+        assert p.n_cores == 4
+
+    def test_dual_default_speedup(self):
+        assert preset_platform("dual:2:2").n_cores == 4
+
+    @pytest.mark.parametrize("bad", ["nope", "dual:1", "dual:x:y"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises((ConfigError, ValueError)):
+            preset_platform(bad)
+
+
+class TestGenerateCase:
+    def test_pure_function_of_seed(self):
+        a = generate_case(1234)
+        b = generate_case(1234)
+        assert a == b
+        assert generate_case(1235) != a
+
+    def test_case_is_buildable(self):
+        for seed in range(20):
+            case = generate_case(seed)
+            case.build_platform()
+            case.build_spec()
+            case.cost_model()
+            case.overhead_model()
+            assert case.n_iterations >= 1
+            assert len(case_costs(case)) == case.n_iterations
+
+    def test_costs_deterministic_in_seed(self):
+        case = generate_case(7)
+        assert (case_costs(case) == case_costs(case)).all()
+
+    def test_variant_restriction_respected(self):
+        for seed in range(30):
+            case = generate_case(seed, variants=("aid_steal,8",))
+            assert case.schedule.startswith("aid_steal")
+
+    def test_platform_restriction_respected(self):
+        for seed in range(30):
+            case = generate_case(seed, platforms=("dual:2:2",))
+            assert case.platform == "dual:2:2"
+
+    def test_default_pool_covers_every_variant_kind(self):
+        kinds = {
+            generate_case(seed).schedule.split(",")[0] for seed in range(200)
+        }
+        expected = {v.split(",")[0] for v in DEFAULT_VARIANTS}
+        assert kinds == expected
+
+
+class TestSimplified:
+    def test_candidates_are_strictly_simpler(self):
+        case = generate_case(42)
+        for cand in simplified(case):
+            assert cand != case
+            assert cand.n_iterations <= case.n_iterations
+            assert cand.seed == case.seed  # shrinking never reseeds
+
+    def test_minimal_case_has_limited_candidates(self):
+        case = FuzzCase(
+            seed=1,
+            schedule="aid_dynamic,1,2",
+            platform="dual:1:1",
+            n_iterations=1,
+            cost=("uniform", 1e-4),
+            overhead_scale=0.0,
+        )
+        assert simplified(case) == []
+
+    def test_schedule_parameters_shrink(self):
+        case = FuzzCase(
+            seed=1,
+            schedule="aid_dynamic,2,9",
+            platform="dual:1:1",
+            n_iterations=1,
+            cost=("uniform", 1e-4),
+            overhead_scale=0.0,
+        )
+        schedules = {c.schedule for c in simplified(case)}
+        assert "aid_dynamic,1,2" in schedules
+
+    def test_candidate_schedules_parse(self):
+        for seed in range(30):
+            for cand in simplified(generate_case(seed)):
+                parse_schedule(cand.schedule)
+
+    def test_replace_roundtrip_preserves_value_semantics(self):
+        case = generate_case(3)
+        clone = dataclasses.replace(case)
+        assert clone == case and hash(clone) == hash(case)

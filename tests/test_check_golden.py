@@ -1,0 +1,82 @@
+"""Golden decision-log regression tests.
+
+Each AID variant's canonical run on the odroid preset must reproduce
+the committed decision log byte-for-byte. A digest change means the
+scheduler's decision sequence changed — fail with the oracle-rendered
+divergence; if intentional, regenerate with
+``python -m repro.check golden --update``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.golden import (
+    GOLDEN_VARIANTS,
+    check_golden,
+    digest,
+    golden_jsonl,
+    render_divergence,
+    run_golden,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_VARIANTS))
+def test_decision_log_matches_golden(key):
+    path = GOLDEN_DIR / f"{key}.jsonl"
+    assert path.exists(), (
+        f"golden file {path} missing; run `python -m repro.check golden "
+        f"--update` and commit the result"
+    )
+    expected = path.read_text(encoding="utf-8")
+    actual = golden_jsonl(key)
+    assert expected == actual, render_divergence(key, expected, actual)
+
+
+def test_golden_runs_are_deterministic():
+    key = "aid_dynamic_1_5"
+    assert golden_jsonl(key) == golden_jsonl(key)
+
+
+def test_golden_runs_pass_the_oracle():
+    from repro.check.oracle import verify_loop
+
+    for key in GOLDEN_VARIANTS:
+        report = verify_loop(run_golden(key))
+        assert report.ok, f"{key}: {report.render()}"
+
+
+def test_check_golden_flags_tampered_file(tmp_path):
+    for key in GOLDEN_VARIANTS:
+        (tmp_path / f"{key}.jsonl").write_text(
+            golden_jsonl(key), encoding="utf-8"
+        )
+    assert check_golden(tmp_path) == {}
+    # tamper: flip one record's tid
+    victim = tmp_path / "aid_static.jsonl"
+    lines = victim.read_text(encoding="utf-8").splitlines()
+    rec = json.loads(lines[1])
+    rec["tid"] = 99
+    lines[1] = json.dumps(rec, sort_keys=True)
+    victim.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    problems = check_golden(tmp_path)
+    assert set(problems) == {"aid_static"}
+    assert "first divergence at record 1" in problems["aid_static"]
+    assert "--update" in problems["aid_static"]
+
+
+def test_check_golden_flags_missing_file(tmp_path):
+    problems = check_golden(tmp_path)
+    assert set(problems) == set(GOLDEN_VARIANTS)
+    assert all("missing" in p for p in problems.values())
+
+
+def test_digest_is_stable_and_short():
+    assert digest("x") == digest("x")
+    assert len(digest("x")) == 16
+    assert digest("x") != digest("y")

@@ -1,0 +1,169 @@
+"""Unit tests for the invariant catalog on hand-crafted observations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.invariants import INVARIANTS, run_invariants
+from repro.check.recording import CheckContext
+
+
+def _base_obs(ni: int = 4, nt: int = 2) -> CheckContext:
+    """An observation skeleton the individual tests corrupt."""
+    obs = CheckContext()
+    obs.on_loop_begin(loop_name="t.loop", n_iterations=ni, spec_name="s")
+    obs.on_team(
+        {
+            "n_threads": nt,
+            "n_types": 1,
+            "cpu_of_tid": list(range(nt)),
+            "type_of_tid": [0] * nt,
+            "type_counts": [nt],
+            "bs_convention": True,
+        }
+    )
+    return obs
+
+
+def _names(violations) -> set[str]:
+    return {v.invariant for v in violations}
+
+
+class TestCatalog:
+    def test_catalog_is_nonempty_and_documented(self):
+        assert len(INVARIANTS) >= 10
+        for inv in INVARIANTS:
+            assert inv.name and inv.description, inv
+
+    def test_empty_observation_is_clean(self):
+        assert run_invariants(CheckContext()) == []
+
+    def test_clean_sequential_run_passes(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_take(2, 2, (2, 4))
+        obs.on_take(2, 4, None)
+        obs.on_dispatch(0, 0.0, (0, 2))
+        obs.on_dispatch(1, 0.0, (2, 4))
+        assert run_invariants(obs) == []
+
+
+class TestWorkShareReplay:
+    def test_under_advanced_pointer_is_flagged(self):
+        obs = _base_obs(ni=6)
+        obs.on_take(3, 0, (0, 3))
+        obs.on_take(3, 2, (2, 5))  # pointer should be 3, not 2
+        assert "workshare-replay" in _names(run_invariants(obs))
+
+    def test_unclamped_grant_is_flagged(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(3, 2, (2, 5))  # hi must clamp to 4
+        assert "workshare-replay" in _names(run_invariants(obs))
+
+    def test_out_of_order_real_thread_takes_are_fine(self):
+        # Under real threads the append order of the take log can differ
+        # from the atomic's serialization; replay must sort by `before`.
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 2, (2, 4))
+        obs.on_take(2, 0, (0, 2))
+        obs.on_dispatch(0, 0.0, (2, 4))
+        obs.on_dispatch(1, 0.0, (0, 2))
+        assert run_invariants(obs) == []
+
+
+class TestExactOnce:
+    def test_duplicate_iteration_is_flagged(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_take(2, 2, (2, 4))
+        obs.on_dispatch(0, 0.0, (0, 2))
+        obs.on_dispatch(1, 0.0, (1, 3))  # 1 and 2 executed twice
+        names = _names(run_invariants(obs))
+        assert "exact-once" in names
+
+    def test_missing_iteration_is_flagged(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(4, 0, (0, 4))
+        obs.on_dispatch(0, 0.0, (0, 3))  # iteration 3 never executed
+        assert "exact-once" in _names(run_invariants(obs))
+
+
+class TestClockMonotone:
+    def test_backwards_clock_is_flagged(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_take(2, 2, (2, 4))
+        obs.on_dispatch(0, 1.0, (0, 2))
+        obs.on_dispatch(0, 0.5, (2, 4))  # same tid, time went backwards
+        assert "clock-monotone" in _names(run_invariants(obs))
+
+    def test_interleaved_tids_may_overlap_in_time(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_take(2, 2, (2, 4))
+        obs.on_dispatch(0, 1.0, (0, 2))
+        obs.on_dispatch(1, 0.5, (2, 4))  # different tid: fine
+        assert run_invariants(obs) == []
+
+
+class TestStateMachine:
+    # Recorded state events are transition *targets*: threads start in
+    # the implicit START state, which is never re-entered.
+    @pytest.mark.parametrize(
+        "scheduler,bad",
+        [
+            ("aid_static", ["DRAIN"]),
+            ("aid_dynamic", ["AID"]),
+            ("aid_steal", ["SAMPLING", "AID"]),
+        ],
+    )
+    def test_illegal_transition_is_flagged(self, scheduler, bad):
+        obs = _base_obs()
+        for state in bad:
+            obs.on_state(0, state, scheduler)
+        assert "state-machine" in _names(run_invariants(obs))
+
+    def test_legal_aid_static_walk_passes(self):
+        obs = _base_obs()
+        for state in ["SAMPLING", "SAMPLING_WAIT", "AID", "DRAIN", "DONE"]:
+            obs.on_state(0, state, "aid_static")
+        assert "state-machine" not in _names(run_invariants(obs))
+
+    def test_non_done_final_state_flagged_when_result_present(self):
+        obs = _base_obs()
+        obs.on_state(0, "SAMPLING", "aid_static")
+        obs.on_loop_end(object())
+        assert "state-machine" in _names(run_invariants(obs))
+
+
+class TestDispatchPoolConsistency:
+    def test_dispatch_without_pool_removal_is_flagged(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_dispatch(0, 0.0, (0, 2))
+        obs.on_dispatch(1, 0.0, (2, 4))  # never came out of the pool
+        assert "dispatch-pool-consistency" in _names(run_invariants(obs))
+
+
+class TestViolationRendering:
+    def test_render_carries_invariant_tid_and_seq(self):
+        obs = _base_obs(ni=4)
+        obs.on_take(2, 0, (0, 2))
+        obs.on_take(2, 2, (2, 4))
+        obs.on_dispatch(3, 1.0, (0, 2))
+        obs.on_dispatch(3, 0.5, (2, 4))
+        violations = run_invariants(obs)
+        assert violations
+        rendered = [v.render() for v in violations]
+        assert any("clock-monotone" in r and "tid=3" in r for r in rendered)
+
+    def test_violation_flood_is_capped_per_invariant(self):
+        obs = _base_obs(ni=100)
+        obs.on_take(100, 0, (0, 100))
+        for i in range(50):  # 50 duplicate dispatches
+            obs.on_dispatch(0, float(i), (i, i + 1))
+            obs.on_dispatch(0, float(i), (i, i + 1))
+        per_invariant: dict[str, int] = {}
+        for v in run_invariants(obs):
+            per_invariant[v.invariant] = per_invariant.get(v.invariant, 0) + 1
+        assert all(count <= 6 for count in per_invariant.values()), per_invariant

@@ -1,0 +1,189 @@
+"""Oracle end-to-end tests: live runs, timelines and on-disk payloads."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.check.generators import preset_platform, run_loop
+from repro.check.oracle import verify_loop, verify_payload, verify_timeline
+from repro.check.recording import CheckContext
+from repro.obs import Observability
+from repro.obs.snapshot import build_snapshot
+from repro.sched.registry import parse_schedule
+from repro.tracing.trace import ThreadState, TraceRecorder
+from tests.helpers import assert_valid_partition
+
+
+class TestVerifyLoop:
+    def test_clean_run_produces_ok_report(self):
+        check = CheckContext()
+        trace = TraceRecorder()
+        result = run_loop(
+            preset_platform("odroid_xu4"),
+            parse_schedule("aid_dynamic,1,5"),
+            n_iterations=64,
+            trace=trace,
+            check=check,
+        )
+        assert_valid_partition(result, 64)
+        report = verify_loop(check, trace)
+        assert report.ok, report.render(trace)
+        assert report.scheduler == "aid_dynamic"
+        assert report.n_iterations == 64
+        assert report.stats["dispatches"] > 0
+        assert "OK" in report.render()
+
+    def test_all_variants_pass_on_both_presets(self):
+        for platform in ("odroid_xu4", "xeon_emulated"):
+            for schedule in (
+                "aid_static",
+                "aid_hybrid,80",
+                "aid_dynamic,1,5",
+                "aid_auto,1,5",
+                "aid_steal,8",
+            ):
+                check = CheckContext()
+                run_loop(
+                    preset_platform(platform),
+                    parse_schedule(schedule),
+                    n_iterations=48,
+                    check=check,
+                )
+                report = verify_loop(check)
+                assert report.ok, f"{platform}/{schedule}: {report.render()}"
+
+    def test_failing_report_renders_schedule_excerpt(self):
+        check = CheckContext()
+        trace = TraceRecorder()
+        run_loop(
+            preset_platform("dual:2:2"),
+            parse_schedule("aid_static"),
+            n_iterations=16,
+            trace=trace,
+            check=check,
+        )
+        # corrupt the observation: drop the last granted take, so one
+        # dispatched range never came out of the pool
+        idx = max(i for i, ev in enumerate(check.takes) if ev.granted)
+        del check.takes[idx]
+        report = verify_loop(check, trace)
+        assert not report.ok
+        rendered = report.render(trace)
+        assert "schedule excerpt" in rendered
+        assert "T0" in rendered
+
+    def test_check_decision_log_is_populated_without_obs(self):
+        # The tee emitter must record decisions even when no obs layer
+        # is attached (the executor defaults to the null sink).
+        check = CheckContext()
+        run_loop(
+            preset_platform("odroid_xu4"),
+            parse_schedule("aid_dynamic,1,5"),
+            n_iterations=32,
+            check=check,
+        )
+        events = {r["event"] for r in check.decisions.records}
+        assert "sample_start" in events
+        assert events & {"publish_targets", "publish_ratio", "decide"}
+
+
+class TestVerifyTimeline:
+    def test_clean_trace_passes(self):
+        trace = TraceRecorder()
+        run_loop(
+            preset_platform("odroid_xu4"),
+            parse_schedule("aid_static"),
+            n_iterations=32,
+            trace=trace,
+        )
+        assert verify_timeline(trace) == []
+
+    def test_overlapping_intervals_flagged(self):
+        trace = TraceRecorder()
+        trace.record(0, ThreadState.COMPUTE, 0.0, 1.0, "l")
+        trace.record(0, ThreadState.COMPUTE, 0.5, 1.5, "l")
+        names = {v.invariant for v in verify_timeline(trace)}
+        assert "timeline-overlap" in names
+
+    def test_partial_barrier_flagged(self):
+        trace = TraceRecorder()
+        trace.record(0, ThreadState.COMPUTE, 0.0, 1.0, "l")
+        trace.record(1, ThreadState.COMPUTE, 0.0, 0.4, "l")
+        trace.record(1, ThreadState.BARRIER, 0.4, 1.0, "l")
+        names = {v.invariant for v in verify_timeline(trace)}
+        assert "barrier-complete" in names
+
+
+class TestVerifyPayload:
+    def _snapshot(self) -> dict:
+        obs = Observability()
+        obs.registry.counter("x_total").inc(3)
+        obs.decisions.record(loop="l", scheduler="s", tid=0, t=0.0, event="e")
+        return build_snapshot(obs, meta={"k": "v"})
+
+    def test_valid_snapshot_passes(self):
+        report = verify_payload(self._snapshot())
+        assert report.ok, report.render()
+
+    def test_negative_counter_flagged(self):
+        payload = copy.deepcopy(self._snapshot())
+        payload["metrics"]["counters"][0]["value"] = -1
+        report = verify_payload(payload)
+        assert any(
+            v.invariant == "payload-counters" for v in report.violations
+        )
+
+    def test_out_of_order_decision_seq_flagged(self):
+        payload = copy.deepcopy(self._snapshot())
+        payload["decisions"][0]["seq"] = 7
+        report = verify_payload(payload)
+        assert any(
+            v.invariant == "payload-decisions" for v in report.violations
+        )
+
+    def test_unknown_payload_flagged(self):
+        report = verify_payload({"whatever": 1})
+        assert not report.ok
+
+    def _grid(self) -> dict:
+        return {
+            "programs": {
+                "p1": [
+                    {
+                        "scheme": "static(SB)",
+                        "completion_time": 2.0,
+                        "normalized_performance": 1.0,
+                    },
+                    {
+                        "scheme": "aid_dynamic",
+                        "completion_time": 1.0,
+                        "normalized_performance": 2.0,
+                    },
+                ]
+            },
+            "schemes": ["static(SB)", "aid_dynamic"],
+            "baseline": "static(SB)",
+        }
+
+    def test_valid_grid_passes(self):
+        assert verify_payload(self._grid()).ok
+
+    def test_missing_scheme_flagged(self):
+        payload = self._grid()
+        payload["programs"]["p1"].pop()
+        report = verify_payload(payload)
+        assert any(v.invariant == "payload-grid" for v in report.violations)
+
+    def test_wrong_normalization_flagged(self):
+        payload = self._grid()
+        payload["programs"]["p1"][1]["normalized_performance"] = 3.0
+        report = verify_payload(payload)
+        assert any(
+            "normalized_performance" in v.message for v in report.violations
+        )
+
+    def test_non_positive_completion_time_flagged(self):
+        payload = self._grid()
+        payload["programs"]["p1"][1]["completion_time"] = 0.0
+        report = verify_payload(payload)
+        assert any(v.invariant == "payload-grid" for v in report.violations)

@@ -1,0 +1,63 @@
+"""Seed hygiene: every randomized test threads an explicit seed.
+
+An unseeded ``default_rng()`` (or legacy ``np.random.*`` global-state
+call) makes a failure unreproducible — the one property the whole
+conformance layer is built on. This test greps the test tree and the
+``repro`` sources and fails on any new offender, with the file:line to
+fix. Tests that want fresh-but-replayable streams use the ``rng``
+fixture from ``conftest.py``, which derives its seed from the test's
+node id and prints it on failure.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Unseeded generator construction: `default_rng()` with no arguments.
+_UNSEEDED = re.compile(r"default_rng\(\s*\)")
+
+#: Legacy numpy global-state draws (np.random.rand etc.). Seeded
+#: Generator methods like rng.random() don't match: the pattern requires
+#: the np.random prefix.
+_GLOBAL_STATE = re.compile(
+    r"np\.random\.(?:rand|randn|randint|random|choice|shuffle|uniform|"
+    r"normal|lognormal|seed)\("
+)
+
+#: Directories whose python files must be hygienic.
+_SCANNED = ("tests", "src/repro", "benchmarks", "examples")
+
+
+def _offenders(pattern: re.Pattern) -> list[str]:
+    out: list[str] = []
+    for base in _SCANNED:
+        for path in sorted((REPO / base).rglob("*.py")):
+            if path.name == Path(__file__).name:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if pattern.search(line) and "# seed-hygiene: ok" not in line:
+                    out.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    return out
+
+
+def test_no_unseeded_default_rng():
+    offenders = _offenders(_UNSEEDED)
+    assert not offenders, (
+        "unseeded default_rng() calls found — thread an explicit seed "
+        "(tests: use the `rng` fixture) or annotate `# seed-hygiene: ok`:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_no_numpy_global_state_draws():
+    offenders = _offenders(_GLOBAL_STATE)
+    assert not offenders, (
+        "numpy global-state RNG calls found — construct a seeded "
+        "Generator instead, or annotate `# seed-hygiene: ok`:\n"
+        + "\n".join(offenders)
+    )

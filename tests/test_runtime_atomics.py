@@ -2,7 +2,12 @@
 
 import threading
 
+import pytest
+
+from repro.check.mutants import apply_mutant
+from repro.check.recording import CheckContext
 from repro.runtime.atomics import AtomicCounter, AtomicFloat
+from repro.runtime.workshare import WorkShare
 
 
 class TestAtomicCounter:
@@ -68,3 +73,97 @@ class TestAtomicFloat:
         for t in threads:
             t.join()
         assert f.value == n * per * 0.25
+
+
+class TestFetchAddProperties:
+    """Randomized fetch-and-add properties, seeded via the rng fixture.
+
+    The properties are the work-share half of the conformance oracle:
+    chunks removed by concurrent fetch-and-add never overlap, never
+    run past ``end``, and together cover the pool exactly once.
+    """
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_interleaved_takes_partition_the_pool(self, rng, case):
+        end = int(rng.integers(1, 200))
+        ws = WorkShare(0, end)
+        grants = []
+        while True:
+            got = ws.take(int(rng.integers(1, 8)))
+            if got is None:
+                break
+            grants.append(got)
+        self._assert_partition(grants, end)
+
+    def test_threaded_takes_partition_the_pool(self, rng):
+        end = int(rng.integers(50, 400))
+        ws = WorkShare(0, end, threading.Lock())
+        chunks = [int(c) for c in rng.integers(1, 8, size=64)]
+        grants = []
+        grants_lock = threading.Lock()
+
+        def worker(wid):
+            i = wid
+            while True:
+                got = ws.take(chunks[i % len(chunks)])
+                i += 3
+                if got is None:
+                    return
+                with grants_lock:
+                    grants.append(got)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self._assert_partition(grants, end)
+
+    @staticmethod
+    def _assert_partition(grants, end):
+        seen = [0] * end
+        for lo, hi in grants:
+            assert 0 <= lo < hi <= end, f"grant [{lo}, {hi}) outside [0, {end})"
+            for i in range(lo, hi):
+                seen[i] += 1
+        assert all(c == 1 for c in seen), (
+            f"pool not partitioned exactly once: counts {sorted(set(seen))}"
+        )
+
+    @pytest.mark.parametrize(
+        "mutant", ["aid-dynamic-chunk-decrement", "workshare-no-clamp"]
+    )
+    def test_properties_catch_planted_bugs(self, rng, mutant):
+        """The same properties must fail under each planted pool bug —
+        otherwise they are not actually constraining the semantics."""
+        broken = False
+        with apply_mutant(mutant):
+            for _ in range(20):
+                end = int(rng.integers(5, 60))
+                ws = WorkShare(0, end)
+                grants = []
+                while True:
+                    got = ws.take(int(rng.integers(2, 6)))
+                    if got is None:
+                        break
+                    grants.append(got)
+                try:
+                    self._assert_partition(grants, end)
+                except AssertionError:
+                    broken = True
+                    break
+        assert broken, f"mutant {mutant} never violated the partition property"
+
+    def test_take_reports_ground_truth_to_check_context(self, rng):
+        end = int(rng.integers(10, 100))
+        check = CheckContext()
+        ws = WorkShare(0, end, check=check)
+        while ws.take(int(rng.integers(1, 5))) is not None:
+            pass
+        granted = [ev.granted for ev in check.takes if ev.granted is not None]
+        assert granted, "no takes recorded"
+        assert granted[-1][1] == end
+        # the recorded pre-add pointers replay the exact serialization
+        assert [ev.before for ev in check.takes[:-1]] == sorted(
+            ev.before for ev in check.takes[:-1]
+        )
