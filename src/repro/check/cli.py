@@ -79,6 +79,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         max_failures=args.max_failures,
         progress=progress,
+        faults=args.faults,
     )
     print(result.render())
     if args.out and not result.ok:
@@ -117,12 +118,18 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 def _cmd_mutant(args: argparse.Namespace) -> int:
     """Prove the oracle detects a planted bug, with a small reproducer."""
     variants = tuple(args.variant) if args.variant else ("aid_dynamic",)
+    # The watchdog mutant lives in the real-thread executor: it needs
+    # real stall cases, which only the "stall" fault mode generates.
+    faults = args.faults
+    if faults is None and args.name == "watchdog-stall-blind":
+        faults = "stall"
     result = run_fuzz(
         args.cases,
         args.seed,
         variants=variants,
         mutant=args.name,
         max_failures=1,
+        faults=faults,
     )
     if result.ok:
         print(
@@ -184,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"platform pool (repeatable; default {DEFAULT_FUZZ_PLATFORMS})",
     )
     p.add_argument("--mutant", choices=sorted(MUTANTS), default=None)
+    p.add_argument(
+        "--faults",
+        choices=("sim", "stall"),
+        default=None,
+        help="fault-injection mode: seeded random plans on simulator "
+        "cases (sim) or real-thread stall cases with the watchdog armed "
+        "(stall)",
+    )
     p.add_argument("--no-shrink", action="store_true")
     p.add_argument("--max-failures", type=int, default=5)
     p.add_argument(
@@ -222,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant",
         action="append",
         help="schedule pool for the campaign (default: aid_dynamic)",
+    )
+    p.add_argument(
+        "--faults",
+        choices=("sim", "stall"),
+        default=None,
+        help="fault mode for the campaign (watchdog-stall-blind "
+        "defaults to stall)",
     )
     p.add_argument(
         "--max-shrunk-ni", type=int, default=MUTANT_MAX_SHRUNK_NI

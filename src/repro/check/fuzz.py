@@ -30,6 +30,7 @@ from repro.check.generators import (
 from repro.check.mutants import apply_mutant
 from repro.check.oracle import ConformanceReport, verify_loop
 from repro.check.recording import CheckContext
+from repro.faults.model import plan_from_tuples
 from repro.sim.rng import stable_seed
 from repro.tracing.trace import TraceRecorder
 
@@ -55,9 +56,33 @@ class CaseResult:
 
 
 def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
-    """Execute one case under full observation and run the oracle."""
+    """Execute one case under full observation and run the oracle.
+
+    Real cases (``case.real``) run on the thread team with the watchdog
+    armed and the case's stall plan injected. Simulator cases with a
+    fault plan first run a fault-free probe (same costs and jitter) to
+    learn the baseline makespan, then scale the plan's fractional times
+    onto it — a fault tuple at ``t0=0.5`` always lands mid-loop no
+    matter how long the case runs.
+    """
+    if case.real:
+        return _run_real_case(case, mutant)
     check = CheckContext()
     trace = TraceRecorder()
+    faults_plan = None
+    if case.faults:
+        probe = run_loop(
+            case.build_platform(),
+            case.build_spec(),
+            n_iterations=case.n_iterations,
+            costs=case_costs(case),
+            overhead=case.overhead_model(),
+            n_threads=case.n_threads,
+            rng=case_rng(case),
+        )
+        faults_plan = plan_from_tuples(case.faults).scaled(
+            max(probe.duration, 1e-9)
+        )
     with apply_mutant(mutant):
         try:
             run_loop(
@@ -70,6 +95,44 @@ def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
                 trace=trace,
                 check=check,
                 rng=case_rng(case),
+                faults=faults_plan,
+            )
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            check.error = f"{type(exc).__name__}: {exc}"
+    return CaseResult(case, verify_loop(check, trace), check, trace)
+
+
+#: Per-iteration busy-sleep of the real-case loop body. Long enough that
+#: a chunk is observable, short enough that a 24-iteration case is fast.
+_REAL_BODY_SLEEP = 3e-4
+
+
+def _run_real_case(case: FuzzCase, mutant: str | None) -> CaseResult:
+    import time
+
+    from repro.exec_real.team import ThreadTeam
+    from repro.faults.model import FaultPlan
+
+    check = CheckContext()
+    trace = TraceRecorder()
+    platform = case.build_platform()
+    nt = case.n_threads if case.n_threads is not None else platform.n_cores
+    stalls = plan_from_tuples(case.faults) if case.faults else FaultPlan()
+
+    def body(tid: int, lo: int, hi: int) -> None:
+        for _ in range(lo, hi):
+            time.sleep(_REAL_BODY_SLEEP)
+
+    with apply_mutant(mutant):
+        try:
+            team = ThreadTeam(nt, platform)
+            team.parallel_for(
+                case.n_iterations,
+                body,
+                case.build_spec(),
+                check=check,
+                watchdog_timeout=case.watchdog,
+                stalls=stalls,
             )
         except Exception as exc:  # noqa: BLE001 — a crash IS a finding
             check.error = f"{type(exc).__name__}: {exc}"
@@ -163,16 +226,21 @@ def fuzz(
     shrink_failures: bool = True,
     max_failures: int = 5,
     progress: Callable[[int, FuzzCase], None] | None = None,
+    faults: str | None = None,
 ) -> FuzzResult:
     """Run a fuzzing campaign; stops early after ``max_failures``.
 
     Each case's sub-seed is ``stable_seed("fuzz", seed, index)`` — a
     failure report's seed therefore replays that exact case standalone
-    via :func:`repro.check.generators.generate_case`.
+    via :func:`repro.check.generators.generate_case`. ``faults`` selects
+    the fault-injection mode (``None``, ``"sim"`` or ``"stall"``; see
+    :func:`repro.check.generators.generate_case`).
     """
     out = FuzzResult(n_cases=cases, seed=seed, mutant=mutant)
     for i in range(cases):
-        case = generate_case(stable_seed("fuzz", seed, i), variants, platforms)
+        case = generate_case(
+            stable_seed("fuzz", seed, i), variants, platforms, faults=faults
+        )
         if progress is not None:
             progress(i, case)
         result = run_case(case, mutant=mutant)

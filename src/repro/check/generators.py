@@ -122,12 +122,14 @@ def run_loop(
     obs=None,
     check=None,
     rng: np.random.Generator | None = None,
+    faults=None,
 ) -> LoopResult:
     """Run one loop on the simulator and return its result.
 
     The shared test/fuzz driver: BS-mapped team, flat locality, zero
-    overhead unless told otherwise, optional trace recorder and
-    conformance recorder.
+    overhead unless told otherwise, optional trace recorder, conformance
+    recorder and fault plan (absolute virtual seconds; ``None`` or an
+    empty plan is a strict no-op).
     """
     team = Team(platform, bs_mapping(platform, n_threads))
     loop = make_loop(n_iterations, work, kernel)
@@ -142,7 +144,8 @@ def run_loop(
         obs=obs,
     )
     return executor.run(
-        loop, costs, spec, offline_sf=offline_sf, check=check, rng=rng
+        loop, costs, spec, offline_sf=offline_sf, check=check, rng=rng,
+        faults=faults,
     )
 
 
@@ -171,6 +174,14 @@ class FuzzCase:
         cost: ``(kind, *params)`` tuple, kind from :data:`COST_KINDS`.
         overhead_scale: multiplier on the default overhead model;
             0 means :data:`~repro.perfmodel.overhead.ZERO_OVERHEAD`.
+        faults: fault events as :func:`repro.faults.model.plan_from_tuples`
+            tuples. For simulator cases the times are *fractions of the
+            fault-free makespan* (``run_case`` probes the baseline and
+            scales the plan); for real cases they are seconds from loop
+            start. Empty means no fault injection at all.
+        real: run on the real-thread executor instead of the simulator
+            (the watchdog lives there; only stall faults apply).
+        watchdog: real-executor watchdog timeout in seconds, or ``None``.
     """
 
     seed: int
@@ -180,15 +191,25 @@ class FuzzCase:
     n_threads: int | None = None
     cost: tuple = ("uniform", 1e-4)
     overhead_scale: float = 1.0
+    faults: tuple = ()
+    real: bool = False
+    watchdog: float | None = None
 
     def describe(self) -> str:
         nt = "all" if self.n_threads is None else str(self.n_threads)
         cost = ",".join(str(c) for c in self.cost)
-        return (
+        base = (
             f"seed={self.seed} schedule={self.schedule} "
             f"platform={self.platform} ni={self.n_iterations} nt={nt} "
             f"cost={cost} ovh={self.overhead_scale:g}"
         )
+        if self.faults:
+            base += f" faults={len(self.faults)}"
+        if self.real:
+            base += " real"
+        if self.watchdog is not None:
+            base += f" watchdog={self.watchdog:g}"
+        return base
 
     def cost_model(self) -> CostModel:
         kind, *params = self.cost
@@ -263,12 +284,18 @@ def generate_case(
     seed: int,
     variants: tuple[str, ...] | None = None,
     platforms: tuple[str, ...] | None = None,
+    faults: str | None = None,
 ) -> FuzzCase:
     """Derive one fuzz case from a seed (pure function of its inputs).
 
     ``variants`` restricts the schedule pool to the given base kinds
     (parameters are still randomized); ``platforms`` restricts the
-    platform pool.
+    platform pool. ``faults`` selects a fault-injection mode: ``None``
+    (no faults, byte-identical to the pre-fault generator), ``"sim"``
+    (a seeded random fault plan riding on a simulator case; the extra
+    randomness is drawn *after* every fault-free field so the underlying
+    case matches its fault-free twin), or ``"stall"`` (a real-thread
+    case stalling every worker's first chunk under an armed watchdog).
     """
     variants = tuple(variants) if variants else DEFAULT_VARIANTS
     if platforms:
@@ -292,7 +319,7 @@ def generate_case(
     n_threads: int | None = None
     if platform.n_cores > 2 and rng.random() < 0.4:
         n_threads = int(rng.integers(2, platform.n_cores + 1))
-    return FuzzCase(
+    case = FuzzCase(
         seed=seed,
         schedule=_gen_schedule(rng, variants),
         platform=platform_name,
@@ -301,6 +328,35 @@ def generate_case(
         cost=_gen_cost(rng),
         overhead_scale=float(rng.choice([0.0, 0.5, 1.0, 3.0])),
     )
+    if faults is None:
+        return case
+    if faults == "sim":
+        from repro.faults.model import random_plan
+
+        intensity = float(rng.choice([0.3, 0.6, 1.0]))
+        plan = random_plan(
+            int(rng.integers(2**31)), platform.n_cores, intensity=intensity
+        )
+        return replace(case, faults=plan.to_tuples())
+    if faults == "stall":
+        # Real-thread watchdog exercise: small loop, every worker's
+        # first chunk stalls well past the timeout.
+        real_platform = str(rng.choice(["dual:1:1", "dual:2:2"]))
+        nt = preset_platform(real_platform).n_cores
+        stall_events = tuple(
+            ("stall", tid, 0.0, 0.25) for tid in range(nt)
+        )
+        return replace(
+            case,
+            platform=real_platform,
+            n_threads=None,
+            n_iterations=int(rng.integers(1, 25)),
+            overhead_scale=0.0,
+            faults=stall_events,
+            real=True,
+            watchdog=0.02,
+        )
+    raise ConfigError(f"unknown fault mode {faults!r}; valid: sim, stall")
 
 
 def _simplified_schedule(schedule: str) -> str | None:
@@ -344,4 +400,10 @@ def simplified(case: FuzzCase) -> list[FuzzCase]:
         out.append(replace(case, cost=("uniform", 1e-4)))
     if case.overhead_scale != 0.0:
         out.append(replace(case, overhead_scale=0.0))
+    # Drop fault events one at a time: the minimal reproducer keeps only
+    # the faults the failure actually needs.
+    for i in range(len(case.faults)):
+        out.append(
+            replace(case, faults=case.faults[:i] + case.faults[i + 1:])
+        )
     return out

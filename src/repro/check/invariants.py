@@ -40,6 +40,24 @@ groups, mirroring what the paper's correctness argument rests on:
   below the ``M*NT`` threshold and no phase joins follow it.
 * ``steal-partition`` — AID-steal's partition is contiguous and
   in-bounds, and every steal splits the victim's range exactly in two.
+
+**Fault recovery** (active only when fault records are present):
+
+* ``fault-requeue-conservation`` — iterations served from the
+  work-share requeue deque were first returned by a fault preempt or a
+  watchdog redistribution, at most as often as they were returned.
+* ``offline-no-dispatch`` — a worker parked by a core-offline fault
+  takes no new chunk inside its offline window.
+* ``watchdog-redistributes`` — with the watchdog armed, a stall well
+  past the timeout must be answered by a redistribution (this is the
+  invariant that catches a disabled/broken watchdog).
+
+Fault records also *relax* the base catalog exactly where recovery is
+legal: requeued takes are excluded from the pool-pointer replay,
+duplicate execution is allowed inside watchdog-redistributed ranges
+(exact-once and the result count weaken to coverage), the state
+machines admit the restart edges resampling introduces, and a parked
+worker may end in a non-DONE state.
 """
 
 from __future__ import annotations
@@ -102,8 +120,14 @@ def check_workshare_replay(obs: CheckContext) -> list[Violation]:
     if ni is None or not obs.takes:
         return out
     # Under real threads the append order can race; the fetch-and-add's
-    # returned value IS the serialization order, so sort by it.
-    takes = sorted(obs.takes, key=lambda e: e.before)
+    # returned value IS the serialization order, so sort by it. Takes
+    # served from the fault-requeue deque never touch the pool pointer;
+    # they are validated by fault-requeue-conservation instead.
+    takes = sorted(
+        (e for e in obs.takes if not e.requeued), key=lambda e: e.before
+    )
+    if not takes:
+        return out
     pointer = 0
     for ev in takes:
         if ev.before != pointer:
@@ -182,8 +206,16 @@ def check_exact_once(obs: CheckContext) -> list[Violation]:
             continue
         for i in range(lo, hi):
             counts[i] += 1
+    # Watchdog redistribution legitimately double-executes: the stalled
+    # owner may finish a chunk whose range was already handed back to
+    # the survivors. Duplicates are legal only inside those ranges.
+    dup_ok = [False] * ni
+    for rec in obs.fault_records("watchdog_redistribute"):
+        lo, hi = rec["range"]
+        for i in range(max(0, lo), min(ni, hi)):
+            dup_ok[i] = True
     missed = [i for i, c in enumerate(counts) if c == 0]
-    duped = [i for i, c in enumerate(counts) if c > 1]
+    duped = [i for i, c in enumerate(counts) if c > 1 and not dup_ok[i]]
     if missed:
         out.append(
             Violation(
@@ -273,8 +305,11 @@ def check_result_consistency(obs: CheckContext) -> list[Violation]:
     per_tid = getattr(result, "iterations", None)
     if per_tid is None:
         per_tid = getattr(result, "iterations_per_thread", None)
+    redistributed = bool(obs.fault_records("watchdog_redistribute"))
     if per_tid is not None:
-        if sum(per_tid) != ni:
+        # Under watchdog redistribution iterations may legally run twice
+        # (exact-once bounds where); the count check weakens to coverage.
+        if (sum(per_tid) < ni) if redistributed else (sum(per_tid) != ni):
             out.append(
                 Violation(
                     "result-consistency",
@@ -351,6 +386,13 @@ def check_state_machine(obs: CheckContext) -> list[Violation]:
     if not obs.states:
         return []
     out: list[Violation] = []
+    # Fault recovery re-enters the automaton from places the fault-free
+    # design never visits: aid_auto's resample rewinds non-DONE threads
+    # to START, offline/online parks and revives workers mid-phase. With
+    # fault records present, any restart-from-START transition (and the
+    # SAMPLING re-entry it leads to) is additionally legal, and a parked
+    # worker may legitimately end in a non-DONE state.
+    faulted = obs.has_faults
     by_tid: dict[int, list] = {}
     for ev in obs.states:
         by_tid.setdefault(ev.tid, []).append(ev)
@@ -369,6 +411,8 @@ def check_state_machine(obs: CheckContext) -> list[Violation]:
                 )
             else:
                 legal = table.get(state, set())
+            if faulted:
+                legal = legal | table[ac.START] | {ac.SAMPLING}
             if ev.state not in legal:
                 out.append(
                     Violation(
@@ -380,7 +424,12 @@ def check_state_machine(obs: CheckContext) -> list[Violation]:
                     )
                 )
             label, state = ev.scheduler, ev.state
-        if obs.result is not None and obs.error is None and state != ac.DONE:
+        if (
+            obs.result is not None
+            and obs.error is None
+            and state != ac.DONE
+            and not faulted
+        ):
             out.append(
                 Violation(
                     "state-machine",
@@ -393,11 +442,18 @@ def check_state_machine(obs: CheckContext) -> list[Violation]:
 
 def check_sampling_single(obs: CheckContext) -> list[Violation]:
     out: list[Violation] = []
-    seen: dict[tuple[str, str, int], int] = {}
+    seen: dict[tuple[str, str, int, int], int] = {}
     for rec in obs.decisions.records:
         if rec["event"] not in ("sample_start", "sample_complete"):
             continue
-        key = (rec["scheduler"], rec["event"], rec["tid"])
+        # aid_auto's fault-adaptive resample opens a fresh sampling epoch
+        # (stamped on its records) and a sampler preempted by a fault
+        # re-takes its chunk with a bumped ``retake`` marker; one sample
+        # per thread *per epoch per retake*.
+        key = (
+            rec["scheduler"], rec["event"], rec["tid"],
+            rec.get("epoch", 0), rec.get("retake", 0),
+        )
         seen[key] = seen.get(key, 0) + 1
         if seen[key] == 2:
             out.append(
@@ -415,15 +471,28 @@ def check_sampling_single(obs: CheckContext) -> list[Violation]:
 # -- per-variant AID properties -----------------------------------------------
 
 
-def _published_targets(obs: CheckContext) -> tuple[list[int] | None, int | None]:
-    """The one-shot targets in force, from publish_targets or an
-    aid_auto static-mode decide record, with the publishing seq."""
+def _target_publications(obs: CheckContext) -> list[tuple[int, list[int]]]:
+    """Every one-shot targets publication as ``(seq, targets)``, in
+    order — publish_targets events plus aid_auto static-mode decide
+    records. Fault-adaptive resampling may publish more than once; an
+    allotment is validated against the latest publication preceding it.
+    """
+    out: list[tuple[int, list[int]]] = []
     for rec in obs.decisions.records:
-        if rec["event"] == "publish_targets":
-            return list(rec["targets"]), rec["seq"]
-        if rec["event"] == "decide" and rec.get("mode") == "static":
-            return list(rec["targets"]), rec["seq"]
-    return None, None
+        if rec["event"] == "publish_targets" or (
+            rec["event"] == "decide" and rec.get("mode") == "static"
+        ):
+            out.append((rec["seq"], list(rec["targets"])))
+    return out
+
+
+def _published_targets(obs: CheckContext) -> tuple[list[int] | None, int | None]:
+    """The first one-shot targets publication (phase-order anchor)."""
+    pubs = _target_publications(obs)
+    if not pubs:
+        return None, None
+    seq, targets = pubs[0]
+    return targets, seq
 
 
 def check_aid_targets(obs: CheckContext) -> list[Violation]:
@@ -451,13 +520,19 @@ def check_aid_targets(obs: CheckContext) -> list[Violation]:
                     seq=rec["seq"],
                 )
             )
-    targets, _ = _published_targets(obs)
-    if targets is not None:
+    pubs = _target_publications(obs)
+    if pubs:
         for rec in obs.decisions.records:
             if rec["event"] != "aid_allotment":
                 continue
             tid = rec["tid"]
             if tid < 0 or tid >= len(type_of_tid):
+                continue
+            targets = None
+            for seq, t in pubs:
+                if seq < rec["seq"]:
+                    targets = t
+            if targets is None:
                 continue
             want = targets[type_of_tid[tid]]
             if rec.get("target") != want:
@@ -609,6 +684,110 @@ def check_steal_partition(obs: CheckContext) -> list[Violation]:
     return _cap("steal-partition", out)
 
 
+# -- fault-recovery properties ------------------------------------------------
+
+
+def check_fault_requeue_conservation(obs: CheckContext) -> list[Violation]:
+    ni = obs.n_iterations
+    if ni is None or not obs.has_faults:
+        return []
+    out: list[Violation] = []
+    requeued = [0] * ni
+    for rec in obs.fault_records():
+        if rec["event"] in ("requeue", "watchdog_redistribute"):
+            lo, hi = rec["range"]
+            for i in range(max(0, lo), min(ni, hi)):
+                requeued[i] += 1
+    served = [0] * ni
+    for ev in obs.takes:
+        if not ev.requeued or ev.granted is None:
+            continue
+        lo, hi = ev.granted
+        if not (0 <= lo < hi <= ni):
+            out.append(
+                Violation(
+                    "fault-requeue-conservation",
+                    f"requeue-served range [{lo}, {hi}) outside [0, {ni})",
+                    seq=ev.seq,
+                )
+            )
+            continue
+        for i in range(lo, hi):
+            served[i] += 1
+    over = [i for i in range(ni) if served[i] > requeued[i]]
+    if over:
+        out.append(
+            Violation(
+                "fault-requeue-conservation",
+                f"{len(over)} iterations served from the requeue deque "
+                f"more often than fault recovery returned them: "
+                f"{_intervals(over)}",
+            )
+        )
+    return _cap("fault-requeue-conservation", out)
+
+
+def check_offline_no_dispatch(obs: CheckContext) -> list[Violation]:
+    if not obs.has_faults or obs.n_iterations is None:
+        return []
+    # Build each worker's offline windows from the fault log. A window
+    # that never closes extends to the end of the run. Workers whose
+    # offlining was deferred (last live core) keep dispatching.
+    windows: dict[int, list[tuple[float, float]]] = {}
+    open_at: dict[int, float] = {}
+    for rec in obs.fault_records():
+        if rec["event"] == "offline":
+            open_at.setdefault(rec["tid"], rec["t"])
+        elif rec["event"] == "online":
+            t0 = open_at.pop(rec["tid"], None)
+            if t0 is not None:
+                windows.setdefault(rec["tid"], []).append((t0, rec["t"]))
+    for tid, t0 in open_at.items():
+        windows.setdefault(tid, []).append((t0, float("inf")))
+    out: list[Violation] = []
+    for ev in obs.dispatches:
+        if ev.granted is None:
+            continue
+        for a, b in windows.get(ev.tid, ()):
+            if a < ev.t < b:
+                out.append(
+                    Violation(
+                        "offline-no-dispatch",
+                        f"dispatch at t={ev.t} inside the worker's "
+                        f"offline window [{a}, {b})",
+                        tid=ev.tid,
+                        seq=ev.seq,
+                    )
+                )
+                break
+    return _cap("offline-no-dispatch", out)
+
+
+def check_watchdog_redistributes(obs: CheckContext) -> list[Violation]:
+    info = obs.team_info or {}
+    timeout = info.get("watchdog_timeout")
+    if timeout is None:
+        return []
+    long_stalls = [
+        rec
+        for rec in obs.fault_records("stall_injected")
+        if rec.get("seconds", 0.0) >= 2.0 * timeout
+    ]
+    if not long_stalls or obs.fault_records("watchdog_redistribute"):
+        return []
+    rec = long_stalls[0]
+    return [
+        Violation(
+            "watchdog-redistributes",
+            f"a worker stalled {rec['seconds']:.3g}s with a "
+            f"{timeout:.3g}s watchdog armed, yet no redistribution was "
+            "logged",
+            tid=rec["tid"],
+            seq=rec["seq"],
+        )
+    ]
+
+
 #: The catalog, in reporting order. docs/testing.md renders this table.
 INVARIANTS: tuple[Invariant, ...] = (
     Invariant(
@@ -674,6 +853,24 @@ INVARIANTS: tuple[Invariant, ...] = (
         "AID-steal partitions contiguously in-bounds; steals are exact "
         "two-way cuts of the victim's range.",
         check_steal_partition,
+    ),
+    Invariant(
+        "fault-requeue-conservation",
+        "Iterations served from the requeue deque were first returned "
+        "by fault recovery, at most as often as they were returned.",
+        check_fault_requeue_conservation,
+    ),
+    Invariant(
+        "offline-no-dispatch",
+        "A worker parked by a core-offline fault takes no new chunk "
+        "until its core comes back online.",
+        check_offline_no_dispatch,
+    ),
+    Invariant(
+        "watchdog-redistributes",
+        "With the watchdog armed, a stall well past the timeout must "
+        "produce at least one redistribution.",
+        check_watchdog_redistributes,
     ),
 )
 

@@ -86,6 +86,25 @@ def _no_clamp():
     return _patched_take(broken)
 
 
+@contextlib.contextmanager
+def _watchdog_off():
+    from repro.exec_real.team import ThreadTeam
+
+    original = ThreadTeam.watchdog_enabled
+    ThreadTeam.watchdog_enabled = False
+    try:
+        yield
+    finally:
+        ThreadTeam.watchdog_enabled = original
+
+
+def _watchdog_stall_blind():
+    """Disable the stalled-worker watchdog: a worker sleeping on a chunk
+    is never detected and its range never redistributed. Caught by the
+    ``watchdog-redistributes`` invariant on real stall cases."""
+    return _watchdog_off()
+
+
 MUTANTS: dict[str, Mutant] = {
     m.name: m
     for m in (
@@ -101,6 +120,12 @@ MUTANTS: dict[str, Mutant] = {
             "the final grant is not clamped against end and runs past "
             "the last iteration",
             _no_clamp,
+        ),
+        Mutant(
+            "watchdog-stall-blind",
+            "the stalled-worker watchdog is disabled; a stall fault well "
+            "past the timeout is never answered by a redistribution",
+            _watchdog_stall_blind,
         ),
     )
 }

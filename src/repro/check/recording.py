@@ -39,12 +39,17 @@ class TakeEvent:
         before: pool ``next`` value the fetch-and-add returned.
         granted: the clamped range handed out, or ``None`` when the pool
             was already drained.
+        requeued: True when the grant was served from the pool's
+            returned-range queue (fault recovery) rather than the
+            fetch-and-add pointer; ``before`` is then the range's own
+            ``lo``, not a pointer value.
     """
 
     seq: int
     requested: int
     before: int
     granted: tuple[int, int] | None
+    requeued: bool = False
 
 
 @dataclass(frozen=True)
@@ -138,10 +143,17 @@ class CheckContext:
         self.spec_name = spec_name
 
     def on_take(
-        self, requested: int, before: int, granted: tuple[int, int] | None
+        self,
+        requested: int,
+        before: int,
+        granted: tuple[int, int] | None,
+        requeued: bool = False,
     ) -> None:
         self.takes.append(
-            TakeEvent(len(self.takes), int(requested), int(before), granted)
+            TakeEvent(
+                len(self.takes), int(requested), int(before), granted,
+                bool(requeued),
+            )
         )
 
     def on_dispatch(
@@ -164,6 +176,16 @@ class CheckContext:
         self.scheduler = scheduler_name
         return _TeeEmitter(self.decisions, loop_name, scheduler_name, obs)
 
+    def fault_emitter(self, loop_name: str, obs) -> _TeeEmitter:
+        """Build the emitter the fault-injection engines log through.
+
+        Records carry ``scheduler="faults"`` so the oracle can separate
+        injected perturbations from policy decisions; unlike
+        :meth:`emitter` this does *not* update :attr:`scheduler` — the
+        active policy label stays whatever the scheduler installed.
+        """
+        return _TeeEmitter(self.decisions, loop_name, "faults", obs)
+
     # -- derived views -------------------------------------------------------
 
     def executed_ranges(self) -> list[tuple[int, int, int]]:
@@ -177,3 +199,19 @@ class CheckContext:
     def decision_records(self, event: str | None = None) -> list[dict]:
         recs = self.decisions.records
         return recs if event is None else [r for r in recs if r["event"] == event]
+
+    def fault_records(self, event: str | None = None) -> list[dict]:
+        """Fault-engine records (``scheduler="faults"``), optionally
+        filtered by event name."""
+        recs = [
+            r for r in self.decisions.records if r.get("scheduler") == "faults"
+        ]
+        return recs if event is None else [r for r in recs if r["event"] == event]
+
+    @property
+    def has_faults(self) -> bool:
+        """True when any fault-engine record was logged — the signal the
+        invariants use to switch to their under-fault relaxations."""
+        return any(
+            r.get("scheduler") == "faults" for r in self.decisions.records
+        )

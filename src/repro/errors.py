@@ -52,3 +52,13 @@ class ObsError(ReproError):
 class FleetError(ReproError):
     """The experiment-orchestration fleet failed (undigestable job spec,
     exhausted retries, malformed cache entry or result payload)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection plan or an inconsistency detected while
+    applying one (malformed event, negative window, unknown CPU)."""
+
+
+class WatchdogTimeout(FaultError):
+    """A real-thread worker stalled past the watchdog deadline and never
+    came back, and its work could not be fully redistributed."""

@@ -1,0 +1,290 @@
+"""Resilience sweep: fault intensity x AID variant degradation.
+
+The paper's evaluation assumes *static* asymmetry; this experiment
+perturbs it. For each (variant, intensity) cell a set of seeded random
+fault plans (:func:`repro.faults.model.random_plan`) is scaled onto the
+variant's fault-free makespan and replayed through the simulator; the
+cell reports
+
+* **degradation** — geometric mean of ``faulted / fault-free`` makespan
+  (1.0 = unaffected; the lower-is-better analogue of Fig. 6's
+  normalized performance, under perturbation instead of across
+  platforms), and
+* **recovery** — mean time from the last fault firing to loop
+  completion, i.e. how long the schedule needs to absorb the final
+  perturbation.
+
+The adaptive A/B (:func:`throttle_ab`) runs the acceptance scenario:
+a mid-loop throttle of every big core while ``aid_auto`` holds a
+one-shot distribution sized for full-speed bigs. With
+``adapt_on_faults`` the scheduler resamples and redistributes; without
+it the stale distribution must be repaired one drain chunk at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.check.generators import (
+    DEFAULT_VARIANTS,
+    preset_platform,
+    run_loop,
+)
+from repro.errors import ExperimentError
+from repro.faults.model import FaultPlan, ThrottleEvent, random_plan
+from repro.perfmodel.overhead import OverheadModel
+from repro.sched.aid_auto import AidAutoSpec
+from repro.sched.registry import parse_schedule
+from repro.sim.rng import stable_seed
+
+#: Default fault-intensity levels swept (see ``random_plan``).
+DEFAULT_INTENSITIES = (0.3, 0.6, 1.0)
+
+
+def _last_fault_time(plan: FaultPlan) -> float:
+    """The latest firing in a plan (window ends count)."""
+    latest = 0.0
+    for ev in plan.events:
+        for name in ("t", "t1"):
+            if hasattr(ev, name):
+                latest = max(latest, getattr(ev, name))
+    return latest
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One (variant, intensity) cell of the sweep."""
+
+    variant: str
+    intensity: float
+    degradation: float  # geomean faulted/fault-free makespan
+    recovery: float  # mean seconds from last fault firing to completion
+    n_runs: int
+
+
+@dataclass
+class ResilienceReport:
+    """Degradation-vs-intensity table for a platform."""
+
+    platform_name: str
+    variants: tuple[str, ...]
+    intensities: tuple[float, ...]
+    n_iterations: int
+    seeds: int
+    cells: list[ResilienceCell] = field(default_factory=list)
+
+    def cell(self, variant: str, intensity: float) -> ResilienceCell:
+        for c in self.cells:
+            if c.variant == variant and c.intensity == intensity:
+                return c
+        raise ExperimentError(
+            f"no resilience cell for ({variant!r}, {intensity!r})"
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": "repro.experiments.resilience/v1",
+            "platform": self.platform_name,
+            "n_iterations": self.n_iterations,
+            "seeds": self.seeds,
+            "intensities": list(self.intensities),
+            "variants": list(self.variants),
+            "cells": [
+                {
+                    "variant": c.variant,
+                    "intensity": c.intensity,
+                    "degradation": c.degradation,
+                    "recovery": c.recovery,
+                    "n_runs": c.n_runs,
+                }
+                for c in self.cells
+            ],
+        }
+
+    def to_table(self, digits: int = 3) -> str:
+        """Human-readable degradation table (recovery in parentheses)."""
+        width = max(len(v) for v in self.variants) + 2
+        head = "variant".ljust(width) + "".join(
+            f"{f'intensity {i:g}':>22s}" for i in self.intensities
+        )
+        lines = [
+            f"[{self.platform_name}] makespan degradation vs fault-free "
+            f"(ni={self.n_iterations}, {self.seeds} plans/cell; "
+            f"recovery seconds in parentheses)",
+            head,
+        ]
+        for variant in self.variants:
+            row = variant.ljust(width)
+            for intensity in self.intensities:
+                c = self.cell(variant, intensity)
+                row += f"{c.degradation:>13.{digits}f} ({c.recovery:.1e})"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep(
+    platform_name: str = "odroid_xu4",
+    variants: tuple[str, ...] | None = None,
+    intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
+    seeds: int = 5,
+    n_iterations: int = 2048,
+    work: float = 1e-4,
+    root_seed: int = 0,
+    overhead_scale: float = 1.0,
+) -> ResilienceReport:
+    """Run the fault-intensity x variant sweep on one platform.
+
+    Deterministic in ``root_seed``: plan ``s`` of a cell is
+    ``random_plan(stable_seed(...), ...)`` scaled onto that variant's
+    own fault-free makespan, so a fault at fractional time 0.5 lands
+    mid-loop for every variant regardless of their absolute speeds.
+    """
+    variants = tuple(variants) if variants else DEFAULT_VARIANTS
+    if seeds <= 0:
+        raise ExperimentError(f"sweep needs seeds > 0, got {seeds}")
+    platform = preset_platform(platform_name)
+    overhead = (
+        OverheadModel().scaled(overhead_scale) if overhead_scale > 0 else None
+    )
+    report = ResilienceReport(
+        platform_name=platform.name,
+        variants=variants,
+        intensities=tuple(intensities),
+        n_iterations=n_iterations,
+        seeds=seeds,
+    )
+    for variant in variants:
+        spec = parse_schedule(variant)
+        baseline = run_loop(
+            platform, spec, n_iterations=n_iterations, work=work,
+            overhead=overhead,
+        )
+        horizon = max(baseline.duration, 1e-9)
+        for intensity in intensities:
+            log_ratios: list[float] = []
+            recoveries: list[float] = []
+            for s in range(seeds):
+                plan_seed = stable_seed(
+                    "resilience", root_seed, variant, f"{intensity:g}", s
+                )
+                plan = random_plan(
+                    plan_seed, platform.n_cores, intensity=intensity
+                ).scaled(horizon)
+                faulted = run_loop(
+                    platform, spec, n_iterations=n_iterations, work=work,
+                    overhead=overhead, faults=plan,
+                )
+                log_ratios.append(
+                    math.log(max(faulted.duration, 1e-12) / horizon)
+                )
+                recoveries.append(
+                    max(0.0, faulted.duration - _last_fault_time(plan))
+                )
+            report.cells.append(
+                ResilienceCell(
+                    variant=variant,
+                    intensity=intensity,
+                    degradation=math.exp(sum(log_ratios) / len(log_ratios)),
+                    recovery=sum(recoveries) / len(recoveries),
+                    n_runs=seeds,
+                )
+            )
+    return report
+
+
+# -- the adaptive A/B ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    """``aid_auto`` with vs without fault adaptation, same throttle."""
+
+    platform_name: str
+    n_iterations: int
+    throttle_factor: float
+    fault_free: float
+    adaptive: float
+    non_adaptive: float
+
+    @property
+    def speedup(self) -> float:
+        """Non-adaptive over adaptive makespan (> 1.0 = adaptation won)."""
+        return self.non_adaptive / self.adaptive
+
+    def render(self) -> str:
+        return (
+            f"[{self.platform_name}] aid_auto under a mid-loop throttle "
+            f"(big cores x{self.throttle_factor:g}, ni={self.n_iterations}):\n"
+            f"  fault-free:    {self.fault_free:.6f}s\n"
+            f"  adaptive:      {self.adaptive:.6f}s "
+            f"(degradation {self.adaptive / self.fault_free:.3f})\n"
+            f"  non-adaptive:  {self.non_adaptive:.6f}s "
+            f"(degradation {self.non_adaptive / self.fault_free:.3f})\n"
+            f"  adaptation speedup: {self.speedup:.3f}x"
+        )
+
+
+def throttle_ab(
+    platform_name: str = "odroid_xu4",
+    n_iterations: int = 4096,
+    work: float = 1e-5,
+    throttle_factor: float = 0.2,
+    throttle_at: float = 0.3,
+    overhead_scale: float = 5.0,
+) -> AdaptiveComparison:
+    """The acceptance scenario: throttle every big core mid-loop.
+
+    At ``throttle_at`` (a fraction of the fault-free makespan) every
+    core of the platform's fastest type drops to ``throttle_factor`` of
+    its speed for the rest of the run — after ``aid_auto`` committed its
+    one-shot distribution, before the distributed allotments complete.
+    The default work/overhead ratio sits where dispatches are expensive
+    relative to iterations — the regime where one-shot distribution
+    beats per-chunk dynamic repair (the paper's premise), so a scheduler
+    that *re-distributes* after the throttle visibly beats one that
+    repairs the stale distribution chunk by chunk.
+    """
+    platform = preset_platform(platform_name)
+    if platform.is_symmetric:
+        raise ExperimentError(
+            f"throttle_ab needs an asymmetric platform, got {platform.name}"
+        )
+    overhead = (
+        OverheadModel().scaled(overhead_scale) if overhead_scale > 0 else None
+    )
+    adaptive_spec = AidAutoSpec(adapt_on_faults=True)
+    frozen_spec = AidAutoSpec(adapt_on_faults=False)
+    baseline = run_loop(
+        platform, adaptive_spec, n_iterations=n_iterations, work=work,
+        overhead=overhead,
+    )
+    horizon = max(baseline.duration, 1e-9)
+    big = platform.cores_of_type(platform.core_types[-1])
+    plan = FaultPlan(
+        tuple(
+            ThrottleEvent(
+                cpu=core.cpu_id,
+                t0=throttle_at * horizon,
+                t1=100.0 * horizon,  # rest of the run
+                factor=throttle_factor,
+            )
+            for core in big
+        )
+    )
+    adaptive = run_loop(
+        platform, adaptive_spec, n_iterations=n_iterations, work=work,
+        overhead=overhead, faults=plan,
+    )
+    frozen = run_loop(
+        platform, frozen_spec, n_iterations=n_iterations, work=work,
+        overhead=overhead, faults=plan,
+    )
+    return AdaptiveComparison(
+        platform_name=platform.name,
+        n_iterations=n_iterations,
+        throttle_factor=throttle_factor,
+        fault_free=baseline.duration,
+        adaptive=adaptive.duration,
+        non_adaptive=frozen.duration,
+    )

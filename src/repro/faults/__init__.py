@@ -1,0 +1,46 @@
+"""Dynamic-asymmetry fault injection for the repro runtime.
+
+The paper's platforms are *statically* asymmetric; real AMP deployments
+are dynamically so: DVFS/thermal throttling, core offlining and
+transient stalls change the effective big-to-small speedup mid-loop —
+exactly the quantity every AID variant bakes its decisions on. This
+package provides
+
+* a declarative, JSON-round-trippable fault model
+  (:mod:`repro.faults.model`),
+* the simulator-side injection engine
+  (:mod:`repro.faults.engine`, wired into
+  :meth:`repro.runtime.executor.LoopExecutor.run` via ``faults=``),
+* real-thread stall injection and a stalled-worker watchdog
+  (:meth:`repro.exec_real.team.ThreadTeam.parallel_for` consumes
+  :class:`~repro.faults.model.WorkerStallEvent` plans via ``stalls=``),
+* a resilience CLI (``python -m repro.faults``).
+
+Determinism contract: a plan's firings enter the simulator as ordinary
+:class:`repro.sim.events.Event`\\ s, so tie-breaking and replayability
+are exactly the simulator's. An empty plan (or ``faults=None``) is a
+strict no-op — the executor takes the identical code path and produces
+byte-identical results.
+"""
+
+from repro.faults.model import (
+    CoreOfflineEvent,
+    CoreOnlineEvent,
+    FaultPlan,
+    OverheadSpikeEvent,
+    ThrottleEvent,
+    WorkerStallEvent,
+    plan_from_tuples,
+    random_plan,
+)
+
+__all__ = [
+    "CoreOfflineEvent",
+    "CoreOnlineEvent",
+    "FaultPlan",
+    "OverheadSpikeEvent",
+    "ThrottleEvent",
+    "WorkerStallEvent",
+    "plan_from_tuples",
+    "random_plan",
+]

@@ -1,0 +1,161 @@
+"""``python -m repro.faults`` — the resilience command line.
+
+Subcommands:
+
+* ``sweep`` — fault-intensity x AID-variant degradation table
+  (:func:`repro.experiments.resilience.sweep`);
+* ``ab`` — the adaptive A/B: ``aid_auto`` with vs without fault
+  adaptation under a mid-loop throttle of every big core;
+* ``plan`` — generate a seeded random fault plan as JSON (fractional
+  times; scale onto a makespan with ``FaultPlan.scaled``);
+* ``smoke`` — the CI gate: a tiny sweep (every variant must complete
+  with bounded degradation) plus the A/B (adaptation must win).
+
+Exit status is 0 iff every requested check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.resilience import (
+    DEFAULT_INTENSITIES,
+    sweep,
+    throttle_ab,
+)
+from repro.faults.model import random_plan
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    report = sweep(
+        platform_name=args.platform,
+        variants=tuple(args.variant) if args.variant else None,
+        intensities=(
+            tuple(args.intensity) if args.intensity else DEFAULT_INTENSITIES
+        ),
+        seeds=args.seeds,
+        n_iterations=args.iterations,
+        root_seed=args.seed,
+    )
+    print(report.to_table())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"payload written to {args.out}")
+    return 0
+
+
+def _cmd_ab(args: argparse.Namespace) -> int:
+    ab = throttle_ab(
+        platform_name=args.platform,
+        n_iterations=args.iterations,
+        throttle_factor=args.factor,
+    )
+    print(ab.render())
+    if ab.speedup <= 1.0:
+        print("FAIL: adaptation did not beat the non-adaptive run")
+        return 1
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = random_plan(
+        args.seed, args.cpus, intensity=args.intensity,
+        n_events=args.events,
+    )
+    print(json.dumps(plan.to_payload(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Tiny deterministic resilience gate for CI."""
+    failures: list[str] = []
+    report = sweep(seeds=2, n_iterations=256, root_seed=args.seed)
+    print(report.to_table())
+    for cell in report.cells:
+        if cell.degradation < 0.5:
+            failures.append(
+                f"{cell.variant} @ {cell.intensity:g}: degradation "
+                f"{cell.degradation:.3f} < 0.5 — faults made the loop "
+                f"impossibly faster"
+            )
+        if cell.degradation > 50.0:
+            failures.append(
+                f"{cell.variant} @ {cell.intensity:g}: degradation "
+                f"{cell.degradation:.3f} > 50 — recovery is not absorbing "
+                f"faults"
+            )
+    ab = throttle_ab()
+    print(ab.render())
+    if ab.speedup <= 1.0:
+        failures.append(
+            f"adaptive aid_auto did not beat non-adaptive under the "
+            f"mid-loop throttle (speedup {ab.speedup:.3f})"
+        )
+    if failures:
+        print("resilience smoke FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("resilience smoke passed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Fault-injection resilience harness: intensity sweep, "
+        "adaptive A/B, plan generation and the CI smoke.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="degradation-vs-intensity table")
+    p.add_argument("--platform", default="odroid_xu4")
+    p.add_argument("--seeds", type=int, default=5)
+    p.add_argument("--iterations", type=int, default=2048)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--variant", action="append",
+        help="restrict the variant pool (repeatable)",
+    )
+    p.add_argument(
+        "--intensity", action="append", type=float,
+        help=f"intensity levels (repeatable; default {DEFAULT_INTENSITIES})",
+    )
+    p.add_argument("--out", help="write the report payload as JSON")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "ab", help="aid_auto adaptation A/B under a mid-loop throttle"
+    )
+    p.add_argument("--platform", default="odroid_xu4")
+    p.add_argument("--iterations", type=int, default=4096)
+    p.add_argument("--factor", type=float, default=0.2)
+    p.set_defaults(func=_cmd_ab)
+
+    p = sub.add_parser("plan", help="print a seeded random fault plan")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cpus", type=int, default=8)
+    p.add_argument("--intensity", type=float, default=0.5)
+    p.add_argument("--events", type=int, default=None)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("smoke", help="tiny deterministic CI gate")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_smoke)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

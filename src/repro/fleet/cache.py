@@ -10,9 +10,13 @@ Layout (under ``.fleet-cache/`` or ``$FLEET_CACHE_DIR``)::
 Entries are keyed purely by the :class:`~repro.fleet.jobs.JobSpec`
 content digest, which already mixes in the code-version salt — a version
 bump changes every digest, so stale entries are simply never hit again
-(and take no correctness-critical invalidation logic). Unreadable,
-corrupt or schema-mismatched entries degrade to cache misses; a cache
-can always be deleted wholesale without losing anything but time.
+(and take no correctness-critical invalidation logic). Unreadable
+entries degrade to cache misses; corrupt or schema-mismatched entries
+are additionally *quarantined* — renamed to ``<entry>.corrupt`` and
+counted on ``fleet_cache_corrupt_total`` — so the bad bytes are kept
+for inspection, the recompute's fresh write cannot race a re-read of
+garbage, and repeated hits of the same broken file cannot re-count. A
+cache can always be deleted wholesale without losing anything but time.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed run never
 leaves a half-written entry behind, and all cache I/O happens in the
@@ -26,6 +30,7 @@ import os
 from pathlib import Path
 
 from repro.fleet.jobs import CODE_SALT, RESULT_SCHEMA, JobResult, JobSpec
+from repro.obs import NULL_OBS
 
 #: Cache entry document identifier.
 ENTRY_SCHEMA = "repro.fleet.cache-entry/v1"
@@ -38,10 +43,11 @@ DEFAULT_DIR = ".fleet-cache"
 class ResultCache:
     """Digest-keyed store of :class:`~repro.fleet.jobs.JobResult`\\ s."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(self, root: str | Path | None = None, obs=None) -> None:
         if root is None:
             root = os.environ.get("FLEET_CACHE_DIR") or DEFAULT_DIR
         self.root = Path(root)
+        self.obs = obs if obs is not None else NULL_OBS
         self._durations: dict[str, float] | None = None
 
     # -- result entries ----------------------------------------------------
@@ -53,25 +59,46 @@ class ResultCache:
     def get(self, digest: str) -> JobResult | None:
         """The cached result for a digest, or None on any kind of miss.
 
-        Corruption, schema drift and salt mismatch all read as misses:
-        the caller recomputes and overwrites.
+        An unreadable file or a salt mismatch (a stale entry from
+        another code version) is a plain miss. A file that *reads* but
+        does not parse back into a valid entry for this digest is
+        corruption: it is quarantined (renamed to ``.corrupt``) and the
+        miss makes the caller recompute and write a fresh entry.
         """
         path = self.path_for(digest)
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
             return None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            return self._quarantine(path, "json")
         if not isinstance(doc, dict) or doc.get("schema") != ENTRY_SCHEMA:
+            return self._quarantine(path, "entry-schema")
+        if doc.get("salt") != CODE_SALT:
             return None
-        if doc.get("salt") != CODE_SALT or doc.get("digest") != digest:
-            return None
+        if doc.get("digest") != digest:
+            return self._quarantine(path, "digest")
         try:
             result = JobResult.from_payload(doc.get("result", {}))
         except Exception:
-            return None
+            return self._quarantine(path, "payload")
         if result.digest != digest:
-            return None
+            return self._quarantine(path, "digest")
         return result
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside and count it; always a miss."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass  # someone else quarantined it first; still a miss
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "fleet_cache_corrupt_total", reason=reason
+            ).inc()
+        return None
 
     def put(self, result: JobResult) -> Path:
         """Store one result atomically; returns the entry path."""
@@ -130,13 +157,15 @@ class ResultCache:
     # -- maintenance -------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (and the duration table); returns the
-        number of result entries removed."""
+        """Delete every entry (plus quarantined files and the duration
+        table); returns the number of result entries removed."""
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("??/*.json"):
                 entry.unlink(missing_ok=True)
                 removed += 1
+            for entry in self.root.glob("??/*.corrupt"):
+                entry.unlink(missing_ok=True)
             self.durations_path.unlink(missing_ok=True)
         self._durations = None
         return removed

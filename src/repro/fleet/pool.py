@@ -20,9 +20,11 @@ cancelled). Each failed attempt is retried with exponential backoff up
 to ``config.retries`` times; jobs that exhaust their budget produce a
 ``FleetOutcome`` with ``result=None`` and an error string rather than
 aborting the whole fleet — the caller decides whether missing cells are
-fatal. Jobs that merely shared a pool with a crashing neighbour are
-retried on the same terms (crash attribution inside a broken pool is
-unknowable), which is why the default retry budget is 2, not 1.
+fatal. A worker crash breaks the whole pool, so one crash resolves
+*every* in-flight future with ``BrokenProcessPool``; exactly one retry
+unit is charged per crash (to the lowest submission index among the
+broken futures) and the innocent siblings are requeued uncharged — one
+crash never burns two budget units of any single job.
 
 Because the simulator is deterministic, a parallel fleet's results are
 cell-for-cell identical to serial execution; the test suite asserts
@@ -314,16 +316,25 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
                 running, timeout=deadline_slack, return_when=FIRST_COMPLETED
             )
             broken = False
-            for fut in done:
+            # A broken pool resolves *every* non-finished future with
+            # BrokenProcessPool, so several may land in one done set.
+            # Exactly one crash happened: charge one attempt (to the
+            # lowest submission index, for determinism) and requeue the
+            # rest uncharged — they died with the pool, they did not
+            # crash it.
+            for fut in sorted(done, key=lambda f: running[f][0]):
                 idx, _t0 = running.pop(fut)
                 try:
                     result = fut.result()
                 except BrokenProcessPool:
-                    broken = True
-                    fail_or_requeue(
-                        idx, "worker process crashed (pool broken)",
-                        requeue_front=True,
-                    )
+                    if broken:
+                        queue.appendleft(idx)
+                    else:
+                        broken = True
+                        fail_or_requeue(
+                            idx, "worker process crashed (pool broken)",
+                            requeue_front=True,
+                        )
                 except Exception as exc:
                     fail_or_requeue(
                         idx, f"{type(exc).__name__}: {exc}",

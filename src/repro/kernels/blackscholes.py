@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import ndtr
 
+from repro.errors import WorkloadError
+
 
 def black_scholes_price(
     spot: np.ndarray,
@@ -32,7 +34,7 @@ def black_scholes_price(
     volatility = np.asarray(volatility, dtype=np.float64)
     maturity = np.asarray(maturity, dtype=np.float64)
     if np.any(volatility <= 0) or np.any(maturity <= 0):
-        raise ValueError("volatility and maturity must be positive")
+        raise WorkloadError("volatility and maturity must be positive")
     sqrt_t = np.sqrt(maturity)
     d1 = (
         np.log(spot / strike) + (rate + 0.5 * volatility**2) * maturity

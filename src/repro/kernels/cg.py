@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.errors import WorkloadError
+
 
 def make_sparse_system(
     n: int, density: float = 0.02, seed: int = 0
@@ -15,9 +17,9 @@ def make_sparse_system(
     which is exactly the mild cost unevenness the CG workload model uses.
     """
     if n <= 0:
-        raise ValueError("n must be positive")
+        raise WorkloadError("n must be positive")
     if not 0.0 < density <= 1.0:
-        raise ValueError("density must be in (0, 1]")
+        raise WorkloadError("density must be in (0, 1]")
     rng = np.random.default_rng(seed)
     a = sparse.random(n, n, density=density, random_state=rng, format="csr")
     a = (a + a.T) * 0.5
@@ -31,5 +33,5 @@ def spmv_rows(
 ) -> np.ndarray:
     """Multiply rows [lo, hi) of a CSR matrix with x — one loop chunk."""
     if not 0 <= lo <= hi <= matrix.shape[0]:
-        raise ValueError(f"row range [{lo}, {hi}) out of bounds")
+        raise WorkloadError(f"row range [{lo}, {hi}) out of bounds")
     return matrix[lo:hi] @ x

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
+
 
 def ep_gaussian_pairs(
     n_pairs: int, seed: int
@@ -19,7 +21,7 @@ def ep_gaussian_pairs(
         ``(accepted_count, counts)`` with ``counts`` of length 10.
     """
     if n_pairs <= 0:
-        raise ValueError("n_pairs must be positive")
+        raise WorkloadError("n_pairs must be positive")
     rng = np.random.default_rng(seed)
     x = rng.uniform(-1.0, 1.0, n_pairs)
     y = rng.uniform(-1.0, 1.0, n_pairs)

@@ -5,11 +5,13 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 
+from repro.errors import WorkloadError
+
 
 def make_random_graph(n_nodes: int, avg_degree: float = 4.0, seed: int = 0):
     """A connected random graph, the bfs workload's input."""
     if n_nodes <= 1:
-        raise ValueError("need at least two nodes")
+        raise WorkloadError("need at least two nodes")
     p = min(1.0, avg_degree / max(1, n_nodes - 1))
     g = nx.gnp_random_graph(n_nodes, p, seed=seed)
     # Stitch components together so BFS reaches everything.
@@ -28,7 +30,7 @@ def bfs_levels(graph, source: int = 0) -> dict[int, int]:
     chunk-parallel version in the examples.
     """
     if source not in graph:
-        raise ValueError(f"source {source} not in graph")
+        raise WorkloadError(f"source {source} not in graph")
     return dict(nx.single_source_shortest_path_length(graph, source))
 
 

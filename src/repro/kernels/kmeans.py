@@ -4,15 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
+
 
 def assign_clusters(
     points: np.ndarray, centers: np.ndarray, lo: int, hi: int
 ) -> np.ndarray:
     """Nearest-center assignment for points [lo, hi) — one loop chunk."""
     if points.ndim != 2 or centers.ndim != 2:
-        raise ValueError("points and centers must be 2-D")
+        raise WorkloadError("points and centers must be 2-D")
     if points.shape[1] != centers.shape[1]:
-        raise ValueError("dimension mismatch between points and centers")
+        raise WorkloadError("dimension mismatch between points and centers")
     chunk = points[lo:hi]
     d = ((chunk[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
     return np.argmin(d, axis=1)

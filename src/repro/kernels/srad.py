@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
+
 
 def srad_coefficients(
     image: np.ndarray, lo: int, hi: int, q0_squared: float = 0.05
@@ -15,9 +17,9 @@ def srad_coefficients(
     coefficient in [0, 1].
     """
     if image.ndim != 2:
-        raise ValueError("image must be 2-D")
+        raise WorkloadError("image must be 2-D")
     if np.any(image <= 0):
-        raise ValueError("SRAD expects a strictly positive image")
+        raise WorkloadError("SRAD expects a strictly positive image")
     n = image.shape[0]
     lo = max(0, lo)
     hi = min(n, hi)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
+
 
 def jacobi_step(grid: np.ndarray, lo: int, hi: int) -> np.ndarray:
     """One 5-point Jacobi relaxation over rows [lo, hi) of a 2-D grid.
@@ -12,7 +14,7 @@ def jacobi_step(grid: np.ndarray, lo: int, hi: int) -> np.ndarray:
     grid — chunk-parallel, as the OpenMP loop would).
     """
     if grid.ndim != 2:
-        raise ValueError("grid must be 2-D")
+        raise WorkloadError("grid must be 2-D")
     n = grid.shape[0]
     lo_c, hi_c = max(lo, 1), min(hi, n - 1)
     if hi_c <= lo_c:
@@ -36,6 +38,6 @@ def hotspot_step(
     term, per grid cell.
     """
     if temp.shape != power.shape:
-        raise ValueError("temp and power must have the same shape")
+        raise WorkloadError("temp and power must have the same shape")
     diffused = jacobi_step(temp, lo, hi)
     return diffused + cap * power[lo:hi]

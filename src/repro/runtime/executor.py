@@ -204,6 +204,7 @@ class LoopExecutor:
         rng: np.random.Generator | None = None,
         start_times: Sequence[float] | None = None,
         check=None,
+        faults=None,
     ) -> LoopResult:
         """Run the loop under a schedule through the runtime system.
 
@@ -218,6 +219,11 @@ class LoopExecutor:
         ``check`` is an opt-in conformance recorder
         (:class:`repro.check.recording.CheckContext`); it observes the
         run without altering any scheduling decision.
+
+        ``faults`` is an optional :class:`repro.faults.model.FaultPlan`
+        whose event times are absolute virtual seconds. ``None`` or an
+        empty plan is a strict no-op: the executor runs the exact
+        fault-free code path and produces byte-identical results.
         """
         from repro.sim.events import Simulator
         from repro.sim.clock import VirtualClock
@@ -269,6 +275,20 @@ class LoopExecutor:
         scheduler: LoopScheduler = spec.create(ctx)
 
         sim = Simulator(VirtualClock(start_time))
+        engine = None
+        if faults is not None and not faults.is_empty:
+            from repro.faults.engine import SimFaultEngine
+
+            engine = SimFaultEngine(
+                plan=faults,
+                sim=sim,
+                scheduler=scheduler,
+                prefix=prefix,
+                cpu_of_tid=[self.team.cpu_of(t) for t in range(nt)],
+                loop_name=loop.name,
+                obs=self.obs,
+                check=check,
+            )
         finish = list(entry)
         iters = [0] * nt
         calls = [0] * nt
@@ -338,6 +358,105 @@ class LoopExecutor:
                 )
             sim.at(t_done, lambda: thread_step(tid), tag=f"t{tid}")
 
+        # Fault-aware variant of thread_step, used only when a non-empty
+        # FaultPlan is injected. Per-chunk accounting (conformance
+        # dispatch record, executed range, iteration/compute counters,
+        # COMPUTE trace segment) is deferred to block completion or
+        # preemption, because a fault may truncate the chunk; the record
+        # keeps the *original* dispatch timestamp so per-thread clock
+        # monotonicity is preserved. The fault-free path above is left
+        # untouched so an absent plan stays byte-identical.
+        def thread_step_faulted(tid: int) -> None:
+            now = sim.now
+            engine.on_wake(tid)
+            if engine.is_parked(tid):
+                return
+            dispatch_cost = self.overhead.dispatch(core_types[tid], nt)
+            takes_before = ctx.workshare.dispatch_count
+            got = scheduler.next_range(tid, now)
+            calls[tid] += 1
+            extra = pending_overhead[tid]
+            pending_overhead[tid] = 0.0
+            overhead_dt = dispatch_cost + extra
+            if svc > 0.0:
+                takes = ctx.workshare.dispatch_count - takes_before
+                if got is None:
+                    takes += 1
+                if takes > 0:
+                    begin = max(now, pool_free_at[0])
+                    pool_free_at[0] = begin + takes * svc
+                    overhead_dt += (begin - now) + takes * svc
+            overhead_dt = engine.adjust_overhead(tid, now, overhead_dt)
+            if track_obs:
+                overhead_acc[tid] += overhead_dt
+            if got is None:
+                end = now + overhead_dt
+                finish[tid] = end
+                if check is not None:
+                    check.on_dispatch(tid, now, None)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        tid, ThreadState.RUNTIME, now, end, loop.name
+                    )
+                engine.worker_retired(tid)
+                return
+            lo, hi = got
+            t_overhead_end = now + overhead_dt
+            scheduler.note_execution_start(tid, t_overhead_end)
+            # The RUNTIME trace segment is deferred with the rest of the
+            # per-chunk accounting: a preemption inside the overhead
+            # window must truncate it at the preempt time.
+            slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
+            engine.begin_block(
+                tid,
+                dispatch_t=now,
+                compute_start=t_overhead_end,
+                lo=lo,
+                hi=hi,
+                speed0=rates[tid] / slowdown,
+            )
+
+        if engine is not None:
+
+            def _fault_restart(tid: int, t: float) -> None:
+                sim.at(
+                    t,
+                    (lambda w: lambda: thread_step_faulted(w))(tid),
+                    tag=f"t{tid}",
+                )
+
+            def _fault_record_exec(
+                tid: int, dispatch_t: float, lo: int, hi: int,
+                t0: float, t1: float,
+            ) -> None:
+                if track_obs:
+                    compute_acc[tid] += max(0.0, t1 - t0)
+                if self.recorder is not None:
+                    if t0 > dispatch_t:
+                        self.recorder.record(
+                            tid, ThreadState.RUNTIME, dispatch_t, t0, loop.name
+                        )
+                    if t1 > t0:
+                        self.recorder.record(
+                            tid, ThreadState.COMPUTE, t0, t1, loop.name
+                        )
+                if hi > lo:
+                    if check is not None:
+                        check.on_dispatch(tid, dispatch_t, (lo, hi))
+                    assigned.append((tid, lo, hi))
+                    iters[tid] += hi - lo
+
+            def _fault_set_finish(tid: int, t: float) -> None:
+                finish[tid] = t
+
+            engine.bind(_fault_restart, _fault_record_exec, _fault_set_finish)
+            # Plan firings are scheduled before the worker wake events so
+            # that at equal times the fault fires first (lower seq) —
+            # deterministic tie-breaking, per the sim's FIFO contract.
+            engine.schedule(start_time)
+
+        step = thread_step if engine is None else thread_step_faulted
+
         # Every thread pays the loop-start call, then begins dispatching.
         # The barrier release wakes cores in CPU-number order, so threads
         # on low-numbered (small) cores reach the pool slightly earlier —
@@ -357,9 +476,15 @@ class LoopExecutor:
                 self.recorder.record(
                     tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name
                 )
-            sim.at(t_begin, (lambda t: lambda: thread_step(t))(tid), tag=f"t{tid}")
+            sim.at(t_begin, (lambda t: lambda: step(t))(tid), tag=f"t{tid}")
 
         budget = (loop.n_iterations + nt * _EVENT_BUDGET_SLACK) * 2
+        if engine is not None:
+            # The fault path schedules a separate restart event after
+            # each completed block, and every fault boundary can preempt
+            # (and thus re-dispatch) up to one chunk per thread.
+            budget = (2 * loop.n_iterations + nt * _EVENT_BUDGET_SLACK) * 2
+            budget += (nt + 2) * (engine.n_plan_events + 2) * 4
         sim.run(max_events=budget)
 
         total_iters = sum(iters)
@@ -383,6 +508,8 @@ class LoopExecutor:
         )
         if check is not None:
             check.on_loop_end(result)
+        if engine is not None:
+            engine.publish()
         if self.obs.enabled:
             self._publish_loop_metrics(
                 loop, ctx, result, calls, overhead_acc, compute_acc

@@ -94,6 +94,13 @@ class ProgramRunner:
             the metrics registry and the AID schedulers append to the
             decision log. Defaults to the null sink (no overhead, results
             bit-identical to an uninstrumented run).
+        faults: optional :class:`~repro.faults.model.FaultPlan` with
+            event times in absolute program (virtual) seconds. Each
+            runtime-scheduled loop applies the windows that overlap its
+            execution; windows that ended before a loop starts are
+            dropped. Core-offline state does not persist across loop
+            boundaries (every loop starts with the full team). ``None``
+            or an empty plan is a strict no-op.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class ProgramRunner:
         locality: LocalityModel | None = None,
         info_page=None,
         obs: Observability | None = None,
+        faults=None,
     ) -> None:
         self.platform = platform
         self.env = env if env is not None else OmpEnv()
@@ -125,6 +133,7 @@ class ProgramRunner:
             else {}
         )
         self.schedule_override = schedule_override
+        self.faults = faults
         self.locality = locality if locality is not None else LocalityModel()
         self._ownership = {}
         self.info_page = info_page
@@ -273,6 +282,7 @@ class ProgramRunner:
                     "wake", compiled.program.name, loop.name, invocation
                 ),
                 start_times=entry_times,
+                faults=self.faults,
             )
         ownership.update(result.ranges)
         if loop.nowait:

@@ -11,6 +11,7 @@ plus a dispatch counter used for overhead accounting in experiments.
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 from repro.errors import WorkShareError
 from repro.runtime.atomics import AtomicCounter
@@ -50,6 +51,11 @@ class WorkShare:
         # per thread per loop) so the successful-take hot path pays no
         # extra atomic; attempt_count derives from the two.
         self._empty_takes = AtomicCounter(0, lock)
+        # Ranges returned to the pool by fault recovery (preempted or
+        # watchdog-redistributed chunks). Served before the fetch-and-add
+        # pointer so returned work drains first; empty on every
+        # fault-free run, so the hot path is a single falsy check.
+        self._returned: deque[tuple[int, int]] = deque()
         self._check = check
 
     # -- pool state --------------------------------------------------------
@@ -67,12 +73,19 @@ class WorkShare:
     @property
     def remaining(self) -> int:
         """Iterations still in the pool (advisory read; may be stale under
-        real threads, exactly like reading ``next``/``end`` in libgomp)."""
-        return max(0, self.end - self._next.value)
+        real threads, exactly like reading ``next``/``end`` in libgomp).
+        Includes iterations returned to the pool by fault recovery."""
+        left = max(0, self.end - self._next.value)
+        return left + self.requeued_pending if self._returned else left
+
+    @property
+    def requeued_pending(self) -> int:
+        """Iterations sitting in the returned-range queue (advisory)."""
+        return sum(hi - lo for lo, hi in self._returned)
 
     @property
     def exhausted(self) -> bool:
-        return self._next.value >= self.end
+        return self._next.value >= self.end and not self._returned
 
     @property
     def dispatch_count(self) -> int:
@@ -107,6 +120,21 @@ class WorkShare:
         """
         if n <= 0:
             raise WorkShareError(f"chunk size must be positive, got {n}")
+        if self._returned:
+            try:
+                lo, hi = self._returned.popleft()
+            except IndexError:
+                # Another thread drained the queue between the check and
+                # the pop; fall through to the fetch-and-add path.
+                pass
+            else:
+                if hi - lo > n:
+                    self._returned.appendleft((lo + n, hi))
+                    hi = lo + n
+                self._dispatches.add_fetch(1)
+                if self._check is not None:
+                    self._check.on_take(n, lo, (lo, hi), requeued=True)
+                return (lo, hi)
         lo = self._next.fetch_add(n)
         if lo >= self.end:
             self._empty_takes.add_fetch(1)
@@ -120,9 +148,34 @@ class WorkShare:
         return (lo, hi)
 
     def take_all(self) -> tuple[int, int] | None:
-        """Remove everything left in the pool (used by endgame paths)."""
+        """Remove everything left in the pool (used by endgame paths).
+
+        With returned ranges pending this serves the oldest of them
+        first (a single contiguous range is all a caller can receive);
+        policies that depend on ``take_all`` draining the pool in one
+        shot override :meth:`repro.sched.base.LoopScheduler.reclaim`
+        instead of requeueing here.
+        """
         size = self.end - self.start
         return self.take(size) if size > 0 else None
+
+    # -- fault recovery ----------------------------------------------------
+
+    def requeue(self, lo: int, hi: int) -> None:
+        """Return the half-open range ``[lo, hi)`` to the pool.
+
+        Used by fault recovery when a chunk's owner is preempted (core
+        offlined, throttle-triggered preemption) or declared stalled by
+        the real-execution watchdog. The range must lie inside the
+        loop's iteration space; it is handed back out by :meth:`take`
+        before any fresh fetch-and-add work.
+        """
+        lo, hi = int(lo), int(hi)
+        if not (self.start <= lo < hi <= self.end):
+            raise WorkShareError(
+                f"cannot requeue [{lo}, {hi}) into pool [{self.start}, {self.end})"
+            )
+        self._returned.append((lo, hi))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

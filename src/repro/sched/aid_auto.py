@@ -56,6 +56,15 @@ class AidAutoScheduler(LoopScheduler):
             path) loops.
         static_percentage: share of NI distributed one-shot on the
             regular path (the AID-hybrid percentage).
+        adapt_on_faults: react to ``on_rates_changed`` notifications
+            from the fault-injection engine by invalidating the sampled
+            SF and re-entering the sampling phase (a *resample epoch*)
+            when effective core speeds moved past
+            ``resample_threshold``. Without faults this is dead code —
+            the hook is never called.
+        resample_threshold: minimum relative change in any core's speed
+            multiplier (vs. the multipliers in force when the SF was
+            sampled) that triggers a resample.
     """
 
     #: Name stamped on decision-log records.
@@ -68,6 +77,8 @@ class AidAutoScheduler(LoopScheduler):
         major_chunk: int = 5,
         cv_threshold: float = 0.22,
         static_percentage: float = 85.0,
+        adapt_on_faults: bool = True,
+        resample_threshold: float = 0.25,
     ) -> None:
         super().__init__(ctx)
         if minor_chunk <= 0:
@@ -97,6 +108,19 @@ class AidAutoScheduler(LoopScheduler):
         self.targets: list[int] | None = None
         self._inner: AidDynamicScheduler | None = None
         self.dec = ac.decision_emitter(ctx, self.scheduler_label)
+        # -- fault adaptation (inert without an injection engine) ---------
+        self.adapt_on_faults = adapt_on_faults
+        self.resample_threshold = resample_threshold
+        #: Resample epoch: 0 for the initial sampling phase, +1 per
+        #: fault-triggered re-entry. Decision records carry the epoch
+        #: only when non-zero, so fault-free logs are unchanged.
+        self.epoch = 0
+        self._epoch_expected = nt
+        #: Sampling chunks re-taken after a fault loss, per thread.
+        self._retakes = [0] * nt
+        self._lost: set[int] = set()
+        self._mult_now: dict[int, float] = {}
+        self._mult_at_decide: dict[int, float] | None = None
 
     # -- introspection -------------------------------------------------------
 
@@ -138,6 +162,8 @@ class AidAutoScheduler(LoopScheduler):
                 self.dec.emit(
                     tid, now, "sample_start",
                     chunk_target=self.m, range=list(got),
+                    **self._epoch_fields(),
+                    **self._retake_fields(tid),
                 )
             return got
 
@@ -153,8 +179,10 @@ class AidAutoScheduler(LoopScheduler):
                     mean_times=[
                         sum(s) / len(s) if s else 0.0 for s in self.samples
                     ],
+                    **self._epoch_fields(),
+                    **self._retake_fields(tid),
                 )
-            if self.completed == self.ctx.n_threads and self.mode is None:
+            if self.completed >= self._epoch_expected and self.mode is None:
                 self._decide(tid, now)
                 if self.mode == "dynamic":
                     assert self._inner is not None
@@ -197,12 +225,19 @@ class AidAutoScheduler(LoopScheduler):
             for j, m in enumerate(means)
         }
         self.sf[0] = 1.0
+        self._mult_at_decide = dict(self._mult_now)
         self.measured_cv = max(
             (self._cv(s) for s in self.samples if len(s) >= 2), default=0.0
         )
         if self.measured_cv <= self.cv_threshold:
             self.mode = "static"
-            ni_aid = int(self.static_fraction * self.ctx.n_iterations)
+            if self.epoch:
+                # Resample epochs distribute what is actually left in
+                # the pool (including fault-requeued ranges), not the
+                # original trip count most of which has already run.
+                ni_aid = int(self.static_fraction * self.ctx.workshare.remaining)
+            else:
+                ni_aid = int(self.static_fraction * self.ctx.n_iterations)
             self.targets = ac.aid_targets(
                 ni_aid, self.sf, self.ctx.type_counts()
             )
@@ -213,6 +248,7 @@ class AidAutoScheduler(LoopScheduler):
                     cv_threshold=self.cv_threshold,
                     sf=ac.sf_as_json(self.sf),
                     mean_times=means, targets=list(self.targets),
+                    **self._epoch_fields(),
                 )
         else:
             self.mode = "dynamic"
@@ -243,7 +279,99 @@ class AidAutoScheduler(LoopScheduler):
                     cv_threshold=self.cv_threshold,
                     sf=ac.sf_as_json(self.sf),
                     mean_times=means, ratio=list(inner.R),
+                    **self._epoch_fields(),
                 )
+
+    # -- fault adaptation ---------------------------------------------------------
+
+    def _epoch_fields(self) -> dict:
+        """Epoch annotation for decision records — empty on epoch 0 so
+        fault-free logs (and the goldens pinned on them) are unchanged."""
+        return {"epoch": self.epoch} if self.epoch else {}
+
+    def _retake_fields(self, tid: int) -> dict:
+        r = self._retakes[tid]
+        return {"retake": r} if r else {}
+
+    def on_rates_changed(self, now: float, multipliers: dict[int, float]) -> None:
+        self._mult_now = dict(multipliers)
+        if self._inner is not None:
+            self._inner.on_rates_changed(now, multipliers)
+            return
+        if not self.adapt_on_faults or self.mode != "static":
+            return
+        base = self._mult_at_decide or {}
+        rel = 0.0
+        for cpu in set(base) | set(multipliers):
+            old = base.get(cpu, 1.0)
+            new = multipliers.get(cpu, 1.0)
+            if old > 0.0:
+                rel = max(rel, abs(new - old) / old)
+        if rel < self.resample_threshold:
+            return
+        if self.ctx.workshare.remaining <= 0:
+            return
+        self._resample(now, multipliers)
+
+    def _resample(self, now: float, multipliers: dict[int, float]) -> None:
+        """Invalidate the sampled SF and re-enter the sampling phase.
+
+        Every thread that is still working is sent back to START (an
+        internal reset: the conformance oracle's under-fault relaxation
+        admits the re-entry edges); per-thread allotment credits are
+        cleared so the new targets are honored from scratch.
+        """
+        nt = self.ctx.n_threads
+        expected = sum(
+            1
+            for t in range(nt)
+            if self.state[t] != ac.DONE and t not in self._lost
+        )
+        if expected == 0:
+            return
+        self.epoch += 1
+        self._epoch_expected = expected
+        for t in range(nt):
+            if self.state[t] != ac.DONE:
+                self.state[t] = ac.START
+        self.samples = [[] for _ in range(self.ctx.n_types)]
+        self.completed = 0
+        self.sf = None
+        self.mode = None
+        self.targets = None
+        self.measured_cv = None
+        self.delta = [0] * nt
+        self._mult_at_decide = dict(multipliers)
+        if self.dec.on:
+            self.dec.emit(
+                -1, now, "resample",
+                epoch=self.epoch, expected=expected,
+                multipliers={str(c): m for c, m in sorted(multipliers.items())},
+            )
+
+    def on_worker_lost(self, tid: int, now: float) -> None:
+        self._lost.add(tid)
+        if self._inner is not None:
+            self._inner.on_worker_lost(tid, now)
+            return
+        # A sampler that will never report back must not wedge the
+        # decision: shrink the expected count and decide if it was the
+        # last one outstanding.
+        if self.mode is None and self.state[tid] in (ac.START, ac.SAMPLING):
+            self._epoch_expected = max(0, self._epoch_expected - 1)
+            if self.completed >= self._epoch_expected and self.completed > 0:
+                self._decide(tid, now)
+        # A sampler preempted mid-chunk must re-sample on revival rather
+        # than record the parked interval as a sampling duration.
+        if self.state[tid] == ac.SAMPLING:
+            self.state[tid] = ac.START
+            self._timing[tid] = False
+            self._retakes[tid] += 1
+
+    def on_worker_back(self, tid: int, now: float) -> None:
+        self._lost.discard(tid)
+        if self._inner is not None:
+            self._inner.on_worker_back(tid, now)
 
     @staticmethod
     def _cv(samples: list[float]) -> float:
@@ -300,12 +428,19 @@ class AidAutoSpec(ScheduleSpec):
         cv_threshold: regularity boundary (within-type CV of sampled
             durations).
         static_percentage: one-shot share on the regular path.
+        adapt_on_faults: resample the SF when a fault-injection engine
+            reports effective core speeds moved past
+            ``resample_threshold`` (inert without fault injection).
+        resample_threshold: relative speed-multiplier change that
+            triggers a resample.
     """
 
     minor_chunk: int = 1
     major_chunk: int = 5
     cv_threshold: float = 0.22
     static_percentage: float = 85.0
+    adapt_on_faults: bool = True
+    resample_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.minor_chunk <= 0:
@@ -332,4 +467,6 @@ class AidAutoSpec(ScheduleSpec):
             major_chunk=self.major_chunk,
             cv_threshold=self.cv_threshold,
             static_percentage=self.static_percentage,
+            adapt_on_faults=self.adapt_on_faults,
+            resample_threshold=self.resample_threshold,
         )

@@ -88,6 +88,7 @@ class AidDynamicScheduler(LoopScheduler):
         self.active = nt
         self.in_endgame = False
         self.phases_run = 0
+        self._lost: set[int] = set()
         self.dec = ac.decision_emitter(ctx, self.scheduler_label)
 
     # -- introspection ---------------------------------------------------------
@@ -293,6 +294,37 @@ class AidDynamicScheduler(LoopScheduler):
             self.active -= 1
             self._maybe_finalize_phase()
         return None
+
+    # -- fault-recovery hooks -----------------------------------------------------
+    #
+    # The phase barrier counts *active* threads; a worker whose core went
+    # offline must leave the accounting (otherwise the remaining team
+    # waits forever for its phase report) and re-enter it on revival.
+    # Reclaimed allotment tails go back through the shared pool (the
+    # base-class reclaim), where wait-steals and the endgame absorb them.
+
+    def on_worker_lost(self, tid: int, now: float) -> None:
+        if tid in self._lost or self.state[tid] == ac.DONE:
+            self._lost.add(tid)
+            return
+        self._lost.add(tid)
+        if self.state[tid] == ac.AID:
+            # Its phase allotment was preempted; the completion report
+            # will never arrive.
+            self.phase_pending -= 1
+            ac.set_state(self, tid, ac.AID_WAIT)
+        elif self.state[tid] == ac.SAMPLING:
+            # Its sampling chunk was cut; never record the duration.
+            ac.set_state(self, tid, ac.SAMPLING_WAIT)
+        self.active -= 1
+        self._maybe_finalize_phase(tid, now)
+
+    def on_worker_back(self, tid: int, now: float) -> None:
+        if tid not in self._lost:
+            return
+        self._lost.discard(tid)
+        if self.state[tid] != ac.DONE:
+            self.active += 1
 
     @staticmethod
     def _clamp(r: float) -> float:

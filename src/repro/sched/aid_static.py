@@ -67,6 +67,8 @@ class AidStaticScheduler(LoopScheduler):
         self.delta = [0] * nt  # iterations executed before the AID allotment
         self.assign_time = [0.0] * nt
         self._timing = [False] * nt
+        #: Sampling chunks re-taken after a fault loss, per thread.
+        self._retakes = [0] * nt
         self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
         self.sf: dict[int, float] | None = None
         self.targets: list[int] | None = None
@@ -105,6 +107,22 @@ class AidStaticScheduler(LoopScheduler):
             self.assign_time[tid] = t
             self._timing[tid] = False
 
+    def _retake_fields(self, tid: int) -> dict:
+        r = self._retakes[tid]
+        return {"retake": r} if r else {}
+
+    # -- fault-recovery hooks --------------------------------------------------
+
+    def on_worker_lost(self, tid: int, now: float) -> None:
+        # A sampler preempted by a core-offline fault never finished its
+        # chunk; its assign_time may even lie in the future (overhead-end
+        # refinement). Rewind to START so a revival re-samples instead of
+        # recording the parked interval as a sampling duration.
+        if self.state[tid] == ac.SAMPLING:
+            self.state[tid] = ac.START
+            self._timing[tid] = False
+            self._retakes[tid] += 1
+
     # -- the GOMP_loop_next analogue ------------------------------------------
 
     def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
@@ -132,6 +150,7 @@ class AidStaticScheduler(LoopScheduler):
                 self.dec.emit(
                     tid, now, "sample_start",
                     chunk_target=self.sampling_chunk, range=list(got),
+                    **self._retake_fields(tid),
                 )
             return got
 
@@ -145,6 +164,7 @@ class AidStaticScheduler(LoopScheduler):
                     tid, now, "sample_complete",
                     duration=duration, completed=done,
                     mean_times=self.sampling.mean_times(),
+                    **self._retake_fields(tid),
                 )
             if done == self.ctx.n_threads and self.targets is None:
                 # Last sampler computes SF and k (exactly one thread).

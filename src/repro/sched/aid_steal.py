@@ -74,11 +74,17 @@ class AidStealScheduler(LoopScheduler):
         self.delta = [0] * nt
         self.assign_time = [0.0] * nt
         self._timing = [False] * nt
+        #: Sampling chunks re-taken after a fault loss, per thread.
+        self._retakes = [0] * nt
         self.sampling = ac.SamplingState(ctx.n_types, ctx.make_lock())
         self.sf: dict[int, float] | None = None
         #: Per-thread local range [lo, hi); (0, 0) when empty.
         self.local: list[tuple[int, int]] | None = None
         self.steals = 0
+        #: Set once any fault-recovery hook fires; enables the recovery
+        #: serving paths (whole-range steals below min_steal, pool
+        #: drain before retiring) that fault-free runs never take.
+        self._faulted = False
         self.dec = ac.decision_emitter(ctx, self.scheduler_label)
         if use_offline_sf:
             # Partitioned at loop setup, before any thread runs.
@@ -93,6 +99,10 @@ class AidStealScheduler(LoopScheduler):
         if self._timing[tid]:
             self.assign_time[tid] = t
             self._timing[tid] = False
+
+    def _retake_fields(self, tid: int) -> dict:
+        r = self._retakes[tid]
+        return {"retake": r} if r else {}
 
     # -- setup -----------------------------------------------------------------
 
@@ -158,6 +168,7 @@ class AidStealScheduler(LoopScheduler):
                 self.dec.emit(
                     tid, now, "sample_start",
                     chunk_target=self.sampling_chunk, range=list(got),
+                    **self._retake_fields(tid),
                 )
             return got
 
@@ -170,6 +181,7 @@ class AidStealScheduler(LoopScheduler):
                     tid, now, "sample_complete",
                     duration=duration, completed=done,
                     mean_times=self.sampling.mean_times(),
+                    **self._retake_fields(tid),
                 )
             if done == self.ctx.n_threads and self.local is None:
                 self._partition(self.sampling.sf_per_type(), tid, now)
@@ -202,6 +214,18 @@ class AidStealScheduler(LoopScheduler):
         ac.set_state(self, tid, SERVING)
         lo, hi = self.local[tid]
         if hi <= lo and not self._steal_into(tid, now):
+            if self._faulted:
+                # Fault recovery may have returned ranges to the shared
+                # pool (e.g. a preempt that could not be merged into a
+                # local range); drain them before retiring.
+                got = self.ctx.workshare.take(self.serve_chunk)
+                if got is not None:
+                    if self.dec.on:
+                        self.dec.emit(
+                            tid, now, "reclaim_serve",
+                            chunk_target=self.serve_chunk, range=list(got),
+                        )
+                    return got
             ac.set_state(self, tid, ac.DONE)
             return None
         lo, hi = self.local[tid]
@@ -218,10 +242,19 @@ class AidStealScheduler(LoopScheduler):
             if t != thief and hi - lo > best:
                 best = hi - lo
                 victim = t
-        if victim < 0 or best < self.min_steal:
+        if victim < 0:
             return False
+        if best < self.min_steal:
+            if not self._faulted:
+                return False
+            # Under faults, leftovers below min_steal may belong to a
+            # parked worker that will never serve them: steal the whole
+            # range rather than strand it.
+            mid = self.local[victim][0]
+        else:
+            lo, hi = self.local[victim]
+            mid = lo + (hi - lo + 1) // 2  # thief takes the back half
         lo, hi = self.local[victim]
-        mid = lo + (hi - lo + 1) // 2  # thief takes the back half
         self.local[victim] = (lo, mid)
         self.local[thief] = (mid, hi)
         self.steals += 1
@@ -232,6 +265,45 @@ class AidStealScheduler(LoopScheduler):
                 steals=self.steals,
             )
         return True
+
+    # -- fault-recovery hooks -----------------------------------------------------
+
+    def reclaim(self, tid: int, lo: int, hi: int) -> None:
+        """Route a preempted chunk's tail where serving will find it.
+
+        Post-partition, a preempted serve's tail is contiguous with the
+        owner's local front (the serve came off that front), so it merges
+        back into ``local[tid]`` and stays stealable. Anything else —
+        pre-partition sampling chunks, non-contiguous tails — goes to the
+        shared pool, which :meth:`_serve` drains before retiring.
+        """
+        self._faulted = True
+        if self.local is not None:
+            cur_lo, cur_hi = self.local[tid]
+            if cur_lo == hi:
+                self.local[tid] = (lo, cur_hi)
+                return
+            if cur_hi <= cur_lo:
+                self.local[tid] = (lo, hi)
+                return
+        self.ctx.workshare.requeue(lo, hi)
+
+    def on_worker_lost(self, tid: int, now: float) -> None:
+        # The lost worker's local range stays in place: the whole-range
+        # steal fallback lets survivors absorb it, however small.
+        self._faulted = True
+        # A sampler preempted mid-chunk must re-sample on revival rather
+        # than record the parked interval as a sampling duration.
+        if self.state[tid] == ac.SAMPLING:
+            self.state[tid] = ac.START
+            self._timing[tid] = False
+            self._retakes[tid] += 1
+
+    def on_worker_back(self, tid: int, now: float) -> None:
+        self._faulted = True
+
+    def on_rates_changed(self, now: float, multipliers: dict[int, float]) -> None:
+        self._faulted = True
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,40 @@ class LoopScheduler(abc.ABC):
         would systematically flatten the estimated SF.
         """
 
+    # -- fault-recovery hooks (overridden by adaptive policies) -------------
+    #
+    # The fault-injection engines (repro.faults.engine for the simulator,
+    # the watchdog in repro.exec_real.team) drive these. The defaults
+    # make every policy minimally fault-correct: reclaimed iterations go
+    # back to the shared pool, and losing/regaining a worker changes
+    # nothing a pool-driven policy needs to know about.
+
+    def reclaim(self, tid: int, lo: int, hi: int) -> None:
+        """Return ``[lo, hi)`` — the unfinished tail of a chunk assigned
+        to ``tid`` — to this policy's distribution authority.
+
+        Called when a fault preempts the chunk (core offlined, throttle
+        preemption) or the watchdog declares its owner stalled. Policies
+        that assign work outside the shared pool (e.g. AID-steal's
+        per-thread partitions) override this to route the range where
+        their serving paths will actually find it.
+        """
+        self.ctx.workshare.requeue(lo, hi)
+
+    def on_worker_lost(self, tid: int, now: float) -> None:
+        """Worker ``tid`` stopped taking work at ``now`` (core offlined)."""
+
+    def on_worker_back(self, tid: int, now: float) -> None:
+        """Worker ``tid`` resumed taking work at ``now``."""
+
+    def on_rates_changed(self, now: float, multipliers: dict[int, float]) -> None:
+        """Effective per-CPU speed multipliers changed at ``now``.
+
+        ``multipliers`` maps CPU index to the product of active throttle
+        factors (1.0 = nominal). Adaptive policies may invalidate cached
+        SF estimates here; the default ignores the signal.
+        """
+
     # -- optional introspection (overridden by AID policies) ----------------
 
     def estimated_sf(self) -> dict[int, float] | None:

@@ -1,0 +1,67 @@
+"""Audit: domain failures raised anywhere in ``repro`` use the
+:class:`~repro.errors.ReproError` hierarchy.
+
+Callers are promised a single except clause catches every library
+failure while programming errors (``TypeError`` and friends) still
+propagate. That promise only holds if no module quietly raises a bare
+builtin for a domain condition — so this test greps the entire source
+tree for ``raise <Name>(...)`` statements and checks every name against
+the hierarchy.
+"""
+
+import re
+from pathlib import Path
+
+import repro.errors as errors_mod
+from repro.errors import FaultError, ReproError, WatchdogTimeout
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+_RAISE = re.compile(r"\braise\s+([A-Za-z_][A-Za-z0-9_.]*)\s*\(")
+
+
+def _repro_error_names():
+    return {
+        name
+        for name, obj in vars(errors_mod).items()
+        if isinstance(obj, type) and issubclass(obj, ReproError)
+    }
+
+
+def test_every_module_raises_only_repro_errors():
+    allowed = _repro_error_names()
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _RAISE.finditer(text):
+            name = match.group(1).split(".")[-1]
+            if name not in allowed:
+                line = text[: match.start()].count("\n") + 1
+                offenders.append(
+                    f"{path.relative_to(SRC)}:{line}: raise {match.group(1)}"
+                )
+    assert not offenders, (
+        "domain failures must raise ReproError subclasses:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_hierarchy_is_rooted_at_repro_error():
+    names = _repro_error_names()
+    # Every public exception class in repro.errors is part of the tree.
+    for name, obj in vars(errors_mod).items():
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, ReproError), name
+    assert {"ConfigError", "FaultError", "WatchdogTimeout"} <= names
+    assert issubclass(WatchdogTimeout, FaultError)
+
+
+def test_errors_are_catchable_as_repro_error():
+    from repro.faults.model import FaultPlan
+
+    try:
+        FaultPlan.from_json("not json")
+    except ReproError as exc:
+        assert isinstance(exc, FaultError)
+    else:  # pragma: no cover
+        raise AssertionError("malformed plan must raise")

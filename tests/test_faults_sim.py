@@ -1,0 +1,179 @@
+"""Simulator-side fault injection: strict no-op guarantee, determinism,
+degradation semantics and iteration conservation under preemption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.generators import preset_platform, run_loop
+from repro.experiments.harness import default_configs, run_grid
+from repro.faults import (
+    CoreOfflineEvent,
+    FaultPlan,
+    OverheadSpikeEvent,
+    ThrottleEvent,
+    WorkerStallEvent,
+)
+from repro.obs import (
+    Observability,
+    build_snapshot,
+    comparable_snapshot,
+    grid_payload,
+)
+from repro.perfmodel.overhead import OverheadModel
+from repro.runtime.program_runner import ProgramRunner
+from repro.sched.registry import parse_schedule
+from repro.workloads.registry import get_program
+
+PLATFORM = preset_platform("dual:2:2")
+
+
+def _run(schedule="aid_dynamic,1,5", ni=64, faults=None, obs=None,
+         overhead=None):
+    return run_loop(
+        PLATFORM,
+        parse_schedule(schedule),
+        n_iterations=ni,
+        faults=faults,
+        obs=obs,
+        overhead=overhead,
+    )
+
+
+def _snapshot_json(obs):
+    return json.dumps(
+        comparable_snapshot(build_snapshot(obs)), sort_keys=True
+    )
+
+
+def _assert_exact_coverage(result, ni):
+    """Every iteration executed exactly once — preempted remainders were
+    requeued, never dropped and never double-run (the simulator, unlike
+    the real-thread watchdog, preempts before the work happens)."""
+    hits = np.zeros(ni, dtype=int)
+    for _tid, lo, hi in result.ranges:
+        hits[lo:hi] += 1
+    assert int(sum(result.iterations)) == ni
+    assert (hits == 1).all()
+
+
+@pytest.mark.parametrize(
+    "schedule", ["aid_static", "aid_hybrid,80", "aid_dynamic,1,5",
+                 "aid_auto,1,5", "aid_steal,8"]
+)
+def test_empty_plan_is_a_strict_noop(schedule):
+    """Satellite: ``faults=None`` and an empty plan take the identical
+    code path — results and comparable obs snapshots are byte-identical."""
+    runs = []
+    for faults in (None, FaultPlan()):
+        obs = Observability()
+        result = _run(schedule, ni=48, faults=faults, obs=obs)
+        runs.append((result, _snapshot_json(obs)))
+    (base, base_snap), (empty, empty_snap) = runs
+    assert empty.end_time == base.end_time
+    assert empty.ranges == base.ranges
+    assert list(empty.iterations) == list(base.iterations)
+    assert empty_snap == base_snap
+
+
+def test_grid_payload_unchanged_by_fault_plumbing():
+    """The experiment grid never passes faults; its payload must be a
+    pure function of (platform, programs, configs, seed) — byte-stable
+    across runs through the fault-aware executor."""
+    kwargs = dict(
+        programs=[get_program("EP")], configs=default_configs()[:2]
+    )
+    first = run_grid(preset_platform("odroid_xu4"), **kwargs)
+    second = run_grid(preset_platform("odroid_xu4"), **kwargs)
+    assert json.dumps(grid_payload(first), sort_keys=True) == json.dumps(
+        grid_payload(second), sort_keys=True
+    )
+
+
+def test_program_runner_empty_plan_matches_none():
+    program = get_program("EP")
+    results = [
+        ProgramRunner(preset_platform("odroid_xu4"), faults=faults).run(
+            program
+        )
+        for faults in (None, FaultPlan())
+    ]
+    assert results[0].completion_time == results[1].completion_time
+
+
+def test_throttle_slows_the_loop_and_fires_counters():
+    baseline = _run()
+    horizon = baseline.end_time
+    plan = FaultPlan(tuple(
+        ThrottleEvent(cpu=cpu, t0=0.0, t1=100.0 * horizon, factor=0.25)
+        for cpu in range(PLATFORM.n_cores)
+    ))
+    obs = Observability()
+    faulted = _run(faults=plan, obs=obs)
+    assert faulted.end_time > baseline.end_time
+    _assert_exact_coverage(faulted, 64)
+    snap = build_snapshot(obs)
+    names = {c["name"] for c in snap["metrics"]["counters"]}
+    assert "fault_events_total" in names
+
+
+def test_fault_injection_is_deterministic():
+    baseline = _run()
+    plan = FaultPlan((
+        ThrottleEvent(cpu=0, t0=0.1 * baseline.end_time,
+                      t1=0.9 * baseline.end_time, factor=0.3),
+        CoreOfflineEvent(cpu=3, t=0.2 * baseline.end_time),
+        WorkerStallEvent(tid=1, t=0.1 * baseline.end_time,
+                         seconds=0.2 * baseline.end_time),
+    ))
+    runs = []
+    for _ in range(2):
+        obs = Observability()
+        result = _run(faults=plan, obs=obs)
+        runs.append((result.end_time, result.ranges, _snapshot_json(obs)))
+    assert runs[0] == runs[1]
+
+
+def test_offline_core_returns_unfinished_work_to_the_pool():
+    baseline = _run(ni=128)
+    plan = FaultPlan((
+        CoreOfflineEvent(cpu=0, t=0.25 * baseline.end_time),
+    ))
+    faulted = _run(ni=128, faults=plan)
+    _assert_exact_coverage(faulted, 128)
+
+
+def test_offlining_every_core_defers_the_last_worker():
+    """Taking the whole machine down must not deadlock: the engine keeps
+    the final live worker online so the loop still drains."""
+    baseline = _run(ni=32)
+    plan = FaultPlan(tuple(
+        CoreOfflineEvent(cpu=cpu, t=0.01 * baseline.end_time)
+        for cpu in range(PLATFORM.n_cores)
+    ))
+    faulted = _run(ni=32, faults=plan)
+    _assert_exact_coverage(faulted, 32)
+
+
+def test_stall_charges_latency():
+    baseline = _run()
+    plan = FaultPlan((
+        WorkerStallEvent(tid=0, t=0.1 * baseline.end_time,
+                         seconds=2.0 * baseline.end_time),
+    ))
+    faulted = _run(faults=plan)
+    assert faulted.end_time > baseline.end_time
+    _assert_exact_coverage(faulted, 64)
+
+
+def test_overhead_spike_slows_dispatch_heavy_loops():
+    overhead = OverheadModel()
+    baseline = _run(ni=256, overhead=overhead)
+    plan = FaultPlan((
+        OverheadSpikeEvent(t0=0.0, t1=100.0 * baseline.end_time,
+                           factor=50.0),
+    ))
+    faulted = _run(ni=256, faults=plan, overhead=overhead)
+    assert faulted.end_time > baseline.end_time
+    _assert_exact_coverage(faulted, 256)

@@ -4,6 +4,7 @@ from repro.amp.presets import odroid_xu4
 from repro.fleet import jobs as jobs_mod
 from repro.fleet.cache import ResultCache
 from repro.fleet.jobs import JobSpec
+from repro.obs import Observability
 from repro.runtime.env import OmpEnv
 from repro.workloads.registry import get_program
 
@@ -40,6 +41,79 @@ def test_corrupt_entry_reads_as_miss(tmp_path):
     cache.put(spec.execute())
     cache.path_for(spec.key).write_text("{not json", encoding="utf-8")
     assert cache.get(spec.key) is None
+
+
+def test_corrupt_entry_is_quarantined_and_counted(tmp_path):
+    obs = Observability()
+    cache = ResultCache(tmp_path, obs=obs)
+    spec = make_spec()
+    result = spec.execute()
+    cache.put(result)
+    path = cache.path_for(spec.key)
+    path.write_text("{truncated garbage", encoding="utf-8")
+    assert cache.get(spec.key) is None
+    # The bad bytes moved aside for inspection; the slot is free.
+    corrupt = path.with_name(path.name + ".corrupt")
+    assert corrupt.is_file()
+    assert corrupt.read_text(encoding="utf-8") == "{truncated garbage"
+    assert not path.exists()
+    counter = obs.registry.counter(
+        "fleet_cache_corrupt_total", reason="json"
+    )
+    assert counter.value == 1
+    # A second read of the same digest is a plain miss, not a re-count.
+    assert cache.get(spec.key) is None
+    assert counter.value == 1
+    # The recompute-and-overwrite path works on the freed slot.
+    cache.put(result)
+    assert cache.get(spec.key) == result
+
+
+def test_entry_under_the_wrong_digest_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path, obs=Observability())
+    spec_a, spec_b = make_spec(seed=0), make_spec(seed=1)
+    good = cache.path_for(spec_a.key)
+    cache.put(spec_a.execute())
+    # Plant spec A's (internally valid) entry at spec B's path.
+    wrong = cache.path_for(spec_b.key)
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_text(good.read_text(encoding="utf-8"), encoding="utf-8")
+    assert cache.get(spec_b.key) is None
+    assert wrong.with_name(wrong.name + ".corrupt").is_file()
+    assert cache.obs.registry.counter(
+        "fleet_cache_corrupt_total", reason="digest"
+    ).value == 1
+    # The legitimate entry is untouched.
+    assert cache.get(spec_a.key) is not None
+
+
+def test_stale_salt_misses_without_quarantine(tmp_path, monkeypatch):
+    obs = Observability()
+    cache = ResultCache(tmp_path, obs=obs)
+    spec = make_spec()
+    cache.put(spec.execute())
+    path = cache.path_for(spec.key)
+    monkeypatch.setattr("repro.fleet.cache.CODE_SALT", "v999/other-schema")
+    # A version bump is staleness, not corruption: the entry stays put.
+    assert cache.get(spec.key) is None
+    assert path.is_file()
+    assert not path.with_name(path.name + ".corrupt").exists()
+    assert not [
+        c for c in obs.registry.snapshot()["counters"]
+        if c["name"] == "fleet_cache_corrupt_total"
+    ]
+
+
+def test_clear_removes_quarantined_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec()
+    cache.put(spec.execute())
+    cache.path_for(spec.key).write_text("garbage", encoding="utf-8")
+    assert cache.get(spec.key) is None
+    assert list(tmp_path.rglob("*.corrupt"))
+    cache.put(spec.execute())
+    assert cache.clear() == 1
+    assert not list(tmp_path.rglob("*.corrupt"))
 
 
 def test_salt_change_invalidates(tmp_path, monkeypatch):

@@ -142,6 +142,34 @@ def test_worker_crash_is_retried(small_specs, tmp_path, monkeypatch):
     assert [o.result for o in outcomes] == [o.result for o in serial]
 
 
+def test_pool_rebuild_charges_only_the_crashing_job(
+    small_specs, tmp_path, monkeypatch
+):
+    """Regression: a crashed worker breaks the whole pool, resolving the
+    innocent in-flight siblings' futures with BrokenProcessPool too. The
+    one crash must charge exactly one retry unit — to the crashing job —
+    and requeue the siblings uncharged."""
+    marker = tmp_path / "crash.marker"
+    monkeypatch.setenv(
+        CRASH_ONCE_ENV, f"{small_specs[0].key[:12]}@{marker}"
+    )
+    progress = FleetProgress()
+    outcomes = run_jobs(
+        small_specs, FleetConfig(jobs=2, retries=1, backoff=0.001),
+        progress=progress,
+    )
+    assert marker.exists(), "the injected crash must have fired"
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    by_key = {o.spec.key: o for o in outcomes}
+    assert by_key[small_specs[0].key].attempts == 2
+    # With the old double-charging, a sibling that died with the pool
+    # also burned an attempt; now everyone else completes first try.
+    for spec in small_specs[1:]:
+        assert by_key[spec.key].attempts == 1, spec.label
+    assert progress.count("fleet_retries") == 1
+    assert progress.count("fleet_failures") == 0
+
+
 def test_persistent_failure_exhausts_retries():
     # An oversubscribed team is a deterministic ConfigError at run time:
     # every attempt fails the same way, inline and in workers alike.

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.errors import WorkloadError
+
 from repro.kernels import (
     assign_clusters,
     bfs_levels,
@@ -51,7 +53,7 @@ class TestBlackScholes:
         assert np.all(prices >= 0)
 
     def test_invalid_inputs(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             black_scholes_price(
                 np.array([100.0]), np.array([100.0]), 0.05,
                 np.array([-0.1]), np.array([1.0]),
@@ -74,7 +76,7 @@ class TestEP:
         assert counts.sum() == accepted
 
     def test_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             ep_gaussian_pairs(0, seed=0)
 
 
@@ -97,7 +99,7 @@ class TestCG:
 
     def test_bad_row_range(self):
         a, _ = make_sparse_system(10)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             spmv_rows(a, np.zeros(10), 5, 20)
 
 
@@ -121,7 +123,7 @@ class TestStencils:
         np.testing.assert_allclose(out, 0.5 * np.ones((8, 8)))
 
     def test_hotspot_shape_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             hotspot_step(np.zeros((4, 4)), np.zeros((5, 5)), 0, 4)
 
 
@@ -139,7 +141,7 @@ class TestSrad:
         assert np.all(c > 0.9)  # no edges -> strong diffusion
 
     def test_rejects_nonpositive_image(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             srad_coefficients(np.zeros((4, 4)), 0, 4)
 
 
@@ -173,7 +175,7 @@ class TestGraph:
 
     def test_bad_source(self):
         g = make_random_graph(10)
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             bfs_levels(g, 99)
 
 
@@ -211,5 +213,5 @@ class TestKmeans:
         assert inertia(centers1, labels1) <= inertia(centers, labels0)
 
     def test_dimension_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             assign_clusters(np.zeros((5, 2)), np.zeros((2, 3)), 0, 5)
