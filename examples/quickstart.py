@@ -58,7 +58,11 @@ def write_obs_artifacts(
     obs.decisions.write_jsonl(out_dir / "decisions.jsonl")
     if runner.recorder is not None:
         trace_json = export_chrome_trace(
-            runner.recorder, decisions=obs.decisions.records
+            runner.recorder,
+            decisions=obs.decisions.records,
+            # Counter lanes: utilization/rate/pool-depth timelines render
+            # alongside the per-thread state tracks in Perfetto.
+            timeseries=obs.registry.snapshot()["timeseries"],
         )
         (out_dir / "trace.json").write_text(trace_json, encoding="utf-8")
     print(f"  [obs] artifacts written to {out_dir}/ "

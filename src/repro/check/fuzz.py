@@ -12,10 +12,19 @@ Runtime self-check aborts (the executor's own iteration-count assertion,
 work-share errors) are caught and folded into the report — the take log
 recorded up to the abort usually carries the actual evidence, e.g. the
 overlapping grants behind an iteration-count mismatch.
+
+Every simulator case also runs with a live observability bundle, and
+:func:`obs_violations` validates the resulting snapshot: canonical-JSON
+round-trip (no NaN/inf leaks), busy-window occupancy bounds, agreement
+between the ``chunk_size`` sampler and the ``chunk_size_iters`` digest,
+and merge self-consistency (one fold rebuilds the snapshot exactly, a
+second fold exactly doubles it). A violation is folded into
+``check.error`` like any other runtime abort, so the fuzzer shrinks it.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,6 +40,7 @@ from repro.check.mutants import apply_mutant
 from repro.check.oracle import ConformanceReport, verify_loop
 from repro.check.recording import CheckContext
 from repro.faults.model import plan_from_tuples
+from repro.obs import Observability
 from repro.sim.rng import stable_seed
 from repro.tracing.trace import TraceRecorder
 
@@ -55,6 +65,95 @@ class CaseResult:
         )
 
 
+def obs_violations(metrics: dict) -> list[str]:
+    """Invariant checks over one registry snapshot (empty list = clean).
+
+    These are the properties the telemetry layer promises everywhere
+    else (fleet shipping, snapshot diffing, trace export) and which a
+    scheduling bug could silently corrupt:
+
+    * the document serializes as strict canonical JSON (``allow_nan``
+      off — a NaN rate or infinite span poisons every merge) and
+      round-trips unchanged;
+    * busy-mode windows never hold more busy time than ``window * norm``
+      (a sampler overrun means overlapping execution spans);
+    * the ``chunk_size`` sampler and the ``chunk_size_iters`` digest saw
+      the same number of grants per instrument labels;
+    * folding the snapshot into a fresh registry rebuilds it exactly,
+      and folding it twice exactly doubles counters and digest counts
+      (the fleet-merge determinism contract, jobs=1 vs jobs=N).
+    """
+    from repro.obs.merge import merge_metrics_into
+    from repro.obs.registry import MetricsRegistry
+
+    out: list[str] = []
+    try:
+        text = json.dumps(metrics, sort_keys=True, allow_nan=False)
+    except ValueError as exc:
+        return [f"obs: snapshot is not strict JSON: {exc}"]
+    if json.loads(text) != metrics:
+        out.append("obs: snapshot does not round-trip through JSON")
+
+    eps = 1e-9
+    for doc in metrics.get("timeseries", []):
+        if doc.get("mode") != "busy":
+            continue
+        window = float(doc["window"])
+        cap = window * float(doc.get("norm", 1.0))
+        for idx, point in (doc.get("points") or {}).items():
+            if point[0] > cap * (1.0 + eps) + eps:
+                out.append(
+                    f"obs: busy window overrun in {doc['name']}"
+                    f"{doc.get('labels')}: window {idx} holds "
+                    f"{point[0]!r}s > {cap!r}s capacity"
+                )
+
+    def _count_of(kind: str, name: str) -> dict[tuple, float]:
+        counts: dict[tuple, float] = {}
+        for doc in metrics.get(kind, []):
+            if doc["name"] != name:
+                continue
+            key = tuple(sorted((doc.get("labels") or {}).items()))
+            if kind == "timeseries":
+                n = sum(p[1] for p in (doc.get("points") or {}).values())
+            else:
+                n = float(doc.get("count", 0))
+            counts[key] = counts.get(key, 0.0) + n
+        return counts
+
+    sampler = _count_of("timeseries", "chunk_size")
+    digest = _count_of("digests", "chunk_size_iters")
+    if sampler != digest:
+        out.append(
+            f"obs: chunk_size sampler counts {sampler} disagree with "
+            f"chunk_size_iters digest counts {digest}"
+        )
+
+    once = MetricsRegistry()
+    merge_metrics_into(once, metrics)
+    if json.dumps(once.snapshot(), sort_keys=True) != text:
+        out.append("obs: merging the snapshot once does not rebuild it")
+    twice = MetricsRegistry()
+    merge_metrics_into(twice, metrics)
+    merge_metrics_into(twice, metrics)
+    doubled = twice.snapshot()
+    for a, b in zip(metrics.get("counters", []), doubled.get("counters", [])):
+        if abs(b["value"] - 2.0 * a["value"]) > 1e-9 * max(1.0, abs(a["value"])):
+            out.append(
+                f"obs: counter {a['name']}{a['labels']} does not double "
+                f"under self-merge ({a['value']} -> {b['value']})"
+            )
+            break
+    for a, b in zip(metrics.get("digests", []), doubled.get("digests", [])):
+        if b.get("count") != 2 * a.get("count"):
+            out.append(
+                f"obs: digest {a['name']}{a['labels']} count does not "
+                f"double under self-merge"
+            )
+            break
+    return out
+
+
 def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
     """Execute one case under full observation and run the oracle.
 
@@ -69,6 +168,7 @@ def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
         return _run_real_case(case, mutant)
     check = CheckContext()
     trace = TraceRecorder()
+    obs = Observability()
     faults_plan = None
     if case.faults:
         probe = run_loop(
@@ -96,9 +196,14 @@ def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
                 check=check,
                 rng=case_rng(case),
                 faults=faults_plan,
+                obs=obs,
             )
         except Exception as exc:  # noqa: BLE001 — a crash IS a finding
             check.error = f"{type(exc).__name__}: {exc}"
+    if check.error is None:
+        bad = obs_violations(obs.registry.snapshot())
+        if bad:
+            check.error = "; ".join(bad)
     return CaseResult(case, verify_loop(check, trace), check, trace)
 
 

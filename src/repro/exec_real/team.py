@@ -177,6 +177,18 @@ class ThreadTeam:
         stall_seconds_total = 0.0
         watchdog_stop = threading.Event()
         use_watchdog = watchdog_timeout is not None and self.watchdog_enabled
+        # Wall-clock tail instruments; real_* names are declared
+        # wall-clock in repro.obs.merge so fleet diffs ignore them. Fed
+        # under ranges_lock: the instruments are not thread-safe.
+        track = obs.enabled
+        if track:
+            reg = obs.registry
+            real_compute = reg.digest("real_chunk_compute_seconds", loop=loop_name)
+            real_dispatch = reg.digest(
+                "real_dispatch_overhead_seconds", loop=loop_name
+            )
+            real_sizes = reg.digest("real_chunk_size_iters", loop=loop_name)
+            real_rate = reg.timeseries("real_worker_rate", loop=loop_name)
 
         t0 = time.perf_counter()
 
@@ -186,6 +198,7 @@ class ThreadTeam:
                 while True:
                     if errors:
                         return
+                    t_disp = time.perf_counter()
                     got = scheduler.next_range(tid, time.perf_counter())
                     if check is not None:
                         # Serialize the append so event seq numbers stay
@@ -200,6 +213,8 @@ class ThreadTeam:
                     with ranges_lock:
                         block_seq[tid] += 1
                         current[tid] = (lo, hi, now, block_seq[tid])
+                        if track:
+                            real_dispatch.observe(now - t_disp)
                     stall = 0.0
                     queue = pending_stalls.get(tid)
                     while queue and now - t0 >= queue[0][0]:
@@ -215,10 +230,19 @@ class ThreadTeam:
                             stall_seconds_total += stall
                         time.sleep(stall)
                     body(tid, lo, hi)
+                    t_done = time.perf_counter()
                     iterations[tid] += hi - lo
                     with ranges_lock:
                         current[tid] = None
                         ranges.append((tid, lo, hi))
+                        if track:
+                            compute_dt = t_done - now - stall
+                            real_compute.observe(max(0.0, compute_dt))
+                            real_sizes.observe(hi - lo)
+                            if compute_dt > 0.0:
+                                real_rate.observe(
+                                    now - t0, (hi - lo) / compute_dt
+                                )
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 errors.append(exc)
 

@@ -127,6 +127,7 @@ class SimFaultEngine:
         self._woke: set[int] = set()
         self._inflight: dict[int, _Block] = {}
         self._pending_stall: dict[int, float] = {}
+        self._stall_by_tid: dict[int, float] = {}
         self._counts: dict[str, float] = {}
         # -- executor callbacks (bound via bind()) ------------------------
         self._restart_cb: Callable[[int, float], None] | None = None
@@ -214,9 +215,16 @@ class SimFaultEngine:
         if stall:
             overhead_dt += stall
             self._count("fault_stall_seconds_total", stall)
+            self._stall_by_tid[tid] = self._stall_by_tid.get(tid, 0.0) + stall
             if self.dec.on:
                 self.dec.emit(tid, now, "stall_applied", seconds=stall)
         return overhead_dt
+
+    def stall_seconds_of(self, tid: int) -> float:
+        """Stall seconds folded into ``tid``'s dispatch overhead so far
+        (cost attribution subtracts them back out of the overhead
+        category)."""
+        return self._stall_by_tid.get(tid, 0.0)
 
     def begin_block(
         self,

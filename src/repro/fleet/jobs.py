@@ -42,7 +42,9 @@ from repro.workloads.program import Program
 #: Result document format identifier (bump to invalidate cached results
 #: whose *shape* changed even if the simulation did not).
 #: v2: results carry the per-job observability snapshot (``obs_json``).
-RESULT_SCHEMA = "repro.fleet.result/v2"
+#: v3: the snapshot gained time-resolved instruments (timeseries and
+#: quantile digests), so cached v2 entries lack the new data.
+RESULT_SCHEMA = "repro.fleet.result/v3"
 
 #: Code-version salt mixed into every digest. Any release that changes
 #: simulated numbers bumps ``__version__`` and thereby every digest.

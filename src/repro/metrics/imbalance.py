@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ExperimentError
+from repro.obs.timeseries import utilization
 from repro.runtime.executor import LoopResult
 
 
@@ -18,11 +19,16 @@ def thread_utilization(result: LoopResult) -> list[float]:
     """Per-thread busy fraction of the loop's wall time.
 
     1.0 for the thread that finished last; lower values expose barrier
-    wait (the idle big cores of the paper's Fig. 1a)."""
+    wait (the idle big cores of the paper's Fig. 1a). Uses the same
+    busy/span definition as the ``core_utilization`` sampler in
+    :mod:`repro.obs.timeseries`, so the scalar metric and the
+    time-resolved lanes can be cross-checked against each other."""
     span = result.duration
     if span <= 0:
         raise ExperimentError("loop has zero duration")
-    return [(t - result.start_time) / span for t in result.finish_times]
+    return [
+        utilization(t - result.start_time, span) for t in result.finish_times
+    ]
 
 
 def mean_imbalance(results: Sequence[LoopResult]) -> float:

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs.timeseries import series_values
 from repro.tracing.trace import Timeline, TraceRecorder
 
 #: seconds -> trace-event microseconds.
@@ -32,9 +33,16 @@ def _timeline_of(trace: Timeline | TraceRecorder) -> Timeline:
     return trace.timeline() if isinstance(trace, TraceRecorder) else trace
 
 
+def _series_doc(series) -> dict:
+    """Accept live :class:`~repro.obs.timeseries.TimeSeries` instruments
+    or their serialized dict form interchangeably."""
+    return series.as_dict() if hasattr(series, "as_dict") else dict(series)
+
+
 def to_trace_events(
     trace: Timeline | TraceRecorder,
     decisions: Iterable[dict] = (),
+    timeseries: Iterable = (),
     process_name: str = "repro",
 ) -> list[dict]:
     """Build the ``traceEvents`` list.
@@ -43,6 +51,12 @@ def to_trace_events(
         trace: recorded per-thread state intervals.
         decisions: scheduler decision records (``DecisionLog.records``);
             each becomes an instant event on its thread's track.
+        timeseries: windowed samplers (live instruments or their dict
+            form); each becomes a counter ("C") lane — utilization for
+            busy-mode series, the per-window mean for sample-mode — so
+            Perfetto renders the timeline the snapshot carries. Empty
+            (the default) emits nothing: existing duration-event output
+            is byte-identical.
         process_name: the pid's display name in the viewer.
     """
     timeline = _timeline_of(trace)
@@ -100,6 +114,24 @@ def to_trace_events(
                 "args": args,
             }
         )
+    for series in timeseries:
+        doc = _series_doc(series)
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted((doc.get("labels") or {}).items())
+        )
+        lane = f"{doc['name']}{{{labels}}}" if labels else doc["name"]
+        window = float(doc.get("window", 1.0))
+        for idx, value in series_values(doc):
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _PID,
+                    "ts": idx * window * _US,
+                    "name": lane,
+                    "cat": "timeseries",
+                    "args": {"value": value},
+                }
+            )
     return events
 
 
@@ -108,6 +140,7 @@ def export_chrome_trace(
     decisions: Iterable[dict] = (),
     path: str | Path | None = None,
     process_name: str = "repro",
+    timeseries: Iterable = (),
 ) -> str:
     """Serialize to a trace-event JSON document.
 
@@ -119,7 +152,8 @@ def export_chrome_trace(
         "displayTimeUnit": "ms",
         "otherData": {"generator": "repro.obs.chrome_trace"},
         "traceEvents": to_trace_events(
-            trace, decisions, process_name=process_name
+            trace, decisions, timeseries=timeseries,
+            process_name=process_name,
         ),
     }
     text = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

@@ -29,6 +29,11 @@ from repro.errors import ObsError
 #: Fields present on every record, in schema order.
 REQUIRED_FIELDS = ("seq", "t", "loop", "scheduler", "tid", "event")
 
+#: Decision events that publish an SF estimate (one per AID variant).
+#: The report CLI and the ``sf_estimate`` drift timeseries both key on
+#: these.
+SF_EVENTS = ("publish_targets", "publish_ratio", "decide", "partition")
+
 #: Log format identifier written by :meth:`DecisionLog.to_jsonl` consumers.
 SCHEMA = "repro.obs.decisions/v1"
 

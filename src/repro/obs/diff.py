@@ -17,6 +17,12 @@ classifies every difference:
 * **histograms** — compared by a normalized L1 bucket distance
   (0 = identical shape, 1 = disjoint); beyond ``hist_dist`` is a
   regression unless the histogram is wall-clock;
+* **timeseries** — windowed samplers compared by their integrated
+  totals (busy seconds / sample sums) under ``metric_rel``;
+* **digests** — quantile sketches gated on tail drift: p50/p99/p999
+  growth beyond ``tail_rel`` is a ``tail-latency`` regression (the class
+  mean/counter comparisons cannot catch — a fault-throttled run can
+  match a healthy run's totals while its p99 explodes);
 * **decision summaries** — per-scheduler event counts
   (:func:`~repro.obs.merge.summarize_decisions`); any divergence is a
   regression under ``strict_decisions`` (the default), a mere change
@@ -32,6 +38,10 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.obs.merge import WALL_CLOCK_METRICS, summarize_decisions
+from repro.obs.timeseries import digest_quantile
+
+#: The digest quantiles the tail-latency gate watches.
+TAIL_QUANTILES = ((0.5, "p50"), (0.99, "p99"), (0.999, "p999"))
 
 #: Counters whose value legitimately differs between valid runs of the
 #: same grid (cache temperature, worker wall time).
@@ -59,6 +69,9 @@ class DiffThresholds:
         metric_rel: max relative divergence for simulation metrics.
         cost_rel: max relative *growth* for cost metrics.
         hist_dist: max normalized L1 bucket distance for histograms.
+        tail_rel: max relative *growth* of a digest's p99/p999 before
+            the difference is classified as a ``tail-latency``
+            regression (shrinking tails are improvements).
         strict_decisions: treat decision-summary divergence as a
             regression (True) or a plain change (False).
     """
@@ -66,6 +79,7 @@ class DiffThresholds:
     metric_rel: float = 0.01
     cost_rel: float = 0.10
     hist_dist: float = 0.05
+    tail_rel: float = 0.10
     strict_decisions: bool = True
 
 
@@ -73,7 +87,7 @@ class DiffThresholds:
 class DiffEntry:
     """One observed difference between the two snapshots."""
 
-    kind: str  # counter | gauge | histogram | decisions
+    kind: str  # counter | gauge | histogram | timeseries | digest | tail-latency | decisions
     name: str
     labels: tuple[tuple[str, str], ...]
     before: float | None
@@ -194,6 +208,21 @@ def histogram_distance(a: Mapping, b: Mapping) -> float:
     return moved / (2 * total)
 
 
+def _doc_index(metrics: Mapping[str, list], kind: str) -> dict[tuple, Mapping]:
+    return {
+        (m["name"], tuple(sorted((str(k), str(v)) for k, v in m["labels"].items()))): m
+        for m in metrics.get(kind, [])
+    }
+
+
+def _series_totals(doc: Mapping) -> tuple[float, float]:
+    points = doc.get("points") or {}
+    return (
+        sum(float(v[0]) for v in points.values()),
+        sum(float(v[1]) for v in points.values()),
+    )
+
+
 def _decision_summary_of(snapshot: Mapping) -> dict:
     summary = snapshot.get("decision_summary")
     if isinstance(summary, Mapping) and summary:
@@ -305,6 +334,102 @@ def diff_snapshots(
                 "histogram", name, labels,
                 float(ha.get("sum", 0.0)), float(hb.get("sum", 0.0)),
                 severity, f"bucket distance {dist:.3f}",
+            )
+        )
+
+    # Timeseries: the totals (integrated busy seconds / summed samples)
+    # must agree like any other simulation metric; per-window shape
+    # divergence with matching totals is surfaced as a change.
+    series_a = _doc_index(a.get("metrics", {}) or {}, "timeseries")
+    series_b = _doc_index(b.get("metrics", {}) or {}, "timeseries")
+    for key in sorted(set(series_a) | set(series_b)):
+        name, labels = key
+        diff.compared += 1
+        sa, sb = series_a.get(key), series_b.get(key)
+        if sa is None or sb is None:
+            severity = "info" if is_informational(name) else "regression"
+            diff.entries.append(
+                DiffEntry(
+                    "timeseries", name, labels, None, None, severity,
+                    "present in only one snapshot",
+                )
+            )
+            continue
+        if sa == sb:
+            diff.identical += 1
+            continue
+        sum_a, count_a = _series_totals(sa)
+        sum_b, count_b = _series_totals(sb)
+        if is_informational(name):
+            diff.entries.append(
+                DiffEntry("timeseries", name, labels, sum_a, sum_b, "info")
+            )
+            continue
+        rel = max(_rel(sum_a, sum_b), _rel(count_a, count_b))
+        severity = "regression" if rel > thresholds.metric_rel else "change"
+        detail = (
+            f"totals diverged {100 * rel:.2f}%"
+            if rel > 0.0
+            else "same totals, different window shape"
+        )
+        diff.entries.append(
+            DiffEntry("timeseries", name, labels, sum_a, sum_b, severity, detail)
+        )
+
+    # Digests: the tail-latency gate. p99/p999 growth beyond tail_rel is
+    # a regression of kind "tail-latency" — mean-preserving distribution
+    # shifts that fatten the tail are exactly what counters miss.
+    digests_a = _doc_index(a.get("metrics", {}) or {}, "digests")
+    digests_b = _doc_index(b.get("metrics", {}) or {}, "digests")
+    for key in sorted(set(digests_a) | set(digests_b)):
+        name, labels = key
+        diff.compared += 1
+        da, db = digests_a.get(key), digests_b.get(key)
+        if da is None or db is None:
+            severity = "info" if is_informational(name) else "regression"
+            diff.entries.append(
+                DiffEntry(
+                    "digest", name, labels, None, None, severity,
+                    "present in only one snapshot",
+                )
+            )
+            continue
+        if da == db:
+            diff.identical += 1
+            continue
+        if is_informational(name):
+            diff.entries.append(
+                DiffEntry(
+                    "digest", name, labels,
+                    float(da.get("sum", 0.0)), float(db.get("sum", 0.0)),
+                    "info",
+                )
+            )
+            continue
+        worst_q, worst_growth = None, 0.0
+        for q, q_name in TAIL_QUANTILES:
+            qa, qb = digest_quantile(da, q), digest_quantile(db, q)
+            if qb > qa:
+                growth = (qb - qa) / qa if qa > 0 else float("inf")
+                if growth > worst_growth:
+                    worst_q, worst_growth = (q_name, qa, qb), growth
+        if worst_q is not None and worst_growth > thresholds.tail_rel:
+            q_name, qa, qb = worst_q
+            diff.entries.append(
+                DiffEntry(
+                    "tail-latency", name, labels, qa, qb, "regression",
+                    f"{q_name} grew {100 * worst_growth:.1f}%"
+                    if worst_growth != float("inf")
+                    else f"{q_name} grew from 0",
+                )
+            )
+            continue
+        diff.entries.append(
+            DiffEntry(
+                "digest", name, labels,
+                float(da.get("sum", 0.0)), float(db.get("sum", 0.0)),
+                "change",
+                "tails within tolerance",
             )
         )
 

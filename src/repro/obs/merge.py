@@ -31,11 +31,13 @@ import json
 from typing import Iterable, Mapping
 
 from repro.errors import ObsError
-from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.registry import KIND_PLURALS, Histogram, MetricsRegistry
 from repro.obs.snapshot import SCHEMA as SNAPSHOT_SCHEMA
+from repro.obs.timeseries import QuantileDigest, TimeSeries
 
-#: Per-job snapshot document identifier.
-JOB_SCHEMA = "repro.obs.job-snapshot/v1"
+#: Per-job snapshot document identifier. v2 added the time-resolved
+#: instruments (``timeseries`` + ``digests``) to the metrics dump.
+JOB_SCHEMA = "repro.obs.job-snapshot/v2"
 
 #: Metrics measured in host wall-clock time: meaningful per run, never
 #: comparable across hosts, cache states or worker counts.
@@ -43,6 +45,10 @@ WALL_CLOCK_METRICS = frozenset(
     {
         "fleet_job_duration_seconds",
         "fleet_duration_estimate_seconds",
+        # Real-execution instruments measure host wall time by nature.
+        "real_chunk_compute_seconds",
+        "real_dispatch_overhead_seconds",
+        "real_worker_rate",
     }
 )
 
@@ -144,6 +150,23 @@ def merge_metrics_into(
             hist.counts[i] += c
         hist.sum += float(m["sum"])
         hist.count += int(m["count"])
+    for m in metrics.get("timeseries", []):
+        labels = {**m["labels"], **extra}
+        ts = registry.timeseries(
+            m["name"],
+            mode=m.get("mode", "sample"),
+            window=float(m.get("window0", m.get("window", 1.0))),
+            capacity=int(m.get("capacity", 256)),
+            norm=float(m.get("norm", 1.0)),
+            **labels,
+        )
+        if isinstance(ts, TimeSeries):  # null registry: nothing to do
+            ts.merge_doc(m)
+    for m in metrics.get("digests", []):
+        labels = {**m["labels"], **extra}
+        dg = registry.digest(m["name"], gamma=float(m["gamma"]), **labels)
+        if isinstance(dg, QuantileDigest):
+            dg.merge_doc(m)
 
 
 def merge_decision_summaries(into: dict, add: Mapping) -> None:
@@ -241,7 +264,7 @@ def comparable_snapshot(snapshot: Mapping) -> dict:
     doc = json.loads(json.dumps(snapshot))
     metrics = doc.get("metrics")
     if isinstance(metrics, dict):
-        for kind in ("counters", "gauges", "histograms"):
+        for kind in KIND_PLURALS.values():
             if kind in metrics:
                 metrics[kind] = [
                     m

@@ -24,9 +24,25 @@ import bisect
 from typing import Mapping, Sequence
 
 from repro.errors import ObsError
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    DEFAULT_GAMMA,
+    DEFAULT_WINDOW,
+    QuantileDigest,
+    TimeSeries,
+)
 
 #: Canonical label key: sorted (key, stringified value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
+
+#: Snapshot key per instrument kind ("timeseries" is its own plural).
+KIND_PLURALS = {
+    "counter": "counters",
+    "gauge": "gauges",
+    "histogram": "histograms",
+    "timeseries": "timeseries",
+    "digest": "digests",
+}
 
 #: Default histogram buckets: powers of two covering chunk sizes from a
 #: single iteration up to the largest AID allotments seen in practice.
@@ -171,6 +187,43 @@ class MetricsRegistry:
             )
         return inst
 
+    def timeseries(
+        self,
+        name: str,
+        mode: str = "sample",
+        window: float = DEFAULT_WINDOW,
+        capacity: int = DEFAULT_CAPACITY,
+        norm: float = 1.0,
+        **labels: object,
+    ) -> TimeSeries:
+        key = (name, label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = TimeSeries(
+                name, key[1], mode=mode, window=window,
+                capacity=capacity, norm=norm,
+            )
+            self._metrics[key] = inst
+        elif not isinstance(inst, TimeSeries):
+            raise ObsError(
+                f"metric {name!r} already registered as a {inst.kind}"
+            )
+        return inst
+
+    def digest(
+        self, name: str, gamma: float = DEFAULT_GAMMA, **labels: object
+    ) -> QuantileDigest:
+        key = (name, label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = QuantileDigest(name, key[1], gamma=gamma)
+            self._metrics[key] = inst
+        elif not isinstance(inst, QuantileDigest):
+            raise ObsError(
+                f"metric {name!r} already registered as a {inst.kind}"
+            )
+        return inst
+
     def _get(self, cls, name: str, labels: Mapping[str, object]):
         key = (name, label_key(labels))
         inst = self._metrics.get(key)
@@ -193,8 +246,8 @@ class MetricsRegistry:
         inst = self._metrics.get((name, label_key(labels)))
         if inst is None:
             raise ObsError(f"no metric {name!r} with labels {labels!r}")
-        if isinstance(inst, Histogram):
-            raise ObsError(f"{name!r} is a histogram; read its buckets")
+        if not isinstance(inst, (Counter, Gauge)):
+            raise ObsError(f"{name!r} is a {inst.kind}; read its structure")
         return inst.value
 
     def snapshot(self) -> dict:
@@ -204,14 +257,14 @@ class MetricsRegistry:
         the same observations serialize identically regardless of
         creation order.
         """
-        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        out: dict[str, list] = {plural: [] for plural in KIND_PLURALS.values()}
         for (_, _), inst in sorted(self._metrics.items()):
-            out[inst.kind + "s"].append(inst.as_dict())
+            out[KIND_PLURALS[inst.kind]].append(inst.as_dict())
         return out
 
 
 class _NullInstrument:
-    """Shared do-nothing counter/gauge/histogram."""
+    """Shared do-nothing counter/gauge/histogram/timeseries/digest."""
 
     __slots__ = ()
 
@@ -224,7 +277,10 @@ class _NullInstrument:
     def add(self, amount: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, *args: float) -> None:
+        pass
+
+    def observe_span(self, t0: float, t1: float) -> None:
         pass
 
 
@@ -249,5 +305,11 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name, buckets=POW2_BUCKETS, **labels):  # type: ignore[override]
         return _NULL_INSTRUMENT
 
+    def timeseries(self, name, **kwargs):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def digest(self, name, gamma=DEFAULT_GAMMA, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
     def snapshot(self) -> dict:
-        return {"counters": [], "gauges": [], "histograms": []}
+        return {plural: [] for plural in KIND_PLURALS.values()}

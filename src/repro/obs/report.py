@@ -5,6 +5,8 @@ Usage::
     python -m repro.obs.report SNAPSHOT.json [--threads] [--loop NAME]
     python -m repro.obs.report diff A.json B.json [--fail-on-regression]
     python -m repro.obs.report trajectory [HISTORY.jsonl] [--source S]
+    python -m repro.obs.report timeline SNAPSHOT.json [--loop L] [--metric M]
+    python -m repro.obs.report profile [--platform P] [--top N] [--json PATH]
 
 The default mode prints, per loop: dispatch counts, scheduler calls,
 runtime-overhead percentage, compute-time imbalance across threads, and
@@ -19,7 +21,12 @@ decision summary.
 ``--fail-on-regression``, exits nonzero when any regression survives the
 thresholds — the CI gate for warm-cache reruns. ``trajectory`` renders
 the run-over-run history kept by :mod:`repro.obs.trajectory` as
-sparkline trend tables.
+sparkline trend tables. ``timeline`` renders the snapshot's windowed
+timeseries as sparkline lanes over sim time plus a tail table
+(p50/p99/p999) of its quantile digests. ``profile`` runs an experiment
+grid under the hot-path profiler and prints the ranked wall-clock
+hotspots alongside the deterministic sim-time cost attribution — the
+ROADMAP-item-1 baseline CI keeps as an artifact.
 """
 
 from __future__ import annotations
@@ -33,10 +40,10 @@ from typing import Iterable, Mapping
 from repro.errors import ObsError
 from repro.obs.diff import DiffThresholds, diff_snapshots
 from repro.obs.snapshot import load_snapshot
-from repro.obs.trajectory import TrajectoryStore, trend_table
+from repro.obs.timeseries import digest_quantile, series_values
+from repro.obs.trajectory import TrajectoryStore, sparkline, trend_table
 
-#: Decision events that publish an SF estimate (one per AID variant).
-_SF_EVENTS = ("publish_targets", "publish_ratio", "decide", "partition")
+from repro.obs.decisions import SF_EVENTS as _SF_EVENTS
 
 
 def _index(metrics: Mapping[str, list]) -> dict[tuple, float]:
@@ -263,6 +270,191 @@ def summarize(snapshot: Mapping, threads: bool = False, loop: str | None = None)
     return "\n".join(lines)
 
 
+def _label_str(labels: Mapping) -> str:
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{{{inner}}}" if inner else ""
+
+
+def _doc_matches(doc: Mapping, loop: str | None, metric: str | None) -> bool:
+    if metric is not None and doc.get("name") != metric:
+        return False
+    if loop is not None and (doc.get("labels") or {}).get("loop") != loop:
+        return False
+    return True
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    """Mean-pool a dense series down to at most ``width`` points, so a
+    long run still fits one sparkline without dropping its head."""
+    if len(values) <= width:
+        return values
+    out = []
+    n = len(values)
+    for i in range(width):
+        lo, hi = i * n // width, max(i * n // width + 1, (i + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def timeline(
+    snapshot: Mapping,
+    loop: str | None = None,
+    metric: str | None = None,
+    width: int = 48,
+) -> str:
+    """Sparkline lanes for the snapshot's timeseries + digest tails."""
+    metrics_doc = snapshot.get("metrics", {}) or {}
+    lines: list[str] = []
+    series_docs = [
+        doc for doc in metrics_doc.get("timeseries", [])
+        if _doc_matches(doc, loop, metric)
+    ]
+    if series_docs:
+        lines.append("timeseries (sim-time lanes, left = t0)")
+        for doc in series_docs:
+            pts = dict(series_values(doc))
+            if not pts:
+                continue
+            hi_idx = max(pts)
+            lo_idx = min(pts)
+            # Dense lane from the first to the last populated window;
+            # empty windows are genuinely zero (nothing observed).
+            dense = [pts.get(i, 0.0) for i in range(lo_idx, hi_idx + 1)]
+            window = float(doc.get("window", 1.0))
+            vals = _resample(dense, width)
+            lane = f"{doc['name']}{_label_str(doc.get('labels') or {})}"
+            lines.append(f"  {lane}")
+            lines.append(
+                f"    |{sparkline(vals, width=width)}|"
+                f"  t=[{lo_idx * window:.6f}s, {(hi_idx + 1) * window:.6f}s]"
+                f"  min={min(dense):.4g} max={max(dense):.4g}"
+                f"  window={window:.3g}s"
+            )
+    digest_docs = [
+        doc for doc in metrics_doc.get("digests", [])
+        if _doc_matches(doc, loop, metric)
+    ]
+    if digest_docs:
+        if lines:
+            lines.append("")
+        header = (
+            f"{'digest':<52s}{'count':>8s}{'p50':>12s}{'p99':>12s}"
+            f"{'p999':>12s}{'max':>12s}"
+        )
+        lines.append("digest tails (streaming quantiles)")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for doc in digest_docs:
+            name = f"{doc['name']}{_label_str(doc.get('labels') or {})}"
+            lines.append(
+                f"{name:<52s}{int(doc.get('count', 0)):>8d}"
+                f"{digest_quantile(doc, 0.5):>12.3g}"
+                f"{digest_quantile(doc, 0.99):>12.3g}"
+                f"{digest_quantile(doc, 0.999):>12.3g}"
+                f"{float(doc.get('max', 0.0)):>12.3g}"
+            )
+    if not lines:
+        lines.append(
+            "no timeseries or digests in this snapshot (schema "
+            + str((snapshot.get("metrics", {}) or {}).get("schema", "?"))
+            + " predates them, or NULL_OBS was used)"
+        )
+    return "\n".join(lines)
+
+
+def _timeline_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report timeline",
+        description="Render a snapshot's timeseries as sim-time "
+        "sparkline lanes and its digests as a tail table.",
+    )
+    parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    parser.add_argument("--loop", default=None, help="restrict to one loop")
+    parser.add_argument(
+        "--metric", default=None, help="restrict to one metric name"
+    )
+    parser.add_argument(
+        "--width", type=int, default=48,
+        help="sparkline lane width in glyphs (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(
+            timeline(
+                snapshot, loop=args.loop, metric=args.metric,
+                width=args.width,
+            )
+        )
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _profile_main(argv: list[str]) -> int:
+    from repro.obs.profile import (
+        PROFILE_SCHEMA,
+        cost_attribution,
+        format_cost_attribution,
+        format_hotspots,
+        profile_grid,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report profile",
+        description="Run an experiment grid under the hot-path profiler; "
+        "print ranked wall-clock hotspots and the sim-time cost "
+        "attribution.",
+    )
+    parser.add_argument(
+        "--platform", default="odroid_xu4",
+        help="repro.amp.presets factory name (default %(default)s)",
+    )
+    parser.add_argument(
+        "--programs", default=None,
+        help="comma-separated program names (default: all registered)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="hotspot rows to keep (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write hotspots + attribution as a JSON document",
+    )
+    args = parser.parse_args(argv)
+    programs = args.programs.split(",") if args.programs else None
+    hotspots, snapshot, scenario = profile_grid(
+        platform_name=args.platform, programs=programs, top=args.top
+    )
+    try:
+        print(format_hotspots(hotspots, scenario=scenario))
+        attribution = format_cost_attribution(snapshot)
+        if attribution:
+            print()
+            print(attribution)
+    except BrokenPipeError:
+        pass
+    if args.json:
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "scenario": scenario,
+            "platform": args.platform,
+            "hotspots": hotspots,
+            "cost_attribution": cost_attribution(snapshot),
+        }
+        Path(args.json).write_text(
+            json.dumps(doc, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    return 0
+
+
 def _diff_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report diff",
@@ -287,6 +479,11 @@ def _diff_main(argv: list[str]) -> int:
         help="histogram bucket-distance tolerance (default %(default)s)",
     )
     parser.add_argument(
+        "--tail-tol", type=float, default=DiffThresholds.tail_rel,
+        help="digest p99/p999 growth tolerance before a tail-latency "
+        "regression is flagged (default %(default)s)",
+    )
+    parser.add_argument(
         "--lax-decisions", action="store_true",
         help="treat decision-summary divergence as a change, not a regression",
     )
@@ -308,6 +505,7 @@ def _diff_main(argv: list[str]) -> int:
             metric_rel=args.metric_tol,
             cost_rel=args.cost_tol,
             hist_dist=args.hist_tol,
+            tail_rel=args.tail_tol,
             strict_decisions=not args.lax_decisions,
         ),
     )
@@ -361,10 +559,14 @@ def main(argv: list[str] | None = None) -> int:
         return _diff_main(argv[1:])
     if argv and argv[0] == "trajectory":
         return _trajectory_main(argv[1:])
+    if argv and argv[0] == "timeline":
+        return _timeline_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Summarize a repro.obs metrics snapshot "
-        "(subcommands: diff, trajectory).",
+        "(subcommands: diff, trajectory, timeline, profile).",
     )
     parser.add_argument("snapshot", help="path to a snapshot JSON file")
     parser.add_argument(

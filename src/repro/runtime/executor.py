@@ -177,6 +177,8 @@ class LoopExecutor:
         if self.obs.enabled:
             reg = self.obs.registry
             reg.counter("loop_invocations_total", loop=loop.name).inc()
+            type_names = [self.team.core_type_of(t).name for t in range(nt)]
+            sim_time: dict[str, float] = {}
             for tid in range(nt):
                 reg.counter("iterations_total", loop=loop.name, tid=tid).inc(
                     iters[tid]
@@ -184,6 +186,20 @@ class LoopExecutor:
                 reg.counter("compute_seconds_total", loop=loop.name, tid=tid).inc(
                     finish[tid] - start_time
                 )
+                tname = type_names[tid]
+                sim_time[tname] = sim_time.get(tname, 0.0) + (
+                    finish[tid] - start_time
+                )
+                if finish[tid] > start_time:
+                    reg.timeseries(
+                        "core_utilization", mode="busy", loop=loop.name,
+                        core_type=tname, norm=float(type_names.count(tname)),
+                    ).observe_span(start_time, finish[tid])
+            for tname, seconds in sorted(sim_time.items()):
+                reg.counter(
+                    "sim_time_seconds_total", loop=loop.name,
+                    core_type=tname, category="compute",
+                ).inc(seconds)
             reg.gauge("loop_last_duration_seconds", loop=loop.name).set(
                 result.duration
             )
@@ -304,6 +320,39 @@ class LoopExecutor:
         track_obs = self.obs.enabled
         overhead_acc = [0.0] * nt
         compute_acc = [0.0] * nt
+        # Time-resolved instruments (windowed samplers + tail digests),
+        # created once per run and fed from the dispatch closures. All
+        # None when obs is off; every touch sits behind track_obs.
+        util_of = rate_of = None
+        runnable_ts = chunk_ts = None
+        dispatch_digest = compute_digest = size_digest = None
+        dec_mark = 0
+        if track_obs:
+            reg = self.obs.registry
+            type_names = [ct.name for ct in core_types]
+            util_by_type = {
+                tname: reg.timeseries(
+                    "core_utilization", mode="busy", loop=loop.name,
+                    core_type=tname, norm=float(type_names.count(tname)),
+                )
+                for tname in dict.fromkeys(type_names)
+            }
+            util_of = [util_by_type[tname] for tname in type_names]
+            rate_by_type = {
+                tname: reg.timeseries(
+                    "worker_rate", loop=loop.name, core_type=tname
+                )
+                for tname in dict.fromkeys(type_names)
+            }
+            rate_of = [rate_by_type[tname] for tname in type_names]
+            runnable_ts = reg.timeseries("runnable_iterations", loop=loop.name)
+            chunk_ts = reg.timeseries("chunk_size", loop=loop.name)
+            dispatch_digest = reg.digest(
+                "dispatch_overhead_seconds", loop=loop.name
+            )
+            compute_digest = reg.digest("chunk_compute_seconds", loop=loop.name)
+            size_digest = reg.digest("chunk_size_iters", loop=loop.name)
+            dec_mark = len(self.obs.decisions.records)
 
         def thread_step(tid: int) -> None:
             now = sim.now
@@ -330,9 +379,13 @@ class LoopExecutor:
                     overhead_dt += (begin - now) + takes * svc
             if track_obs:
                 overhead_acc[tid] += overhead_dt
+                dispatch_digest.observe(overhead_dt)
+                runnable_ts.observe(now, ctx.workshare.remaining)
             if got is None:
                 end = now + overhead_dt
                 finish[tid] = end
+                if track_obs:
+                    util_of[tid].observe_span(now, end)
                 if self.recorder is not None:
                     self.recorder.record(
                         tid, ThreadState.RUNTIME, now, end, loop.name
@@ -344,11 +397,17 @@ class LoopExecutor:
             work = float(prefix[hi] - prefix[lo])
             slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
             compute_dt = slowdown * work / rates[tid]
-            if track_obs:
-                compute_acc[tid] += compute_dt
             iters[tid] += hi - lo
             t_overhead_end = now + overhead_dt
             t_done = t_overhead_end + compute_dt
+            if track_obs:
+                compute_acc[tid] += compute_dt
+                chunk_ts.observe(now, hi - lo)
+                size_digest.observe(hi - lo)
+                compute_digest.observe(compute_dt)
+                if compute_dt > 0.0:
+                    rate_of[tid].observe(t_overhead_end, work / compute_dt)
+                util_of[tid].observe_span(now, t_done)
             if self.recorder is not None:
                 self.recorder.record(
                     tid, ThreadState.RUNTIME, now, t_overhead_end, loop.name
@@ -389,9 +448,13 @@ class LoopExecutor:
             overhead_dt = engine.adjust_overhead(tid, now, overhead_dt)
             if track_obs:
                 overhead_acc[tid] += overhead_dt
+                dispatch_digest.observe(overhead_dt)
+                runnable_ts.observe(now, ctx.workshare.remaining)
             if got is None:
                 end = now + overhead_dt
                 finish[tid] = end
+                if track_obs:
+                    util_of[tid].observe_span(now, end)
                 if check is not None:
                     check.on_dispatch(tid, now, None)
                 if self.recorder is not None:
@@ -401,6 +464,9 @@ class LoopExecutor:
                 engine.worker_retired(tid)
                 return
             lo, hi = got
+            if track_obs:
+                chunk_ts.observe(now, hi - lo)
+                size_digest.observe(hi - lo)
             t_overhead_end = now + overhead_dt
             scheduler.note_execution_start(tid, t_overhead_end)
             # The RUNTIME trace segment is deferred with the rest of the
@@ -431,6 +497,14 @@ class LoopExecutor:
             ) -> None:
                 if track_obs:
                     compute_acc[tid] += max(0.0, t1 - t0)
+                    util_of[tid].observe_span(dispatch_t, t1)
+                    if hi > lo and t1 > t0:
+                        compute_digest.observe(t1 - t0)
+                        # Effective rate over the executed sub-range:
+                        # fault throttles show up as steps here.
+                        rate_of[tid].observe(
+                            t0, float(prefix[hi] - prefix[lo]) / (t1 - t0)
+                        )
                 if self.recorder is not None:
                     if t0 > dispatch_t:
                         self.recorder.record(
@@ -472,6 +546,7 @@ class LoopExecutor:
             t_begin = entry[tid] + wake + self.overhead.loop_start(core_types[tid])
             if track_obs:
                 overhead_acc[tid] += t_begin - entry[tid]
+                util_of[tid].observe_span(entry[tid], t_begin)
             if self.recorder is not None:
                 self.recorder.record(
                     tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name
@@ -511,10 +586,34 @@ class LoopExecutor:
         if engine is not None:
             engine.publish()
         if self.obs.enabled:
+            self._publish_sf_drift(loop, dec_mark)
             self._publish_loop_metrics(
-                loop, ctx, result, calls, overhead_acc, compute_acc
+                loop, ctx, result, calls, overhead_acc, compute_acc,
+                engine=engine,
             )
         return result
+
+    def _publish_sf_drift(self, loop: LoopSpec, dec_mark: int) -> None:
+        """Replay this run's SF publications into drift timeseries.
+
+        Scans the decision records appended during the run (the emitters
+        already carry timestamps), so no scheduler needs changing: every
+        SF estimate published at time t becomes a sample on
+        ``sf_estimate{loop,type}``.
+        """
+        from repro.obs.decisions import SF_EVENTS
+
+        reg = self.obs.registry
+        for rec in self.obs.decisions.records[dec_mark:]:
+            sf = rec.get("sf")
+            if not sf or rec.get("event") not in SF_EVENTS:
+                continue
+            if rec.get("loop") != loop.name:
+                continue
+            for j, v in sf.items():
+                reg.timeseries(
+                    "sf_estimate", loop=loop.name, type=j
+                ).observe(float(rec["t"]), float(v))
 
     def _publish_loop_metrics(
         self,
@@ -524,6 +623,7 @@ class LoopExecutor:
         calls: Sequence[int],
         overhead_acc: Sequence[float],
         compute_acc: Sequence[float],
+        engine=None,
     ) -> None:
         """Fold one runtime-scheduled loop execution into the registry.
 
@@ -559,5 +659,31 @@ class LoopExecutor:
             reg.counter("compute_seconds_total", loop=name, tid=tid).inc(
                 compute_acc[tid]
             )
+        # Sim-time cost attribution: where did the loop's simulated
+        # seconds go, per core type? Stall seconds (fault injection adds
+        # them into dispatch overhead) are pulled back out so the
+        # categories stay disjoint and sum to total busy time.
+        by_type: dict[str, list[float]] = {}
+        for tid in range(nt):
+            tname = self.team.core_type_of(tid).name
+            stall = engine.stall_seconds_of(tid) if engine is not None else 0.0
+            slot = by_type.setdefault(tname, [0.0, 0.0, 0.0])
+            slot[0] += compute_acc[tid]
+            slot[1] += max(0.0, overhead_acc[tid] - stall)
+            slot[2] += stall
+        for tname, (comp, ovh, stall) in sorted(by_type.items()):
+            reg.counter(
+                "sim_time_seconds_total", loop=name, core_type=tname,
+                category="compute",
+            ).inc(comp)
+            reg.counter(
+                "sim_time_seconds_total", loop=name, core_type=tname,
+                category="overhead",
+            ).inc(ovh)
+            if engine is not None:
+                reg.counter(
+                    "sim_time_seconds_total", loop=name, core_type=tname,
+                    category="stall",
+                ).inc(stall)
         reg.gauge("loop_last_duration_seconds", loop=name).set(result.duration)
         reg.gauge("loop_last_imbalance", loop=name).set(result.imbalance)

@@ -297,11 +297,20 @@ class ProgramRunner:
         if self.obs.enabled:
             reg = self.obs.registry
             reg.counter("barriers_total", loop=loop.name).inc()
+            idle_by_type: dict[str, float] = {}
             for tid in range(self.team.n_threads):
                 # Wait = idle until the last thread arrives + release cost.
+                wait = after - result.finish_times[tid]
                 reg.counter(
                     "barrier_wait_seconds_total", loop=loop.name, tid=tid
-                ).inc(after - result.finish_times[tid])
+                ).inc(wait)
+                tname = self.team.core_type_of(tid).name
+                idle_by_type[tname] = idle_by_type.get(tname, 0.0) + wait
+            for tname, wait in sorted(idle_by_type.items()):
+                reg.counter(
+                    "sim_time_seconds_total", loop=loop.name,
+                    core_type=tname, category="idle",
+                ).inc(wait)
         if self.recorder is not None:
             for tid in range(self.team.n_threads):
                 self.recorder.record(

@@ -137,6 +137,15 @@ class TestMergedObservabilityAcceptance:
         assert json.dumps(serial, sort_keys=True) == json.dumps(
             parallel, sort_keys=True
         )
+        # The property covers the time-resolved instruments too: the
+        # merged snapshot must actually carry them (byte-equality over
+        # empty lists would be vacuous).
+        assert serial["metrics"]["timeseries"], "merged timeseries missing"
+        assert serial["metrics"]["digests"], "merged digests missing"
+        ts_names = {m["name"] for m in serial["metrics"]["timeseries"]}
+        assert {"core_utilization", "chunk_size"} <= ts_names
+        dg_names = {m["name"] for m in serial["metrics"]["digests"]}
+        assert "chunk_compute_seconds" in dg_names
         # And the structured diff agrees: nothing but wall-clock infos.
         diff = diff_snapshots(self.run_with(jobs=1), self.run_with(jobs=4))
         assert diff.regressions == []

@@ -193,6 +193,131 @@ class TestHistogramDiffs:
         assert len(diff.infos) == 1
 
 
+# -- timeseries and tail-latency digests -------------------------------------
+
+
+def digest_doc(name, values, labels=()):
+    from repro.obs.timeseries import QuantileDigest
+
+    d = QuantileDigest(name, tuple(labels))
+    for v in values:
+        d.observe(v)
+    return d.as_dict()
+
+
+def series_doc(name, samples, labels=(), mode="sample"):
+    from repro.obs.timeseries import TimeSeries
+
+    ts = TimeSeries(name, tuple(labels), mode=mode, window=1.0)
+    for t, v in samples:
+        ts.observe(t, v)
+    return ts.as_dict()
+
+
+def with_docs(doc, timeseries=(), digests=()):
+    doc["metrics"]["timeseries"] = list(timeseries)
+    doc["metrics"]["digests"] = list(digests)
+    return doc
+
+
+class TestTailLatencyDiffs:
+    BASE = [1e-4] * 99 + [2e-4]
+
+    def test_identical_digests_are_identical(self):
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == [] and diff.changes == []
+
+    def test_p99_growth_beyond_threshold_is_a_tail_latency_regression(self):
+        grown = [1e-4] * 99 + [8e-4]  # p99 4x
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc(), digests=[digest_doc("d", grown)])
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        entry = diff.regressions[0]
+        assert entry.kind == "tail-latency"
+        assert "grew" in entry.detail
+
+    def test_growth_within_tolerance_is_a_change(self):
+        grown = [1e-4] * 99 + [2.1e-4]  # p99 +5% < 10% default
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc(), digests=[digest_doc("d", grown)])
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+
+    def test_tail_tolerance_is_configurable(self):
+        grown = [1e-4] * 99 + [8e-4]
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc(), digests=[digest_doc("d", grown)])
+        diff = diff_snapshots(a, b, DiffThresholds(tail_rel=10.0))
+        assert diff.regressions == []
+
+    def test_tail_shrink_is_not_a_regression(self):
+        shrunk = [1e-4] * 100
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc(), digests=[digest_doc("d", shrunk)])
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+
+    def test_digest_in_only_one_snapshot_regresses(self):
+        a = with_docs(snapshot_doc(), digests=[digest_doc("d", self.BASE)])
+        b = with_docs(snapshot_doc())
+        assert len(diff_snapshots(a, b).regressions) == 1
+
+    def test_wall_clock_digest_divergence_is_informational(self):
+        grown = [1e-4] * 99 + [8e-4]
+        a = with_docs(
+            snapshot_doc(),
+            digests=[digest_doc("real_chunk_compute_seconds", self.BASE)],
+        )
+        b = with_docs(
+            snapshot_doc(),
+            digests=[digest_doc("real_chunk_compute_seconds", grown)],
+        )
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+        assert len(diff.infos) == 1
+
+
+class TestTimeseriesDiffs:
+    def test_identical_series_are_identical(self):
+        s = series_doc("ts", [(0.5, 1.0), (1.5, 2.0)])
+        a = with_docs(snapshot_doc(), timeseries=[s])
+        b = with_docs(snapshot_doc(), timeseries=[s])
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == [] and diff.changes == []
+
+    def test_diverged_totals_regress(self):
+        a = with_docs(
+            snapshot_doc(), timeseries=[series_doc("ts", [(0.5, 1.0)])]
+        )
+        b = with_docs(
+            snapshot_doc(), timeseries=[series_doc("ts", [(0.5, 9.0)])]
+        )
+        diff = diff_snapshots(a, b)
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].kind == "timeseries"
+
+    def test_same_totals_different_shape_is_a_change(self):
+        a = with_docs(
+            snapshot_doc(), timeseries=[series_doc("ts", [(0.5, 3.0)])]
+        )
+        b = with_docs(
+            snapshot_doc(), timeseries=[series_doc("ts", [(1.5, 3.0)])]
+        )
+        diff = diff_snapshots(a, b)
+        assert diff.regressions == []
+        assert len(diff.changes) == 1
+
+    def test_series_in_only_one_snapshot_regresses(self):
+        a = with_docs(
+            snapshot_doc(), timeseries=[series_doc("ts", [(0.5, 1.0)])]
+        )
+        b = with_docs(snapshot_doc())
+        assert len(diff_snapshots(a, b).regressions) == 1
+
+
 # -- decision summaries ------------------------------------------------------
 
 

@@ -92,6 +92,65 @@ class TestChromeTrace:
         )
 
 
+class TestChromeTraceCounterLanes:
+    def test_output_byte_unchanged_without_timeseries(self):
+        # Satellite regression gate: adding the counter-lane feature
+        # must not move a single byte of the duration-event output when
+        # no timeseries is passed (the default).
+        obs = Observability()
+        tr = TraceRecorder()
+        seeded_run(obs=obs, trace=tr)
+        legacy = export_chrome_trace(tr, decisions=obs.decisions.records)
+        explicit = export_chrome_trace(
+            tr, decisions=obs.decisions.records, timeseries=()
+        )
+        assert legacy == explicit
+        assert '"ph":"C"' not in legacy
+
+    def test_busy_series_becomes_a_utilization_counter_lane(self):
+        from repro.obs.timeseries import TimeSeries
+
+        tr = TraceRecorder()
+        tr.record(0, ThreadState.COMPUTE, 0.0, 2.0)
+        ts = TimeSeries(
+            "core_utilization", (("core_type", "big"),), mode="busy",
+            window=1.0, norm=2.0,
+        )
+        ts.observe_span(0.0, 1.5)
+        events = to_trace_events(tr, timeseries=[ts])
+        lanes = [e for e in events if e["ph"] == "C"]
+        assert len(lanes) == 2
+        assert all(e["cat"] == "timeseries" for e in lanes)
+        assert lanes[0]["name"] == "core_utilization{core_type=big}"
+        assert lanes[0]["ts"] == pytest.approx(0.0)
+        assert lanes[0]["args"]["value"] == pytest.approx(0.5)  # 1s of 2
+        assert lanes[1]["ts"] == pytest.approx(1e6)
+        assert lanes[1]["args"]["value"] == pytest.approx(0.25)
+
+    def test_serialized_docs_work_like_live_instruments(self):
+        from repro.obs.timeseries import TimeSeries
+
+        tr = TraceRecorder()
+        tr.record(0, ThreadState.COMPUTE, 0.0, 1.0)
+        ts = TimeSeries("rate", (), mode="sample", window=1.0)
+        ts.observe(0.5, 4.0)
+        live = to_trace_events(tr, timeseries=[ts])
+        doc = json.loads(json.dumps(ts.as_dict()))
+        serialized = to_trace_events(tr, timeseries=[doc])
+        assert live == serialized
+        (lane,) = [e for e in live if e["ph"] == "C"]
+        assert lane["args"]["value"] == pytest.approx(4.0)  # in-window mean
+
+    def test_instrumented_run_exports_counter_lanes(self):
+        obs = Observability()
+        tr = TraceRecorder()
+        seeded_run(obs=obs, trace=tr)
+        snap = obs.registry.snapshot()
+        events = to_trace_events(tr, timeseries=snap["timeseries"])
+        lanes = {e["name"] for e in events if e["ph"] == "C"}
+        assert any(n.startswith("core_utilization") for n in lanes)
+
+
 class TestChromeTraceEdgeCases:
     """Degenerate inputs must still export valid, viewer-loadable JSON."""
 

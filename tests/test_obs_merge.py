@@ -183,7 +183,8 @@ class TestMergedSnapshot:
         doc = MergedSnapshot().to_snapshot()
         assert doc["merged_jobs"] == 0
         assert doc["metrics"] == {
-            "counters": [], "gauges": [], "histograms": []
+            "counters": [], "gauges": [], "histograms": [],
+            "timeseries": [], "digests": [],
         }
 
 

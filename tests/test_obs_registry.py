@@ -109,7 +109,9 @@ class TestSnapshot:
         reg.gauge("g").set(1)
         reg.histogram("h", buckets=(1.0,)).observe(0.5)
         snap = reg.snapshot()
-        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert set(snap) == {
+            "counters", "gauges", "histograms", "timeseries", "digests"
+        }
         assert [m["name"] for m in snap["counters"]] == ["c"]
         assert [m["name"] for m in snap["gauges"]] == ["g"]
         assert [m["name"] for m in snap["histograms"]] == ["h"]
@@ -119,7 +121,10 @@ class TestNullRegistry:
     def test_disabled_and_empty(self):
         reg = NullRegistry()
         assert reg.enabled is False
-        assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+        assert reg.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+            "timeseries": [], "digests": [],
+        }
 
     def test_instruments_are_shared_noops(self):
         reg = NullRegistry()
