@@ -8,6 +8,7 @@ schedules against the three AID methods.
 Run::
 
     python examples/quickstart.py [program] [--obs [DIR]] [--jobs N]
+                                  [--backend NAME]
 
 With ``--obs``, the AID-hybrid run on Platform A additionally writes the
 observability artifacts into DIR (default ``obs_out/``): a metrics
@@ -23,6 +24,12 @@ worker processes and land in the content-addressed result cache
 pure cache hits. A cached-vs-computed summary is printed at the end —
 the numbers themselves are identical either way, because the simulator
 is deterministic.
+
+With ``--backend NAME``, every loop runs through the named execution
+backend (``reference``, ``vectorized``, ``real``; also selectable via
+``REPRO_BACKEND``). ``vectorized`` produces exactly the same numbers as
+``reference``, just faster — try
+``python examples/quickstart.py --backend vectorized``.
 """
 
 from __future__ import annotations
@@ -69,7 +76,7 @@ def write_obs_artifacts(
           "(metrics.json, decisions.jsonl, trace.json)")
 
 
-def run_fleet(program, jobs: int) -> None:
+def run_fleet(program, jobs: int, backend: str | None = None) -> None:
     """Regenerate both per-program grids through the fleet."""
     from repro.experiments.harness import ScheduleConfig, run_grid
     from repro.fleet import FleetProgress, ResultCache
@@ -90,6 +97,7 @@ def run_fleet(program, jobs: int) -> None:
             jobs=jobs,
             cache=cache,
             progress=progress,
+            backend=backend,
         )
         row = grid.times[program.name]
         baseline = row[configs[0].label]
@@ -113,6 +121,11 @@ def main() -> None:
     argv = [a for a in sys.argv[1:]]
     obs_dir: Path | None = None
     jobs: int | None = None
+    backend: str | None = None
+    if "--backend" in argv:
+        i = argv.index("--backend")
+        argv.pop(i)
+        backend = argv.pop(i) if i < len(argv) else None
     if "--jobs" in argv:
         i = argv.index("--jobs")
         argv.pop(i)
@@ -130,7 +143,7 @@ def main() -> None:
           f"{len(program.loops())} loops x {program.timesteps} timesteps\n")
 
     if jobs is not None:
-        run_fleet(program, jobs)
+        run_fleet(program, jobs, backend=backend)
         return
 
     for platform in (odroid_xu4(), xeon_emulated()):
@@ -149,6 +162,7 @@ def main() -> None:
                 OmpEnv(schedule=schedule, affinity=affinity),
                 trace=emit_obs,
                 obs=obs,
+                backend=backend,
             )
             result = runner.run(program)
             if baseline is None:

@@ -123,13 +123,15 @@ def run_loop(
     check=None,
     rng: np.random.Generator | None = None,
     faults=None,
+    backend=None,
 ) -> LoopResult:
     """Run one loop on the simulator and return its result.
 
     The shared test/fuzz driver: BS-mapped team, flat locality, zero
     overhead unless told otherwise, optional trace recorder, conformance
     recorder and fault plan (absolute virtual seconds; ``None`` or an
-    empty plan is a strict no-op).
+    empty plan is a strict no-op). ``backend`` selects the execution
+    backend by name (``None`` = environment override, then reference).
     """
     team = Team(platform, bs_mapping(platform, n_threads))
     loop = make_loop(n_iterations, work, kernel)
@@ -142,6 +144,7 @@ def run_loop(
         recorder=trace,
         locality=LocalityModel(enabled=False),
         obs=obs,
+        backend=backend,
     )
     return executor.run(
         loop, costs, spec, offline_sf=offline_sf, check=check, rng=rng,

@@ -62,3 +62,9 @@ class FaultError(ReproError):
 class WatchdogTimeout(FaultError):
     """A real-thread worker stalled past the watchdog deadline and never
     came back, and its work could not be fully redistributed."""
+
+
+class BackendError(ReproError):
+    """Invalid execution-backend selection or misuse of the backend
+    protocol (unknown backend name, bad ``REPRO_BACKEND`` value, a
+    backend asked to run a workload outside its capabilities)."""

@@ -5,12 +5,14 @@ Usage::
     aid-experiments list
     aid-experiments fig1 fig4
     aid-experiments all
+    aid-experiments fig67 --backend vectorized
     python -m repro.experiments.cli table2
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -70,7 +72,27 @@ def main(argv: list[str] | None = None) -> int:
         f"({', '.join(sorted(SUPPORTS_JOBS))}); default 1 runs serially "
         "in-process, exactly as before",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend for every simulated loop (reference, "
+        "vectorized, real; default: $REPRO_BACKEND, then reference)",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from repro.backends import ENV_VAR, resolve_backend_name
+        from repro.errors import BackendError
+
+        try:
+            # Experiments thread no explicit backend parameter — they
+            # select through the (validated) environment override, which
+            # every LoopExecutor and JobSpec resolves. Fleet workers
+            # inherit the variable, and job digests pin the concrete
+            # name either way.
+            os.environ[ENV_VAR] = resolve_backend_name(args.backend)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     names = args.names or ["all"]
     if names == ["list"]:

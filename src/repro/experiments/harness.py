@@ -100,6 +100,7 @@ def run_one(
     overhead: OverheadModel | None = None,
     contention: ContentionModel | None = None,
     trace: bool = False,
+    backend: str | None = None,
 ) -> ProgramResult:
     """Run one (program, configuration) cell."""
     needs_offline = config.env.schedule_spec().needs_offline_sf
@@ -113,6 +114,7 @@ def run_one(
         offline_sf_tables=(
             offline_sf_tables(platform, program) if needs_offline else None
         ),
+        backend=backend,
     )
     return runner.run(program)
 
@@ -206,6 +208,7 @@ def grid_specs(
     root_seed: int = 0,
     overhead: OverheadModel | None = None,
     contention: ContentionModel | None = None,
+    backend: str | None = None,
 ) -> list[JobSpec]:
     """The grid's cells as fleet jobs, row-major (program, then config)."""
     return [
@@ -216,6 +219,7 @@ def grid_specs(
             root_seed=root_seed,
             overhead=overhead,
             contention=contention,
+            backend=backend,
             label=config.label,
         )
         for program in programs
@@ -237,6 +241,7 @@ def run_grid(
     retries: int = 2,
     progress: FleetProgress | None = None,
     obs_snapshot_path: str | Path | None = None,
+    backend: str | None = None,
 ) -> GridResult:
     """Run a full programs x configurations grid on one platform.
 
@@ -252,7 +257,10 @@ def run_grid(
     writes that merged fleet-level snapshot after the run (forcing the
     fleet path, and a fresh :class:`FleetProgress` when none was given)
     — serial and parallel runs of the same grid write byte-identical
-    snapshots modulo wall-clock fields.
+    snapshots modulo wall-clock fields. ``backend`` names the execution
+    backend every cell runs under (``None`` = environment override, then
+    ``reference``); it becomes part of each job's digest, so grids run
+    under different backends occupy disjoint cache entries.
     """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
@@ -276,6 +284,7 @@ def run_grid(
                     root_seed=root_seed,
                     overhead=overhead,
                     contention=contention,
+                    backend=backend,
                 )
                 row[config.label] = result.completion_time
             grid.times[program.name] = row
@@ -283,7 +292,8 @@ def run_grid(
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
     specs = grid_specs(
-        platform, programs, configs, root_seed, overhead, contention
+        platform, programs, configs, root_seed, overhead, contention,
+        backend=backend,
     )
     outcomes = require_ok(
         run_jobs(

@@ -6,6 +6,7 @@ Usage::
     python -m repro.fleet smoke --jobs 2
     python -m repro.fleet fig6 fig7 --jobs 8 --timeout 120
     python -m repro.fleet fig8 --no-cache --summary-json fleet.json
+    python -m repro.fleet fig6 --backend vectorized --trajectory perf.jsonl
 
 Every invocation prints the regenerated grid table(s) plus a fleet
 summary line (submitted / cached / computed / retried / failed).
@@ -117,6 +118,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend for every cell (reference, vectorized, "
+        "real; default: $REPRO_BACKEND, then reference). Part of each "
+        "job's digest, so different backends never share cache entries",
+    )
+    parser.add_argument(
         "--summary-json", default=None, metavar="PATH",
         help="write the fleet counter summary as JSON",
     )
@@ -146,8 +153,17 @@ def main(argv: list[str] | None = None) -> int:
 
     # Imported here so `list` and argparse errors never pay for the
     # experiment stack.
+    from repro.backends import resolve_backend_name
     from repro.experiments.harness import run_grid
 
+    try:
+        # Pin the selection now: an invalid --backend (or a typo'd
+        # REPRO_BACKEND) fails before any grid starts, and the resolved
+        # name lands in the snapshot/trajectory metadata below.
+        backend = resolve_backend_name(args.backend)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = FleetProgress()
     status = 0
@@ -167,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 progress=progress,
+                backend=backend,
             )
         except ReproError as exc:
             print(f"{name}: FAILED: {exc}", file=sys.stderr)
@@ -195,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
                 "grids": "+".join(args.names),
                 "seed": args.seed,
                 "jobs": args.jobs,
+                "backend": backend,
             }
         )
         if args.obs_snapshot:
@@ -207,7 +225,10 @@ def main(argv: list[str] | None = None) -> int:
             TrajectoryStore(args.trajectory).append(
                 "fleet:" + "+".join(args.names),
                 metrics,
-                meta={"seed": args.seed, "jobs": args.jobs},
+                meta={
+                    "seed": args.seed, "jobs": args.jobs,
+                    "backend": backend,
+                },
             )
     return status
 

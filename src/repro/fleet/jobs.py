@@ -1,8 +1,9 @@
 """The fleet's unit of work: one grid cell as a frozen, digestable job.
 
 A :class:`JobSpec` captures everything that determines a simulated run's
-outcome — program, platform, OMP environment, root seed and the
-performance-model knobs — as picklable frozen dataclasses, so the same
+outcome — program, platform, OMP environment, root seed, the
+performance-model knobs and the execution backend — as picklable frozen
+dataclasses, so the same
 spec can execute in-process, in a worker process, or be skipped entirely
 when the content-addressed cache already holds its result.
 
@@ -101,6 +102,14 @@ class JobSpec:
         capture_sf_loop: loop name whose per-invocation estimated-SF
             series the result should carry (Fig. 9c needs this for
             ``bs.price``); None captures nothing.
+        backend: execution-backend name (``"reference"``,
+            ``"vectorized"``, ``"real"``). ``None`` is resolved at
+            construction — environment override, then the default — so
+            the frozen spec always carries a concrete name: the job
+            executes identically wherever it lands (worker processes do
+            not consult ``REPRO_BACKEND``), and the digest incorporates
+            the backend identity, so results computed under different
+            backends never collide in the cache.
         label: display label for reports and event logs. Excluded from
             the digest: renaming a grid column must stay a cache hit.
     """
@@ -113,6 +122,7 @@ class JobSpec:
     contention: ContentionModel | None = None
     use_offline_sf: bool = False
     capture_sf_loop: str | None = None
+    backend: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -124,6 +134,14 @@ class JobSpec:
                 f"variant and needs an aid_static schedule, got "
                 f"{self.env.schedule!r}"
             )
+        # Pin the backend to a concrete registered name (frozen
+        # dataclass, hence the setattr). Raises BackendError for unknown
+        # names, including an invalid environment override.
+        from repro.backends import resolve_backend_name
+
+        object.__setattr__(
+            self, "backend", resolve_backend_name(self.backend)
+        )
 
     def payload(self, salt: str | None = None) -> dict:
         """The canonical identity payload the digest hashes."""
@@ -137,6 +155,7 @@ class JobSpec:
             "contention": canonical(self.contention),
             "use_offline_sf": self.use_offline_sf,
             "capture_sf_loop": self.capture_sf_loop,
+            "backend": self.backend,
         }
 
     def digest(self, salt: str | None = None) -> str:
@@ -158,7 +177,7 @@ class JobSpec:
         even across seeds and code versions."""
         return "|".join(
             (self.program.name, self.env.schedule, self.env.affinity,
-             self.platform.name)
+             self.platform.name, self.backend or "")
         )
 
     def describe(self) -> str:
@@ -204,6 +223,7 @@ class JobSpec:
                 else None
             ),
             schedule_override=schedule_override,
+            backend=self.backend,
         )
         t0 = time.perf_counter()
         result = runner.run(self.program)

@@ -66,9 +66,43 @@ def summarize_decisions(records: Iterable[Mapping]) -> dict:
     events, touching which loops — while dropping the per-record payload
     (sampled mean times, SF tables) that would bloat cache entries.
     """
+    try:
+        # Fast path: schema-complete records (everything DecisionLog
+        # produces). Counting collapses to C-speed Counter folds over
+        # plain subscripts; missing fields fall back below, and non-str
+        # values are detected on the (few) distinct keys afterwards.
+        trips = [(r["scheduler"], r["event"], r["loop"]) for r in records]
+    except (KeyError, TypeError):
+        trips = None
+    if trips is not None:
+        from collections import Counter
+
+        se = Counter([(s, e) for s, e, _ in trips])
+        loop_counts = Counter([t[2] for t in trips])
+        if all(
+            isinstance(s, str) and isinstance(e, str) for s, e in se
+        ) and all(isinstance(k, str) for k in loop_counts):
+            schedulers: dict[str, dict] = {}
+            for (sched, event), n in se.items():
+                entry = schedulers.setdefault(
+                    sched, {"total": 0, "events": {}}
+                )
+                entry["total"] += n
+                entry["events"][event] = n
+            return {
+                "total": len(trips),
+                "schedulers": {
+                    name: {
+                        "total": entry["total"],
+                        "events": dict(sorted(entry["events"].items())),
+                    }
+                    for name, entry in sorted(schedulers.items())
+                },
+                "loops": dict(sorted(loop_counts.items())),
+            }
     total = 0
-    schedulers: dict[str, dict] = {}
-    loops: dict[str, int] = {}
+    schedulers = {}
+    loops = {}
     for rec in records:
         total += 1
         sched = str(rec.get("scheduler", "?"))

@@ -29,7 +29,10 @@ import pstats
 from typing import Mapping, Sequence
 
 #: Schema of the JSON document ``report profile --json`` writes.
-PROFILE_SCHEMA = "repro.obs.profile/v1"
+#: v2: the document carries the profiled execution backend and the
+#: wall-clock seconds of the grid run (the before/after speedup
+#: evidence for the vectorized engine).
+PROFILE_SCHEMA = "repro.obs.profile/v2"
 
 #: Attribution categories, in display order.
 CATEGORIES = ("compute", "overhead", "stall", "idle")
@@ -159,6 +162,7 @@ def profile_grid(
     platform_name: str = "odroid_xu4",
     programs: Sequence[str] | None = None,
     top: int = 20,
+    backend: str | None = None,
 ):
     """Run one experiment grid serially under the wall-clock profiler.
 
@@ -166,9 +170,13 @@ def profile_grid(
     the merged observability snapshot of the profiled run (the input to
     :func:`cost_attribution`), and the scenario digest. The default is
     the paper's Fig. 6 grid (odroid_xu4, all programs, all configs) —
-    the ROADMAP-item-1 baseline scenario.
+    the ROADMAP-item-1 baseline scenario. ``backend`` selects the
+    execution backend for every cell (``None`` = environment override,
+    then ``reference``); the scenario digest covers it, so reference and
+    vectorized baselines of the same grid never get confused.
     """
     from repro.amp import presets
+    from repro.backends import resolve_backend_name
     from repro.experiments.harness import (
         default_configs,
         grid_specs,
@@ -183,8 +191,9 @@ def profile_grid(
         [get_program(p) for p in programs] if programs else all_programs()
     )
     configs = default_configs()
+    backend = resolve_backend_name(backend)
     scenario = scenario_digest(
-        grid_specs(platform, progs, configs)
+        grid_specs(platform, progs, configs, backend=backend)
     )
     progress = FleetProgress()
     profiler = HotspotProfiler()
@@ -194,8 +203,13 @@ def profile_grid(
         programs=progs,
         configs=configs,
         progress=progress,
+        backend=backend,
     )
     snapshot = progress.obs_snapshot(
-        meta={"profiled": "grid", "platform": platform.name}
+        meta={
+            "profiled": "grid",
+            "platform": platform.name,
+            "backend": backend,
+        }
     )
     return profiler.hotspots(top), snapshot, scenario

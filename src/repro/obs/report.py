@@ -6,7 +6,8 @@ Usage::
     python -m repro.obs.report diff A.json B.json [--fail-on-regression]
     python -m repro.obs.report trajectory [HISTORY.jsonl] [--source S]
     python -m repro.obs.report timeline SNAPSHOT.json [--loop L] [--metric M]
-    python -m repro.obs.report profile [--platform P] [--top N] [--json PATH]
+    python -m repro.obs.report profile [--platform P] [--backend B]
+                                       [--top N] [--json PATH]
 
 The default mode prints, per loop: dispatch counts, scheduler calls,
 runtime-overhead percentage, compute-time imbalance across threads, and
@@ -424,20 +425,32 @@ def _profile_main(argv: list[str]) -> int:
         help="hotspot rows to keep (default %(default)s)",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend to profile (reference, vectorized, "
+        "real; default: $REPRO_BACKEND, then reference)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write hotspots + attribution as a JSON document",
     )
     args = parser.parse_args(argv)
     programs = args.programs.split(",") if args.programs else None
+    import time as _time
+
+    t0 = _time.perf_counter()
     hotspots, snapshot, scenario = profile_grid(
-        platform_name=args.platform, programs=programs, top=args.top
+        platform_name=args.platform, programs=programs, top=args.top,
+        backend=args.backend,
     )
+    wall = _time.perf_counter() - t0
     try:
         print(format_hotspots(hotspots, scenario=scenario))
         attribution = format_cost_attribution(snapshot)
         if attribution:
             print()
             print(attribution)
+        backend = snapshot.get("meta", {}).get("backend")
+        print(f"\nbackend={backend}  wall_clock={wall:.2f}s")
     except BrokenPipeError:
         pass
     if args.json:
@@ -445,6 +458,8 @@ def _profile_main(argv: list[str]) -> int:
             "schema": PROFILE_SCHEMA,
             "scenario": scenario,
             "platform": args.platform,
+            "backend": snapshot.get("meta", {}).get("backend"),
+            "wall_clock_seconds": wall,
             "hotspots": hotspots,
             "cost_attribution": cost_attribution(snapshot),
         }

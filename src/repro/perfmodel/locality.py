@@ -62,13 +62,47 @@ class LoopOwnership:
 
     def update(self, ranges: list[tuple[int, int, int]]) -> None:
         """Record one invocation's assignment: ``(tid, lo, hi)`` tuples."""
-        for tid, lo, hi in ranges:
-            if hi <= lo:
-                continue
-            s0 = lo // self.segment_size
-            s1 = (hi - 1) // self.segment_size + 1
-            self.owner[s0:s1] = tid
+        if len(ranges) > 64:
+            self._update_bulk(ranges)
+        else:
+            for tid, lo, hi in ranges:
+                if hi <= lo:
+                    continue
+                s0 = lo // self.segment_size
+                s1 = (hi - 1) // self.segment_size + 1
+                self.owner[s0:s1] = tid
         self.invocations_seen += 1
+
+    def _update_bulk(self, ranges: list[tuple[int, int, int]]) -> None:
+        """Vectorized segment painting, identical to the scalar loop.
+
+        Fine-grained dynamic schedules produce one range per chunk —
+        hundreds of thousands per grid — and per-range numpy slice
+        stores dominate. Instead, expand every range to its covered
+        segment indices and fancy-assign once: numpy applies duplicate
+        indices in order, so the last-written range wins exactly as in
+        the sequential loop.
+        """
+        arr = np.asarray(ranges, dtype=np.int64)
+        tids, los, his = arr[:, 0], arr[:, 1], arr[:, 2]
+        live = his > los
+        if not np.any(live):
+            return
+        tids, los, his = tids[live], los[live], his[live]
+        seg = self.segment_size
+        s0 = los // seg
+        s1 = (his - 1) // seg + 1
+        lens = s1 - s0
+        total = int(lens.sum())
+        # Concatenated aranges [s0_i, s1_i) built by cumsum: each block
+        # starts at its s0 and then increments by one.
+        steps = np.ones(total, dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        steps[starts] = s0 - np.concatenate(([0], s0[:-1] + lens[:-1] - 1))
+        seg_idx = np.cumsum(steps)
+        self.owner[seg_idx] = np.repeat(
+            tids.astype(self.owner.dtype), lens
+        )
 
 
 @dataclass(frozen=True)

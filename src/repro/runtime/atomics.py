@@ -42,14 +42,27 @@ class AtomicCounter:
 
     def fetch_add(self, delta: int) -> int:
         """Atomically add ``delta``; return the value *before* the add."""
-        with _guard(self._lock):
+        lock = self._lock
+        if lock is None:
+            # Simulator path: events run one at a time, no guard needed.
+            # This is the hottest primitive in fine-grained dynamic runs,
+            # so it skips the context-manager machinery entirely.
+            old = self._value
+            self._value = old + int(delta)
+            return old
+        with lock:
             old = self._value
             self._value = old + int(delta)
             return old
 
     def add_fetch(self, delta: int) -> int:
         """Atomically add ``delta``; return the value *after* the add."""
-        with _guard(self._lock):
+        lock = self._lock
+        if lock is None:
+            value = self._value + int(delta)
+            self._value = value
+            return value
+        with lock:
             self._value += int(delta)
             return self._value
 
@@ -76,7 +89,12 @@ class AtomicFloat:
 
     def add(self, delta: float) -> float:
         """Atomically add ``delta``; return the value after the add."""
-        with _guard(self._lock):
+        lock = self._lock
+        if lock is None:
+            value = self._value + float(delta)
+            self._value = value
+            return value
+        with lock:
             self._value += float(delta)
             return self._value
 

@@ -81,6 +81,12 @@ class LoopContext:
         self.obs = obs if obs is not None else NULL_OBS
         self.loop_name = loop_name
         self.check = check
+        # One reusable guard object: nullcontext is stateless, so a
+        # single instance serves every `with ctx.lock:` (allocating one
+        # per dispatch is measurable on fine-grained loops).
+        self._lock_cm: ContextManager[object] = (
+            nullcontext() if lock is None else lock
+        )
         self.workshare = WorkShare(0, n_iterations, lock, check=check)
         self.threads = tuple(
             ThreadView(
@@ -112,7 +118,7 @@ class LoopContext:
     @property
     def lock(self) -> ContextManager[object]:
         """Guard for scheduler shared state (no-op in the simulator)."""
-        return nullcontext() if self._lock is None else self._lock
+        return self._lock_cm
 
     def make_lock(self) -> threading.Lock | None:
         """The raw lock (or None) for building atomics with the same

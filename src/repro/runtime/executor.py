@@ -25,14 +25,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import SimulationError
 from repro.obs import NULL_OBS, Observability
 from repro.perfmodel.locality import LocalityModel, LoopOwnership
 from repro.perfmodel.overhead import OverheadModel
 from repro.perfmodel.speed import PerfModel
-from repro.runtime.context import LoopContext
 from repro.runtime.team import Team
-from repro.sched.base import LoopScheduler, ScheduleSpec
+from repro.sched.base import ScheduleSpec
 from repro.sched.static import static_block
 from repro.tracing.trace import ThreadState, TraceRecorder
 from repro.workloads.loopspec import LoopSpec
@@ -101,6 +99,11 @@ class LoopExecutor:
         obs: observability bundle receiving per-loop counters and the
             scheduler decision log; defaults to the null sink (hooks are
             a single flag check, simulated results are unchanged).
+        backend: execution backend for runtime-scheduled loops — a
+            registered name (``"reference"``, ``"vectorized"``,
+            ``"real"``), a live :class:`~repro.backends.ExecutionBackend`
+            instance, or ``None`` to resolve via the ``REPRO_BACKEND``
+            environment variable (default ``reference``).
     """
 
     def __init__(
@@ -112,7 +115,10 @@ class LoopExecutor:
         locality: LocalityModel | None = None,
         background_cpus: tuple[int, ...] = (),
         obs: Observability | None = None,
+        backend=None,
     ) -> None:
+        from repro.backends import resolve_backend
+
         self.team = team
         self.perf = perf
         self.overhead = overhead if overhead is not None else OverheadModel()
@@ -122,6 +128,14 @@ class LoopExecutor:
         #: CPUs occupied by *other* applications co-located on the
         #: platform (Sec. 4.3 scenarios); they count as LLC co-runners.
         self.background_cpus = tuple(background_cpus)
+        self.backend = resolve_backend(backend)
+        #: Per-loop-name caches of registry instrument handles. The
+        #: registry get-or-creates by (name, labels) anyway; these only
+        #: skip rebuilding the label keys on every invocation of an
+        #: iterative loop (team and obs are fixed per executor).
+        self._instrument_cache: dict = {}
+        self._loop_metric_handles: dict = {}
+        self.backend.prepare(self)
 
     # -- rates -----------------------------------------------------------------
 
@@ -240,358 +254,27 @@ class LoopExecutor:
         whose event times are absolute virtual seconds. ``None`` or an
         empty plan is a strict no-op: the executor runs the exact
         fault-free code path and produces byte-identical results.
+
+        The execution itself is delegated to the executor's
+        :class:`~repro.backends.ExecutionBackend` (``reference`` by
+        default); all backends share this method's semantics.
         """
-        from repro.sim.events import Simulator
-        from repro.sim.clock import VirtualClock
+        from repro.backends.common import LoopRunRequest
 
-        if len(costs) != loop.n_iterations:
-            raise SimulationError(
-                f"cost vector length {len(costs)} != trip count {loop.n_iterations}"
-            )
-        if spec.requires_bs_mapping:
-            self.team.assert_bs_convention()
-        if check is not None:
-            check.on_loop_begin(
-                loop_name=loop.name,
-                n_iterations=loop.n_iterations,
-                spec_name=spec.name,
-            )
-            check.on_team(self.team.conformance_info())
-
-        nt = self.team.n_threads
-        if start_times is not None:
-            if len(start_times) != nt:
-                raise SimulationError(
-                    f"{len(start_times)} start times for {nt} threads"
-                )
-            start_time = min(start_times)
-        entry = (
-            list(start_times) if start_times is not None else [start_time] * nt
-        )
-        prefix = np.concatenate(([0.0], np.cumsum(costs)))
-        rates = self.rates_for(loop)
-        core_types = [self.team.core_type_of(tid) for tid in range(nt)]
-
-        pending_overhead = [0.0] * nt
-
-        def charge_timestamp(tid: int) -> None:
-            pending_overhead[tid] += self.overhead.timestamp(core_types[tid])
-
-        ctx = LoopContext(
-            team=self.team,
-            n_iterations=loop.n_iterations,
-            default_chunk=default_chunk,
-            lock=None,
-            offline_sf=offline_sf,
-            charge_timestamp=charge_timestamp,
-            obs=self.obs,
-            loop_name=loop.name,
-            check=check,
-        )
-        scheduler: LoopScheduler = spec.create(ctx)
-
-        sim = Simulator(VirtualClock(start_time))
-        engine = None
-        if faults is not None and not faults.is_empty:
-            from repro.faults.engine import SimFaultEngine
-
-            engine = SimFaultEngine(
-                plan=faults,
-                sim=sim,
-                scheduler=scheduler,
-                prefix=prefix,
-                cpu_of_tid=[self.team.cpu_of(t) for t in range(nt)],
-                loop_name=loop.name,
-                obs=self.obs,
-                check=check,
-            )
-        finish = list(entry)
-        iters = [0] * nt
-        calls = [0] * nt
-        # The work-share cache line is a serialization point: each
-        # fetch-and-add occupies it for atomic_service seconds, and a
-        # thread arriving while it is busy queues behind it.
-        pool_free_at = [start_time]
-        svc = self.overhead.atomic_service
-        assigned: list[tuple[int, int, int]] = []
-        # Per-tid time accounting for the metrics registry; two float
-        # adds per dispatch, published once at loop end — skipped
-        # entirely when obs is off so the hot path stays unchanged.
-        track_obs = self.obs.enabled
-        overhead_acc = [0.0] * nt
-        compute_acc = [0.0] * nt
-        # Time-resolved instruments (windowed samplers + tail digests),
-        # created once per run and fed from the dispatch closures. All
-        # None when obs is off; every touch sits behind track_obs.
-        util_of = rate_of = None
-        runnable_ts = chunk_ts = None
-        dispatch_digest = compute_digest = size_digest = None
-        dec_mark = 0
-        if track_obs:
-            reg = self.obs.registry
-            type_names = [ct.name for ct in core_types]
-            util_by_type = {
-                tname: reg.timeseries(
-                    "core_utilization", mode="busy", loop=loop.name,
-                    core_type=tname, norm=float(type_names.count(tname)),
-                )
-                for tname in dict.fromkeys(type_names)
-            }
-            util_of = [util_by_type[tname] for tname in type_names]
-            rate_by_type = {
-                tname: reg.timeseries(
-                    "worker_rate", loop=loop.name, core_type=tname
-                )
-                for tname in dict.fromkeys(type_names)
-            }
-            rate_of = [rate_by_type[tname] for tname in type_names]
-            runnable_ts = reg.timeseries("runnable_iterations", loop=loop.name)
-            chunk_ts = reg.timeseries("chunk_size", loop=loop.name)
-            dispatch_digest = reg.digest(
-                "dispatch_overhead_seconds", loop=loop.name
-            )
-            compute_digest = reg.digest("chunk_compute_seconds", loop=loop.name)
-            size_digest = reg.digest("chunk_size_iters", loop=loop.name)
-            dec_mark = len(self.obs.decisions.records)
-
-        def thread_step(tid: int) -> None:
-            now = sim.now
-            dispatch_cost = self.overhead.dispatch(core_types[tid], nt)
-            takes_before = ctx.workshare.dispatch_count
-            got = scheduler.next_range(tid, now)
-            calls[tid] += 1
-            if check is not None:
-                check.on_dispatch(tid, now, got)
-            extra = pending_overhead[tid]
-            pending_overhead[tid] = 0.0
-            overhead_dt = dispatch_cost + extra
-            if svc > 0.0:
-                # Serialize only genuine pool accesses: successful
-                # removals, plus the final fetch-and-add that finds the
-                # pool empty. Policies serving thread-local ranges (e.g.
-                # AID-steal) never queue on the work-share line.
-                takes = ctx.workshare.dispatch_count - takes_before
-                if got is None:
-                    takes += 1
-                if takes > 0:
-                    begin = max(now, pool_free_at[0])
-                    pool_free_at[0] = begin + takes * svc
-                    overhead_dt += (begin - now) + takes * svc
-            if track_obs:
-                overhead_acc[tid] += overhead_dt
-                dispatch_digest.observe(overhead_dt)
-                runnable_ts.observe(now, ctx.workshare.remaining)
-            if got is None:
-                end = now + overhead_dt
-                finish[tid] = end
-                if track_obs:
-                    util_of[tid].observe_span(now, end)
-                if self.recorder is not None:
-                    self.recorder.record(
-                        tid, ThreadState.RUNTIME, now, end, loop.name
-                    )
-                return
-            lo, hi = got
-            assigned.append((tid, lo, hi))
-            scheduler.note_execution_start(tid, now + overhead_dt)
-            work = float(prefix[hi] - prefix[lo])
-            slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
-            compute_dt = slowdown * work / rates[tid]
-            iters[tid] += hi - lo
-            t_overhead_end = now + overhead_dt
-            t_done = t_overhead_end + compute_dt
-            if track_obs:
-                compute_acc[tid] += compute_dt
-                chunk_ts.observe(now, hi - lo)
-                size_digest.observe(hi - lo)
-                compute_digest.observe(compute_dt)
-                if compute_dt > 0.0:
-                    rate_of[tid].observe(t_overhead_end, work / compute_dt)
-                util_of[tid].observe_span(now, t_done)
-            if self.recorder is not None:
-                self.recorder.record(
-                    tid, ThreadState.RUNTIME, now, t_overhead_end, loop.name
-                )
-                self.recorder.record(
-                    tid, ThreadState.COMPUTE, t_overhead_end, t_done, loop.name
-                )
-            sim.at(t_done, lambda: thread_step(tid), tag=f"t{tid}")
-
-        # Fault-aware variant of thread_step, used only when a non-empty
-        # FaultPlan is injected. Per-chunk accounting (conformance
-        # dispatch record, executed range, iteration/compute counters,
-        # COMPUTE trace segment) is deferred to block completion or
-        # preemption, because a fault may truncate the chunk; the record
-        # keeps the *original* dispatch timestamp so per-thread clock
-        # monotonicity is preserved. The fault-free path above is left
-        # untouched so an absent plan stays byte-identical.
-        def thread_step_faulted(tid: int) -> None:
-            now = sim.now
-            engine.on_wake(tid)
-            if engine.is_parked(tid):
-                return
-            dispatch_cost = self.overhead.dispatch(core_types[tid], nt)
-            takes_before = ctx.workshare.dispatch_count
-            got = scheduler.next_range(tid, now)
-            calls[tid] += 1
-            extra = pending_overhead[tid]
-            pending_overhead[tid] = 0.0
-            overhead_dt = dispatch_cost + extra
-            if svc > 0.0:
-                takes = ctx.workshare.dispatch_count - takes_before
-                if got is None:
-                    takes += 1
-                if takes > 0:
-                    begin = max(now, pool_free_at[0])
-                    pool_free_at[0] = begin + takes * svc
-                    overhead_dt += (begin - now) + takes * svc
-            overhead_dt = engine.adjust_overhead(tid, now, overhead_dt)
-            if track_obs:
-                overhead_acc[tid] += overhead_dt
-                dispatch_digest.observe(overhead_dt)
-                runnable_ts.observe(now, ctx.workshare.remaining)
-            if got is None:
-                end = now + overhead_dt
-                finish[tid] = end
-                if track_obs:
-                    util_of[tid].observe_span(now, end)
-                if check is not None:
-                    check.on_dispatch(tid, now, None)
-                if self.recorder is not None:
-                    self.recorder.record(
-                        tid, ThreadState.RUNTIME, now, end, loop.name
-                    )
-                engine.worker_retired(tid)
-                return
-            lo, hi = got
-            if track_obs:
-                chunk_ts.observe(now, hi - lo)
-                size_digest.observe(hi - lo)
-            t_overhead_end = now + overhead_dt
-            scheduler.note_execution_start(tid, t_overhead_end)
-            # The RUNTIME trace segment is deferred with the rest of the
-            # per-chunk accounting: a preemption inside the overhead
-            # window must truncate it at the preempt time.
-            slowdown = self.locality.slowdown(loop.kernel, ownership, tid, lo, hi)
-            engine.begin_block(
-                tid,
-                dispatch_t=now,
-                compute_start=t_overhead_end,
-                lo=lo,
-                hi=hi,
-                speed0=rates[tid] / slowdown,
-            )
-
-        if engine is not None:
-
-            def _fault_restart(tid: int, t: float) -> None:
-                sim.at(
-                    t,
-                    (lambda w: lambda: thread_step_faulted(w))(tid),
-                    tag=f"t{tid}",
-                )
-
-            def _fault_record_exec(
-                tid: int, dispatch_t: float, lo: int, hi: int,
-                t0: float, t1: float,
-            ) -> None:
-                if track_obs:
-                    compute_acc[tid] += max(0.0, t1 - t0)
-                    util_of[tid].observe_span(dispatch_t, t1)
-                    if hi > lo and t1 > t0:
-                        compute_digest.observe(t1 - t0)
-                        # Effective rate over the executed sub-range:
-                        # fault throttles show up as steps here.
-                        rate_of[tid].observe(
-                            t0, float(prefix[hi] - prefix[lo]) / (t1 - t0)
-                        )
-                if self.recorder is not None:
-                    if t0 > dispatch_t:
-                        self.recorder.record(
-                            tid, ThreadState.RUNTIME, dispatch_t, t0, loop.name
-                        )
-                    if t1 > t0:
-                        self.recorder.record(
-                            tid, ThreadState.COMPUTE, t0, t1, loop.name
-                        )
-                if hi > lo:
-                    if check is not None:
-                        check.on_dispatch(tid, dispatch_t, (lo, hi))
-                    assigned.append((tid, lo, hi))
-                    iters[tid] += hi - lo
-
-            def _fault_set_finish(tid: int, t: float) -> None:
-                finish[tid] = t
-
-            engine.bind(_fault_restart, _fault_record_exec, _fault_set_finish)
-            # Plan firings are scheduled before the worker wake events so
-            # that at equal times the fault fires first (lower seq) —
-            # deterministic tie-breaking, per the sim's FIFO contract.
-            engine.schedule(start_time)
-
-        step = thread_step if engine is None else thread_step_faulted
-
-        # Every thread pays the loop-start call, then begins dispatching.
-        # The barrier release wakes cores in CPU-number order, so threads
-        # on low-numbered (small) cores reach the pool slightly earlier —
-        # harmless for most schedules, decisive for guided's large early
-        # chunks.
-        jitter = (
-            rng.uniform(0.0, self.overhead.wake_jitter, size=nt)
-            if rng is not None and self.overhead.wake_jitter > 0.0
-            else np.zeros(nt)
-        )
-        for tid in range(nt):
-            wake = self.overhead.wake_stagger * self.team.cpu_of(tid) + jitter[tid]
-            t_begin = entry[tid] + wake + self.overhead.loop_start(core_types[tid])
-            if track_obs:
-                overhead_acc[tid] += t_begin - entry[tid]
-                util_of[tid].observe_span(entry[tid], t_begin)
-            if self.recorder is not None:
-                self.recorder.record(
-                    tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name
-                )
-            sim.at(t_begin, (lambda t: lambda: step(t))(tid), tag=f"t{tid}")
-
-        budget = (loop.n_iterations + nt * _EVENT_BUDGET_SLACK) * 2
-        if engine is not None:
-            # The fault path schedules a separate restart event after
-            # each completed block, and every fault boundary can preempt
-            # (and thus re-dispatch) up to one chunk per thread.
-            budget = (2 * loop.n_iterations + nt * _EVENT_BUDGET_SLACK) * 2
-            budget += (nt + 2) * (engine.n_plan_events + 2) * 4
-        sim.run(max_events=budget)
-
-        total_iters = sum(iters)
-        if total_iters != loop.n_iterations:
-            raise SimulationError(
-                f"schedule {spec.name!r} executed {total_iters} of "
-                f"{loop.n_iterations} iterations in loop {loop.name!r}"
-            )
-
-        result = LoopResult(
-            loop_name=loop.name,
+        req = LoopRunRequest(
+            loop=loop,
+            costs=costs,
+            spec=spec,
             start_time=start_time,
-            end_time=max(finish),
-            finish_times=finish,
-            iterations=iters,
-            dispatches=ctx.workshare.dispatch_count,
-            scheduler_calls=sum(calls),
-            estimated_sf=scheduler.estimated_sf(),
-            ranges=assigned,
-            extra={"scheduler": scheduler},
+            offline_sf=offline_sf,
+            default_chunk=default_chunk,
+            ownership=ownership,
+            rng=rng,
+            start_times=start_times,
+            check=check,
+            faults=faults,
         )
-        if check is not None:
-            check.on_loop_end(result)
-        if engine is not None:
-            engine.publish()
-        if self.obs.enabled:
-            self._publish_sf_drift(loop, dec_mark)
-            self._publish_loop_metrics(
-                loop, ctx, result, calls, overhead_acc, compute_acc,
-                engine=engine,
-            )
-        return result
+        return self.backend.run_scheduled(self, req)
 
     def _publish_sf_drift(self, loop: LoopSpec, dec_mark: int) -> None:
         """Replay this run's SF publications into drift timeseries.
@@ -605,10 +288,11 @@ class LoopExecutor:
 
         reg = self.obs.registry
         for rec in self.obs.decisions.records[dec_mark:]:
-            sf = rec.get("sf")
-            if not sf or rec.get("event") not in SF_EVENTS:
+            # Cheapest test first: almost every record is a non-SF event.
+            if rec.get("event") not in SF_EVENTS:
                 continue
-            if rec.get("loop") != loop.name:
+            sf = rec.get("sf")
+            if not sf or rec.get("loop") != loop.name:
                 continue
             for j, v in sf.items():
                 reg.timeseries(
@@ -618,47 +302,85 @@ class LoopExecutor:
     def _publish_loop_metrics(
         self,
         loop: LoopSpec,
-        ctx: LoopContext,
         result: LoopResult,
         calls: Sequence[int],
         overhead_acc: Sequence[float],
         compute_acc: Sequence[float],
+        attempts: int = 0,
+        empty_takes: int = 0,
         engine=None,
     ) -> None:
         """Fold one runtime-scheduled loop execution into the registry.
 
         Counter semantics across repeated invocations of the same loop
         are additive; the two gauges keep the *last* invocation's shape.
+        ``attempts``/``empty_takes`` are passed explicitly rather than
+        read off the work-share structure: a batching backend advances
+        the pool in closed form without touching it, yet must publish
+        the same totals a stepped run would.
         """
         reg = self.obs.registry
         name = loop.name
         nt = self.team.n_threads
-        reg.counter("loop_invocations_total", loop=name).inc()
-        reg.counter("workshare_take_attempts_total", loop=name).inc(
-            ctx.workshare.attempt_count
-        )
-        reg.counter("workshare_take_empty_total", loop=name).inc(
-            ctx.workshare.empty_take_count
-        )
-        dispatches_by_tid = [0] * nt
-        chunks = reg.histogram("chunk_size_iterations", loop=name)
-        for tid, lo, hi in result.ranges:
-            dispatches_by_tid[tid] += 1
-            chunks.observe(hi - lo)
-        for tid in range(nt):
-            reg.counter("dispatches_total", loop=name, tid=tid).inc(
-                dispatches_by_tid[tid]
-            )
-            reg.counter("sched_calls_total", loop=name, tid=tid).inc(calls[tid])
-            reg.counter("iterations_total", loop=name, tid=tid).inc(
-                result.iterations[tid]
-            )
-            reg.counter(
-                "runtime_overhead_seconds_total", loop=name, tid=tid
-            ).inc(overhead_acc[tid])
-            reg.counter("compute_seconds_total", loop=name, tid=tid).inc(
-                compute_acc[tid]
-            )
+        h = self._loop_metric_handles.get(name)
+        if h is None:
+            # First invocation of this loop: fetch every handle once.
+            # The registry get-or-creates by (name, labels), so these are
+            # the same instruments ad-hoc accessors would return; the
+            # cache only skips rebuilding label keys per invocation.
+            h = {
+                "inv": reg.counter("loop_invocations_total", loop=name),
+                "att": reg.counter(
+                    "workshare_take_attempts_total", loop=name
+                ),
+                "emp": reg.counter("workshare_take_empty_total", loop=name),
+                "chunks": reg.histogram("chunk_size_iterations", loop=name),
+                "per_tid": [
+                    (
+                        reg.counter("dispatches_total", loop=name, tid=tid),
+                        reg.counter("sched_calls_total", loop=name, tid=tid),
+                        reg.counter("iterations_total", loop=name, tid=tid),
+                        reg.counter(
+                            "runtime_overhead_seconds_total",
+                            loop=name, tid=tid,
+                        ),
+                        reg.counter(
+                            "compute_seconds_total", loop=name, tid=tid
+                        ),
+                    )
+                    for tid in range(nt)
+                ],
+                "sim": {},
+                "dur": reg.gauge("loop_last_duration_seconds", loop=name),
+                "imb": reg.gauge("loop_last_imbalance", loop=name),
+            }
+            self._loop_metric_handles[name] = h
+        h["inv"].inc()
+        h["att"].inc(attempts)
+        h["emp"].inc(empty_takes)
+        chunks = h["chunks"]
+        if len(result.ranges) > 256:
+            # Fine-grained dynamic runs produce one range per chunk;
+            # fold the whole column at once (bucket- and sum-exact, see
+            # Histogram.observe_many).
+            arr = np.asarray(result.ranges, dtype=np.int64)
+            dispatches_by_tid = np.bincount(
+                arr[:, 0], minlength=nt
+            ).tolist()
+            chunks.observe_many(arr[:, 2] - arr[:, 1])
+        else:
+            dispatches_by_tid = [0] * nt
+            for tid, lo, hi in result.ranges:
+                dispatches_by_tid[tid] += 1
+                chunks.observe(hi - lo)
+        for tid, (c_disp, c_calls, c_iters, c_ovh, c_cmp) in enumerate(
+            h["per_tid"]
+        ):
+            c_disp.inc(dispatches_by_tid[tid])
+            c_calls.inc(calls[tid])
+            c_iters.inc(result.iterations[tid])
+            c_ovh.inc(overhead_acc[tid])
+            c_cmp.inc(compute_acc[tid])
         # Sim-time cost attribution: where did the loop's simulated
         # seconds go, per core type? Stall seconds (fault injection adds
         # them into dispatch overhead) are pulled back out so the
@@ -671,19 +393,26 @@ class LoopExecutor:
             slot[0] += compute_acc[tid]
             slot[1] += max(0.0, overhead_acc[tid] - stall)
             slot[2] += stall
+        sim = h["sim"]
         for tname, (comp, ovh, stall) in sorted(by_type.items()):
-            reg.counter(
-                "sim_time_seconds_total", loop=name, core_type=tname,
-                category="compute",
-            ).inc(comp)
-            reg.counter(
-                "sim_time_seconds_total", loop=name, core_type=tname,
-                category="overhead",
-            ).inc(ovh)
+            pair = sim.get(tname)
+            if pair is None:
+                pair = sim[tname] = (
+                    reg.counter(
+                        "sim_time_seconds_total", loop=name,
+                        core_type=tname, category="compute",
+                    ),
+                    reg.counter(
+                        "sim_time_seconds_total", loop=name,
+                        core_type=tname, category="overhead",
+                    ),
+                )
+            pair[0].inc(comp)
+            pair[1].inc(ovh)
             if engine is not None:
                 reg.counter(
                     "sim_time_seconds_total", loop=name, core_type=tname,
                     category="stall",
                 ).inc(stall)
-        reg.gauge("loop_last_duration_seconds", loop=name).set(result.duration)
-        reg.gauge("loop_last_imbalance", loop=name).set(result.imbalance)
+        h["dur"].set(result.duration)
+        h["imb"].set(result.imbalance)

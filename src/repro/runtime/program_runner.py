@@ -94,6 +94,15 @@ class ProgramRunner:
             the metrics registry and the AID schedulers append to the
             decision log. Defaults to the null sink (no overhead, results
             bit-identical to an uninstrumented run).
+        backend: execution backend for runtime-scheduled loops — a
+            registered name (``"reference"``, ``"vectorized"``,
+            ``"real"``), a live
+            :class:`~repro.backends.ExecutionBackend` instance, or
+            ``None`` to resolve via the ``REPRO_BACKEND`` environment
+            variable (default ``reference``). Forwarded to every
+            :class:`~repro.runtime.executor.LoopExecutor` this runner
+            builds, including the per-allocation executors of
+            multi-application mode.
         faults: optional :class:`~repro.faults.model.FaultPlan` with
             event times in absolute program (virtual) seconds. Each
             runtime-scheduled loop applies the windows that overlap its
@@ -117,6 +126,7 @@ class ProgramRunner:
         info_page=None,
         obs: Observability | None = None,
         faults=None,
+        backend=None,
     ) -> None:
         self.platform = platform
         self.env = env if env is not None else OmpEnv()
@@ -135,6 +145,10 @@ class ProgramRunner:
         self.schedule_override = schedule_override
         self.faults = faults
         self.locality = locality if locality is not None else LocalityModel()
+        # Kept as the raw selector; every executor construction below
+        # resolves it, so an invalid name (or a typo'd REPRO_BACKEND)
+        # fails here in __init__ with a BackendError.
+        self.backend = backend
         self._ownership = {}
         self.info_page = info_page
         self.perf = PerfModel(platform, self.contention)
@@ -143,7 +157,7 @@ class ProgramRunner:
             self.team = Team(platform, self.env.mapping(platform))
             self.executor = LoopExecutor(
                 self.team, self.perf, self.overhead, self.recorder,
-                locality=self.locality, obs=self.obs,
+                locality=self.locality, obs=self.obs, backend=self.backend,
             )
         else:
             # Multi-application mode: the OS page decides the CPUs; build
@@ -181,6 +195,7 @@ class ProgramRunner:
                 locality=self.locality,
                 background_cpus=background,
                 obs=self.obs,
+                backend=self.backend,
             )
             self._executor_cache[key] = cached
         return cached.team, cached

@@ -135,7 +135,26 @@ class WorkShare:
                 if self._check is not None:
                     self._check.on_take(n, lo, (lo, hi), requeued=True)
                 return (lo, hi)
-        lo = self._next.fetch_add(n)
+        nxt = self._next
+        if nxt._lock is None:
+            # Simulator path: inline the fetch-and-add pair (this is the
+            # hottest call site of the whole dynamic-schedule hot loop).
+            n = int(n)
+            lo = nxt._value
+            nxt._value = lo + n
+            if lo >= self.end:
+                counter = self._empty_takes
+                counter._value += 1
+                if self._check is not None:
+                    self._check.on_take(n, lo, None)
+                return None
+            hi = min(lo + n, self.end)
+            counter = self._dispatches
+            counter._value += 1
+            if self._check is not None:
+                self._check.on_take(n, lo, (lo, hi))
+            return (lo, hi)
+        lo = nxt.fetch_add(n)
         if lo >= self.end:
             self._empty_takes.add_fetch(1)
             if self._check is not None:

@@ -8,6 +8,24 @@ from dataclasses import dataclass
 from repro.runtime.context import LoopContext
 
 
+@dataclass(frozen=True)
+class PoolAdvancement:
+    """A scheduler's declaration that its dispatch loop is a pure
+    fixed-chunk drain of the shared pool.
+
+    Returning one from :meth:`LoopScheduler.advancement` asserts that,
+    for the remainder of the loop, every ``next_range(tid, now)`` call
+    is exactly ``ctx.workshare.take(chunk)`` — no per-call decision
+    records, no timestamp charges, no internal state that depends on
+    ``tid`` or ``now``. Batch-capable backends use the declaration to
+    advance a thread through several chunks in closed form without
+    calling the scheduler once per chunk; backends that cannot honour it
+    simply keep calling :meth:`LoopScheduler.next_range`.
+    """
+
+    chunk: int
+
+
 class LoopScheduler(abc.ABC):
     """Per-loop-execution scheduling state machine.
 
@@ -87,6 +105,17 @@ class LoopScheduler(abc.ABC):
         """
 
     # -- optional introspection (overridden by AID policies) ----------------
+
+    def advancement(self) -> PoolAdvancement | None:
+        """Chunk-batch advancement declaration for batching backends.
+
+        ``None`` (the default) means the policy is stateful: a backend
+        must step it one :meth:`next_range` call at a time. Policies
+        whose dispatch is a pure ``workshare.take(chunk)`` return a
+        :class:`PoolAdvancement` so the vectorized backend can integrate
+        whole chunk batches in closed form.
+        """
+        return None
 
     def estimated_sf(self) -> dict[int, float] | None:
         """Per-core-type SF this policy estimated online, if any.

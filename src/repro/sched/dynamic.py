@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.runtime.context import LoopContext
-from repro.sched.base import LoopScheduler, ScheduleSpec
+from repro.sched.base import LoopScheduler, PoolAdvancement, ScheduleSpec
 
 
 class DynamicScheduler(LoopScheduler):
@@ -25,6 +25,11 @@ class DynamicScheduler(LoopScheduler):
 
     def next_range(self, tid: int, now: float) -> tuple[int, int] | None:
         return self.ctx.workshare.take(self.chunk)
+
+    def advancement(self) -> PoolAdvancement:
+        """Dynamic is the canonical pure pool drain: every dispatch is
+        ``take(chunk)`` regardless of caller or time."""
+        return PoolAdvancement(self.chunk)
 
 
 @dataclass(frozen=True)

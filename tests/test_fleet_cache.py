@@ -170,3 +170,84 @@ def test_clear(tmp_path):
     assert len(cache) == 0
     assert cache.get(spec.key) is None
     assert cache.duration_estimate(spec) is None
+
+
+# -- backend identity in the digest -------------------------------------------
+
+
+def test_backend_is_part_of_the_digest(tmp_path):
+    # Results computed under one execution backend must never satisfy a
+    # lookup for another: the backend name is in the job payload, so the
+    # digests are disjoint.
+    ref = make_spec()
+    vec = JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", affinity="BS"),
+        root_seed=0,
+        backend="vectorized",
+    )
+    assert ref.payload()["backend"] == "reference"
+    assert vec.payload()["backend"] == "vectorized"
+    assert ref.key != vec.key
+
+    cache = ResultCache(tmp_path)
+    cache.put(ref.execute())
+    assert cache.get(ref.key) is not None
+    assert cache.get(vec.key) is None
+
+
+def test_env_selected_backend_pins_into_the_digest(tmp_path, monkeypatch):
+    # JobSpec resolves the environment override at construction time, so
+    # a spec built under REPRO_BACKEND=vectorized carries (and hashes)
+    # the concrete name — shipping it to a fleet worker with a different
+    # environment cannot change what it means.
+    from repro.backends import ENV_VAR
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    explicit = JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", affinity="BS"),
+        root_seed=0,
+        backend="vectorized",
+    )
+    monkeypatch.setenv(ENV_VAR, "vectorized")
+    ambient = make_spec()
+    assert ambient.backend == "vectorized"
+    assert ambient.key == explicit.key
+
+
+def test_warm_cache_is_backend_local(tmp_path):
+    # A grid warmed under the reference backend replays from cache only
+    # for reference reruns; switching to vectorized recomputes every
+    # cell (and, the simulator being byte-identical, lands on the same
+    # numbers).
+    from repro.experiments.harness import ScheduleConfig, run_grid
+    from repro.fleet.progress import FleetProgress
+    from repro.workloads.registry import all_programs
+
+    program = all_programs()[:1]
+    configs = (
+        ScheduleConfig("static(SB)", OmpEnv(schedule="static", affinity="SB")),
+        ScheduleConfig("AID-dyn", OmpEnv(schedule="aid_dynamic,1,5")),
+    )
+
+    def grid(backend):
+        progress = FleetProgress()
+        result = run_grid(
+            odroid_xu4(), program, configs, jobs=2, cache=tmp_path,
+            progress=progress, backend=backend,
+        )
+        return result, progress.summary()
+
+    cold, s_cold = grid("reference")
+    assert s_cold["jobs_computed"] == s_cold["jobs_submitted"] == 2
+
+    warm, s_warm = grid("reference")
+    assert s_warm["cache_hits"] == 2 and s_warm["jobs_computed"] == 0
+
+    vec, s_vec = grid("vectorized")
+    assert s_vec["cache_hits"] == 0
+    assert s_vec["jobs_computed"] == 2
+    assert vec.times == cold.times == warm.times

@@ -136,9 +136,20 @@ class TestProfileCli:
         assert "wall-clock hotspots" in text
         assert "sim-time cost attribution" in text
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro.obs.profile/v1"
+        assert doc["schema"] == "repro.obs.profile/v2"
         assert len(doc["hotspots"]) == 5
         assert doc["cost_attribution"]
+        assert doc["backend"] == "reference"
+        assert doc["wall_clock_seconds"] > 0.0
+
+    def test_profile_subcommand_backend_flag(self, tmp_path):
+        out = tmp_path / "profile-vec.json"
+        assert report_main([
+            "profile", "--programs", "EP", "--top", "5",
+            "--backend", "vectorized", "--json", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["backend"] == "vectorized"
 
 
 class TestTimelineCli:

@@ -1,0 +1,77 @@
+"""Ad-hoc reference-vs-vectorized equivalence sweep (dev tool).
+
+Compares LoopResult fields and decision-log bytes across platforms,
+schedules, overhead models and sizes. Exit 0 iff zero mismatches.
+"""
+import sys
+
+from repro.check.generators import preset_platform, run_loop
+from repro.obs import Observability
+from repro.perfmodel.overhead import ZERO_OVERHEAD, OverheadModel
+from repro.sched import parse_schedule
+
+PLATFORMS = ["odroid_xu4", "xeon_emulated", "tri", "dual:3:1"]
+SCHEDULES = [
+    "static", "static,7", "dynamic,1", "dynamic,16", "guided",
+    "aid_static", "aid_hybrid,80", "aid_dynamic,1,5", "aid_auto,1,5",
+    "aid_steal,8",
+]
+OVERHEADS = [
+    ZERO_OVERHEAD,
+    OverheadModel(dispatch_cost=1e-6, atomic_service=2e-7),
+    OverheadModel(dispatch_cost=5e-6, atomic_service=1e-6),
+]
+SIZES = [1, 253, 4096]
+
+
+def run_one(platform_name, sched, ov, n, backend):
+    plat = preset_platform(platform_name)
+    spec = parse_schedule(sched)
+    obs = Observability()
+    offline = {j: 1.0 + j for j in range(plat.n_core_types)}
+    res = run_loop(
+        plat, spec, n_iterations=n, overhead=ov,
+        offline_sf=offline if spec.needs_offline_sf else None,
+        obs=obs, backend=backend,
+    )
+    return res, obs.decisions.to_jsonl()
+
+
+def key(res):
+    return (
+        res.loop_name, res.start_time, res.end_time,
+        tuple(res.finish_times), tuple(res.iterations),
+        res.dispatches, res.scheduler_calls, res.estimated_sf,
+        tuple(res.ranges),
+    )
+
+
+def main():
+    bad = total = 0
+    for pn in PLATFORMS:
+        for sched in SCHEDULES:
+            for i, ov in enumerate(OVERHEADS):
+                for n in SIZES:
+                    total += 1
+                    r_ref, d_ref = run_one(pn, sched, ov, n, "reference")
+                    r_vec, d_vec = run_one(pn, sched, ov, n, "vectorized")
+                    if key(r_ref) != key(r_vec) or d_ref != d_vec:
+                        bad += 1
+                        print(f"MISMATCH {pn} {sched} ov{i} n={n}")
+                        if key(r_ref) != key(r_vec):
+                            print("  result differs")
+                            for f, (a, b) in zip(
+                                ["name", "t0", "t1", "fin", "it", "disp",
+                                 "calls", "sf", "ranges"],
+                                zip(key(r_ref), key(r_vec)),
+                            ):
+                                if a != b:
+                                    print(f"    {f}: {a!r} != {b!r}")
+                        if d_ref != d_vec:
+                            print("  decision log differs")
+    print(f"{bad}/{total} mismatches")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Ad-hoc reference-vs-vectorized sweep over whole programs (dev tool).
+
+Exercises the ownership/locality warm path (repeated invocations of the
+same loop), serial phases, nowait chains and the decision log, on real
+suite programs under both backends. Exit 0 iff zero mismatches.
+"""
+import sys
+
+from repro.amp.presets import odroid_xu4, xeon_emulated
+from repro.obs import Observability
+from repro.perfmodel.locality import LocalityModel
+from repro.runtime.env import OmpEnv
+from repro.runtime.program_runner import ProgramRunner
+from repro.sched import parse_schedule
+from repro.workloads.registry import all_programs
+
+SCHEDULES = [
+    "static", "dynamic,1", "dynamic,16", "guided",
+    "aid_static", "aid_hybrid,80", "aid_dynamic,1,5", "aid_auto,1,5",
+    "aid_steal,8",
+]
+
+
+def run_once(program, platform, sched, backend):
+    import os
+
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        spec = parse_schedule(sched)
+        obs = Observability()
+        tables = None
+        if spec.needs_offline_sf:
+            tables = {
+                loop.name: {
+                    j: 1.0 + j for j in range(platform.n_core_types)
+                }
+                for phase in program.phases
+                if hasattr(phase, "name") and hasattr(phase, "n_iterations")
+                for loop in [phase]
+            }
+        runner = ProgramRunner(
+            platform,
+            env=OmpEnv(schedule="dynamic,1"),
+            schedule_override=spec,
+            offline_sf_tables=tables,
+            locality=LocalityModel(enabled=True),
+            obs=obs,
+        )
+        res = runner.run(program)
+    finally:
+        os.environ.pop("REPRO_BACKEND", None)
+    key = (
+        res.completion_time,
+        res.serial_time,
+        tuple(
+            (
+                r.loop_name, r.start_time, r.end_time,
+                tuple(r.finish_times), tuple(r.iterations),
+                r.dispatches, r.scheduler_calls, tuple(r.ranges),
+            )
+            for r in res.loop_results
+        ),
+    )
+    return key, obs.decisions.to_jsonl()
+
+
+def main():
+    bad = total = 0
+    programs = all_programs()[:6]
+    for platform_f in (odroid_xu4, xeon_emulated):
+        for program in programs:
+            for sched in SCHEDULES:
+                total += 1
+                kr, dr = run_once(program, platform_f(), sched, "reference")
+                kv, dv = run_once(program, platform_f(), sched, "vectorized")
+                if kr != kv or dr != dv:
+                    bad += 1
+                    print(
+                        f"MISMATCH {platform_f.__name__} "
+                        f"{program.name} {sched} "
+                        f"result={'!=' if kr != kv else '=='} "
+                        f"log={'!=' if dr != dv else '=='}"
+                    )
+    print(f"{bad}/{total} mismatches")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
