@@ -78,6 +78,12 @@ class RunSetup:
     wake_begin: list[float] = field(default_factory=list)
     dec_mark: int = 0
     track_obs: bool = False
+    #: The causal span recorder (``executor.obs.spans``), or ``None``
+    #: when span tracing is off; ``span_loop`` is this run's loop span
+    #: path and ``big_of`` flags threads on the fastest core type.
+    spans: object = None
+    span_loop: str | None = None
+    big_of: list[bool] = field(default_factory=list)
 
 
 def prepare_run(executor: "LoopExecutor", req: "LoopRunRequest") -> RunSetup:
@@ -155,6 +161,15 @@ def prepare_run(executor: "LoopExecutor", req: "LoopRunRequest") -> RunSetup:
         )
 
     track_obs = executor.obs.enabled
+    srec = getattr(executor.obs, "spans", None)
+    span_loop = None
+    big_of: list[bool] = []
+    if srec is not None:
+        span_loop = srec.begin_loop(loop.name)
+        fastest = executor.team.n_types - 1
+        big_of = [
+            executor.team.type_index_of(tid) == fastest for tid in range(nt)
+        ]
     return RunSetup(
         nt=nt,
         start_time=start_time,
@@ -170,6 +185,9 @@ def prepare_run(executor: "LoopExecutor", req: "LoopRunRequest") -> RunSetup:
             len(executor.obs.decisions.records) if track_obs else 0
         ),
         track_obs=track_obs,
+        spans=srec,
+        span_loop=span_loop,
+        big_of=big_of,
     )
 
 
@@ -267,6 +285,19 @@ def finish_run(
         req.check.on_loop_end(result)
     if engine is not None:
         engine.publish()
+    if setup.spans is not None:
+        dec_slice = (
+            executor.obs.decisions.records[setup.dec_mark:]
+            if setup.track_obs
+            else ()
+        )
+        setup.spans.end_loop(
+            setup.span_loop,
+            t0=setup.start_time,
+            t1=result.end_time,
+            decisions=dec_slice,
+            loop_name=loop.name,
+        )
     if executor.obs.enabled:
         executor._publish_sf_drift(loop, setup.dec_mark)
         executor._publish_loop_metrics(

@@ -108,6 +108,11 @@ class ReferenceBackend(ExecutionBackend):
         recorder = executor.recorder
         locality = executor.locality
         overhead = executor.overhead
+        # Causal span recorder (None when tracing is off); one attribute
+        # load here keeps the hot path at a single None check per event.
+        srec = setup.spans
+        span_loop = setup.span_loop
+        big_of = setup.big_of
 
         def thread_step(tid: int) -> None:
             now = sim.now
@@ -141,6 +146,8 @@ class ReferenceBackend(ExecutionBackend):
                 finish[tid] = end
                 if track_obs:
                     util_of[tid].observe_span(now, end)
+                if srec is not None:
+                    srec.record_empty(span_loop, tid, now, end)
                 if recorder is not None:
                     recorder.record(
                         tid, ThreadState.RUNTIME, now, end, loop.name
@@ -163,6 +170,11 @@ class ReferenceBackend(ExecutionBackend):
                 if compute_dt > 0.0:
                     rate_of[tid].observe(t_overhead_end, work / compute_dt)
                 util_of[tid].observe_span(now, t_done)
+            if srec is not None:
+                srec.record_chunk(
+                    span_loop, tid, now, t_overhead_end, t_done,
+                    lo, hi, big_of[tid],
+                )
             if recorder is not None:
                 recorder.record(
                     tid, ThreadState.RUNTIME, now, t_overhead_end, loop.name
@@ -210,6 +222,8 @@ class ReferenceBackend(ExecutionBackend):
                 finish[tid] = end
                 if track_obs:
                     util_of[tid].observe_span(now, end)
+                if srec is not None:
+                    srec.record_empty(span_loop, tid, now, end)
                 if check is not None:
                     check.on_dispatch(tid, now, None)
                 if recorder is not None:
@@ -260,6 +274,11 @@ class ReferenceBackend(ExecutionBackend):
                         rate_of[tid].observe(
                             t0, float(prefix[hi] - prefix[lo]) / (t1 - t0)
                         )
+                if srec is not None:
+                    srec.record_chunk(
+                        span_loop, tid, dispatch_t, t0, t1, lo, hi,
+                        big_of[tid],
+                    )
                 if recorder is not None:
                     if t0 > dispatch_t:
                         recorder.record(
@@ -296,6 +315,8 @@ class ReferenceBackend(ExecutionBackend):
             if track_obs:
                 overhead_acc[tid] += t_begin - entry[tid]
                 util_of[tid].observe_span(entry[tid], t_begin)
+            if srec is not None:
+                srec.record_wake(span_loop, tid, entry[tid], t_begin)
             if recorder is not None:
                 recorder.record(
                     tid, ThreadState.RUNTIME, entry[tid], t_begin, loop.name

@@ -142,6 +142,10 @@ def _publish_rows(executor, loop, setup, rows) -> None:
     nt = setup.nt
     entry = setup.entry
     wake = setup.wake_begin
+    srec = setup.spans
+    if srec is not None:
+        for t in range(nt):
+            srec.record_wake(setup.span_loop, t, entry[t], wake[t])
     if not rows:
         for t in range(nt):
             inst.util_of[t].observe_spans(
@@ -179,6 +183,21 @@ def _publish_rows(executor, loop, setup, rows) -> None:
     inst.dispatch_digest.observe_many(ovh)
     inst.compute_digest.observe_many(cds[disp])
     inst.size_digest.observe_many(sizes)
+    if srec is not None:
+        # A thread's rows are already in dispatch order (global event
+        # order restricted per tid), so bulk chunk emission consumes
+        # the same per-(loop, tid) ordinal sequence the reference's
+        # per-event calls would — identical span ids, identical floats.
+        for t in range(nt):
+            m = (tids == t) & disp
+            srec.record_chunks_bulk(
+                setup.span_loop, t, nows[m], oe[m], td[m],
+                arr[:, 4][m].astype(np.int64), arr[:, 5][m].astype(np.int64),
+                setup.big_of[t],
+            )
+            em = (tids == t) & ~disp
+            for n0, n1 in zip(nows[em], oe[em]):
+                srec.record_empty(setup.span_loop, t, float(n0), float(n1))
 
 
 class VectorizedBackend(ExecutionBackend):
@@ -636,5 +655,20 @@ def _drain_engine(
                 inst.rate_of[t].observe_many(
                     t_oe_arr[pos], w_arr[pos] / cd_arr[pos]
                 )
+
+        srec = setup.spans
+        if srec is not None:
+            for t in range(nt):
+                srec.record_wake(
+                    setup.span_loop, t, float(entry_arr[t]), float(wake_arr[t])
+                )
+                mask = tids_arr == t
+                srec.record_chunks_bulk(
+                    setup.span_loop, t, nows_arr[mask], t_oe_arr[mask],
+                    td_arr[mask], los[mask], his[mask], setup.big_of[t],
+                )
+                emask = e_tid_arr == t
+                for n0, n1 in zip(e_now_arr[emask], e_end_arr[emask]):
+                    srec.record_empty(setup.span_loop, t, float(n0), float(n1))
 
     return iters, assigned, dispatches, attempts, empty_takes

@@ -20,6 +20,12 @@ between the ``chunk_size`` sampler and the ``chunk_size_iters`` digest,
 and merge self-consistency (one fold rebuilds the snapshot exactly, a
 second fold exactly doubles it). A violation is folded into
 ``check.error`` like any other runtime abort, so the fuzzer shrinks it.
+
+The bundle carries a span recorder too, so every case also checks the
+causal span tree (:func:`repro.obs.spans.span_violations` — single
+root, no cycles, chunk spans nested inside their phase/loop spans) and
+the critical path (:func:`repro.obs.critpath.critpath_violations` —
+per-category attribution telescopes exactly to the makespan).
 """
 
 from __future__ import annotations
@@ -166,9 +172,11 @@ def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
     """
     if case.real:
         return _run_real_case(case, mutant)
+    from repro.obs import SpanRecorder
+
     check = CheckContext()
     trace = TraceRecorder()
-    obs = Observability()
+    obs = Observability(spans=SpanRecorder(context="fuzz"))
     faults_plan = None
     if case.faults:
         probe = run_loop(
@@ -202,6 +210,12 @@ def run_case(case: FuzzCase, mutant: str | None = None) -> CaseResult:
             check.error = f"{type(exc).__name__}: {exc}"
     if check.error is None:
         bad = obs_violations(obs.registry.snapshot())
+        if not bad:
+            from repro.obs.critpath import critpath_violations
+            from repro.obs.spans import span_violations
+
+            span_doc = obs.spans.as_doc()
+            bad = span_violations(span_doc) or critpath_violations(span_doc)
         if bad:
             check.error = "; ".join(bad)
     return CaseResult(case, verify_loop(check, trace), check, trace)

@@ -189,11 +189,17 @@ class ThreadTeam:
             )
             real_sizes = reg.digest("real_chunk_size_iters", loop=loop_name)
             real_rate = reg.timeseries("real_worker_rate", loop=loop_name)
+        # Worker-lifetime spans (wall-clock seconds since loop start);
+        # collected per tid and recorded after the join, so the recorder
+        # is only touched from this thread.
+        srec = getattr(obs, "spans", None)
+        lifetimes: list[list[float]] = [[0.0, 0.0] for _ in range(self.n_threads)]
 
         t0 = time.perf_counter()
 
         def worker(tid: int) -> None:
             nonlocal stall_seconds_total
+            lifetimes[tid][0] = time.perf_counter() - t0
             try:
                 while True:
                     if errors:
@@ -245,6 +251,8 @@ class ThreadTeam:
                                 )
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 errors.append(exc)
+            finally:
+                lifetimes[tid][1] = time.perf_counter() - t0
 
         def watchdog() -> None:
             seen: set[tuple[int, int]] = set()
@@ -302,6 +310,12 @@ class ThreadTeam:
             watchdog_stop.set()
             monitor.join(5.0)
         wall = time.perf_counter() - t0
+        if srec is not None:
+            for tid in range(self.n_threads):
+                start, end = lifetimes[tid]
+                srec.record_worker(
+                    tid, start, max(start, end), loop=loop_name
+                )
 
         if errors:
             raise errors[0]

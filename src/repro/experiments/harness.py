@@ -209,6 +209,7 @@ def grid_specs(
     overhead: OverheadModel | None = None,
     contention: ContentionModel | None = None,
     backend: str | None = None,
+    trace_context: str | None = None,
 ) -> list[JobSpec]:
     """The grid's cells as fleet jobs, row-major (program, then config)."""
     return [
@@ -220,6 +221,7 @@ def grid_specs(
             overhead=overhead,
             contention=contention,
             backend=backend,
+            trace_context=trace_context,
             label=config.label,
         )
         for program in programs
@@ -242,6 +244,7 @@ def run_grid(
     progress: FleetProgress | None = None,
     obs_snapshot_path: str | Path | None = None,
     backend: str | None = None,
+    trace_context: str | None = None,
 ) -> GridResult:
     """Run a full programs x configurations grid on one platform.
 
@@ -261,6 +264,10 @@ def run_grid(
     backend every cell runs under (``None`` = environment override, then
     ``reference``); it becomes part of each job's digest, so grids run
     under different backends occupy disjoint cache entries.
+    ``trace_context`` turns on causal span tracing for every cell (see
+    :class:`~repro.fleet.jobs.JobSpec`); the merged snapshot then folds
+    one labeled span tree per cell, byte-identically across worker
+    counts and cache states.
     """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
@@ -272,7 +279,10 @@ def run_grid(
         platform_name=platform.name,
         config_labels=tuple(c.label for c in configs),
     )
-    if jobs <= 1 and cache is None and progress is None:
+    if (
+        jobs <= 1 and cache is None and progress is None
+        and trace_context is None
+    ):
         # The historical serial path: no pool, no cache I/O, no events.
         for program in programs:
             row: dict[str, float] = {}
@@ -293,7 +303,7 @@ def run_grid(
         cache = ResultCache(cache)
     specs = grid_specs(
         platform, programs, configs, root_seed, overhead, contention,
-        backend=backend,
+        backend=backend, trace_context=trace_context,
     )
     outcomes = require_ok(
         run_jobs(

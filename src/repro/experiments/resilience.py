@@ -288,3 +288,69 @@ def throttle_ab(
         adaptive=adaptive.duration,
         non_adaptive=frozen.duration,
     )
+
+
+def throttle_ab_snapshots(
+    platform_name: str = "odroid_xu4",
+    n_iterations: int = 4096,
+    work: float = 1e-5,
+    throttle_factor: float = 0.2,
+    throttle_at: float = 0.3,
+    overhead_scale: float = 5.0,
+) -> tuple[dict, dict]:
+    """Span-bearing snapshots of the A/B scenario: (unthrottled, throttled).
+
+    Both runs use the *non-adaptive* ``aid_auto`` (identical schedules;
+    fault adaptation never fires in the fault-free run anyway), record
+    causal span traces, and come back as full snapshot documents — the
+    pair ``python -m repro.obs.report explain`` consumes. The throttled
+    trace carries the throttle windows as fault spans, so the explainer
+    can name the window as a makespan contributor.
+    """
+    from repro.obs import Observability, SpanRecorder
+    from repro.obs.snapshot import build_snapshot
+
+    platform = preset_platform(platform_name)
+    if platform.is_symmetric:
+        raise ExperimentError(
+            f"throttle_ab_snapshots needs an asymmetric platform, "
+            f"got {platform.name}"
+        )
+    overhead = (
+        OverheadModel().scaled(overhead_scale) if overhead_scale > 0 else None
+    )
+    spec = AidAutoSpec(adapt_on_faults=False)
+    obs_a = Observability(spans=SpanRecorder(context="ab:unthrottled"))
+    baseline = run_loop(
+        platform, spec, n_iterations=n_iterations, work=work,
+        overhead=overhead, obs=obs_a,
+    )
+    horizon = max(baseline.duration, 1e-9)
+    big = platform.cores_of_type(platform.core_types[-1])
+    plan = FaultPlan(
+        tuple(
+            ThrottleEvent(
+                cpu=core.cpu_id,
+                t0=throttle_at * horizon,
+                t1=100.0 * horizon,
+                factor=throttle_factor,
+            )
+            for core in big
+        )
+    )
+    obs_b = Observability(spans=SpanRecorder(context="ab:throttled"))
+    run_loop(
+        platform, spec, n_iterations=n_iterations, work=work,
+        overhead=overhead, faults=plan, obs=obs_b,
+    )
+    meta = {
+        "scenario": "throttle_ab",
+        "platform": platform.name,
+        "n_iterations": n_iterations,
+        "throttle_factor": throttle_factor,
+        "throttle_at": throttle_at,
+    }
+    return (
+        build_snapshot(obs_a, meta={**meta, "variant": "unthrottled"}),
+        build_snapshot(obs_b, meta={**meta, "variant": "throttled"}),
+    )

@@ -6,6 +6,10 @@ Subcommands:
   (:func:`repro.experiments.resilience.sweep`);
 * ``ab`` — the adaptive A/B: ``aid_auto`` with vs without fault
   adaptation under a mid-loop throttle of every big core;
+  ``--spans-a/--spans-b`` additionally write span-bearing snapshots of
+  the fault-free and throttled runs — the pair
+  ``python -m repro.obs.report explain`` turns into a ranked
+  "where the makespan went" report;
 * ``plan`` — generate a seeded random fault plan as JSON (fractional
   times; scale onto a makespan with ``FaultPlan.scaled``);
 * ``smoke`` — the CI gate: a tiny sweep (every variant must complete
@@ -25,6 +29,7 @@ from repro.experiments.resilience import (
     DEFAULT_INTENSITIES,
     sweep,
     throttle_ab,
+    throttle_ab_snapshots,
 )
 from repro.faults.model import random_plan
 
@@ -57,6 +62,18 @@ def _cmd_ab(args: argparse.Namespace) -> int:
         throttle_factor=args.factor,
     )
     print(ab.render())
+    if args.spans_a or args.spans_b:
+        from repro.obs.snapshot import to_json
+
+        snap_a, snap_b = throttle_ab_snapshots(
+            platform_name=args.platform,
+            n_iterations=args.iterations,
+            throttle_factor=args.factor,
+        )
+        for path, snap in ((args.spans_a, snap_a), (args.spans_b, snap_b)):
+            if path:
+                Path(path).write_text(to_json(snap), encoding="utf-8")
+                print(f"span snapshot written to {path}")
     if ab.speedup <= 1.0:
         print("FAIL: adaptation did not beat the non-adaptive run")
         return 1
@@ -136,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", default="odroid_xu4")
     p.add_argument("--iterations", type=int, default=4096)
     p.add_argument("--factor", type=float, default=0.2)
+    p.add_argument(
+        "--spans-a", metavar="PATH",
+        help="write a span-bearing snapshot of the fault-free run "
+        "(explain baseline)",
+    )
+    p.add_argument(
+        "--spans-b", metavar="PATH",
+        help="write a span-bearing snapshot of the throttled "
+        "non-adaptive run (explain candidate)",
+    )
     p.set_defaults(func=_cmd_ab)
 
     p = sub.add_parser("plan", help="print a seeded random fault plan")

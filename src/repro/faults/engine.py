@@ -116,6 +116,12 @@ class SimFaultEngine:
             self.dec = DecisionEmitter(obs, loop_name, "faults")
         self._obs = obs
         self._loop_name = loop_name
+        # Causal span recorder (None when tracing is off). Window spans
+        # (throttle/spike/offline) are opened at the begin firing and
+        # their end time patched at the end firing or at publish();
+        # stalls are recorded as they are consumed.
+        self._srec = getattr(obs, "spans", None)
+        self._open_spans: dict[tuple, object] = {}
         # -- dynamic state ------------------------------------------------
         self._active_throttles: dict[int, list[float]] = {}
         self._mult: dict[int, float] = {}
@@ -216,6 +222,10 @@ class SimFaultEngine:
             overhead_dt += stall
             self._count("fault_stall_seconds_total", stall)
             self._stall_by_tid[tid] = self._stall_by_tid.get(tid, 0.0) + stall
+            if self._srec is not None:
+                self._srec.record_fault(
+                    "stall", now, now + stall, tid=tid, seconds=stall
+                )
             if self.dec.on:
                 self.dec.emit(tid, now, "stall_applied", seconds=stall)
         return overhead_dt
@@ -252,6 +262,8 @@ class SimFaultEngine:
 
     def publish(self) -> None:
         """Fold the run's fault counters into the metrics registry."""
+        if self._srec is not None:
+            self._close_open_spans(self.sim.now)
         if not getattr(self._obs, "enabled", False):
             return
         reg = self._obs.registry
@@ -266,6 +278,24 @@ class SimFaultEngine:
 
     def _count(self, name: str, value: float = 1.0) -> None:
         self._counts[name] = self._counts.get(name, 0.0) + value
+
+    def _span_open(self, kind: str, key: tuple, t: float, **attrs) -> None:
+        if self._srec is None:
+            return
+        self._srec.record_fault(kind, t, t, **attrs)
+        self._open_spans[(kind,) + key] = self._srec.spans[-1]
+
+    def _span_close(self, kind: str, key: tuple, t: float) -> None:
+        span = self._open_spans.pop((kind,) + key, None)
+        if span is not None:
+            span.t1 = max(span.t0, t)
+
+    def _close_open_spans(self, t: float) -> None:
+        """Patch end times of windows still open when the loop finishes
+        (e.g. a throttle lasting past the loop's horizon)."""
+        for span in self._open_spans.values():
+            span.t1 = max(span.t0, t)
+        self._open_spans.clear()
 
     def _restart(self, tid: int, t: float) -> None:
         self._restart_cb(tid, t)
@@ -337,6 +367,9 @@ class SimFaultEngine:
         t = self.sim.now
         self._count("fault_events_total@throttle")
         self._active_throttles.setdefault(ev.cpu, []).append(ev.factor)
+        self._span_open(
+            "throttle", (ev.cpu, ev.factor), t, cpu=ev.cpu, factor=ev.factor
+        )
         if self.dec.on:
             self.dec.emit(-1, t, "throttle_begin", cpu=ev.cpu, factor=ev.factor)
         self._recompute_mult(ev.cpu, t)
@@ -346,6 +379,7 @@ class SimFaultEngine:
         active = self._active_throttles.get(ev.cpu, [])
         if ev.factor in active:
             active.remove(ev.factor)
+        self._span_close("throttle", (ev.cpu, ev.factor), t)
         if self.dec.on:
             self.dec.emit(-1, t, "throttle_end", cpu=ev.cpu, factor=ev.factor)
         self._recompute_mult(ev.cpu, t)
@@ -380,7 +414,37 @@ class SimFaultEngine:
                     t_new, (lambda b: lambda: self._complete(b))(block),
                     tag=f"t{tid}",
                 )
+        dec_records = (
+            getattr(self._obs.decisions, "records", None)
+            if self._srec is not None
+            else None
+        )
+        mark = len(dec_records) if dec_records is not None else 0
         self.scheduler.on_rates_changed(t, dict(self._mult))
+        if dec_records is not None:
+            # Any SF resample the rate change just triggered is causally
+            # downstream of the fault window: materialize the edge.
+            src = next(
+                (
+                    s.span_id
+                    for s in reversed(self._srec.spans)
+                    if s.cat == "fault"
+                ),
+                None,
+            )
+            loop_path = self._srec.current_loop
+            if src is not None and loop_path is not None:
+                for rec in dec_records[mark:]:
+                    if rec.get("event") != "resample":
+                        continue
+                    tid = rec.get("tid", -1)
+                    dst = (
+                        f"{loop_path}/t{tid}" if tid is not None and tid >= 0
+                        else loop_path
+                    )
+                    self._srec.edge(
+                        src, dst, "fault_resample", float(rec.get("t", t))
+                    )
 
     def _live_workers_excluding(self, cpu: int) -> list[int]:
         return [
@@ -405,6 +469,7 @@ class SimFaultEngine:
                     self.dec.emit(tid, t, "offline_deferred", cpu=ev.cpu)
             return
         self._offline.add(ev.cpu)
+        self._span_open("offline", (ev.cpu,), t, cpu=ev.cpu)
         for tid in tids:
             block = self._inflight.get(tid)
             if block is not None:
@@ -424,6 +489,7 @@ class SimFaultEngine:
         if ev.cpu not in self._offline:
             return
         self._offline.discard(ev.cpu)
+        self._span_close("offline", (ev.cpu,), t)
         for tid in self._tids_on.get(ev.cpu, ()):
             if tid in self._retired or tid not in self._parked:
                 continue
@@ -453,6 +519,7 @@ class SimFaultEngine:
         t = self.sim.now
         self._count("fault_events_total@spike")
         self._active_spikes.append(ev.factor)
+        self._span_open("spike", (ev.factor,), t, factor=ev.factor)
         if self.dec.on:
             self.dec.emit(-1, t, "spike_begin", factor=ev.factor)
 
@@ -460,5 +527,6 @@ class SimFaultEngine:
         t = self.sim.now
         if ev.factor in self._active_spikes:
             self._active_spikes.remove(ev.factor)
+        self._span_close("spike", (ev.factor,), t)
         if self.dec.on:
             self.dec.emit(-1, t, "spike_end", factor=ev.factor)

@@ -124,6 +124,14 @@ def main(argv: list[str] | None = None) -> int:
         "job's digest, so different backends never share cache entries",
     )
     parser.add_argument(
+        "--trace-spans", default=None, metavar="CONTEXT", nargs="?",
+        const="fleet",
+        help="record causal span traces in every cell under this trace "
+        "context (default 'fleet' when the flag is given bare); the "
+        "merged obs snapshot then carries one span tree per cell and "
+        "'python -m repro.obs.report critpath' can explain the makespan",
+    )
+    parser.add_argument(
         "--summary-json", default=None, metavar="PATH",
         help="write the fleet counter summary as JSON",
     )
@@ -184,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
                 retries=args.retries,
                 progress=progress,
                 backend=backend,
+                trace_context=args.trace_spans,
             )
         except ReproError as exc:
             print(f"{name}: FAILED: {exc}", file=sys.stderr)

@@ -45,7 +45,9 @@ from repro.workloads.program import Program
 #: v2: results carry the per-job observability snapshot (``obs_json``).
 #: v3: the snapshot gained time-resolved instruments (timeseries and
 #: quantile digests), so cached v2 entries lack the new data.
-RESULT_SCHEMA = "repro.fleet.result/v3"
+#: v4: span-tracing jobs attach the causal span trace to the per-job
+#: snapshot (``JOB_SCHEMA`` v3), so cached v3 entries lack span trees.
+RESULT_SCHEMA = "repro.fleet.result/v4"
 
 #: Code-version salt mixed into every digest. Any release that changes
 #: simulated numbers bumps ``__version__`` and thereby every digest.
@@ -110,6 +112,15 @@ class JobSpec:
             not consult ``REPRO_BACKEND``), and the digest incorporates
             the backend identity, so results computed under different
             backends never collide in the cache.
+        trace_context: when set, the job runs with a causal span
+            recorder (:class:`repro.obs.spans.SpanRecorder`) under this
+            context label and the canonical span trace rides home inside
+            the result's observability snapshot. Part of the digest —
+            span-bearing results have a different shape than span-free
+            ones, so they must not collide in the cache — but the spans
+            themselves are deterministic, so jobs=1 / jobs=N / warm
+            cache replays carry byte-identical traces. ``None`` (the
+            default) records no spans and leaves results byte-unchanged.
         label: display label for reports and event logs. Excluded from
             the digest: renaming a grid column must stay a cache hit.
     """
@@ -123,6 +134,7 @@ class JobSpec:
     use_offline_sf: bool = False
     capture_sf_loop: str | None = None
     backend: str | None = None
+    trace_context: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -156,6 +168,7 @@ class JobSpec:
             "use_offline_sf": self.use_offline_sf,
             "capture_sf_loop": self.capture_sf_loop,
             "backend": self.backend,
+            "trace_context": self.trace_context,
         }
 
     def digest(self, salt: str | None = None) -> str:
@@ -194,7 +207,7 @@ class JobSpec:
         # Imported lazily: experiments.harness routes its grids through
         # the fleet, so a top-level import would be a cycle.
         from repro.experiments.harness import offline_sf_tables
-        from repro.obs import Observability
+        from repro.obs import Observability, SpanRecorder
         from repro.obs.merge import job_snapshot_json
         from repro.runtime.program_runner import ProgramRunner
 
@@ -209,7 +222,13 @@ class JobSpec:
         # instrumentation never perturbs simulated numbers, and the
         # compact snapshot rides home in the result (so cached replays
         # report the very same metrics as the run that produced them).
-        obs = Observability()
+        obs = Observability(
+            spans=(
+                SpanRecorder(context=self.trace_context)
+                if self.trace_context is not None
+                else None
+            )
+        )
         runner = ProgramRunner(
             self.platform,
             self.env,

@@ -57,6 +57,7 @@ from repro.obs.merge import (
 )
 from repro.obs.diff import DiffThresholds, SnapshotDiff, diff_snapshots
 from repro.obs.trajectory import TrajectoryStore
+from repro.obs.spans import CausalEdge, Span, SpanRecorder, span_violations
 
 
 class Observability:
@@ -65,19 +66,24 @@ class Observability:
     Attributes:
         registry: the metrics sink.
         decisions: the scheduler decision log.
+        spans: optional causal span recorder; ``None`` (the default)
+            disables span tracing, and every emission site gates on a
+            single ``is not None`` check.
         enabled: False only for the null bundle; hot paths check this
             before doing any metric computation.
     """
 
-    __slots__ = ("registry", "decisions", "enabled")
+    __slots__ = ("registry", "decisions", "spans", "enabled")
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         decisions: DecisionLog | None = None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.decisions = decisions if decisions is not None else DecisionLog()
+        self.spans = spans
         self.enabled = self.registry.enabled and self.decisions.enabled
 
     @classmethod
@@ -118,4 +124,8 @@ __all__ = [
     "SnapshotDiff",
     "diff_snapshots",
     "TrajectoryStore",
+    "Span",
+    "CausalEdge",
+    "SpanRecorder",
+    "span_violations",
 ]

@@ -44,6 +44,8 @@ def to_trace_events(
     decisions: Iterable[dict] = (),
     timeseries: Iterable = (),
     process_name: str = "repro",
+    spans: Iterable[dict] = (),
+    edges: Iterable[dict] = (),
 ) -> list[dict]:
     """Build the ``traceEvents`` list.
 
@@ -58,6 +60,15 @@ def to_trace_events(
             (the default) emits nothing: existing duration-event output
             is byte-identical.
         process_name: the pid's display name in the viewer.
+        spans: causal span dicts (a span doc's ``spans`` list, see
+            :meth:`repro.obs.spans.SpanRecorder.as_doc`); each becomes a
+            complete ("X") event on its thread's track under the
+            ``span:<cat>`` category. Empty (the default) emits nothing,
+            keeping pre-span exports byte-identical.
+        edges: causal edge dicts (the span doc's ``edges`` list); each
+            becomes a flow-event pair ("s" start at the victim/fault,
+            "f" finish at the thief/resampled loop), so Perfetto draws
+            steal and fault->resample arrows across tracks.
     """
     timeline = _timeline_of(trace)
     events: list[dict] = [
@@ -132,7 +143,62 @@ def to_trace_events(
                     "args": {"value": value},
                 }
             )
+    for s in spans:
+        args = {"id": s["id"]}
+        if s.get("attrs"):
+            args.update(s["attrs"])
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": max(0, int(s.get("tid", 0))),
+                "ts": s["t0"] * _US,
+                "dur": (s["t1"] - s["t0"]) * _US,
+                "name": s["name"],
+                "cat": f"span:{s['cat']}",
+                "args": args,
+            }
+        )
+    for i, e in enumerate(edges):
+        ts = e["t"] * _US
+        flow_id = i + 1  # flow ids must be nonzero
+        events.append(
+            {
+                "ph": "s",
+                "pid": _PID,
+                "tid": _edge_tid(e["src"]),
+                "ts": ts,
+                "id": flow_id,
+                "name": e["kind"],
+                "cat": "causal",
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": _PID,
+                "tid": _edge_tid(e["dst"]),
+                "ts": ts,
+                "id": flow_id,
+                "name": e["kind"],
+                "cat": "causal",
+            }
+        )
     return events
+
+
+def _edge_tid(endpoint: str) -> int:
+    """Thread track for a causal-edge endpoint.
+
+    Endpoints are span-id paths; per-thread ones embed ``/t<tid>``.
+    Loop- or fault-scoped endpoints (no thread segment) pin to track 0.
+    """
+    tid = 0
+    for part in endpoint.split("/"):
+        if part.startswith("t") and part[1:].isdigit():
+            tid = int(part[1:])
+    return tid
 
 
 def export_chrome_trace(
@@ -141,19 +207,23 @@ def export_chrome_trace(
     path: str | Path | None = None,
     process_name: str = "repro",
     timeseries: Iterable = (),
+    spans: Iterable[dict] = (),
+    edges: Iterable[dict] = (),
 ) -> str:
     """Serialize to a trace-event JSON document.
 
     Returns the JSON text; also writes it to ``path`` when given. The
     output is deterministic (sorted keys, no timestamps beyond the
-    trace's own), so identical runs export byte-identical files.
+    trace's own), so identical runs export byte-identical files — and
+    runs that recorded no spans/edges export byte-identical files to
+    pre-span versions.
     """
     doc = {
         "displayTimeUnit": "ms",
         "otherData": {"generator": "repro.obs.chrome_trace"},
         "traceEvents": to_trace_events(
             trace, decisions, timeseries=timeseries,
-            process_name=process_name,
+            process_name=process_name, spans=spans, edges=edges,
         ),
     }
     text = json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

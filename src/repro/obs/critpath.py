@@ -1,0 +1,333 @@
+"""Critical-path extraction over a causal span document.
+
+Because the span recorder tiles every thread's busy window exactly
+(wake → dispatch → compute → … → empty take → barrier idle, with each
+span starting where its predecessor ended — see :mod:`repro.obs.spans`),
+the longest causal chain ending at program/loop completion can be
+recovered by a backward walk: start at the tiling span with the latest
+end time and repeatedly step to a span whose end coincides with the
+current span's start. The resulting chain covers ``[t_start, t_end]``
+with no gaps on fault-free runs, so its per-category attribution sums
+to the makespan *exactly* (modulo float summation noise far below the
+1e-9 acceptance bound).
+
+On faulted runs a worker can be parked or a core taken offline, leaving
+real holes in the tiling; the walk accounts any unbridgeable gap as a
+synthetic ``stall`` step so the attribution still sums to the makespan
+and the lost window is visible in the report.
+
+Causal edges beyond the tiling: steal (victim→thief) and
+fault→resample edges are materialized in the document; fetch-and-add
+ordering edges — chunk *k+1* of the shared pool causally follows chunk
+*k* regardless of thread — are implied by the dispatch spans' pool
+order and can be derived with :func:`ordering_edges` when needed, which
+keeps span documents small.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.spans import Span, TILING_CATS, load_span_doc
+
+#: Schema of the critical-path JSON document.
+CRITPATH_SCHEMA = "repro.obs.critpath/v1"
+
+#: Attribution categories, in display order. ``gap`` time (holes in the
+#: tiling, e.g. a parked worker under fault injection) is reported as
+#: ``stall``.
+ATTRIBUTION_CATS = (
+    "compute-big", "compute-small", "dispatch", "sampling", "stall",
+    "idle", "serial",
+)
+
+
+def tiling_spans(spans: Sequence[Span]) -> list[Span]:
+    """The spans participating in the busy-time tiling (the only ones a
+    critical path may traverse)."""
+    return [s for s in spans if s.cat in TILING_CATS]
+
+
+def extract_critical_path(doc: Mapping) -> dict:
+    """Walk the longest causal chain ending at run completion.
+
+    Returns the critical-path document::
+
+        {"schema": ..., "t0": ..., "t1": ..., "makespan": ...,
+         "attribution": {category: seconds},
+         "steps": [{"id", "cat", "tid", "t0", "t1"}, ...]}
+
+    Deterministic by construction: ties at every choice point break on
+    (same tid, lowest tid, span id), all content-derived.
+    """
+    spans = tiling_spans(load_span_doc(doc))
+    if not spans:
+        return {
+            "schema": CRITPATH_SCHEMA,
+            "t0": 0.0,
+            "t1": 0.0,
+            "makespan": 0.0,
+            "attribution": {},
+            "steps": [],
+        }
+    eps = 1e-12
+    t_start = min(s.t0 for s in spans)
+    # Terminal: the latest-ending span; ties break toward the longest,
+    # then the lexicographically smallest id.
+    terminal = max(spans, key=lambda s: (s.t1, -s.t0, s.span_id))
+    # Index spans by end time for the backward walk. Times are exact
+    # simulator floats shared between adjacent spans, so bucketing by
+    # value (not epsilon range) is sufficient; the eps fallback below
+    # catches near-misses.
+    by_end: dict[float, list[Span]] = {}
+    for s in spans:
+        by_end.setdefault(s.t1, []).append(s)
+
+    def predecessor(cur: Span) -> Span | None:
+        cands = by_end.get(cur.t0)
+        if not cands:
+            cands = [
+                s for s in spans
+                if abs(s.t1 - cur.t0) <= eps and s is not cur
+            ]
+        cands = [s for s in cands if s is not cur]
+        if not cands:
+            return None
+        same = [s for s in cands if s.tid == cur.tid]
+        pool = same if same else cands
+        return min(pool, key=lambda s: (s.tid, s.t0, s.span_id))
+
+    chain: list[Span] = [terminal]
+    guard = len(spans) + 1
+    while len(chain) <= guard:
+        cur = chain[-1]
+        if cur.t0 <= t_start + eps:
+            break
+        prev = predecessor(cur)
+        if prev is None:
+            # Hole in the tiling (faulted run): bridge with a synthetic
+            # stall step back to the latest span ending at or before the
+            # hole, so attribution still telescopes to the makespan.
+            before = [s for s in spans if s.t1 <= cur.t0 + eps]
+            if not before:
+                break
+            prev = max(before, key=lambda s: (s.t1, -s.t0, s.span_id))
+            if prev.t1 < cur.t0 - eps:
+                chain.append(
+                    Span(
+                        f"gap@{cur.t0!r}", None, "gap", "stall",
+                        prev.t1, cur.t0, cur.tid,
+                    )
+                )
+        chain.append(prev)
+    chain.reverse()
+    attribution: dict[str, float] = {}
+    steps = []
+    for s in chain:
+        attribution[s.cat] = attribution.get(s.cat, 0.0) + (s.t1 - s.t0)
+        steps.append(
+            {"id": s.span_id, "cat": s.cat, "tid": s.tid,
+             "t0": s.t0, "t1": s.t1}
+        )
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "t0": chain[0].t0 if chain else 0.0,
+        "t1": terminal.t1,
+        "makespan": terminal.t1 - (chain[0].t0 if chain else 0.0),
+        "attribution": {k: attribution[k] for k in sorted(attribution)},
+        "steps": steps,
+    }
+
+
+def span_category_totals(doc: Mapping) -> dict[str, dict[str, float]]:
+    """Full-tree per-loop, per-category span seconds.
+
+    Keyed by loop *name* (summed over invocations); the per-loop totals
+    are what :func:`reconcile` holds against the runtime's
+    ``sim_time_seconds_total`` counters.
+    """
+    spans = load_span_doc(doc)
+    by_id = {s.span_id: s for s in spans}
+    totals: dict[str, dict[str, float]] = {}
+    for s in spans:
+        if s.cat not in TILING_CATS:
+            continue
+        # Find the enclosing loop span by walking the parent chain.
+        cur = s
+        loop_name = None
+        while cur is not None:
+            if cur.cat == "loop":
+                loop_name = cur.name
+                break
+            cur = by_id.get(cur.parent) if cur.parent else None
+        if loop_name is None:
+            # Barrier spans parent to the program (their interval extends
+            # past the loop span) but their id still embeds the loop path:
+            # fall back to the longest loop-span id prefix.
+            best = None
+            for sid, cand in by_id.items():
+                if cand.cat == "loop" and s.span_id.startswith(sid + "/"):
+                    if best is None or len(sid) > len(best.span_id):
+                        best = cand
+            if best is not None:
+                loop_name = best.name
+        if loop_name is None:
+            loop_name = ""  # serial spans and program-level idle
+        slot = totals.setdefault(loop_name, {})
+        slot[s.cat] = slot.get(s.cat, 0.0) + (s.t1 - s.t0)
+    return totals
+
+
+def reconcile(
+    doc: Mapping,
+    snapshot: Mapping,
+    rel: float = 1e-9,
+    abs_tol: float = 1e-12,
+) -> list[str]:
+    """Cross-check span totals against ``sim_time_seconds_total``.
+
+    Per loop: compute-big + compute-small span seconds must equal the
+    counters' ``compute`` total; dispatch + sampling must equal
+    ``overhead`` + ``stall`` (fault stalls are folded into dispatch
+    windows at the span level); barrier/idle spans must equal ``idle``.
+    Returns human-readable violations (empty == reconciled).
+    """
+    metrics = snapshot.get("metrics", snapshot) or {}
+    sim: dict[str, dict[str, float]] = {}
+    for m in metrics.get("counters", []):
+        if m.get("name") != "sim_time_seconds_total":
+            continue
+        labels = m.get("labels", {})
+        slot = sim.setdefault(str(labels.get("loop", "?")), {})
+        cat = str(labels.get("category", "?"))
+        slot[cat] = slot.get(cat, 0.0) + float(m.get("value", 0.0))
+    spans = span_category_totals(doc)
+    out: list[str] = []
+
+    def close(a: float, b: float) -> bool:
+        return abs(a - b) <= max(abs_tol, rel * max(abs(a), abs(b)))
+
+    for loop, counters in sorted(sim.items()):
+        st = spans.get(loop, {})
+        pairs = (
+            (
+                "compute",
+                counters.get("compute", 0.0),
+                st.get("compute-big", 0.0) + st.get("compute-small", 0.0),
+            ),
+            (
+                "overhead+stall",
+                counters.get("overhead", 0.0) + counters.get("stall", 0.0),
+                st.get("dispatch", 0.0) + st.get("sampling", 0.0)
+                + st.get("stall", 0.0),
+            ),
+            ("idle", counters.get("idle", 0.0), st.get("idle", 0.0)),
+        )
+        for label, want, got in pairs:
+            if not close(want, got):
+                out.append(
+                    f"critpath: loop {loop!r} {label}: span seconds "
+                    f"{got!r} != sim_time {want!r}"
+                )
+    return out
+
+
+def critpath_violations(doc: Mapping, eps: float = 1e-9) -> list[str]:
+    """Critical-path invariants over one span document.
+
+    * the path's attribution sums to its makespan (within ``eps``);
+    * the path never exceeds the overall span envelope (critical path
+      ≤ makespan);
+    * on the degenerate serial case (all tiling spans on one tid) the
+      path covers every tiling span exactly, so path == makespan.
+    """
+    cp = extract_critical_path(doc)
+    out: list[str] = []
+    total = sum(cp["attribution"].values())
+    scale = max(1.0, abs(cp["makespan"]))
+    if abs(total - cp["makespan"]) > eps * scale:
+        out.append(
+            f"critpath: attribution sum {total!r} != makespan "
+            f"{cp['makespan']!r}"
+        )
+    spans = tiling_spans(load_span_doc(doc))
+    if spans:
+        env0 = min(s.t0 for s in spans)
+        env1 = max(s.t1 for s in spans)
+        if cp["makespan"] > (env1 - env0) + eps * scale:
+            out.append(
+                f"critpath: path {cp['makespan']!r} exceeds span envelope "
+                f"{(env1 - env0)!r}"
+            )
+        tids = {s.tid for s in spans}
+        if len(tids) == 1:
+            covered = sum(s.t1 - s.t0 for s in spans)
+            if abs(total - covered) > eps * scale:
+                out.append(
+                    "critpath: serial case path does not cover all spans "
+                    f"({total!r} != {covered!r})"
+                )
+    return out
+
+
+def ordering_edges(doc: Mapping) -> list[dict]:
+    """Derive fetch-and-add ordering edges from dispatch spans.
+
+    The shared work-share pool hands out chunks in fetch-and-add order:
+    within one loop, the dispatch that obtained ``[lo_k, hi_k)`` causally
+    precedes the dispatch that obtained ``[lo_{k+1}, hi_{k+1})`` with
+    ``lo_{k+1} >= hi_k``. These edges are implied by the chunk spans'
+    ``lo`` attributes and dispatch times, so the recorder does not
+    materialize them; this helper reconstructs them for analyses that
+    want the full causal graph.
+    """
+    spans = load_span_doc(doc)
+    by_loop: dict[str, list[Span]] = {}
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.name != "dispatch" or "lo" not in s.attrs:
+            continue
+        cur = s
+        loop_id = None
+        while cur is not None:
+            if cur.cat == "loop":
+                loop_id = cur.span_id
+                break
+            cur = by_id.get(cur.parent) if cur.parent else None
+        if loop_id is not None:
+            by_loop.setdefault(loop_id, []).append(s)
+    edges = []
+    for loop_id in sorted(by_loop):
+        seq = sorted(
+            by_loop[loop_id],
+            key=lambda s: (int(s.attrs["lo"]), s.t0, s.span_id),
+        )
+        for a, b in zip(seq, seq[1:]):
+            if int(b.attrs["lo"]) >= int(a.attrs["hi"]):
+                edges.append(
+                    {"src": a.span_id, "dst": b.span_id,
+                     "kind": "pool_order", "t": b.t0}
+                )
+    return edges
+
+
+def format_critpath(cp: Mapping, width: int = 60) -> str:
+    """Human-readable critical-path report."""
+    lines = [
+        f"critical path: {cp['makespan']:.6f}s "
+        f"over {len(cp['steps'])} steps "
+        f"[{cp['t0']:.6f}, {cp['t1']:.6f}]",
+        "",
+        f"{'category':<16s}{'seconds':>14s}{'share':>9s}",
+    ]
+    makespan = cp["makespan"] or 1.0
+    attribution = cp.get("attribution", {})
+    for cat in ATTRIBUTION_CATS:
+        if cat not in attribution:
+            continue
+        sec = attribution[cat]
+        lines.append(f"{cat:<16s}{sec:>14.6f}{sec / makespan:>8.1%}")
+    for cat in sorted(set(attribution) - set(ATTRIBUTION_CATS)):
+        sec = attribution[cat]
+        lines.append(f"{cat:<16s}{sec:>14.6f}{sec / makespan:>8.1%}")
+    return "\n".join(lines)

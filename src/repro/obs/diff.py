@@ -26,7 +26,14 @@ classifies every difference:
 * **decision summaries** — per-scheduler event counts
   (:func:`~repro.obs.merge.summarize_decisions`); any divergence is a
   regression under ``strict_decisions`` (the default), a mere change
-  otherwise.
+  otherwise;
+* **critical paths** — when both snapshots carry span traces, each
+  trace's critical path (:func:`repro.obs.critpath.extract_critical_path`)
+  is compared per category: makespan or per-category attribution growth
+  beyond ``critpath_rel`` (relative to the baseline makespan) is a
+  ``critical-path`` regression — a run can keep its totals while the
+  *blocking* chain shifts from compute to stall, and only the critical
+  path sees that.
 
 ``python -m repro.obs.report diff A.json B.json [--fail-on-regression]``
 is the CLI face; CI gates warm-cache reruns on it.
@@ -72,6 +79,10 @@ class DiffThresholds:
         tail_rel: max relative *growth* of a digest's p99/p999 before
             the difference is classified as a ``tail-latency``
             regression (shrinking tails are improvements).
+        critpath_rel: max growth of a critical path's makespan or of
+            one category's attribution, relative to the baseline
+            makespan, before the difference is a ``critical-path``
+            regression (shrinking is an improvement).
         strict_decisions: treat decision-summary divergence as a
             regression (True) or a plain change (False).
     """
@@ -80,6 +91,7 @@ class DiffThresholds:
     cost_rel: float = 0.10
     hist_dist: float = 0.05
     tail_rel: float = 0.10
+    critpath_rel: float = 0.05
     strict_decisions: bool = True
 
 
@@ -282,6 +294,88 @@ def _diff_scalar(
     )
 
 
+def _span_doc_index(snapshot: Mapping) -> dict[tuple, Mapping]:
+    """Span traces carried by a snapshot, keyed by their job labels.
+
+    A merged fleet snapshot holds a list of ``{"labels", "doc"}``
+    entries (one per traced job); a single-run snapshot holds one bare
+    span document, keyed by the empty label tuple. Snapshots without
+    spans index as empty.
+    """
+    spans = snapshot.get("spans")
+    if spans is None:
+        return {}
+    if isinstance(spans, Mapping):
+        return {(): spans}
+    out: dict[tuple, Mapping] = {}
+    for entry in spans:
+        labels = tuple(
+            sorted(
+                (str(k), str(v))
+                for k, v in (entry.get("labels") or {}).items()
+            )
+        )
+        out[labels] = entry.get("doc") or {}
+    return out
+
+
+def _diff_critical_paths(
+    diff: SnapshotDiff, a: Mapping, b: Mapping, thresholds: DiffThresholds
+) -> None:
+    """The ``critical-path`` regression class.
+
+    Only active when both snapshots carry span traces — span-free
+    snapshots diff exactly as before.
+    """
+    idx_a = _span_doc_index(a)
+    idx_b = _span_doc_index(b)
+    if not idx_a or not idx_b:
+        return
+    from repro.obs.critpath import extract_critical_path
+
+    for key in sorted(set(idx_a) | set(idx_b)):
+        diff.compared += 1
+        if key not in idx_a or key not in idx_b:
+            diff.entries.append(
+                DiffEntry(
+                    "critical-path", "makespan", key, None, None,
+                    "regression", "trace present in only one snapshot",
+                )
+            )
+            continue
+        cp_a = extract_critical_path(idx_a[key])
+        cp_b = extract_critical_path(idx_b[key])
+        scale = max(cp_a["makespan"], 1e-12)
+        rows = [("makespan", cp_a["makespan"], cp_b["makespan"])]
+        attr_a, attr_b = cp_a["attribution"], cp_b["attribution"]
+        rows += [
+            (cat, attr_a.get(cat, 0.0), attr_b.get(cat, 0.0))
+            for cat in sorted(set(attr_a) | set(attr_b))
+        ]
+        clean = True
+        for name, before, after in rows:
+            if before == after:
+                continue
+            clean = False
+            growth = (after - before) / scale
+            if growth > thresholds.critpath_rel:
+                severity, detail = "regression", (
+                    f"grew {100 * growth:.1f}% of baseline makespan"
+                )
+            elif after < before:
+                severity, detail = "info", "critical path shrank"
+            else:
+                severity, detail = "change", "within tolerance"
+            diff.entries.append(
+                DiffEntry(
+                    "critical-path", name, key, before, after, severity,
+                    detail,
+                )
+            )
+        if clean:
+            diff.identical += 1
+
+
 def diff_snapshots(
     a: Mapping, b: Mapping, thresholds: DiffThresholds | None = None
 ) -> SnapshotDiff:
@@ -432,6 +526,8 @@ def diff_snapshots(
                 "tails within tolerance",
             )
         )
+
+    _diff_critical_paths(diff, a, b, thresholds)
 
     dec_a = _decision_summary_of(a)
     dec_b = _decision_summary_of(b)

@@ -1,0 +1,218 @@
+"""The makespan "explain" engine: diff two runs' critical paths.
+
+Given two span-bearing snapshots A (baseline) and B (candidate), the
+explainer extracts both critical paths and answers *where the makespan
+went*: a ranked report of per-category attribution deltas ("sampling
+phase +0.42s", "endgame idle −0.31s") plus fault-window contributors —
+how much of B's critical path runs inside each fault span's window,
+minus A's time in the same window. On the PR 5 throttle A/B pair this
+is what names the throttle window as the top makespan contributor.
+
+Snapshots may be single-run span documents or fleet-merged snapshots
+(whose ``spans`` section carries one labelled document per job); merged
+inputs are explained per matching job label, or collapsed onto one
+labelled pair with ``--job``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ObsError
+from repro.obs.critpath import extract_critical_path
+from repro.obs.spans import load_span_doc
+
+#: Schema of the explain JSON document.
+EXPLAIN_SCHEMA = "repro.obs.explain/v1"
+
+
+def _span_docs(snapshot: Mapping) -> list[tuple[str, Mapping]]:
+    """Every span document in a snapshot, as (label, doc) pairs.
+
+    Accepts a bare span document, a single-run snapshot with a
+    ``spans`` document, or a fleet-merged snapshot whose ``spans`` is a
+    list of ``{"labels": ..., "doc": ...}`` entries.
+    """
+    if "spans" in snapshot:
+        section = snapshot["spans"]
+        if isinstance(section, list):
+            out = []
+            for entry in section:
+                labels = entry.get("labels", {})
+                label = "/".join(
+                    str(labels[k]) for k in sorted(labels)
+                ) or "job"
+                out.append((label, entry.get("doc", {})))
+            return out
+        if isinstance(section, Mapping):
+            return [("run", section)]
+    if "schema" in snapshot and str(snapshot["schema"]).startswith(
+        "repro.obs.spans/"
+    ):
+        return [("run", snapshot)]
+    return []
+
+
+def _fault_windows(doc: Mapping) -> list[dict]:
+    return [
+        {"id": s.span_id, "name": s.name, "t0": s.t0, "t1": s.t1,
+         "attrs": s.attrs}
+        for s in load_span_doc(doc)
+        if s.cat == "fault"
+    ]
+
+
+def _path_overlap(cp: Mapping, t0: float, t1: float) -> float:
+    """Seconds of a critical path spent inside the window [t0, t1]."""
+    total = 0.0
+    for step in cp.get("steps", []):
+        lo = max(float(step["t0"]), t0)
+        hi = min(float(step["t1"]), t1)
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def explain_pair(doc_a: Mapping, doc_b: Mapping) -> dict:
+    """Explain one baseline/candidate span-document pair."""
+    cp_a = extract_critical_path(doc_a)
+    cp_b = extract_critical_path(doc_b)
+    att_a = cp_a["attribution"]
+    att_b = cp_b["attribution"]
+    contributors = []
+    for cat in sorted(set(att_a) | set(att_b)):
+        delta = att_b.get(cat, 0.0) - att_a.get(cat, 0.0)
+        if delta == 0.0:
+            continue
+        contributors.append(
+            {
+                "kind": "category",
+                "name": cat,
+                "before": att_a.get(cat, 0.0),
+                "after": att_b.get(cat, 0.0),
+                "delta": delta,
+            }
+        )
+    # Fault-window contributors: critical-path seconds inside each fault
+    # window of either run, candidate minus baseline. A throttle window
+    # that stretched the path dominates this list.
+    windows = {
+        (w["name"], w["t0"], w["t1"]): w
+        for w in _fault_windows(doc_a) + _fault_windows(doc_b)
+    }
+    for key in sorted(windows):
+        w = windows[key]
+        before = _path_overlap(cp_a, w["t0"], w["t1"])
+        after = _path_overlap(cp_b, w["t0"], w["t1"])
+        delta = after - before
+        if delta == 0.0:
+            continue
+        contributors.append(
+            {
+                "kind": "fault-window",
+                "name": f"{w['name']} [{w['t0']:.6g}, {w['t1']:.6g})",
+                "before": before,
+                "after": after,
+                "delta": delta,
+            }
+        )
+    # Ranking: an injected-fault window that accounts for a substantial
+    # share of the makespan change is the *cause* and outranks the
+    # category shifts it produced — category deltas are symptoms, and
+    # offsetting swings (work migrating from small to big cores under a
+    # throttle) can individually exceed the net change they explain.
+    # Within each tier, largest |delta| first.
+    m_delta = abs(cp_b["makespan"] - cp_a["makespan"])
+
+    def _rank(c: Mapping) -> tuple:
+        primary = (
+            c["kind"] == "fault-window"
+            and abs(c["delta"]) >= 0.25 * m_delta > 0.0
+        )
+        return (0 if primary else 1, -abs(c["delta"]), c["kind"], c["name"])
+
+    contributors.sort(key=_rank)
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "makespan_before": cp_a["makespan"],
+        "makespan_after": cp_b["makespan"],
+        "makespan_delta": cp_b["makespan"] - cp_a["makespan"],
+        "contributors": contributors,
+    }
+
+
+def explain(snapshot_a: Mapping, snapshot_b: Mapping,
+            job: str | None = None) -> dict:
+    """Explain two snapshots (single-run or fleet-merged).
+
+    With merged inputs, pairs span documents by job label and explains
+    each matching pair; ``job`` restricts to one label (substring
+    match). Returns an aggregate document with per-pair reports.
+    """
+    docs_a = dict(_span_docs(snapshot_a))
+    docs_b = dict(_span_docs(snapshot_b))
+    if not docs_a or not docs_b:
+        raise ObsError(
+            "explain needs span-bearing snapshots on both sides "
+            "(record with trace spans enabled)"
+        )
+    labels = sorted(set(docs_a) & set(docs_b))
+    if job is not None:
+        labels = [lab for lab in labels if job in lab]
+    if not labels:
+        # Disjoint labels (e.g. an unthrottled vs a throttled run with
+        # different config labels): fall back to the positional pairing
+        # of the first document on each side.
+        lab_a = sorted(docs_a)[0]
+        lab_b = sorted(docs_b)[0]
+        report = explain_pair(docs_a[lab_a], docs_b[lab_b])
+        report["pair"] = [lab_a, lab_b]
+        return {
+            "schema": EXPLAIN_SCHEMA,
+            "pairs": [report],
+        }
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "pairs": [
+            {**explain_pair(docs_a[lab], docs_b[lab]), "pair": [lab, lab]}
+            for lab in labels
+        ],
+    }
+
+
+def format_explain(report: Mapping, top: int = 12) -> str:
+    """Render an explain document as the ranked 'where the makespan
+    went' report."""
+    pairs = report.get("pairs")
+    if pairs is None:
+        pairs = [report]
+    lines: list[str] = []
+    for pair in pairs:
+        tag = pair.get("pair")
+        if tag and tag[0] != tag[1]:
+            lines.append(f"== {tag[0]} -> {tag[1]} ==")
+        elif tag:
+            lines.append(f"== {tag[0]} ==")
+        before = pair["makespan_before"]
+        after = pair["makespan_after"]
+        delta = pair["makespan_delta"]
+        sign = "+" if delta >= 0 else ""
+        lines.append(
+            f"makespan: {before:.6f}s -> {after:.6f}s "
+            f"({sign}{delta:.6f}s)"
+        )
+        contributors = pair.get("contributors", [])[:top]
+        if not contributors:
+            lines.append("  (no attribution changes)")
+            continue
+        lines.append(
+            f"  {'contributor':<44s}{'before':>12s}{'after':>12s}"
+            f"{'delta':>12s}"
+        )
+        for c in contributors:
+            label = f"[{c['kind']}] {c['name']}"
+            lines.append(
+                f"  {label:<44s}{c['before']:>12.6f}{c['after']:>12.6f}"
+                f"{c['delta']:>+12.6f}"
+            )
+    return "\n".join(lines)

@@ -37,7 +37,9 @@ from repro.obs.timeseries import QuantileDigest, TimeSeries
 
 #: Per-job snapshot document identifier. v2 added the time-resolved
 #: instruments (``timeseries`` + ``digests``) to the metrics dump.
-JOB_SCHEMA = "repro.obs.job-snapshot/v2"
+#: v3 lets span-tracing jobs attach their canonical causal span trace
+#: under an optional ``spans`` key (absent, not empty, when untraced).
+JOB_SCHEMA = "repro.obs.job-snapshot/v3"
 
 #: Metrics measured in host wall-clock time: meaningful per run, never
 #: comparable across hosts, cache states or worker counts.
@@ -126,12 +128,22 @@ def summarize_decisions(records: Iterable[Mapping]) -> dict:
 
 
 def job_snapshot(obs) -> dict:
-    """The per-job observability document for one finished run."""
-    return {
+    """The per-job observability document for one finished run.
+
+    Span-tracing bundles attach their canonical span-trace document
+    under ``spans``; untraced jobs omit the key entirely, so their
+    documents are byte-identical to pre-tracing ones modulo the schema
+    marker.
+    """
+    doc = {
         "schema": JOB_SCHEMA,
         "metrics": obs.registry.snapshot(),
         "decisions": summarize_decisions(obs.decisions.records),
     }
+    spans = getattr(obs, "spans", None)
+    if spans is not None:
+        doc["spans"] = spans.as_doc()
+    return doc
 
 
 def job_snapshot_json(obs) -> str:
@@ -228,10 +240,18 @@ class MergedSnapshot:
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.decisions: dict = {"total": 0, "schedulers": {}, "loops": {}}
+        self.spans: list[dict] = []
         self.jobs = 0
 
     def add_job(self, snapshot: Mapping, **labels: object) -> None:
-        """Merge one per-job document (see :func:`job_snapshot`)."""
+        """Merge one per-job document (see :func:`job_snapshot`).
+
+        Span traces are not summed like metrics: each job's tree is kept
+        whole, tagged with the job's merge labels. Merging in submission
+        order keeps the folded list deterministic, so span-bearing
+        merged snapshots obey the same jobs=1 == jobs=N byte-equality
+        contract as the metrics they ride with.
+        """
         if snapshot.get("schema") != JOB_SCHEMA:
             raise ObsError(
                 f"not a {JOB_SCHEMA} document "
@@ -241,6 +261,14 @@ class MergedSnapshot:
             self.registry, snapshot.get("metrics", {}), labels
         )
         merge_decision_summaries(self.decisions, snapshot.get("decisions", {}))
+        spans = snapshot.get("spans")
+        if spans is not None:
+            self.spans.append(
+                {
+                    "labels": {str(k): labels[k] for k in sorted(labels)},
+                    "doc": spans,
+                }
+            )
         self.jobs += 1
 
     def decision_summary(self) -> dict:
@@ -264,9 +292,11 @@ class MergedSnapshot:
 
         Raw decision records never cross the process boundary, so
         ``decisions`` is empty and the merged digest travels in
-        ``decision_summary`` instead.
+        ``decision_summary`` instead. Span traces (present only when the
+        jobs ran with tracing on) travel whole under ``spans``, one
+        labeled tree per traced job in submission order.
         """
-        return {
+        doc = {
             "schema": SNAPSHOT_SCHEMA,
             "meta": dict(meta) if meta else {},
             "metrics": self.registry.snapshot(),
@@ -274,6 +304,9 @@ class MergedSnapshot:
             "decision_summary": self.decision_summary(),
             "merged_jobs": self.jobs,
         }
+        if self.spans:
+            doc["spans"] = list(self.spans)
+        return doc
 
 
 def merge(

@@ -8,6 +8,8 @@ Usage::
     python -m repro.obs.report timeline SNAPSHOT.json [--loop L] [--metric M]
     python -m repro.obs.report profile [--platform P] [--backend B]
                                        [--top N] [--json PATH]
+    python -m repro.obs.report critpath SNAPSHOT.json [--job S] [--json PATH]
+    python -m repro.obs.report explain A.json B.json [--job S] [--top N]
 
 The default mode prints, per loop: dispatch counts, scheduler calls,
 runtime-overhead percentage, compute-time imbalance across threads, and
@@ -24,10 +26,18 @@ thresholds — the CI gate for warm-cache reruns. ``trajectory`` renders
 the run-over-run history kept by :mod:`repro.obs.trajectory` as
 sparkline trend tables. ``timeline`` renders the snapshot's windowed
 timeseries as sparkline lanes over sim time plus a tail table
-(p50/p99/p999) of its quantile digests. ``profile`` runs an experiment
+(p50/p99/p999) of its quantile digests — and, when the snapshot carries
+span traces, a critical-path lane showing which category blocked the
+makespan at every point of sim time. ``profile`` runs an experiment
 grid under the hot-path profiler and prints the ranked wall-clock
 hotspots alongside the deterministic sim-time cost attribution — the
 ROADMAP-item-1 baseline CI keeps as an artifact.
+
+``critpath`` extracts each span trace's critical path
+(:mod:`repro.obs.critpath`) and prints the per-category "where the
+makespan went" attribution; ``explain`` diffs two runs' critical paths
+(:mod:`repro.obs.explain`) into a ranked report of makespan
+contributors — categories and fault windows.
 """
 
 from __future__ import annotations
@@ -298,6 +308,87 @@ def _resample(values: list[float], width: int) -> list[float]:
     return out
 
 
+#: Critical-path lane glyph per step category (timeline rendering).
+_CRITPATH_GLYPHS = {
+    "compute-big": "#",
+    "compute-small": "=",
+    "dispatch": "d",
+    "sampling": "s",
+    "serial": "S",
+    "stall": "x",
+    "idle": ".",
+}
+
+
+def critpath_lane(cp: Mapping, width: int = 48) -> str:
+    """One ASCII lane: the critical path's blocking category over time.
+
+    Each column covers ``makespan / width`` of sim time and shows the
+    glyph of the step category blocking the makespan at the column's
+    midpoint (``#`` compute-big, ``=`` compute-small, ``d`` dispatch,
+    ``s`` sampling, ``S`` serial, ``x`` stall, ``.`` idle).
+    """
+    steps = cp.get("steps") or []
+    t0, t1 = float(cp.get("t0", 0.0)), float(cp.get("t1", 0.0))
+    if not steps or t1 <= t0:
+        return " " * width
+    cols = []
+    for j in range(width):
+        mid = t0 + (j + 0.5) * (t1 - t0) / width
+        glyph = " "
+        for step in steps:
+            if step["t0"] <= mid < step["t1"]:
+                glyph = _CRITPATH_GLYPHS.get(step["cat"], "?")
+                break
+        cols.append(glyph)
+    return "".join(cols)
+
+
+def _span_traces(snapshot: Mapping) -> list[tuple[str, Mapping]]:
+    """(label, span doc) pairs carried by a snapshot (possibly empty).
+
+    Accepts single-run snapshots (one bare span doc), fleet-merged
+    snapshots (a list of labeled docs) and bare span docs themselves.
+    """
+    from repro.obs.spans import SPANS_SCHEMA
+
+    if snapshot.get("schema") == SPANS_SCHEMA:
+        return [("", snapshot)]
+    spans = snapshot.get("spans")
+    if spans is None:
+        return []
+    if isinstance(spans, Mapping):
+        return [("", spans)]
+    out = []
+    for entry in spans:
+        labels = entry.get("labels") or {}
+        label = "/".join(str(labels[k]) for k in sorted(labels))
+        out.append((label, entry.get("doc") or {}))
+    return out
+
+
+def _critpath_section(snapshot: Mapping, width: int) -> list[str]:
+    """Critical-path lanes for the timeline view (empty without spans)."""
+    from repro.obs.critpath import extract_critical_path
+
+    traces = _span_traces(snapshot)
+    if not traces:
+        return []
+    legend = "  ".join(
+        f"{glyph}={cat}" for cat, glyph in _CRITPATH_GLYPHS.items()
+    )
+    lines = [f"critical path (blocking category over sim time; {legend})"]
+    for label, doc in traces:
+        cp = extract_critical_path(doc)
+        name = label or "run"
+        lines.append(f"  {name}")
+        lines.append(
+            f"    |{critpath_lane(cp, width=width)}|"
+            f"  makespan={cp['makespan']:.6f}s"
+        )
+    return lines
+
+
 def timeline(
     snapshot: Mapping,
     loop: str | None = None,
@@ -355,6 +446,11 @@ def timeline(
                 f"{digest_quantile(doc, 0.999):>12.3g}"
                 f"{float(doc.get('max', 0.0)):>12.3g}"
             )
+    critpath_lines = _critpath_section(snapshot, width)
+    if critpath_lines:
+        if lines:
+            lines.append("")
+        lines.extend(critpath_lines)
     if not lines:
         lines.append(
             "no timeseries or digests in this snapshot (schema "
@@ -499,6 +595,11 @@ def _diff_main(argv: list[str]) -> int:
         "regression is flagged (default %(default)s)",
     )
     parser.add_argument(
+        "--critpath-tol", type=float, default=DiffThresholds.critpath_rel,
+        help="critical-path makespan/attribution growth tolerance, "
+        "relative to the baseline makespan (default %(default)s)",
+    )
+    parser.add_argument(
         "--lax-decisions", action="store_true",
         help="treat decision-summary divergence as a change, not a regression",
     )
@@ -521,6 +622,7 @@ def _diff_main(argv: list[str]) -> int:
             cost_rel=args.cost_tol,
             hist_dist=args.hist_tol,
             tail_rel=args.tail_tol,
+            critpath_rel=args.critpath_tol,
             strict_decisions=not args.lax_decisions,
         ),
     )
@@ -535,6 +637,114 @@ def _diff_main(argv: list[str]) -> int:
         )
     if args.fail_on_regression and diff.regressions:
         return 1
+    return 0
+
+
+def _critpath_main(argv: list[str]) -> int:
+    from repro.obs.critpath import (
+        CRITPATH_SCHEMA,
+        extract_critical_path,
+        format_critpath,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report critpath",
+        description="Extract and print the critical path of every span "
+        "trace a snapshot carries: the longest causal chain ending at "
+        "completion, attributed per category.",
+    )
+    parser.add_argument("snapshot", help="snapshot JSON (with span traces)")
+    parser.add_argument(
+        "--job", default=None, metavar="SUBSTR",
+        help="restrict to traces whose job label contains this substring",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the critical paths as a JSON document",
+    )
+    args = parser.parse_args(argv)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    traces = _span_traces(snapshot)
+    if args.job is not None:
+        traces = [(label, doc) for label, doc in traces if args.job in label]
+    if not traces:
+        print(
+            "no span traces in this snapshot (run with tracing on, e.g. "
+            "python -m repro.fleet ... --trace-spans)",
+            file=sys.stderr,
+        )
+        return 2
+    paths = []
+    try:
+        for i, (label, doc) in enumerate(traces):
+            cp = extract_critical_path(doc)
+            paths.append({"label": label, "critpath": cp})
+            if i:
+                print()
+            if label:
+                print(f"== {label} ==")
+            print(format_critpath(cp))
+    except BrokenPipeError:
+        pass
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {"schema": CRITPATH_SCHEMA, "paths": paths},
+                sort_keys=True, indent=2,
+            ) + "\n",
+            encoding="utf-8",
+        )
+    return 0
+
+
+def _explain_main(argv: list[str]) -> int:
+    from repro.obs.explain import EXPLAIN_SCHEMA, explain, format_explain
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report explain",
+        description="Diff two runs' critical paths into a ranked "
+        "'where the makespan went' report.",
+    )
+    parser.add_argument("baseline", help="baseline snapshot JSON (with spans)")
+    parser.add_argument("candidate", help="candidate snapshot JSON (with spans)")
+    parser.add_argument(
+        "--job", default=None, metavar="SUBSTR",
+        help="restrict to job labels containing this substring",
+    )
+    parser.add_argument(
+        "--top", type=int, default=12,
+        help="contributors shown per pair (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the structured report as JSON",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_snapshot(args.baseline)
+        candidate = load_snapshot(args.candidate)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = explain(baseline, candidate, job=args.job)
+    except (ObsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_explain(report, top=args.top))
+    except BrokenPipeError:
+        pass
+    if args.json:
+        assert report.get("schema") == EXPLAIN_SCHEMA
+        Path(args.json).write_text(
+            json.dumps(report, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
     return 0
 
 
@@ -578,10 +788,15 @@ def main(argv: list[str] | None = None) -> int:
         return _timeline_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "critpath":
+        return _critpath_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Summarize a repro.obs metrics snapshot "
-        "(subcommands: diff, trajectory, timeline, profile).",
+        "(subcommands: diff, trajectory, timeline, profile, critpath, "
+        "explain).",
     )
     parser.add_argument("snapshot", help="path to a snapshot JSON file")
     parser.add_argument(

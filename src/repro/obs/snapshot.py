@@ -24,13 +24,22 @@ SCHEMA = "repro.obs.snapshot/v1"
 
 def build_snapshot(obs, meta: Mapping[str, object] | None = None) -> dict:
     """Assemble the snapshot document for an
-    :class:`~repro.obs.Observability` bundle."""
-    return {
+    :class:`~repro.obs.Observability` bundle.
+
+    When the bundle carries a span recorder, the canonical span-trace
+    document rides along under ``spans``; runs without tracing emit a
+    byte-identical snapshot to what they produced before spans existed.
+    """
+    doc = {
         "schema": SCHEMA,
         "meta": dict(meta) if meta else {},
         "metrics": obs.registry.snapshot(),
         "decisions": list(obs.decisions.records),
     }
+    spans = getattr(obs, "spans", None)
+    if spans is not None:
+        doc["spans"] = spans.as_doc()
+    return doc
 
 
 def to_json(snapshot: Mapping[str, object]) -> str:

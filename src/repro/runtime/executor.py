@@ -188,6 +188,16 @@ class LoopExecutor:
             scheduler_calls=0,
             ranges=ranges,
         )
+        srec = getattr(self.obs, "spans", None)
+        if srec is not None:
+            fastest = self.team.n_types - 1
+            srec.record_inline_loop(
+                srec.begin_loop(loop.name),
+                start_time,
+                finish,
+                [self.team.type_index_of(t) == fastest for t in range(nt)],
+                loop.name,
+            )
         if self.obs.enabled:
             reg = self.obs.registry
             reg.counter("loop_invocations_total", loop=loop.name).inc()

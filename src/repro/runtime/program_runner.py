@@ -219,6 +219,9 @@ class ProgramRunner:
             self.obs.registry.counter(
                 "serial_seconds_total", phase=phase.name
             ).inc(end - now)
+        srec = getattr(self.obs, "spans", None)
+        if srec is not None:
+            srec.record_serial(phase.name, now, end, self.team.n_threads)
         if self.recorder is not None:
             self.recorder.record(0, ThreadState.SERIAL, now, end, phase.name)
             for tid in range(1, self.team.n_threads):
@@ -326,6 +329,10 @@ class ProgramRunner:
                     "sim_time_seconds_total", loop=loop.name,
                     core_type=tname, category="idle",
                 ).inc(wait)
+        srec = getattr(self.obs, "spans", None)
+        if srec is not None:
+            for tid in range(self.team.n_threads):
+                srec.record_barrier(tid, result.finish_times[tid], after)
         if self.recorder is not None:
             for tid in range(self.team.n_threads):
                 self.recorder.record(
@@ -346,6 +353,9 @@ class ProgramRunner:
             compiled = program
         else:
             compiled = compile_program(program, modified=True)
+        srec = getattr(self.obs, "spans", None)
+        if srec is not None:
+            srec.begin_program(compiled.program.name)
         now = 0.0
         serial_time = 0.0
         ready: list[float] | None = None  # per-thread arrivals after nowait
@@ -366,6 +376,8 @@ class ProgramRunner:
                 loop_results.append(result)
         if ready is not None:
             now = max(now, max(ready))
+        if srec is not None:
+            srec.end_program(0.0, now)
         if self.obs.enabled:
             self.obs.registry.gauge(
                 "program_last_completion_seconds",

@@ -1,0 +1,183 @@
+"""The makespan "explain" engine: pairwise critical-path diffs, fault-
+window attribution, the throttle A/B acceptance, and the report CLI
+surface (critpath/explain subcommands)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.experiments.resilience import throttle_ab_snapshots
+from repro.obs import Observability, SpanRecorder
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    explain,
+    explain_pair,
+    format_explain,
+)
+from repro.obs.report import main as report_main
+from repro.obs.snapshot import build_snapshot
+from repro.sched.registry import parse_schedule
+from repro.workloads.registry import get_program  # noqa: F401
+
+from .helpers import preset_platform, run_loop
+
+
+@pytest.fixture(scope="module")
+def ab_pair():
+    """The PR-5 throttle A/B as span-bearing snapshots (module-cached —
+    the scenario is deterministic)."""
+    return throttle_ab_snapshots(n_iterations=1024)
+
+
+def traced_snapshot(schedule: str, **kw):
+    obs = Observability(spans=SpanRecorder(context="test"))
+    run_loop(
+        preset_platform("odroid_xu4"), parse_schedule(schedule), obs=obs,
+        **kw
+    )
+    return build_snapshot(obs, meta={})
+
+
+class TestExplainPair:
+    def test_identical_docs_have_zero_delta_and_no_contributors(self):
+        snap = traced_snapshot("aid_hybrid")
+        report = explain_pair(snap["spans"], copy.deepcopy(snap["spans"]))
+        assert report["schema"] == EXPLAIN_SCHEMA
+        assert report["makespan_delta"] == 0.0
+        assert report["contributors"] == []
+
+    def test_contributor_deltas_are_consistent(self, ab_pair):
+        snap_a, snap_b = ab_pair
+        report = explain_pair(snap_a["spans"], snap_b["spans"])
+        assert report["makespan_after"] > report["makespan_before"]
+        for c in report["contributors"]:
+            assert c["kind"] in ("category", "fault-window")
+            assert c["delta"] == pytest.approx(c["after"] - c["before"])
+        # Category deltas alone telescope to the makespan delta.
+        cat_delta = sum(
+            c["delta"] for c in report["contributors"]
+            if c["kind"] == "category"
+        )
+        assert cat_delta == pytest.approx(
+            report["makespan_delta"], abs=1e-9
+        )
+
+    def test_acceptance_throttle_window_is_the_top_contributor(
+        self, ab_pair
+    ):
+        """Acceptance: `report explain` on the throttled vs unthrottled
+        resilience pair names the throttle window as the largest
+        makespan contributor."""
+        snap_a, snap_b = ab_pair
+        report = explain_pair(snap_a["spans"], snap_b["spans"])
+        top = report["contributors"][0]
+        assert top["kind"] == "fault-window"
+        assert "throttle" in top["name"]
+        assert top["delta"] > 0.0
+
+    def test_format_lists_ranked_contributors(self, ab_pair):
+        snap_a, snap_b = ab_pair
+        report = explain(snap_a, snap_b)
+        text = format_explain(report)
+        assert "makespan:" in text
+        assert "[fault-window] throttle" in text
+        # --top truncates.
+        assert len(format_explain(report, top=1).splitlines()) < len(
+            text.splitlines()
+        )
+
+
+class TestExplainSnapshots:
+    def test_single_run_snapshots_pair_positionally(self, ab_pair):
+        snap_a, snap_b = ab_pair
+        report = explain(snap_a, snap_b)
+        pairs = report.get("pairs") or [report]
+        assert len(pairs) == 1
+        assert pairs[0]["contributors"]
+
+    def test_merged_snapshots_pair_by_label(self):
+        snap = traced_snapshot("aid_hybrid")
+        doc = snap["spans"]
+        merged = copy.deepcopy(snap)
+        merged["spans"] = [
+            {"labels": {"program": "EP"}, "doc": doc},
+            {"labels": {"program": "IS"}, "doc": doc},
+        ]
+        report = explain(merged, copy.deepcopy(merged))
+        assert [p["pair"] for p in report["pairs"]] == [
+            ["EP", "EP"], ["IS", "IS"]
+        ]
+        assert all(p["makespan_delta"] == 0.0 for p in report["pairs"])
+
+    def test_job_filter_restricts_the_pairs(self):
+        snap = traced_snapshot("aid_hybrid")
+        doc = snap["spans"]
+        merged = copy.deepcopy(snap)
+        merged["spans"] = [
+            {"labels": {"program": "EP"}, "doc": doc},
+            {"labels": {"program": "IS"}, "doc": doc},
+        ]
+        report = explain(merged, copy.deepcopy(merged), job="IS")
+        assert [p["pair"] for p in report["pairs"]] == [["IS", "IS"]]
+
+    def test_span_free_snapshots_raise_obs_error(self):
+        with pytest.raises(ObsError):
+            explain({"schema": "repro.obs.snapshot/v1"}, {"schema": "x"})
+
+
+class TestReportCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_critpath_subcommand_prints_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        snap = traced_snapshot("aid_hybrid")
+        src = self.write(tmp_path, "snap.json", snap)
+        out = tmp_path / "critpath.json"
+        assert report_main(["critpath", src, "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "critical path:" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.obs.critpath/v1"
+        assert payload["paths"]
+
+    def test_explain_subcommand_names_the_throttle_window(
+        self, tmp_path, capsys, ab_pair
+    ):
+        snap_a, snap_b = ab_pair
+        a = self.write(tmp_path, "a.json", snap_a)
+        b = self.write(tmp_path, "b.json", snap_b)
+        out = tmp_path / "explain.json"
+        assert report_main(["explain", a, b, "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "[fault-window] throttle" in text
+        payload = json.loads(out.read_text())
+        pairs = payload.get("pairs") or [payload]
+        top = pairs[0]["contributors"][0]
+        assert top["kind"] == "fault-window" and "throttle" in top["name"]
+
+    def test_diff_subcommand_honours_the_critpath_tolerance(
+        self, tmp_path, capsys
+    ):
+        snap = traced_snapshot("aid_hybrid")
+        slower = copy.deepcopy(snap)
+        for s in slower["spans"]["spans"]:
+            s["t0"] *= 1.02
+            s["t1"] *= 1.02
+        a = self.write(tmp_path, "a.json", snap)
+        b = self.write(tmp_path, "b.json", slower)
+        # 2% growth stays within the default 5% tolerance.
+        assert report_main(
+            ["diff", a, b, "--critpath-tol", "0.05", "--fail-on-regression"]
+        ) == 0
+        capsys.readouterr()
+        # The same growth regresses under a 1% tolerance.
+        assert report_main(
+            ["diff", a, b, "--critpath-tol", "0.01", "--fail-on-regression"]
+        ) == 1
+        assert "critical-path" in capsys.readouterr().out
