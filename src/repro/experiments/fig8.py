@@ -84,6 +84,8 @@ def run(
     cache=None,
     timeout=None,
     progress=None,
+    checkpoint=None,
+    dispatcher=None,
 ) -> Fig8Result:
     platform = platform if platform is not None else odroid_xu4()
     grid = run_grid(
@@ -95,6 +97,8 @@ def run(
         cache=cache,
         timeout=timeout,
         progress=progress,
+        checkpoint=checkpoint,
+        dispatcher=dispatcher,
     )
     norm = grid.normalized("static(SB)")
     best_gain = {}

@@ -68,6 +68,8 @@ def run(
     cache=None,
     timeout=None,
     progress=None,
+    checkpoint=None,
+    dispatcher=None,
 ) -> Fig9Result:
     if platforms is None:
         platforms = (odroid_xu4(), xeon_emulated())
@@ -108,9 +110,10 @@ def run(
     outcomes = require_ok(
         run_jobs(
             specs,
-            FleetConfig(jobs=jobs, timeout=timeout),
+            FleetConfig(jobs=jobs, timeout=timeout, dispatcher=dispatcher),
             cache=cache,
             progress=progress,
+            checkpoint=checkpoint,
         )
     )
     it = iter(outcomes)

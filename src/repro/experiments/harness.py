@@ -245,6 +245,8 @@ def run_grid(
     obs_snapshot_path: str | Path | None = None,
     backend: str | None = None,
     trace_context: str | None = None,
+    checkpoint=None,
+    dispatcher: str | None = None,
 ) -> GridResult:
     """Run a full programs x configurations grid on one platform.
 
@@ -267,7 +269,11 @@ def run_grid(
     ``trace_context`` turns on causal span tracing for every cell (see
     :class:`~repro.fleet.jobs.JobSpec`); the merged snapshot then folds
     one labeled span tree per cell, byte-identically across worker
-    counts and cache states.
+    counts and cache states. ``checkpoint`` (a
+    :class:`~repro.fleet.checkpoint.SweepCheckpoint`) journals the
+    grid's digest plan and every terminal cell state so a killed sweep
+    resumes from acknowledged work, and ``dispatcher`` picks the fleet
+    dispatcher by name (``inline`` / ``process`` / ``local``).
     """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
@@ -281,7 +287,8 @@ def run_grid(
     )
     if (
         jobs <= 1 and cache is None and progress is None
-        and trace_context is None
+        and trace_context is None and checkpoint is None
+        and dispatcher is None
     ):
         # The historical serial path: no pool, no cache I/O, no events.
         for program in programs:
@@ -308,9 +315,13 @@ def run_grid(
     outcomes = require_ok(
         run_jobs(
             specs,
-            FleetConfig(jobs=jobs, timeout=timeout, retries=retries),
+            FleetConfig(
+                jobs=jobs, timeout=timeout, retries=retries,
+                dispatcher=dispatcher,
+            ),
             cache=cache,
             progress=progress,
+            checkpoint=checkpoint,
         )
     )
     it = iter(outcomes)

@@ -9,12 +9,24 @@ costs. This subsystem turns the serial
 * :mod:`~repro.fleet.jobs` — frozen :class:`JobSpec` work units with a
   stable salted content digest;
 * :mod:`~repro.fleet.cache` — a content-addressed on-disk
-  :class:`ResultCache`, so unchanged cells are instant hits across
-  bench reruns and CI;
+  :class:`ResultCache`: digest-prefix sharded with a versioned layout
+  manifest (legacy flat caches migrate in place), size-bounded
+  deterministic LRU eviction with pinning — so unchanged cells are
+  instant hits across bench reruns and CI;
+* :mod:`~repro.fleet.scrub` — :func:`scrub_cache`, the cache's fsck:
+  verify every entry, quarantine corruption, repair the manifest,
+  rebuild the index;
+* :mod:`~repro.fleet.checkpoint` — :class:`SweepCheckpoint`, an
+  append-only JSONL journal making sweeps resumable after a crash
+  (``python -m repro.fleet --resume``);
 * :mod:`~repro.fleet.pool` — :func:`run_jobs`: process-pool execution
   with LPT (longest-first) dispatch, per-job timeouts, bounded retry
   with backoff, broken-pool recovery, and graceful degradation to
   inline serial execution;
+* :mod:`~repro.fleet.dispatch` — the :class:`Dispatcher` seam behind
+  :func:`run_jobs` (``process`` pool, in-process ``local`` worker
+  group, serial ``inline``), all feeding the same submission-order
+  observability merge;
 * :mod:`~repro.fleet.progress` — :class:`FleetProgress` counters and a
   per-job event log riding the standard observability registry, plus
   the merged per-job observability capture: every worker runs its job
@@ -36,6 +48,8 @@ wall-clock fields).
 from __future__ import annotations
 
 from repro.fleet.cache import ResultCache
+from repro.fleet.checkpoint import CheckpointState, SweepCheckpoint
+from repro.fleet.dispatch import DISPATCHERS, Dispatcher
 from repro.fleet.jobs import CODE_SALT, JobResult, JobSpec
 from repro.fleet.pool import (
     FleetConfig,
@@ -44,6 +58,7 @@ from repro.fleet.pool import (
     run_jobs,
 )
 from repro.fleet.progress import FleetProgress, NullFleetProgress
+from repro.fleet.scrub import ScrubReport, scrub_cache
 
 __all__ = [
     "NullFleetProgress",
@@ -51,6 +66,12 @@ __all__ = [
     "JobSpec",
     "JobResult",
     "ResultCache",
+    "CheckpointState",
+    "SweepCheckpoint",
+    "Dispatcher",
+    "DISPATCHERS",
+    "ScrubReport",
+    "scrub_cache",
     "FleetConfig",
     "FleetOutcome",
     "FleetProgress",

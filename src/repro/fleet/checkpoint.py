@@ -1,0 +1,208 @@
+"""Resumable sweeps: an append-only JSONL checkpoint journal.
+
+A paper-scale sweep is thousands of independent jobs; a killed process
+must not cost the completed ones. The content-addressed cache already
+preserves every finished *result* — what it cannot answer is "which
+sweep was running, over which jobs, and how far did it get?". The
+:class:`SweepCheckpoint` journal records exactly that:
+
+* ``begin`` — sweep metadata (grid names, seed, backend, worker count),
+  written once per CLI invocation so ``python -m repro.fleet --resume``
+  can reconstruct the command;
+* ``plan`` — the digest universe of one ``run_jobs`` batch;
+* ``job`` — one digest transitioning to ``done`` (computed or replayed
+  from cache) or ``failed`` (retries exhausted);
+* ``end`` — the sweep completed.
+
+The journal is **append-only JSONL, flushed and fsynced per record**: a
+SIGKILL can tear at most the final line, and :meth:`SweepCheckpoint.load`
+tolerates a torn tail. On resume the journal simply grows — a second
+``begin`` with the same metadata, fresh ``job`` records for the cells
+the resumed sweep resolves (the already-done ones as instant cache
+hits) — so the file is a complete, replayable history of the sweep.
+
+Determinism contract: a checkpoint changes *what is recomputed*, never
+what is computed. A killed-and-resumed sweep produces byte-identical
+grid payloads and merged observability snapshots to an uninterrupted
+run (modulo cache-temperature counters), because done cells replay from
+the cache with their stored per-job snapshots and the merge is in
+submission order either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import FleetError
+
+#: Checkpoint journal format identifier.
+CHECKPOINT_SCHEMA = "repro.fleet.checkpoint/v1"
+
+#: Default journal file name, beside the cache's manifest.
+DEFAULT_NAME = "checkpoint.jsonl"
+
+
+@dataclass
+class CheckpointState:
+    """The journal folded into one queryable snapshot."""
+
+    path: str
+    meta: dict = field(default_factory=dict)  #: last ``begin``'s metadata
+    planned: tuple[str, ...] = ()  #: digest universe (union of plans)
+    statuses: dict[str, str] = field(default_factory=dict)
+    ended: bool = False  #: an ``end`` record follows the last ``begin``
+    torn_lines: int = 0  #: unparseable (crash-torn) lines skipped
+
+    @property
+    def done(self) -> tuple[str, ...]:
+        return tuple(
+            d for d in self.planned if self.statuses.get(d) == "done"
+        )
+
+    @property
+    def failed(self) -> tuple[str, ...]:
+        return tuple(
+            d for d in self.planned if self.statuses.get(d) == "failed"
+        )
+
+    @property
+    def pending(self) -> tuple[str, ...]:
+        return tuple(
+            d for d in self.planned if self.statuses.get(d) != "done"
+        )
+
+    def summary(self) -> dict:
+        return {
+            "planned": len(self.planned),
+            "done": len(self.done),
+            "failed": len(self.failed),
+            "pending": len(self.pending),
+            "ended": self.ended,
+        }
+
+
+class SweepCheckpoint:
+    """Append-only journal of one (possibly resumed) sweep."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+
+    def begin(self, meta: Mapping) -> None:
+        """Open a sweep: record its reconstructable metadata."""
+        self._append(
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "event": "begin",
+                "meta": dict(meta),
+            }
+        )
+
+    def plan(self, digests) -> None:
+        """Declare one batch's digest universe."""
+        self._append({"event": "plan", "digests": list(digests)})
+
+    def record(
+        self,
+        digest: str,
+        status: str,
+        *,
+        cached: bool = False,
+        error: str | None = None,
+    ) -> None:
+        """Journal one job's terminal state for this sweep."""
+        if status not in ("done", "failed"):
+            raise FleetError(
+                f"checkpoint status must be done or failed, got {status!r}"
+            )
+        rec: dict = {"event": "job", "digest": digest, "status": status}
+        if cached:
+            rec["cached"] = True
+        if error is not None:
+            rec["error"] = error
+        self._append(rec)
+
+    def finish(self) -> None:
+        """Mark the sweep complete and release the journal handle."""
+        self._append({"event": "end"})
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def _append(self, rec: Mapping) -> None:
+        """One record, durably: flush + fsync so a SIGKILL immediately
+        after a ``job`` record cannot lose it."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -- reading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> CheckpointState:
+        """Fold the journal into a :class:`CheckpointState`.
+
+        Tolerant by design: a torn final line (the record a crash
+        interrupted mid-write) is skipped and counted, never fatal.
+        Raises :class:`~repro.errors.FleetError` only when the journal
+        does not exist at all.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise FleetError(f"no checkpoint journal at {path}: {exc}") from exc
+        state = CheckpointState(path=str(path))
+        planned: list[str] = []
+        seen: set[str] = set()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                state.torn_lines += 1
+                continue
+            if not isinstance(rec, dict):
+                state.torn_lines += 1
+                continue
+            event = rec.get("event")
+            if event == "begin":
+                meta = rec.get("meta")
+                state.meta = dict(meta) if isinstance(meta, Mapping) else {}
+                state.ended = False
+            elif event == "plan":
+                for digest in rec.get("digests", []):
+                    digest = str(digest)
+                    if digest not in seen:
+                        seen.add(digest)
+                        planned.append(digest)
+            elif event == "job":
+                digest = str(rec.get("digest", ""))
+                status = str(rec.get("status", ""))
+                if digest and status in ("done", "failed"):
+                    if digest not in seen:
+                        seen.add(digest)
+                        planned.append(digest)
+                    # done is sticky: a later failed retry of an
+                    # already-done digest cannot un-finish it.
+                    if state.statuses.get(digest) != "done":
+                        state.statuses[digest] = status
+            elif event == "end":
+                state.ended = True
+        state.planned = tuple(planned)
+        return state

@@ -7,6 +7,8 @@ Usage::
     python -m repro.fleet fig6 fig7 --jobs 8 --timeout 120
     python -m repro.fleet fig8 --no-cache --summary-json fleet.json
     python -m repro.fleet fig6 --backend vectorized --trajectory perf.jsonl
+    python -m repro.fleet --resume          # continue a killed sweep
+    python -m repro.fleet scrub --json report.json
 
 Every invocation prints the regenerated grid table(s) plus a fleet
 summary line (submitted / cached / computed / retried / failed).
@@ -21,6 +23,26 @@ the cold one with ``python -m repro.obs.report diff`` and fails on
 regressions. ``--trajectory PATH`` appends one run-over-run trend
 record (cache-hit rate, runtime-overhead seconds, wall clock) to the
 perf observatory history.
+
+**Resumable sweeps.** Whenever the cache is enabled, the run journals
+its plan and every terminal job state to ``checkpoint.jsonl`` beside the
+cache (``--checkpoint`` points it elsewhere; ``--no-cache`` disables it
+unless ``--checkpoint`` is explicit). After a crash or SIGKILL,
+``--resume`` reloads the journal, reconstructs the sweep (grids, seed,
+backend) from its ``begin`` metadata, and reruns it — completed cells
+replay instantly from the cache, so only unacknowledged work is
+recomputed, and the resumed sweep's grid tables and merged obs snapshot
+are byte-identical to an uninterrupted run (modulo cache-temperature
+counters).
+
+**Maintenance.** ``scrub`` fsck's the cache: verifies every entry's
+name, shard placement, schema and digests, quarantines corruption,
+repairs the layout manifest and rebuilds the LRU index
+(``--prune-stale`` also garbage-collects entries from older code
+versions; ``--json PATH`` writes the machine-readable report CI
+archives). ``--max-cache-bytes`` bounds the store with deterministic
+LRU eviction, and ``--dispatcher`` picks the execution seam (``inline``,
+``process``, ``local``).
 """
 
 from __future__ import annotations
@@ -33,6 +55,7 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.fleet.cache import ResultCache
+from repro.fleet.checkpoint import SweepCheckpoint
 from repro.fleet.progress import FleetProgress
 
 
@@ -86,14 +109,31 @@ GRIDS = {
 }
 
 
+def _run_scrub(cache: ResultCache | None, args) -> int:
+    """The ``scrub`` maintenance command: fsck the result cache."""
+    if cache is None:
+        print("error: scrub needs a cache (drop --no-cache)", file=sys.stderr)
+        return 2
+    report = cache.scrub(prune_stale=args.prune_stale)
+    print(report.format_text())
+    if args.json_report:
+        Path(args.json_report).write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
         description="Run registered experiment grids through the fleet.",
     )
     parser.add_argument(
-        "names", nargs="+",
-        help="grid names (see 'list'): " + ", ".join(GRIDS),
+        "names", nargs="*",
+        help="grid names (see 'list'): " + ", ".join(GRIDS)
+        + "; or the 'scrub' maintenance command; may be empty with "
+        "--resume",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -109,6 +149,29 @@ def main(argv: list[str] | None = None) -> int:
         ".fleet-cache)",
     )
     parser.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="N",
+        help="bound the result cache to N bytes of live entries "
+        "(deterministic LRU eviction; default $FLEET_CACHE_MAX_BYTES "
+        "or unbounded)",
+    )
+    parser.add_argument(
+        "--dispatcher", default=None, metavar="NAME",
+        help="fleet dispatcher: inline, process or local (default: "
+        "$REPRO_FLEET_DISPATCHER, then chosen from --jobs)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="sweep checkpoint journal (default: checkpoint.jsonl beside "
+        "the cache when caching is on; with --no-cache, no journal "
+        "unless this flag is given)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the sweep recorded in the checkpoint journal: grid "
+        "names, seed and backend come from the journal unless given "
+        "explicitly; completed cells replay from the cache",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None,
         help="per-job wall-clock deadline in seconds",
     )
@@ -116,7 +179,18 @@ def main(argv: list[str] | None = None) -> int:
         "--retries", type=int, default=2,
         help="retry budget per job (default 2)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="workload seed (default 0, or the journal's on --resume)",
+    )
+    parser.add_argument(
+        "--prune-stale", action="store_true",
+        help="(scrub) also delete entries from older code versions",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_report",
+        help="(scrub) write the machine-readable scrub report here",
+    )
     parser.add_argument(
         "--backend", default=None, metavar="NAME",
         help="execution backend for every cell (reference, vectorized, "
@@ -153,6 +227,63 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc) in GRIDS.items():
             print(f"{name:<8s} {desc}")
         return 0
+
+    try:
+        cache = None if args.no_cache else ResultCache(
+            args.cache_dir, max_bytes=args.max_cache_bytes
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.names == ["scrub"]:
+        return _run_scrub(cache, args)
+
+    # Resolve the checkpoint journal: beside the cache by default, an
+    # explicit --checkpoint anywhere, no journal only when both are off.
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and cache is not None:
+        checkpoint_path = str(cache.root / "checkpoint.jsonl")
+
+    backend_arg = args.backend
+    seed = args.seed
+    if args.resume:
+        if checkpoint_path is None:
+            print(
+                "error: --resume needs a checkpoint journal "
+                "(--checkpoint, or drop --no-cache)", file=sys.stderr,
+            )
+            return 2
+        try:
+            state = SweepCheckpoint.load(checkpoint_path)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        meta = state.meta
+        if not args.names:
+            args.names = [str(n) for n in meta.get("grids", [])]
+        if not args.names:
+            print(
+                f"error: {checkpoint_path} has no resumable sweep "
+                "metadata", file=sys.stderr,
+            )
+            return 2
+        if seed is None and "seed" in meta:
+            seed = int(meta["seed"])
+        if backend_arg is None:
+            backend_arg = meta.get("backend")
+        summary = state.summary()
+        print(
+            f"resuming from {checkpoint_path}: "
+            f"{summary['done']} done, {summary['failed']} failed, "
+            f"{summary['pending']} pending of {summary['planned']} planned"
+            + (" (sweep had already completed)" if state.ended else "")
+        )
+    seed = 0 if seed is None else seed
+
+    if not args.names:
+        print("error: no grid names given (see 'list')", file=sys.stderr)
+        return 2
     unknown = [n for n in args.names if n not in GRIDS]
     if unknown:
         print(f"unknown grids: {unknown}", file=sys.stderr)
@@ -168,24 +299,35 @@ def main(argv: list[str] | None = None) -> int:
         # Pin the selection now: an invalid --backend (or a typo'd
         # REPRO_BACKEND) fails before any grid starts, and the resolved
         # name lands in the snapshot/trajectory metadata below.
-        backend = resolve_backend_name(args.backend)
+        backend = resolve_backend_name(backend_arg)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(checkpoint_path)
+        checkpoint.begin(
+            {
+                "tool": "fleet",
+                "grids": list(args.names),
+                "seed": seed,
+                "backend": backend,
+                "jobs": args.jobs,
+            }
+        )
     progress = FleetProgress()
     status = 0
     t_start = time.perf_counter()
     for name in args.names:
         builder, desc = GRIDS[name]
-        platform, programs, configs = builder(args.seed)
+        platform, programs, configs = builder(seed)
         t0 = time.perf_counter()
         try:
             grid = run_grid(
                 platform,
                 programs=programs,
                 configs=configs,
-                root_seed=args.seed,
+                root_seed=seed,
                 jobs=args.jobs,
                 cache=cache,
                 timeout=args.timeout,
@@ -193,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
                 progress=progress,
                 backend=backend,
                 trace_context=args.trace_spans,
+                checkpoint=checkpoint,
+                dispatcher=args.dispatcher,
             )
         except ReproError as exc:
             print(f"{name}: FAILED: {exc}", file=sys.stderr)
@@ -219,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         doc = progress.obs_snapshot(
             meta={
                 "grids": "+".join(args.names),
-                "seed": args.seed,
+                "seed": seed,
                 "jobs": args.jobs,
                 "backend": backend,
             }
@@ -235,10 +379,17 @@ def main(argv: list[str] | None = None) -> int:
                 "fleet:" + "+".join(args.names),
                 metrics,
                 meta={
-                    "seed": args.seed, "jobs": args.jobs,
+                    "seed": seed, "jobs": args.jobs,
                     "backend": backend,
                 },
             )
+    if checkpoint is not None:
+        if status == 0:
+            # Only a fully successful sweep gets the ``end`` record; a
+            # failed one stays resumable.
+            checkpoint.finish()
+        else:
+            checkpoint.close()
     return status
 
 

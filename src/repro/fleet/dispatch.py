@@ -1,0 +1,246 @@
+"""The fleet's async dispatch seam: pluggable job dispatchers.
+
+:func:`repro.fleet.pool.run_jobs` resolves cache hits, then hands the
+remaining work to a **dispatcher** — the one moving part that decides
+*where* jobs execute. Three implementations ship:
+
+* ``inline`` — serial execution in the coordinating process, the exact
+  legacy path (``jobs <= 1``, ``use_processes=False``, or degraded
+  operation when no pool can be built);
+* ``process`` — the fault-tolerant ``ProcessPoolExecutor`` pool with
+  LPT dispatch, per-job timeouts, bounded retry and broken-pool
+  rebuild (the default for ``jobs > 1``);
+* ``local`` — an in-process *local worker group*: a thread group
+  driving the same LPT queue with the same retry/backoff policy. The
+  simulator is pure Python, so threads buy no wall-clock speedup — the
+  point of this dispatcher is the **seam**: it proves the protocol is
+  implementation-agnostic (remote/multi-host worker groups slot in
+  behind the same three calls) and it gives tests a second, independent
+  dispatcher to pin the byte-equality acceptance property against.
+
+Every dispatcher writes into the same outcome table, journals to the
+same checkpoint, and leaves the submission-order observability merge to
+``run_jobs`` — so merged snapshots are byte-identical across
+dispatchers by construction, and the tests assert exactly that.
+
+Selection: ``FleetConfig(dispatcher=...)``, else
+``$REPRO_FLEET_DISPATCHER``, else ``process``/``inline`` chosen from
+``jobs`` and ``use_processes`` exactly as the pool always has.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import FleetError
+from repro.fleet.jobs import JobSpec
+
+#: Environment variable overriding the dispatcher choice.
+DISPATCHER_ENV = "REPRO_FLEET_DISPATCHER"
+
+
+@runtime_checkable
+class Dispatcher(Protocol):
+    """Executes pending jobs, filling ``outcomes`` index-by-index.
+
+    Implementations must resolve *every* index in ``pending`` to a
+    :class:`~repro.fleet.pool.FleetOutcome` (successful or failed) and
+    honour ``config``'s retry/backoff/timeout policy. They must not
+    touch the observability merge: ``run_jobs`` folds per-job captures
+    in submission order after every dispatcher returns, which is what
+    makes merged snapshots dispatcher-independent.
+    """
+
+    name: str
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        pending: Sequence[int],
+        outcomes: dict,
+        config,
+        cache,
+        progress,
+        checkpoint=None,
+    ) -> None: ...
+
+
+class InlineDispatcher:
+    """Serial in-process execution (the legacy ``jobs=1`` path)."""
+
+    name = "inline"
+
+    def run(
+        self, specs, pending, outcomes, config, cache, progress,
+        checkpoint=None,
+    ) -> None:
+        from repro.fleet import pool
+
+        pool._run_inline(
+            specs, pending, outcomes, config, cache, progress, checkpoint
+        )
+
+
+class ProcessPoolDispatcher:
+    """The fault-tolerant ``ProcessPoolExecutor`` pool (the default)."""
+
+    name = "process"
+
+    def run(
+        self, specs, pending, outcomes, config, cache, progress,
+        checkpoint=None,
+    ) -> None:
+        from repro.fleet import pool
+
+        pool._run_processes(
+            specs, pending, outcomes, config, cache, progress, checkpoint
+        )
+
+
+class LocalWorkerGroupDispatcher:
+    """An in-process worker group: threads over the same LPT queue.
+
+    Same dispatch order, retry budget and backoff as the process pool.
+    Timeouts are best-effort: a stuck thread cannot be killed, so an
+    expired job is charged and retried on a fresh future while the
+    stuck thread's slot stays burned until the group winds down —
+    acceptable for a seam whose job is protocol fidelity, not worker
+    isolation.
+    """
+
+    name = "local"
+
+    def run(
+        self, specs, pending, outcomes, config, cache, progress,
+        checkpoint=None,
+    ) -> None:
+        from repro.fleet import pool
+
+        queue: deque[int] = deque(pool._lpt_order(specs, pending, cache))
+        attempts: dict[int, int] = {i: 0 for i in pending}
+        max_workers = min(config.jobs, len(pending)) or 1
+        executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fleet-local"
+        )
+        running: dict = {}
+
+        def fail_or_requeue(idx: int, reason: str) -> None:
+            attempts[idx] += 1
+            spec = specs[idx]
+            if attempts[idx] > config.retries:
+                progress.job_failed(spec, reason)
+                if checkpoint is not None:
+                    checkpoint.record(spec.key, "failed", error=reason)
+                outcomes[idx] = pool.FleetOutcome(
+                    spec, None, attempts=attempts[idx], mode=self.name,
+                    error=reason,
+                )
+                return
+            progress.job_retried(spec, attempt=attempts[idx], reason=reason)
+            time.sleep(config.backoff * (2 ** (attempts[idx] - 1)))
+            queue.append(idx)
+
+        try:
+            while queue or running:
+                while queue and len(running) < max_workers:
+                    idx = queue.popleft()
+                    progress.job_started(
+                        specs[idx], mode=self.name, attempt=attempts[idx] + 1
+                    )
+                    running[executor.submit(specs[idx].execute)] = (
+                        idx, time.monotonic(),
+                    )
+                deadline_slack = None
+                if config.timeout is not None and running:
+                    now = time.monotonic()
+                    deadline_slack = max(
+                        0.0,
+                        min(
+                            t0 + config.timeout - now
+                            for (_, t0) in running.values()
+                        ),
+                    )
+                done, _ = wait(
+                    running, timeout=deadline_slack,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in sorted(done, key=lambda f: running[f][0]):
+                    idx, _t0 = running.pop(fut)
+                    try:
+                        result = fut.result()
+                    except Exception as exc:
+                        fail_or_requeue(idx, f"{type(exc).__name__}: {exc}")
+                    else:
+                        pool._record_success(
+                            idx, specs[idx], result, attempts[idx] + 1,
+                            self.name, outcomes, cache, progress, checkpoint,
+                        )
+                if config.timeout is not None:
+                    now = time.monotonic()
+                    expired = [
+                        (fut, idx)
+                        for fut, (idx, t0) in running.items()
+                        if now - t0 > config.timeout
+                    ]
+                    for fut, idx in expired:
+                        running.pop(fut)
+                        progress.job_timeout(specs[idx], config.timeout)
+                        fail_or_requeue(
+                            idx, f"timed out after {config.timeout:g}s"
+                        )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+#: name -> dispatcher class. Remote/multi-host worker groups register
+#: here once they exist; the JobSpec digest protocol is already
+#: location-independent.
+DISPATCHERS: dict[str, type] = {
+    "inline": InlineDispatcher,
+    "process": ProcessPoolDispatcher,
+    "local": LocalWorkerGroupDispatcher,
+}
+
+
+def resolve_dispatcher_name(
+    name: str | None = None,
+    *,
+    jobs: int = 1,
+    use_processes: bool | None = None,
+) -> str:
+    """The dispatcher a fleet run will use.
+
+    An explicit ``name`` (or ``$REPRO_FLEET_DISPATCHER``) wins, except
+    that ``use_processes=False`` still downgrades ``process`` to
+    ``inline`` — that flag is the historical hard "never spawn" switch
+    and keeps meaning it. With no selection, the historical policy:
+    ``process`` when ``jobs > 1`` and processes are not forbidden,
+    ``inline`` otherwise.
+    """
+    name = name or os.environ.get(DISPATCHER_ENV) or None
+    if name is not None:
+        if name not in DISPATCHERS:
+            raise FleetError(
+                f"unknown dispatcher {name!r}; "
+                f"available: {', '.join(sorted(DISPATCHERS))}"
+            )
+        if name == "process" and use_processes is False:
+            return "inline"
+        return name
+    if jobs > 1 and use_processes is not False:
+        return "process"
+    return "inline"
+
+
+def get_dispatcher(name: str) -> Dispatcher:
+    try:
+        return DISPATCHERS[name]()
+    except KeyError:
+        raise FleetError(
+            f"unknown dispatcher {name!r}; "
+            f"available: {', '.join(sorted(DISPATCHERS))}"
+        ) from None

@@ -30,15 +30,28 @@ Because the simulator is deterministic, a parallel fleet's results are
 cell-for-cell identical to serial execution; the test suite asserts
 exact equality, not tolerances.
 
+Where jobs execute is a pluggable seam: :mod:`repro.fleet.dispatch`
+defines the ``Dispatcher`` protocol, with the process pool as the
+default implementation, an in-process ``local`` worker group as the
+second, and ``inline`` as the degenerate serial case. All dispatchers
+share this module's retry accounting and success recording, so the
+determinism contract (submission-order obs merge, cache writes before
+checkpoint records) holds whichever one runs the jobs.
+
 Fault injection (used by tests and the CI smoke job): setting
 ``REPRO_FLEET_CRASH_ONCE=<digest-prefix>@<marker-file>`` makes the
 *first* worker that picks up a matching job hard-exit after touching the
 marker file; subsequent attempts find the marker and run normally.
+``REPRO_FLEET_KILL_AFTER=<n>`` SIGKILLs the *coordinating* process the
+moment the n-th computed (non-cached) job has been recorded — after its
+cache write and checkpoint record, the exact crash window the
+resume harness needs to be deterministic about.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -49,11 +62,19 @@ from typing import Sequence
 
 from repro.errors import FleetError
 from repro.fleet.cache import ResultCache
+from repro.fleet.dispatch import get_dispatcher, resolve_dispatcher_name
 from repro.fleet.jobs import JobResult, JobSpec
 from repro.fleet.progress import NULL_PROGRESS, FleetProgress
 
 #: Environment variable enabling crash-once fault injection.
 CRASH_ONCE_ENV = "REPRO_FLEET_CRASH_ONCE"
+
+#: Environment variable enabling the kill-the-coordinator injection.
+KILL_AFTER_ENV = "REPRO_FLEET_KILL_AFTER"
+
+#: Computed-job count for the kill-after injection (process-global: one
+#: sweep per process is the injection's use case).
+_computed_jobs = 0
 
 
 @dataclass(frozen=True)
@@ -67,6 +88,9 @@ class FleetConfig:
         backoff: base seconds slept before a retry, doubled per attempt.
         use_processes: force (True) or forbid (False) worker processes;
             None decides from ``jobs``.
+        dispatcher: explicit dispatcher name (``inline`` / ``process`` /
+            ``local``); None selects from ``jobs``/``use_processes`` (or
+            ``$REPRO_FLEET_DISPATCHER``) as always.
     """
 
     jobs: int = 1
@@ -74,6 +98,7 @@ class FleetConfig:
     retries: int = 2
     backoff: float = 0.05
     use_processes: bool | None = None
+    dispatcher: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -82,6 +107,14 @@ class FleetConfig:
             raise FleetError("timeout must be positive (or None)")
         if self.retries < 0:
             raise FleetError("retries must be >= 0")
+        if self.dispatcher is not None:
+            from repro.fleet.dispatch import DISPATCHERS
+
+            if self.dispatcher not in DISPATCHERS:
+                raise FleetError(
+                    f"unknown dispatcher {self.dispatcher!r}; "
+                    f"available: {', '.join(sorted(DISPATCHERS))}"
+                )
 
 
 @dataclass
@@ -128,16 +161,46 @@ def _worker(spec: JobSpec) -> JobResult:
     return spec.execute()
 
 
+def _maybe_kill_coordinator() -> None:
+    """Honour ``REPRO_FLEET_KILL_AFTER`` (crash-resume test harness).
+
+    Called after a computed job's cache write and checkpoint record —
+    the crash therefore never loses acknowledged work, which is exactly
+    the durability property the resume tests pin.
+    """
+    raw = os.environ.get(KILL_AFTER_ENV)
+    if not raw:
+        return
+    try:
+        n = int(raw)
+    except ValueError:
+        return
+    global _computed_jobs
+    _computed_jobs += 1
+    if _computed_jobs >= n:
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     config: FleetConfig | None = None,
     cache: ResultCache | None = None,
     progress: FleetProgress | None = None,
+    checkpoint=None,
 ) -> list[FleetOutcome]:
-    """Execute jobs through cache/pool/inline; outcomes in input order."""
+    """Execute jobs through cache/dispatcher; outcomes in input order.
+
+    ``checkpoint`` (a :class:`~repro.fleet.checkpoint.SweepCheckpoint`)
+    journals the batch plan and every terminal job state — cache hits
+    and computed successes as ``done``, exhausted retries as ``failed``
+    — durably enough that a SIGKILLed sweep resumes from exactly the
+    work it acknowledged.
+    """
     config = config if config is not None else FleetConfig()
     progress = progress if progress is not None else NULL_PROGRESS
     specs = list(specs)
+    if checkpoint is not None:
+        checkpoint.plan([spec.key for spec in specs])
     outcomes: dict[int, FleetOutcome] = {}
     pending: list[int] = []
     for spec in specs:
@@ -146,6 +209,8 @@ def run_jobs(
         hit = cache.get(spec.key) if cache is not None else None
         if hit is not None:
             progress.cache_hit(spec)
+            if checkpoint is not None:
+                checkpoint.record(spec.key, "done", cached=True)
             outcomes[i] = FleetOutcome(
                 spec, hit, cached=True, attempts=0, mode="cache"
             )
@@ -154,10 +219,14 @@ def run_jobs(
             progress.cache_miss(spec)
         pending.append(i)
     if pending:
-        if config.jobs > 1 and config.use_processes is not False:
-            _run_processes(specs, pending, outcomes, config, cache, progress)
-        else:
-            _run_inline(specs, pending, outcomes, config, cache, progress)
+        name = resolve_dispatcher_name(
+            config.dispatcher,
+            jobs=config.jobs,
+            use_processes=config.use_processes,
+        )
+        get_dispatcher(name).run(
+            specs, pending, outcomes, config, cache, progress, checkpoint
+        )
     ordered = [outcomes[i] for i in range(len(specs))]
     # Merge worker-side obs captures in submission order — never in
     # completion order — so gauge last-wins resolution (and therefore the
@@ -167,6 +236,7 @@ def run_jobs(
             progress.job_obs(outcome.spec, outcome.result)
     if cache is not None:
         progress.record_duration_estimates(cache, specs)
+        cache.flush()  # persist batched LRU recency bumps
     return ordered
 
 
@@ -187,7 +257,9 @@ def require_ok(outcomes: Sequence[FleetOutcome]) -> list[FleetOutcome]:
 # -- inline (serial) path --------------------------------------------------
 
 
-def _run_inline(specs, pending, outcomes, config, cache, progress) -> None:
+def _run_inline(
+    specs, pending, outcomes, config, cache, progress, checkpoint=None
+) -> None:
     for idx in pending:
         spec = specs[idx]
         attempts = 0
@@ -200,6 +272,8 @@ def _run_inline(specs, pending, outcomes, config, cache, progress) -> None:
                 reason = f"{type(exc).__name__}: {exc}"  # their retry budget
                 if attempts > config.retries:
                     progress.job_failed(spec, reason)
+                    if checkpoint is not None:
+                        checkpoint.record(spec.key, "failed", error=reason)
                     outcomes[idx] = FleetOutcome(
                         spec, None, attempts=attempts, mode="inline",
                         error=reason,
@@ -210,7 +284,7 @@ def _run_inline(specs, pending, outcomes, config, cache, progress) -> None:
                 continue
             _record_success(
                 idx, spec, result, attempts, "inline", outcomes, cache,
-                progress,
+                progress, checkpoint,
             )
             break
 
@@ -237,7 +311,9 @@ def _make_pool(max_workers: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(max_workers=max_workers)
 
 
-def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
+def _run_processes(
+    specs, pending, outcomes, config, cache, progress, checkpoint=None
+) -> None:
     queue: deque[int] = deque(_lpt_order(specs, pending, cache))
     attempts: dict[int, int] = {i: 0 for i in pending}
     max_workers = min(config.jobs, len(pending))
@@ -245,7 +321,9 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
         executor = _make_pool(max_workers)
     except (OSError, ValueError, ImportError) as exc:
         progress.degraded(specs[pending[0]], f"no process pool: {exc}")
-        _run_inline(specs, pending, outcomes, config, cache, progress)
+        _run_inline(
+            specs, pending, outcomes, config, cache, progress, checkpoint
+        )
         return
 
     running: dict[Future, tuple[int, float]] = {}
@@ -265,6 +343,8 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
         spec = specs[idx]
         if attempts[idx] > config.retries:
             progress.job_failed(spec, reason)
+            if checkpoint is not None:
+                checkpoint.record(spec.key, "failed", error=reason)
             outcomes[idx] = FleetOutcome(
                 spec, None, attempts=attempts[idx], mode="process",
                 error=reason,
@@ -295,7 +375,8 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
                     specs[remaining[0]], f"pool rebuild failed: {exc}"
                 )
                 _run_inline(
-                    specs, remaining, outcomes, config, cache, progress
+                    specs, remaining, outcomes, config, cache, progress,
+                    checkpoint,
                 )
             return False
 
@@ -343,7 +424,7 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
                 else:
                     _record_success(
                         idx, specs[idx], result, attempts[idx] + 1,
-                        "process", outcomes, cache, progress,
+                        "process", outcomes, cache, progress, checkpoint,
                     )
             if broken:
                 # Every in-flight sibling died with the pool: requeue them
@@ -382,12 +463,19 @@ def _run_processes(specs, pending, outcomes, config, cache, progress) -> None:
 
 
 def _record_success(
-    idx, spec, result, attempts, mode, outcomes, cache, progress
+    idx, spec, result, attempts, mode, outcomes, cache, progress,
+    checkpoint=None,
 ) -> None:
     if cache is not None:
         cache.put(result)
         cache.note_duration(spec, result.duration)
+    if checkpoint is not None:
+        checkpoint.record(spec.key, "done")
     progress.job_completed(spec, duration=result.duration, attempts=attempts)
     outcomes[idx] = FleetOutcome(
         spec, result, cached=False, attempts=attempts, mode=mode
     )
+    # Crash-window injection: the job's cache entry and checkpoint record
+    # are durable by this point, so a SIGKILL here loses no acknowledged
+    # work — the property the resume harness asserts.
+    _maybe_kill_coordinator()

@@ -1,0 +1,172 @@
+"""The dispatcher seam: selection policy, and the acceptance property
+that every dispatcher (inline, process pool, local worker group)
+produces byte-identical results and merged observability."""
+
+import json
+
+import pytest
+
+from repro.amp.presets import odroid_xu4
+from repro.errors import FleetError
+from repro.experiments.harness import default_configs, grid_specs
+from repro.fleet import (
+    DISPATCHERS,
+    FleetConfig,
+    FleetProgress,
+    JobSpec,
+    ResultCache,
+    run_jobs,
+)
+from repro.fleet.checkpoint import SweepCheckpoint
+from repro.fleet.dispatch import (
+    DISPATCHER_ENV,
+    Dispatcher,
+    get_dispatcher,
+    resolve_dispatcher_name,
+)
+from repro.obs.merge import comparable_snapshot
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+
+def comparable_json(progress: FleetProgress) -> str:
+    return json.dumps(
+        comparable_snapshot(progress.obs_snapshot()), sort_keys=True
+    )
+
+
+@pytest.fixture()
+def small_specs():
+    return grid_specs(
+        odroid_xu4(),
+        [get_program("EP"), get_program("IS")],
+        default_configs()[:2],
+    )
+
+
+# -- selection policy ------------------------------------------------------
+
+
+def test_registry_exposes_all_three():
+    assert set(DISPATCHERS) == {"inline", "process", "local"}
+    for name in DISPATCHERS:
+        dispatcher = get_dispatcher(name)
+        assert isinstance(dispatcher, Dispatcher)
+        assert dispatcher.name == name
+
+
+def test_default_policy_matches_history():
+    assert resolve_dispatcher_name(jobs=1) == "inline"
+    assert resolve_dispatcher_name(jobs=4) == "process"
+    assert resolve_dispatcher_name(jobs=4, use_processes=False) == "inline"
+    assert resolve_dispatcher_name(jobs=1, use_processes=True) == "inline"
+
+
+def test_explicit_name_wins(monkeypatch):
+    assert resolve_dispatcher_name("local", jobs=1) == "local"
+    monkeypatch.setenv(DISPATCHER_ENV, "local")
+    assert resolve_dispatcher_name(jobs=4) == "local"
+    # An explicit argument beats the environment.
+    assert resolve_dispatcher_name("inline", jobs=4) == "inline"
+    # use_processes=False keeps meaning "never spawn", even explicitly.
+    assert resolve_dispatcher_name(
+        "process", jobs=4, use_processes=False
+    ) == "inline"
+
+
+def test_unknown_dispatcher_rejected():
+    with pytest.raises(FleetError):
+        resolve_dispatcher_name("quantum")
+    with pytest.raises(FleetError):
+        get_dispatcher("quantum")
+    with pytest.raises(FleetError):
+        FleetConfig(dispatcher="quantum")
+
+
+# -- the byte-equality acceptance property ---------------------------------
+
+
+def test_all_dispatchers_agree_byte_for_byte(small_specs):
+    """jobs=1 inline == jobs=N process == jobs=N local: identical
+    results AND byte-identical merged snapshots."""
+    reference = None
+    ref_json = None
+    for name, jobs in (("inline", 1), ("process", 3), ("local", 3)):
+        progress = FleetProgress()
+        outcomes = run_jobs(
+            small_specs,
+            FleetConfig(jobs=jobs, dispatcher=name),
+            progress=progress,
+        )
+        assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+        results = [o.result for o in outcomes]
+        snapshot = comparable_json(progress)
+        if reference is None:
+            reference, ref_json = results, snapshot
+        else:
+            assert results == reference, name
+            assert snapshot == ref_json, name
+
+
+def test_local_dispatcher_reports_its_mode(small_specs):
+    outcomes = run_jobs(
+        small_specs, FleetConfig(jobs=2, dispatcher="local")
+    )
+    assert all(o.ok and o.mode == "local" for o in outcomes)
+
+
+def test_env_var_selects_dispatcher(small_specs, monkeypatch):
+    monkeypatch.setenv(DISPATCHER_ENV, "local")
+    outcomes = run_jobs(small_specs, FleetConfig(jobs=2))
+    assert all(o.mode == "local" for o in outcomes)
+
+
+def test_local_dispatcher_retries_and_fails_like_the_pool(small_specs):
+    doomed = JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", num_threads=64),
+        label="doomed",
+    )
+    progress = FleetProgress()
+    outcomes = run_jobs(
+        [*small_specs, doomed],
+        FleetConfig(jobs=2, dispatcher="local", retries=1, backoff=0.001),
+        progress=progress,
+    )
+    assert [o.ok for o in outcomes] == [True] * len(small_specs) + [False]
+    assert outcomes[-1].attempts == 2
+    assert outcomes[-1].mode == "local"
+    assert "ConfigError" in outcomes[-1].error
+    assert progress.count("fleet_failures") == 1
+
+
+def test_local_dispatcher_journals_to_checkpoint(small_specs, tmp_path):
+    cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+    cp.begin({})
+    run_jobs(
+        small_specs,
+        FleetConfig(jobs=2, dispatcher="local"),
+        checkpoint=cp,
+    )
+    cp.close()
+    state = SweepCheckpoint.load(cp.path)
+    assert set(state.done) == {s.key for s in small_specs}
+
+
+def test_dispatchers_share_one_cache(small_specs, tmp_path):
+    """Entries written under one dispatcher hit under another — the
+    store is dispatcher-agnostic."""
+    cache = ResultCache(tmp_path)
+    cold = run_jobs(
+        small_specs, FleetConfig(jobs=2, dispatcher="local"), cache=cache
+    )
+    progress = FleetProgress()
+    warm = run_jobs(
+        small_specs,
+        FleetConfig(jobs=2, dispatcher="process"),
+        cache=cache,
+        progress=progress,
+    )
+    assert [o.result for o in warm] == [o.result for o in cold]
+    assert progress.count("fleet_cache_hits") == len(small_specs)

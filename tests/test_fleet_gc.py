@@ -1,0 +1,204 @@
+"""Size-bounded LRU eviction with pinning: budget is never exceeded by
+unpinned entries, pinned entries always survive, the eviction order is
+deterministic, and evicted cells transparently re-cache on the next
+sweep."""
+
+import pytest
+
+from repro.amp.presets import odroid_xu4
+from repro.errors import FleetError
+from repro.experiments.harness import default_configs, grid_specs
+from repro.fleet import FleetConfig, FleetProgress, ResultCache, run_jobs
+from repro.fleet.cache import MAX_BYTES_ENV
+from repro.fleet.jobs import JobSpec
+from repro.obs import Observability
+from repro.runtime.env import OmpEnv
+from repro.workloads.registry import get_program
+
+
+def make_spec(seed=0):
+    return JobSpec(
+        program=get_program("EP"),
+        platform=odroid_xu4(),
+        env=OmpEnv(schedule="static", affinity="BS"),
+        root_seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Four distinct results (computed once; execution is deterministic)."""
+    return [make_spec(seed=i).execute() for i in range(4)]
+
+
+def entry_size(tmp_path_factory, results):
+    probe = ResultCache(tmp_path_factory.mktemp("probe"))
+    probe.put(results[0])
+    return probe.total_bytes()
+
+
+def test_budget_is_never_exceeded(tmp_path_factory, results):
+    size = entry_size(tmp_path_factory, results)
+    cache = ResultCache(
+        tmp_path_factory.mktemp("gc"), max_bytes=2 * size + size // 2
+    )
+    for result in results:
+        cache.put(result)
+        assert cache.total_bytes() <= cache.max_bytes
+    assert len(cache) == 2  # two entries fit the 2.5-entry budget
+
+
+def test_lru_evicts_least_recently_used_first(tmp_path, results):
+    size_probe = ResultCache(tmp_path / "probe")
+    size_probe.put(results[0])
+    size = size_probe.total_bytes()
+    cache = ResultCache(tmp_path / "gc", max_bytes=3 * size + size // 2)
+    for result in results[:3]:
+        cache.put(result)
+    # Touch the oldest entry: it becomes most-recently-used.
+    assert cache.get(results[0].digest) is not None
+    cache.put(results[3])  # exceeds the 3.5-entry budget -> evict one
+    assert cache.get(results[0].digest) is not None, "recently read"
+    assert cache.get(results[1].digest) is None, "was the LRU victim"
+    assert cache.get(results[2].digest) is not None
+    assert cache.get(results[3].digest) is not None
+
+
+def test_pinned_entries_survive_eviction(tmp_path, results):
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(results[0])
+    size = probe.total_bytes()
+    cache = ResultCache(tmp_path / "gc", max_bytes=size + size // 2)
+    cache.put(results[0])
+    cache.pin(results[0].digest)
+    for result in results[1:]:
+        cache.put(result)
+    # The pinned entry is older than every other write, yet survives.
+    assert cache.get(results[0].digest) is not None
+    assert cache.pinned() == (results[0].digest,)
+    # Unpinned entries were evicted down to the budget.
+    unpinned_live = [r for r in results[1:] if cache.get(r.digest)]
+    assert len(unpinned_live) <= 1
+    # Pin-then-put keeps the pin recorded across a fresh handle.
+    fresh = ResultCache(cache.root)
+    assert fresh.pinned() == (results[0].digest,)
+
+
+def test_pinned_set_may_exceed_budget(tmp_path, results):
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(results[0])
+    size = probe.total_bytes()
+    cache = ResultCache(tmp_path / "gc", max_bytes=size)
+    for result in results[:3]:
+        cache.pin(result.digest)  # pin-then-put keeps the pin
+        cache.put(result)
+    # Nothing evictable: all three pinned entries stay, over budget.
+    assert len(cache) == 3
+    assert cache.total_bytes() > cache.max_bytes
+    assert cache.evict_to_budget() == []
+
+
+def test_eviction_order_is_deterministic(tmp_path, results):
+    """Same access sequence, two independent stores: byte-identical
+    persisted index (same logical clock, same survivors) and identical
+    live entries — the eviction order is a pure function of the access
+    sequence."""
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(results[0])
+    size = probe.total_bytes()
+
+    def drive(root):
+        cache = ResultCache(root, max_bytes=2 * size + size // 2)
+        for result in results:
+            cache.put(result)
+        cache.get(results[3].digest)
+        cache.put(results[0])
+        cache.flush()
+        return (
+            (root / "index.json").read_text(encoding="utf-8"),
+            sorted(e.name for e in root.glob("??/*.json")),
+        )
+
+    index_a, live_a = drive(tmp_path / "a")
+    index_b, live_b = drive(tmp_path / "b")
+    assert index_a == index_b
+    assert live_a == live_b
+
+
+def test_evicted_cells_recache_on_next_sweep(tmp_path):
+    """A warm sweep over an eviction-tightened cache recomputes the
+    evicted cells, re-caches them, and still produces identical
+    results."""
+    specs = grid_specs(
+        odroid_xu4(),
+        [get_program("EP"), get_program("IS")],
+        default_configs()[:2],
+    )
+    unbounded = ResultCache(tmp_path / "ref")
+    reference = run_jobs(specs, FleetConfig(jobs=1), cache=unbounded)
+    per_entry = unbounded.total_bytes() // len(specs)
+
+    cache = ResultCache(
+        tmp_path / "gc", max_bytes=2 * per_entry + per_entry // 2
+    )
+    run_jobs(specs, FleetConfig(jobs=1), cache=cache)
+    assert len(cache) < len(specs), "the budget must have evicted"
+
+    progress = FleetProgress()
+    warm = run_jobs(
+        specs, FleetConfig(jobs=1), cache=cache, progress=progress
+    )
+    assert [o.result for o in warm] == [o.result for o in reference]
+    assert progress.count("fleet_jobs_computed") >= 1, "evicted -> recompute"
+    assert progress.count("fleet_cache_hits") >= 1, "survivors still hit"
+    assert cache.total_bytes() <= cache.max_bytes
+
+
+def test_eviction_is_counted(tmp_path, results):
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(results[0])
+    size = probe.total_bytes()
+    obs = Observability()
+    cache = ResultCache(
+        tmp_path / "gc", obs=obs, max_bytes=size + size // 2
+    )
+    for result in results[:2]:
+        cache.put(result)
+    assert obs.registry.counter("fleet_cache_evictions_total").value == 1
+    gauges = {
+        g["name"]: g["value"] for g in obs.registry.snapshot()["gauges"]
+    }
+    assert gauges["fleet_cache_bytes"] <= size + size // 2
+
+
+def test_env_var_sets_budget(tmp_path, results, monkeypatch):
+    probe = ResultCache(tmp_path / "probe")
+    probe.put(results[0])
+    size = probe.total_bytes()
+    monkeypatch.setenv(MAX_BYTES_ENV, str(size + size // 2))
+    cache = ResultCache(tmp_path / "gc")
+    assert cache.max_bytes == size + size // 2
+    for result in results[:2]:
+        cache.put(result)
+    assert len(cache) == 1
+
+
+def test_invalid_budget_rejected(tmp_path, monkeypatch):
+    with pytest.raises(FleetError):
+        ResultCache(tmp_path, max_bytes=0)
+    with pytest.raises(FleetError):
+        ResultCache(tmp_path, max_bytes=-5)
+    monkeypatch.setenv(MAX_BYTES_ENV, "lots")
+    with pytest.raises(FleetError):
+        ResultCache(tmp_path)
+
+
+def test_stats_reports_shape(tmp_path, results):
+    cache = ResultCache(tmp_path, max_bytes=10**9)
+    cache.put(results[0])
+    cache.pin(results[0].digest)
+    stats = cache.stats()
+    assert stats["layout"] == "sharded/v1"
+    assert stats["entries"] == stats["indexed"] == stats["pinned"] == 1
+    assert stats["bytes"] == cache.total_bytes()
+    assert stats["max_bytes"] == 10**9
