@@ -54,6 +54,22 @@ class FleetError(ReproError):
     exhausted retries, malformed cache entry or result payload)."""
 
 
+class BreakerOpen(FleetError):
+    """Internal control-flow signal: a dispatcher tier's circuit breaker
+    tripped.
+
+    Raised by a dispatcher after it has requeued (uncharged) everything
+    in flight; :func:`~repro.fleet.pool.run_jobs` catches it and moves
+    the unresolved jobs to the next tier of
+    :data:`~repro.fleet.supervisor.DEGRADATION`.
+    """
+
+    def __init__(self, tier: str, reason: str) -> None:
+        super().__init__(f"circuit breaker open for {tier!r}: {reason}")
+        self.tier = tier
+        self.reason = reason
+
+
 class FaultError(ReproError):
     """Invalid fault-injection plan or an inconsistency detected while
     applying one (malformed event, negative window, unknown CPU)."""

@@ -247,6 +247,7 @@ def run_grid(
     trace_context: str | None = None,
     checkpoint=None,
     dispatcher: str | None = None,
+    supervisor=None,
 ) -> GridResult:
     """Run a full programs x configurations grid on one platform.
 
@@ -274,6 +275,10 @@ def run_grid(
     grid's digest plan and every terminal cell state so a killed sweep
     resumes from acknowledged work, and ``dispatcher`` picks the fleet
     dispatcher by name (``inline`` / ``process`` / ``local``).
+    ``supervisor`` (a :class:`~repro.fleet.supervisor.Supervisor`)
+    shares hang-detection, poison-quarantine and circuit-breaker state
+    across grids — the CLI passes one per invocation so a breaker
+    tripped in one grid keeps the next grid off the broken tier.
     """
     programs = tuple(programs) if programs is not None else all_programs()
     configs = tuple(configs) if configs is not None else default_configs()
@@ -288,7 +293,7 @@ def run_grid(
     if (
         jobs <= 1 and cache is None and progress is None
         and trace_context is None and checkpoint is None
-        and dispatcher is None
+        and dispatcher is None and supervisor is None
     ):
         # The historical serial path: no pool, no cache I/O, no events.
         for program in programs:
@@ -322,6 +327,7 @@ def run_grid(
             cache=cache,
             progress=progress,
             checkpoint=checkpoint,
+            supervisor=supervisor,
         )
     )
     it = iter(outcomes)

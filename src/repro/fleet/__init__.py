@@ -34,6 +34,15 @@ costs. This subsystem turns the serial
   the :class:`JobResult`, and the pool folds them (in submission order)
   into one fleet-level view — cached results replay their stored
   snapshot, so warm runs report identical metrics;
+* :mod:`~repro.fleet.supervisor` — :class:`Supervisor`: worker
+  heartbeats with EWMA-based hang detection, poison-job quarantine,
+  per-dispatcher circuit breakers degrading ``process -> local ->
+  inline``, and seeded digest-keyed retry jitter;
+* :mod:`~repro.fleet.chaos` — the deterministic infrastructure-chaos
+  harness: seeded, JSON-round-trippable :class:`ChaosPlan`\\ s inject
+  worker kills/stalls, cache I/O errors and pool-break storms, and
+  ``python -m repro.fleet chaos`` asserts sweeps stay byte-identical to
+  the fault-free run under them;
 * ``python -m repro.fleet`` — CLI running any registered grid
   (see :mod:`~repro.fleet.cli`), with ``--obs-snapshot`` /
   ``--trajectory`` feeding the perf-regression observatory.
@@ -48,6 +57,8 @@ wall-clock fields).
 from __future__ import annotations
 
 from repro.fleet.cache import ResultCache
+from repro.fleet.chaos import ChaosCache, ChaosEngine, ChaosPlan
+from repro.fleet.chaos import random_plan as random_chaos_plan
 from repro.fleet.checkpoint import CheckpointState, SweepCheckpoint
 from repro.fleet.dispatch import DISPATCHERS, Dispatcher
 from repro.fleet.jobs import CODE_SALT, JobResult, JobSpec
@@ -59,6 +70,12 @@ from repro.fleet.pool import (
 )
 from repro.fleet.progress import FleetProgress, NullFleetProgress
 from repro.fleet.scrub import ScrubReport, scrub_cache
+from repro.fleet.supervisor import (
+    DEGRADATION,
+    BreakerOpen,
+    Supervisor,
+    SupervisorConfig,
+)
 
 __all__ = [
     "NullFleetProgress",
@@ -70,6 +87,14 @@ __all__ = [
     "SweepCheckpoint",
     "Dispatcher",
     "DISPATCHERS",
+    "DEGRADATION",
+    "BreakerOpen",
+    "Supervisor",
+    "SupervisorConfig",
+    "ChaosPlan",
+    "ChaosEngine",
+    "ChaosCache",
+    "random_chaos_plan",
     "ScrubReport",
     "scrub_cache",
     "FleetConfig",

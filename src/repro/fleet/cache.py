@@ -10,6 +10,9 @@ Layout (under ``.fleet-cache/`` or ``$FLEET_CACHE_DIR``)::
       ab/abcdef...json            one JSON document per cached result,
                                   sharded by the first two digest hexits
       ab/abcdef...json.corrupt    quarantined bad bytes, kept aside
+      ab/abcdef...json.poison     poison-job quarantine marker (a sweep
+                                  found this digest repeatedly breaks
+                                  worker pools; later sweeps skip it)
 
 Entries are keyed purely by the :class:`~repro.fleet.jobs.JobSpec`
 content digest, which already mixes in the code-version salt — a version
@@ -43,9 +46,12 @@ Three production-shaped mechanisms ride on top of the plain store:
   entry's name, shard placement, schema and digests, quarantines
   anything corrupt, repairs the manifest and rebuilds the index.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed run never
-leaves a half-written entry behind, and all cache I/O happens in the
-coordinating parent process — worker processes only compute.
+Writes are crash-atomic (fsynced ``tmp-<pid>`` sibling + ``os.replace``)
+so even a SIGKILLed coordinator never leaves a half-written entry under
+a live name — at worst a stale tmp file the scrub prunes — and all
+cache I/O happens in the coordinating parent process — worker processes
+only compute.
+
 """
 
 from __future__ import annotations
@@ -70,6 +76,9 @@ LAYOUT = "sharded/v1"
 
 #: Index document identifier (LRU clock, sizes, pins).
 INDEX_SCHEMA = "repro.fleet.cache-index/v1"
+
+#: Poison-quarantine marker document identifier.
+POISON_SCHEMA = "repro.fleet.poison/v1"
 
 #: Digest-prefix width of the shard directories (``ab/abcdef...json``).
 SHARD_WIDTH = 2
@@ -293,6 +302,71 @@ class ResultCache:
         self.evict_to_budget()
         self.flush()
         return path
+
+    # -- poison quarantine markers -----------------------------------------
+
+    def poison_path(self, digest: str) -> Path:
+        """Where one digest's poison marker lives (beside its entry
+        slot: ``ab/<digest>.json.poison``)."""
+        path = self.path_for(digest)
+        return path.with_name(path.name + ".poison")
+
+    def mark_poisoned(self, digest: str, reason: str) -> Path:
+        """Record that a sweep quarantined ``digest`` as a poison job
+        (its failures broke the worker pool repeatedly). Later sweeps
+        skip the digest up front instead of breaking their pools too."""
+        self._ensure_layout(create=True)
+        path = self.poison_path(digest)
+        self._write_atomic(
+            path,
+            json.dumps(
+                {
+                    "schema": POISON_SCHEMA,
+                    "digest": digest,
+                    "salt": CODE_SALT,
+                    "reason": reason,
+                },
+                sort_keys=True,
+                indent=2,
+            ),
+        )
+        if self.obs.enabled:
+            self.obs.registry.counter("fleet_cache_poison_marks_total").inc()
+        return path
+
+    def poison_reason(self, digest: str) -> str | None:
+        """The recorded quarantine reason, or None when the digest is
+        not poisoned (including markers from other code versions — a
+        version bump gets a fresh chance, same as cache entries)."""
+        try:
+            doc = json.loads(
+                self.poison_path(digest).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != POISON_SCHEMA:
+            return None
+        if doc.get("salt") != CODE_SALT or doc.get("digest") != digest:
+            return None
+        return str(doc.get("reason", "poisoned"))
+
+    def clear_poison(self, digest: str) -> bool:
+        """Lift one digest's quarantine; True when a marker existed."""
+        path = self.poison_path(digest)
+        existed = path.is_file()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def poisoned(self) -> tuple[str, ...]:
+        """All currently-poisoned digests (this code version), sorted."""
+        if not self.root.is_dir():
+            return ()
+        out = []
+        for path in self.root.glob("??/*.json.poison"):
+            digest = path.name[: -len(".json.poison")]
+            if self.poison_reason(digest) is not None:
+                out.append(digest)
+        return tuple(sorted(out))
 
     # -- LRU index, pinning and eviction -----------------------------------
 
@@ -519,6 +593,10 @@ class ResultCache:
                 removed += 1
             for entry in self.root.glob("??/*.corrupt"):
                 entry.unlink(missing_ok=True)
+            for entry in self.root.glob("??/*.poison"):
+                entry.unlink(missing_ok=True)
+            for entry in self.root.glob("??/*.tmp-*"):
+                entry.unlink(missing_ok=True)
             self.durations_path.unlink(missing_ok=True)
             self.index_path.unlink(missing_ok=True)
         self._durations = None
@@ -533,7 +611,15 @@ class ResultCache:
 
     @staticmethod
     def _write_atomic(path: Path, text: str) -> None:
+        """Crash-atomic write: a ``tmp-<pid>`` *sibling* (never a suffix
+        swap that could collide across writers or shadow an entry name),
+        fsynced before the rename — a coordinator SIGKILLed mid-put can
+        leave a stale tmp file behind (the scrub prunes those) but never
+        truncated JSON under the final name."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(text + "\n", encoding="utf-8")
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)

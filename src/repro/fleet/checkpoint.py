@@ -11,7 +11,10 @@ sweep was running, over which jobs, and how far did it get?". The
   can reconstruct the command;
 * ``plan`` — the digest universe of one ``run_jobs`` batch;
 * ``job`` — one digest transitioning to ``done`` (computed or replayed
-  from cache) or ``failed`` (retries exhausted);
+  from cache), ``failed`` (retries exhausted) or ``poisoned``
+  (quarantined by the supervisor: its failures repeatedly broke the
+  worker pool); failure records carry the last error reason, so a
+  resume can print *why* each cell failed, not just that it did;
 * ``end`` — the sweep completed.
 
 The journal is **append-only JSONL, flushed and fsynced per record**: a
@@ -54,6 +57,8 @@ class CheckpointState:
     meta: dict = field(default_factory=dict)  #: last ``begin``'s metadata
     planned: tuple[str, ...] = ()  #: digest universe (union of plans)
     statuses: dict[str, str] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)  #: digest -> last
+    #: recorded failure/quarantine reason
     ended: bool = False  #: an ``end`` record follows the last ``begin``
     torn_lines: int = 0  #: unparseable (crash-torn) lines skipped
 
@@ -70,9 +75,18 @@ class CheckpointState:
         )
 
     @property
-    def pending(self) -> tuple[str, ...]:
+    def poisoned(self) -> tuple[str, ...]:
         return tuple(
-            d for d in self.planned if self.statuses.get(d) != "done"
+            d for d in self.planned if self.statuses.get(d) == "poisoned"
+        )
+
+    @property
+    def pending(self) -> tuple[str, ...]:
+        # Failed cells stay pending (a resume retries them); poisoned
+        # cells do not — quarantine means "stop feeding this job pools".
+        return tuple(
+            d for d in self.planned
+            if self.statuses.get(d) not in ("done", "poisoned")
         )
 
     def summary(self) -> dict:
@@ -80,9 +94,22 @@ class CheckpointState:
             "planned": len(self.planned),
             "done": len(self.done),
             "failed": len(self.failed),
+            "poisoned": len(self.poisoned),
             "pending": len(self.pending),
             "ended": self.ended,
         }
+
+    def failure_table(self) -> str:
+        """A "previously failed: reason" table for the resume banner —
+        one line per failed/poisoned digest with its recorded reason."""
+        rows = []
+        for digest in self.planned:
+            status = self.statuses.get(digest)
+            if status not in ("failed", "poisoned"):
+                continue
+            reason = self.errors.get(digest, "(no reason recorded)")
+            rows.append(f"  {digest[:12]}  {status:<9s} {reason}")
+        return "\n".join(rows)
 
 
 class SweepCheckpoint:
@@ -117,9 +144,10 @@ class SweepCheckpoint:
         error: str | None = None,
     ) -> None:
         """Journal one job's terminal state for this sweep."""
-        if status not in ("done", "failed"):
+        if status not in ("done", "failed", "poisoned"):
             raise FleetError(
-                f"checkpoint status must be done or failed, got {status!r}"
+                "checkpoint status must be done, failed or poisoned, "
+                f"got {status!r}"
             )
         rec: dict = {"event": "job", "digest": digest, "status": status}
         if cached:
@@ -194,7 +222,7 @@ class SweepCheckpoint:
             elif event == "job":
                 digest = str(rec.get("digest", ""))
                 status = str(rec.get("status", ""))
-                if digest and status in ("done", "failed"):
+                if digest and status in ("done", "failed", "poisoned"):
                     if digest not in seen:
                         seen.add(digest)
                         planned.append(digest)
@@ -202,6 +230,8 @@ class SweepCheckpoint:
                     # already-done digest cannot un-finish it.
                     if state.statuses.get(digest) != "done":
                         state.statuses[digest] = status
+                    if status != "done" and "error" in rec:
+                        state.errors[digest] = str(rec["error"])
             elif event == "end":
                 state.ended = True
         state.planned = tuple(planned)

@@ -9,6 +9,7 @@ Usage::
     python -m repro.fleet fig6 --backend vectorized --trajectory perf.jsonl
     python -m repro.fleet --resume          # continue a killed sweep
     python -m repro.fleet scrub --json report.json
+    python -m repro.fleet chaos --plans 50 --jobs 2 --json chaos.json
 
 Every invocation prints the regenerated grid table(s) plus a fleet
 summary line (submitted / cached / computed / retried / failed).
@@ -43,6 +44,24 @@ versions; ``--json PATH`` writes the machine-readable report CI
 archives). ``--max-cache-bytes`` bounds the store with deterministic
 LRU eviction, and ``--dispatcher`` picks the execution seam (``inline``,
 ``process``, ``local``).
+
+**Supervision.** Every run gets one
+:class:`~repro.fleet.supervisor.Supervisor` shared across its grids:
+EWMA-based hang detection, poison-job quarantine (quarantined cells are
+journaled as ``poisoned`` with their reason and skipped by later
+sweeps), and per-dispatcher circuit breakers that degrade
+``process -> local -> inline`` when a tier's infrastructure keeps
+failing. On ``--resume``, previously failed or poisoned cells print as
+a "previously failed" table with their recorded reasons.
+
+**Chaos.** ``chaos`` runs the deterministic infrastructure-chaos check
+(:mod:`repro.fleet.chaos`): ``--plans N`` seeded ChaosPlans (worker
+kills/stalls, cache I/O faults, pool-break storms) each swept over a
+small standard grid and byte-compared against the fault-free run;
+``--poison K`` adds K poison jobs per plan and asserts exactly those are
+quarantined. ``--mode real`` uses genuine SIGKILLs in process workers
+instead of simulated crashes. Exit 1 on any mismatch; ``--json``
+writes the full report with every failing plan replayable.
 """
 
 from __future__ import annotations
@@ -124,6 +143,26 @@ def _run_scrub(cache: ResultCache | None, args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """The ``chaos`` command: byte-equality-under-chaos check."""
+    from repro.fleet.chaos import run_chaos_check
+
+    code, report = run_chaos_check(
+        plans=args.plans,
+        seed=args.seed if args.seed is not None else 0,
+        poison=args.poison,
+        mode=args.chaos_mode,
+        dispatcher=args.dispatcher or "local",
+        jobs=max(args.jobs, 2),
+    )
+    if args.json_report:
+        Path(args.json_report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
@@ -132,8 +171,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "names", nargs="*",
         help="grid names (see 'list'): " + ", ".join(GRIDS)
-        + "; or the 'scrub' maintenance command; may be empty with "
-        "--resume",
+        + "; or the 'scrub' / 'chaos' maintenance commands; may be "
+        "empty with --resume",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -189,7 +228,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", default=None, metavar="PATH", dest="json_report",
-        help="(scrub) write the machine-readable scrub report here",
+        help="(scrub/chaos) write the machine-readable report here",
+    )
+    parser.add_argument(
+        "--plans", type=int, default=1, metavar="N",
+        help="(chaos) number of seeded chaos plans to sweep (default 1)",
+    )
+    parser.add_argument(
+        "--poison", type=int, default=0, metavar="K",
+        help="(chaos) poison jobs injected per plan (default 0); the "
+        "check then asserts exactly those digests are quarantined",
+    )
+    parser.add_argument(
+        "--mode", default="sim", choices=("sim", "real"), dest="chaos_mode",
+        help="(chaos) worker-kill mechanism: 'sim' raises in-process "
+        "(exact attribution), 'real' SIGKILLs worker processes",
     )
     parser.add_argument(
         "--backend", default=None, metavar="NAME",
@@ -238,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.names == ["scrub"]:
         return _run_scrub(cache, args)
+    if args.names == ["chaos"]:
+        return _run_chaos(args)
 
     # Resolve the checkpoint journal: beside the cache by default, an
     # explicit --checkpoint anywhere, no journal only when both are off.
@@ -276,9 +331,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"resuming from {checkpoint_path}: "
             f"{summary['done']} done, {summary['failed']} failed, "
+            f"{summary['poisoned']} poisoned, "
             f"{summary['pending']} pending of {summary['planned']} planned"
             + (" (sweep had already completed)" if state.ended else "")
         )
+        failure_table = state.failure_table()
+        if failure_table:
+            print("previously failed:")
+            print(failure_table)
     seed = 0 if seed is None else seed
 
     if not args.names:
@@ -316,6 +376,11 @@ def main(argv: list[str] | None = None) -> int:
             }
         )
     progress = FleetProgress()
+    # One supervisor for the whole invocation: breaker and poison state
+    # span grids, so a tier broken in the first grid stays avoided.
+    from repro.fleet.supervisor import Supervisor
+
+    supervisor = Supervisor()
     status = 0
     t_start = time.perf_counter()
     for name in args.names:
@@ -337,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_context=args.trace_spans,
                 checkpoint=checkpoint,
                 dispatcher=args.dispatcher,
+                supervisor=supervisor,
             )
         except ReproError as exc:
             print(f"{name}: FAILED: {exc}", file=sys.stderr)

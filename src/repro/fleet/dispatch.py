@@ -8,20 +8,31 @@ remaining work to a **dispatcher** — the one moving part that decides
   legacy path (``jobs <= 1``, ``use_processes=False``, or degraded
   operation when no pool can be built);
 * ``process`` — the fault-tolerant ``ProcessPoolExecutor`` pool with
-  LPT dispatch, per-job timeouts, bounded retry and broken-pool
+  LPT dispatch, per-job deadlines, bounded retry and broken-pool
   rebuild (the default for ``jobs > 1``);
 * ``local`` — an in-process *local worker group*: a thread group
-  driving the same LPT queue with the same retry/backoff policy. The
-  simulator is pure Python, so threads buy no wall-clock speedup — the
-  point of this dispatcher is the **seam**: it proves the protocol is
+  driving the **same supervised loop** as the process pool (one LPT
+  queue, one retry/backoff/deadline policy, one broken-pool protocol —
+  see :func:`repro.fleet.pool._run_supervised_pool`). The simulator is
+  pure Python, so threads buy no wall-clock speedup — the point of this
+  dispatcher is the **seam**: it proves the protocol is
   implementation-agnostic (remote/multi-host worker groups slot in
-  behind the same three calls) and it gives tests a second, independent
-  dispatcher to pin the byte-equality acceptance property against.
+  behind the same three calls), it gives tests a second, independent
+  dispatcher to pin the byte-equality acceptance property against, and
+  it is the middle rung of the supervision ladder (``process -> local
+  -> inline``) a tripped circuit breaker degrades along.
 
 Every dispatcher writes into the same outcome table, journals to the
 same checkpoint, and leaves the submission-order observability merge to
 ``run_jobs`` — so merged snapshots are byte-identical across
 dispatchers by construction, and the tests assert exactly that.
+
+Supervision: each ``run`` receives the batch's
+:class:`~repro.fleet.supervisor.Supervisor`. Pooled dispatchers charge
+its per-tier circuit breaker on infrastructure failures and raise
+:class:`~repro.fleet.supervisor.BreakerOpen` when it trips —
+``run_jobs`` then moves the unresolved jobs down the degradation
+ladder. ``inline`` has no infrastructure to fail and never raises it.
 
 Selection: ``FleetConfig(dispatcher=...)``, else
 ``$REPRO_FLEET_DISPATCHER``, else ``process``/``inline`` chosen from
@@ -31,9 +42,6 @@ Selection: ``FleetConfig(dispatcher=...)``, else
 from __future__ import annotations
 
 import os
-import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.errors import FleetError
@@ -48,11 +56,15 @@ class Dispatcher(Protocol):
     """Executes pending jobs, filling ``outcomes`` index-by-index.
 
     Implementations must resolve *every* index in ``pending`` to a
-    :class:`~repro.fleet.pool.FleetOutcome` (successful or failed) and
-    honour ``config``'s retry/backoff/timeout policy. They must not
-    touch the observability merge: ``run_jobs`` folds per-job captures
-    in submission order after every dispatcher returns, which is what
-    makes merged snapshots dispatcher-independent.
+    :class:`~repro.fleet.pool.FleetOutcome` (successful, failed, or
+    quarantined) and honour ``config``'s retry/backoff/timeout policy —
+    unless their tier's circuit breaker trips, in which case they
+    requeue nothing and raise
+    :class:`~repro.fleet.supervisor.BreakerOpen` with the unresolved
+    indices simply absent from ``outcomes``. They must not touch the
+    observability merge: ``run_jobs`` folds per-job captures in
+    submission order after the ladder settles, which is what makes
+    merged snapshots dispatcher-independent.
     """
 
     name: str
@@ -66,6 +78,7 @@ class Dispatcher(Protocol):
         cache,
         progress,
         checkpoint=None,
+        supervisor=None,
     ) -> None: ...
 
 
@@ -76,12 +89,13 @@ class InlineDispatcher:
 
     def run(
         self, specs, pending, outcomes, config, cache, progress,
-        checkpoint=None,
+        checkpoint=None, supervisor=None,
     ) -> None:
         from repro.fleet import pool
 
         pool._run_inline(
-            specs, pending, outcomes, config, cache, progress, checkpoint
+            specs, pending, outcomes, config, cache, progress, checkpoint,
+            supervisor,
         )
 
 
@@ -92,108 +106,40 @@ class ProcessPoolDispatcher:
 
     def run(
         self, specs, pending, outcomes, config, cache, progress,
-        checkpoint=None,
+        checkpoint=None, supervisor=None,
     ) -> None:
         from repro.fleet import pool
 
         pool._run_processes(
-            specs, pending, outcomes, config, cache, progress, checkpoint
+            specs, pending, outcomes, config, cache, progress, checkpoint,
+            supervisor,
         )
 
 
 class LocalWorkerGroupDispatcher:
-    """An in-process worker group: threads over the same LPT queue.
+    """An in-process worker group: threads over the supervised loop.
 
-    Same dispatch order, retry budget and backoff as the process pool.
-    Timeouts are best-effort: a stuck thread cannot be killed, so an
-    expired job is charged and retried on a fresh future while the
-    stuck thread's slot stays burned until the group winds down —
-    acceptable for a seam whose job is protocol fidelity, not worker
-    isolation.
+    Same dispatch order, retry budget, backoff, deadlines and breaker
+    accounting as the process pool — literally the same loop, with a
+    ``ThreadPoolExecutor`` in the executor seat. Deadlines are
+    best-effort: a stuck thread cannot be killed, so an expired job is
+    charged and retried on a fresh future while the stuck thread's slot
+    stays burned until the group winds down — acceptable for a seam
+    whose job is protocol fidelity, not worker isolation.
     """
 
     name = "local"
 
     def run(
         self, specs, pending, outcomes, config, cache, progress,
-        checkpoint=None,
+        checkpoint=None, supervisor=None,
     ) -> None:
         from repro.fleet import pool
 
-        queue: deque[int] = deque(pool._lpt_order(specs, pending, cache))
-        attempts: dict[int, int] = {i: 0 for i in pending}
-        max_workers = min(config.jobs, len(pending)) or 1
-        executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="fleet-local"
+        pool._run_local(
+            specs, pending, outcomes, config, cache, progress, checkpoint,
+            supervisor,
         )
-        running: dict = {}
-
-        def fail_or_requeue(idx: int, reason: str) -> None:
-            attempts[idx] += 1
-            spec = specs[idx]
-            if attempts[idx] > config.retries:
-                progress.job_failed(spec, reason)
-                if checkpoint is not None:
-                    checkpoint.record(spec.key, "failed", error=reason)
-                outcomes[idx] = pool.FleetOutcome(
-                    spec, None, attempts=attempts[idx], mode=self.name,
-                    error=reason,
-                )
-                return
-            progress.job_retried(spec, attempt=attempts[idx], reason=reason)
-            time.sleep(config.backoff * (2 ** (attempts[idx] - 1)))
-            queue.append(idx)
-
-        try:
-            while queue or running:
-                while queue and len(running) < max_workers:
-                    idx = queue.popleft()
-                    progress.job_started(
-                        specs[idx], mode=self.name, attempt=attempts[idx] + 1
-                    )
-                    running[executor.submit(specs[idx].execute)] = (
-                        idx, time.monotonic(),
-                    )
-                deadline_slack = None
-                if config.timeout is not None and running:
-                    now = time.monotonic()
-                    deadline_slack = max(
-                        0.0,
-                        min(
-                            t0 + config.timeout - now
-                            for (_, t0) in running.values()
-                        ),
-                    )
-                done, _ = wait(
-                    running, timeout=deadline_slack,
-                    return_when=FIRST_COMPLETED,
-                )
-                for fut in sorted(done, key=lambda f: running[f][0]):
-                    idx, _t0 = running.pop(fut)
-                    try:
-                        result = fut.result()
-                    except Exception as exc:
-                        fail_or_requeue(idx, f"{type(exc).__name__}: {exc}")
-                    else:
-                        pool._record_success(
-                            idx, specs[idx], result, attempts[idx] + 1,
-                            self.name, outcomes, cache, progress, checkpoint,
-                        )
-                if config.timeout is not None:
-                    now = time.monotonic()
-                    expired = [
-                        (fut, idx)
-                        for fut, (idx, t0) in running.items()
-                        if now - t0 > config.timeout
-                    ]
-                    for fut, idx in expired:
-                        running.pop(fut)
-                        progress.job_timeout(specs[idx], config.timeout)
-                        fail_or_requeue(
-                            idx, f"timed out after {config.timeout:g}s"
-                        )
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
 
 
 #: name -> dispatcher class. Remote/multi-host worker groups register

@@ -14,21 +14,44 @@ The runner maps :class:`~repro.fleet.jobs.JobSpec`\\ s to
 
 Failure semantics: a job attempt can fail by raising (any exception
 travels back through its future), by crashing its worker
-(``BrokenProcessPool`` — the pool is rebuilt), or by exceeding the
-per-job ``timeout`` (the pool is rebuilt, since a stuck worker cannot be
-cancelled). Each failed attempt is retried with exponential backoff up
-to ``config.retries`` times; jobs that exhaust their budget produce a
-``FleetOutcome`` with ``result=None`` and an error string rather than
-aborting the whole fleet — the caller decides whether missing cells are
-fatal. A worker crash breaks the whole pool, so one crash resolves
-*every* in-flight future with ``BrokenProcessPool``; exactly one retry
-unit is charged per crash (to the lowest submission index among the
-broken futures) and the innocent siblings are requeued uncharged — one
-crash never burns two budget units of any single job.
+(``BrokenProcessPool`` — the pool is rebuilt), or by exceeding its
+in-flight deadline — the per-job ``timeout``, or the supervisor's
+earlier EWMA-based *hang* deadline when the cache knows how long jobs
+of that shape usually take (the pool is rebuilt either way, since a
+stuck worker cannot be cancelled). Each failed attempt is retried with
+exponential backoff — seeded digest-keyed jitter, and a cumulative
+budget capped at the per-job ``timeout`` so retrying never outlives the
+job's own deadline — up to ``config.retries`` times; jobs that exhaust
+their budget produce a ``FleetOutcome`` with ``result=None`` and an
+error string rather than aborting the whole fleet — the caller decides
+whether missing cells are fatal. A worker crash breaks the whole pool,
+so one crash resolves *every* in-flight future with
+``BrokenProcessPool``; exactly one retry unit is charged per crash (to
+the lowest submission index among the broken futures) and the innocent
+siblings are requeued uncharged — one crash never burns two budget
+units of any single job.
+
+Supervision (:mod:`repro.fleet.supervisor`) rides on the same loop:
+
+* a job whose failures *broke the pool* ``poison_threshold`` times is
+  **quarantined** instead of retried — a ``poisoned`` checkpoint
+  record, a ``.poison`` cache-side marker (so later sweeps skip it up
+  front), and the sweep continues;
+* every pool-breaking failure also charges the running tier's
+  **circuit breaker**; when it trips, the dispatcher raises
+  :class:`~repro.fleet.supervisor.BreakerOpen` and :func:`run_jobs`
+  degrades the unresolved jobs along ``process -> local -> inline``
+  (the submission-order obs merge happens after whichever tier finishes,
+  so degradation never perturbs merged snapshots);
+* cache I/O errors (``OSError`` from ``get``/``put``/``flush``) degrade
+  to misses or uncached successes and count on
+  ``fleet_cache_errors_total`` — a failing cache directory costs
+  recompute time, never the sweep.
 
 Because the simulator is deterministic, a parallel fleet's results are
 cell-for-cell identical to serial execution; the test suite asserts
-exact equality, not tolerances.
+exact equality, not tolerances — including under every injected fault
+of the chaos harness (:mod:`repro.fleet.chaos`).
 
 Where jobs execute is a pluggable seam: :mod:`repro.fleet.dispatch`
 defines the ``Dispatcher`` protocol, with the process pool as the
@@ -45,7 +68,10 @@ marker file; subsequent attempts find the marker and run normally.
 ``REPRO_FLEET_KILL_AFTER=<n>`` SIGKILLs the *coordinating* process the
 moment the n-th computed (non-cached) job has been recorded — after its
 cache write and checkpoint record, the exact crash window the
-resume harness needs to be deterministic about.
+resume harness needs to be deterministic about. Richer, seeded
+infrastructure-fault schedules (worker kills and stalls, cache I/O
+errors, pool-break storms) come from :mod:`repro.fleet.chaos` via
+``$REPRO_FLEET_CHAOS`` or an in-process activation.
 """
 
 from __future__ import annotations
@@ -54,17 +80,24 @@ import os
 import signal
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.errors import FleetError
 from repro.fleet.cache import ResultCache
 from repro.fleet.dispatch import get_dispatcher, resolve_dispatcher_name
 from repro.fleet.jobs import JobResult, JobSpec
 from repro.fleet.progress import NULL_PROGRESS, FleetProgress
+from repro.fleet.supervisor import DEGRADATION, BreakerOpen, Supervisor
 
 #: Environment variable enabling crash-once fault injection.
 CRASH_ONCE_ENV = "REPRO_FLEET_CRASH_ONCE"
@@ -85,7 +118,8 @@ class FleetConfig:
         jobs: maximum concurrent worker processes; <= 1 runs inline.
         timeout: per-job wall-clock deadline in seconds (None = none).
         retries: extra attempts after a failed first one.
-        backoff: base seconds slept before a retry, doubled per attempt.
+        backoff: base seconds slept before a retry, doubled per attempt
+            (jittered and budget-capped by the supervisor).
         use_processes: force (True) or forbid (False) worker processes;
             None decides from ``jobs``.
         dispatcher: explicit dispatcher name (``inline`` / ``process`` /
@@ -121,8 +155,9 @@ class FleetConfig:
 class FleetOutcome:
     """What happened to one submitted job, in submission order.
 
-    ``result`` is None only when every attempt failed; ``error`` then
-    holds the last failure reason.
+    ``result`` is None only when every attempt failed (or the job was
+    quarantined as poison — ``poisoned`` then distinguishes the two);
+    ``error`` holds the last failure reason.
     """
 
     spec: JobSpec
@@ -131,6 +166,7 @@ class FleetOutcome:
     attempts: int = 0
     mode: str = "inline"
     error: str | None = None
+    poisoned: bool = False
 
     @property
     def ok(self) -> bool:
@@ -158,7 +194,26 @@ def _maybe_inject_crash(spec: JobSpec) -> None:
 def _worker(spec: JobSpec) -> JobResult:
     """Top-level worker entry point (must be picklable by name)."""
     _maybe_inject_crash(spec)
+    from repro.fleet import chaos
+
+    chaos.inject_worker_chaos(spec.key, in_worker=True)
     return spec.execute()
+
+
+def _execute_spec(spec: JobSpec) -> JobResult:
+    """Coordinator-side execution (inline / local tiers): same chaos
+    seam as :func:`_worker`, but kills are always raised, never signals
+    — an injected worker death must not take the coordinator down."""
+    from repro.fleet import chaos
+
+    chaos.inject_worker_chaos(spec.key, in_worker=False)
+    return spec.execute()
+
+
+def _is_injected_crash(exc: BaseException) -> bool:
+    from repro.fleet.chaos import ChaosWorkerCrash
+
+    return isinstance(exc, ChaosWorkerCrash)
 
 
 def _maybe_kill_coordinator() -> None:
@@ -181,23 +236,53 @@ def _maybe_kill_coordinator() -> None:
         os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
 
 
+class _BackoffBudget:
+    """Cumulative backoff-sleep budget per job.
+
+    The total time a job spends *sleeping between retries* never exceeds
+    its own per-job ``timeout`` — a pathological retry sequence cannot
+    outlive the deadline it is nominally bound by. With no timeout the
+    budget is unbounded (as before).
+    """
+
+    def __init__(self, timeout: float | None) -> None:
+        self.timeout = timeout
+        self._spent: dict[int, float] = {}
+
+    def sleep(self, idx: int, delay: float) -> float:
+        if self.timeout is not None:
+            remaining = self.timeout - self._spent.get(idx, 0.0)
+            delay = max(0.0, min(delay, remaining))
+        if delay > 0.0:
+            time.sleep(delay)
+            self._spent[idx] = self._spent.get(idx, 0.0) + delay
+        return delay
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     config: FleetConfig | None = None,
     cache: ResultCache | None = None,
     progress: FleetProgress | None = None,
     checkpoint=None,
+    supervisor: Supervisor | None = None,
 ) -> list[FleetOutcome]:
     """Execute jobs through cache/dispatcher; outcomes in input order.
 
     ``checkpoint`` (a :class:`~repro.fleet.checkpoint.SweepCheckpoint`)
     journals the batch plan and every terminal job state — cache hits
-    and computed successes as ``done``, exhausted retries as ``failed``
-    — durably enough that a SIGKILLed sweep resumes from exactly the
-    work it acknowledged.
+    and computed successes as ``done``, exhausted retries as ``failed``,
+    quarantined poison jobs as ``poisoned`` — durably enough that a
+    SIGKILLed sweep resumes from exactly the work it acknowledged.
+
+    ``supervisor`` (a :class:`~repro.fleet.supervisor.Supervisor`)
+    carries hang detection, poison quarantine, circuit-breaker and
+    retry-jitter state; pass one explicitly to share breaker/poison
+    accounting across several batches (the CLI does, per invocation).
     """
     config = config if config is not None else FleetConfig()
     progress = progress if progress is not None else NULL_PROGRESS
+    supervisor = supervisor if supervisor is not None else Supervisor()
     specs = list(specs)
     if checkpoint is not None:
         checkpoint.plan([spec.key for spec in specs])
@@ -206,7 +291,12 @@ def run_jobs(
     for spec in specs:
         progress.job_submitted(spec)
     for i, spec in enumerate(specs):
-        hit = cache.get(spec.key) if cache is not None else None
+        hit = None
+        if cache is not None:
+            try:
+                hit = cache.get(spec.key)
+            except OSError as exc:
+                progress.cache_error(spec, "get", f"{exc}")
         if hit is not None:
             progress.cache_hit(spec)
             if checkpoint is not None:
@@ -215,17 +305,34 @@ def run_jobs(
                 spec, hit, cached=True, attempts=0, mode="cache"
             )
             continue
+        # A digest a previous sweep quarantined as poison is skipped up
+        # front — running it again would just break this pool too. A
+        # cache hit wins over the marker (a result proves it can run).
+        poison = None
+        if cache is not None:
+            try:
+                poison = cache.poison_reason(spec.key)
+            except OSError:
+                poison = None
+        if poison is not None:
+            _record_poisoned(
+                i, spec, 0, "quarantine",
+                f"quarantined by a previous sweep: {poison}",
+                outcomes, None, progress, checkpoint, supervisor,
+            )
+            continue
         if cache is not None:
             progress.cache_miss(spec)
         pending.append(i)
     if pending:
-        name = resolve_dispatcher_name(
+        entry = resolve_dispatcher_name(
             config.dispatcher,
             jobs=config.jobs,
             use_processes=config.use_processes,
         )
-        get_dispatcher(name).run(
-            specs, pending, outcomes, config, cache, progress, checkpoint
+        _run_ladder(
+            entry, specs, pending, outcomes, config, cache, progress,
+            checkpoint, supervisor,
         )
     ordered = [outcomes[i] for i in range(len(specs))]
     # Merge worker-side obs captures in submission order — never in
@@ -235,9 +342,59 @@ def run_jobs(
         if outcome.result is not None:
             progress.job_obs(outcome.spec, outcome.result)
     if cache is not None:
-        progress.record_duration_estimates(cache, specs)
-        cache.flush()  # persist batched LRU recency bumps
+        try:
+            progress.record_duration_estimates(cache, specs)
+            cache.flush()  # persist batched LRU recency bumps
+        except OSError as exc:
+            progress.cache_error(specs[0], "flush", f"{exc}")
     return ordered
+
+
+def _run_ladder(
+    entry, specs, pending, outcomes, config, cache, progress, checkpoint,
+    supervisor,
+) -> None:
+    """Run the degradation ladder starting at the ``entry`` dispatcher.
+
+    Each tier's dispatcher resolves what it can; a tripped circuit
+    breaker surfaces as :class:`BreakerOpen` and moves the unresolved
+    jobs one tier right (``process -> local -> inline``). A tier whose
+    breaker is already open (from an earlier batch under the same
+    supervisor) is skipped up front — unless its cooldown elapsed, in
+    which case the batch doubles as the half-open probe.
+    """
+    chain = DEGRADATION.get(entry, (entry,))
+    pos = 0
+    while True:
+        remaining = [i for i in pending if i not in outcomes]
+        if not remaining:
+            return
+        while pos < len(chain) - 1 and not supervisor.tier_allowed(chain[pos]):
+            progress.breaker_skipped(specs[remaining[0]], chain[pos])
+            pos += 1
+        tier = chain[pos]
+        try:
+            get_dispatcher(tier).run(
+                specs, remaining, outcomes, config, cache, progress,
+                checkpoint, supervisor=supervisor,
+            )
+        except BreakerOpen as exc:
+            if pos >= len(chain) - 1:
+                raise FleetError(
+                    f"breaker tripped on the last-resort tier {tier!r}: "
+                    f"{exc.reason}"
+                ) from exc
+            progress.breaker_tripped(
+                specs[remaining[0]], exc.tier, chain[pos + 1], exc.reason
+            )
+            pos += 1
+            continue
+        still = [i for i in pending if i not in outcomes]
+        if still == remaining:
+            raise FleetError(
+                f"dispatcher {tier!r} made no progress on "
+                f"{len(remaining)} pending job(s)"
+            )
 
 
 def require_ok(outcomes: Sequence[FleetOutcome]) -> list[FleetOutcome]:
@@ -258,18 +415,32 @@ def require_ok(outcomes: Sequence[FleetOutcome]) -> list[FleetOutcome]:
 
 
 def _run_inline(
-    specs, pending, outcomes, config, cache, progress, checkpoint=None
+    specs, pending, outcomes, config, cache, progress, checkpoint=None,
+    supervisor=None,
 ) -> None:
+    supervisor = supervisor if supervisor is not None else Supervisor()
+    budget = _BackoffBudget(config.timeout)
     for idx in pending:
+        if idx in outcomes:
+            continue
         spec = specs[idx]
         attempts = 0
         while True:
             attempts += 1
             progress.job_started(spec, mode="inline", attempt=attempts)
             try:
-                result = spec.execute()
+                result = _execute_spec(spec)
             except Exception as exc:  # deterministic errors still get
                 reason = f"{type(exc).__name__}: {exc}"  # their retry budget
+                if _is_injected_crash(exc) and (
+                    supervisor.note_break(spec.key)
+                    >= supervisor.config.poison_threshold
+                ):
+                    _record_poisoned(
+                        idx, spec, attempts, "inline", reason, outcomes,
+                        cache, progress, checkpoint, supervisor,
+                    )
+                    break
                 if attempts > config.retries:
                     progress.job_failed(spec, reason)
                     if checkpoint is not None:
@@ -278,18 +449,22 @@ def _run_inline(
                         spec, None, attempts=attempts, mode="inline",
                         error=reason,
                     )
+                    supervisor.tick()
                     break
                 progress.job_retried(spec, attempt=attempts, reason=reason)
-                time.sleep(config.backoff * (2 ** (attempts - 1)))
+                budget.sleep(
+                    idx,
+                    supervisor.backoff_delay(spec.key, attempts, config.backoff),
+                )
                 continue
             _record_success(
                 idx, spec, result, attempts, "inline", outcomes, cache,
-                progress, checkpoint,
+                progress, checkpoint, supervisor,
             )
             break
 
 
-# -- process-pool path -----------------------------------------------------
+# -- pooled paths (process workers / local worker group) -------------------
 
 
 def _lpt_order(specs, pending, cache) -> list[int]:
@@ -301,7 +476,12 @@ def _lpt_order(specs, pending, cache) -> list[int]:
     """
 
     def key(idx: int):
-        est = cache.duration_estimate(specs[idx]) if cache is not None else None
+        est = None
+        if cache is not None:
+            try:
+                est = cache.duration_estimate(specs[idx])
+            except OSError:
+                est = None
         return (0 if est is None else 1, -(est or 0.0), idx)
 
     return sorted(pending, key=key)
@@ -311,47 +491,127 @@ def _make_pool(max_workers: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(max_workers=max_workers)
 
 
-def _run_processes(
-    specs, pending, outcomes, config, cache, progress, checkpoint=None
+def _break_pool(executor) -> bool:
+    """SIGKILL one resident worker process (chaos pool-break events)."""
+    procs = getattr(executor, "_processes", None) or {}
+    for pid in list(procs):
+        try:
+            os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+        except OSError:
+            continue
+        return True
+    return False
+
+
+class _InFlight(NamedTuple):
+    idx: int
+    t0: float
+    deadline: float | None
+    is_hang: bool  #: deadline came from the EWMA hang detector
+
+
+def _run_supervised_pool(
+    tier, specs, pending, outcomes, config, cache, progress, checkpoint,
+    supervisor, *, process: bool,
 ) -> None:
+    """The shared pooled execution loop (``process`` and ``local``).
+
+    One LPT queue, one retry/backoff policy, one deadline watcher, one
+    broken-pool protocol — the only difference between the tiers is the
+    executor (worker processes vs. threads) and what a deadline expiry
+    can do about a stuck worker (processes are rebuilt; a stuck thread's
+    slot stays burned until the group winds down).
+    """
+    from repro.fleet import chaos as chaos_mod
+
+    engine = chaos_mod.current_engine()
     queue: deque[int] = deque(_lpt_order(specs, pending, cache))
     attempts: dict[int, int] = {i: 0 for i in pending}
-    max_workers = min(config.jobs, len(pending))
-    try:
-        executor = _make_pool(max_workers)
-    except (OSError, ValueError, ImportError) as exc:
-        progress.degraded(specs[pending[0]], f"no process pool: {exc}")
-        _run_inline(
-            specs, pending, outcomes, config, cache, progress, checkpoint
+    budget = _BackoffBudget(config.timeout)
+    max_workers = min(config.jobs, len(pending)) or 1
+    if process:
+        try:
+            executor = _make_pool(max_workers)
+        except (OSError, ValueError, ImportError) as exc:
+            progress.degraded(specs[pending[0]], f"no process pool: {exc}")
+            _run_inline(
+                specs, pending, outcomes, config, cache, progress,
+                checkpoint, supervisor,
+            )
+            return
+    else:
+        executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fleet-local"
         )
-        return
 
-    running: dict[Future, tuple[int, float]] = {}
+    running: dict[Future, _InFlight] = {}
+
+    def infra_failure(reason: str) -> None:
+        """Charge the tier's breaker; raise :class:`BreakerOpen` on a
+        trip (unresolved jobs move to the next ladder tier)."""
+        if supervisor.infra_failure(tier):
+            raise BreakerOpen(tier, reason)
 
     def submit_ready() -> None:
         while queue and len(running) < max_workers:
             idx = queue.popleft()
+            if idx in outcomes:
+                continue
             spec = specs[idx]
-            progress.job_started(
-                spec, mode="process", attempt=attempts[idx] + 1
+            progress.job_started(spec, mode=tier, attempt=attempts[idx] + 1)
+            deadline, is_hang = supervisor.job_deadline(
+                spec, cache, config.timeout
             )
-            running[executor.submit(_worker, spec)] = (idx, time.monotonic())
+            try:
+                if process:
+                    fut = executor.submit(_worker, spec)
+                else:
+                    fut = executor.submit(_execute_spec, spec)
+            except BrokenProcessPool:
+                # The pool died between a crash and the wait loop seeing
+                # it: requeue uncharged and let the main loop run the
+                # standard broken-pool protocol (any in-flight futures
+                # carry the same crash, and the charge, if they exist).
+                queue.appendleft(idx)
+                raise
+            running[fut] = _InFlight(idx, time.monotonic(), deadline, is_hang)
+            if engine is not None and engine.pool_break(spec.key):
+                progress.pool_break_injected(spec)
+                if not (process and _break_pool(executor)):
+                    # No worker process to kill (thread tier, or none
+                    # spawned yet): degrade the event to a pure breaker
+                    # charge — infrastructure failed, no job did.
+                    infra_failure("injected pool break")
 
-    def fail_or_requeue(idx: int, reason: str, *, requeue_front: bool) -> None:
-        """Charge one failed attempt and either requeue or give up."""
+    def fail_or_requeue(
+        idx: int, reason: str, *, pool_break: bool, requeue_front: bool
+    ) -> None:
+        """Charge one failed attempt; quarantine, requeue or give up."""
         attempts[idx] += 1
         spec = specs[idx]
+        if pool_break and (
+            supervisor.note_break(spec.key)
+            >= supervisor.config.poison_threshold
+        ):
+            _record_poisoned(
+                idx, spec, attempts[idx], tier, reason, outcomes, cache,
+                progress, checkpoint, supervisor,
+            )
+            return
         if attempts[idx] > config.retries:
             progress.job_failed(spec, reason)
             if checkpoint is not None:
                 checkpoint.record(spec.key, "failed", error=reason)
             outcomes[idx] = FleetOutcome(
-                spec, None, attempts=attempts[idx], mode="process",
-                error=reason,
+                spec, None, attempts=attempts[idx], mode=tier, error=reason,
             )
+            supervisor.tick()
             return
         progress.job_retried(spec, attempt=attempts[idx], reason=reason)
-        time.sleep(config.backoff * (2 ** (attempts[idx] - 1)))
+        budget.sleep(
+            idx,
+            supervisor.backoff_delay(spec.key, attempts[idx], config.backoff),
+        )
         if requeue_front:
             queue.appendleft(idx)
         else:
@@ -368,7 +628,7 @@ def _run_processes(
             executor = _make_pool(max_workers)
             return True
         except (OSError, ValueError) as exc:
-            remaining = list(queue)
+            remaining = [i for i in queue if i not in outcomes]
             queue.clear()
             if remaining:
                 progress.degraded(
@@ -376,23 +636,30 @@ def _run_processes(
                 )
                 _run_inline(
                     specs, remaining, outcomes, config, cache, progress,
-                    checkpoint,
+                    checkpoint, supervisor,
                 )
             return False
 
     try:
         while queue or running:
-            submit_ready()
+            try:
+                submit_ready()
+            except BrokenProcessPool:
+                for fut, info in list(running.items()):
+                    queue.appendleft(info.idx)
+                running.clear()
+                infra_failure("worker process crashed (pool broken)")
+                if not rebuild_pool():
+                    return
+                continue
             deadline_slack = None
-            if config.timeout is not None and running:
-                now = time.monotonic()
-                deadline_slack = max(
-                    0.0,
-                    min(
-                        t0 + config.timeout - now
-                        for (_, t0) in running.values()
-                    ),
-                )
+            bounded = [
+                info.t0 + info.deadline
+                for info in running.values()
+                if info.deadline is not None
+            ]
+            if bounded:
+                deadline_slack = max(0.0, min(bounded) - time.monotonic())
             done, _ = wait(
                 running, timeout=deadline_slack, return_when=FIRST_COMPLETED
             )
@@ -403,8 +670,9 @@ def _run_processes(
             # lowest submission index, for determinism) and requeue the
             # rest uncharged — they died with the pool, they did not
             # crash it.
-            for fut in sorted(done, key=lambda f: running[f][0]):
-                idx, _t0 = running.pop(fut)
+            for fut in sorted(done, key=lambda f: running[f].idx):
+                info = running.pop(fut)
+                idx = info.idx
                 try:
                     result = fut.result()
                 except BrokenProcessPool:
@@ -414,68 +682,142 @@ def _run_processes(
                         broken = True
                         fail_or_requeue(
                             idx, "worker process crashed (pool broken)",
-                            requeue_front=True,
+                            pool_break=True, requeue_front=True,
                         )
                 except Exception as exc:
+                    crash = _is_injected_crash(exc)
                     fail_or_requeue(
                         idx, f"{type(exc).__name__}: {exc}",
-                        requeue_front=False,
+                        pool_break=crash, requeue_front=False,
                     )
+                    if crash:
+                        # A simulated worker death is an infrastructure
+                        # failure (unlike a deterministic job exception).
+                        infra_failure("worker killed in job")
                 else:
                     _record_success(
-                        idx, specs[idx], result, attempts[idx] + 1,
-                        "process", outcomes, cache, progress, checkpoint,
+                        idx, specs[idx], result, attempts[idx] + 1, tier,
+                        outcomes, cache, progress, checkpoint, supervisor,
                     )
             if broken:
                 # Every in-flight sibling died with the pool: requeue them
                 # (their attempt is not charged — they did nothing wrong).
-                for fut, (idx, _t0) in list(running.items()):
-                    queue.appendleft(idx)
+                for fut, info in list(running.items()):
+                    queue.appendleft(info.idx)
                 running.clear()
+                infra_failure("worker process crashed (pool broken)")
                 if not rebuild_pool():
                     return
                 continue
-            if config.timeout is not None:
-                now = time.monotonic()
-                expired = [
-                    (fut, idx)
-                    for fut, (idx, t0) in running.items()
-                    if now - t0 > config.timeout
-                ]
-                if expired:
+            now = time.monotonic()
+            expired = [
+                info
+                for info in running.values()
+                if info.deadline is not None and now - info.t0 > info.deadline
+            ]
+            if expired:
+                for fut, info in list(running.items()):
+                    if info in expired:
+                        running.pop(fut)
+                for info in expired:
+                    spec = specs[info.idx]
+                    if info.is_hang:
+                        progress.job_hang(spec, info.deadline)
+                        reason = (
+                            f"hung: silent past {info.deadline:.3g}s "
+                            f"(duration estimate x hang factor)"
+                        )
+                    else:
+                        progress.job_timeout(spec, info.deadline)
+                        reason = f"timed out after {info.deadline:g}s"
+                    fail_or_requeue(
+                        info.idx, reason, pool_break=True, requeue_front=False
+                    )
+                if process:
                     # A stuck worker cannot be cancelled; rebuild the pool
                     # and requeue the innocent bystanders.
-                    for fut, idx in expired:
-                        running.pop(fut)
-                        progress.job_timeout(specs[idx], config.timeout)
-                        fail_or_requeue(
-                            idx,
-                            f"timed out after {config.timeout:g}s",
-                            requeue_front=False,
-                        )
-                    for fut, (idx, _t0) in list(running.items()):
-                        queue.appendleft(idx)
+                    for fut, info in list(running.items()):
+                        queue.appendleft(info.idx)
                     running.clear()
+                    infra_failure("worker deadline expired")
                     if not rebuild_pool():
                         return
+                else:
+                    infra_failure("worker deadline expired")
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
 
 
+def _run_processes(
+    specs, pending, outcomes, config, cache, progress, checkpoint=None,
+    supervisor=None,
+) -> None:
+    _run_supervised_pool(
+        "process", specs, pending, outcomes, config, cache, progress,
+        checkpoint,
+        supervisor if supervisor is not None else Supervisor(),
+        process=True,
+    )
+
+
+def _run_local(
+    specs, pending, outcomes, config, cache, progress, checkpoint=None,
+    supervisor=None,
+) -> None:
+    _run_supervised_pool(
+        "local", specs, pending, outcomes, config, cache, progress,
+        checkpoint,
+        supervisor if supervisor is not None else Supervisor(),
+        process=False,
+    )
+
+
 def _record_success(
     idx, spec, result, attempts, mode, outcomes, cache, progress,
-    checkpoint=None,
+    checkpoint=None, supervisor=None,
 ) -> None:
     if cache is not None:
-        cache.put(result)
-        cache.note_duration(spec, result.duration)
+        try:
+            cache.put(result)
+            cache.note_duration(spec, result.duration)
+        except OSError as exc:
+            # A failing cache directory costs a future recompute, never
+            # the sweep: the result is still recorded and merged.
+            progress.cache_error(spec, "put", f"{exc}")
     if checkpoint is not None:
         checkpoint.record(spec.key, "done")
     progress.job_completed(spec, duration=result.duration, attempts=attempts)
     outcomes[idx] = FleetOutcome(
         spec, result, cached=False, attempts=attempts, mode=mode
     )
+    if supervisor is not None:
+        # Completion doubles as the worker heartbeat and closes the
+        # tier's breaker (consecutive-failure streak broken).
+        if mode in DEGRADATION:
+            supervisor.infra_success(mode)
+        supervisor.tick()
     # Crash-window injection: the job's cache entry and checkpoint record
     # are durable by this point, so a SIGKILL here loses no acknowledged
     # work — the property the resume harness asserts.
     _maybe_kill_coordinator()
+
+
+def _record_poisoned(
+    idx, spec, attempts, mode, reason, outcomes, cache, progress,
+    checkpoint=None, supervisor=None,
+) -> None:
+    """Quarantine one poison job: journal it, mark it cache-side, move
+    on — the sweep continues without it."""
+    progress.job_poisoned(spec, reason)
+    if checkpoint is not None:
+        checkpoint.record(spec.key, "poisoned", error=reason)
+    if cache is not None:
+        try:
+            cache.mark_poisoned(spec.key, reason)
+        except OSError as exc:
+            progress.cache_error(spec, "poison", f"{exc}")
+    outcomes[idx] = FleetOutcome(
+        spec, None, attempts=attempts, mode=mode, error=reason, poisoned=True,
+    )
+    if supervisor is not None:
+        supervisor.tick()

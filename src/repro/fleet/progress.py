@@ -21,6 +21,16 @@ Counters (all label-free, so summaries are single reads):
 * ``fleet_retries`` — re-submissions after a crash/timeout/error;
 * ``fleet_timeouts`` — per-job deadline expiries;
 * ``fleet_failures`` — jobs abandoned after exhausting retries;
+* ``fleet_heartbeats_total`` — worker heartbeats (piggybacked on job
+  completion; silence is what the hang detector measures);
+* ``fleet_hangs_detected_total`` — workers aborted early by the
+  EWMA-based hang deadline (before the full per-job timeout);
+* ``fleet_jobs_poisoned_total`` — jobs quarantined after repeatedly
+  breaking the worker pool;
+* ``fleet_breaker_trips_total`` — circuit-breaker trips (each one
+  degrades the sweep one dispatcher tier);
+* ``fleet_cache_errors_total`` — cache I/O errors tolerated (degraded
+  to misses / uncached successes);
 * ``fleet_job_duration_seconds`` — histogram of compute wall times;
 * ``fleet_duration_estimate_seconds`` — gauge per job profile: the
   cache's EWMA wall-time estimate feeding LPT dispatch, published so
@@ -53,6 +63,11 @@ COUNTERS = (
     "fleet_retries",
     "fleet_timeouts",
     "fleet_failures",
+    "fleet_heartbeats_total",
+    "fleet_hangs_detected_total",
+    "fleet_jobs_poisoned_total",
+    "fleet_breaker_trips_total",
+    "fleet_cache_errors_total",
 )
 
 
@@ -105,8 +120,44 @@ class FleetProgress:
         self, spec: JobSpec, duration: float, attempts: int
     ) -> None:
         self._count("fleet_jobs_computed")
+        # Completion is the worker heartbeat: hang detection measures
+        # silence between these.
+        self._count("fleet_heartbeats_total")
         self._duration_hist.observe(duration)
         self._event("completed", spec, duration=duration, attempts=attempts)
+
+    def job_hang(self, spec: JobSpec, deadline: float) -> None:
+        """A worker went silent past its EWMA-based hang deadline."""
+        self._count("fleet_hangs_detected_total")
+        self._event("hang", spec, deadline=deadline)
+
+    def job_poisoned(self, spec: JobSpec, reason: str) -> None:
+        """A job was quarantined after repeatedly breaking the pool."""
+        self._count("fleet_jobs_poisoned_total")
+        self._event("poisoned", spec, reason=reason)
+
+    def breaker_tripped(
+        self, spec: JobSpec, tier: str, next_tier: str, reason: str
+    ) -> None:
+        """A tier's circuit breaker opened; the sweep degrades."""
+        self._count("fleet_breaker_trips_total")
+        self._event(
+            "breaker_tripped", spec, tier=tier, next_tier=next_tier,
+            reason=reason,
+        )
+
+    def breaker_skipped(self, spec: JobSpec, tier: str) -> None:
+        """A batch skipped a tier whose breaker was already open."""
+        self._event("breaker_skipped", spec, tier=tier)
+
+    def pool_break_injected(self, spec: JobSpec) -> None:
+        """The chaos harness broke the pool after this submission."""
+        self._event("pool_break_injected", spec)
+
+    def cache_error(self, spec: JobSpec, op: str, error: str) -> None:
+        """A cache I/O error was tolerated (miss / uncached success)."""
+        self._count("fleet_cache_errors_total")
+        self._event("cache_error", spec, op=op, error=error)
 
     def degraded(self, spec: JobSpec, reason: str) -> None:
         """The pool fell back to inline execution."""
@@ -163,11 +214,16 @@ class FleetProgress:
 
     def format_summary(self) -> str:
         s = self.summary()
-        return (
+        line = (
             f"fleet: {s['jobs_submitted']} jobs — "
             f"{s['cache_hits']} cached, {s['jobs_computed']} computed, "
             f"{s['retries']} retried, {s['failures']} failed"
         )
+        if s.get("jobs_poisoned_total"):
+            line += f", {s['jobs_poisoned_total']} poisoned"
+        if s.get("breaker_trips_total"):
+            line += f", {s['breaker_trips_total']} breaker trip(s)"
+        return line
 
     def write_events_jsonl(self, path: str | Path) -> Path:
         """Dump the event log, one JSON object per line."""

@@ -54,7 +54,8 @@ class ScrubFinding:
     """One file the scrub acted on."""
 
     path: str  #: path relative to the cache root
-    reason: str  #: name | misplaced | json | entry-schema | digest | payload
+    reason: str  #: name | misplaced | json | entry-schema | digest |
+    #: payload | unreadable | stale-salt | tmp-leftover
     action: str  #: quarantined | pruned
 
     def to_payload(self) -> dict:
@@ -159,7 +160,24 @@ def scrub_cache(
     survivors: dict[str, int] = {}
     for shard in _shard_dirs(root):
         for path in sorted(shard.iterdir()):
-            if not path.is_file() or path.name.endswith(".corrupt"):
+            if not path.is_file() or path.name.endswith(
+                (".corrupt", ".poison")
+            ):
+                # Quarantine files and poison markers are bookkeeping,
+                # not entries — never scanned, never re-quarantined.
+                continue
+            if ".tmp-" in path.name:
+                # An interrupted atomic write's leftover: the final
+                # rename never happened, so the bytes are garbage by
+                # construction. Prune, don't quarantine.
+                path.unlink(missing_ok=True)
+                report.findings.append(
+                    ScrubFinding(
+                        path=str(path.relative_to(root)),
+                        reason="tmp-leftover",
+                        action="pruned",
+                    )
+                )
                 continue
             report.scanned += 1
             if not _is_entry_name(path.name):

@@ -52,12 +52,30 @@ TAIL_QUANTILES = ((0.5, "p50"), (0.99, "p99"), (0.999, "p999"))
 
 #: Counters whose value legitimately differs between valid runs of the
 #: same grid (cache temperature, worker wall time).
+#: ``fleet_heartbeats_total`` piggybacks on compute — one beat per
+#: computed job — so it flips with cache temperature exactly like
+#: ``fleet_jobs_computed``.
 INFORMATIONAL_METRICS = WALL_CLOCK_METRICS | frozenset(
-    {"fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed"}
+    {
+        "fleet_cache_hits",
+        "fleet_cache_misses",
+        "fleet_jobs_computed",
+        "fleet_heartbeats_total",
+    }
 )
 
 #: Counters measuring waste: only *growth* is a regression.
-COST_METRICS = frozenset({"fleet_failures", "fleet_timeouts", "fleet_retries"})
+COST_METRICS = frozenset(
+    {
+        "fleet_failures",
+        "fleet_timeouts",
+        "fleet_retries",
+        "fleet_hangs_detected_total",
+        "fleet_jobs_poisoned_total",
+        "fleet_breaker_trips_total",
+        "fleet_cache_errors_total",
+    }
+)
 
 
 def is_informational(name: str) -> bool:

@@ -19,6 +19,15 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 _RAISE = re.compile(r"\braise\s+([A-Za-z_][A-Za-z0-9_.]*)\s*\(")
 
+#: The chaos harness deliberately raises *foreign* exception types —
+#: OSError from an injected disk fault, a crash sentinel standing in for
+#: a SIGKILLed worker — precisely because it models the outside world
+#: the fleet must survive, not domain conditions the library reports.
+#: Those raise sites carry this pragma, and the audit only honours it
+#: inside ``fleet/chaos.py`` so the exemption cannot spread silently.
+_FOREIGN_PRAGMA = "# chaos: injected foreign failure"
+_FOREIGN_FILES = {"fleet/chaos.py"}
+
 
 def _repro_error_names():
     return {
@@ -32,14 +41,19 @@ def test_every_module_raises_only_repro_errors():
     allowed = _repro_error_names()
     offenders = []
     for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
         text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
         for match in _RAISE.finditer(text):
             name = match.group(1).split(".")[-1]
             if name not in allowed:
                 line = text[: match.start()].count("\n") + 1
-                offenders.append(
-                    f"{path.relative_to(SRC)}:{line}: raise {match.group(1)}"
-                )
+                if (
+                    rel in _FOREIGN_FILES
+                    and _FOREIGN_PRAGMA in lines[line - 1]
+                ):
+                    continue
+                offenders.append(f"{rel}:{line}: raise {match.group(1)}")
     assert not offenders, (
         "domain failures must raise ReproError subclasses:\n"
         + "\n".join(offenders)

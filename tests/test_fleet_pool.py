@@ -99,7 +99,10 @@ def test_cached_outcomes_replay_their_stored_snapshots(small_specs, tmp_path):
     # metrics are label-for-label identical.
     cold_doc = comparable_snapshot(cold_progress.obs_snapshot())
     warm_doc = comparable_snapshot(warm_progress.obs_snapshot())
-    strip = {"fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed"}
+    strip = {
+        "fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed",
+        "fleet_heartbeats_total",
+    }
     for doc in (cold_doc, warm_doc):
         doc["metrics"]["counters"] = [
             c for c in doc["metrics"]["counters"] if c["name"] not in strip

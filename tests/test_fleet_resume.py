@@ -32,6 +32,7 @@ SRC = str(Path(__file__).resolve().parent.parent / "src")
 #: sweeps (cache temperature), stripped before byte-equality checks.
 CACHE_TEMPERATURE = {
     "fleet_cache_hits", "fleet_cache_misses", "fleet_jobs_computed",
+    "fleet_heartbeats_total",
 }
 
 

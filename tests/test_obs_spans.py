@@ -222,7 +222,7 @@ class TestFleetPropagation:
         if strip_cache:
             strip = {
                 "fleet_cache_hits", "fleet_cache_misses",
-                "fleet_jobs_computed",
+                "fleet_jobs_computed", "fleet_heartbeats_total",
             }
             doc["metrics"]["counters"] = [
                 c for c in doc["metrics"]["counters"]
